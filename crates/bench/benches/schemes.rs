@@ -1,0 +1,71 @@
+//! Criterion end-to-end benches: one op-mix iteration against each of the
+//! four schemes at a small scale. Complements the `repro_*` binaries
+//! (which measure *simulated* performance) by tracking the *host* cost of
+//! driving each scheme — a regression here means experiments get slower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nand::StoreKind;
+use sim::Nanos;
+use workload::{CacheBench, CacheBenchConfig, Op};
+use zns_cache::backend::GcMode;
+use zns_cache::Scheme;
+use zns_cache_bench::build_scheme;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_op_mix");
+    for scheme in Scheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                // File-Cache needs the paper's ~1.9x filesystem
+                // provisioning to sustain unbounded churn.
+                let (device_zones, cache_zones) = match scheme {
+                    Scheme::Zone => (6, 6),
+                    Scheme::File => (8, 4),
+                    _ => (6, 4),
+                };
+                let sc =
+                    build_scheme(scheme, device_zones, cache_zones, StoreKind::Sparse, GcMode::Migrate);
+                let mut bench = CacheBench::new(CacheBenchConfig::paper_mix(20_000, 1));
+                let mut t = Nanos::ZERO;
+                b.iter(|| match bench.next_op() {
+                    Op::Get { key, .. } => {
+                        t = sc.cache.get(&key, t).unwrap().1;
+                    }
+                    Op::Set { key, value, .. } => {
+                        t = sc.cache.set(&key, &value, t).unwrap();
+                    }
+                    Op::Delete { key, .. } => {
+                        t = sc.cache.delete(&key, t).1;
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lsm_get(c: &mut Criterion) {
+    use lsm::bench::{bench_key, fill_random};
+    use lsm::{Db, DbConfig};
+    let db = Db::open(DbConfig::small_test()).unwrap();
+    let t = fill_random(&db, 2_000, 64, 1, Nanos::ZERO).unwrap();
+    let mut i = 0u64;
+    let mut t = t;
+    c.bench_function("lsm_point_get", |b| {
+        b.iter(|| {
+            i = (i + 131) % 2_000;
+            let (v, t2) = db.get(&bench_key(i), t).unwrap();
+            t = t2;
+            std::hint::black_box(v)
+        })
+    });
+}
+
+criterion_group!(
+    name = schemes;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_schemes, bench_lsm_get
+);
+criterion_main!(schemes);

@@ -1,0 +1,103 @@
+//! Minimal `--flag value` parsing for the repro binaries (the offline
+//! dependency set has no CLI crate; experiments need only a handful of
+//! numeric knobs).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Default)]
+pub struct Flags {
+    map: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `--name value` pairs from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (a flag without a value), printing
+    /// usage — acceptable for experiment binaries.
+    pub fn from_env() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// As [`Flags::from_env`].
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut map = HashMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let name = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got '{arg}'"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("flag --{name} needs a value"));
+            map.insert(name.to_string(), value);
+        }
+        Flags { map }
+    }
+
+    /// Integer flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-numeric value.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.map
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Float flag with default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-numeric value.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.map
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} must be a number")))
+            .unwrap_or(default)
+    }
+
+    /// String flag with default.
+    pub fn str(&self, name: &str, default: &str) -> String {
+        self.map.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_with_defaults() {
+        let f = flags(&["--ops", "1000", "--er", "2.5", "--mode", "hinted"]);
+        assert_eq!(f.u64("ops", 5), 1000);
+        assert_eq!(f.u64("missing", 5), 5);
+        assert_eq!(f.f64("er", 0.0), 2.5);
+        assert_eq!(f.str("mode", "x"), "hinted");
+        assert_eq!(f.str("other", "x"), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        let _ = flags(&["--ops"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected --flag")]
+    fn bare_word_panics() {
+        let _ = flags(&["ops"]);
+    }
+}

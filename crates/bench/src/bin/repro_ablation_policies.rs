@@ -1,0 +1,73 @@
+//! Ablation of the cache-policy choices DESIGN.md calls out: region
+//! eviction policy (LRU — the paper's setting — vs FIFO) and flash
+//! admission (admit-all vs probabilistic), on the Region-Cache scheme.
+//!
+//! ```text
+//! cargo run --release -p zns-cache-bench --bin repro_ablation_policies -- \
+//!     [--zones 25] [--ops 300000] [--workers 4]
+//! ```
+
+use workload::CacheBenchConfig;
+use zns_cache::backend::GcMode;
+use zns_cache::{Admission, EvictionPolicy, Scheme, SchemeCache};
+use zns_cache_bench::profile::{experiment_cache_config, middle_config, REGION_BYTES, DeviceProfile};
+use zns_cache_bench::{report, run_cachebench, Flags, Table};
+
+fn main() {
+    let flags = Flags::from_env();
+    let zones = flags.u64("zones", 25) as u32;
+    let ops = flags.u64("ops", 300_000);
+    let workers = flags.u64("workers", 4) as usize;
+    let cache_zones = zones - 5;
+    let keys = (zones as u64 * 16 * 1024 * 1024) * 12 / 10 / 1165;
+    let warmup = keys * 2;
+
+    println!("# Policy ablation — Region-Cache eviction and admission");
+    println!("# {zones} zones, {cache_zones}-zone cache, {keys} keys, {warmup} warmup + {ops} ops\n");
+
+    let mut table = Table::new(vec![
+        "eviction",
+        "admission",
+        "throughput (Mops/min)",
+        "hit ratio",
+        "WA",
+    ]);
+
+    let cases = [
+        (EvictionPolicy::Lru, Admission::Always, "always", 0.0),
+        (EvictionPolicy::Fifo, Admission::Always, "always", 0.0),
+        (
+            EvictionPolicy::Lru,
+            Admission::Random { probability: 0.7 },
+            "random(0.7)",
+            0.0,
+        ),
+        (EvictionPolicy::Lru, Admission::Always, "always+reinsert(0.2)", 0.2),
+    ];
+    for (eviction, admission, admission_label, reinsert) in cases {
+        let profile = DeviceProfile::sparse(zones);
+        let mut config = experiment_cache_config(REGION_BYTES);
+        config.eviction = eviction;
+        config.admission = admission;
+        config.reinsertion_fraction = reinsert;
+        let sc = SchemeCache::region(
+            profile.zns(),
+            middle_config(zones, cache_zones as u64 * 16 * 1024 * 1024, GcMode::Migrate),
+            config,
+        )
+        .expect("region scheme");
+        assert_eq!(sc.scheme, Scheme::Region);
+        let r = run_cachebench(&sc, CacheBenchConfig::paper_mix(keys, 42), warmup, ops, workers);
+        table.row(vec![
+            format!("{eviction:?}"),
+            admission_label.into(),
+            report::f(r.mops_per_min()),
+            report::f(r.hit_ratio()),
+            report::f(r.wa),
+        ]);
+        eprintln!("done: {eviction:?}/{admission_label}");
+    }
+    println!("{}", table.render());
+    println!("# Expected: LRU >= FIFO on hit ratio; random admission trades");
+    println!("# hit ratio for fewer flash writes (endurance).");
+}

@@ -1,0 +1,31 @@
+//! Benchmark harness reproducing every table and figure of the paper.
+//!
+//! Each `repro_*` binary regenerates one evaluation artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `repro_fig2` | Fig. 2 — overall throughput + hit ratio, 4 schemes |
+//! | `repro_fig3` | Fig. 3 — region-buffer fill time, large vs small regions |
+//! | `repro_fig4_table1` | Fig. 4 + Table 1 — OP-ratio sweep (throughput, hit ratio, WA) |
+//! | `repro_fig5` | Fig. 5 — RocksDB secondary-cache: ops/s, hit ratio, P50, P99 |
+//! | `repro_table2` | Table 2 — Zone-Cache cache-size sweep |
+//! | `repro_ablation_codesign` | §3.4 — hinted (co-design) GC vs migrate GC |
+//! | `repro_ablation_policies` | extra — eviction/admission policy ablation |
+//!
+//! All experiments run at 1/64 of the paper's hardware scale (documented in
+//! DESIGN.md); every binary accepts `--ops`, `--keys` or `--zones` style
+//! flags to move along the scale axis.
+
+pub mod args;
+pub mod profile;
+pub mod report;
+pub mod runner;
+pub mod lsm_setup;
+pub mod setup;
+
+pub use args::Flags;
+pub use profile::{DeviceProfile, ZONE_MIB};
+pub use report::Table;
+pub use runner::{run_cachebench, MicroReport};
+pub use lsm_setup::{build_lsm_experiment, LsmExperiment};
+pub use setup::build_scheme;

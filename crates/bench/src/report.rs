@@ -1,0 +1,122 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple aligned-column table that prints as GitHub-flavoured markdown.
+///
+/// # Example
+///
+/// ```
+/// let mut t = zns_cache_bench::Table::new(vec!["scheme", "throughput"]);
+/// t.row(vec!["Zone-Cache".into(), "0.31".into()]);
+/// let s = t.render();
+/// assert!(s.contains("Zone-Cache"));
+/// assert!(s.contains("| scheme"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    pub fn new(header: Vec<&str>) -> Self {
+        Table {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch — a harness bug.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders as aligned markdown.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 4 significant-ish digits for tables.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["a", "longer"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(123.456), "123.5");
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(0.12345), "0.1235");
+    }
+}

@@ -1,0 +1,181 @@
+//! The CacheBench experiment runner.
+
+use sim::{ClosedLoop, LatencyHistogram, Nanos};
+use workload::{value_for_key, CacheBench, CacheBenchConfig, Op};
+use zns_cache::SchemeCache;
+
+/// Results of one CacheBench run against one scheme.
+#[derive(Debug)]
+pub struct MicroReport {
+    /// Scheme label.
+    pub scheme: String,
+    /// Measured operations (after warmup).
+    pub ops: u64,
+    /// Simulated duration of the measured phase.
+    pub sim_time: Nanos,
+    /// Lookups in the measured phase.
+    pub gets: u64,
+    /// Hits in the measured phase.
+    pub hits: u64,
+    /// Get-latency distribution (measured phase).
+    pub get_latency: LatencyHistogram,
+    /// Set-latency distribution (measured phase).
+    pub set_latency: LatencyHistogram,
+    /// End-to-end write amplification over the whole run.
+    pub wa: f64,
+}
+
+impl MicroReport {
+    /// Hit ratio of the measured phase.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+
+    /// Throughput in million operations per simulated minute — the unit of
+    /// the paper's Fig. 2/Fig. 4.
+    pub fn mops_per_min(&self) -> f64 {
+        let secs = self.sim_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs * 60.0 / 1e6
+        }
+    }
+}
+
+/// Runs the paper's CacheBench mix against a scheme: `warmup` unmeasured
+/// operations to reach steady state, then `ops` measured ones, issued by
+/// `workers` closed-loop clients.
+///
+/// Lookups follow look-aside semantics: a miss fetches the object from the
+/// (simulated) origin and inserts it, so the hit ratio reflects what the
+/// cache retains — the quantity the paper's Fig. 2/4/5 report.
+///
+/// # Panics
+///
+/// Panics on cache errors — an experiment must not silently drop I/O.
+pub fn run_cachebench(
+    sc: &SchemeCache,
+    workload: CacheBenchConfig,
+    warmup: u64,
+    ops: u64,
+    workers: usize,
+) -> MicroReport {
+    let mut bench = CacheBench::new(workload);
+    let cache = &sc.cache;
+
+    // Warmup phase: single timeline, metrics discarded.
+    let mut t = Nanos::ZERO;
+    for _ in 0..warmup {
+        match bench.next_op() {
+            Op::Get { id, key } => {
+                let (value, t2) = cache.get(&key, t).expect("warmup get");
+                t = t2;
+                if value.is_none() {
+                    let fill = value_for_key(id, bench.version_of(id));
+                    t = cache.set(&key, &fill, t).expect("warmup miss-fill");
+                }
+            }
+            Op::Set { key, value, .. } => {
+                t = cache.set(&key, &value, t).expect("warmup set");
+            }
+            Op::Delete { key, .. } => t = cache.delete(&key, t).1,
+        }
+    }
+
+    // Measured phase.
+    let base = t;
+    let mut remaining = ops;
+    let mut gets = 0u64;
+    let mut hits = 0u64;
+    let mut get_latency = LatencyHistogram::new();
+    let mut set_latency = LatencyHistogram::new();
+    let report = ClosedLoop::new(workers).run(|_worker, now| {
+        if remaining == 0 {
+            return None;
+        }
+        remaining -= 1;
+        let start = base + now;
+        match bench.next_op() {
+            Op::Get { id, key } => {
+                let (value, done) = cache.get(&key, start).expect("measured get");
+                gets += 1;
+                let done = if value.is_some() {
+                    hits += 1;
+                    done
+                } else {
+                    // Look-aside miss: fetch from origin and insert.
+                    let fill = value_for_key(id, bench.version_of(id));
+                    cache.set(&key, &fill, done).expect("measured miss-fill")
+                };
+                get_latency.record(done - start);
+                Some(done - base)
+            }
+            Op::Set { key, value, .. } => {
+                let done = cache.set(&key, &value, start).expect("measured set");
+                set_latency.record(done - start);
+                Some(done - base)
+            }
+            Op::Delete { key, .. } => {
+                let (_, done) = cache.delete(&key, start);
+                Some(done - base)
+            }
+        }
+    });
+
+    MicroReport {
+        scheme: sc.scheme.label().to_string(),
+        ops: report.ops,
+        sim_time: report.makespan,
+        gets,
+        hits,
+        get_latency,
+        set_latency,
+        wa: sc.write_amplification(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{experiment_cache_config, middle_config, DeviceProfile, REGION_BYTES};
+    use zns_cache::backend::GcMode;
+
+    #[test]
+    fn micro_report_math() {
+        let r = MicroReport {
+            scheme: "x".into(),
+            ops: 60_000_000,
+            sim_time: Nanos::from_secs(60),
+            gets: 10,
+            hits: 9,
+            get_latency: LatencyHistogram::new(),
+            set_latency: LatencyHistogram::new(),
+            wa: 1.0,
+        };
+        assert!((r.mops_per_min() - 60.0).abs() < 1e-9);
+        assert!((r.hit_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runner_drives_a_real_scheme() {
+        // Small Region-Cache; RAM store so payloads round-trip.
+        let profile = DeviceProfile::ram(8);
+        let dev = profile.zns();
+        let middle = middle_config(8, 6 * 16 * 1024 * 1024, GcMode::Migrate);
+        let mut cfg = experiment_cache_config(REGION_BYTES);
+        cfg.verify_keys = true;
+        let sc = zns_cache::SchemeCache::region(dev, middle, cfg).unwrap();
+        let workload = workload::CacheBenchConfig::paper_mix(5_000, 7);
+        let report = run_cachebench(&sc, workload, 2_000, 3_000, 2);
+        assert_eq!(report.ops, 3_000);
+        assert!(report.gets > 1_000);
+        assert!(report.hit_ratio() > 0.2, "hit ratio {}", report.hit_ratio());
+        assert!(report.mops_per_min() > 0.0);
+        assert!(report.wa >= 1.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Scheme construction for experiments: device budget in zones, cache
+//! budget in zone-equivalents, matching the paper's §4.1 methodology
+//! ("we all use 25 zones; Zone-Cache gets the full 25 GiB, the others a
+//! 20 GiB cache assuming at least 5 GiB OP space").
+
+use nand::StoreKind;
+use sim::Nanos;
+use zns_cache::backend::GcMode;
+use zns_cache::{Scheme, SchemeCache};
+
+use crate::profile::{experiment_cache_config, middle_config, DeviceProfile, REGION_BYTES, ZONE_MIB};
+
+/// Builds one scheme on a `device_zones`-zone budget with `cache_zones`
+/// zone-equivalents of cache (Zone-Cache conventionally gets
+/// `cache_zones == device_zones`; the rest is each scheme's OP).
+///
+/// # Panics
+///
+/// Panics on infeasible budgets (cache larger than device, no OP left
+/// where a scheme requires it).
+pub fn build_scheme(
+    scheme: Scheme,
+    device_zones: u32,
+    cache_zones: u32,
+    store: StoreKind,
+    gc_mode: GcMode,
+) -> SchemeCache {
+    assert!(cache_zones >= 1 && cache_zones <= device_zones);
+    let profile = DeviceProfile {
+        zones: device_zones,
+        store,
+    };
+    let zone_bytes = ZONE_MIB * 1024 * 1024;
+    let cache_bytes = cache_zones as u64 * zone_bytes;
+    // Zone-Cache's region is the whole zone; its two in-flight buffers
+    // therefore eat most of the DRAM budget (the paper's §3.2 DRAM cost).
+    let region_size = match scheme {
+        Scheme::Zone => zone_bytes as usize,
+        _ => REGION_BYTES,
+    };
+    let mut config = experiment_cache_config(region_size);
+    config.verify_keys = store == StoreKind::Ram;
+    match scheme {
+        Scheme::Zone => {
+            // Region == zone; the whole budget is usable (no OP).
+            SchemeCache::zone(profile.zns(), Some(cache_zones), config)
+                .expect("zone scheme construction")
+        }
+        Scheme::Region => SchemeCache::region(
+            profile.zns(),
+            middle_config(device_zones, cache_bytes, gc_mode),
+            config,
+        )
+        .expect("region scheme construction"),
+        Scheme::File => {
+            let reserved = device_zones - cache_zones;
+            assert!(reserved >= 1, "File-Cache needs filesystem OP zones");
+            let fs = profile.f2fs(reserved);
+            let regions = (cache_bytes / REGION_BYTES as u64) as u32;
+            SchemeCache::file_with_punch(fs, REGION_BYTES, regions, config, Nanos::ZERO)
+                .expect("file scheme construction")
+        }
+        Scheme::Block => {
+            let op_ratio = 1.0 - (cache_zones as f64 / device_zones as f64);
+            // The FTL hides the OP; the cache uses the full logical space.
+            let op_ratio = op_ratio.max(0.05);
+            SchemeCache::block(profile.block_ssd(op_ratio), REGION_BYTES, None, config)
+                .expect("block scheme construction")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_schemes_build_and_serve() {
+        for scheme in Scheme::ALL {
+            let cache_zones = if scheme == Scheme::Zone { 8 } else { 6 };
+            let sc = build_scheme(scheme, 8, cache_zones, StoreKind::Ram, GcMode::Migrate);
+            let t = sc.cache.set(b"k", b"v", Nanos::ZERO).unwrap();
+            let (v, _) = sc.cache.get(b"k", t).unwrap();
+            assert_eq!(v.as_deref(), Some(&b"v"[..]), "{scheme} lost a value");
+        }
+    }
+
+    #[test]
+    fn zone_cache_capacity_exceeds_others() {
+        let zone = build_scheme(Scheme::Zone, 8, 8, StoreKind::Ram, GcMode::Migrate);
+        let region = build_scheme(Scheme::Region, 8, 6, StoreKind::Ram, GcMode::Migrate);
+        let zone_capacity =
+            zone.cache.backend().num_regions() as u64 * zone.cache.backend().region_size() as u64;
+        let region_capacity = region.cache.backend().num_regions() as u64
+            * region.cache.backend().region_size() as u64;
+        assert!(zone_capacity > region_capacity);
+    }
+}

@@ -1,0 +1,173 @@
+//! Storage backends: one per scheme in the paper's Fig. 1.
+//!
+//! The cache engine is backend-agnostic; each backend realizes the region
+//! abstraction on a different storage arrangement:
+//!
+//! * [`BlockBackend`] — regions laid out linearly on a conventional block
+//!   SSD (**Block-Cache**, the baseline).
+//! * [`FileBackend`] — regions inside one large file on `f2fs-lite`
+//!   (**File-Cache**, §3.1).
+//! * [`ZoneBackend`] — one region per zone; eviction is a zone reset
+//!   (**Zone-Cache**, §3.2).
+//! * [`MiddleLayerBackend`] — the paper's middle layer: flexible-size
+//!   regions mapped onto zones with an ordered map + per-zone bitmaps and
+//!   application-level GC (**Region-Cache**, §3.3), including the §3.4
+//!   co-design hook ([`GcMode::Hinted`]).
+
+mod block;
+mod file;
+mod middle;
+mod zone;
+
+pub use block::BlockBackend;
+pub use file::FileBackend;
+pub use middle::{GcMode, MiddleConfig, MiddleLayerBackend, MiddleStatsSnapshot};
+pub use zone::ZoneBackend;
+
+use sim::Nanos;
+
+use crate::types::{CacheError, RegionId};
+
+/// Result of a backend maintenance (GC) pass.
+#[derive(Debug, Default)]
+pub struct MaintenanceOutcome {
+    /// Regions the backend discarded instead of migrating (hinted GC).
+    /// The engine must drop their index entries and recycle the slots.
+    pub dropped_regions: Vec<RegionId>,
+    /// Completion time of the maintenance work.
+    pub done: Nanos,
+}
+
+/// A fixed-size-region storage backend under simulated time.
+///
+/// The engine writes whole regions ([`RegionBackend::write_region`]), reads
+/// arbitrary byte ranges within a region, and discards regions on eviction.
+/// All methods are `&self`; backends synchronize internally.
+pub trait RegionBackend: Send + Sync {
+    /// Region size in bytes (fixed per backend instance).
+    fn region_size(&self) -> usize;
+
+    /// Number of region slots the cache may use.
+    fn num_regions(&self) -> u32;
+
+    /// Writes a full region image. `data.len()` must equal
+    /// [`Self::region_size`].
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific I/O failures; all indicate bugs or exhausted space.
+    fn write_region(&self, region: RegionId, data: &[u8], now: Nanos)
+        -> Result<Nanos, CacheError>;
+
+    /// Reads `buf.len()` bytes from byte `offset` within a region.
+    ///
+    /// # Errors
+    ///
+    /// Reading a region that was never written, or past its end.
+    fn read(
+        &self,
+        region: RegionId,
+        offset: usize,
+        buf: &mut [u8],
+        now: Nanos,
+    ) -> Result<Nanos, CacheError>;
+
+    /// Releases a region's storage ahead of slot reuse (TRIM, zone reset,
+    /// or mapping removal, depending on the scheme).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific I/O failures.
+    fn discard_region(&self, region: RegionId, now: Nanos) -> Result<Nanos, CacheError>;
+
+    /// Runs background maintenance (GC). `temperature` maps a region to a
+    /// hotness score in `[0, 1]` (1 = most recently used); backends without
+    /// GC ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific I/O failures.
+    fn maintenance(
+        &self,
+        _now: Nanos,
+        _temperature: &dyn Fn(RegionId) -> f64,
+    ) -> Result<MaintenanceOutcome, CacheError> {
+        Ok(MaintenanceOutcome::default())
+    }
+
+    /// Bytes the cache engine has written through this backend.
+    fn host_bytes_written(&self) -> u64;
+
+    /// Bytes physically written to the storage media beneath this backend
+    /// (host + any GC at any layer). `media / host` is the end-to-end write
+    /// amplification the paper's Table 1 reports.
+    fn media_bytes_written(&self) -> u64;
+
+    /// Scheme name for reports.
+    fn label(&self) -> &'static str;
+
+    /// End-to-end write amplification factor.
+    fn write_amplification(&self) -> f64 {
+        sim::stats::write_amplification(self.host_bytes_written(), self.media_bytes_written())
+    }
+}
+
+/// Validates a region write's shape; shared by backends.
+pub(crate) fn check_region_write(
+    region: RegionId,
+    len: usize,
+    region_size: usize,
+    num_regions: u32,
+) -> Result<(), CacheError> {
+    if region.0 >= num_regions {
+        return Err(CacheError::Io(format!(
+            "{region} out of range ({num_regions} regions)"
+        )));
+    }
+    if len != region_size {
+        return Err(CacheError::Io(format!(
+            "region write of {len} bytes != region size {region_size}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a region read's shape; shared by backends.
+pub(crate) fn check_region_read(
+    region: RegionId,
+    offset: usize,
+    len: usize,
+    region_size: usize,
+    num_regions: u32,
+) -> Result<(), CacheError> {
+    if region.0 >= num_regions {
+        return Err(CacheError::Io(format!(
+            "{region} out of range ({num_regions} regions)"
+        )));
+    }
+    if offset + len > region_size {
+        return Err(CacheError::Io(format!(
+            "read of {len}@{offset} crosses region size {region_size}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_shape_validation() {
+        assert!(check_region_write(RegionId(0), 100, 100, 4).is_ok());
+        assert!(check_region_write(RegionId(4), 100, 100, 4).is_err());
+        assert!(check_region_write(RegionId(0), 99, 100, 4).is_err());
+    }
+
+    #[test]
+    fn read_shape_validation() {
+        assert!(check_region_read(RegionId(0), 50, 50, 100, 4).is_ok());
+        assert!(check_region_read(RegionId(0), 51, 50, 100, 4).is_err());
+        assert!(check_region_read(RegionId(9), 0, 1, 100, 4).is_err());
+    }
+}

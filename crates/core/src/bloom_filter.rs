@@ -1,0 +1,99 @@
+//! A tiny insertable bloom filter, one per BigHash bucket.
+//!
+//! 256 bits / 4 hashes ≈ 2% false positives at the ~30 entries a 4 KiB
+//! bucket of ~100-byte objects holds — the DRAM cost (32 B/bucket) that
+//! lets BigHash answer most misses without a flash read.
+
+/// A fixed 256-bit bloom filter supporting inserts (rebuilt wholesale when
+/// its bucket is rewritten, so no deletes are needed).
+///
+/// # Example
+///
+/// ```
+/// use zns_cache::bloom_filter::PageBloom;
+///
+/// let mut bloom = PageBloom::new();
+/// bloom.insert(b"present");
+/// assert!(bloom.may_contain(b"present"));
+/// assert!(!bloom.may_contain(b"definitely-absent-key"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageBloom {
+    bits: [u64; 4],
+}
+
+fn hash2(key: &[u8]) -> (u64, u64) {
+    let (mut a, mut b) = (0xcbf2_9ce4_8422_2325u64, 0x0100_0000_01b3_u64 | 1);
+    for &byte in key {
+        a = (a ^ byte as u64).wrapping_mul(0x1_0000_01b3);
+        b = b.wrapping_add(a).rotate_left(23) ^ (byte as u64);
+    }
+    (a, b | 1)
+}
+
+impl PageBloom {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = hash2(key);
+        for i in 0..4u64 {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i)) % 256;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether the key might have been inserted (no false negatives).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash2(key);
+        (0..4u64).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i)) % 256;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits = [0; 4];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut b = PageBloom::new();
+        let keys: Vec<String> = (0..30).map(|i| format!("key-{i}")).collect();
+        for k in &keys {
+            b.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(b.may_contain(k.as_bytes()), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn false_positives_are_rare_at_bucket_load() {
+        let mut b = PageBloom::new();
+        for i in 0..30 {
+            b.insert(format!("in-{i}").as_bytes());
+        }
+        let fp = (0..1000)
+            .filter(|i| b.may_contain(format!("out-{i}").as_bytes()))
+            .count();
+        assert!(fp < 100, "false positive rate too high: {fp}/1000");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = PageBloom::new();
+        b.insert(b"x");
+        b.clear();
+        assert!(!b.may_contain(b"x"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The DRAM tier of the hybrid cache.
+//!
+//! CacheLib is a hybrid cache: a byte-capped DRAM LRU sits in front of the
+//! flash engine (the paper's RocksDB evaluation provisions 32 MiB of DRAM
+//! against a 5 GiB flash cache). This module provides that tier: a strict
+//! LRU over owned byte values, evicting by total resident bytes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+
+/// A byte-capacity-bounded LRU map from key hash to value bytes.
+///
+/// # Example
+///
+/// ```
+/// use zns_cache::dram::DramCache;
+/// use bytes::Bytes;
+///
+/// let mut c = DramCache::new(1024);
+/// c.insert(1, Bytes::from_static(b"hello"));
+/// assert_eq!(c.get(1).as_deref(), Some(&b"hello"[..]));
+/// assert_eq!(c.get(2), None);
+/// ```
+#[derive(Debug)]
+pub struct DramCache {
+    capacity_bytes: usize,
+    resident_bytes: usize,
+    seq: u64,
+    map: HashMap<u64, (Bytes, u64)>,
+    order: BTreeMap<u64, u64>,
+}
+
+impl DramCache {
+    /// Creates a cache bounded to `capacity_bytes` of values. A capacity of
+    /// zero disables the tier (every insert is dropped).
+    pub fn new(capacity_bytes: usize) -> Self {
+        DramCache {
+            capacity_bytes,
+            resident_bytes: 0,
+            seq: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    fn touch(&mut self, hash: u64) {
+        if let Some((_, old_seq)) = self.map.get(&hash) {
+            let old_seq = *old_seq;
+            self.order.remove(&old_seq);
+            self.seq += 1;
+            let seq = self.seq;
+            self.order.insert(seq, hash);
+            self.map.get_mut(&hash).expect("present").1 = seq;
+        }
+    }
+
+    /// Looks up and LRU-touches a value.
+    pub fn get(&mut self, hash: u64) -> Option<Bytes> {
+        if !self.map.contains_key(&hash) {
+            return None;
+        }
+        self.touch(hash);
+        self.map.get(&hash).map(|(v, _)| v.clone())
+    }
+
+    /// Inserts a value, evicting LRU entries to fit. Returns the evicted
+    /// values (hash, bytes) so the caller can demote them to flash,
+    /// mirroring CacheLib's DRAM→flash demotion pipeline.
+    pub fn insert(&mut self, hash: u64, value: Bytes) -> Vec<(u64, Bytes)> {
+        let mut evicted = Vec::new();
+        if value.len() > self.capacity_bytes {
+            // Too large for the tier entirely; caller keeps it flash-only.
+            return evicted;
+        }
+        self.remove(hash);
+        while self.resident_bytes + value.len() > self.capacity_bytes {
+            let (&oldest_seq, &oldest_hash) = self.order.iter().next().expect("resident > 0");
+            self.order.remove(&oldest_seq);
+            let (v, _) = self.map.remove(&oldest_hash).expect("order/map in sync");
+            self.resident_bytes -= v.len();
+            evicted.push((oldest_hash, v));
+        }
+        self.seq += 1;
+        self.resident_bytes += value.len();
+        self.order.insert(self.seq, hash);
+        self.map.insert(hash, (value, self.seq));
+        evicted
+    }
+
+    /// Removes an entry if present; returns whether it existed.
+    pub fn remove(&mut self, hash: u64) -> bool {
+        if let Some((v, seq)) = self.map.remove(&hash) {
+            self.order.remove(&seq);
+            self.resident_bytes -= v.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n])
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = DramCache::new(30);
+        assert!(c.insert(1, val(10)).is_empty());
+        assert!(c.insert(2, val(10)).is_empty());
+        assert!(c.insert(3, val(10)).is_empty());
+        // Touch 1 so 2 becomes LRU.
+        c.get(1);
+        let evicted = c.insert(4, val(10));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, 2);
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+    }
+
+    #[test]
+    fn replace_frees_old_bytes() {
+        let mut c = DramCache::new(20);
+        c.insert(1, val(10));
+        c.insert(1, val(15));
+        assert_eq!(c.resident_bytes(), 15);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn oversized_value_is_not_cached() {
+        let mut c = DramCache::new(10);
+        assert!(c.insert(1, val(11)).is_empty());
+        assert!(c.get(1).is_none());
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_tier() {
+        let mut c = DramCache::new(0);
+        c.insert(1, val(1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_accounting() {
+        let mut c = DramCache::new(100);
+        c.insert(1, val(40));
+        assert!(c.remove(1));
+        assert!(!c.remove(1));
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn multi_eviction_when_large_insert() {
+        let mut c = DramCache::new(30);
+        c.insert(1, val(10));
+        c.insert(2, val(10));
+        c.insert(3, val(10));
+        let evicted = c.insert(4, val(25));
+        assert_eq!(evicted.len(), 3);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,1030 @@
+//! The log-structured cache engine.
+//!
+//! Objects are appended into an in-memory *region buffer*; a full buffer is
+//! flushed as one large sequential write to a region slot on the backend.
+//! When no slot is free, a whole region is evicted (CacheLib's design: the
+//! paper's §2.1 "evicts entire regions rather than individual cache
+//! objects"). Lookups resolve entirely in the DRAM index and touch flash
+//! only for the object bytes.
+//!
+//! Two timing mechanisms matter for reproducing the paper:
+//!
+//! * **Bounded flush pipeline** — up to `in_memory_buffers` region flushes
+//!   may be in flight; sealing a buffer while all slots are busy stalls the
+//!   inserter until the oldest flush completes. With zone-sized regions
+//!   this is the long "filling time" of Fig. 3.
+//! * **Serialized eviction cleanup** — evicting a region removes each of
+//!   its index entries under shard locks at a per-entry CPU cost
+//!   (`index_remove_cpu`); evicting a 1 GiB region with tens of thousands
+//!   of objects visibly stalls insertion, the Fig. 3 jump at the onset of
+//!   eviction.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sim::{LatencyHistogram, Nanos};
+
+use crate::backend::RegionBackend;
+use crate::dram::DramCache;
+use crate::index::{Index, IndexEntry};
+use crate::metrics::{CacheMetrics, CacheMetricsSnapshot};
+use crate::policy::{Admission, AdmissionGate, EvictionPolicy};
+use crate::types::{fingerprint, hash_key, CacheError, RegionId};
+
+/// On-flash object header: `u16 key_len`, `u16 flags` (reserved),
+/// `u32 value_len`.
+pub const OBJECT_HEADER: usize = 8;
+
+/// Configuration for a [`LogCache`].
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Region-level eviction policy (paper: LRU).
+    pub eviction: EvictionPolicy,
+    /// Flash admission policy.
+    pub admission: Admission,
+    /// DRAM tier capacity in bytes (0 disables the tier).
+    pub dram_bytes: usize,
+    /// Region buffers that may be in flight at once (CacheLib default: a
+    /// small clean-region pool; 2 here).
+    pub in_memory_buffers: usize,
+    /// CPU cost to serialize and index one inserted object.
+    pub insert_cpu: Nanos,
+    /// CPU cost of one index lookup.
+    pub lookup_cpu: Nanos,
+    /// CPU cost to remove one index entry during region eviction, paid by
+    /// the evicting thread.
+    pub index_remove_cpu: Nanos,
+    /// Per-entry cost of an *oversized* eviction (more entries than
+    /// `eviction_lock_threshold`): the cleanup then saturates every index
+    /// shard and stalls the whole engine — the Fig. 3 contention. This is
+    /// a scale-compensation parameter: scaled-down regions hold fewer
+    /// objects than the paper's, so the per-object charge is raised to
+    /// keep the eviction-stall-to-fill-time ratio at the paper's level.
+    pub index_remove_contended_cpu: Nanos,
+    /// Verify full keys against flash on lookup (requires a payload-backed
+    /// store; disable for sparse-store experiments).
+    pub verify_keys: bool,
+    /// Eviction cleanups larger than this many entries saturate every
+    /// index shard and stall the whole engine; smaller cleanups cost only
+    /// the evicting thread (sharded locks absorb them).
+    pub eviction_lock_threshold: usize,
+    /// Fraction of an evicted region's objects that may be *reinserted*
+    /// instead of dropped, chosen among objects read since insertion —
+    /// CacheLib's hits-based reinsertion policy. 0.0 disables it.
+    pub reinsertion_fraction: f64,
+    /// Run backend maintenance (middle-layer GC) every N sets.
+    pub maintenance_interval_sets: u32,
+    /// RNG seed for the admission gate.
+    pub seed: u64,
+}
+
+impl CacheConfig {
+    /// Defaults mirroring the paper's setup (LRU, admit-all, no DRAM tier).
+    pub fn small_test() -> Self {
+        CacheConfig {
+            eviction: EvictionPolicy::Lru,
+            admission: Admission::Always,
+            dram_bytes: 0,
+            in_memory_buffers: 2,
+            insert_cpu: Nanos::from_nanos(2_000),
+            lookup_cpu: Nanos::from_nanos(1_000),
+            index_remove_cpu: Nanos::from_nanos(300),
+            index_remove_contended_cpu: Nanos::from_nanos(300),
+            verify_keys: true,
+            eviction_lock_threshold: 4096,
+            reinsertion_fraction: 0.0,
+            maintenance_interval_sets: 16,
+            seed: 42,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RegionState {
+    /// Unused slot.
+    Free,
+    /// The active in-memory buffer is bound to this slot.
+    Active,
+    /// Flushed to the backend and readable.
+    Sealed,
+}
+
+#[derive(Debug)]
+struct RegionMeta {
+    state: RegionState,
+    /// (key hash, object offset) of every object written to this region.
+    entries: Vec<(u64, u32)>,
+    /// Objects not yet superseded or deleted.
+    live_objects: u32,
+    /// Global access sequence at last touch (LRU key).
+    last_access: u64,
+}
+
+struct ActiveBuffer {
+    region: RegionId,
+    data: Vec<u8>,
+    used: usize,
+    entries: Vec<(u64, u32)>,
+}
+
+struct EngineState {
+    regions: Vec<RegionMeta>,
+    free: VecDeque<u32>,
+    /// Seal order for FIFO eviction.
+    fifo: VecDeque<u32>,
+    active: Option<ActiveBuffer>,
+    /// Completion times of in-flight region flushes.
+    in_flight: VecDeque<Nanos>,
+    access_seq: u64,
+    sets_since_maintenance: u32,
+    /// Index-wide stall from region-eviction cleanup: every operation
+    /// entering the engine waits for it. This is the shared-index lock
+    /// contention the paper holds responsible for the Fig. 3 insertion
+    /// jump ("caused by eviction operations in other threads, which
+    /// involve lock controls for the shared index").
+    stall_until: Nanos,
+    /// Objects rescued from the last evicted region, waiting to be
+    /// appended into the next buffer (reinsertion policy).
+    pending_reinserts: Vec<(Vec<u8>, Vec<u8>, Nanos)>,
+    dram: DramCache,
+    admission: AdmissionGate,
+}
+
+/// A hybrid (DRAM + flash) log-structured cache over a [`RegionBackend`].
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct LogCache {
+    backend: Arc<dyn RegionBackend>,
+    config: CacheConfig,
+    index: Index,
+    state: Mutex<EngineState>,
+    metrics: CacheMetrics,
+}
+
+impl core::fmt::Debug for LogCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("LogCache")
+            .field("scheme", &self.backend.label())
+            .field("regions", &self.backend.num_regions())
+            .field("metrics", &self.metrics.snapshot())
+            .finish()
+    }
+}
+
+impl LogCache {
+    /// Builds a cache over `backend`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::BackendTooSmall`] when fewer than 3 region slots are
+    /// available (one active + one sealed + one to evict).
+    pub fn new(backend: Arc<dyn RegionBackend>, config: CacheConfig) -> Result<Self, CacheError> {
+        if backend.num_regions() < 3 {
+            return Err(CacheError::BackendTooSmall);
+        }
+        let n = backend.num_regions();
+        let regions = (0..n)
+            .map(|_| RegionMeta {
+                state: RegionState::Free,
+                entries: Vec::new(),
+                live_objects: 0,
+                last_access: 0,
+            })
+            .collect();
+        Ok(LogCache {
+            index: Index::new(),
+            state: Mutex::new(EngineState {
+                regions,
+                free: (0..n).collect(),
+                fifo: VecDeque::new(),
+                active: None,
+                in_flight: VecDeque::new(),
+                access_seq: 0,
+                sets_since_maintenance: 0,
+                stall_until: Nanos::ZERO,
+                pending_reinserts: Vec::new(),
+                dram: DramCache::new(config.dram_bytes),
+                admission: AdmissionGate::new(config.admission, config.seed),
+            }),
+            metrics: CacheMetrics::default(),
+            backend,
+            config,
+        })
+    }
+
+    /// The backend (for scheme-level statistics).
+    pub fn backend(&self) -> &Arc<dyn RegionBackend> {
+        &self.backend
+    }
+
+    /// Cache metrics snapshot.
+    pub fn metrics(&self) -> CacheMetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Lookup-latency histogram (copied).
+    pub fn get_latency(&self) -> LatencyHistogram {
+        self.metrics.get_latency_snapshot()
+    }
+
+    /// Insert-latency histogram (copied).
+    pub fn set_latency(&self) -> LatencyHistogram {
+        self.metrics.set_latency_snapshot()
+    }
+
+    /// End-to-end write amplification (media bytes / cache flush bytes).
+    pub fn write_amplification(&self) -> f64 {
+        self.backend.write_amplification()
+    }
+
+    /// Live object count in the index.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn object_size(key: &[u8], value: &[u8]) -> usize {
+        OBJECT_HEADER + key.len() + value.len()
+    }
+
+    /// Picks an eviction victim among sealed regions.
+    fn pick_victim(&self, s: &mut EngineState) -> Option<u32> {
+        match self.config.eviction {
+            EvictionPolicy::Fifo => {
+                while let Some(r) = s.fifo.pop_front() {
+                    if s.regions[r as usize].state == RegionState::Sealed {
+                        return Some(r);
+                    }
+                }
+                None
+            }
+            EvictionPolicy::Lru => s
+                .regions
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.state == RegionState::Sealed)
+                .min_by_key(|(_, m)| m.last_access)
+                .map(|(i, _)| i as u32),
+        }
+    }
+
+    /// Acquires a free region slot, evicting if necessary. Returns the slot
+    /// and the time after any serialized eviction work.
+    fn acquire_region(&self, s: &mut EngineState, now: Nanos) -> Result<(u32, Nanos), CacheError> {
+        if let Some(r) = s.free.pop_front() {
+            debug_assert_eq!(s.regions[r as usize].state, RegionState::Free);
+            return Ok((r, now));
+        }
+        let victim = self
+            .pick_victim(s)
+            .ok_or_else(|| CacheError::Io("no sealed region to evict".into()))?;
+        let meta = &mut s.regions[victim as usize];
+        let entries = std::mem::take(&mut meta.entries);
+        meta.live_objects = 0;
+        meta.state = RegionState::Free;
+        // Reinsertion policy: rescue a bounded share of still-referenced
+        // objects by reading them back before the region is discarded.
+        let mut now = now;
+        if self.config.reinsertion_fraction > 0.0 {
+            let budget = ((entries.len() as f64) * self.config.reinsertion_fraction) as usize;
+            let mut rescued = 0usize;
+            for &(hash, offset) in &entries {
+                if rescued >= budget {
+                    break;
+                }
+                let Some(e) = self.index.get_at(hash, RegionId(victim), offset) else {
+                    continue;
+                };
+                if !e.accessed || e.expiry <= now {
+                    continue;
+                }
+                let len = OBJECT_HEADER + e.key_len as usize + e.value_len as usize;
+                let mut obj = vec![0u8; len];
+                now = self.backend.read(RegionId(victim), offset as usize, &mut obj, now)?;
+                let key = obj[OBJECT_HEADER..OBJECT_HEADER + e.key_len as usize].to_vec();
+                let value = obj[OBJECT_HEADER + e.key_len as usize..].to_vec();
+                s.pending_reinserts.push((key, value, e.expiry));
+                rescued += 1;
+            }
+            self.metrics.reinserted_objects.add(rescued as u64);
+        }
+        // Serialized index cleanup: the eviction cost that grows with
+        // region size (Fig. 3's jump).
+        let mut removed = 0u64;
+        for &(hash, offset) in &entries {
+            if self.index.remove_if_at(hash, RegionId(victim), offset) {
+                removed += 1;
+            }
+        }
+        let mut t = now + self.config.index_remove_cpu * entries.len() as u64;
+        // Small cleanups hide behind sharded index locks; a huge one (a
+        // zone-sized region) touches every shard continuously and stalls
+        // the whole engine — the paper's Fig. 3 contention.
+        if entries.len() > self.config.eviction_lock_threshold {
+            let stall = now + self.config.index_remove_contended_cpu * entries.len() as u64;
+            s.stall_until = s.stall_until.max(stall);
+            t = t.max(stall);
+        }
+        self.metrics.evicted_objects.add(removed);
+        self.metrics.evicted_regions.incr();
+        let t = self.backend.discard_region(RegionId(victim), t)?;
+        Ok((victim, t))
+    }
+
+    /// Seals and flushes the active buffer. Returns the time after the
+    /// writer may proceed (stalls when the flush pipeline is full).
+    fn seal_active(&self, s: &mut EngineState, now: Nanos) -> Result<Nanos, CacheError> {
+        let mut buffer = match s.active.take() {
+            Some(b) => b,
+            None => return Ok(now),
+        };
+        let mut t = now;
+        // Flush pipeline: wait for the oldest in-flight flush if all
+        // buffers are busy.
+        while s.in_flight.len() >= self.config.in_memory_buffers {
+            let oldest = s.in_flight.pop_front().expect("non-empty");
+            t = t.max(oldest);
+        }
+        // Pad the tail and write the full region image.
+        buffer.data.resize(self.backend.region_size(), 0);
+        let done = match self.backend.write_region(buffer.region, &buffer.data, t) {
+            Ok(done) => done,
+            Err(e) => {
+                // Failed flush: this is a cache, so the buffered objects
+                // may be dropped — but the slot must not leak, and the
+                // index must not point at unwritten storage.
+                for &(hash, offset) in &buffer.entries {
+                    self.index.remove_if_at(hash, buffer.region, offset);
+                }
+                let meta = &mut s.regions[buffer.region.0 as usize];
+                meta.state = RegionState::Free;
+                meta.entries.clear();
+                meta.live_objects = 0;
+                s.free.push_back(buffer.region.0);
+                return Err(e);
+            }
+        };
+        s.in_flight.push_back(done);
+        let meta = &mut s.regions[buffer.region.0 as usize];
+        debug_assert_eq!(meta.state, RegionState::Active);
+        meta.state = RegionState::Sealed;
+        meta.live_objects = buffer.entries.len() as u32;
+        meta.entries = std::mem::take(&mut buffer.entries);
+        meta.last_access = s.access_seq;
+        s.fifo.push_back(buffer.region.0);
+        self.metrics.flushes.incr();
+        self.metrics
+            .bytes_flushed
+            .add(self.backend.region_size() as u64);
+        Ok(t)
+    }
+
+    /// Ensures an active buffer with at least `need` free bytes.
+    fn ensure_buffer(
+        &self,
+        s: &mut EngineState,
+        need: usize,
+        now: Nanos,
+    ) -> Result<Nanos, CacheError> {
+        let region_size = self.backend.region_size();
+        if let Some(buf) = &s.active {
+            if region_size - buf.used >= need {
+                return Ok(now);
+            }
+        }
+        let t = self.seal_active(s, now)?;
+        let (slot, t) = self.acquire_region(s, t)?;
+        s.regions[slot as usize].state = RegionState::Active;
+        s.regions[slot as usize].last_access = s.access_seq;
+        s.active = Some(ActiveBuffer {
+            region: RegionId(slot),
+            data: Vec::with_capacity(region_size),
+            used: 0,
+            entries: Vec::new(),
+        });
+        // Drain rescued objects into the fresh buffer (dropping any that
+        // no longer fit — reinsertion is best-effort).
+        let pending = std::mem::take(&mut s.pending_reinserts);
+        for (key, value, expiry) in pending {
+            let size = Self::object_size(&key, &value);
+            let buf = s.active.as_mut().expect("just created");
+            if region_size - buf.used < size {
+                continue;
+            }
+            self.append_object(s, &key, &value, expiry);
+        }
+        Ok(t)
+    }
+
+    /// Appends one object into the active buffer and indexes it. The
+    /// caller has verified it fits.
+    fn append_object(&self, s: &mut EngineState, key: &[u8], value: &[u8], expiry: Nanos) {
+        let hash = hash_key(key);
+        let fp = fingerprint(key);
+        let size = Self::object_size(key, value);
+        let buf = s.active.as_mut().expect("active buffer required");
+        let offset = buf.used as u32;
+        buf.data.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        buf.data.extend_from_slice(&0u16.to_le_bytes());
+        buf.data.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.data.extend_from_slice(key);
+        buf.data.extend_from_slice(value);
+        buf.used += size;
+        buf.entries.push((hash, offset));
+        let region = buf.region;
+        let old = self.index.insert(
+            hash,
+            IndexEntry {
+                region,
+                offset,
+                key_len: key.len() as u16,
+                value_len: value.len() as u32,
+                fingerprint: fp,
+                expiry,
+                accessed: false,
+            },
+        );
+        if let Some(old) = old {
+            let meta = &mut s.regions[old.region.0 as usize];
+            meta.live_objects = meta.live_objects.saturating_sub(1);
+        }
+    }
+
+    /// Runs backend maintenance with LRU-derived temperatures and recycles
+    /// any regions the backend dropped (hinted GC).
+    fn run_maintenance(&self, s: &mut EngineState, now: Nanos) -> Result<(), CacheError> {
+        // Rank-based recency: the coldest region scores 0, the hottest 1.
+        // (A raw last_access/now ratio saturates near 1 for everything
+        // that was touched at all; ranks keep the hint discriminative.)
+        let mut order: Vec<u32> = (0..s.regions.len() as u32).collect();
+        order.sort_by_key(|&r| s.regions[r as usize].last_access);
+        let n = order.len().max(1) as f64;
+        let mut scores = vec![0.0f64; order.len()];
+        for (rank, &r) in order.iter().enumerate() {
+            scores[r as usize] = rank as f64 / n;
+        }
+        let temperature = move |r: RegionId| scores.get(r.0 as usize).copied().unwrap_or(0.0);
+        let outcome = self.backend.maintenance(now, &temperature)?;
+        for region in outcome.dropped_regions {
+            let meta = &mut s.regions[region.0 as usize];
+            if meta.state != RegionState::Sealed {
+                continue; // raced with eviction; nothing to recycle
+            }
+            let entries = std::mem::take(&mut meta.entries);
+            let mut removed = 0u64;
+            for &(hash, offset) in &entries {
+                if self.index.remove_if_at(hash, region, offset) {
+                    removed += 1;
+                }
+            }
+            meta.live_objects = 0;
+            meta.state = RegionState::Free;
+            s.free.push_back(region.0);
+            s.fifo.retain(|&r| r != region.0);
+            self.metrics.gc_dropped_objects.add(removed);
+        }
+        Ok(())
+    }
+
+    /// Inserts a key/value pair with no expiry.
+    ///
+    /// Returns the operation's completion time.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::ObjectTooLarge`] when the object cannot fit one
+    /// region; [`CacheError::KeyTooLarge`] beyond 64 KiB keys; backend I/O
+    /// errors otherwise.
+    pub fn set(&self, key: &[u8], value: &[u8], now: Nanos) -> Result<Nanos, CacheError> {
+        self.set_with_ttl(key, value, None, now)
+    }
+
+    /// Inserts a key/value pair that expires `ttl` after `now` (CacheLib
+    /// items carry TTLs; expired entries are treated as misses and
+    /// reclaimed lazily on lookup).
+    ///
+    /// # Errors
+    ///
+    /// As [`LogCache::set`].
+    pub fn set_with_ttl(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        ttl: Option<Nanos>,
+        now: Nanos,
+    ) -> Result<Nanos, CacheError> {
+        if key.len() > u16::MAX as usize {
+            return Err(CacheError::KeyTooLarge { len: key.len() });
+        }
+        let size = Self::object_size(key, value);
+        let region_size = self.backend.region_size();
+        if size > region_size {
+            return Err(CacheError::ObjectTooLarge {
+                size,
+                region_size,
+            });
+        }
+        let mut s = self.state.lock();
+        if !s.admission.admit() {
+            self.metrics.rejected.incr();
+            return Ok(now + self.config.insert_cpu);
+        }
+        let mut t = now.max(s.stall_until) + self.config.insert_cpu;
+        t = self.ensure_buffer(&mut s, size, t)?;
+        s.access_seq += 1;
+        let seq = s.access_seq;
+
+        let hash = hash_key(key);
+        let expiry = ttl.map_or(Nanos::MAX, |ttl| now + ttl);
+        self.append_object(&mut s, key, value, expiry);
+        let region = s.active.as_ref().expect("buffer exists").region;
+        s.regions[region.0 as usize].last_access = seq;
+        // DRAM tier mirrors the newest version.
+        if self.config.dram_bytes > 0 {
+            s.dram.insert(hash, Bytes::copy_from_slice(value));
+        }
+
+        s.sets_since_maintenance += 1;
+        if s.sets_since_maintenance >= self.config.maintenance_interval_sets {
+            s.sets_since_maintenance = 0;
+            self.run_maintenance(&mut s, t)?;
+        }
+        drop(s);
+        self.metrics.sets.incr();
+        self.metrics.record_set(t - now);
+        Ok(t)
+    }
+
+    /// Looks up a key.
+    ///
+    /// Returns the value (if cached) and the completion time.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures (never "miss" — a miss is `Ok(None)`).
+    pub fn get(&self, key: &[u8], now: Nanos) -> Result<(Option<Bytes>, Nanos), CacheError> {
+        let hash = hash_key(key);
+        let fp = fingerprint(key);
+        let mut t = now + self.config.lookup_cpu;
+        self.metrics.gets.incr();
+
+        let entry = match self.index.lookup(hash, fp) {
+            Some(e) => e,
+            None => {
+                self.metrics.record_get(t - now);
+                return Ok((None, t));
+            }
+        };
+        if entry.expiry <= now {
+            // Lazy TTL reclamation: drop the entry, report a miss.
+            if self.index.remove(hash, fp).is_some() {
+                let mut s = self.state.lock();
+                let meta = &mut s.regions[entry.region.0 as usize];
+                meta.live_objects = meta.live_objects.saturating_sub(1);
+                s.dram.remove(hash);
+            }
+            self.metrics.expired.incr();
+            self.metrics.record_get(t - now);
+            return Ok((None, t));
+        }
+
+        let mut s = self.state.lock();
+        t = t.max(s.stall_until + self.config.lookup_cpu);
+        s.access_seq += 1;
+        let seq = s.access_seq;
+        // DRAM tier first.
+        if self.config.dram_bytes > 0 {
+            if let Some(v) = s.dram.get(hash) {
+                s.regions[entry.region.0 as usize].last_access = seq;
+                drop(s);
+                // A DRAM hit is still a reference to the flash copy.
+                self.index.touch(hash, fp);
+                self.metrics.hits.incr();
+                self.metrics.record_get(t - now);
+                return Ok((Some(v), t));
+            }
+        }
+        // Serve from the active buffer without touching flash.
+        let from_buffer = match &s.active {
+            Some(buf) if buf.region == entry.region => {
+                let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
+                let end = start + entry.value_len as usize;
+                Some(Bytes::copy_from_slice(&buf.data[start..end]))
+            }
+            _ => None,
+        };
+        s.regions[entry.region.0 as usize].last_access = seq;
+        drop(s);
+
+        let value = match from_buffer {
+            Some(v) => v,
+            None => {
+                if self.config.verify_keys {
+                    // Read header + key + value and verify identity.
+                    let len = OBJECT_HEADER + entry.key_len as usize + entry.value_len as usize;
+                    let mut obj = vec![0u8; len];
+                    t = self
+                        .backend
+                        .read(entry.region, entry.offset as usize, &mut obj, t)?;
+                    let stored_key =
+                        &obj[OBJECT_HEADER..OBJECT_HEADER + entry.key_len as usize];
+                    if stored_key != key {
+                        // Fingerprint collision with a different key.
+                        self.index.remove(hash, fp);
+                        self.metrics.record_get(t - now);
+                        return Ok((None, t));
+                    }
+                    Bytes::copy_from_slice(&obj[OBJECT_HEADER + entry.key_len as usize..])
+                } else {
+                    let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
+                    let mut value = vec![0u8; entry.value_len as usize];
+                    t = self.backend.read(entry.region, start, &mut value, t)?;
+                    Bytes::from(value)
+                }
+            }
+        };
+        self.index.touch(hash, fp);
+        self.metrics.hits.incr();
+        self.metrics.record_get(t - now);
+        Ok((Some(value), t))
+    }
+
+    /// Deletes a key. Returns whether it existed, and the completion time.
+    pub fn delete(&self, key: &[u8], now: Nanos) -> (bool, Nanos) {
+        let hash = hash_key(key);
+        let fp = fingerprint(key);
+        let t = now + self.config.lookup_cpu;
+        let removed = self.index.remove(hash, fp);
+        if let Some(entry) = &removed {
+            let mut s = self.state.lock();
+            let meta = &mut s.regions[entry.region.0 as usize];
+            meta.live_objects = meta.live_objects.saturating_sub(1);
+            s.dram.remove(hash);
+            self.metrics.deletes.incr();
+        }
+        (removed.is_some(), t)
+    }
+
+    /// Seals and flushes the active buffer even if partially full.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    pub fn flush(&self, now: Nanos) -> Result<Nanos, CacheError> {
+        let mut s = self.state.lock();
+        self.seal_active(&mut s, now)
+    }
+
+    /// Runs backend maintenance immediately (tests and shutdown paths).
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    pub fn force_maintenance(&self, now: Nanos) -> Result<(), CacheError> {
+        let mut s = self.state.lock();
+        self.run_maintenance(&mut s, now)
+    }
+
+    pub(crate) fn index(&self) -> &Index {
+        &self.index
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Internal: region metadata dump for recovery snapshots.
+    pub(crate) fn region_dump(&self) -> Vec<(u32, Vec<(u64, u32)>, u32, u64, bool)> {
+        let s = self.state.lock();
+        s.regions
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                (
+                    i as u32,
+                    m.entries.clone(),
+                    m.live_objects,
+                    m.last_access,
+                    m.state == RegionState::Sealed,
+                )
+            })
+            .collect()
+    }
+
+    /// Internal: restore region metadata from a recovery snapshot.
+    pub(crate) fn region_restore(
+        &self,
+        regions: Vec<(u32, Vec<(u64, u32)>, u32, u64, bool)>,
+    ) -> Result<(), CacheError> {
+        let mut s = self.state.lock();
+        if regions.len() != s.regions.len() {
+            return Err(CacheError::BadSnapshot(format!(
+                "snapshot has {} regions, backend has {}",
+                regions.len(),
+                s.regions.len()
+            )));
+        }
+        s.free.clear();
+        s.fifo.clear();
+        let mut max_seq = 0;
+        for (i, entries, live, last_access, sealed) in regions {
+            let meta = &mut s.regions[i as usize];
+            meta.entries = entries;
+            meta.live_objects = live;
+            meta.last_access = last_access;
+            max_seq = max_seq.max(last_access);
+            meta.state = if sealed {
+                RegionState::Sealed
+            } else {
+                RegionState::Free
+            };
+            if sealed {
+                s.fifo.push_back(i);
+            } else {
+                s.free.push_back(i);
+            }
+        }
+        s.access_seq = max_seq;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BlockBackend;
+    use sim::{RamDisk, BLOCK_SIZE};
+
+    /// 16 regions of 16 KiB on a RAM disk.
+    fn cache() -> LogCache {
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        LogCache::new(backend, CacheConfig::small_test()).unwrap()
+    }
+
+    #[test]
+    fn set_get_round_trip_from_buffer_and_flash() {
+        let c = cache();
+        let t = c.set(b"alpha", b"one", Nanos::ZERO).unwrap();
+        // Still in the active buffer.
+        let (v, t) = c.get(b"alpha", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"one"[..]));
+        // Force it to flash and read again.
+        let t = c.flush(t).unwrap();
+        let (v, _) = c.get(b"alpha", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"one"[..]));
+        assert_eq!(c.metrics().hits, 2);
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let c = cache();
+        let (v, _) = c.get(b"nope", Nanos::ZERO).unwrap();
+        assert!(v.is_none());
+        assert_eq!(c.metrics().gets, 1);
+        assert_eq!(c.metrics().hits, 0);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let c = cache();
+        let t = c.set(b"k", b"v1", Nanos::ZERO).unwrap();
+        let t = c.set(b"k", b"v2", t).unwrap();
+        let (v, _) = c.get(b"k", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"v2"[..]));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let c = cache();
+        let t = c.set(b"k", b"v", Nanos::ZERO).unwrap();
+        let (existed, t) = c.delete(b"k", t);
+        assert!(existed);
+        let (v, _) = c.get(b"k", t).unwrap();
+        assert!(v.is_none());
+        let (existed, _) = c.delete(b"k", t);
+        assert!(!existed);
+    }
+
+    #[test]
+    fn object_too_large_rejected() {
+        let c = cache();
+        let huge = vec![0u8; 5 * BLOCK_SIZE];
+        assert!(matches!(
+            c.set(b"k", &huge, Nanos::ZERO),
+            Err(CacheError::ObjectTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn eviction_kicks_in_when_regions_exhausted() {
+        let c = cache();
+        // 16 regions of 16 KiB; write ~2x the capacity in 1 KiB objects.
+        let value = vec![7u8; 1024 - 32];
+        let mut t = Nanos::ZERO;
+        let total = 2 * 16 * 16; // objects ≈ 2x capacity
+        for i in 0..total {
+            let key = format!("key-{i:06}");
+            t = c.set(key.as_bytes(), &value, t).unwrap();
+        }
+        let m = c.metrics();
+        assert!(m.evicted_regions > 0, "no eviction: {m:?}");
+        assert!(m.evicted_objects > 0);
+        // Recently inserted keys must be present; the oldest must be gone.
+        let last = format!("key-{:06}", total - 1);
+        let (v, _) = c.get(last.as_bytes(), t).unwrap();
+        assert!(v.is_some(), "most recent key evicted");
+        let (v, _) = c.get(b"key-000000", t).unwrap();
+        assert!(v.is_none(), "oldest key survived 2x-capacity churn");
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_regions() {
+        let c = cache();
+        let value = vec![1u8; 3 * 1024];
+        let mut t = Nanos::ZERO;
+        // Fill all 16 regions (4 objects each).
+        for i in 0..64 {
+            let key = format!("k{i:04}");
+            t = c.set(key.as_bytes(), &value, t).unwrap();
+        }
+        t = c.flush(t).unwrap();
+        // Keep early keys hot.
+        for i in 0..8 {
+            let key = format!("k{i:04}");
+            let (v, t2) = c.get(key.as_bytes(), t).unwrap();
+            assert!(v.is_some());
+            t = t2;
+        }
+        // Insert more to force evictions.
+        for i in 64..96 {
+            let key = format!("k{i:04}");
+            t = c.set(key.as_bytes(), &value, t).unwrap();
+        }
+        // Hot early keys should have survived longer than cold middle keys.
+        let (hot, t2) = c.get(b"k0000", t).unwrap();
+        let (cold, _) = c.get(b"k0020", t2).unwrap();
+        assert!(hot.is_some() || cold.is_none(), "LRU inverted");
+    }
+
+    #[test]
+    fn admission_rejects_probabilistically() {
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        let config = CacheConfig {
+            admission: Admission::Random { probability: 0.0 },
+            ..CacheConfig::small_test()
+        };
+        let c = LogCache::new(backend, config).unwrap();
+        let t = c.set(b"k", b"v", Nanos::ZERO).unwrap();
+        let (v, _) = c.get(b"k", t).unwrap();
+        assert!(v.is_none());
+        assert_eq!(c.metrics().rejected, 1);
+    }
+
+    #[test]
+    fn dram_tier_serves_hot_objects() {
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        let config = CacheConfig {
+            dram_bytes: 64 * 1024,
+            ..CacheConfig::small_test()
+        };
+        let c = LogCache::new(backend, config).unwrap();
+        let t = c.set(b"k", b"v", Nanos::ZERO).unwrap();
+        let t = c.flush(t).unwrap();
+        let (v, t_done) = c.get(b"k", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"v"[..]));
+        // DRAM hit: no device latency beyond CPU cost.
+        assert_eq!(t_done - t, c.config().lookup_cpu);
+    }
+
+    #[test]
+    fn too_small_backend_rejected() {
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(8)),
+            4 * BLOCK_SIZE,
+        ));
+        assert!(matches!(
+            LogCache::new(backend, CacheConfig::small_test()),
+            Err(CacheError::BackendTooSmall)
+        ));
+    }
+
+    #[test]
+    fn flush_pipeline_stalls_when_saturated() {
+        // One in-flight buffer: the second seal must wait for the first.
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        let config = CacheConfig {
+            in_memory_buffers: 1,
+            ..CacheConfig::small_test()
+        };
+        let c = LogCache::new(backend, config).unwrap();
+        let value = vec![1u8; 15 * 1024];
+        let t1 = c.set(b"a", &value, Nanos::ZERO).unwrap();
+        // Second large set seals buffer 1 (flush in flight) and the third
+        // seals buffer 2, which must wait for flush 1.
+        let t2 = c.set(b"b", &value, t1).unwrap();
+        let t3 = c.set(b"c", &value, t2).unwrap();
+        assert!(t3 - t2 >= t2 - t1, "no pipeline stall observed");
+    }
+
+    #[test]
+    fn ttl_expiry_turns_hits_into_misses() {
+        let c = cache();
+        let t = c
+            .set_with_ttl(b"short", b"v", Some(Nanos::from_millis(5)), Nanos::ZERO)
+            .unwrap();
+        let t = c.set_with_ttl(b"long", b"v", None, t).unwrap();
+        // Before expiry: both hit.
+        let (v, t) = c.get(b"short", t).unwrap();
+        assert!(v.is_some());
+        // Jump past the TTL.
+        let late = t + Nanos::from_millis(10);
+        let (v, late) = c.get(b"short", late).unwrap();
+        assert!(v.is_none(), "expired object served");
+        let (v, _) = c.get(b"long", late).unwrap();
+        assert!(v.is_some(), "unexpiring object lost");
+        assert_eq!(c.metrics().expired, 1);
+        // The expired entry is reclaimed from the index.
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn expired_key_can_be_reinserted() {
+        let c = cache();
+        let t = c
+            .set_with_ttl(b"k", b"v1", Some(Nanos::from_millis(1)), Nanos::ZERO)
+            .unwrap();
+        let late = t + Nanos::from_millis(2);
+        let (v, late) = c.get(b"k", late).unwrap();
+        assert!(v.is_none());
+        let late = c.set(b"k", b"v2", late).unwrap();
+        let (v, _) = c.get(b"k", late).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"v2"[..]));
+    }
+
+    #[test]
+    fn reinsertion_rescues_hot_objects_across_eviction() {
+        // Two caches, identical churn; one rescues accessed objects.
+        let run = |fraction: f64| {
+            let backend = Arc::new(BlockBackend::new(
+                Arc::new(RamDisk::new(64)),
+                4 * BLOCK_SIZE,
+            ));
+            let config = CacheConfig {
+                reinsertion_fraction: fraction,
+                eviction: EvictionPolicy::Fifo, // deterministic victim order
+                ..CacheConfig::small_test()
+            };
+            let c = LogCache::new(backend, config).unwrap();
+            let value = vec![1u8; 3 * 1024];
+            let mut t = Nanos::ZERO;
+            t = c.set(b"hot", &value, t).unwrap();
+            // Keep "hot" referenced.
+            let (v, t2) = c.get(b"hot", t).unwrap();
+            assert!(v.is_some());
+            t = t2;
+            // Churn through more than full capacity so "hot"'s region gets evicted.
+            for i in 0..90u32 {
+                let key = format!("cold-{i:04}");
+                t = c.set(key.as_bytes(), &value, t).unwrap();
+            }
+            let (v, _) = c.get(b"hot", t).unwrap();
+            (v.is_some(), c.metrics().reinserted_objects)
+        };
+        let (survived_without, reinserted_without) = run(0.0);
+        let (survived_with, reinserted_with) = run(0.5);
+        assert!(!survived_without, "FIFO churn should evict without policy");
+        assert_eq!(reinserted_without, 0);
+        assert!(survived_with, "reinsertion should rescue the hot object");
+        assert!(reinserted_with > 0);
+    }
+
+    #[test]
+    fn len_tracks_live_objects() {
+        let c = cache();
+        assert!(c.is_empty());
+        let t = c.set(b"a", b"1", Nanos::ZERO).unwrap();
+        let t = c.set(b"b", b"2", t).unwrap();
+        c.delete(b"a", t);
+        assert_eq!(c.len(), 1);
+    }
+}

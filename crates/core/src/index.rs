@@ -1,0 +1,244 @@
+//! The DRAM index: sharded hash map from key hash to on-flash location.
+//!
+//! CacheLib's Navy engine keeps the entire lookup path in DRAM — flash is
+//! only touched to fetch object bytes. We mirror that: the index maps a
+//! 64-bit key hash to a compact entry (region, offset, sizes, fingerprint).
+//! A 32-bit secondary fingerprint filters almost all hash collisions; the
+//! engine can additionally verify the full key against flash
+//! (`verify_keys`) when the backing store retains payloads.
+//!
+//! Sharding bounds lock contention between foreground lookups and the
+//! eviction path that bulk-removes a region's entries — the interaction
+//! the paper holds responsible for the insertion-time jump of Fig. 3.
+
+use parking_lot::RwLock;
+use sim::Nanos;
+use std::collections::HashMap;
+
+use crate::types::RegionId;
+
+/// Number of shards; power of two so shard selection is a mask.
+const SHARDS: usize = 64;
+
+/// A compact index entry: 16 bytes + map overhead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Region holding the object.
+    pub region: RegionId,
+    /// Byte offset of the object header within the region.
+    pub offset: u32,
+    /// Key length in bytes.
+    pub key_len: u16,
+    /// Value length in bytes.
+    pub value_len: u32,
+    /// Secondary key fingerprint.
+    pub fingerprint: u32,
+    /// Absolute expiry time; `Nanos::MAX` = never expires.
+    pub expiry: Nanos,
+    /// Whether the object was read since insertion (reinsertion signal).
+    pub accessed: bool,
+}
+
+impl IndexEntry {
+    /// Total serialized object footprint (header + key + value).
+    pub fn object_size(&self) -> usize {
+        crate::engine::OBJECT_HEADER + self.key_len as usize + self.value_len as usize
+    }
+}
+
+/// Sharded hash index.
+#[derive(Debug)]
+pub struct Index {
+    shards: Vec<RwLock<HashMap<u64, IndexEntry>>>,
+}
+
+impl Default for Index {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Index {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Index {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &RwLock<HashMap<u64, IndexEntry>> {
+        &self.shards[(hash as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up an entry by key hash + fingerprint.
+    pub fn lookup(&self, hash: u64, fingerprint: u32) -> Option<IndexEntry> {
+        self.shard(hash)
+            .read()
+            .get(&hash)
+            .copied()
+            .filter(|e| e.fingerprint == fingerprint)
+    }
+
+    /// Inserts or replaces an entry, returning the previous one if it
+    /// existed (the caller owns invalidation bookkeeping).
+    pub fn insert(&self, hash: u64, entry: IndexEntry) -> Option<IndexEntry> {
+        self.shard(hash).write().insert(hash, entry)
+    }
+
+    /// Marks an entry as accessed (hit), for reinsertion policies.
+    pub fn touch(&self, hash: u64, fingerprint: u32) {
+        let mut shard = self.shard(hash).write();
+        if let Some(e) = shard.get_mut(&hash) {
+            if e.fingerprint == fingerprint {
+                e.accessed = true;
+            }
+        }
+    }
+
+    /// Fetches the entry for `hash` only if it still points into `region`
+    /// at `offset` (the eviction path's location-checked read).
+    pub fn get_at(&self, hash: u64, region: RegionId, offset: u32) -> Option<IndexEntry> {
+        self.shard(hash)
+            .read()
+            .get(&hash)
+            .copied()
+            .filter(|e| e.region == region && e.offset == offset)
+    }
+
+    /// Removes an entry if the fingerprint matches; returns it.
+    pub fn remove(&self, hash: u64, fingerprint: u32) -> Option<IndexEntry> {
+        let mut shard = self.shard(hash).write();
+        match shard.get(&hash) {
+            Some(e) if e.fingerprint == fingerprint => shard.remove(&hash),
+            _ => None,
+        }
+    }
+
+    /// Removes the entry for `hash` only if it still points into `region`
+    /// at `offset` — the eviction path's conditional removal, which must
+    /// not clobber a newer version of the key living elsewhere.
+    ///
+    /// Returns whether an entry was removed.
+    pub fn remove_if_at(&self, hash: u64, region: RegionId, offset: u32) -> bool {
+        let mut shard = self.shard(hash).write();
+        match shard.get(&hash) {
+            Some(e) if e.region == region && e.offset == offset => {
+                shard.remove(&hash);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live entries (O(shards)).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates all entries into a vector (used by recovery snapshots).
+    pub fn dump(&self) -> Vec<(u64, IndexEntry)> {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for (&h, &e) in shard.read().iter() {
+                out.push((h, e));
+            }
+        }
+        out
+    }
+
+    /// Clears the index.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(region: u32, offset: u32, fp: u32) -> IndexEntry {
+        IndexEntry {
+            region: RegionId(region),
+            offset,
+            key_len: 3,
+            value_len: 10,
+            fingerprint: fp,
+            expiry: Nanos::MAX,
+            accessed: false,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let idx = Index::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.insert(42, entry(1, 0, 7)), None);
+        assert_eq!(idx.lookup(42, 7), Some(entry(1, 0, 7)));
+        // Fingerprint mismatch filters collisions.
+        assert_eq!(idx.lookup(42, 8), None);
+        assert_eq!(idx.remove(42, 8), None);
+        assert_eq!(idx.remove(42, 7), Some(entry(1, 0, 7)));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn insert_returns_previous() {
+        let idx = Index::new();
+        idx.insert(42, entry(1, 0, 7));
+        let old = idx.insert(42, entry(2, 64, 7));
+        assert_eq!(old, Some(entry(1, 0, 7)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn conditional_removal_respects_location() {
+        let idx = Index::new();
+        idx.insert(42, entry(1, 0, 7));
+        // Key has moved to region 2: evicting region 1 must not remove it.
+        idx.insert(42, entry(2, 0, 7));
+        assert!(!idx.remove_if_at(42, RegionId(1), 0));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.remove_if_at(42, RegionId(2), 0));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn dump_and_clear() {
+        let idx = Index::new();
+        for i in 0..100u64 {
+            idx.insert(i * 7919, entry(i as u32, 0, i as u32));
+        }
+        assert_eq!(idx.len(), 100);
+        let dump = idx.dump();
+        assert_eq!(dump.len(), 100);
+        idx.clear();
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn touch_sets_accessed_and_get_at_checks_location() {
+        let idx = Index::new();
+        idx.insert(42, entry(1, 0, 7));
+        assert!(!idx.lookup(42, 7).unwrap().accessed);
+        idx.touch(42, 8); // wrong fingerprint: no effect
+        assert!(!idx.lookup(42, 7).unwrap().accessed);
+        idx.touch(42, 7);
+        assert!(idx.lookup(42, 7).unwrap().accessed);
+        assert!(idx.get_at(42, RegionId(1), 0).is_some());
+        assert!(idx.get_at(42, RegionId(1), 4).is_none());
+        assert!(idx.get_at(42, RegionId(2), 0).is_none());
+    }
+
+    #[test]
+    fn object_size_math() {
+        let e = entry(0, 0, 0);
+        assert_eq!(e.object_size(), crate::engine::OBJECT_HEADER + 13);
+    }
+}

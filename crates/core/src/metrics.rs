@@ -1,0 +1,128 @@
+//! Cache metrics: hit ratios, op counts, latency distributions.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::{Counter, LatencyHistogram, Nanos};
+
+/// Point-in-time cache metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheMetricsSnapshot {
+    /// Lookup operations.
+    pub gets: u64,
+    /// Lookups that returned a value.
+    pub hits: u64,
+    /// Insert operations accepted.
+    pub sets: u64,
+    /// Inserts rejected by the admission policy.
+    pub rejected: u64,
+    /// Delete operations that removed an entry.
+    pub deletes: u64,
+    /// Objects dropped by region eviction.
+    pub evicted_objects: u64,
+    /// Regions evicted.
+    pub evicted_regions: u64,
+    /// Region buffers flushed to flash.
+    pub flushes: u64,
+    /// Bytes handed to the backend (cache-level host writes).
+    pub bytes_flushed: u64,
+    /// Objects dropped because the middle-layer GC discarded their region
+    /// under hinted (co-design) mode.
+    pub gc_dropped_objects: u64,
+    /// Lookups that found an entry past its TTL (counted as misses).
+    pub expired: u64,
+    /// Objects rescued by the reinsertion policy during region eviction.
+    pub reinserted_objects: u64,
+}
+
+impl CacheMetricsSnapshot {
+    /// Hit ratio over all lookups (1.0 when no lookups yet).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.gets == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+}
+
+/// Internal live metrics: counters plus op-latency histograms.
+#[derive(Debug, Default)]
+pub(crate) struct CacheMetrics {
+    pub gets: Counter,
+    pub hits: Counter,
+    pub sets: Counter,
+    pub rejected: Counter,
+    pub deletes: Counter,
+    pub evicted_objects: Counter,
+    pub evicted_regions: Counter,
+    pub flushes: Counter,
+    pub bytes_flushed: Counter,
+    pub gc_dropped_objects: Counter,
+    pub expired: Counter,
+    pub reinserted_objects: Counter,
+    pub get_latency: Mutex<LatencyHistogram>,
+    pub set_latency: Mutex<LatencyHistogram>,
+}
+
+impl CacheMetrics {
+    pub(crate) fn snapshot(&self) -> CacheMetricsSnapshot {
+        CacheMetricsSnapshot {
+            gets: self.gets.get(),
+            hits: self.hits.get(),
+            sets: self.sets.get(),
+            rejected: self.rejected.get(),
+            deletes: self.deletes.get(),
+            evicted_objects: self.evicted_objects.get(),
+            evicted_regions: self.evicted_regions.get(),
+            flushes: self.flushes.get(),
+            bytes_flushed: self.bytes_flushed.get(),
+            gc_dropped_objects: self.gc_dropped_objects.get(),
+            expired: self.expired.get(),
+            reinserted_objects: self.reinserted_objects.get(),
+        }
+    }
+
+    pub(crate) fn record_get(&self, latency: Nanos) {
+        self.get_latency.lock().record(latency);
+    }
+
+    pub(crate) fn record_set(&self, latency: Nanos) {
+        self.set_latency.lock().record(latency);
+    }
+
+    /// Clones the get-latency histogram for reporting.
+    pub(crate) fn get_latency_snapshot(&self) -> LatencyHistogram {
+        self.get_latency.lock().clone()
+    }
+
+    /// Clones the set-latency histogram for reporting.
+    pub(crate) fn set_latency_snapshot(&self) -> LatencyHistogram {
+        self.set_latency.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_math() {
+        let mut s = CacheMetricsSnapshot::default();
+        assert_eq!(s.hit_ratio(), 1.0);
+        s.gets = 10;
+        s.hits = 7;
+        assert!((s.hit_ratio() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn live_metrics_snapshot() {
+        let m = CacheMetrics::default();
+        m.gets.add(3);
+        m.hits.add(2);
+        m.record_get(Nanos::from_micros(10));
+        let s = m.snapshot();
+        assert_eq!((s.gets, s.hits), (3, 2));
+        assert_eq!(m.get_latency_snapshot().count(), 1);
+        assert_eq!(m.set_latency_snapshot().count(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Eviction and admission policies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Region-granular eviction policy (the paper uses LRU, §4.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Evict the region whose objects were least recently accessed.
+    #[default]
+    Lru,
+    /// Evict regions in seal order.
+    Fifo,
+}
+
+/// Flash admission policy. CacheLib uses admission control to stretch
+/// flash endurance; `Always` matches the paper's experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Admission {
+    /// Admit every insert.
+    #[default]
+    Always,
+    /// Admit with fixed probability (CacheLib's "random reject").
+    Random {
+        /// Probability of admitting, in `[0, 1]`.
+        probability: f64,
+    },
+}
+
+/// Stateful admission gate (deterministic under a fixed seed).
+#[derive(Debug)]
+pub struct AdmissionGate {
+    policy: Admission,
+    rng: StdRng,
+}
+
+impl AdmissionGate {
+    /// Creates the gate. The seed only matters for `Random`.
+    pub fn new(policy: Admission, seed: u64) -> Self {
+        AdmissionGate {
+            policy,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether this insert should reach flash.
+    pub fn admit(&mut self) -> bool {
+        match self.policy {
+            Admission::Always => true,
+            Admission::Random { probability } => self.rng.gen_bool(probability.clamp(0.0, 1.0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_admits() {
+        let mut g = AdmissionGate::new(Admission::Always, 1);
+        assert!((0..100).all(|_| g.admit()));
+    }
+
+    #[test]
+    fn random_admits_in_proportion() {
+        let mut g = AdmissionGate::new(Admission::Random { probability: 0.3 }, 42);
+        let admitted = (0..10_000).filter(|_| g.admit()).count();
+        assert!((2_700..3_300).contains(&admitted), "admitted {admitted}");
+    }
+
+    #[test]
+    fn random_extremes_clamp() {
+        let mut g = AdmissionGate::new(Admission::Random { probability: 1.5 }, 1);
+        assert!(g.admit());
+        let mut g = AdmissionGate::new(Admission::Random { probability: -0.5 }, 1);
+        assert!(!g.admit());
+    }
+}

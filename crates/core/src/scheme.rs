@@ -1,0 +1,304 @@
+//! Scheme constructors: one per arrangement in the paper's Fig. 1.
+//!
+//! [`SchemeCache`] bundles a [`LogCache`] with handles to the devices
+//! underneath it so experiments can report both cache-level metrics (hit
+//! ratio, throughput) and device-level ones (write amplification, resets,
+//! GC activity) for any scheme through one interface.
+
+use std::sync::Arc;
+
+use f2fs_lite::FileSystem;
+use ftl::BlockSsd;
+use serde::{Deserialize, Serialize};
+use sim::Nanos;
+use zns::ZnsDevice;
+
+use crate::backend::{
+    BlockBackend, FileBackend, MiddleConfig, MiddleLayerBackend, ZoneBackend,
+};
+use crate::engine::{CacheConfig, LogCache};
+use crate::types::CacheError;
+
+/// The four schemes of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// CacheLib on a regular (FTL) SSD — the baseline.
+    Block,
+    /// CacheLib on a file in a ZNS-compatible filesystem (§3.1).
+    File,
+    /// Region == zone (§3.2).
+    Zone,
+    /// Middle layer translating regions to zones (§3.3).
+    Region,
+}
+
+impl Scheme {
+    /// Human-readable scheme name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Block => "Block-Cache",
+            Scheme::File => "File-Cache",
+            Scheme::Zone => "Zone-Cache",
+            Scheme::Region => "Region-Cache",
+        }
+    }
+
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [Scheme::Region, Scheme::Zone, Scheme::File, Scheme::Block];
+}
+
+impl core::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A cache plus the device stack beneath it.
+pub struct SchemeCache {
+    /// Which scheme this is.
+    pub scheme: Scheme,
+    /// The cache engine.
+    pub cache: Arc<LogCache>,
+    /// ZNS device (File/Zone/Region schemes).
+    pub zns: Option<Arc<ZnsDevice>>,
+    /// Conventional SSD (Block scheme).
+    pub ftl: Option<Arc<BlockSsd>>,
+    /// Filesystem (File scheme).
+    pub fs: Option<Arc<FileSystem>>,
+    /// Middle layer (Region scheme).
+    pub middle: Option<Arc<MiddleLayerBackend>>,
+}
+
+impl core::fmt::Debug for SchemeCache {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SchemeCache")
+            .field("scheme", &self.scheme)
+            .field("metrics", &self.cache.metrics())
+            .finish()
+    }
+}
+
+impl SchemeCache {
+    /// Block-Cache: regions straight onto a conventional SSD.
+    ///
+    /// `num_regions` optionally caps capacity below the device's natural
+    /// fit (for capacity-matched comparisons).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::BackendTooSmall`] for under-sized devices.
+    pub fn block(
+        dev: Arc<BlockSsd>,
+        region_size: usize,
+        num_regions: Option<u32>,
+        config: CacheConfig,
+    ) -> Result<Self, CacheError> {
+        let stats_dev = dev.clone();
+        let mut backend = BlockBackend::new(dev.clone(), region_size)
+            .with_media_counter(move || stats_dev.stats().media_bytes_written);
+        if let Some(n) = num_regions {
+            backend = backend.with_region_limit(n);
+        }
+        let cache = Arc::new(LogCache::new(Arc::new(backend), config)?);
+        Ok(SchemeCache {
+            scheme: Scheme::Block,
+            cache,
+            zns: None,
+            ftl: Some(dev),
+            fs: None,
+            middle: None,
+        })
+    }
+
+    /// File-Cache: regions in one big file on `f2fs-lite`.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the filesystem cannot hold the cache.
+    pub fn file(
+        fs: Arc<FileSystem>,
+        region_size: usize,
+        num_regions: u32,
+        config: CacheConfig,
+        now: Nanos,
+    ) -> Result<Self, CacheError> {
+        Self::file_inner(fs, region_size, num_regions, config, now, false)
+    }
+
+    /// File-Cache with hole punching on eviction: evicted regions are
+    /// deallocated eagerly so the filesystem cleaner reclaims them without
+    /// migration (see `FileBackend::with_punch_on_discard`).
+    ///
+    /// # Errors
+    ///
+    /// As [`SchemeCache::file`].
+    pub fn file_with_punch(
+        fs: Arc<FileSystem>,
+        region_size: usize,
+        num_regions: u32,
+        config: CacheConfig,
+        now: Nanos,
+    ) -> Result<Self, CacheError> {
+        Self::file_inner(fs, region_size, num_regions, config, now, true)
+    }
+
+    fn file_inner(
+        fs: Arc<FileSystem>,
+        region_size: usize,
+        num_regions: u32,
+        config: CacheConfig,
+        now: Nanos,
+        punch: bool,
+    ) -> Result<Self, CacheError> {
+        let backend = FileBackend::create(fs.clone(), "cachelib.data", region_size, num_regions, now)?
+            .with_punch_on_discard(punch);
+        let zns = fs.device();
+        let cache = Arc::new(LogCache::new(Arc::new(backend), config)?);
+        Ok(SchemeCache {
+            scheme: Scheme::File,
+            cache,
+            zns: Some(zns),
+            ftl: None,
+            fs: Some(fs),
+            middle: None,
+        })
+    }
+
+    /// Zone-Cache: one region per zone.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::BackendTooSmall`] when fewer than 3 zones are usable.
+    pub fn zone(
+        dev: Arc<ZnsDevice>,
+        zone_limit: Option<u32>,
+        config: CacheConfig,
+    ) -> Result<Self, CacheError> {
+        let mut backend = ZoneBackend::new(dev.clone());
+        if let Some(n) = zone_limit {
+            backend = backend.with_zone_limit(n);
+        }
+        let cache = Arc::new(LogCache::new(Arc::new(backend), config)?);
+        Ok(SchemeCache {
+            scheme: Scheme::Zone,
+            cache,
+            zns: Some(dev),
+            ftl: None,
+            fs: None,
+            middle: None,
+        })
+    }
+
+    /// Region-Cache: the middle layer.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::BackendTooSmall`] for under-provisioned layouts.
+    pub fn region(
+        dev: Arc<ZnsDevice>,
+        middle: MiddleConfig,
+        config: CacheConfig,
+    ) -> Result<Self, CacheError> {
+        let backend = Arc::new(MiddleLayerBackend::new(dev.clone(), middle));
+        let cache = Arc::new(LogCache::new(backend.clone(), config)?);
+        Ok(SchemeCache {
+            scheme: Scheme::Region,
+            cache,
+            zns: Some(dev),
+            ftl: None,
+            fs: None,
+            middle: Some(backend),
+        })
+    }
+
+    /// End-to-end write amplification: all media writes / cache flushes.
+    pub fn write_amplification(&self) -> f64 {
+        self.cache.write_amplification()
+    }
+
+    /// Device-level media bytes written (flash programs).
+    pub fn media_bytes(&self) -> u64 {
+        self.cache.backend().media_bytes_written()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftl::FtlConfig;
+    use f2fs_lite::FsConfig;
+    use sim::BLOCK_SIZE;
+    use zns::ZnsConfig;
+
+    fn run_mixed_workload(sc: &SchemeCache) {
+        let mut t = Nanos::ZERO;
+        let value = vec![3u8; 700];
+        for i in 0..400u32 {
+            let key = format!("key-{:04}", i % 120);
+            match i % 10 {
+                0..=4 => {
+                    let (_, t2) = sc.cache.get(key.as_bytes(), t).unwrap();
+                    t = t2;
+                }
+                5..=7 => t = sc.cache.set(key.as_bytes(), &value, t).unwrap(),
+                _ => t = sc.cache.delete(key.as_bytes(), t).1,
+            }
+        }
+        let m = sc.cache.metrics();
+        assert!(m.sets > 0 && m.gets > 0);
+        assert!(sc.write_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn block_scheme_end_to_end() {
+        let dev = Arc::new(BlockSsd::new(FtlConfig::small_test()));
+        let sc =
+            SchemeCache::block(dev, 4 * BLOCK_SIZE, None, CacheConfig::small_test()).unwrap();
+        assert_eq!(sc.scheme.label(), "Block-Cache");
+        run_mixed_workload(&sc);
+        assert!(sc.ftl.is_some());
+    }
+
+    #[test]
+    fn file_scheme_end_to_end() {
+        let fs = Arc::new(FileSystem::format(FsConfig::small_test()));
+        let sc = SchemeCache::file(
+            fs,
+            4 * BLOCK_SIZE,
+            24,
+            CacheConfig::small_test(),
+            Nanos::ZERO,
+        )
+        .unwrap();
+        run_mixed_workload(&sc);
+        assert!(sc.fs.is_some() && sc.zns.is_some());
+    }
+
+    #[test]
+    fn zone_scheme_end_to_end() {
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let sc = SchemeCache::zone(dev, None, CacheConfig::small_test()).unwrap();
+        run_mixed_workload(&sc);
+        // Zero WA by construction.
+        assert_eq!(sc.write_amplification(), 1.0);
+    }
+
+    #[test]
+    fn region_scheme_end_to_end() {
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let sc = SchemeCache::region(
+            dev,
+            crate::backend::MiddleConfig::small_test(),
+            CacheConfig::small_test(),
+        )
+        .unwrap();
+        run_mixed_workload(&sc);
+        assert!(sc.middle.is_some());
+    }
+
+    #[test]
+    fn scheme_display_and_all() {
+        assert_eq!(Scheme::ALL.len(), 4);
+        assert_eq!(Scheme::Zone.to_string(), "Zone-Cache");
+    }
+}

@@ -1,0 +1,464 @@
+//! Checkpoint serialization.
+//!
+//! The filesystem's tables — file/NAT/SIT/summary state — are serialized
+//! into a byte blob and written to the conventional metadata device using
+//! an A/B slot scheme: the superblock (meta block 0) names the latest valid
+//! slot by generation number, a checkpoint writes the *other* slot first and
+//! flips the superblock last. Mount recovers from the highest-generation
+//! valid slot, so a crash mid-checkpoint falls back to the previous one.
+//!
+//! Encoding is a hand-rolled little-endian format (the offline dependency
+//! set has no serde binary backend); every field is length-prefixed so
+//! decoding is self-validating.
+
+use bytes::{Buf, BufMut};
+use sim::{BlockDevice, Lba, Nanos, RamDisk, BLOCK_SIZE};
+use zns::ZoneId;
+
+use crate::alloc::{MainAreaSnapshot, Owner};
+use crate::types::{FsError, Ino, Mba};
+
+/// Magic tag identifying an f2fs-lite superblock.
+pub const MAGIC: u64 = 0xF2F5_11E0_2024_0704;
+
+const NONE_SENTINEL: u32 = u32::MAX;
+
+/// A file's persisted form.
+pub(crate) struct FileRecord {
+    pub name: String,
+    pub ino: Ino,
+    pub size: u64,
+    /// Data pointers, `NONE_SENTINEL` for holes.
+    pub ptrs: Vec<Option<Mba>>,
+    /// Node block addresses and their dirty flags (dirty nodes are flushed
+    /// before checkpointing, so flags are always clean here; kept for
+    /// format stability).
+    pub nodes: Vec<Option<Mba>>,
+}
+
+/// Everything a checkpoint captures.
+pub(crate) struct CheckpointData {
+    pub next_ino: u32,
+    pub files: Vec<FileRecord>,
+    pub main: MainAreaSnapshot,
+}
+
+fn put_opt_mba(buf: &mut Vec<u8>, v: Option<Mba>) {
+    buf.put_u32_le(v.map_or(NONE_SENTINEL, |m| m.0));
+}
+
+fn get_opt_mba(buf: &mut &[u8]) -> Option<Mba> {
+    let v = buf.get_u32_le();
+    if v == NONE_SENTINEL {
+        None
+    } else {
+        Some(Mba(v))
+    }
+}
+
+/// Serializes a checkpoint payload.
+pub(crate) fn encode(data: &CheckpointData) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 * 1024);
+    buf.put_u32_le(data.next_ino);
+
+    buf.put_u32_le(data.files.len() as u32);
+    for f in &data.files {
+        buf.put_u32_le(f.ino.0);
+        buf.put_u64_le(f.size);
+        buf.put_u32_le(f.name.len() as u32);
+        buf.put_slice(f.name.as_bytes());
+        buf.put_u32_le(f.ptrs.len() as u32);
+        for &p in &f.ptrs {
+            put_opt_mba(&mut buf, p);
+        }
+        buf.put_u32_le(f.nodes.len() as u32);
+        for &n in &f.nodes {
+            put_opt_mba(&mut buf, n);
+        }
+    }
+
+    // Allocator: heads, free list, validity, summary.
+    for head in &data.main.heads {
+        match head {
+            Some((zone, off)) => {
+                buf.put_u8(1);
+                buf.put_u32_le(zone.0);
+                buf.put_u64_le(*off);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf.put_u32_le(data.main.free.len() as u32);
+    for z in &data.main.free {
+        buf.put_u32_le(z.0);
+    }
+    buf.put_u32_le(data.main.valid.len() as u32);
+    for chunk in data.main.valid.chunks(8) {
+        let mut byte = 0u8;
+        for (i, &v) in chunk.iter().enumerate() {
+            if v {
+                byte |= 1 << i;
+            }
+        }
+        buf.put_u8(byte);
+    }
+    buf.put_u32_le(data.main.valid_per_zone.len() as u32);
+    for &v in &data.main.valid_per_zone {
+        buf.put_u32_le(v);
+    }
+    debug_assert_eq!(data.main.summary.len(), data.main.valid.len());
+    for owner in &data.main.summary {
+        match owner {
+            Some(o) => {
+                buf.put_u8(if o.is_node { 2 } else { 1 });
+                buf.put_u32_le(o.ino.0);
+                buf.put_u32_le(o.index);
+            }
+            None => buf.put_u8(0),
+        }
+    }
+    buf
+}
+
+/// Decodes a checkpoint payload.
+///
+/// # Errors
+///
+/// [`FsError::BadSuperblock`] when the payload is truncated or
+/// inconsistent.
+pub(crate) fn decode(mut buf: &[u8]) -> Result<CheckpointData, FsError> {
+    fn need(buf: &[u8], n: usize) -> Result<(), FsError> {
+        if buf.remaining() < n {
+            Err(FsError::BadSuperblock(format!(
+                "checkpoint truncated: need {n} bytes, have {}",
+                buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    need(buf, 8)?;
+    let next_ino = buf.get_u32_le();
+    let nfiles = buf.get_u32_le() as usize;
+    let mut files = Vec::with_capacity(nfiles);
+    for _ in 0..nfiles {
+        need(buf, 16)?;
+        let ino = Ino(buf.get_u32_le());
+        let size = buf.get_u64_le();
+        let name_len = buf.get_u32_le() as usize;
+        need(buf, name_len)?;
+        let name = String::from_utf8(buf[..name_len].to_vec())
+            .map_err(|e| FsError::BadSuperblock(format!("bad file name: {e}")))?;
+        buf.advance(name_len);
+        need(buf, 4)?;
+        let nptrs = buf.get_u32_le() as usize;
+        need(buf, nptrs * 4)?;
+        let ptrs = (0..nptrs).map(|_| get_opt_mba(&mut buf)).collect();
+        need(buf, 4)?;
+        let nnodes = buf.get_u32_le() as usize;
+        need(buf, nnodes * 4)?;
+        let nodes = (0..nnodes).map(|_| get_opt_mba(&mut buf)).collect();
+        files.push(FileRecord {
+            name,
+            ino,
+            size,
+            ptrs,
+            nodes,
+        });
+    }
+
+    let mut heads = [None, None, None];
+    for head in &mut heads {
+        need(buf, 1)?;
+        if buf.get_u8() == 1 {
+            need(buf, 12)?;
+            let zone = ZoneId(buf.get_u32_le());
+            let off = buf.get_u64_le();
+            *head = Some((zone, off));
+        }
+    }
+    need(buf, 4)?;
+    let nfree = buf.get_u32_le() as usize;
+    need(buf, nfree * 4)?;
+    let free = (0..nfree).map(|_| ZoneId(buf.get_u32_le())).collect();
+    need(buf, 4)?;
+    let nvalid = buf.get_u32_le() as usize;
+    let nbytes = nvalid.div_ceil(8);
+    need(buf, nbytes)?;
+    let mut valid = Vec::with_capacity(nvalid);
+    for i in 0..nbytes {
+        let byte = buf[i];
+        for bit in 0..8 {
+            if valid.len() < nvalid {
+                valid.push(byte & (1 << bit) != 0);
+            }
+        }
+    }
+    buf.advance(nbytes);
+    need(buf, 4)?;
+    let nzones = buf.get_u32_le() as usize;
+    need(buf, nzones * 4)?;
+    let valid_per_zone = (0..nzones).map(|_| buf.get_u32_le()).collect();
+    let mut summary = Vec::with_capacity(nvalid);
+    for _ in 0..nvalid {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => summary.push(None),
+            tag @ (1 | 2) => {
+                need(buf, 8)?;
+                summary.push(Some(Owner {
+                    ino: Ino(buf.get_u32_le()),
+                    index: buf.get_u32_le(),
+                    is_node: tag == 2,
+                }));
+            }
+            other => {
+                return Err(FsError::BadSuperblock(format!(
+                    "bad summary tag {other}"
+                )))
+            }
+        }
+    }
+
+    Ok(CheckpointData {
+        next_ino,
+        files,
+        main: MainAreaSnapshot {
+            heads,
+            free,
+            valid,
+            valid_per_zone,
+            summary,
+        },
+    })
+}
+
+/// The metadata-device superblock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Superblock {
+    pub gen_a: u64,
+    pub len_a: u64,
+    pub gen_b: u64,
+    pub len_b: u64,
+}
+
+impl Superblock {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let mut w = &mut buf[..];
+        w.put_u64_le(MAGIC);
+        w.put_u64_le(self.gen_a);
+        w.put_u64_le(self.len_a);
+        w.put_u64_le(self.gen_b);
+        w.put_u64_le(self.len_b);
+        buf
+    }
+
+    fn decode(buf: &[u8]) -> Result<Self, FsError> {
+        let mut r = buf;
+        if r.get_u64_le() != MAGIC {
+            return Err(FsError::BadSuperblock("missing magic".into()));
+        }
+        Ok(Superblock {
+            gen_a: r.get_u64_le(),
+            len_a: r.get_u64_le(),
+            gen_b: r.get_u64_le(),
+            len_b: r.get_u64_le(),
+        })
+    }
+}
+
+/// Reads the superblock.
+pub(crate) fn read_superblock(meta: &RamDisk, now: Nanos) -> Result<(Superblock, Nanos), FsError> {
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    let t = meta.read(Lba(0), &mut buf, now)?;
+    Ok((Superblock::decode(&buf)?, t))
+}
+
+/// Writes a fresh superblock with both slots empty (format time).
+pub(crate) fn write_fresh_superblock(meta: &RamDisk, now: Nanos) -> Result<Nanos, FsError> {
+    let sb = Superblock::default();
+    Ok(meta.write(Lba(0), &sb.encode(), now)?)
+}
+
+/// Blocks available per checkpoint slot.
+pub(crate) fn slot_blocks(meta: &RamDisk) -> u64 {
+    (meta.block_count() - 1) / 2
+}
+
+/// Writes `payload` into the inactive slot and flips the superblock.
+///
+/// Returns the completion time.
+///
+/// # Errors
+///
+/// [`FsError::NoSpace`] when the payload exceeds the slot size.
+pub(crate) fn write_checkpoint(
+    meta: &RamDisk,
+    payload: &[u8],
+    now: Nanos,
+) -> Result<Nanos, FsError> {
+    let (mut sb, t) = read_superblock(meta, now)?;
+    let slot = slot_blocks(meta);
+    let needed = (payload.len() as u64).div_ceil(BLOCK_SIZE as u64);
+    if needed > slot {
+        return Err(FsError::NoSpace);
+    }
+    // Choose the older slot.
+    let use_a = sb.gen_a <= sb.gen_b;
+    let base = if use_a { 1 } else { 1 + slot };
+    let mut padded = payload.to_vec();
+    padded.resize((needed as usize) * BLOCK_SIZE, 0);
+    let t = meta.write(Lba(base), &padded, t)?;
+    let next_gen = sb.gen_a.max(sb.gen_b) + 1;
+    if use_a {
+        sb.gen_a = next_gen;
+        sb.len_a = payload.len() as u64;
+    } else {
+        sb.gen_b = next_gen;
+        sb.len_b = payload.len() as u64;
+    }
+    Ok(meta.write(Lba(0), &sb.encode(), t)?)
+}
+
+/// Reads the newest checkpoint payload, if any checkpoint exists.
+pub(crate) fn read_checkpoint(
+    meta: &RamDisk,
+    now: Nanos,
+) -> Result<Option<(Vec<u8>, Nanos)>, FsError> {
+    let (sb, t) = read_superblock(meta, now)?;
+    if sb.gen_a == 0 && sb.gen_b == 0 {
+        return Ok(None);
+    }
+    let slot = slot_blocks(meta);
+    let (base, len) = if sb.gen_a >= sb.gen_b {
+        (1, sb.len_a)
+    } else {
+        (1 + slot, sb.len_b)
+    };
+    let blocks = len.div_ceil(BLOCK_SIZE as u64);
+    let mut buf = vec![0u8; (blocks as usize) * BLOCK_SIZE];
+    let t = meta.read(Lba(base), &mut buf, t)?;
+    buf.truncate(len as usize);
+    Ok(Some((buf, t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            next_ino: 7,
+            files: vec![FileRecord {
+                name: "cache".into(),
+                ino: Ino(3),
+                size: 12288,
+                ptrs: vec![Some(Mba(5)), None, Some(Mba(9))],
+                nodes: vec![Some(Mba(64)), None],
+            }],
+            main: MainAreaSnapshot {
+                heads: [Some((ZoneId(1), 4)), None, Some((ZoneId(2), 0))],
+                free: vec![ZoneId(3), ZoneId(4)],
+                valid: vec![true, false, true, true, false, false, false, false, true],
+                valid_per_zone: vec![4, 0, 0],
+                summary: vec![
+                    Some(Owner {
+                        ino: Ino(3),
+                        index: 0,
+                        is_node: false,
+                    }),
+                    None,
+                    Some(Owner {
+                        ino: Ino(3),
+                        index: 1,
+                        is_node: true,
+                    }),
+                    Some(Owner {
+                        ino: Ino(3),
+                        index: 2,
+                        is_node: false,
+                    }),
+                    None,
+                    None,
+                    None,
+                    None,
+                    Some(Owner {
+                        ino: Ino(3),
+                        index: 8,
+                        is_node: false,
+                    }),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let data = sample();
+        let bytes = encode(&data);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.next_ino, 7);
+        assert_eq!(back.files.len(), 1);
+        let f = &back.files[0];
+        assert_eq!(f.name, "cache");
+        assert_eq!(f.size, 12288);
+        assert_eq!(f.ptrs, vec![Some(Mba(5)), None, Some(Mba(9))]);
+        assert_eq!(f.nodes, vec![Some(Mba(64)), None]);
+        assert_eq!(back.main.heads, data.main.heads);
+        assert_eq!(back.main.free, data.main.free);
+        assert_eq!(back.main.valid, data.main.valid);
+        assert_eq!(back.main.valid_per_zone, data.main.valid_per_zone);
+        assert_eq!(back.main.summary, data.main.summary);
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let bytes = encode(&sample());
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn superblock_round_trip_and_magic_check() {
+        let meta = RamDisk::new(16);
+        write_fresh_superblock(&meta, Nanos::ZERO).unwrap();
+        let (sb, _) = read_superblock(&meta, Nanos::ZERO).unwrap();
+        assert_eq!(sb, Superblock::default());
+        // A blank disk has no magic.
+        let blank = RamDisk::new(16);
+        assert!(read_superblock(&blank, Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn checkpoint_slots_alternate_and_latest_wins() {
+        let meta = RamDisk::new(64);
+        write_fresh_superblock(&meta, Nanos::ZERO).unwrap();
+        assert!(read_checkpoint(&meta, Nanos::ZERO).unwrap().is_none());
+
+        write_checkpoint(&meta, b"first", Nanos::ZERO).unwrap();
+        let (got, _) = read_checkpoint(&meta, Nanos::ZERO).unwrap().unwrap();
+        assert_eq!(got, b"first");
+
+        write_checkpoint(&meta, b"second", Nanos::ZERO).unwrap();
+        let (got, _) = read_checkpoint(&meta, Nanos::ZERO).unwrap().unwrap();
+        assert_eq!(got, b"second");
+
+        // Slots alternate: A has gen 1, B has gen 2.
+        let (sb, _) = read_superblock(&meta, Nanos::ZERO).unwrap();
+        assert_eq!((sb.gen_a, sb.gen_b), (1, 2));
+    }
+
+    #[test]
+    fn oversized_checkpoint_rejected() {
+        let meta = RamDisk::new(5); // slot = 2 blocks
+        write_fresh_superblock(&meta, Nanos::ZERO).unwrap();
+        let big = vec![0u8; 3 * BLOCK_SIZE];
+        assert!(matches!(
+            write_checkpoint(&meta, &big, Nanos::ZERO),
+            Err(FsError::NoSpace)
+        ));
+    }
+}

@@ -1,0 +1,1046 @@
+//! The filesystem proper: files, pointer trees, cleaning, checkpoints.
+
+use core::fmt;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bytes::BufMut;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::{Nanos, RamDisk, BLOCK_SIZE};
+use zns::{ZnsConfig, ZnsDevice};
+
+use crate::alloc::{MainArea, Owner};
+use crate::checkpoint::{self, CheckpointData, FileRecord};
+use crate::types::{FsError, Ino, LogType, Mba};
+
+/// Configuration for [`FileSystem::format`].
+#[derive(Clone, Debug)]
+pub struct FsConfig {
+    /// The zoned main device.
+    pub zns: ZnsConfig,
+    /// Size of the conventional metadata device in 4 KiB blocks.
+    pub meta_blocks: u64,
+    /// Zones reserved for cleaning, invisible to user capacity — F2FS's
+    /// over-provisioning (the paper cites ~20% for File-Cache).
+    pub reserved_zones: u32,
+    /// Foreground cleaning starts when free zones drop below this.
+    pub min_free_zones: u32,
+    /// Data pointers per node block (1024 fills a 4 KiB block; tests use
+    /// small values to exercise multi-node files).
+    pub node_fanout: u32,
+    /// Dirty node blocks are flushed once this many accumulate.
+    pub dirty_node_flush_threshold: u32,
+    /// Automatic checkpoint every N data-block writes (0 = manual only).
+    pub checkpoint_interval_blocks: u64,
+}
+
+impl FsConfig {
+    /// Tiny filesystem for unit tests: 16 zones × 32 blocks, 3 reserved.
+    pub fn small_test() -> Self {
+        FsConfig {
+            zns: ZnsConfig::small_test(),
+            meta_blocks: 512,
+            reserved_zones: 3,
+            min_free_zones: 3,
+            node_fanout: 8,
+            dirty_node_flush_threshold: 4,
+            checkpoint_interval_blocks: 0,
+        }
+    }
+}
+
+/// Point-in-time filesystem statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FsStatsSnapshot {
+    /// Data blocks written on behalf of the user.
+    pub data_blocks_written: u64,
+    /// Node (pointer) blocks written.
+    pub node_blocks_written: u64,
+    /// Data blocks migrated by the cleaner.
+    pub gc_data_moved: u64,
+    /// Node blocks migrated by the cleaner.
+    pub gc_node_moved: u64,
+    /// Zones cleaned (migrate + reset cycles).
+    pub zones_cleaned: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+}
+
+impl FsStatsSnapshot {
+    /// Filesystem-level write amplification: all main-area writes divided
+    /// by user data writes. ≥ 1; grows with node churn and cleaning.
+    pub fn write_amplification(&self) -> f64 {
+        if self.data_blocks_written == 0 {
+            return 1.0;
+        }
+        let total = self.data_blocks_written
+            + self.node_blocks_written
+            + self.gc_data_moved
+            + self.gc_node_moved;
+        total as f64 / self.data_blocks_written as f64
+    }
+}
+
+#[derive(Clone, Debug)]
+struct NodeSlot {
+    addr: Option<Mba>,
+    dirty: bool,
+}
+
+struct File {
+    name: String,
+    size: u64,
+    ptrs: Vec<Option<Mba>>,
+    nodes: Vec<NodeSlot>,
+}
+
+struct Inner {
+    main: MainArea,
+    files: HashMap<u32, File>,
+    names: HashMap<String, u32>,
+    next_ino: u32,
+    dirty_nodes: BTreeSet<(u32, u32)>,
+    data_since_ckpt: u64,
+    /// Live user-data blocks (node blocks are carried by the reserve).
+    live_data_blocks: u64,
+    stats: FsStatsSnapshot,
+}
+
+/// A mounted `f2fs-lite` filesystem.
+///
+/// Internally locked; all methods take `&self`. See the
+/// [crate docs](crate) for an example.
+pub struct FileSystem {
+    meta: Arc<RamDisk>,
+    node_fanout: u32,
+    reserved_zones: u32,
+    min_free_zones: u32,
+    dirty_flush_threshold: u32,
+    checkpoint_interval: u64,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for FileSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FileSystem")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl FileSystem {
+    /// Formats fresh devices and mounts the filesystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible configurations (reserve exceeding the device,
+    /// fanout that cannot fit a node block) — startup bugs.
+    pub fn format(config: FsConfig) -> Self {
+        let dev = Arc::new(ZnsDevice::new(config.zns.clone()));
+        let meta = Arc::new(RamDisk::new(config.meta_blocks));
+        Self::format_on(dev, meta, &config)
+    }
+
+    /// Formats onto pre-built devices (shared with test harnesses).
+    ///
+    /// # Panics
+    ///
+    /// As [`FileSystem::format`].
+    pub fn format_on(dev: Arc<ZnsDevice>, meta: Arc<RamDisk>, config: &FsConfig) -> Self {
+        assert!(
+            (config.reserved_zones as u64) < dev.num_zones() as u64,
+            "reserved zones exceed the device"
+        );
+        assert!(
+            config.node_fanout >= 1 && (config.node_fanout as usize) * 4 <= BLOCK_SIZE,
+            "node fanout {} cannot fit one block",
+            config.node_fanout
+        );
+        assert!(config.min_free_zones >= 2, "cleaning needs min_free_zones >= 2");
+        checkpoint::write_fresh_superblock(&meta, Nanos::ZERO)
+            .expect("fresh metadata device must accept a superblock");
+        let main = MainArea::format(dev);
+        FileSystem {
+            meta,
+            node_fanout: config.node_fanout,
+            reserved_zones: config.reserved_zones,
+            min_free_zones: config.min_free_zones,
+            dirty_flush_threshold: config.dirty_node_flush_threshold.max(1),
+            checkpoint_interval: config.checkpoint_interval_blocks,
+            inner: Mutex::new(Inner {
+                main,
+                files: HashMap::new(),
+                names: HashMap::new(),
+                next_ino: 1,
+                dirty_nodes: BTreeSet::new(),
+                data_since_ckpt: 0,
+                live_data_blocks: 0,
+                stats: FsStatsSnapshot::default(),
+            }),
+        }
+    }
+
+    /// Mounts an existing filesystem from its devices, recovering state
+    /// from the newest checkpoint.
+    ///
+    /// Data written after the last checkpoint is not recovered (f2fs-lite
+    /// has no roll-forward log; durability is checkpoint-granular).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::BadSuperblock`] when the metadata device holds no valid
+    /// filesystem or no checkpoint.
+    pub fn mount(
+        dev: Arc<ZnsDevice>,
+        meta: Arc<RamDisk>,
+        config: &FsConfig,
+        now: Nanos,
+    ) -> Result<(Self, Nanos), FsError> {
+        let (payload, t) = checkpoint::read_checkpoint(&meta, now)?
+            .ok_or_else(|| FsError::BadSuperblock("no checkpoint present".into()))?;
+        let data = checkpoint::decode(&payload)?;
+        let mut files = HashMap::new();
+        let mut names = HashMap::new();
+        for record in data.files {
+            names.insert(record.name.clone(), record.ino.0);
+            files.insert(
+                record.ino.0,
+                File {
+                    name: record.name,
+                    size: record.size,
+                    ptrs: record.ptrs,
+                    nodes: record
+                        .nodes
+                        .into_iter()
+                        .map(|addr| NodeSlot { addr, dirty: false })
+                        .collect(),
+                },
+            );
+        }
+        let live_data_blocks: u64 = files
+            .values()
+            .map(|f: &File| f.ptrs.iter().flatten().count() as u64)
+            .sum();
+        let main = MainArea::restore(dev, data.main);
+        let fs = FileSystem {
+            meta,
+            node_fanout: config.node_fanout,
+            reserved_zones: config.reserved_zones,
+            min_free_zones: config.min_free_zones,
+            dirty_flush_threshold: config.dirty_node_flush_threshold.max(1),
+            checkpoint_interval: config.checkpoint_interval_blocks,
+            inner: Mutex::new(Inner {
+                main,
+                files,
+                names,
+                next_ino: data.next_ino,
+                dirty_nodes: BTreeSet::new(),
+                data_since_ckpt: 0,
+                live_data_blocks,
+                stats: FsStatsSnapshot::default(),
+            }),
+        };
+        Ok((fs, t))
+    }
+
+    /// User-visible capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        let zones = inner.main.zones() as u64;
+        let usable = zones.saturating_sub(self.reserved_zones as u64);
+        usable * inner.main.blocks_per_zone() * BLOCK_SIZE as u64
+    }
+
+    /// Filesystem statistics.
+    pub fn stats(&self) -> FsStatsSnapshot {
+        self.inner.lock().stats
+    }
+
+    /// The zoned main device (for device-level WA accounting).
+    pub fn device(&self) -> Arc<ZnsDevice> {
+        self.inner.lock().main.device().clone()
+    }
+
+    /// Creates an empty file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Exists`] for duplicate names.
+    pub fn create(&self, name: &str, _now: Nanos) -> Result<Ino, FsError> {
+        let mut inner = self.inner.lock();
+        if inner.names.contains_key(name) {
+            return Err(FsError::Exists { name: name.into() });
+        }
+        let ino = inner.next_ino;
+        inner.next_ino += 1;
+        inner.names.insert(name.to_string(), ino);
+        inner.files.insert(
+            ino,
+            File {
+                name: name.to_string(),
+                size: 0,
+                ptrs: Vec::new(),
+                nodes: Vec::new(),
+            },
+        );
+        Ok(Ino(ino))
+    }
+
+    /// Looks up a file by name.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn open(&self, name: &str) -> Result<Ino, FsError> {
+        self.inner
+            .lock()
+            .names
+            .get(name)
+            .map(|&i| Ino(i))
+            .ok_or_else(|| FsError::NotFound { what: name.into() })
+    }
+
+    /// File size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn size(&self, ino: Ino) -> Result<u64, FsError> {
+        let inner = self.inner.lock();
+        inner
+            .files
+            .get(&ino.0)
+            .map(|f| f.size)
+            .ok_or_else(|| FsError::NotFound {
+                what: ino.to_string(),
+            })
+    }
+
+    /// Removes a file, invalidating all its blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn remove(&self, name: &str, _now: Nanos) -> Result<(), FsError> {
+        let mut inner = self.inner.lock();
+        let ino = inner
+            .names
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound { what: name.into() })?;
+        let file = inner.files.remove(&ino).expect("name table had the ino");
+        for mba in file.ptrs.into_iter().flatten() {
+            inner.main.invalidate(mba);
+            inner.live_data_blocks -= 1;
+        }
+        for node in file.nodes {
+            if let Some(mba) = node.addr {
+                inner.main.invalidate(mba);
+            }
+        }
+        inner.dirty_nodes.retain(|&(i, _)| i != ino);
+        Ok(())
+    }
+
+    fn user_block_limit(&self, inner: &Inner) -> u64 {
+        let usable = inner.main.zones() as u64 - self.reserved_zones as u64;
+        usable * inner.main.blocks_per_zone()
+    }
+
+    /// Serializes one node block's pointer window into a 4 KiB buffer.
+    fn node_payload(&self, file: &File, node_idx: u32) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(BLOCK_SIZE);
+        let start = (node_idx as usize) * self.node_fanout as usize;
+        for i in start..start + self.node_fanout as usize {
+            let v = file
+                .ptrs
+                .get(i)
+                .copied()
+                .flatten()
+                .map_or(u32::MAX, |m| m.0);
+            buf.put_u32_le(v);
+        }
+        buf.resize(BLOCK_SIZE, 0);
+        buf
+    }
+
+    /// Writes out one dirty node block; returns its completion time.
+    fn flush_node(&self, inner: &mut Inner, ino: u32, node_idx: u32, now: Nanos) -> Result<Nanos, FsError> {
+        let payload = {
+            let file = inner.files.get(&ino).expect("dirty node of live file");
+            self.node_payload(file, node_idx)
+        };
+        let old = {
+            let file = inner.files.get_mut(&ino).expect("checked");
+            let slot = &mut file.nodes[node_idx as usize];
+            slot.dirty = false;
+            slot.addr.take()
+        };
+        if let Some(old_mba) = old {
+            inner.main.invalidate(old_mba);
+        }
+        let (mba, done) = inner.main.append(
+            LogType::Node,
+            &payload,
+            Owner {
+                ino: Ino(ino),
+                index: node_idx,
+                is_node: true,
+            },
+            now,
+        )?;
+        inner
+            .files
+            .get_mut(&ino)
+            .expect("checked")
+            .nodes[node_idx as usize]
+            .addr = Some(mba);
+        inner.stats.node_blocks_written += 1;
+        Ok(done)
+    }
+
+    /// Flushes every dirty node block.
+    fn flush_all_nodes(&self, inner: &mut Inner, now: Nanos) -> Result<Nanos, FsError> {
+        let dirty: Vec<(u32, u32)> = inner.dirty_nodes.iter().copied().collect();
+        inner.dirty_nodes.clear();
+        let mut done = now;
+        for (ino, node_idx) in dirty {
+            done = done.max(self.flush_node(inner, ino, node_idx, now)?);
+        }
+        Ok(done)
+    }
+
+    /// Cleans one victim zone: migrates live blocks, resets the zone.
+    ///
+    /// Returns `Ok(None)` when nothing is cleanable.
+    fn clean_one(&self, inner: &mut Inner, now: Nanos) -> Result<Option<Nanos>, FsError> {
+        let victim = match inner.main.pick_victim() {
+            Some(z) => z,
+            None => return Ok(None),
+        };
+        // A victim as full as a whole zone frees nothing; give up rather
+        // than thrash. The user-capacity reserve makes this unreachable in
+        // normal operation.
+        if inner.main.zone_valid(victim) as u64 >= inner.main.blocks_per_zone() {
+            return Ok(None);
+        }
+        let live = inner.main.live_blocks(victim);
+        let mut done = now;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        for (mba, owner) in live {
+            if owner.is_node {
+                // Rewrite the node from its authoritative in-memory form.
+                inner.main.invalidate(mba);
+                let payload = {
+                    let file = inner.files.get(&owner.ino.0).expect("live node owner");
+                    self.node_payload(file, owner.index)
+                };
+                let (new_mba, t) = inner.main.append(LogType::Node, &payload, owner, now)?;
+                let file = inner.files.get_mut(&owner.ino.0).expect("checked");
+                let slot = &mut file.nodes[owner.index as usize];
+                debug_assert_eq!(slot.addr, Some(mba), "summary/node table skew");
+                slot.addr = Some(new_mba);
+                slot.dirty = false;
+                inner.dirty_nodes.remove(&(owner.ino.0, owner.index));
+                inner.stats.gc_node_moved += 1;
+                done = done.max(t);
+            } else {
+                let t_read = inner.main.read(mba, &mut buf, now)?;
+                inner.main.invalidate(mba);
+                let (new_mba, t) = inner.main.append(LogType::ColdData, &buf, owner, t_read)?;
+                let file = inner.files.get_mut(&owner.ino.0).expect("live data owner");
+                debug_assert_eq!(file.ptrs[owner.index as usize], Some(mba));
+                file.ptrs[owner.index as usize] = Some(new_mba);
+                // The covering node must be rewritten to reference the new
+                // location — the metadata cascade of filesystem GC.
+                let node_idx = owner.index / self.node_fanout;
+                if !file.nodes[node_idx as usize].dirty {
+                    file.nodes[node_idx as usize].dirty = true;
+                    inner.dirty_nodes.insert((owner.ino.0, node_idx));
+                }
+                inner.stats.gc_data_moved += 1;
+                done = done.max(t);
+            }
+        }
+        let t = inner.main.reset_zone(victim, done)?;
+        inner.stats.zones_cleaned += 1;
+        Ok(Some(t))
+    }
+
+    /// Runs foreground cleaning until the free-zone floor is met.
+    fn ensure_free_zones(&self, inner: &mut Inner, now: Nanos) -> Result<Nanos, FsError> {
+        let mut done = now;
+        while inner.main.free_zones() < self.min_free_zones {
+            match self.clean_one(inner, done)? {
+                Some(t) => done = t,
+                None => break,
+            }
+        }
+        Ok(done)
+    }
+
+    /// Writes `data` at `offset`; both must be 4 KiB-aligned.
+    ///
+    /// Returns the completion time of the slowest block.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Misaligned`], [`FsError::NotFound`], [`FsError::NoSpace`].
+    pub fn pwrite(&self, ino: Ino, offset: u64, data: &[u8], now: Nanos) -> Result<Nanos, FsError> {
+        if offset % BLOCK_SIZE as u64 != 0 {
+            return Err(FsError::Misaligned { value: offset });
+        }
+        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+            return Err(FsError::Misaligned {
+                value: data.len() as u64,
+            });
+        }
+        let mut inner = self.inner.lock();
+        if !inner.files.contains_key(&ino.0) {
+            return Err(FsError::NotFound {
+                what: ino.to_string(),
+            });
+        }
+        let nblocks = (data.len() / BLOCK_SIZE) as u64;
+        let first_fbi = offset / BLOCK_SIZE as u64;
+        let limit = self.user_block_limit(&inner);
+
+        let mut done = now;
+        for i in 0..nblocks {
+            let fbi = (first_fbi + i) as usize;
+            // Grow pointer/node tables as needed.
+            {
+                let fanout = self.node_fanout as usize;
+                let file = inner.files.get_mut(&ino.0).expect("checked");
+                if file.ptrs.len() <= fbi {
+                    file.ptrs.resize(fbi + 1, None);
+                }
+                let nodes_needed = fbi / fanout + 1;
+                if file.nodes.len() < nodes_needed {
+                    file.nodes.resize(
+                        nodes_needed,
+                        NodeSlot {
+                            addr: None,
+                            dirty: false,
+                        },
+                    );
+                }
+            }
+            let is_new = inner.files[&ino.0].ptrs[fbi].is_none();
+            if is_new && inner.live_data_blocks >= limit {
+                return Err(FsError::NoSpace);
+            }
+            let t0 = self.ensure_free_zones(&mut inner, now)?;
+            let chunk = &data[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
+            let (mba, t) = inner.main.append(
+                LogType::HotData,
+                chunk,
+                Owner {
+                    ino,
+                    index: fbi as u32,
+                    is_node: false,
+                },
+                t0,
+            )?;
+            let node_idx = (fbi as u32) / self.node_fanout;
+            let old = {
+                let file = inner.files.get_mut(&ino.0).expect("checked");
+                let old = file.ptrs[fbi].replace(mba);
+                if !file.nodes[node_idx as usize].dirty {
+                    file.nodes[node_idx as usize].dirty = true;
+                }
+                let end = (fbi as u64 + 1) * BLOCK_SIZE as u64;
+                if end > file.size {
+                    file.size = end;
+                }
+                old
+            };
+            inner.dirty_nodes.insert((ino.0, node_idx));
+            if let Some(old_mba) = old {
+                inner.main.invalidate(old_mba);
+            } else {
+                inner.live_data_blocks += 1;
+            }
+            inner.stats.data_blocks_written += 1;
+            inner.data_since_ckpt += 1;
+            done = done.max(t);
+
+            if inner.dirty_nodes.len() as u32 >= self.dirty_flush_threshold {
+                done = done.max(self.flush_all_nodes(&mut inner, done)?);
+            }
+        }
+        if self.checkpoint_interval > 0 && inner.data_since_ckpt >= self.checkpoint_interval {
+            done = done.max(self.checkpoint_locked(&mut inner, done)?);
+        }
+        Ok(done)
+    }
+
+    /// Reads into `buf` from `offset`; both must be 4 KiB-aligned.
+    ///
+    /// Holes read as zeros.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Misaligned`], [`FsError::NotFound`],
+    /// [`FsError::BeyondEof`].
+    pub fn pread(
+        &self,
+        ino: Ino,
+        offset: u64,
+        buf: &mut [u8],
+        now: Nanos,
+    ) -> Result<Nanos, FsError> {
+        if offset % BLOCK_SIZE as u64 != 0 {
+            return Err(FsError::Misaligned { value: offset });
+        }
+        if buf.is_empty() || buf.len() % BLOCK_SIZE != 0 {
+            return Err(FsError::Misaligned {
+                value: buf.len() as u64,
+            });
+        }
+        let inner = self.inner.lock();
+        let file = inner.files.get(&ino.0).ok_or_else(|| FsError::NotFound {
+            what: ino.to_string(),
+        })?;
+        if offset + buf.len() as u64 > file.size {
+            return Err(FsError::BeyondEof {
+                offset,
+                size: file.size,
+            });
+        }
+        let first_fbi = offset / BLOCK_SIZE as u64;
+        let nblocks = (buf.len() / BLOCK_SIZE) as u64;
+        let mut done = now;
+        for i in 0..nblocks {
+            let fbi = (first_fbi + i) as usize;
+            let chunk = &mut buf[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
+            match file.ptrs.get(fbi).copied().flatten() {
+                Some(mba) => done = done.max(inner.main.read(mba, chunk, now)?),
+                None => chunk.fill(0),
+            }
+        }
+        Ok(done)
+    }
+
+    /// Deallocates (punches a hole in) a 4 KiB-aligned byte range: the
+    /// blocks become holes that read zeros, and their storage is
+    /// reclaimable by the cleaner without migration. The file size is
+    /// unchanged, as with `fallocate(FALLOC_FL_PUNCH_HOLE)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::Misaligned`], [`FsError::NotFound`].
+    pub fn punch_hole(
+        &self,
+        ino: Ino,
+        offset: u64,
+        len: u64,
+        _now: Nanos,
+    ) -> Result<(), FsError> {
+        if offset % BLOCK_SIZE as u64 != 0 {
+            return Err(FsError::Misaligned { value: offset });
+        }
+        if len == 0 || len % BLOCK_SIZE as u64 != 0 {
+            return Err(FsError::Misaligned { value: len });
+        }
+        let mut inner = self.inner.lock();
+        if !inner.files.contains_key(&ino.0) {
+            return Err(FsError::NotFound {
+                what: ino.to_string(),
+            });
+        }
+        let first = offset / BLOCK_SIZE as u64;
+        let nblocks = len / BLOCK_SIZE as u64;
+        for fbi in first..first + nblocks {
+            let (old, node_idx) = {
+                let file = inner.files.get_mut(&ino.0).expect("checked");
+                if fbi as usize >= file.ptrs.len() {
+                    break;
+                }
+                let old = file.ptrs[fbi as usize].take();
+                let node_idx = (fbi as u32) / self.node_fanout;
+                if old.is_some() && !file.nodes[node_idx as usize].dirty {
+                    file.nodes[node_idx as usize].dirty = true;
+                }
+                (old, node_idx)
+            };
+            if let Some(mba) = old {
+                inner.main.invalidate(mba);
+                inner.live_data_blocks -= 1;
+                inner.dirty_nodes.insert((ino.0, node_idx));
+            }
+        }
+        Ok(())
+    }
+
+    /// Free user-visible space in bytes (a `statfs`-style figure).
+    pub fn free_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        let usable = inner.main.zones() as u64 - self.reserved_zones as u64;
+        let limit = usable * inner.main.blocks_per_zone();
+        limit.saturating_sub(inner.live_data_blocks) * BLOCK_SIZE as u64
+    }
+
+    /// Makes a file's pointer tree durable (flushes its dirty nodes).
+    ///
+    /// Full durability of f2fs-lite is checkpoint-granular; fsync bounds
+    /// the node-flush backlog like F2FS's node writeback.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn fsync(&self, ino: Ino, now: Nanos) -> Result<Nanos, FsError> {
+        let mut inner = self.inner.lock();
+        if !inner.files.contains_key(&ino.0) {
+            return Err(FsError::NotFound {
+                what: ino.to_string(),
+            });
+        }
+        let dirty: Vec<(u32, u32)> = inner
+            .dirty_nodes
+            .iter()
+            .copied()
+            .filter(|&(i, _)| i == ino.0)
+            .collect();
+        let mut done = now;
+        for (i, n) in dirty {
+            inner.dirty_nodes.remove(&(i, n));
+            done = done.max(self.flush_node(&mut inner, i, n, now)?);
+        }
+        Ok(done)
+    }
+
+    fn checkpoint_locked(&self, inner: &mut Inner, now: Nanos) -> Result<Nanos, FsError> {
+        let t = self.flush_all_nodes(inner, now)?;
+        let files = inner
+            .files
+            .iter()
+            .map(|(&ino, f)| FileRecord {
+                name: f.name.clone(),
+                ino: Ino(ino),
+                size: f.size,
+                ptrs: f.ptrs.clone(),
+                nodes: f.nodes.iter().map(|n| n.addr).collect(),
+            })
+            .collect();
+        let data = CheckpointData {
+            next_ino: inner.next_ino,
+            files,
+            main: inner.main.snapshot(),
+        };
+        let payload = checkpoint::encode(&data);
+        let done = checkpoint::write_checkpoint(&self.meta, &payload, t)?;
+        inner.stats.checkpoints += 1;
+        inner.data_since_ckpt = 0;
+        Ok(done)
+    }
+
+    /// Writes a checkpoint: flushes dirty nodes, persists all tables to the
+    /// metadata device.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] if the metadata device is too small.
+    pub fn checkpoint(&self, now: Nanos) -> Result<Nanos, FsError> {
+        let mut inner = self.inner.lock();
+        self.checkpoint_locked(&mut inner, now)
+    }
+
+    /// Free zones currently available (diagnostic).
+    pub fn free_zones(&self) -> u32 {
+        self.inner.lock().main.free_zones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> FileSystem {
+        FileSystem::format(FsConfig::small_test())
+    }
+
+    fn bytes(nblocks: usize, fill: u8) -> Vec<u8> {
+        vec![fill; nblocks * BLOCK_SIZE]
+    }
+
+    #[test]
+    fn create_open_write_read() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        assert_eq!(fs.open("a").unwrap(), ino);
+        let t = fs.pwrite(ino, 0, &bytes(3, 0x11), Nanos::ZERO).unwrap();
+        assert_eq!(fs.size(ino).unwrap(), 3 * BLOCK_SIZE as u64);
+        let mut out = bytes(3, 0);
+        fs.pread(ino, 0, &mut out, t).unwrap();
+        assert!(out.iter().all(|&b| b == 0x11));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let fs = fs();
+        fs.create("a", Nanos::ZERO).unwrap();
+        assert!(matches!(
+            fs.create("a", Nanos::ZERO),
+            Err(FsError::Exists { .. })
+        ));
+        assert!(matches!(fs.open("b"), Err(FsError::NotFound { .. })));
+    }
+
+    #[test]
+    fn overwrite_returns_latest_data_and_logs_new_blocks() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        let t1 = fs.pwrite(ino, 0, &bytes(1, 1), Nanos::ZERO).unwrap();
+        let t2 = fs.pwrite(ino, 0, &bytes(1, 2), t1).unwrap();
+        let mut out = bytes(1, 0);
+        fs.pread(ino, 0, &mut out, t2).unwrap();
+        assert!(out.iter().all(|&b| b == 2));
+        assert_eq!(fs.stats().data_blocks_written, 2);
+    }
+
+    #[test]
+    fn holes_read_zero() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        // Write block 2 only; blocks 0–1 are holes.
+        let t = fs
+            .pwrite(ino, 2 * BLOCK_SIZE as u64, &bytes(1, 7), Nanos::ZERO)
+            .unwrap();
+        let mut out = bytes(3, 9);
+        fs.pread(ino, 0, &mut out, t).unwrap();
+        assert!(out[..2 * BLOCK_SIZE].iter().all(|&b| b == 0));
+        assert!(out[2 * BLOCK_SIZE..].iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn misalignment_rejected() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        assert!(matches!(
+            fs.pwrite(ino, 100, &bytes(1, 0), Nanos::ZERO),
+            Err(FsError::Misaligned { value: 100 })
+        ));
+        assert!(fs.pwrite(ino, 0, &[0u8; 100], Nanos::ZERO).is_err());
+        let mut buf = [0u8; 100];
+        assert!(fs.pread(ino, 0, &mut buf, Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn read_beyond_eof_rejected() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        fs.pwrite(ino, 0, &bytes(1, 1), Nanos::ZERO).unwrap();
+        let mut out = bytes(2, 0);
+        assert!(matches!(
+            fs.pread(ino, 0, &mut out, Nanos::ZERO),
+            Err(FsError::BeyondEof { .. })
+        ));
+    }
+
+    #[test]
+    fn node_blocks_are_written_for_pointer_churn() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        // Enough writes to cross the dirty-node threshold (4).
+        let mut t = Nanos::ZERO;
+        for i in 0..40u64 {
+            t = fs
+                .pwrite(ino, (i % 40) * BLOCK_SIZE as u64, &bytes(1, i as u8), t)
+                .unwrap();
+        }
+        assert!(fs.stats().node_blocks_written > 0, "no node churn recorded");
+    }
+
+    #[test]
+    fn overwrite_churn_triggers_cleaning_and_stays_correct() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        // User capacity is (16-3)*32 = 416 blocks; work over 320 blocks and
+        // overwrite heavily so zones fill and the cleaner must run.
+        let span = 320u64;
+        let mut t = Nanos::ZERO;
+        for round in 0..6u64 {
+            for b in 0..span {
+                let fill = (round * span + b) as u8;
+                t = fs
+                    .pwrite(ino, b * BLOCK_SIZE as u64, &bytes(1, fill), t)
+                    .unwrap();
+            }
+        }
+        let s = fs.stats();
+        assert!(s.zones_cleaned > 0, "cleaner never ran: {s:?}");
+        assert!(s.write_amplification() > 1.0);
+        // Every block reads back its final round value.
+        for b in (0..span).step_by(17) {
+            let mut out = bytes(1, 0);
+            fs.pread(ino, b * BLOCK_SIZE as u64, &mut out, t).unwrap();
+            let expect = (5 * span + b) as u8;
+            assert!(out.iter().all(|&x| x == expect), "block {b} corrupt");
+        }
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        let limit_blocks = 416u64; // (16 - 3 reserved) * 32
+        let mut t = Nanos::ZERO;
+        let mut wrote = 0u64;
+        for b in 0..limit_blocks + 8 {
+            match fs.pwrite(ino, b * BLOCK_SIZE as u64, &bytes(1, 1), t) {
+                Ok(t2) => {
+                    t = t2;
+                    wrote += 1;
+                }
+                Err(FsError::NoSpace) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(wrote < limit_blocks + 8, "NoSpace never surfaced");
+        // Node blocks share the capacity pool (~1 per fanout=8 data
+        // blocks), so NoSpace fires somewhat below the data-only limit.
+        assert!(
+            wrote >= limit_blocks - limit_blocks / 8 - 16,
+            "gave up far too early: {wrote}"
+        );
+    }
+
+    #[test]
+    fn remove_reclaims_space() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        let t = fs.pwrite(ino, 0, &bytes(8, 1), Nanos::ZERO).unwrap();
+        fs.remove("a", t).unwrap();
+        assert!(matches!(fs.open("a"), Err(FsError::NotFound { .. })));
+        // All space is reclaimable: a new file can use the full budget.
+        let ino2 = fs.create("b", t).unwrap();
+        let mut t2 = t;
+        for b in 0..100u64 {
+            t2 = fs.pwrite(ino2, b * BLOCK_SIZE as u64, &bytes(1, 2), t2).unwrap();
+        }
+    }
+
+    #[test]
+    fn fsync_flushes_only_that_files_nodes() {
+        let fs = fs();
+        let a = fs.create("a", Nanos::ZERO).unwrap();
+        let b = fs.create("b", Nanos::ZERO).unwrap();
+        fs.pwrite(a, 0, &bytes(1, 1), Nanos::ZERO).unwrap();
+        fs.pwrite(b, 0, &bytes(1, 1), Nanos::ZERO).unwrap();
+        let before = fs.stats().node_blocks_written;
+        fs.fsync(a, Nanos::ZERO).unwrap();
+        let after = fs.stats().node_blocks_written;
+        assert_eq!(after - before, 1, "exactly a's one dirty node flushes");
+    }
+
+    #[test]
+    fn checkpoint_mount_recovers_files() {
+        let config = FsConfig::small_test();
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let meta = Arc::new(RamDisk::new(config.meta_blocks));
+        let fs1 = FileSystem::format_on(dev.clone(), meta.clone(), &config);
+        let ino = fs1.create("persist", Nanos::ZERO).unwrap();
+        let t = fs1.pwrite(ino, 0, &bytes(5, 0xee), Nanos::ZERO).unwrap();
+        let t = fs1.checkpoint(t).unwrap();
+        drop(fs1); // crash after checkpoint
+
+        let (fs2, t) = FileSystem::mount(dev, meta, &config, t).unwrap();
+        let ino2 = fs2.open("persist").unwrap();
+        assert_eq!(fs2.size(ino2).unwrap(), 5 * BLOCK_SIZE as u64);
+        let mut out = bytes(5, 0);
+        fs2.pread(ino2, 0, &mut out, t).unwrap();
+        assert!(out.iter().all(|&x| x == 0xee));
+        // And the recovered fs keeps working.
+        let t = fs2.pwrite(ino2, 0, &bytes(1, 0xdd), t).unwrap();
+        let mut out = bytes(1, 0);
+        fs2.pread(ino2, 0, &mut out, t).unwrap();
+        assert!(out.iter().all(|&x| x == 0xdd));
+    }
+
+    #[test]
+    fn mount_restores_live_data_accounting() {
+        let config = FsConfig::small_test();
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let meta = Arc::new(RamDisk::new(config.meta_blocks));
+        let fs1 = FileSystem::format_on(dev.clone(), meta.clone(), &config);
+        let ino = fs1.create("f", Nanos::ZERO).unwrap();
+        let t = fs1.pwrite(ino, 0, &bytes(10, 1), Nanos::ZERO).unwrap();
+        let free_before = fs1.free_bytes();
+        let t = fs1.checkpoint(t).unwrap();
+        drop(fs1);
+
+        let (fs2, _t) = FileSystem::mount(dev, meta, &config, t).unwrap();
+        // The quota must reflect the 10 live blocks, not reset to zero.
+        assert_eq!(fs2.free_bytes(), free_before);
+    }
+
+    #[test]
+    fn mount_without_checkpoint_fails() {
+        let config = FsConfig::small_test();
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let meta = Arc::new(RamDisk::new(config.meta_blocks));
+        let _fs = FileSystem::format_on(dev.clone(), meta.clone(), &config);
+        assert!(matches!(
+            FileSystem::mount(dev, meta, &config, Nanos::ZERO),
+            Err(FsError::BadSuperblock(_))
+        ));
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_interval() {
+        let mut config = FsConfig::small_test();
+        config.checkpoint_interval_blocks = 10;
+        let fs = FileSystem::format(config);
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        let mut t = Nanos::ZERO;
+        for b in 0..25u64 {
+            t = fs.pwrite(ino, b * BLOCK_SIZE as u64, &bytes(1, 1), t).unwrap();
+        }
+        assert!(fs.stats().checkpoints >= 2);
+    }
+
+    #[test]
+    fn punch_hole_reads_zero_and_reclaims_space() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        let t = fs.pwrite(ino, 0, &bytes(4, 9), Nanos::ZERO).unwrap();
+        let free_before = fs.free_bytes();
+        fs.punch_hole(ino, BLOCK_SIZE as u64, 2 * BLOCK_SIZE as u64, t).unwrap();
+        // Size is unchanged; the punched blocks read zero.
+        assert_eq!(fs.size(ino).unwrap(), 4 * BLOCK_SIZE as u64);
+        let mut out = bytes(4, 1);
+        fs.pread(ino, 0, &mut out, t).unwrap();
+        assert!(out[..BLOCK_SIZE].iter().all(|&b| b == 9));
+        assert!(out[BLOCK_SIZE..3 * BLOCK_SIZE].iter().all(|&b| b == 0));
+        assert!(out[3 * BLOCK_SIZE..].iter().all(|&b| b == 9));
+        assert_eq!(fs.free_bytes(), free_before + 2 * BLOCK_SIZE as u64);
+        // Punching a hole twice (or over holes) is harmless.
+        fs.punch_hole(ino, 0, 4 * BLOCK_SIZE as u64, t).unwrap();
+        fs.punch_hole(ino, 0, 8 * BLOCK_SIZE as u64, t).unwrap();
+    }
+
+    #[test]
+    fn punch_hole_validates_arguments() {
+        let fs = fs();
+        let ino = fs.create("a", Nanos::ZERO).unwrap();
+        assert!(matches!(
+            fs.punch_hole(ino, 3, 4096, Nanos::ZERO),
+            Err(FsError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            fs.punch_hole(ino, 0, 0, Nanos::ZERO),
+            Err(FsError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            fs.punch_hole(Ino(99), 0, 4096, Nanos::ZERO),
+            Err(FsError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_bytes_excludes_reserve() {
+        let fs = fs();
+        assert_eq!(fs.capacity_bytes(), 416 * BLOCK_SIZE as u64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Core identifiers and the filesystem error type.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An inode number. `f2fs-lite` has a flat namespace: one directory of
+/// files, which is all a cache workload needs.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ino(pub u32);
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino:{}", self.0)
+    }
+}
+
+/// A main-area block address: a 4 KiB block index within the filesystem's
+/// main (data + node) area on the zoned device.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Mba(pub u32);
+
+/// The write heads (logs) of the filesystem, in the spirit of F2FS's
+/// multi-head logging. Each log appends into its own open zone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogType {
+    /// Fresh application data.
+    HotData,
+    /// Data migrated by the cleaner (presumed colder).
+    ColdData,
+    /// Node blocks: the pointer tree.
+    Node,
+}
+
+impl LogType {
+    /// All logs, in a stable order.
+    pub const ALL: [LogType; 3] = [LogType::HotData, LogType::ColdData, LogType::Node];
+}
+
+/// Errors returned by the filesystem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// A file with this name already exists.
+    Exists {
+        /// Offending name.
+        name: String,
+    },
+    /// No file with this name or inode.
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// Offset or length not 4 KiB-aligned.
+    Misaligned {
+        /// Offending value.
+        value: u64,
+    },
+    /// The filesystem's user-visible space is exhausted.
+    NoSpace,
+    /// Read past the end of a file.
+    BeyondEof {
+        /// Attempted offset (bytes).
+        offset: u64,
+        /// File size (bytes).
+        size: u64,
+    },
+    /// The metadata device contains no valid filesystem.
+    BadSuperblock(String),
+    /// An error from the zoned device; indicates a bug in this crate.
+    Device(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::Exists { name } => write!(f, "file '{name}' already exists"),
+            FsError::NotFound { what } => write!(f, "'{what}' not found"),
+            FsError::Misaligned { value } => {
+                write!(f, "offset/length {value} is not 4096-aligned")
+            }
+            FsError::NoSpace => f.write_str("filesystem out of space"),
+            FsError::BeyondEof { offset, size } => {
+                write!(f, "read at {offset} beyond end of {size}-byte file")
+            }
+            FsError::BadSuperblock(msg) => write!(f, "bad superblock: {msg}"),
+            FsError::Device(msg) => write!(f, "device error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<zns::ZnsError> for FsError {
+    fn from(err: zns::ZnsError) -> Self {
+        FsError::Device(err.to_string())
+    }
+}
+
+impl From<sim::IoError> for FsError {
+    fn from(err: sim::IoError) -> Self {
+        FsError::Device(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ino(3).to_string(), "ino:3");
+        assert!(FsError::NoSpace.to_string().contains("space"));
+        assert!(FsError::Misaligned { value: 17 }.to_string().contains("17"));
+    }
+
+    #[test]
+    fn log_list_is_exhaustive() {
+        assert_eq!(LogType::ALL.len(), 3);
+    }
+
+    #[test]
+    fn conversions_preserve_message() {
+        let zerr = zns::ZnsError::NoSuchZone { zone: 5, zones: 4 };
+        let f: FsError = zerr.into();
+        assert!(f.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,293 @@
+//! Hard disk drive latency model.
+//!
+//! The paper's end-to-end evaluation (Fig. 5, Table 2) stores the RocksDB
+//! LSM tree on a Seagate ST6000NM0115 HDD, making the database acutely
+//! sensitive to the secondary cache's hit ratio — every cache miss pays a
+//! mechanical seek. This crate models that mechanism:
+//!
+//! * **Seek** — settle time plus a distance-dependent term (square-root
+//!   profile, the classic arm-acceleration model),
+//! * **Rotation** — half a revolution on average after a seek,
+//! * **Transfer** — media rate for the bytes moved,
+//! * **Sequential detection** — I/O contiguous with the previous request
+//!   skips seek and rotation entirely, so compaction-style streaming is
+//!   cheap while random point reads are expensive.
+//!
+//! A single head serializes all requests, queueing behind `busy_until`.
+//!
+//! # Example
+//!
+//! ```
+//! use hdd::{Hdd, HddConfig};
+//! use sim::{BlockDevice, Lba, Nanos, BLOCK_SIZE};
+//!
+//! let disk = Hdd::new(HddConfig::small_test());
+//! let data = vec![1u8; BLOCK_SIZE];
+//! let t1 = disk.write(Lba(0), &data, Nanos::ZERO).unwrap();
+//! // Sequential follow-up is far cheaper than a random jump.
+//! let t2 = disk.write(Lba(1), &data, t1).unwrap();
+//! let t3 = disk.write(Lba(3000), &data, t2).unwrap();
+//! assert!((t3 - t2) > (t2 - t1));
+//! ```
+
+use core::fmt;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::{BlockDevice, Counter, IoResult, Lba, Nanos, BLOCK_SIZE};
+
+/// Configuration for an [`Hdd`].
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HddConfig {
+    /// Capacity in 4 KiB blocks.
+    pub blocks: u64,
+    /// Arm settle time added to every non-sequential access.
+    pub settle: Nanos,
+    /// Full-stroke seek time (distance = whole disk).
+    pub full_stroke_seek: Nanos,
+    /// Average rotational delay (half a revolution).
+    pub half_rotation: Nanos,
+    /// Transfer time per 4 KiB block.
+    pub transfer_per_block: Nanos,
+    /// Whether to keep payload bytes in memory. Metadata-only mode reads
+    /// zeros, for experiments whose datasets exceed host DRAM.
+    pub store_payloads: bool,
+}
+
+impl HddConfig {
+    /// A 7200 RPM enterprise-drive profile at a given capacity.
+    pub fn enterprise_7200rpm(blocks: u64) -> Self {
+        HddConfig {
+            blocks,
+            settle: Nanos::from_micros(500),
+            full_stroke_seek: Nanos::from_millis(8),
+            half_rotation: Nanos::from_micros(4167),
+            transfer_per_block: Nanos::from_micros(22),
+            store_payloads: true,
+        }
+    }
+
+    /// Small, fast-seeking disk for unit tests.
+    pub fn small_test() -> Self {
+        HddConfig {
+            blocks: 4096,
+            settle: Nanos::from_micros(50),
+            full_stroke_seek: Nanos::from_micros(800),
+            half_rotation: Nanos::from_micros(400),
+            transfer_per_block: Nanos::from_micros(2),
+            store_payloads: true,
+        }
+    }
+}
+
+/// Point-in-time HDD statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HddStatsSnapshot {
+    /// Blocks read.
+    pub blocks_read: u64,
+    /// Blocks written.
+    pub blocks_written: u64,
+    /// Requests that paid a seek (non-sequential).
+    pub seeks: u64,
+    /// Requests served sequentially.
+    pub sequential: u64,
+}
+
+struct HddState {
+    head: u64,
+    busy_until: Nanos,
+    data: Vec<u8>,
+}
+
+/// A single-actuator hard disk implementing [`BlockDevice`].
+pub struct Hdd {
+    config: HddConfig,
+    state: Mutex<HddState>,
+    blocks_read: Counter,
+    blocks_written: Counter,
+    seeks: Counter,
+    sequential: Counter,
+}
+
+impl fmt::Debug for Hdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hdd")
+            .field("blocks", &self.config.blocks)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Hdd {
+    /// Builds the disk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured capacity is zero.
+    pub fn new(config: HddConfig) -> Self {
+        assert!(config.blocks > 0, "HDD capacity must be non-zero");
+        let bytes = if config.store_payloads {
+            (config.blocks as usize) * BLOCK_SIZE
+        } else {
+            0
+        };
+        Hdd {
+            config,
+            state: Mutex::new(HddState {
+                head: 0,
+                busy_until: Nanos::ZERO,
+                data: vec![0u8; bytes],
+            }),
+            blocks_read: Counter::new(),
+            blocks_written: Counter::new(),
+            seeks: Counter::new(),
+            sequential: Counter::new(),
+        }
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> HddStatsSnapshot {
+        HddStatsSnapshot {
+            blocks_read: self.blocks_read.get(),
+            blocks_written: self.blocks_written.get(),
+            seeks: self.seeks.get(),
+            sequential: self.sequential.get(),
+        }
+    }
+
+    /// Positioning + transfer cost for a request at `lba` of `nblocks`,
+    /// given the head position; updates head and counters.
+    fn service(&self, s: &mut HddState, lba: Lba, nblocks: u64, now: Nanos) -> Nanos {
+        let start = now.max(s.busy_until);
+        let positioning = if lba.0 == s.head {
+            self.sequential.incr();
+            Nanos::ZERO
+        } else {
+            self.seeks.incr();
+            let dist = lba.0.abs_diff(s.head) as f64 / self.config.blocks as f64;
+            let seek =
+                Nanos::from_nanos((self.config.full_stroke_seek.as_nanos() as f64 * dist.sqrt()) as u64);
+            self.config.settle + seek + self.config.half_rotation
+        };
+        let transfer = self.config.transfer_per_block * nblocks;
+        let done = start + positioning + transfer;
+        s.head = lba.0 + nblocks;
+        s.busy_until = done;
+        done
+    }
+}
+
+impl BlockDevice for Hdd {
+    fn block_count(&self) -> u64 {
+        self.config.blocks
+    }
+
+    fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos> {
+        let n = sim::io::check_request(lba, buf.len(), self.config.blocks)?;
+        let mut s = self.state.lock();
+        let done = self.service(&mut s, lba, n, now);
+        if self.config.store_payloads {
+            let start = lba.byte_offset() as usize;
+            buf.copy_from_slice(&s.data[start..start + buf.len()]);
+        } else {
+            buf.fill(0);
+        }
+        self.blocks_read.add(n);
+        Ok(done)
+    }
+
+    fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos> {
+        let n = sim::io::check_request(lba, data.len(), self.config.blocks)?;
+        let mut s = self.state.lock();
+        let done = self.service(&mut s, lba, n, now);
+        if self.config.store_payloads {
+            let start = lba.byte_offset() as usize;
+            s.data[start..start + data.len()].copy_from_slice(data);
+        }
+        self.blocks_written.add(n);
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> Hdd {
+        Hdd::new(HddConfig::small_test())
+    }
+
+    fn buf(n: usize, fill: u8) -> Vec<u8> {
+        vec![fill; n * BLOCK_SIZE]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let d = disk();
+        let t = d.write(Lba(10), &buf(2, 0x7f), Nanos::ZERO).unwrap();
+        let mut out = buf(2, 0);
+        d.read(Lba(10), &mut out, t).unwrap();
+        assert!(out.iter().all(|&b| b == 0x7f));
+    }
+
+    #[test]
+    fn sequential_io_skips_positioning() {
+        let d = disk();
+        let data = buf(1, 1);
+        let t1 = d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let t2 = d.write(Lba(1), &data, t1).unwrap();
+        assert_eq!(t2 - t1, HddConfig::small_test().transfer_per_block);
+        // Both writes were sequential (the head parks at block 0).
+        assert_eq!(d.stats().sequential, 2);
+    }
+
+    #[test]
+    fn longer_seeks_cost_more() {
+        let d = disk();
+        let data = buf(1, 1);
+        let t0 = d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let near = d.write(Lba(16), &data, t0).unwrap() - t0;
+        let d2 = disk();
+        let t0 = d2.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let far = d2.write(Lba(4000), &data, t0).unwrap() - t0;
+        assert!(far > near, "far {far} should exceed near {near}");
+    }
+
+    #[test]
+    fn head_serializes_requests() {
+        let d = disk();
+        let data = buf(1, 1);
+        // Issue two ops "at the same time"; the second queues.
+        let t1 = d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let t2 = d.write(Lba(2000), &data, Nanos::ZERO).unwrap();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn metadata_only_mode_reads_zeros() {
+        let mut cfg = HddConfig::small_test();
+        cfg.store_payloads = false;
+        let d = Hdd::new(cfg);
+        let t = d.write(Lba(0), &buf(1, 9), Nanos::ZERO).unwrap();
+        let mut out = buf(1, 9);
+        d.read(Lba(0), &mut out, t).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let d = disk();
+        assert!(d.write(Lba(4096), &buf(1, 0), Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn stats_track_ops() {
+        let d = disk();
+        d.write(Lba(0), &buf(4, 1), Nanos::ZERO).unwrap();
+        let mut out = buf(4, 0);
+        d.read(Lba(0), &mut out, Nanos::ZERO).unwrap();
+        let s = d.stats();
+        assert_eq!(s.blocks_written, 4);
+        assert_eq!(s.blocks_read, 4);
+    }
+}

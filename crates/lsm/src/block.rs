@@ -1,0 +1,227 @@
+//! SST data-block encoding.
+//!
+//! A data block is a sorted run of entries:
+//! `[u16 key_len][u32 value_tag][key][value]`, where `value_tag` is the
+//! value length or [`TOMBSTONE`] for deletions. Blocks target 4 KiB — the
+//! unit the block cache and secondary cache operate on.
+
+use bytes::{Buf, BufMut, Bytes};
+
+use crate::types::DbError;
+
+/// Value tag marking a deletion entry.
+pub const TOMBSTONE: u32 = u32::MAX;
+
+/// Target encoded size of one data block.
+pub const BLOCK_TARGET: usize = 4096;
+
+/// Builds data blocks from entries appended in sorted order.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl BlockBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry. `value = None` encodes a tombstone.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        self.buf.put_u16_le(key.len() as u16);
+        match value {
+            Some(v) => {
+                self.buf.put_u32_le(v.len() as u32);
+                self.buf.put_slice(key);
+                self.buf.put_slice(v);
+            }
+            None => {
+                self.buf.put_u32_le(TOMBSTONE);
+                self.buf.put_slice(key);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Encoded size so far.
+    pub fn size(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Entries added so far.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the block has reached its target size.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() >= BLOCK_TARGET
+    }
+
+    /// Whether the block has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the block, returning its bytes (entry-count prefixed) and
+    /// resetting the builder.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.buf.len());
+        out.put_u32_le(self.count);
+        out.extend_from_slice(&self.buf);
+        self.count = 0;
+        self.buf.clear();
+        out
+    }
+}
+
+/// Searches an encoded block for a key.
+///
+/// Returns `Ok(Some(None))` for a tombstone hit, `Ok(Some(Some(v)))` for a
+/// value hit, `Ok(None)` for absent.
+///
+/// # Errors
+///
+/// [`DbError::Corruption`] on malformed encoding.
+pub fn block_get(block: &[u8], key: &[u8]) -> Result<Option<Option<Bytes>>, DbError> {
+    let mut buf = block;
+    if buf.remaining() < 4 {
+        return Err(DbError::Corruption("block too short for header".into()));
+    }
+    let count = buf.get_u32_le();
+    for _ in 0..count {
+        if buf.remaining() < 6 {
+            return Err(DbError::Corruption("entry overruns block".into()));
+        }
+        let klen = buf.get_u16_le() as usize;
+        let tag = buf.get_u32_le();
+        if buf.remaining() < klen {
+            return Err(DbError::Corruption("key overruns block".into()));
+        }
+        let this_key = &buf[..klen];
+        let matches = this_key == key;
+        // Sorted blocks allow early exit once past the key.
+        let past = this_key > key;
+        buf.advance(klen);
+        if tag == TOMBSTONE {
+            if matches {
+                return Ok(Some(None));
+            }
+        } else {
+            let vlen = tag as usize;
+            if buf.remaining() < vlen {
+                return Err(DbError::Corruption("value overruns block".into()));
+            }
+            if matches {
+                return Ok(Some(Some(Bytes::copy_from_slice(&buf[..vlen]))));
+            }
+            buf.advance(vlen);
+        }
+        if past {
+            return Ok(None);
+        }
+    }
+    Ok(None)
+}
+
+/// Decodes every entry of a block (compaction input path).
+///
+/// # Errors
+///
+/// [`DbError::Corruption`] on malformed encoding.
+pub fn block_entries(block: &[u8]) -> Result<Vec<(Bytes, Option<Bytes>)>, DbError> {
+    let mut buf = block;
+    if buf.remaining() < 4 {
+        return Err(DbError::Corruption("block too short for header".into()));
+    }
+    let count = buf.get_u32_le();
+    let mut out = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        if buf.remaining() < 6 {
+            return Err(DbError::Corruption("entry overruns block".into()));
+        }
+        let klen = buf.get_u16_le() as usize;
+        let tag = buf.get_u32_le();
+        if buf.remaining() < klen {
+            return Err(DbError::Corruption("key overruns block".into()));
+        }
+        let key = Bytes::copy_from_slice(&buf[..klen]);
+        buf.advance(klen);
+        if tag == TOMBSTONE {
+            out.push((key, None));
+        } else {
+            let vlen = tag as usize;
+            if buf.remaining() < vlen {
+                return Err(DbError::Corruption("value overruns block".into()));
+            }
+            out.push((key, Some(Bytes::copy_from_slice(&buf[..vlen]))));
+            buf.advance(vlen);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_search() {
+        let mut b = BlockBuilder::new();
+        b.add(b"apple", Some(b"red"));
+        b.add(b"banana", None);
+        b.add(b"cherry", Some(b"dark"));
+        let block = b.finish();
+
+        assert_eq!(
+            block_get(&block, b"apple").unwrap(),
+            Some(Some(Bytes::from_static(b"red")))
+        );
+        assert_eq!(block_get(&block, b"banana").unwrap(), Some(None));
+        assert_eq!(block_get(&block, b"zzz").unwrap(), None);
+        assert_eq!(block_get(&block, b"aaa").unwrap(), None);
+    }
+
+    #[test]
+    fn builder_resets_after_finish() {
+        let mut b = BlockBuilder::new();
+        b.add(b"k", Some(b"v"));
+        assert!(!b.is_empty());
+        let _ = b.finish();
+        assert!(b.is_empty());
+        assert_eq!(b.size(), 0);
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let mut b = BlockBuilder::new();
+        b.add(b"a", Some(b"1"));
+        b.add(b"b", None);
+        let block = b.finish();
+        let entries = block_entries(&block).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0.as_ref(), b"a");
+        assert_eq!(entries[1].1, None);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut b = BlockBuilder::new();
+        b.add(b"key", Some(b"value"));
+        let mut block = b.finish();
+        block.truncate(block.len() - 2);
+        assert!(block_get(&block, b"key").is_err());
+    }
+
+    #[test]
+    fn full_flag_trips_at_target() {
+        let mut b = BlockBuilder::new();
+        let v = vec![0u8; 512];
+        while !b.is_full() {
+            b.add(b"somekey", Some(&v));
+        }
+        assert!(b.size() >= BLOCK_TARGET);
+    }
+}

@@ -1,0 +1,97 @@
+//! A double-hashing bloom filter for SST key membership.
+//!
+//! RocksDB attaches a bloom filter per table so point lookups skip tables
+//! that cannot contain the key — essential for the readrandom workloads
+//! where most tables are irrelevant to any one key.
+
+/// A fixed-size bloom filter built once over a key set.
+///
+/// # Example
+///
+/// ```
+/// use lsm::bloom::BloomFilter;
+///
+/// let bloom = BloomFilter::build([b"a".as_slice(), b"b".as_slice()], 10);
+/// assert!(bloom.may_contain(b"a"));
+/// assert!(!bloom.may_contain(b"definitely-not-here"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: u64,
+    k: u32,
+}
+
+fn hash128(key: &[u8]) -> (u64, u64) {
+    // FNV-1a in two lanes with different offsets.
+    let (mut a, mut b) = (0xcbf2_9ce4_8422_2325u64, 0x6c62_272e_07bb_0142u64);
+    for &byte in key {
+        a = (a ^ byte as u64).wrapping_mul(0x1_0000_01b3);
+        b = (b ^ byte as u64).wrapping_mul(0x1_0000_01b5);
+    }
+    (a, b | 1) // odd step for full cycle
+}
+
+impl BloomFilter {
+    /// Builds a filter with `bits_per_key` bits per element (10 gives ~1%
+    /// false positives).
+    pub fn build<'a>(keys: impl IntoIterator<Item = &'a [u8]>, bits_per_key: u32) -> Self {
+        let keys: Vec<&[u8]> = keys.into_iter().collect();
+        let nbits = ((keys.len() as u64) * bits_per_key as u64).max(64);
+        let k = ((bits_per_key as f64) * 0.69).round().clamp(1.0, 30.0) as u32;
+        let mut bits = vec![0u64; nbits.div_ceil(64) as usize];
+        let nbits = bits.len() as u64 * 64;
+        for key in keys {
+            let (h1, h2) = hash128(key);
+            for i in 0..k {
+                let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % nbits;
+                bits[(bit / 64) as usize] |= 1 << (bit % 64);
+            }
+        }
+        BloomFilter { bits, nbits, k }
+    }
+
+    /// Whether the key might be in the set (no false negatives).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash128(key);
+        (0..self.k).all(|i| {
+            let bit = h1.wrapping_add(h2.wrapping_mul(i as u64)) % self.nbits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the filter in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("key{i}").into_bytes()).collect();
+        let bloom = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
+        for k in &keys {
+            assert!(bloom.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let keys: Vec<Vec<u8>> = (0..10_000u32).map(|i| format!("in{i}").into_bytes()).collect();
+        let bloom = BloomFilter::build(keys.iter().map(|k| k.as_slice()), 10);
+        let fp = (0..10_000u32)
+            .filter(|i| bloom.may_contain(format!("out{i}").as_bytes()))
+            .count();
+        assert!(fp < 300, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let bloom = BloomFilter::build(std::iter::empty(), 10);
+        assert!(!bloom.may_contain(b"anything"));
+    }
+}

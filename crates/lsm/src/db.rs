@@ -1,0 +1,605 @@
+//! The LSM database: memtable, leveled SSTs, flush and compaction.
+//!
+//! A deliberate miniature of RocksDB's read/write paths:
+//!
+//! * writes land in a sorted memtable; a full memtable flushes to an L0
+//!   table (L0 tables overlap),
+//! * when L0 accumulates `l0_trigger` tables they are merged with L1 into
+//!   fresh non-overlapping L1 tables; oversized levels cascade downward
+//!   with a 10× size multiplier (full-level merges — partial compactions
+//!   are a fidelity loss documented in DESIGN.md),
+//! * reads consult memtable → L0 (newest first) → one candidate table per
+//!   deeper level, each data-block access going through the
+//!   [`BlockCache`] and therefore through the secondary cache when one is
+//!   attached.
+//!
+//! There is no WAL: the paper's db_bench runs measure steady-state
+//! performance, not crash recovery of the database itself.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::{BlockDevice, Nanos};
+
+use crate::cache::{BlockCache, BlockCacheStatsSnapshot, SecondaryCache};
+use crate::table::{Table, TableStore};
+use crate::types::DbError;
+
+/// Number of levels below L0.
+const MAX_LEVELS: usize = 4;
+
+/// Configuration for [`Db::open`].
+pub struct DbConfig {
+    /// Backing device for SSTs (the paper uses an HDD).
+    pub dev: Arc<dyn BlockDevice>,
+    /// Memtable flush threshold in bytes.
+    pub memtable_bytes: usize,
+    /// L0 table count that triggers compaction into L1.
+    pub l0_trigger: usize,
+    /// Target cumulative size of L1; deeper levels scale by
+    /// `level_multiplier`.
+    pub l1_target_bytes: u64,
+    /// Per-level size multiplier (RocksDB default: 10).
+    pub level_multiplier: u64,
+    /// Target size of one output table.
+    pub table_target_bytes: usize,
+    /// Bloom filter bits per key.
+    pub bloom_bits_per_key: u32,
+    /// DRAM block-cache capacity in bytes.
+    pub block_cache_bytes: usize,
+    /// Optional flash secondary cache (the paper's CacheLib integration).
+    pub secondary: Option<Arc<dyn SecondaryCache>>,
+    /// CPU cost per put/get before any I/O.
+    pub op_cpu: Nanos,
+}
+
+impl DbConfig {
+    /// In-memory configuration for unit tests.
+    pub fn small_test() -> Self {
+        DbConfig {
+            dev: Arc::new(sim::RamDisk::new(8192)),
+            memtable_bytes: 16 * 1024,
+            l0_trigger: 4,
+            l1_target_bytes: 128 * 1024,
+            level_multiplier: 4,
+            table_target_bytes: 32 * 1024,
+            bloom_bits_per_key: 10,
+            block_cache_bytes: 32 * 1024,
+            secondary: None,
+            op_cpu: Nanos::from_nanos(1_000),
+        }
+    }
+}
+
+/// Point-in-time database statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DbStatsSnapshot {
+    /// Put operations.
+    pub puts: u64,
+    /// Get operations.
+    pub gets: u64,
+    /// Gets answered from the memtable.
+    pub memtable_hits: u64,
+    /// Memtable flushes.
+    pub flushes: u64,
+    /// Compaction rounds.
+    pub compactions: u64,
+    /// Entries rewritten by compaction.
+    pub compacted_entries: u64,
+    /// Live tables per level (L0 first).
+    pub tables_per_level: [u32; MAX_LEVELS],
+}
+
+struct DbInner {
+    memtable: BTreeMap<Bytes, Option<Bytes>>,
+    memtable_bytes: usize,
+    /// `levels[0]` = L0 (overlapping, oldest first); deeper levels sorted
+    /// by first key, non-overlapping.
+    levels: Vec<Vec<Arc<Table>>>,
+    next_table_id: u64,
+    stats: DbStatsSnapshot,
+}
+
+/// The database handle. Internally locked; methods take `&self`.
+pub struct Db {
+    store: Arc<TableStore>,
+    cache: Arc<BlockCache>,
+    memtable_limit: usize,
+    l0_trigger: usize,
+    l1_target: u64,
+    level_multiplier: u64,
+    table_target: usize,
+    bloom_bits: u32,
+    op_cpu: Nanos,
+    inner: Mutex<DbInner>,
+}
+
+impl core::fmt::Debug for Db {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Db").field("stats", &self.stats()).finish()
+    }
+}
+
+impl Db {
+    /// Opens a fresh database on the configured device.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; reserved for device validation.
+    pub fn open(config: DbConfig) -> Result<Self, DbError> {
+        let store = Arc::new(TableStore::new(config.dev));
+        let cache = Arc::new(BlockCache::new(config.block_cache_bytes, config.secondary));
+        Ok(Db {
+            store,
+            cache,
+            memtable_limit: config.memtable_bytes.max(1024),
+            l0_trigger: config.l0_trigger.max(2),
+            l1_target: config.l1_target_bytes.max(1024),
+            level_multiplier: config.level_multiplier.max(2),
+            table_target: config.table_target_bytes.max(4096),
+            bloom_bits: config.bloom_bits_per_key,
+            op_cpu: config.op_cpu,
+            inner: Mutex::new(DbInner {
+                memtable: BTreeMap::new(),
+                memtable_bytes: 0,
+                levels: vec![Vec::new(); MAX_LEVELS],
+                next_table_id: 1,
+                stats: DbStatsSnapshot::default(),
+            }),
+        })
+    }
+
+    /// Database statistics.
+    pub fn stats(&self) -> DbStatsSnapshot {
+        let inner = self.inner.lock();
+        let mut s = inner.stats;
+        for (i, level) in inner.levels.iter().enumerate() {
+            s.tables_per_level[i] = level.len() as u32;
+        }
+        s
+    }
+
+    /// Block-cache statistics (DRAM + secondary tiers).
+    pub fn cache_stats(&self) -> BlockCacheStatsSnapshot {
+        self.cache.stats()
+    }
+
+    /// Inserts or overwrites a key.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TooLarge`] for oversized keys/values; storage failures
+    /// from flush/compaction.
+    pub fn put(&self, key: &[u8], value: &[u8], now: Nanos) -> Result<Nanos, DbError> {
+        self.write(key, Some(value), now)
+    }
+
+    /// Deletes a key (writes a tombstone).
+    ///
+    /// # Errors
+    ///
+    /// As [`Db::put`].
+    pub fn delete(&self, key: &[u8], now: Nanos) -> Result<Nanos, DbError> {
+        self.write(key, None, now)
+    }
+
+    fn write(&self, key: &[u8], value: Option<&[u8]>, now: Nanos) -> Result<Nanos, DbError> {
+        if key.len() > u16::MAX as usize {
+            return Err(DbError::TooLarge {
+                what: "key",
+                len: key.len(),
+            });
+        }
+        if let Some(v) = value {
+            // One entry must fit a 4 KiB data block (header + key + value).
+            if 6 + key.len() + v.len() > crate::block::BLOCK_TARGET {
+                return Err(DbError::TooLarge {
+                    what: "value",
+                    len: v.len(),
+                });
+            }
+        }
+        let mut inner = self.inner.lock();
+        let entry_bytes = key.len() + value.map_or(0, <[u8]>::len) + 16;
+        inner.memtable.insert(
+            Bytes::copy_from_slice(key),
+            value.map(Bytes::copy_from_slice),
+        );
+        inner.memtable_bytes += entry_bytes;
+        inner.stats.puts += 1;
+        let mut t = now + self.op_cpu;
+        if inner.memtable_bytes >= self.memtable_limit {
+            t = self.flush_locked(&mut inner, t)?;
+            t = self.maybe_compact(&mut inner, t)?;
+        }
+        Ok(t)
+    }
+
+    /// Flushes the memtable into a new L0 table.
+    fn flush_locked(&self, inner: &mut DbInner, now: Nanos) -> Result<Nanos, DbError> {
+        if inner.memtable.is_empty() {
+            return Ok(now);
+        }
+        let entries: Vec<(Bytes, Option<Bytes>)> = std::mem::take(&mut inner.memtable)
+            .into_iter()
+            .collect();
+        inner.memtable_bytes = 0;
+        let id = inner.next_table_id;
+        inner.next_table_id += 1;
+        let (table, t) = Table::build(id, self.store.clone(), &entries, self.bloom_bits, now)?;
+        inner.levels[0].push(Arc::new(table));
+        inner.stats.flushes += 1;
+        Ok(t)
+    }
+
+    /// Forces a memtable flush (benchmarks call this between phases).
+    ///
+    /// # Errors
+    ///
+    /// Storage failures.
+    pub fn flush(&self, now: Nanos) -> Result<Nanos, DbError> {
+        let mut inner = self.inner.lock();
+        let t = self.flush_locked(&mut inner, now)?;
+        self.maybe_compact(&mut inner, t)
+    }
+
+    fn level_bytes(level: &[Arc<Table>]) -> u64 {
+        // Approximate: data blocks dominate.
+        level
+            .iter()
+            .map(|t| t.data_blocks() as u64 * sim::BLOCK_SIZE as u64)
+            .sum()
+    }
+
+    /// Runs the compaction cascade until every level is within target.
+    fn maybe_compact(&self, inner: &mut DbInner, now: Nanos) -> Result<Nanos, DbError> {
+        let mut t = now;
+        if inner.levels[0].len() >= self.l0_trigger {
+            t = self.compact_into(inner, 0, t)?;
+        }
+        for level in 1..MAX_LEVELS - 1 {
+            let target = self.l1_target * self.level_multiplier.pow(level as u32 - 1);
+            if Self::level_bytes(&inner.levels[level]) > target {
+                t = self.compact_into(inner, level, t)?;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Merges level `from` (entirely) with level `from + 1`.
+    fn compact_into(&self, inner: &mut DbInner, from: usize, now: Nanos) -> Result<Nanos, DbError> {
+        let to = from + 1;
+        let drop_tombstones = to == MAX_LEVELS - 1;
+        let upper = std::mem::take(&mut inner.levels[from]);
+        let lower = std::mem::take(&mut inner.levels[to]);
+        if upper.is_empty() {
+            inner.levels[to] = lower;
+            return Ok(now);
+        }
+        // Apply oldest → newest so newer versions overwrite older ones:
+        // lower level first, then upper in push (age) order.
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        let mut t = now;
+        for table in lower.iter().chain(upper.iter()) {
+            let (entries, t2) = table.scan(t)?;
+            t = t2;
+            inner.stats.compacted_entries += entries.len() as u64;
+            for (k, v) in entries {
+                merged.insert(k, v);
+            }
+        }
+        // Emit output tables of ~table_target bytes.
+        let mut out_entries: Vec<(Bytes, Option<Bytes>)> = Vec::new();
+        let mut out_bytes = 0usize;
+        let mut outputs: Vec<Arc<Table>> = Vec::new();
+        for (k, v) in merged {
+            if drop_tombstones && v.is_none() {
+                continue;
+            }
+            out_bytes += k.len() + v.as_ref().map_or(0, Bytes::len) + 8;
+            out_entries.push((k, v));
+            if out_bytes >= self.table_target {
+                let id = inner.next_table_id;
+                inner.next_table_id += 1;
+                let (table, t2) =
+                    Table::build(id, self.store.clone(), &out_entries, self.bloom_bits, t)?;
+                t = t2;
+                outputs.push(Arc::new(table));
+                out_entries = Vec::new();
+                out_bytes = 0;
+            }
+        }
+        if !out_entries.is_empty() {
+            let id = inner.next_table_id;
+            inner.next_table_id += 1;
+            let (table, t2) =
+                Table::build(id, self.store.clone(), &out_entries, self.bloom_bits, t)?;
+            t = t2;
+            outputs.push(Arc::new(table));
+        }
+        // Release inputs and install outputs.
+        for table in upper.iter().chain(lower.iter()) {
+            table.release();
+        }
+        inner.levels[to] = outputs;
+        inner.stats.compactions += 1;
+        Ok(t)
+    }
+
+    /// Scans keys in `[start, end)`, newest version wins, tombstones
+    /// filtered — RocksDB's iterator semantics for a bounded range.
+    ///
+    /// # Errors
+    ///
+    /// Storage or corruption failures.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        now: Nanos,
+    ) -> Result<(Vec<(Bytes, Bytes)>, Nanos), DbError> {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        let mut t = now + self.op_cpu;
+        if start >= end {
+            return Ok((Vec::new(), t));
+        }
+        // Collect candidate tables oldest-first so newer versions overwrite.
+        let (tables, mem_entries): (Vec<Arc<Table>>, Vec<(Bytes, Option<Bytes>)>) = {
+            let inner = self.inner.lock();
+            let mut tables = Vec::new();
+            // Deepest level first (oldest data), L0 last in age order.
+            for level in inner.levels[1..].iter().rev() {
+                for table in level {
+                    tables.push(table.clone());
+                }
+            }
+            for table in &inner.levels[0] {
+                tables.push(table.clone());
+            }
+            let mem = inner
+                .memtable
+                .range(Bytes::copy_from_slice(start)..Bytes::copy_from_slice(end))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            (tables, mem)
+        };
+        for table in tables {
+            let (entries, t2) = table.scan_range(start, end, t)?;
+            t = t2;
+            for (k, v) in entries {
+                merged.insert(k, v);
+            }
+        }
+        // The memtable is newest of all.
+        for (k, v) in mem_entries {
+            merged.insert(k, v);
+        }
+        let out = merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect();
+        Ok((out, t))
+    }
+
+    /// Looks up a key.
+    ///
+    /// # Errors
+    ///
+    /// Storage or corruption failures.
+    pub fn get(&self, key: &[u8], now: Nanos) -> Result<(Option<Bytes>, Nanos), DbError> {
+        let mut t = now + self.op_cpu;
+        // Collect lookup candidates under the lock, then do I/O without it.
+        let candidates: Vec<Arc<Table>> = {
+            let mut inner = self.inner.lock();
+            inner.stats.gets += 1;
+            if let Some(v) = inner.memtable.get(key).cloned() {
+                inner.stats.memtable_hits += 1;
+                return Ok((v, t));
+            }
+            let mut c: Vec<Arc<Table>> = Vec::new();
+            // L0: newest first.
+            for table in inner.levels[0].iter().rev() {
+                if table.covers(key) && table.may_contain(key) {
+                    c.push(table.clone());
+                }
+            }
+            for level in inner.levels[1..].iter() {
+                // Non-overlapping: binary search for the covering table.
+                let idx = level.partition_point(|table| table.first_key().as_ref() <= key);
+                if idx > 0 {
+                    let table = &level[idx - 1];
+                    if table.covers(key) && table.may_contain(key) {
+                        c.push(table.clone());
+                    }
+                }
+            }
+            c
+        };
+
+        for table in candidates {
+            let block = table.block_for(key);
+            let (bytes, t2) = self.cache.get_block(table.id(), block, t, |start| {
+                table.read_block(block, start)
+            })?;
+            t = t2;
+            match table.search_block(&bytes, key)? {
+                Some(Some(v)) => return Ok((Some(v), t)),
+                Some(None) => return Ok((None, t)), // tombstone
+                None => continue,
+            }
+        }
+        Ok((None, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Db {
+        Db::open(DbConfig::small_test()).unwrap()
+    }
+
+    #[test]
+    fn put_get_from_memtable() {
+        let d = db();
+        let t = d.put(b"k", b"v", Nanos::ZERO).unwrap();
+        let (v, _) = d.get(b"k", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"v"[..]));
+        assert_eq!(d.stats().memtable_hits, 1);
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let d = db();
+        let (v, _) = d.get(b"nope", Nanos::ZERO).unwrap();
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn flush_moves_data_to_l0_and_reads_still_work() {
+        let d = db();
+        let mut t = Nanos::ZERO;
+        for i in 0..100u32 {
+            t = d.put(format!("key{i:04}").as_bytes(), b"value", t).unwrap();
+        }
+        t = d.flush(t).unwrap();
+        assert!(d.stats().flushes >= 1);
+        let (v, _) = d.get(b"key0042", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"value"[..]));
+    }
+
+    #[test]
+    fn overwrites_and_deletes_respect_recency_across_flushes() {
+        let d = db();
+        let t = d.put(b"a", b"1", Nanos::ZERO).unwrap();
+        let t = d.flush(t).unwrap();
+        let t = d.put(b"a", b"2", t).unwrap();
+        let t = d.flush(t).unwrap();
+        let (v, t) = d.get(b"a", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"2"[..]));
+        let t = d.delete(b"a", t).unwrap();
+        let t = d.flush(t).unwrap();
+        let (v, _) = d.get(b"a", t).unwrap();
+        assert!(v.is_none(), "tombstone ignored");
+    }
+
+    #[test]
+    fn sustained_writes_trigger_compaction_and_stay_readable() {
+        let d = db();
+        let mut t = Nanos::ZERO;
+        let value = vec![7u8; 64];
+        for i in 0..4000u32 {
+            let key = format!("key{:06}", i % 1500);
+            t = d.put(key.as_bytes(), &value, t).unwrap();
+        }
+        t = d.flush(t).unwrap();
+        let s = d.stats();
+        assert!(s.compactions > 0, "no compaction: {s:?}");
+        // Spot-check reads.
+        for i in (0..1500u32).step_by(173) {
+            let key = format!("key{:06}", i);
+            let (v, t2) = d.get(key.as_bytes(), t).unwrap();
+            assert_eq!(v.as_deref(), Some(&value[..]), "{key} lost");
+            t = t2;
+        }
+        // L0 is under control.
+        assert!(s.tables_per_level[0] < 8);
+    }
+
+    #[test]
+    fn deletes_purge_at_bottom_level() {
+        let d = db();
+        let mut t = Nanos::ZERO;
+        let value = vec![1u8; 64];
+        for i in 0..500u32 {
+            t = d.put(format!("k{i:05}").as_bytes(), &value, t).unwrap();
+        }
+        for i in 0..500u32 {
+            t = d.delete(format!("k{i:05}").as_bytes(), t).unwrap();
+        }
+        t = d.flush(t).unwrap();
+        for i in (0..500u32).step_by(97) {
+            let (v, t2) = d.get(format!("k{i:05}").as_bytes(), t).unwrap();
+            assert!(v.is_none());
+            t = t2;
+        }
+    }
+
+    #[test]
+    fn block_cache_accelerates_repeat_reads() {
+        let d = db();
+        let mut t = Nanos::ZERO;
+        for i in 0..200u32 {
+            t = d.put(format!("key{i:04}").as_bytes(), b"value", t).unwrap();
+        }
+        t = d.flush(t).unwrap();
+        let (_, t1) = d.get(b"key0100", t).unwrap();
+        let cold = t1 - t;
+        let (_, t2) = d.get(b"key0100", t1).unwrap();
+        let warm = t2 - t1;
+        assert!(warm < cold, "cache had no effect: warm {warm} cold {cold}");
+        assert!(d.cache_stats().dram_hits >= 1);
+    }
+
+    #[test]
+    fn range_scan_merges_levels_and_memtable() {
+        let d = db();
+        let mut t = Nanos::ZERO;
+        // Older versions on disk.
+        for i in 0..200u32 {
+            t = d.put(format!("k{i:04}").as_bytes(), b"old", t).unwrap();
+        }
+        t = d.flush(t).unwrap();
+        // Newer versions for some keys; one delete; one memtable-only key.
+        t = d.put(b"k0010", b"new", t).unwrap();
+        t = d.delete(b"k0011", t).unwrap();
+        t = d.flush(t).unwrap();
+        t = d.put(b"k0012", b"newest", t).unwrap(); // stays in memtable
+
+        let (got, _) = d.scan(b"k0009", b"k0014", t).unwrap();
+        let as_strings: Vec<(String, String)> = got
+            .iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(k).into_owned(),
+                    String::from_utf8_lossy(v).into_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            as_strings,
+            vec![
+                ("k0009".into(), "old".into()),
+                ("k0010".into(), "new".into()),
+                // k0011 deleted
+                ("k0012".into(), "newest".into()),
+                ("k0013".into(), "old".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges_scan_to_nothing() {
+        let d = db();
+        let t = d.put(b"a", b"1", Nanos::ZERO).unwrap();
+        let (got, _) = d.scan(b"x", b"z", t).unwrap();
+        assert!(got.is_empty());
+        let (got, _) = d.scan(b"z", b"a", t).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let d = db();
+        let big = vec![0u8; 70_000];
+        assert!(matches!(
+            d.put(&big, b"v", Nanos::ZERO),
+            Err(DbError::TooLarge { what: "key", .. })
+        ));
+    }
+}

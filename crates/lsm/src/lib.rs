@@ -1,0 +1,42 @@
+//! A miniature LSM-tree key-value store with a RocksDB-style secondary
+//! cache hook.
+//!
+//! The paper's end-to-end evaluation (§4.2) integrates CacheLib into
+//! RocksDB as its *secondary cache*: SST data blocks evicted from the DRAM
+//! block cache are demoted to flash, and DRAM misses consult flash before
+//! paying an HDD read. This crate reproduces that exact dependency chain:
+//!
+//! * [`Db`] — memtable → L0 → leveled SSTs, flush + compaction,
+//! * [`Table`](table::Table) — sorted-string tables with block index and
+//!   bloom filter, stored on any [`sim::BlockDevice`] (the experiments use
+//!   the `hdd` crate's drive),
+//! * [`BlockCache`] — sharded-free DRAM LRU over data blocks with an
+//!   optional [`SecondaryCache`]; the provided [`NavySecondary`] adapter
+//!   plugs in any `zns-cache` scheme,
+//! * db_bench-style drivers ([`bench`](crate::bench)) for `fillrandom` / `readrandom`
+//!   with exp-range skew.
+//!
+//! # Example
+//!
+//! ```
+//! use lsm::{Db, DbConfig};
+//! use sim::Nanos;
+//! use std::sync::Arc;
+//!
+//! let db = Db::open(DbConfig::small_test()).unwrap();
+//! let t = db.put(b"k", b"v", Nanos::ZERO).unwrap();
+//! let (v, _t) = db.get(b"k", t).unwrap();
+//! assert_eq!(v.as_deref(), Some(&b"v"[..]));
+//! ```
+
+pub mod bench;
+pub mod bloom;
+pub mod block;
+pub mod cache;
+pub mod db;
+pub mod table;
+pub mod types;
+
+pub use cache::{BlockCache, NavySecondary, SecondaryCache};
+pub use db::{Db, DbConfig, DbStatsSnapshot};
+pub use types::DbError;

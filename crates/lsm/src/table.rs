@@ -1,0 +1,445 @@
+//! Sorted-string tables and their on-device extent store.
+//!
+//! Tables are immutable sorted runs: 4 KiB data blocks, an in-memory block
+//! index (first key per block), and a bloom filter. Blocks are written
+//! sequentially — the HDD-friendly pattern real LSM stores rely on — and
+//! read back one block at a time through the block cache.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use sim::{BlockDevice, Lba, Nanos, BLOCK_SIZE};
+
+use crate::block::{block_entries, block_get, BlockBuilder, BLOCK_TARGET};
+use crate::bloom::BloomFilter;
+use crate::types::DbError;
+
+/// A first-fit extent allocator over a block device, shared by all tables.
+pub struct TableStore {
+    dev: Arc<dyn BlockDevice>,
+    /// Sorted free extents (start, len) in blocks.
+    free: Mutex<Vec<(u64, u64)>>,
+}
+
+impl TableStore {
+    /// Takes over an entire device.
+    pub fn new(dev: Arc<dyn BlockDevice>) -> Self {
+        let blocks = dev.block_count();
+        TableStore {
+            dev,
+            free: Mutex::new(vec![(0, blocks)]),
+        }
+    }
+
+    /// Allocates `blocks` contiguous blocks (first fit).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Storage`] when no extent fits.
+    pub fn alloc(&self, blocks: u64) -> Result<u64, DbError> {
+        let mut free = self.free.lock();
+        for i in 0..free.len() {
+            let (start, len) = free[i];
+            if len >= blocks {
+                if len == blocks {
+                    free.remove(i);
+                } else {
+                    free[i] = (start + blocks, len - blocks);
+                }
+                return Ok(start);
+            }
+        }
+        Err(DbError::Storage(format!(
+            "no extent of {blocks} blocks available"
+        )))
+    }
+
+    /// Returns an extent to the free pool, coalescing neighbours.
+    pub fn release(&self, start: u64, blocks: u64) {
+        let mut free = self.free.lock();
+        let pos = free.partition_point(|&(s, _)| s < start);
+        free.insert(pos, (start, blocks));
+        // Coalesce around the insertion point.
+        if pos + 1 < free.len() && free[pos].0 + free[pos].1 == free[pos + 1].0 {
+            free[pos].1 += free[pos + 1].1;
+            free.remove(pos + 1);
+        }
+        if pos > 0 && free[pos - 1].0 + free[pos - 1].1 == free[pos].0 {
+            free[pos - 1].1 += free[pos].1;
+            free.remove(pos);
+        }
+    }
+
+    /// Total free blocks.
+    pub fn free_blocks(&self) -> u64 {
+        self.free.lock().iter().map(|&(_, l)| l).sum()
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.dev
+    }
+}
+
+impl core::fmt::Debug for TableStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TableStore")
+            .field("free_blocks", &self.free_blocks())
+            .finish()
+    }
+}
+
+/// An immutable sorted table on the store.
+pub struct Table {
+    id: u64,
+    store: Arc<TableStore>,
+    start_block: u64,
+    data_blocks: u32,
+    /// First key of each data block.
+    index: Vec<Bytes>,
+    bloom: BloomFilter,
+    first_key: Bytes,
+    last_key: Bytes,
+    entries: u64,
+}
+
+impl core::fmt::Debug for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("blocks", &self.data_blocks)
+            .field("entries", &self.entries)
+            .finish()
+    }
+}
+
+impl Table {
+    /// Builds a table from entries that MUST be sorted by key with no
+    /// duplicates. Returns the table and the write completion time.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Storage`] on allocation failure; device I/O errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if entries are unsorted — a compaction bug.
+    pub fn build(
+        id: u64,
+        store: Arc<TableStore>,
+        entries: &[(Bytes, Option<Bytes>)],
+        bloom_bits_per_key: u32,
+        now: Nanos,
+    ) -> Result<(Self, Nanos), DbError> {
+        assert!(!entries.is_empty(), "cannot build an empty table");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "table entries must be strictly sorted"
+        );
+        // Encode data blocks: exactly one 4 KiB device block each (blocks
+        // close *before* an entry would overflow, so block index == device
+        // block offset). Oversized entries are rejected upstream.
+        let mut blocks: Vec<Vec<u8>> = Vec::new();
+        let mut index = Vec::new();
+        let mut builder = BlockBuilder::new();
+        let mut block_first: Option<Bytes> = None;
+        for (key, value) in entries {
+            let encoded = 6 + key.len() + value.as_ref().map_or(0, |v| v.len());
+            assert!(
+                encoded + 4 <= BLOCK_TARGET,
+                "entry of {encoded} bytes exceeds the block size; enforce limits upstream"
+            );
+            // +4 for the entry-count prefix finish() adds.
+            if !builder.is_empty() && 4 + builder.size() + encoded > BLOCK_TARGET {
+                index.push(block_first.take().expect("set at first add"));
+                let mut data = builder.finish();
+                data.resize(BLOCK_SIZE, 0);
+                blocks.push(data);
+            }
+            if block_first.is_none() {
+                block_first = Some(key.clone());
+            }
+            builder.add(key, value.as_deref());
+        }
+        if !builder.is_empty() {
+            index.push(block_first.take().expect("set at first add"));
+            let mut data = builder.finish();
+            data.resize(BLOCK_SIZE, 0);
+            blocks.push(data);
+        }
+        let data_device_blocks: u64 = blocks.len() as u64;
+        // Metadata footprint (index + bloom), persisted after the data.
+        let bloom = BloomFilter::build(entries.iter().map(|(k, _)| k.as_ref()), bloom_bits_per_key);
+        let meta_bytes: usize =
+            index.iter().map(|k| k.len() + 4).sum::<usize>() + bloom.size_bytes() + 64;
+        let meta_device_blocks = meta_bytes.div_ceil(BLOCK_SIZE) as u64;
+
+        let total = data_device_blocks + meta_device_blocks;
+        let start = store.alloc(total)?;
+        // Sequential write of the whole table.
+        let mut t = now;
+        let mut lba = start;
+        for data in &blocks {
+            t = store.dev.write(Lba(lba), data, t)?;
+            lba += (data.len() / BLOCK_SIZE) as u64;
+        }
+        // Metadata blocks (content is reconstructed from memory on open;
+        // the write models its I/O cost).
+        let meta = vec![0u8; (meta_device_blocks as usize) * BLOCK_SIZE];
+        t = store.dev.write(Lba(lba), &meta, t)?;
+
+        Ok((
+            Table {
+                id,
+                store,
+                start_block: start,
+                data_blocks: blocks.len() as u32,
+                index,
+                bloom,
+                first_key: entries[0].0.clone(),
+                last_key: entries[entries.len() - 1].0.clone(),
+                entries: entries.len() as u64,
+            },
+            t,
+        ))
+    }
+
+    /// Table id (unique per database).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of entries.
+    pub fn entry_count(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of 4 KiB data blocks.
+    pub fn data_blocks(&self) -> u32 {
+        self.data_blocks
+    }
+
+    /// Smallest key.
+    pub fn first_key(&self) -> &Bytes {
+        &self.first_key
+    }
+
+    /// Largest key.
+    pub fn last_key(&self) -> &Bytes {
+        &self.last_key
+    }
+
+    /// Whether `key` falls in this table's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        self.first_key.as_ref() <= key && key <= self.last_key.as_ref()
+    }
+
+    /// Whether the bloom filter admits the key.
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        self.bloom.may_contain(key)
+    }
+
+    /// The data block index that could contain `key`.
+    pub fn block_for(&self, key: &[u8]) -> u32 {
+        // Last block whose first key <= key.
+        match self.index.partition_point(|first| first.as_ref() <= key) {
+            0 => 0,
+            n => (n - 1) as u32,
+        }
+    }
+
+    /// Reads one data block from the device (the block-cache miss path).
+    ///
+    /// # Errors
+    ///
+    /// Device I/O failures.
+    pub fn read_block(&self, block: u32, now: Nanos) -> Result<(Bytes, Nanos), DbError> {
+        debug_assert!(block < self.data_blocks);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let t = self
+            .store
+            .dev
+            .read(Lba(self.start_block + block as u64), &mut buf, now)?;
+        Ok((Bytes::from(buf), t))
+    }
+
+    /// Searches one (decoded) block for the key.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Corruption`] on malformed blocks.
+    pub fn search_block(
+        &self,
+        block_bytes: &[u8],
+        key: &[u8],
+    ) -> Result<Option<Option<Bytes>>, DbError> {
+        block_get(block_bytes, key)
+    }
+
+    /// Streams every entry (compaction input). Returns entries and the
+    /// read completion time.
+    ///
+    /// # Errors
+    ///
+    /// Device/decode failures.
+    pub fn scan(&self, now: Nanos) -> Result<(Vec<(Bytes, Option<Bytes>)>, Nanos), DbError> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        let mut t = now;
+        for b in 0..self.data_blocks {
+            let (bytes, t2) = self.read_block(b, t)?;
+            t = t2;
+            out.extend(block_entries(&bytes)?);
+        }
+        Ok((out, t))
+    }
+
+    /// Streams entries with keys in `[start, end)`. Reads only the data
+    /// blocks that can intersect the range.
+    ///
+    /// # Errors
+    ///
+    /// Device/decode failures.
+    pub fn scan_range(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        now: Nanos,
+    ) -> Result<(Vec<(Bytes, Option<Bytes>)>, Nanos), DbError> {
+        let mut out = Vec::new();
+        let mut t = now;
+        if start >= end || end <= self.first_key.as_ref() || start > self.last_key.as_ref() {
+            return Ok((out, t));
+        }
+        let first_block = self.block_for(start);
+        for b in first_block..self.data_blocks {
+            // Stop once the block starts at or past the range end.
+            if self.index[b as usize].as_ref() >= end && b > first_block {
+                break;
+            }
+            let (bytes, t2) = self.read_block(b, t)?;
+            t = t2;
+            for (k, v) in block_entries(&bytes)? {
+                if k.as_ref() >= end {
+                    return Ok((out, t));
+                }
+                if k.as_ref() >= start {
+                    out.push((k, v));
+                }
+            }
+        }
+        Ok((out, t))
+    }
+
+    /// Frees the table's extent. Call exactly once, when the table leaves
+    /// the live version set.
+    pub fn release(&self) {
+        let meta_blocks = {
+            let meta_bytes: usize =
+                self.index.iter().map(|k| k.len() + 4).sum::<usize>() + self.bloom.size_bytes() + 64;
+            meta_bytes.div_ceil(BLOCK_SIZE) as u64
+        };
+        self.store
+            .release(self.start_block, self.data_blocks as u64 + meta_blocks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::RamDisk;
+
+    fn store() -> Arc<TableStore> {
+        Arc::new(TableStore::new(Arc::new(RamDisk::new(4096))))
+    }
+
+    fn entries(n: u32) -> Vec<(Bytes, Option<Bytes>)> {
+        (0..n)
+            .map(|i| {
+                (
+                    Bytes::from(format!("key{i:06}")),
+                    Some(Bytes::from(format!("value{i}"))),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extent_alloc_release_coalesce() {
+        let s = store();
+        let total = s.free_blocks();
+        let a = s.alloc(10).unwrap();
+        let b = s.alloc(20).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(s.free_blocks(), total - 30);
+        s.release(a, 10);
+        s.release(b, 20);
+        assert_eq!(s.free_blocks(), total);
+        // Fully coalesced back into one extent: a full-size alloc works.
+        let c = s.alloc(total).unwrap();
+        s.release(c, total);
+    }
+
+    #[test]
+    fn alloc_failure_when_fragmented_or_full() {
+        let dev: Arc<dyn BlockDevice> = Arc::new(RamDisk::new(16));
+        let s = TableStore::new(dev);
+        let _a = s.alloc(16).unwrap();
+        assert!(s.alloc(1).is_err());
+    }
+
+    #[test]
+    fn build_and_point_lookup() {
+        let s = store();
+        let ents = entries(500);
+        let (table, t) = Table::build(1, s, &ents, 10, Nanos::ZERO).unwrap();
+        assert!(table.data_blocks() > 1, "should span multiple blocks");
+        assert_eq!(table.entry_count(), 500);
+        // Every key findable via block_for + read_block + search_block.
+        for (key, value) in ents.iter().step_by(41) {
+            assert!(table.covers(key));
+            assert!(table.may_contain(key));
+            let block = table.block_for(key);
+            let (bytes, _) = table.read_block(block, t).unwrap();
+            let got = table.search_block(&bytes, key).unwrap();
+            assert_eq!(got, Some(value.clone()), "key {key:?}");
+        }
+        // Absent keys.
+        let block = table.block_for(b"zzz");
+        let (bytes, _) = table.read_block(block, t).unwrap();
+        assert_eq!(table.search_block(&bytes, b"zzz~nope").unwrap(), None);
+    }
+
+    #[test]
+    fn scan_returns_everything_in_order() {
+        let s = store();
+        let ents = entries(300);
+        let (table, t) = Table::build(2, s, &ents, 10, Nanos::ZERO).unwrap();
+        let (scanned, _) = table.scan(t).unwrap();
+        assert_eq!(scanned.len(), 300);
+        assert!(scanned.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(scanned, ents);
+    }
+
+    #[test]
+    fn release_returns_space() {
+        let s = store();
+        let before = s.free_blocks();
+        let (table, _) = Table::build(3, s.clone(), &entries(100), 10, Nanos::ZERO).unwrap();
+        assert!(s.free_blocks() < before);
+        table.release();
+        assert_eq!(s.free_blocks(), before);
+    }
+
+    #[test]
+    fn tombstones_survive_build() {
+        let s = store();
+        let ents = vec![
+            (Bytes::from_static(b"a"), Some(Bytes::from_static(b"1"))),
+            (Bytes::from_static(b"b"), None),
+        ];
+        let (table, t) = Table::build(4, s, &ents, 10, Nanos::ZERO).unwrap();
+        let (bytes, _) = table.read_block(0, t).unwrap();
+        assert_eq!(table.search_block(&bytes, b"b").unwrap(), Some(None));
+    }
+}

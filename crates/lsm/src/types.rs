@@ -1,0 +1,56 @@
+//! Error types for the KV store.
+
+use core::fmt;
+
+/// Errors returned by the database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// Storage device failure or exhaustion.
+    Storage(String),
+    /// Corrupt on-disk structure (bad block, bad footer).
+    Corruption(String),
+    /// Key or value exceeds format limits.
+    TooLarge {
+        /// What was too large, e.g. `"key"`.
+        what: &'static str,
+        /// Its length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Storage(msg) => write!(f, "storage error: {msg}"),
+            DbError::Corruption(msg) => write!(f, "corruption: {msg}"),
+            DbError::TooLarge { what, len } => write!(f, "{what} of {len} bytes too large"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<sim::IoError> for DbError {
+    fn from(err: sim::IoError) -> Self {
+        DbError::Storage(err.to_string())
+    }
+}
+
+impl From<zns_cache::CacheError> for DbError {
+    fn from(err: zns_cache::CacheError) -> Self {
+        DbError::Storage(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(DbError::Corruption("x".into()).to_string().contains('x'));
+        let e: DbError = sim::IoError::NoSpace.into();
+        assert!(e.to_string().contains("space"));
+        assert!(DbError::TooLarge { what: "key", len: 9 }.to_string().contains("key"));
+    }
+}

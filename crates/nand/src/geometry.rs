@@ -1,0 +1,210 @@
+//! Flash geometry: channels, dies, blocks, pages, and the flat address
+//! spaces over them.
+//!
+//! Pages are 4 KiB — the logical block size of the host interface — which
+//! keeps the FTL mapping 1:1 and the model simple without changing any of
+//! the dynamics the paper measures.
+//!
+//! Flat addressing is die-major:
+//! `die = channel * dies_per_channel + die_in_channel`,
+//! `block = die * blocks_per_die + block_in_die`,
+//! `page = block * pages_per_block + page_in_block`.
+
+use serde::{Deserialize, Serialize};
+
+/// A die identified by its flat index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DieId(pub u32);
+
+/// A physical erase block identified by its flat index across the array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(pub u64);
+
+/// A physical flash page identified by its flat index across the array.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageAddr(pub u64);
+
+/// Physical shape of the flash array.
+///
+/// # Example
+///
+/// ```
+/// use nand::Geometry;
+///
+/// let g = Geometry::new(2, 2, 16, 64);
+/// assert_eq!(g.total_dies(), 4);
+/// assert_eq!(g.total_blocks(), 64);
+/// assert_eq!(g.total_pages(), 4096);
+/// assert_eq!(g.capacity_bytes(), 4096 * 4096);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Independent channels (shared data buses).
+    pub channels: u32,
+    /// Dies attached to each channel.
+    pub dies_per_channel: u32,
+    /// Erase blocks per die.
+    pub blocks_per_die: u32,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        channels: u32,
+        dies_per_channel: u32,
+        blocks_per_die: u32,
+        pages_per_block: u32,
+    ) -> Self {
+        assert!(
+            channels > 0 && dies_per_channel > 0 && blocks_per_die > 0 && pages_per_block > 0,
+            "geometry dimensions must be non-zero"
+        );
+        Geometry {
+            channels,
+            dies_per_channel,
+            blocks_per_die,
+            pages_per_block,
+        }
+    }
+
+    /// Page size in bytes. Fixed to the host logical block size.
+    #[inline]
+    pub const fn page_size(&self) -> usize {
+        sim::BLOCK_SIZE
+    }
+
+    /// Total dies in the array.
+    #[inline]
+    pub const fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Total erase blocks in the array.
+    #[inline]
+    pub const fn total_blocks(&self) -> u64 {
+        self.total_dies() as u64 * self.blocks_per_die as u64
+    }
+
+    /// Total pages in the array.
+    #[inline]
+    pub const fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    #[inline]
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.page_size() as u64
+    }
+
+    /// Bytes per erase block.
+    #[inline]
+    pub const fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_size() as u64
+    }
+
+    /// The die a block lives on.
+    #[inline]
+    pub fn die_of_block(&self, block: BlockAddr) -> DieId {
+        DieId((block.0 / self.blocks_per_die as u64) as u32)
+    }
+
+    /// The channel a die hangs off.
+    #[inline]
+    pub fn channel_of_die(&self, die: DieId) -> u32 {
+        die.0 / self.dies_per_channel
+    }
+
+    /// The block containing a page.
+    #[inline]
+    pub fn block_of_page(&self, page: PageAddr) -> BlockAddr {
+        BlockAddr(page.0 / self.pages_per_block as u64)
+    }
+
+    /// Page index within its block.
+    #[inline]
+    pub fn page_in_block(&self, page: PageAddr) -> u32 {
+        (page.0 % self.pages_per_block as u64) as u32
+    }
+
+    /// First page of a block.
+    #[inline]
+    pub fn first_page_of_block(&self, block: BlockAddr) -> PageAddr {
+        PageAddr(block.0 * self.pages_per_block as u64)
+    }
+
+    /// Whether a page address is within the array.
+    #[inline]
+    pub fn contains_page(&self, page: PageAddr) -> bool {
+        page.0 < self.total_pages()
+    }
+
+    /// Whether a block address is within the array.
+    #[inline]
+    pub fn contains_block(&self, block: BlockAddr) -> bool {
+        block.0 < self.total_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Geometry {
+        Geometry::new(2, 3, 10, 8)
+    }
+
+    #[test]
+    fn totals() {
+        let g = g();
+        assert_eq!(g.total_dies(), 6);
+        assert_eq!(g.total_blocks(), 60);
+        assert_eq!(g.total_pages(), 480);
+        assert_eq!(g.block_bytes(), 8 * 4096);
+    }
+
+    #[test]
+    fn address_mapping_round_trips() {
+        let g = g();
+        for b in 0..g.total_blocks() {
+            let block = BlockAddr(b);
+            let first = g.first_page_of_block(block);
+            assert_eq!(g.block_of_page(first), block);
+            assert_eq!(g.page_in_block(first), 0);
+            let last = PageAddr(first.0 + g.pages_per_block as u64 - 1);
+            assert_eq!(g.block_of_page(last), block);
+            assert_eq!(g.page_in_block(last), g.pages_per_block - 1);
+        }
+    }
+
+    #[test]
+    fn die_and_channel_of_block() {
+        let g = g();
+        assert_eq!(g.die_of_block(BlockAddr(0)), DieId(0));
+        assert_eq!(g.die_of_block(BlockAddr(10)), DieId(1));
+        assert_eq!(g.die_of_block(BlockAddr(59)), DieId(5));
+        assert_eq!(g.channel_of_die(DieId(2)), 0);
+        assert_eq!(g.channel_of_die(DieId(3)), 1);
+    }
+
+    #[test]
+    fn bounds_checks() {
+        let g = g();
+        assert!(g.contains_page(PageAddr(479)));
+        assert!(!g.contains_page(PageAddr(480)));
+        assert!(g.contains_block(BlockAddr(59)));
+        assert!(!g.contains_block(BlockAddr(60)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dimension_panics() {
+        let _ = Geometry::new(0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Backing stores for page payloads.
+//!
+//! The timing/state model in [`crate::array`] is independent of whether page
+//! *contents* are retained:
+//!
+//! * [`RamStore`] keeps real bytes — used by tests and examples that verify
+//!   data integrity end to end.
+//! * [`SparseStore`] keeps nothing and reads back zeros — used by large
+//!   experiments where the host has far less DRAM than the simulated device
+//!   (the cache's hit/miss behaviour is index-driven, so payload bytes do
+//!   not affect any reported metric).
+//!
+//! Which pages have been written at all is tracked by the array itself (it
+//! needs that for program-order enforcement), so stores only handle bytes.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::geometry::PageAddr;
+
+/// Selects a backing store implementation in configuration types.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreKind {
+    /// Keep page payloads in memory ([`RamStore`]).
+    #[default]
+    Ram,
+    /// Discard payloads, read back zeros ([`SparseStore`]).
+    Sparse,
+}
+
+impl StoreKind {
+    /// Instantiates the selected store.
+    pub fn build(self) -> Box<dyn PageStore> {
+        match self {
+            StoreKind::Ram => Box::new(RamStore::new()),
+            StoreKind::Sparse => Box::new(SparseStore::new()),
+        }
+    }
+}
+
+/// Storage for page payloads.
+///
+/// Implementations are internally synchronized; the array calls them under
+/// its own scheduling lock.
+pub trait PageStore: Send + Sync {
+    /// Stores one page worth of bytes.
+    fn write(&self, addr: PageAddr, data: &[u8]);
+
+    /// Loads one page into `buf`; fills zeros if the payload was discarded.
+    fn read(&self, addr: PageAddr, buf: &mut [u8]);
+
+    /// Drops payloads for a page range (called on block erase).
+    fn discard(&self, first: PageAddr, pages: u64);
+
+    /// Approximate resident bytes, for memory-budget reporting.
+    fn resident_bytes(&self) -> u64;
+}
+
+/// A store that keeps real page payloads in a hash map.
+///
+/// # Example
+///
+/// ```
+/// use nand::{PageAddr, PageStore, RamStore};
+///
+/// let s = RamStore::new();
+/// s.write(PageAddr(7), &[1, 2, 3]);
+/// let mut buf = [0u8; 3];
+/// s.read(PageAddr(7), &mut buf);
+/// assert_eq!(buf, [1, 2, 3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct RamStore {
+    pages: Mutex<HashMap<u64, Box<[u8]>>>,
+}
+
+impl RamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PageStore for RamStore {
+    fn write(&self, addr: PageAddr, data: &[u8]) {
+        self.pages.lock().insert(addr.0, data.into());
+    }
+
+    fn read(&self, addr: PageAddr, buf: &mut [u8]) {
+        match self.pages.lock().get(&addr.0) {
+            Some(data) => {
+                let n = buf.len().min(data.len());
+                buf[..n].copy_from_slice(&data[..n]);
+                buf[n..].fill(0);
+            }
+            None => buf.fill(0),
+        }
+    }
+
+    fn discard(&self, first: PageAddr, pages: u64) {
+        let mut map = self.pages.lock();
+        for p in first.0..first.0 + pages {
+            map.remove(&p);
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let map = self.pages.lock();
+        map.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// A store that discards payloads; reads return zeros.
+///
+/// Used for multi-GiB experiments where only metadata (mappings, validity,
+/// timing) matters.
+#[derive(Debug, Default)]
+pub struct SparseStore;
+
+impl SparseStore {
+    /// Creates the store.
+    pub fn new() -> Self {
+        SparseStore
+    }
+}
+
+impl PageStore for SparseStore {
+    fn write(&self, _addr: PageAddr, _data: &[u8]) {}
+
+    fn read(&self, _addr: PageAddr, buf: &mut [u8]) {
+        buf.fill(0);
+    }
+
+    fn discard(&self, _first: PageAddr, _pages: u64) {}
+
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_store_round_trip_and_discard() {
+        let s = RamStore::new();
+        s.write(PageAddr(1), &[9u8; 8]);
+        s.write(PageAddr(2), &[8u8; 8]);
+        assert_eq!(s.resident_bytes(), 16);
+
+        let mut buf = [0u8; 8];
+        s.read(PageAddr(1), &mut buf);
+        assert_eq!(buf, [9u8; 8]);
+
+        s.discard(PageAddr(1), 1);
+        s.read(PageAddr(1), &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        s.read(PageAddr(2), &mut buf);
+        assert_eq!(buf, [8u8; 8]);
+    }
+
+    #[test]
+    fn ram_store_short_payload_zero_fills() {
+        let s = RamStore::new();
+        s.write(PageAddr(0), &[1u8; 4]);
+        let mut buf = [7u8; 8];
+        s.read(PageAddr(0), &mut buf);
+        assert_eq!(buf, [1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sparse_store_reads_zeros() {
+        let s = SparseStore::new();
+        s.write(PageAddr(0), &[1u8; 8]);
+        let mut buf = [7u8; 8];
+        s.read(PageAddr(0), &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn store_kind_builds() {
+        let r = StoreKind::Ram.build();
+        r.write(PageAddr(0), &[1]);
+        let mut b = [0u8; 1];
+        r.read(PageAddr(0), &mut b);
+        assert_eq!(b, [1]);
+
+        let s = StoreKind::Sparse.build();
+        s.write(PageAddr(0), &[1]);
+        s.read(PageAddr(0), &mut b);
+        assert_eq!(b, [0]);
+    }
+}

@@ -1,0 +1,76 @@
+//! NAND operation timing.
+//!
+//! Values are typical for recent TLC flash, expressed per 4 KiB page. The
+//! absolute numbers only set the scale of results; the paper's conclusions
+//! depend on the *ratios* (program ≫ read ≫ transfer, erase ≫ program),
+//! which these defaults preserve.
+
+use serde::{Deserialize, Serialize};
+use sim::Nanos;
+
+/// Timing parameters of the flash array.
+///
+/// # Example
+///
+/// ```
+/// use nand::NandTiming;
+///
+/// let t = NandTiming::default();
+/// assert!(t.block_erase > t.page_program);
+/// assert!(t.page_program > t.page_read);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NandTiming {
+    /// Array-to-register sense time for one page (tR).
+    pub page_read: Nanos,
+    /// Register-to-array program time for one page (tPROG).
+    pub page_program: Nanos,
+    /// Block erase time (tBERS).
+    pub block_erase: Nanos,
+    /// Channel transfer time for one page each way (page_size / bus rate).
+    pub bus_transfer: Nanos,
+    /// Extra latency a read pays when its die is mid-program/mid-erase:
+    /// the cost of suspending the write operation (read-priority
+    /// scheduling, as real SSD firmware does — without it a read queued
+    /// behind a whole zone write would wait for every page of it).
+    pub read_suspend: Nanos,
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        NandTiming {
+            page_read: Nanos::from_micros(50),
+            page_program: Nanos::from_micros(500),
+            block_erase: Nanos::from_millis(3),
+            bus_transfer: Nanos::from_micros(5),
+            read_suspend: Nanos::from_micros(250),
+        }
+    }
+}
+
+impl NandTiming {
+    /// A uniformly faster profile used by tests that only check ordering
+    /// and bookkeeping, not absolute latency.
+    pub fn fast_test() -> Self {
+        NandTiming {
+            page_read: Nanos::from_micros(1),
+            page_program: Nanos::from_micros(4),
+            block_erase: Nanos::from_micros(20),
+            bus_transfer: Nanos::from_nanos(200),
+            read_suspend: Nanos::from_micros(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ratios_are_flash_like() {
+        let t = NandTiming::default();
+        assert!(t.block_erase.as_nanos() >= 4 * t.page_program.as_nanos());
+        assert!(t.page_program.as_nanos() >= 5 * t.page_read.as_nanos());
+        assert!(t.page_read.as_nanos() >= 2 * t.bus_transfer.as_nanos());
+    }
+}

@@ -1,0 +1,197 @@
+//! Closed-loop workload driver.
+//!
+//! The paper's CacheBench and db_bench runs are closed loops: a fixed number
+//! of client threads each issue the next operation as soon as the previous
+//! one completes. [`ClosedLoop`] reproduces that under simulated time: it
+//! tracks one timeline per worker, always advances the worker whose clock is
+//! furthest behind, and asks the caller to execute one operation at that
+//! worker's current time.
+//!
+//! Device models serialize conflicting hardware (dies, channels, heads)
+//! internally, so concurrency effects — e.g. foreground reads stalling
+//! behind GC migrations — emerge naturally from the interleaving.
+
+use crate::histogram::LatencyHistogram;
+use crate::time::Nanos;
+
+/// Outcome of a finished closed-loop run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Operations completed across all workers.
+    pub ops: u64,
+    /// Simulated makespan: the latest completion time over all workers.
+    pub makespan: Nanos,
+    /// Overall latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl DriverReport {
+    /// Throughput in operations per simulated second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Throughput in operations per simulated minute, the unit of the
+    /// paper's Fig. 2/Fig. 4 ("Operations per Minute (M)").
+    pub fn ops_per_min(&self) -> f64 {
+        self.ops_per_sec() * 60.0
+    }
+}
+
+/// A closed-loop executor over `workers` simulated client threads.
+///
+/// # Example
+///
+/// ```
+/// use sim::{ClosedLoop, Nanos};
+///
+/// // Two workers, each op takes 1ms of simulated device time.
+/// let mut remaining = 10u32;
+/// let report = ClosedLoop::new(2).run(|_worker, now| {
+///     if remaining == 0 {
+///         return None;
+///     }
+///     remaining -= 1;
+///     Some(now + Nanos::from_millis(1))
+/// });
+/// assert_eq!(report.ops, 10);
+/// // 10 ops over 2 workers at 1ms each => 5ms makespan.
+/// assert_eq!(report.makespan, Nanos::from_millis(5));
+/// ```
+#[derive(Debug)]
+pub struct ClosedLoop {
+    workers: usize,
+}
+
+impl ClosedLoop {
+    /// Creates a driver with `workers` concurrent simulated clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "closed loop needs at least one worker");
+        ClosedLoop { workers }
+    }
+
+    /// Runs `op` until it returns `None` for every worker.
+    ///
+    /// `op(worker, now)` must execute one operation that *starts* at `now`
+    /// and return its completion time (which must be `>= now`), or `None`
+    /// when the workload is exhausted. A worker that receives `None` is
+    /// retired; the run ends when all workers are retired.
+    pub fn run<F>(&self, mut op: F) -> DriverReport
+    where
+        F: FnMut(usize, Nanos) -> Option<Nanos>,
+    {
+        let mut clocks = vec![Nanos::ZERO; self.workers];
+        let mut alive = vec![true; self.workers];
+        let mut live = self.workers;
+        let mut latency = LatencyHistogram::new();
+        let mut ops = 0u64;
+        let mut makespan = Nanos::ZERO;
+
+        while live > 0 {
+            // Pick the laggard worker: the live worker with the earliest clock.
+            let mut w = usize::MAX;
+            let mut best = Nanos::MAX;
+            for (i, &t) in clocks.iter().enumerate() {
+                if alive[i] && t < best {
+                    best = t;
+                    w = i;
+                }
+            }
+            let now = clocks[w];
+            match op(w, now) {
+                Some(done) => {
+                    debug_assert!(done >= now, "completion precedes submission");
+                    latency.record(done - now);
+                    clocks[w] = done;
+                    makespan = makespan.max(done);
+                    ops += 1;
+                }
+                None => {
+                    alive[w] = false;
+                    live -= 1;
+                }
+            }
+        }
+
+        DriverReport {
+            ops,
+            makespan,
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_serializes() {
+        let mut n = 3;
+        let r = ClosedLoop::new(1).run(|w, now| {
+            assert_eq!(w, 0);
+            if n == 0 {
+                return None;
+            }
+            n -= 1;
+            Some(now + Nanos(10))
+        });
+        assert_eq!(r.ops, 3);
+        assert_eq!(r.makespan, Nanos(30));
+        assert!((r.ops_per_sec() - 3.0 / 30e-9).abs() / (3.0 / 30e-9) < 1e-9);
+    }
+
+    #[test]
+    fn workers_advance_in_time_order() {
+        // Worker 0 is slow; worker 1 should get many more ops.
+        let mut per_worker = [0u32; 2];
+        let mut total = 100;
+        let r = ClosedLoop::new(2).run(|w, now| {
+            if total == 0 {
+                return None;
+            }
+            total -= 1;
+            per_worker[w] += 1;
+            let cost = if w == 0 { Nanos(100) } else { Nanos(10) };
+            Some(now + cost)
+        });
+        assert_eq!(r.ops, 100);
+        assert!(per_worker[1] > per_worker[0] * 5);
+    }
+
+    #[test]
+    fn empty_workload_reports_zero() {
+        let r = ClosedLoop::new(4).run(|_, _| None);
+        assert_eq!(r.ops, 0);
+        assert_eq!(r.makespan, Nanos::ZERO);
+        assert_eq!(r.ops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn ops_per_min_scales() {
+        let mut n = 1;
+        let r = ClosedLoop::new(1).run(|_, now| {
+            if n == 0 {
+                return None;
+            }
+            n -= 1;
+            Some(now + Nanos::from_secs(1))
+        });
+        assert!((r.ops_per_min() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = ClosedLoop::new(0);
+    }
+}

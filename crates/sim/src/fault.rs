@@ -1,0 +1,183 @@
+//! Fault injection for block devices.
+//!
+//! [`FaultyDevice`] wraps any [`BlockDevice`] and fails selected
+//! operations, letting tests drive the error paths of every layer above
+//! (filesystem cleaning mid-failure, cache flush failures, LSM storage
+//! errors) without bespoke mocks.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::io::{BlockDevice, IoError, IoResult, Lba};
+use crate::time::Nanos;
+
+/// Which operations a fault plan affects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail reads only.
+    Reads,
+    /// Fail writes only.
+    Writes,
+    /// Fail both.
+    All,
+}
+
+/// A wrapper that fails every matching operation once armed.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use sim::{BlockDevice, Lba, Nanos, RamDisk, BLOCK_SIZE};
+/// use sim::fault::{FaultKind, FaultyDevice};
+///
+/// let dev = FaultyDevice::new(Arc::new(RamDisk::new(8)));
+/// let data = vec![1u8; BLOCK_SIZE];
+/// dev.write(Lba(0), &data, Nanos::ZERO).unwrap();
+///
+/// dev.arm(FaultKind::Writes, 1); // next write fails
+/// assert!(dev.write(Lba(1), &data, Nanos::ZERO).is_err());
+/// // Budget exhausted: the one after succeeds.
+/// assert!(dev.write(Lba(1), &data, Nanos::ZERO).is_ok());
+/// ```
+pub struct FaultyDevice {
+    inner: Arc<dyn BlockDevice>,
+    kind: parking_lot::Mutex<FaultKind>,
+    remaining: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultyDevice {
+    /// Wraps a device with no faults armed.
+    pub fn new(inner: Arc<dyn BlockDevice>) -> Self {
+        FaultyDevice {
+            inner,
+            kind: parking_lot::Mutex::new(FaultKind::All),
+            remaining: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms the injector: the next `count` matching operations fail.
+    pub fn arm(&self, kind: FaultKind, count: u64) {
+        *self.kind.lock() = kind;
+        self.remaining.store(count, Ordering::SeqCst);
+    }
+
+    /// Disarms the injector.
+    pub fn disarm(&self) {
+        self.remaining.store(0, Ordering::SeqCst);
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn should_fail(&self, is_write: bool) -> bool {
+        let kind = *self.kind.lock();
+        let matches = match kind {
+            FaultKind::Reads => !is_write,
+            FaultKind::Writes => is_write,
+            FaultKind::All => true,
+        };
+        if !matches {
+            return false;
+        }
+        // Consume one fault credit if any remain.
+        let mut current = self.remaining.load(Ordering::SeqCst);
+        while current > 0 {
+            match self.remaining.compare_exchange(
+                current,
+                current - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    self.injected.fetch_add(1, Ordering::SeqCst);
+                    return true;
+                }
+                Err(next) => current = next,
+            }
+        }
+        false
+    }
+}
+
+impl core::fmt::Debug for FaultyDevice {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FaultyDevice")
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl BlockDevice for FaultyDevice {
+    fn block_count(&self) -> u64 {
+        self.inner.block_count()
+    }
+
+    fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos> {
+        if self.should_fail(false) {
+            return Err(IoError::Device("injected read fault".into()));
+        }
+        self.inner.read(lba, buf, now)
+    }
+
+    fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos> {
+        if self.should_fail(true) {
+            return Err(IoError::Device("injected write fault".into()));
+        }
+        self.inner.write(lba, data, now)
+    }
+
+    fn trim(&self, lba: Lba, blocks: u64, now: Nanos) -> IoResult<Nanos> {
+        self.inner.trim(lba, blocks, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RamDisk;
+    use crate::BLOCK_SIZE;
+
+    fn dev() -> FaultyDevice {
+        FaultyDevice::new(Arc::new(RamDisk::new(8)))
+    }
+
+    #[test]
+    fn passes_through_when_disarmed() {
+        let d = dev();
+        let data = vec![5u8; BLOCK_SIZE];
+        let t = d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, t).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(d.injected(), 0);
+    }
+
+    #[test]
+    fn fails_exactly_count_matching_ops() {
+        let d = dev();
+        let data = vec![5u8; BLOCK_SIZE];
+        d.arm(FaultKind::Writes, 2);
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_err());
+        // Reads pass through under a Writes plan.
+        let mut out = vec![0u8; BLOCK_SIZE];
+        assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_ok());
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_err());
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_ok());
+        assert_eq!(d.injected(), 2);
+    }
+
+    #[test]
+    fn read_faults_and_disarm() {
+        let d = dev();
+        d.arm(FaultKind::Reads, 10);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_err());
+        d.disarm();
+        assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_ok());
+    }
+}

@@ -1,0 +1,301 @@
+//! Block-device abstractions.
+//!
+//! Every block-addressed device in the workspace — the FTL-based
+//! conventional SSD, the HDD under the LSM store, and the RAM metadata disk
+//! that stands in for the paper's `nullblk` device — implements
+//! [`BlockDevice`]. Addresses are 4 KiB logical blocks ([`BLOCK_SIZE`]),
+//! matching the 4 KiB I/O unit the paper attributes to Block-Cache and
+//! File-Cache (Fig. 1).
+//!
+//! All operations take the caller's current simulated time and return the
+//! operation's *completion* time, letting callers chain dependent I/O and
+//! compute latency as `completion - now`.
+
+use core::fmt;
+
+use parking_lot::RwLock;
+
+use crate::time::Nanos;
+
+/// Logical block size used throughout the workspace: 4 KiB.
+pub const BLOCK_SIZE: usize = 4096;
+
+/// A logical block address in units of [`BLOCK_SIZE`].
+///
+/// # Example
+///
+/// ```
+/// use sim::Lba;
+///
+/// let lba = Lba(10);
+/// assert_eq!(lba.byte_offset(), 40_960);
+/// assert_eq!(Lba::from_byte_offset(40_960), lba);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lba(pub u64);
+
+impl Lba {
+    /// Byte offset of the start of this block.
+    #[inline]
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * BLOCK_SIZE as u64
+    }
+
+    /// Converts a byte offset to the containing block address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `off` is not 4 KiB-aligned; misaligned device I/O is always
+    /// a bug in the caller.
+    #[inline]
+    pub fn from_byte_offset(off: u64) -> Self {
+        assert!(
+            off % BLOCK_SIZE as u64 == 0,
+            "byte offset {off} is not {BLOCK_SIZE}-aligned"
+        );
+        Lba(off / BLOCK_SIZE as u64)
+    }
+
+    /// The address `n` blocks after this one.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Self {
+        Lba(self.0 + n)
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lba:{}", self.0)
+    }
+}
+
+/// Errors surfaced by block and zoned devices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoError {
+    /// Read or write beyond the end of the device.
+    OutOfRange {
+        /// First offending block.
+        lba: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// Buffer length is not a multiple of the block size.
+    Misaligned {
+        /// Offending length in bytes.
+        len: usize,
+    },
+    /// A zoned-device constraint was violated (wrapped from the zns crate).
+    Zoned(String),
+    /// The device has no free space to accept the write (log-structured
+    /// devices and filesystems surface this rather than corrupting state).
+    NoSpace,
+    /// Catch-all for device-specific failures.
+    Device(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::OutOfRange { lba, capacity } => {
+                write!(f, "block {lba} out of range (capacity {capacity} blocks)")
+            }
+            IoError::Misaligned { len } => {
+                write!(f, "buffer length {len} is not a multiple of {BLOCK_SIZE}")
+            }
+            IoError::Zoned(msg) => write!(f, "zoned constraint violated: {msg}"),
+            IoError::NoSpace => write!(f, "device out of space"),
+            IoError::Device(msg) => write!(f, "device error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Result alias for device operations.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// A 4 KiB-block-addressed storage device under simulated time.
+///
+/// Implementations are internally synchronized (`&self` methods) so that a
+/// device can be shared between a cache frontend and a background GC path.
+///
+/// # Errors
+///
+/// All I/O methods return [`IoError::OutOfRange`] for accesses past the end
+/// of the device and [`IoError::Misaligned`] for buffers that are not a
+/// multiple of [`BLOCK_SIZE`].
+pub trait BlockDevice: Send + Sync {
+    /// Total capacity in blocks.
+    fn block_count(&self) -> u64;
+
+    /// Reads `buf.len() / BLOCK_SIZE` blocks starting at `lba`.
+    ///
+    /// Returns the simulated completion time.
+    fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos>;
+
+    /// Writes `data.len() / BLOCK_SIZE` blocks starting at `lba`.
+    ///
+    /// Returns the simulated completion time.
+    fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos>;
+
+    /// Invalidates a block range (TRIM/deallocate). Devices without a
+    /// mapping layer treat this as a no-op completing immediately.
+    fn trim(&self, _lba: Lba, _blocks: u64, now: Nanos) -> IoResult<Nanos> {
+        Ok(now)
+    }
+
+    /// Capacity in bytes.
+    fn capacity_bytes(&self) -> u64 {
+        self.block_count() * BLOCK_SIZE as u64
+    }
+}
+
+/// Validates an I/O request against device capacity, returning the block
+/// count of the request.
+pub fn check_request(lba: Lba, len: usize, capacity_blocks: u64) -> IoResult<u64> {
+    if len % BLOCK_SIZE != 0 || len == 0 {
+        return Err(IoError::Misaligned { len });
+    }
+    let blocks = (len / BLOCK_SIZE) as u64;
+    if lba.0 + blocks > capacity_blocks {
+        return Err(IoError::OutOfRange {
+            lba: lba.0,
+            capacity: capacity_blocks,
+        });
+    }
+    Ok(blocks)
+}
+
+/// An in-memory block device with a flat per-block latency, standing in for
+/// the paper's `nullblk` metadata device for F2FS.
+///
+/// # Example
+///
+/// ```
+/// use sim::{BlockDevice, Lba, Nanos, RamDisk, BLOCK_SIZE};
+///
+/// let disk = RamDisk::new(16);
+/// let data = vec![7u8; BLOCK_SIZE];
+/// let done = disk.write(Lba(3), &data, Nanos::ZERO).unwrap();
+/// let mut out = vec![0u8; BLOCK_SIZE];
+/// disk.read(Lba(3), &mut out, done).unwrap();
+/// assert_eq!(out, data);
+/// ```
+pub struct RamDisk {
+    data: RwLock<Vec<u8>>,
+    blocks: u64,
+    read_latency: Nanos,
+    write_latency: Nanos,
+}
+
+impl RamDisk {
+    /// Creates a RAM disk of `blocks` 4 KiB blocks with `nullblk`-like
+    /// latencies (5 µs per block each way).
+    pub fn new(blocks: u64) -> Self {
+        Self::with_latency(blocks, Nanos::from_micros(5), Nanos::from_micros(5))
+    }
+
+    /// Creates a RAM disk with explicit per-block latencies.
+    pub fn with_latency(blocks: u64, read_latency: Nanos, write_latency: Nanos) -> Self {
+        RamDisk {
+            data: RwLock::new(vec![0u8; (blocks as usize) * BLOCK_SIZE]),
+            blocks,
+            read_latency,
+            write_latency,
+        }
+    }
+}
+
+impl fmt::Debug for RamDisk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RamDisk").field("blocks", &self.blocks).finish()
+    }
+}
+
+impl BlockDevice for RamDisk {
+    fn block_count(&self) -> u64 {
+        self.blocks
+    }
+
+    fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos> {
+        let n = check_request(lba, buf.len(), self.blocks)?;
+        let start = lba.byte_offset() as usize;
+        buf.copy_from_slice(&self.data.read()[start..start + buf.len()]);
+        Ok(now + self.read_latency * n)
+    }
+
+    fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos> {
+        let n = check_request(lba, data.len(), self.blocks)?;
+        let start = lba.byte_offset() as usize;
+        self.data.write()[start..start + data.len()].copy_from_slice(data);
+        Ok(now + self.write_latency * n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lba_byte_round_trip() {
+        assert_eq!(Lba::from_byte_offset(0), Lba(0));
+        assert_eq!(Lba(5).byte_offset(), 5 * 4096);
+        assert_eq!(Lba(5).offset(3), Lba(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "not 4096-aligned")]
+    fn misaligned_byte_offset_panics() {
+        let _ = Lba::from_byte_offset(100);
+    }
+
+    #[test]
+    fn check_request_validates() {
+        assert_eq!(check_request(Lba(0), BLOCK_SIZE, 4), Ok(1));
+        assert!(matches!(
+            check_request(Lba(0), 100, 4),
+            Err(IoError::Misaligned { len: 100 })
+        ));
+        assert!(matches!(
+            check_request(Lba(3), 2 * BLOCK_SIZE, 4),
+            Err(IoError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            check_request(Lba(0), 0, 4),
+            Err(IoError::Misaligned { len: 0 })
+        ));
+    }
+
+    #[test]
+    fn ramdisk_read_your_write() {
+        let d = RamDisk::new(8);
+        let w = vec![0xabu8; 2 * BLOCK_SIZE];
+        let t1 = d.write(Lba(2), &w, Nanos::ZERO).unwrap();
+        assert_eq!(t1, Nanos::from_micros(10));
+        let mut r = vec![0u8; 2 * BLOCK_SIZE];
+        let t2 = d.read(Lba(2), &mut r, t1).unwrap();
+        assert_eq!(r, w);
+        assert_eq!(t2, t1 + Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn ramdisk_rejects_out_of_range() {
+        let d = RamDisk::new(2);
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        assert!(d.read(Lba(2), &mut buf, Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IoError::OutOfRange { lba: 9, capacity: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(IoError::NoSpace.to_string().contains("space"));
+    }
+
+    #[test]
+    fn trim_default_is_noop() {
+        let d = RamDisk::new(2);
+        assert_eq!(d.trim(Lba(0), 1, Nanos(7)).unwrap(), Nanos(7));
+        assert_eq!(d.capacity_bytes(), 2 * 4096);
+    }
+}

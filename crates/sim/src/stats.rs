@@ -1,0 +1,119 @@
+//! Lightweight counters shared by device models.
+//!
+//! Devices are driven single-threaded by the simulation loop, but their
+//! statistics are read concurrently by reporting code, so counters are
+//! atomic. Write amplification, host/flash byte counts and GC activity all
+//! flow through [`Counter`]s.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+///
+/// # Example
+///
+/// ```
+/// use sim::Counter;
+///
+/// let c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        let c = Counter::new();
+        c.add(self.get());
+        c
+    }
+}
+
+/// Computes a write-amplification factor from byte counters.
+///
+/// Returns `1.0` when no host bytes have been written, because a device that
+/// has done nothing has amplified nothing.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(sim::stats::write_amplification(100, 150), 1.5);
+/// assert_eq!(sim::stats::write_amplification(0, 0), 1.0);
+/// ```
+pub fn write_amplification(host_bytes: u64, media_bytes: u64) -> f64 {
+    if host_bytes == 0 {
+        1.0
+    } else {
+        media_bytes as f64 / host_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_clone_snapshots_value() {
+        let c = Counter::new();
+        c.add(7);
+        let d = c.clone();
+        c.add(1);
+        assert_eq!(d.get(), 7);
+        assert_eq!(c.get(), 8);
+    }
+
+    #[test]
+    fn wa_math() {
+        assert_eq!(write_amplification(0, 100), 1.0);
+        assert!((write_amplification(100, 139) - 1.39).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,241 @@
+//! Strongly-typed simulated time.
+//!
+//! All device models express durations and timestamps as [`Nanos`]. The type
+//! is a transparent wrapper over `u64` nanoseconds with saturating
+//! arithmetic: an experiment that runs "too long" clamps rather than
+//! panicking mid-simulation.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, or a duration, in nanoseconds.
+///
+/// Which of the two a value means is contextual, exactly as with `u64`
+/// timestamps in trace formats; the arithmetic provided (`Add`, `Sub`,
+/// scalar `Mul`/`Div`) covers both uses.
+///
+/// # Example
+///
+/// ```
+/// use sim::Nanos;
+///
+/// let start = Nanos::from_micros(10);
+/// let end = start + Nanos::from_micros(5);
+/// assert_eq!((end - start).as_micros(), 5);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Nanos(pub u64);
+
+/// Convenience alias used in configuration code where microsecond
+/// granularity reads better.
+pub type Micros = Nanos;
+
+impl Nanos {
+    /// The zero timestamp — the instant every simulation starts at.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable time; used as an "idle forever" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a duration from whole nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a duration from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Truncating conversion to microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Truncating conversion to milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Conversion to (fractional) seconds, for throughput math.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the earlier of two timestamps.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating difference; zero when `other` is later than `self`.
+    #[inline]
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Whether this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero, mirroring integer division.
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(Nanos::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Nanos::from_secs(3).as_millis(), 3_000);
+        assert_eq!(Nanos::from_secs(2).as_secs_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Nanos::MAX + Nanos(1), Nanos::MAX);
+        assert_eq!(Nanos(1) - Nanos(5), Nanos::ZERO);
+        assert_eq!(Nanos(5).saturating_sub(Nanos(1)), Nanos(4));
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        assert_eq!(Nanos(3).max(Nanos(7)), Nanos(7));
+        assert_eq!(Nanos(3).min(Nanos(7)), Nanos(3));
+        assert!(Nanos::ZERO.is_zero());
+        assert!(!Nanos(1).is_zero());
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Nanos(500)), "500ns");
+        assert_eq!(format!("{}", Nanos::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+}

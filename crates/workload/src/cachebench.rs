@@ -1,0 +1,246 @@
+//! CacheBench-style operation generator.
+//!
+//! Reproduces the op mix of the paper's micro-benchmark workload
+//! (`feature_stress/navy/bc`, §4.1): 50% get, 30% set, 20% delete over a
+//! Zipf-popular key space with the CacheLib object-size mixture.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dist::Zipf;
+use crate::values::{key_for_id, value_for_key};
+
+/// One generated cache operation. Keys/values are materialized bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Look up a key.
+    Get {
+        /// Key id (for bookkeeping).
+        id: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+    /// Insert/overwrite a key.
+    Set {
+        /// Key id.
+        id: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+        /// Value bytes (deterministic per key + version).
+        value: Vec<u8>,
+    },
+    /// Delete a key.
+    Delete {
+        /// Key id.
+        id: u64,
+        /// Key bytes.
+        key: Vec<u8>,
+    },
+}
+
+impl Op {
+    /// The key id this operation targets.
+    pub fn id(&self) -> u64 {
+        match self {
+            Op::Get { id, .. } | Op::Set { id, .. } | Op::Delete { id, .. } => *id,
+        }
+    }
+}
+
+/// Configuration for [`CacheBench`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheBenchConfig {
+    /// Distinct keys in the workload (working set).
+    pub num_keys: u64,
+    /// Zipf exponent of key popularity.
+    pub zipf_exponent: f64,
+    /// Fraction of gets (paper: 0.5).
+    pub get_ratio: f64,
+    /// Fraction of sets (paper: 0.3).
+    pub set_ratio: f64,
+    /// Fraction of deletes (paper: 0.2, the remainder).
+    pub delete_ratio: f64,
+    /// Sample delete keys uniformly instead of by popularity. CacheBench
+    /// drives each op type from its own generator; invalidations are not
+    /// popularity-correlated, so this defaults to true in
+    /// [`CacheBenchConfig::paper_mix`].
+    pub delete_uniform: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CacheBenchConfig {
+    /// The paper's mix: 50/30/20 over a Zipf(0.9) key space.
+    pub fn paper_mix(num_keys: u64, seed: u64) -> Self {
+        CacheBenchConfig {
+            num_keys,
+            zipf_exponent: 0.9,
+            get_ratio: 0.5,
+            set_ratio: 0.3,
+            delete_ratio: 0.2,
+            delete_uniform: true,
+            seed,
+        }
+    }
+}
+
+/// The generator. Infinite stream; call [`CacheBench::next_op`].
+#[derive(Debug)]
+pub struct CacheBench {
+    zipf: Zipf,
+    num_keys: u64,
+    get_ratio: f64,
+    set_ratio: f64,
+    delete_uniform: bool,
+    rng: StdRng,
+    /// Per-key version counters so overwritten values verifiably change.
+    versions: std::collections::HashMap<u64, u32>,
+}
+
+impl CacheBench {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratios are negative or sum to more than 1 + ε.
+    pub fn new(config: CacheBenchConfig) -> Self {
+        let sum = config.get_ratio + config.set_ratio + config.delete_ratio;
+        assert!(
+            config.get_ratio >= 0.0
+                && config.set_ratio >= 0.0
+                && config.delete_ratio >= 0.0
+                && (sum - 1.0).abs() < 1e-6,
+            "op ratios must be non-negative and sum to 1 (got {sum})"
+        );
+        CacheBench {
+            zipf: Zipf::new(config.num_keys, config.zipf_exponent),
+            num_keys: config.num_keys,
+            get_ratio: config.get_ratio,
+            set_ratio: config.set_ratio,
+            delete_uniform: config.delete_uniform,
+            rng: StdRng::seed_from_u64(config.seed),
+            versions: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The current version of a key (0 before any set).
+    pub fn version_of(&self, id: u64) -> u32 {
+        self.versions.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let id = self.zipf.sample(&mut self.rng);
+        let key = key_for_id(id);
+        let roll: f64 = self.rng.gen();
+        if roll < self.get_ratio {
+            Op::Get { id, key }
+        } else if roll < self.get_ratio + self.set_ratio {
+            let version = self.versions.entry(id).or_insert(0);
+            *version += 1;
+            let value = value_for_key(id, *version);
+            Op::Set {
+                id,
+                key,
+                value,
+            }
+        } else {
+            let (id, key) = if self.delete_uniform {
+                let id = self.rng.gen_range(0..self.num_keys);
+                (id, key_for_id(id))
+            } else {
+                (id, key)
+            };
+            Op::Delete { id, key }
+        }
+    }
+}
+
+impl Iterator for CacheBench {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        Some(self.next_op())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_matches_ratios() {
+        let mut bench = CacheBench::new(CacheBenchConfig::paper_mix(10_000, 1));
+        let (mut g, mut s, mut d) = (0u32, 0u32, 0u32);
+        for _ in 0..20_000 {
+            match bench.next_op() {
+                Op::Get { .. } => g += 1,
+                Op::Set { .. } => s += 1,
+                Op::Delete { .. } => d += 1,
+            }
+        }
+        assert!((9_000..11_000).contains(&g), "gets {g}");
+        assert!((5_000..7_000).contains(&s), "sets {s}");
+        assert!((3_000..5_000).contains(&d), "deletes {d}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = CacheBench::new(CacheBenchConfig::paper_mix(1_000, 7));
+        let mut b = CacheBench::new(CacheBenchConfig::paper_mix(1_000, 7));
+        for _ in 0..100 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn versions_bump_on_set() {
+        let mut bench = CacheBench::new(CacheBenchConfig::paper_mix(10, 3));
+        let mut last_value: Option<(u64, Vec<u8>)> = None;
+        for _ in 0..200 {
+            if let Op::Set { id, value, .. } = bench.next_op() {
+                if let Some((prev_id, prev_val)) = &last_value {
+                    if *prev_id == id {
+                        assert_ne!(*prev_val, value, "rewrite produced identical value");
+                    }
+                }
+                last_value = Some((id, value));
+            }
+        }
+        assert!(last_value.is_some());
+    }
+
+    #[test]
+    fn uniform_deletes_spread_over_keyspace() {
+        let mut cfg = CacheBenchConfig::paper_mix(100_000, 9);
+        cfg.delete_uniform = true;
+        let mut bench = CacheBench::new(cfg);
+        let mut high_ids = 0u32;
+        let mut deletes = 0u32;
+        for _ in 0..20_000 {
+            if let Op::Delete { id, .. } = bench.next_op() {
+                deletes += 1;
+                if id > 50_000 {
+                    high_ids += 1;
+                }
+            }
+        }
+        // Zipf deletes would almost never touch the cold half.
+        assert!(high_ids * 3 > deletes, "{high_ids}/{deletes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_ratios_panic() {
+        let mut cfg = CacheBenchConfig::paper_mix(10, 1);
+        cfg.set_ratio = 0.9;
+        let _ = CacheBench::new(cfg);
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let bench = CacheBench::new(CacheBenchConfig::paper_mix(100, 5));
+        assert_eq!(bench.take(10).count(), 10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Key-popularity distributions.
+
+use rand::Rng;
+
+/// Zipf-distributed ranks over `{0, …, n-1}` with exponent `s`.
+///
+/// Uses Hörmann's rejection-inversion method: exact for any `s > 0`,
+/// constant time per sample, no per-element tables (important for the
+/// multi-million-key spaces the experiments use).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workload::Zipf;
+///
+/// let zipf = Zipf::new(1_000, 0.9);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 1_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s <= 0` — configuration bugs.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty support");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        let h_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_n = Self::h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        }
+    }
+
+    fn h(x: f64, s: f64) -> f64 {
+        x.powf(-s)
+    }
+
+    fn h_integral(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+        }
+    }
+
+    fn h_integral_inverse(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-12 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - s)).powf(1.0 / (1.0 - s))
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n as f64);
+            if k - x <= self.threshold
+                || u >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+/// db_bench-style exponential-range key skew (`read_random_exp_range`).
+///
+/// A key is drawn as `floor(num · exp(−U · er)) mod num` with
+/// `U ~ Uniform[0,1)`; larger `er` concentrates probability on low key
+/// ids — the paper evaluates ER ∈ {15, 25}.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use workload::ExpRange;
+///
+/// let er = ExpRange::new(1_000_000, 25.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// assert!(er.sample(&mut rng) < 1_000_000);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExpRange {
+    num: u64,
+    er: f64,
+}
+
+impl ExpRange {
+    /// Creates the distribution over `[0, num)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num == 0` or `er < 0`.
+    pub fn new(num: u64, er: f64) -> Self {
+        assert!(num > 0, "key space must be non-empty");
+        assert!(er >= 0.0, "exp range must be non-negative");
+        ExpRange { num, er }
+    }
+
+    /// Number of keys.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Draws a key id; `er == 0` degenerates to uniform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.er == 0.0 {
+            return rng.gen_range(0..self.num);
+        }
+        let u: f64 = rng.gen();
+        let natural = (-u * self.er).exp();
+        ((natural * self.num as f64) as u64) % self.num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let z = Zipf::new(100, 1.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > counts[100] * 10);
+        // Harmonic shape: P(0)/P(9) ≈ 10 for s = 1.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_small_s_flattens() {
+        let skewed = Zipf::new(1000, 1.2);
+        let flat = Zipf::new(1000, 0.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let top_share = |z: &Zipf, rng: &mut StdRng| {
+            let mut top = 0u32;
+            for _ in 0..20_000 {
+                if z.sample(rng) < 10 {
+                    top += 1;
+                }
+            }
+            top
+        };
+        let s1 = top_share(&skewed, &mut rng);
+        let s2 = top_share(&flat, &mut rng);
+        assert!(s1 > s2 * 3, "skewed {s1} vs flat {s2}");
+    }
+
+    #[test]
+    fn zipf_single_element() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn exp_range_skew_increases_with_er() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let frac_low = |er: f64, rng: &mut StdRng| {
+            let d = ExpRange::new(1_000_000, er);
+            let mut low = 0u32;
+            for _ in 0..20_000 {
+                if d.sample(rng) < 1_000 {
+                    low += 1;
+                }
+            }
+            low as f64 / 20_000.0
+        };
+        let f15 = frac_low(15.0, &mut rng);
+        let f25 = frac_low(25.0, &mut rng);
+        assert!(f25 > f15, "er=25 ({f25}) should be more skewed than er=15 ({f15})");
+        assert!(f15 > 0.2, "er=15 already quite skewed, got {f15}");
+    }
+
+    #[test]
+    fn exp_range_zero_is_uniform() {
+        let d = ExpRange::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            if d.sample(&mut rng) < 500 {
+                low += 1;
+            }
+        }
+        assert!((4_500..5_500).contains(&low), "not uniform: {low}");
+    }
+
+    #[test]
+    fn exp_range_in_bounds() {
+        let d = ExpRange::new(7, 25.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            assert!(d.sample(&mut rng) < 7);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Operation-trace recording and replay.
+//!
+//! Experiments that compare schemes must feed each one the *identical*
+//! operation stream. Generators are deterministic under a seed, but a
+//! recorded trace also allows capturing a stream once (e.g. including
+//! miss-fill decisions that depend on cache state) and replaying it
+//! byte-identically, or persisting a workload alongside results.
+//!
+//! The format is a compact little-endian encoding of [`Op`] values.
+
+use bytes::{Buf, BufMut};
+
+use crate::cachebench::Op;
+
+const TAG_GET: u8 = 1;
+const TAG_SET: u8 = 2;
+const TAG_DELETE: u8 = 3;
+
+/// Records operations into an in-memory trace.
+///
+/// # Example
+///
+/// ```
+/// use workload::trace::{TraceRecorder, replay};
+/// use workload::{CacheBench, CacheBenchConfig};
+///
+/// let mut rec = TraceRecorder::new();
+/// let mut gen = CacheBench::new(CacheBenchConfig::paper_mix(100, 1));
+/// for _ in 0..50 {
+///     rec.record(&gen.next_op());
+/// }
+/// let bytes = rec.finish();
+/// let ops = replay(&bytes).unwrap();
+/// assert_eq!(ops.len(), 50);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    buf: Vec<u8>,
+    count: u64,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one operation.
+    pub fn record(&mut self, op: &Op) {
+        match op {
+            Op::Get { id, key } => {
+                self.buf.put_u8(TAG_GET);
+                self.buf.put_u64_le(*id);
+                self.buf.put_u16_le(key.len() as u16);
+                self.buf.put_slice(key);
+            }
+            Op::Set { id, key, value } => {
+                self.buf.put_u8(TAG_SET);
+                self.buf.put_u64_le(*id);
+                self.buf.put_u16_le(key.len() as u16);
+                self.buf.put_slice(key);
+                self.buf.put_u32_le(value.len() as u32);
+                self.buf.put_slice(value);
+            }
+            Op::Delete { id, key } => {
+                self.buf.put_u8(TAG_DELETE);
+                self.buf.put_u64_le(*id);
+                self.buf.put_u16_le(key.len() as u16);
+                self.buf.put_slice(key);
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Operations recorded so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether anything has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes, returning the encoded trace.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.buf.len());
+        out.put_u64_le(self.count);
+        out.extend_from_slice(&self.buf);
+        out
+    }
+}
+
+/// Decodes a recorded trace back into operations.
+///
+/// # Errors
+///
+/// Returns a descriptive message for truncated or malformed traces.
+pub fn replay(trace: &[u8]) -> Result<Vec<Op>, String> {
+    let mut buf = trace;
+    if buf.remaining() < 8 {
+        return Err("trace too short for header".into());
+    }
+    let count = buf.get_u64_le();
+    let mut out = Vec::with_capacity(count.min(1 << 20) as usize);
+    for i in 0..count {
+        if buf.remaining() < 11 {
+            return Err(format!("trace truncated at op {i}"));
+        }
+        let tag = buf.get_u8();
+        let id = buf.get_u64_le();
+        let key_len = buf.get_u16_le() as usize;
+        if buf.remaining() < key_len {
+            return Err(format!("key truncated at op {i}"));
+        }
+        let key = buf[..key_len].to_vec();
+        buf.advance(key_len);
+        let op = match tag {
+            TAG_GET => Op::Get { id, key },
+            TAG_DELETE => Op::Delete { id, key },
+            TAG_SET => {
+                if buf.remaining() < 4 {
+                    return Err(format!("value length truncated at op {i}"));
+                }
+                let value_len = buf.get_u32_le() as usize;
+                if buf.remaining() < value_len {
+                    return Err(format!("value truncated at op {i}"));
+                }
+                let value = buf[..value_len].to_vec();
+                buf.advance(value_len);
+                Op::Set { id, key, value }
+            }
+            other => return Err(format!("unknown op tag {other} at op {i}")),
+        };
+        out.push(op);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cachebench::{CacheBench, CacheBenchConfig};
+
+    #[test]
+    fn round_trip_preserves_every_op() {
+        let mut rec = TraceRecorder::new();
+        let mut gen = CacheBench::new(CacheBenchConfig::paper_mix(500, 3));
+        let original: Vec<Op> = (0..200).map(|_| gen.next_op()).collect();
+        for op in &original {
+            rec.record(op);
+        }
+        assert_eq!(rec.len(), 200);
+        let bytes = rec.finish();
+        let replayed = replay(&bytes).unwrap();
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut rec = TraceRecorder::new();
+        let mut gen = CacheBench::new(CacheBenchConfig::paper_mix(10, 1));
+        for _ in 0..20 {
+            rec.record(&gen.next_op());
+        }
+        let bytes = rec.finish();
+        for cut in [0usize, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(replay(&bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn garbage_tag_rejected() {
+        let mut bytes = Vec::new();
+        bytes.put_u64_le(1);
+        bytes.put_u8(99);
+        bytes.put_u64_le(0);
+        bytes.put_u16_le(0);
+        assert!(replay(&bytes).unwrap_err().contains("unknown op tag"));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let rec = TraceRecorder::new();
+        assert!(rec.is_empty());
+        let bytes = rec.finish();
+        assert!(replay(&bytes).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Deterministic value synthesis.
+//!
+//! Values are pure functions of the key id, so a harness can verify any
+//! cache hit byte-for-byte without remembering what it wrote — and
+//! experiments running on payload-discarding stores still know each
+//! object's size.
+
+/// Object size mixture approximating CacheLib's published workload
+/// characterization: small objects dominate, a long tail of larger ones.
+const SIZE_BUCKETS: [(usize, u32); 8] = [
+    (64, 5),
+    (128, 10),
+    (256, 20),
+    (512, 25),
+    (1024, 20),
+    (2048, 10),
+    (4096, 7),
+    (8192, 3),
+];
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The deterministic value length for a key id, drawn from the CacheLib
+/// size mixture.
+///
+/// # Example
+///
+/// ```
+/// let a = workload::value_len_for_key(42);
+/// assert_eq!(a, workload::value_len_for_key(42));
+/// assert!(a >= 64 && a <= 8192);
+/// ```
+pub fn value_len_for_key(key_id: u64) -> usize {
+    let total: u32 = SIZE_BUCKETS.iter().map(|&(_, w)| w).sum();
+    let mut pick = (splitmix64(key_id) % total as u64) as u32;
+    for &(size, weight) in &SIZE_BUCKETS {
+        if pick < weight {
+            return size;
+        }
+        pick -= weight;
+    }
+    SIZE_BUCKETS[SIZE_BUCKETS.len() - 1].0
+}
+
+/// Deterministic value bytes for a key id.
+///
+/// The same `(key_id, version)` always produces the same bytes; bumping
+/// `version` models an update whose content verifiably changed.
+///
+/// # Example
+///
+/// ```
+/// let v1 = workload::value_for_key(7, 0);
+/// let v2 = workload::value_for_key(7, 0);
+/// assert_eq!(v1, v2);
+/// assert_ne!(v1, workload::value_for_key(7, 1));
+/// ```
+pub fn value_for_key(key_id: u64, version: u32) -> Vec<u8> {
+    let len = value_len_for_key(key_id);
+    let mut out = Vec::with_capacity(len);
+    let mut state = splitmix64(key_id ^ ((version as u64) << 32) ^ 0xA5A5_5A5A);
+    while out.len() < len {
+        state = splitmix64(state);
+        out.extend_from_slice(&state.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+/// Canonical key bytes for a key id (fixed-width, CacheBench-like).
+pub fn key_for_id(key_id: u64) -> Vec<u8> {
+    format!("key-{key_id:016x}").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_are_deterministic_and_in_mixture() {
+        for id in 0..1000u64 {
+            let len = value_len_for_key(id);
+            assert!(SIZE_BUCKETS.iter().any(|&(s, _)| s == len));
+            assert_eq!(len, value_len_for_key(id));
+        }
+    }
+
+    #[test]
+    fn mixture_is_used_broadly() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..10_000u64 {
+            seen.insert(value_len_for_key(id));
+        }
+        assert!(seen.len() >= 6, "only {} sizes drawn", seen.len());
+    }
+
+    #[test]
+    fn values_match_length_and_differ_across_keys() {
+        let v = value_for_key(3, 0);
+        assert_eq!(v.len(), value_len_for_key(3));
+        assert_ne!(value_for_key(3, 0), value_for_key(4, 0));
+    }
+
+    #[test]
+    fn keys_are_fixed_width_and_unique() {
+        let a = key_for_id(1);
+        let b = key_for_id(u64::MAX);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b);
+    }
+}

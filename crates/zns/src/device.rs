@@ -1,0 +1,824 @@
+//! The ZNS device: zone state machine over the flash array.
+
+use core::fmt;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use nand::{NandArray, NandConfig};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sim::{Counter, Nanos, BLOCK_SIZE};
+
+use crate::error::ZnsError;
+use crate::mapping::ZoneLayout;
+use crate::zone::{ZoneId, ZoneInfo, ZoneState};
+
+/// Configuration for a [`ZnsDevice`].
+#[derive(Clone, Debug)]
+pub struct ZnsConfig {
+    /// Underlying flash array.
+    pub nand: NandConfig,
+    /// Erase blocks per zone.
+    pub zone_blocks: u32,
+    /// Dies each zone stripes across.
+    pub stripe_dies: u32,
+    /// Maximum concurrently open zones (implicit + explicit).
+    pub max_open_zones: u32,
+    /// Maximum concurrently active zones (open + closed).
+    pub max_active_zones: u32,
+    /// Writable blocks per zone (`zone capacity`); `None` means the full
+    /// zone size. Real devices commonly expose cap < size (e.g. the WD
+    /// ZN540's 1077 MiB cap).
+    pub zone_cap_blocks: Option<u64>,
+}
+
+impl ZnsConfig {
+    /// Tiny device for unit tests: 8 zones of 32 blocks (4 KiB each).
+    pub fn small_test() -> Self {
+        ZnsConfig {
+            nand: NandConfig::small_test(),
+            zone_blocks: 4,
+            stripe_dies: 2,
+            max_open_zones: 4,
+            max_active_zones: 6,
+            zone_cap_blocks: None,
+        }
+    }
+}
+
+/// Point-in-time device statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ZnsStatsSnapshot {
+    /// 4 KiB blocks written by the host.
+    pub host_blocks_written: u64,
+    /// 4 KiB blocks read by the host.
+    pub host_blocks_read: u64,
+    /// Zone resets issued.
+    pub zone_resets: u64,
+    /// Zone finish commands issued.
+    pub zone_finishes: u64,
+    /// Bytes physically programmed on the media.
+    pub media_bytes_written: u64,
+}
+
+impl ZnsStatsSnapshot {
+    /// Device-level write amplification. For a ZNS device this is 1.0
+    /// whenever the host has written anything, by construction.
+    pub fn write_amplification(&self) -> f64 {
+        sim::stats::write_amplification(
+            self.host_blocks_written * BLOCK_SIZE as u64,
+            self.media_bytes_written,
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ZoneMeta {
+    state: ZoneState,
+    wp: u64,
+    reset_count: u64,
+}
+
+struct DevState {
+    zones: Vec<ZoneMeta>,
+    /// Implicitly-open zones in open order; the front is auto-closed when
+    /// open resources run out, as NVMe ZNS controllers do.
+    implicit_lru: VecDeque<u32>,
+    open_count: u32,
+    active_count: u32,
+}
+
+/// An emulated Zoned Namespace SSD.
+///
+/// Shared via [`Arc`]; all methods take `&self`. See the
+/// [crate docs](crate) for an example.
+pub struct ZnsDevice {
+    array: Arc<NandArray>,
+    layout: ZoneLayout,
+    cap_blocks: u64,
+    max_open: u32,
+    max_active: u32,
+    state: Mutex<DevState>,
+    host_blocks_written: Counter,
+    host_blocks_read: Counter,
+    zone_resets: Counter,
+    zone_finishes: Counter,
+}
+
+impl fmt::Debug for ZnsDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ZnsDevice")
+            .field("zones", &self.layout.num_zones())
+            .field("zone_size_blocks", &self.layout.zone_size_blocks())
+            .field("cap_blocks", &self.cap_blocks)
+            .finish()
+    }
+}
+
+impl ZnsDevice {
+    /// Builds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone layout does not fit the flash geometry or if the
+    /// configured zone capacity exceeds the zone size; both are
+    /// configuration bugs caught at startup.
+    pub fn new(config: ZnsConfig) -> Self {
+        let geometry = config.nand.geometry;
+        let array = Arc::new(NandArray::new(config.nand));
+        let layout = ZoneLayout::new(geometry, config.zone_blocks, config.stripe_dies)
+            .expect("zone layout must fit the flash geometry");
+        let cap_blocks = config.zone_cap_blocks.unwrap_or(layout.zone_size_blocks());
+        assert!(
+            cap_blocks > 0 && cap_blocks <= layout.zone_size_blocks(),
+            "zone capacity {cap_blocks} outside (0, {}]",
+            layout.zone_size_blocks()
+        );
+        let zones = vec![
+            ZoneMeta {
+                state: ZoneState::Empty,
+                wp: 0,
+                reset_count: 0,
+            };
+            layout.num_zones() as usize
+        ];
+        ZnsDevice {
+            array,
+            layout,
+            cap_blocks,
+            max_open: config.max_open_zones.max(1),
+            max_active: config.max_active_zones.max(1),
+            state: Mutex::new(DevState {
+                zones,
+                implicit_lru: VecDeque::new(),
+                open_count: 0,
+                active_count: 0,
+            }),
+            host_blocks_written: Counter::new(),
+            host_blocks_read: Counter::new(),
+            zone_resets: Counter::new(),
+            zone_finishes: Counter::new(),
+        }
+    }
+
+    /// Number of zones.
+    pub fn num_zones(&self) -> u32 {
+        self.layout.num_zones()
+    }
+
+    /// Zone size in 4 KiB blocks.
+    pub fn zone_size_blocks(&self) -> u64 {
+        self.layout.zone_size_blocks()
+    }
+
+    /// Writable capacity per zone in 4 KiB blocks.
+    pub fn zone_cap_blocks(&self) -> u64 {
+        self.cap_blocks
+    }
+
+    /// Writable capacity per zone in bytes.
+    pub fn zone_cap_bytes(&self) -> u64 {
+        self.cap_blocks * BLOCK_SIZE as u64
+    }
+
+    /// Total writable capacity in bytes (all zones).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.zone_cap_bytes() * self.num_zones() as u64
+    }
+
+    /// Maximum concurrently open zones.
+    pub fn max_open_zones(&self) -> u32 {
+        self.max_open
+    }
+
+    /// Maximum concurrently active zones.
+    pub fn max_active_zones(&self) -> u32 {
+        self.max_active
+    }
+
+    /// The zone → flash layout.
+    pub fn layout(&self) -> &ZoneLayout {
+        &self.layout
+    }
+
+    /// The underlying flash array (shared with nothing else).
+    pub fn nand(&self) -> &NandArray {
+        &self.array
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> ZnsStatsSnapshot {
+        ZnsStatsSnapshot {
+            host_blocks_written: self.host_blocks_written.get(),
+            host_blocks_read: self.host_blocks_read.get(),
+            zone_resets: self.zone_resets.get(),
+            zone_finishes: self.zone_finishes.get(),
+            media_bytes_written: self.array.stats().bytes_programmed(),
+        }
+    }
+
+    fn check_zone(&self, zone: ZoneId) -> Result<(), ZnsError> {
+        if zone.0 >= self.layout.num_zones() {
+            Err(ZnsError::NoSuchZone {
+                zone: zone.0,
+                zones: self.layout.num_zones(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Current state of a zone.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::NoSuchZone`] for an invalid index.
+    pub fn zone_state(&self, zone: ZoneId) -> Result<ZoneState, ZnsError> {
+        self.check_zone(zone)?;
+        Ok(self.state.lock().zones[zone.0 as usize].state)
+    }
+
+    /// Report-zones information for one zone.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::NoSuchZone`] for an invalid index.
+    pub fn zone_info(&self, zone: ZoneId) -> Result<ZoneInfo, ZnsError> {
+        self.check_zone(zone)?;
+        let meta = self.state.lock().zones[zone.0 as usize];
+        Ok(ZoneInfo {
+            id: zone,
+            state: meta.state,
+            write_pointer: meta.wp,
+            capacity: self.cap_blocks,
+            reset_count: meta.reset_count,
+        })
+    }
+
+    /// Report-zones for the whole device.
+    pub fn report_zones(&self) -> Vec<ZoneInfo> {
+        let state = self.state.lock();
+        state
+            .zones
+            .iter()
+            .enumerate()
+            .map(|(i, meta)| ZoneInfo {
+                id: ZoneId(i as u32),
+                state: meta.state,
+                write_pointer: meta.wp,
+                capacity: self.cap_blocks,
+                reset_count: meta.reset_count,
+            })
+            .collect()
+    }
+
+    /// Zones currently in [`ZoneState::Empty`].
+    pub fn empty_zones(&self) -> u32 {
+        self.state
+            .lock()
+            .zones
+            .iter()
+            .filter(|z| z.state == ZoneState::Empty)
+            .count() as u32
+    }
+
+    /// Acquires open/active resources so `zone` can accept writes.
+    ///
+    /// Holding the device lock, transitions the zone to `target` (implicit
+    /// or explicit open), auto-closing the oldest implicitly-open zone when
+    /// open resources are exhausted — the behaviour NVMe mandates for
+    /// implicit opens.
+    fn acquire_open(
+        state: &mut DevState,
+        zone: ZoneId,
+        target: ZoneState,
+        max_open: u32,
+        max_active: u32,
+    ) -> Result<(), ZnsError> {
+        let cur = state.zones[zone.0 as usize].state;
+        debug_assert!(target.is_open());
+        if cur == target {
+            return Ok(());
+        }
+        if cur.is_open() {
+            // Implicit → explicit (or vice versa) keeps the same resources.
+            if cur == ZoneState::ImplicitOpen {
+                state.implicit_lru.retain(|&z| z != zone.0);
+            }
+            state.zones[zone.0 as usize].state = target;
+            if target == ZoneState::ImplicitOpen {
+                state.implicit_lru.push_back(zone.0);
+            }
+            return Ok(());
+        }
+        // Need an active slot for Empty zones.
+        if cur == ZoneState::Empty && state.active_count >= max_active {
+            return Err(ZnsError::TooManyActiveZones { limit: max_active });
+        }
+        // Need an open slot; auto-close the oldest implicit-open if full.
+        if state.open_count >= max_open {
+            match state.implicit_lru.pop_front() {
+                Some(victim) => {
+                    let vm = &mut state.zones[victim as usize];
+                    debug_assert_eq!(vm.state, ZoneState::ImplicitOpen);
+                    vm.state = if vm.wp == 0 {
+                        state.active_count -= 1;
+                        ZoneState::Empty
+                    } else {
+                        ZoneState::Closed
+                    };
+                    state.open_count -= 1;
+                }
+                None => {
+                    // All opens are explicit; the host must close one.
+                    return Err(ZnsError::TooManyActiveZones { limit: max_open });
+                }
+            }
+        }
+        if cur == ZoneState::Empty {
+            state.active_count += 1;
+        }
+        state.open_count += 1;
+        state.zones[zone.0 as usize].state = target;
+        if target == ZoneState::ImplicitOpen {
+            state.implicit_lru.push_back(zone.0);
+        }
+        Ok(())
+    }
+
+    fn release_zone(state: &mut DevState, zone: ZoneId, to: ZoneState) {
+        let meta = &mut state.zones[zone.0 as usize];
+        if meta.state.is_open() {
+            state.open_count -= 1;
+            if meta.state == ZoneState::ImplicitOpen {
+                state.implicit_lru.retain(|&z| z != zone.0);
+            }
+        }
+        let was_active = meta.state.is_active();
+        meta.state = to;
+        if was_active && !to.is_active() {
+            state.active_count -= 1;
+        } else if !was_active && to.is_active() {
+            state.active_count += 1;
+        }
+    }
+
+    /// Writes `data` at the zone's write pointer, implicitly opening it.
+    ///
+    /// Returns the completion time.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::Misaligned`], [`ZnsError::InvalidState`] (full zone),
+    /// [`ZnsError::ZoneBoundary`], [`ZnsError::TooManyActiveZones`].
+    pub fn write(&self, zone: ZoneId, data: &[u8], now: Nanos) -> Result<Nanos, ZnsError> {
+        let wp = {
+            self.check_zone(zone)?;
+            self.state.lock().zones[zone.0 as usize].wp
+        };
+        self.write_at(zone, wp, data, now)
+    }
+
+    /// Writes `data` at an explicit zone offset, which must equal the write
+    /// pointer — the check that distinguishes zoned from block devices.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::write`], plus [`ZnsError::NotAtWritePointer`].
+    pub fn write_at(
+        &self,
+        zone: ZoneId,
+        offset_blocks: u64,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<Nanos, ZnsError> {
+        self.check_zone(zone)?;
+        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+            return Err(ZnsError::Misaligned { len: data.len() });
+        }
+        let nblocks = (data.len() / BLOCK_SIZE) as u64;
+
+        let start_offset;
+        {
+            let mut state = self.state.lock();
+            let meta = state.zones[zone.0 as usize];
+            if !meta.state.is_writable() {
+                return Err(ZnsError::InvalidState {
+                    zone,
+                    state: meta.state,
+                    op: "write",
+                });
+            }
+            if offset_blocks != meta.wp {
+                return Err(ZnsError::NotAtWritePointer {
+                    zone,
+                    write_pointer: meta.wp,
+                    attempted: offset_blocks,
+                });
+            }
+            if meta.wp + nblocks > self.cap_blocks {
+                return Err(ZnsError::ZoneBoundary {
+                    zone,
+                    remaining: self.cap_blocks - meta.wp,
+                    attempted: nblocks,
+                });
+            }
+            Self::acquire_open(
+                &mut state,
+                zone,
+                ZoneState::ImplicitOpen,
+                self.max_open,
+                self.max_active,
+            )?;
+            start_offset = meta.wp;
+            state.zones[zone.0 as usize].wp += nblocks;
+            if state.zones[zone.0 as usize].wp == self.cap_blocks {
+                Self::release_zone(&mut state, zone, ZoneState::Full);
+                // Full zones stay active? No: NVMe full zones hold no
+                // active resources.
+            }
+        }
+
+        // Program the pages; completion is the slowest page.
+        let mut done = now;
+        for i in 0..nblocks {
+            let page = self.layout.page_of(zone, start_offset + i);
+            let chunk = &data[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
+            let t = self
+                .array
+                .program_page(page, chunk, now)
+                .map_err(|e| ZnsError::Nand(e.to_string()))?;
+            done = done.max(t);
+        }
+        self.host_blocks_written.add(nblocks);
+        Ok(done)
+    }
+
+    /// Zone append: writes at the pointer and returns the assigned offset
+    /// (in 4 KiB blocks from zone start) along with the completion time.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::write`].
+    pub fn append(
+        &self,
+        zone: ZoneId,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<(u64, Nanos), ZnsError> {
+        self.check_zone(zone)?;
+        let wp = self.state.lock().zones[zone.0 as usize].wp;
+        let done = self.write_at(zone, wp, data, now)?;
+        Ok((wp, done))
+    }
+
+    /// Reads `buf.len() / 4096` blocks starting at `offset_blocks`.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::ReadBeyondWritePointer`] when reading unwritten space,
+    /// plus alignment/range errors.
+    pub fn read(
+        &self,
+        zone: ZoneId,
+        offset_blocks: u64,
+        buf: &mut [u8],
+        now: Nanos,
+    ) -> Result<Nanos, ZnsError> {
+        self.check_zone(zone)?;
+        if buf.is_empty() || buf.len() % BLOCK_SIZE != 0 {
+            return Err(ZnsError::Misaligned { len: buf.len() });
+        }
+        let nblocks = (buf.len() / BLOCK_SIZE) as u64;
+        {
+            let state = self.state.lock();
+            let meta = state.zones[zone.0 as usize];
+            if offset_blocks + nblocks > meta.wp {
+                return Err(ZnsError::ReadBeyondWritePointer {
+                    zone,
+                    write_pointer: meta.wp,
+                    attempted: offset_blocks,
+                });
+            }
+        }
+        let mut done = now;
+        for i in 0..nblocks {
+            let page = self.layout.page_of(zone, offset_blocks + i);
+            let chunk = &mut buf[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
+            let t = self
+                .array
+                .read_page(page, chunk, now)
+                .map_err(|e| ZnsError::Nand(e.to_string()))?;
+            done = done.max(t);
+        }
+        self.host_blocks_read.add(nblocks);
+        Ok(done)
+    }
+
+    /// Resets a zone: erases its blocks, rewinds the pointer, state Empty.
+    ///
+    /// Returns the completion time of the slowest erase.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::NoSuchZone`].
+    pub fn reset(&self, zone: ZoneId, now: Nanos) -> Result<Nanos, ZnsError> {
+        self.check_zone(zone)?;
+        {
+            let mut state = self.state.lock();
+            Self::release_zone(&mut state, zone, ZoneState::Empty);
+            let meta = &mut state.zones[zone.0 as usize];
+            meta.wp = 0;
+            meta.reset_count += 1;
+        }
+        let mut done = now;
+        for block in self.layout.blocks_of(zone) {
+            let t = self
+                .array
+                .erase_block(block, now)
+                .map_err(|e| ZnsError::Nand(e.to_string()))?;
+            done = done.max(t);
+        }
+        self.zone_resets.incr();
+        Ok(done)
+    }
+
+    /// Finishes a zone: marks it Full so it holds no resources and accepts
+    /// no further writes until reset.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::InvalidState`] if the zone is already Full.
+    pub fn finish(&self, zone: ZoneId, now: Nanos) -> Result<Nanos, ZnsError> {
+        self.check_zone(zone)?;
+        let mut state = self.state.lock();
+        let meta = state.zones[zone.0 as usize];
+        if meta.state == ZoneState::Full {
+            return Err(ZnsError::InvalidState {
+                zone,
+                state: meta.state,
+                op: "finish",
+            });
+        }
+        Self::release_zone(&mut state, zone, ZoneState::Full);
+        drop(state);
+        self.zone_finishes.incr();
+        Ok(now)
+    }
+
+    /// Explicitly opens a zone, reserving open resources for the host.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::InvalidState`] on Full zones,
+    /// [`ZnsError::TooManyActiveZones`] when resources are exhausted.
+    pub fn open(&self, zone: ZoneId, _now: Nanos) -> Result<(), ZnsError> {
+        self.check_zone(zone)?;
+        let mut state = self.state.lock();
+        let cur = state.zones[zone.0 as usize].state;
+        if cur == ZoneState::Full {
+            return Err(ZnsError::InvalidState {
+                zone,
+                state: cur,
+                op: "open",
+            });
+        }
+        Self::acquire_open(
+            &mut state,
+            zone,
+            ZoneState::ExplicitOpen,
+            self.max_open,
+            self.max_active,
+        )
+    }
+
+    /// Closes an open zone, releasing its open (but not active) resources.
+    ///
+    /// A closed zone with an untouched pointer returns to Empty, per spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::InvalidState`] unless the zone is open.
+    pub fn close(&self, zone: ZoneId, _now: Nanos) -> Result<(), ZnsError> {
+        self.check_zone(zone)?;
+        let mut state = self.state.lock();
+        let meta = state.zones[zone.0 as usize];
+        if !meta.state.is_open() {
+            return Err(ZnsError::InvalidState {
+                zone,
+                state: meta.state,
+                op: "close",
+            });
+        }
+        let to = if meta.wp == 0 {
+            ZoneState::Empty
+        } else {
+            ZoneState::Closed
+        };
+        Self::release_zone(&mut state, zone, to);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> ZnsDevice {
+        ZnsDevice::new(ZnsConfig::small_test())
+    }
+
+    fn blocks(n: usize, fill: u8) -> Vec<u8> {
+        vec![fill; n * BLOCK_SIZE]
+    }
+
+    #[test]
+    fn sequential_write_read_round_trip() {
+        let d = dev();
+        let t1 = d.write(ZoneId(0), &blocks(2, 0xaa), Nanos::ZERO).unwrap();
+        let t2 = d.write(ZoneId(0), &blocks(1, 0xbb), t1).unwrap();
+        let mut buf = blocks(3, 0);
+        d.read(ZoneId(0), 0, &mut buf, t2).unwrap();
+        assert!(buf[..2 * BLOCK_SIZE].iter().all(|&b| b == 0xaa));
+        assert!(buf[2 * BLOCK_SIZE..].iter().all(|&b| b == 0xbb));
+        assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, 3);
+    }
+
+    #[test]
+    fn write_off_pointer_rejected() {
+        let d = dev();
+        d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).unwrap();
+        let err = d
+            .write_at(ZoneId(0), 5, &blocks(1, 1), Nanos::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, ZnsError::NotAtWritePointer { write_pointer: 1, attempted: 5, .. }));
+    }
+
+    #[test]
+    fn read_beyond_wp_rejected() {
+        let d = dev();
+        d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).unwrap();
+        let mut buf = blocks(2, 0);
+        assert!(matches!(
+            d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO),
+            Err(ZnsError::ReadBeyondWritePointer { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_fills_to_full_and_rejects_then_reset_reopens() {
+        let d = dev();
+        let cap = d.zone_cap_blocks() as usize;
+        let t = d.write(ZoneId(1), &blocks(cap, 3), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(1)).unwrap(), ZoneState::Full);
+        assert!(matches!(
+            d.write(ZoneId(1), &blocks(1, 3), t),
+            Err(ZnsError::InvalidState { op: "write", .. })
+        ));
+        let t = d.reset(ZoneId(1), t).unwrap();
+        assert_eq!(d.zone_state(ZoneId(1)).unwrap(), ZoneState::Empty);
+        assert_eq!(d.zone_info(ZoneId(1)).unwrap().reset_count, 1);
+        d.write(ZoneId(1), &blocks(1, 4), t).unwrap();
+        // Reset wiped the old data: reading block 0 now returns new data.
+        let mut buf = blocks(1, 0);
+        d.read(ZoneId(1), 0, &mut buf, t).unwrap();
+        assert!(buf.iter().all(|&b| b == 4));
+    }
+
+    #[test]
+    fn boundary_crossing_write_rejected_whole() {
+        let d = dev();
+        let cap = d.zone_cap_blocks() as usize;
+        d.write(ZoneId(0), &blocks(cap - 1, 1), Nanos::ZERO).unwrap();
+        let err = d.write(ZoneId(0), &blocks(2, 1), Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, ZnsError::ZoneBoundary { remaining: 1, attempted: 2, .. }));
+        // Nothing was written.
+        assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, (cap - 1) as u64);
+    }
+
+    #[test]
+    fn append_returns_assigned_offsets() {
+        let d = dev();
+        let (o1, t1) = d.append(ZoneId(2), &blocks(2, 7), Nanos::ZERO).unwrap();
+        let (o2, _) = d.append(ZoneId(2), &blocks(1, 8), t1).unwrap();
+        assert_eq!((o1, o2), (0, 2));
+    }
+
+    #[test]
+    fn implicit_open_limit_autocloses_oldest() {
+        let d = dev(); // max_open = 4
+        for z in 0..5 {
+            d.write(ZoneId(z), &blocks(1, z as u8 + 1), Nanos::ZERO).unwrap();
+        }
+        // Zone 0 (oldest implicit open) was auto-closed.
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::Closed);
+        assert_eq!(d.zone_state(ZoneId(4)).unwrap(), ZoneState::ImplicitOpen);
+        // Closed zones can still be written at their pointer.
+        d.write(ZoneId(0), &blocks(1, 9), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::ImplicitOpen);
+    }
+
+    #[test]
+    fn active_zone_limit_enforced() {
+        let d = dev(); // max_active = 6
+        for z in 0..6 {
+            d.write(ZoneId(z), &blocks(1, 1), Nanos::ZERO).unwrap();
+        }
+        let err = d.write(ZoneId(6), &blocks(1, 1), Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, ZnsError::TooManyActiveZones { .. }));
+        // Finishing a zone frees an active slot.
+        d.finish(ZoneId(0), Nanos::ZERO).unwrap();
+        d.write(ZoneId(6), &blocks(1, 1), Nanos::ZERO).unwrap();
+    }
+
+    #[test]
+    fn explicit_open_close_transitions() {
+        let d = dev();
+        d.open(ZoneId(3), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(3)).unwrap(), ZoneState::ExplicitOpen);
+        // Close with wp == 0 returns to Empty.
+        d.close(ZoneId(3), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(3)).unwrap(), ZoneState::Empty);
+        // Open, write, close → Closed.
+        d.open(ZoneId(3), Nanos::ZERO).unwrap();
+        d.write(ZoneId(3), &blocks(1, 1), Nanos::ZERO).unwrap();
+        d.close(ZoneId(3), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(3)).unwrap(), ZoneState::Closed);
+        assert!(matches!(
+            d.close(ZoneId(3), Nanos::ZERO),
+            Err(ZnsError::InvalidState { op: "close", .. })
+        ));
+    }
+
+    #[test]
+    fn finish_releases_resources_and_blocks_writes() {
+        let d = dev();
+        d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).unwrap();
+        d.finish(ZoneId(0), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::Full);
+        assert!(d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).is_err());
+        assert!(matches!(
+            d.finish(ZoneId(0), Nanos::ZERO),
+            Err(ZnsError::InvalidState { op: "finish", .. })
+        ));
+        // Reads below the pointer still work on a finished zone.
+        let mut buf = blocks(1, 0);
+        d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn device_wa_is_exactly_one() {
+        let d = dev();
+        let cap = d.zone_cap_blocks() as usize;
+        let mut t = Nanos::ZERO;
+        for z in 0..3 {
+            t = d.write(ZoneId(z), &blocks(cap, 1), t).unwrap();
+            t = d.reset(ZoneId(z), t).unwrap();
+            t = d.write(ZoneId(z), &blocks(cap / 2, 2), t).unwrap();
+        }
+        let s = d.stats();
+        assert_eq!(s.write_amplification(), 1.0);
+        assert_eq!(s.zone_resets, 3);
+        assert_eq!(
+            s.media_bytes_written,
+            s.host_blocks_written * BLOCK_SIZE as u64
+        );
+    }
+
+    #[test]
+    fn misaligned_and_out_of_range_rejected() {
+        let d = dev();
+        assert!(matches!(
+            d.write(ZoneId(0), &[0u8; 100], Nanos::ZERO),
+            Err(ZnsError::Misaligned { len: 100 })
+        ));
+        assert!(matches!(
+            d.write(ZoneId(99), &blocks(1, 1), Nanos::ZERO),
+            Err(ZnsError::NoSuchZone { .. })
+        ));
+        let mut buf = [0u8; 0];
+        assert!(d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn empty_zone_count_tracks_state() {
+        let d = dev();
+        let all = d.num_zones();
+        assert_eq!(d.empty_zones(), all);
+        d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).unwrap();
+        assert_eq!(d.empty_zones(), all - 1);
+        d.reset(ZoneId(0), Nanos::ZERO).unwrap();
+        assert_eq!(d.empty_zones(), all);
+    }
+
+    #[test]
+    fn report_zones_covers_device() {
+        let d = dev();
+        d.write(ZoneId(1), &blocks(2, 1), Nanos::ZERO).unwrap();
+        let report = d.report_zones();
+        assert_eq!(report.len(), d.num_zones() as usize);
+        assert_eq!(report[1].write_pointer, 2);
+        assert_eq!(report[0].state, ZoneState::Empty);
+    }
+}

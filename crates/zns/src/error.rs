@@ -1,0 +1,139 @@
+//! Typed errors for zoned-device constraint violations.
+
+use core::fmt;
+
+use crate::zone::{ZoneId, ZoneState};
+
+/// Errors returned by [`crate::ZnsDevice`].
+///
+/// These mirror NVMe ZNS status codes: they describe host protocol
+/// violations (writing away from the write pointer, exceeding resource
+/// limits) rather than media failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ZnsError {
+    /// Zone index beyond the device.
+    NoSuchZone {
+        /// Offending zone.
+        zone: u32,
+        /// Number of zones on the device.
+        zones: u32,
+    },
+    /// Write did not land on the write pointer.
+    NotAtWritePointer {
+        /// Zone written.
+        zone: ZoneId,
+        /// Current write pointer (blocks).
+        write_pointer: u64,
+        /// Offset the host attempted (blocks).
+        attempted: u64,
+    },
+    /// Write would cross the zone's writable capacity.
+    ZoneBoundary {
+        /// Zone written.
+        zone: ZoneId,
+        /// Blocks remaining.
+        remaining: u64,
+        /// Blocks attempted.
+        attempted: u64,
+    },
+    /// Operation invalid in the zone's current state.
+    InvalidState {
+        /// Zone in question.
+        zone: ZoneId,
+        /// Its state.
+        state: ZoneState,
+        /// The operation attempted, e.g. `"write"`.
+        op: &'static str,
+    },
+    /// Read at or beyond the write pointer.
+    ReadBeyondWritePointer {
+        /// Zone read.
+        zone: ZoneId,
+        /// Current write pointer (blocks).
+        write_pointer: u64,
+        /// First block the host tried to read.
+        attempted: u64,
+    },
+    /// Too many active zones (open + closed).
+    TooManyActiveZones {
+        /// Device limit.
+        limit: u32,
+    },
+    /// Buffer length is zero or not 4 KiB-aligned.
+    Misaligned {
+        /// Offending byte length.
+        len: usize,
+    },
+    /// Error propagated from the flash array; always a bug in this crate.
+    Nand(String),
+}
+
+impl fmt::Display for ZnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZnsError::NoSuchZone { zone, zones } => {
+                write!(f, "zone {zone} out of range ({zones} zones)")
+            }
+            ZnsError::NotAtWritePointer {
+                zone,
+                write_pointer,
+                attempted,
+            } => write!(
+                f,
+                "{zone}: write at block {attempted} but write pointer is {write_pointer}"
+            ),
+            ZnsError::ZoneBoundary {
+                zone,
+                remaining,
+                attempted,
+            } => write!(
+                f,
+                "{zone}: write of {attempted} blocks exceeds remaining capacity {remaining}"
+            ),
+            ZnsError::InvalidState { zone, state, op } => {
+                write!(f, "{zone}: cannot {op} in state {state}")
+            }
+            ZnsError::ReadBeyondWritePointer {
+                zone,
+                write_pointer,
+                attempted,
+            } => write!(
+                f,
+                "{zone}: read at block {attempted} beyond write pointer {write_pointer}"
+            ),
+            ZnsError::TooManyActiveZones { limit } => {
+                write!(f, "active zone limit {limit} exceeded")
+            }
+            ZnsError::Misaligned { len } => {
+                write!(f, "buffer length {len} is zero or not 4096-aligned")
+            }
+            ZnsError::Nand(msg) => write!(f, "flash error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ZnsError {}
+
+impl From<ZnsError> for sim::IoError {
+    fn from(err: ZnsError) -> Self {
+        sim::IoError::Zoned(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let e = ZnsError::NotAtWritePointer {
+            zone: ZoneId(3),
+            write_pointer: 8,
+            attempted: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("zone:3") && s.contains('8') && s.contains('4'));
+        let io: sim::IoError = e.into();
+        assert!(io.to_string().contains("zone:3"));
+    }
+}

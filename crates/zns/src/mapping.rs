@@ -1,0 +1,288 @@
+//! Zone-to-flash address mapping.
+//!
+//! A zone occupies `zone_blocks` erase blocks spread over `stripe_dies`
+//! dies of one *die group*; consecutive zone offsets round-robin across the
+//! stripe so that a large sequential zone write keeps several dies busy at
+//! once. The stripe width is the knob behind the paper's observation that
+//! devices with smaller zones deliver less per-zone throughput (§3.2): a
+//! zone can never stripe wider than the blocks it is made of.
+
+use nand::{Geometry, PageAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::zone::ZoneId;
+
+/// Immutable description of how zones map onto the flash array.
+///
+/// # Example
+///
+/// ```
+/// use nand::Geometry;
+/// use zns::ZoneLayout;
+///
+/// // 4 dies, 8 blocks each, 8 pages per block.
+/// let g = Geometry::new(2, 2, 8, 8);
+/// // Zones of 4 blocks striped over 2 dies.
+/// let layout = ZoneLayout::new(g, 4, 2).unwrap();
+/// assert_eq!(layout.num_zones(), 8);
+/// assert_eq!(layout.zone_size_blocks(), 4 * 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneLayout {
+    geometry: Geometry,
+    zone_blocks: u32,
+    stripe_dies: u32,
+    die_groups: u32,
+    blocks_per_die_per_zone: u32,
+    zones_per_group: u32,
+    zones: u32,
+}
+
+/// Errors constructing a [`ZoneLayout`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// `stripe_dies` must divide the total die count.
+    StripeDoesNotDivideDies {
+        /// Requested stripe width.
+        stripe_dies: u32,
+        /// Dies in the array.
+        total_dies: u32,
+    },
+    /// `zone_blocks` must be a multiple of `stripe_dies`.
+    ZoneNotStripeMultiple {
+        /// Requested blocks per zone.
+        zone_blocks: u32,
+        /// Requested stripe width.
+        stripe_dies: u32,
+    },
+    /// The geometry is too small to hold even one zone.
+    NoZonesFit,
+}
+
+impl core::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LayoutError::StripeDoesNotDivideDies {
+                stripe_dies,
+                total_dies,
+            } => write!(f, "stripe width {stripe_dies} does not divide {total_dies} dies"),
+            LayoutError::ZoneNotStripeMultiple {
+                zone_blocks,
+                stripe_dies,
+            } => write!(
+                f,
+                "zone of {zone_blocks} blocks is not a multiple of stripe width {stripe_dies}"
+            ),
+            LayoutError::NoZonesFit => f.write_str("geometry too small for a single zone"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl ZoneLayout {
+    /// Builds a layout of zones of `zone_blocks` erase blocks striped over
+    /// `stripe_dies` dies.
+    ///
+    /// # Errors
+    ///
+    /// See [`LayoutError`] for each divisibility requirement.
+    pub fn new(geometry: Geometry, zone_blocks: u32, stripe_dies: u32) -> Result<Self, LayoutError> {
+        let total_dies = geometry.total_dies();
+        if stripe_dies == 0 || total_dies % stripe_dies != 0 {
+            return Err(LayoutError::StripeDoesNotDivideDies {
+                stripe_dies,
+                total_dies,
+            });
+        }
+        if zone_blocks == 0 || zone_blocks % stripe_dies != 0 {
+            return Err(LayoutError::ZoneNotStripeMultiple {
+                zone_blocks,
+                stripe_dies,
+            });
+        }
+        let blocks_per_die_per_zone = zone_blocks / stripe_dies;
+        let die_groups = total_dies / stripe_dies;
+        let zones_per_group = geometry.blocks_per_die / blocks_per_die_per_zone;
+        let zones = zones_per_group * die_groups;
+        if zones == 0 {
+            return Err(LayoutError::NoZonesFit);
+        }
+        Ok(ZoneLayout {
+            geometry,
+            zone_blocks,
+            stripe_dies,
+            die_groups,
+            blocks_per_die_per_zone,
+            zones_per_group,
+            zones,
+        })
+    }
+
+    /// Number of zones on the device.
+    pub fn num_zones(&self) -> u32 {
+        self.zones
+    }
+
+    /// Zone size in 4 KiB blocks (== flash pages).
+    pub fn zone_size_blocks(&self) -> u64 {
+        self.zone_blocks as u64 * self.geometry.pages_per_block as u64
+    }
+
+    /// Zone size in bytes.
+    pub fn zone_size_bytes(&self) -> u64 {
+        self.zone_size_blocks() * self.geometry.page_size() as u64
+    }
+
+    /// Stripe width in dies.
+    pub fn stripe_dies(&self) -> u32 {
+        self.stripe_dies
+    }
+
+    /// Erase blocks per zone.
+    pub fn zone_blocks(&self) -> u32 {
+        self.zone_blocks
+    }
+
+    /// The underlying geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Maps a zone-relative 4 KiB block offset to a physical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `zone` or `offset` is out of range; callers validate
+    /// against [`Self::num_zones`] / [`Self::zone_size_blocks`] first.
+    pub fn page_of(&self, zone: ZoneId, offset: u64) -> PageAddr {
+        assert!(zone.0 < self.zones, "zone {zone} out of range");
+        assert!(
+            offset < self.zone_size_blocks(),
+            "offset {offset} outside zone of {} blocks",
+            self.zone_size_blocks()
+        );
+        let group = zone.0 % self.die_groups;
+        let k = zone.0 / self.die_groups;
+        let stripe = self.stripe_dies as u64;
+        let ppb = self.geometry.pages_per_block as u64;
+
+        let die_in_group = offset % stripe;
+        let q = offset / stripe;
+        let die = (group * self.stripe_dies) as u64 + die_in_group;
+        let local_block = q / ppb;
+        let page_in_block = q % ppb;
+        let die_block = k as u64 * self.blocks_per_die_per_zone as u64 + local_block;
+        let block = die * self.geometry.blocks_per_die as u64 + die_block;
+        PageAddr(block * ppb + page_in_block)
+    }
+
+    /// The erase blocks making up a zone, for reset.
+    pub fn blocks_of(&self, zone: ZoneId) -> Vec<nand::BlockAddr> {
+        assert!(zone.0 < self.zones, "zone {zone} out of range");
+        let group = zone.0 % self.die_groups;
+        let k = zone.0 / self.die_groups;
+        let mut out = Vec::with_capacity(self.zone_blocks as usize);
+        for s in 0..self.stripe_dies {
+            let die = (group * self.stripe_dies + s) as u64;
+            for b in 0..self.blocks_per_die_per_zone {
+                let die_block = k as u64 * self.blocks_per_die_per_zone as u64 + b as u64;
+                out.push(nand::BlockAddr(
+                    die * self.geometry.blocks_per_die as u64 + die_block,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn layout() -> ZoneLayout {
+        // 4 dies × 8 blocks × 8 pages; zones of 4 blocks over 2 dies.
+        ZoneLayout::new(Geometry::new(2, 2, 8, 8), 4, 2).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let g = Geometry::new(2, 2, 8, 8);
+        assert!(matches!(
+            ZoneLayout::new(g, 4, 3),
+            Err(LayoutError::StripeDoesNotDivideDies { .. })
+        ));
+        assert!(matches!(
+            ZoneLayout::new(g, 3, 2),
+            Err(LayoutError::ZoneNotStripeMultiple { .. })
+        ));
+        assert!(matches!(
+            ZoneLayout::new(Geometry::new(1, 1, 1, 8), 2, 1),
+            Err(LayoutError::NoZonesFit)
+        ));
+    }
+
+    #[test]
+    fn every_zone_offset_maps_to_unique_page() {
+        let l = layout();
+        let mut seen = HashSet::new();
+        for z in 0..l.num_zones() {
+            for off in 0..l.zone_size_blocks() {
+                let p = l.page_of(ZoneId(z), off);
+                assert!(l.geometry().contains_page(p), "page {p:?} out of array");
+                assert!(seen.insert(p.0), "page {p:?} mapped twice");
+            }
+        }
+        // All zones together cover the whole array exactly when divisible.
+        assert_eq!(seen.len() as u64, l.geometry().total_pages());
+    }
+
+    #[test]
+    fn sequential_offsets_program_in_order_per_block() {
+        let l = layout();
+        // For each physical block touched, in-block page indices must
+        // appear in increasing order as the zone offset increases.
+        let mut next: std::collections::HashMap<u64, u64> = Default::default();
+        for off in 0..l.zone_size_blocks() {
+            let p = l.page_of(ZoneId(1), off);
+            let block = l.geometry().block_of_page(p);
+            let pib = l.geometry().page_in_block(p) as u64;
+            let expect = next.entry(block.0).or_insert(0);
+            assert_eq!(pib, *expect, "offset {off} lands out of order");
+            *expect += 1;
+        }
+    }
+
+    #[test]
+    fn stripe_spreads_consecutive_offsets_across_dies() {
+        let l = layout();
+        let g = *l.geometry();
+        let d0 = g.die_of_block(g.block_of_page(l.page_of(ZoneId(0), 0)));
+        let d1 = g.die_of_block(g.block_of_page(l.page_of(ZoneId(0), 1)));
+        assert_ne!(d0, d1, "consecutive offsets should hit different dies");
+    }
+
+    #[test]
+    fn blocks_of_covers_zone_exactly() {
+        let l = layout();
+        for z in 0..l.num_zones() {
+            let blocks = l.blocks_of(ZoneId(z));
+            assert_eq!(blocks.len(), l.zone_blocks() as usize);
+            let set: HashSet<u64> = blocks.iter().map(|b| b.0).collect();
+            // Every page of the zone belongs to one of the returned blocks.
+            for off in 0..l.zone_size_blocks() {
+                let p = l.page_of(ZoneId(z), off);
+                assert!(set.contains(&l.geometry().block_of_page(p).0));
+            }
+        }
+    }
+
+    #[test]
+    fn zone_sizes() {
+        let l = layout();
+        assert_eq!(l.zone_size_blocks(), 32);
+        assert_eq!(l.zone_size_bytes(), 32 * 4096);
+        assert_eq!(l.num_zones(), 8);
+    }
+}

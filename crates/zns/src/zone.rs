@@ -1,0 +1,121 @@
+//! Zone identifiers, states, and per-zone bookkeeping.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A zone index within the device.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ZoneId(pub u32);
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone:{}", self.0)
+    }
+}
+
+/// NVMe ZNS zone states (the subset reachable on a healthy device).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ZoneState {
+    /// No data; write pointer at zone start.
+    Empty,
+    /// Opened by a write without an explicit open command.
+    ImplicitOpen,
+    /// Opened by an explicit open command.
+    ExplicitOpen,
+    /// Has data and an intact write pointer but holds no open resources.
+    Closed,
+    /// Write pointer is invalid; the zone must be reset before rewriting.
+    Full,
+}
+
+impl ZoneState {
+    /// Whether the zone holds an open resource.
+    pub fn is_open(self) -> bool {
+        matches!(self, ZoneState::ImplicitOpen | ZoneState::ExplicitOpen)
+    }
+
+    /// Whether the zone holds an active resource (open or closed).
+    pub fn is_active(self) -> bool {
+        self.is_open() || self == ZoneState::Closed
+    }
+
+    /// Whether the zone accepts writes at its write pointer.
+    pub fn is_writable(self) -> bool {
+        matches!(
+            self,
+            ZoneState::Empty | ZoneState::ImplicitOpen | ZoneState::ExplicitOpen | ZoneState::Closed
+        )
+    }
+}
+
+impl fmt::Display for ZoneState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ZoneState::Empty => "empty",
+            ZoneState::ImplicitOpen => "implicit-open",
+            ZoneState::ExplicitOpen => "explicit-open",
+            ZoneState::Closed => "closed",
+            ZoneState::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A report-zones style description of one zone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneInfo {
+    /// The zone.
+    pub id: ZoneId,
+    /// Current state.
+    pub state: ZoneState,
+    /// Write pointer, in 4 KiB blocks from zone start.
+    pub write_pointer: u64,
+    /// Writable capacity in 4 KiB blocks (`cap`, ≤ zone size).
+    pub capacity: u64,
+    /// Times this zone has been reset (wear/lifetime signal).
+    pub reset_count: u64,
+}
+
+impl ZoneInfo {
+    /// Blocks still writable before the zone is full.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.write_pointer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        assert!(ZoneState::ImplicitOpen.is_open());
+        assert!(ZoneState::ExplicitOpen.is_open());
+        assert!(!ZoneState::Closed.is_open());
+        assert!(ZoneState::Closed.is_active());
+        assert!(!ZoneState::Empty.is_active());
+        assert!(!ZoneState::Full.is_writable());
+        assert!(ZoneState::Empty.is_writable());
+    }
+
+    #[test]
+    fn info_remaining() {
+        let info = ZoneInfo {
+            id: ZoneId(1),
+            state: ZoneState::ImplicitOpen,
+            write_pointer: 10,
+            capacity: 64,
+            reset_count: 2,
+        };
+        assert_eq!(info.remaining(), 54);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ZoneId(4).to_string(), "zone:4");
+        assert_eq!(ZoneState::Full.to_string(), "full");
+    }
+}

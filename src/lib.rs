@@ -1,0 +1,44 @@
+//! Reproduction of *"Can ZNS SSDs be Better Storage Devices for Persistent
+//! Cache?"* (HotStorage '24).
+//!
+//! This root crate re-exports the workspace so examples and integration
+//! tests can reach every layer through one dependency:
+//!
+//! * [`zns_cache`] — the paper's subject: the log-structured persistent
+//!   cache with its four scheme backends,
+//! * [`zns`] / [`ftl`] / [`nand`] — the ZNS SSD, the conventional SSD, and
+//!   the shared flash model beneath both,
+//! * [`f2fs_lite`] — the ZNS filesystem under File-Cache,
+//! * [`lsm`] / [`hdd`] — the RocksDB-style store and its disk for the
+//!   end-to-end evaluation,
+//! * [`workload`] — CacheBench/db_bench-style generators,
+//! * [`sim`] — the simulated-time kernel.
+//!
+//! See `README.md` for a walkthrough, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zns_cache_repro::zns::{ZnsConfig, ZnsDevice};
+//! use zns_cache_repro::zns_cache::backend::ZoneBackend;
+//! use zns_cache_repro::zns_cache::{CacheConfig, LogCache};
+//! use zns_cache_repro::sim::Nanos;
+//!
+//! let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+//! let cache = LogCache::new(Arc::new(ZoneBackend::new(dev)), CacheConfig::small_test())?;
+//! let t = cache.set(b"hello", b"world", Nanos::ZERO)?;
+//! assert!(cache.get(b"hello", t)?.0.is_some());
+//! # Ok::<(), zns_cache_repro::zns_cache::CacheError>(())
+//! ```
+
+pub use f2fs_lite;
+pub use ftl;
+pub use hdd;
+pub use lsm;
+pub use nand;
+pub use sim;
+pub use workload;
+pub use zns;
+pub use zns_cache;

@@ -1,0 +1,98 @@
+//! The `BlockDevice` contract, exercised uniformly across every
+//! block-addressed device in the workspace (RAM disk, FTL SSD, HDD):
+//! read-your-writes, bounds enforcement, monotonic time, trim behaviour.
+
+use std::sync::Arc;
+
+use zns_cache_repro::ftl::{BlockSsd, FtlConfig};
+use zns_cache_repro::hdd::{Hdd, HddConfig};
+use zns_cache_repro::sim::{BlockDevice, Lba, Nanos, RamDisk, BLOCK_SIZE};
+
+fn devices() -> Vec<(&'static str, Arc<dyn BlockDevice>)> {
+    vec![
+        ("ramdisk", Arc::new(RamDisk::new(256))),
+        ("ftl-ssd", Arc::new(BlockSsd::new(FtlConfig::small_test()))),
+        ("hdd", Arc::new(Hdd::new(HddConfig::small_test()))),
+    ]
+}
+
+#[test]
+fn read_your_writes_across_devices() {
+    for (name, dev) in devices() {
+        let mut t = Nanos::ZERO;
+        for lba in [0u64, 7, 100] {
+            let data = vec![(lba % 251) as u8 + 1; 2 * BLOCK_SIZE];
+            t = dev.write(Lba(lba), &data, t).unwrap_or_else(|e| {
+                panic!("{name}: write failed: {e}");
+            });
+            let mut out = vec![0u8; 2 * BLOCK_SIZE];
+            t = dev.read(Lba(lba), &mut out, t).unwrap();
+            assert_eq!(out, data, "{name}: lba {lba} corrupt");
+        }
+    }
+}
+
+#[test]
+fn completion_times_are_monotone_per_stream() {
+    for (name, dev) in devices() {
+        let mut t = Nanos::ZERO;
+        let data = vec![1u8; BLOCK_SIZE];
+        for lba in 0..20u64 {
+            let t2 = dev.write(Lba(lba), &data, t).unwrap();
+            assert!(t2 >= t, "{name}: completion went backwards");
+            t = t2;
+        }
+    }
+}
+
+#[test]
+fn out_of_range_rejected_without_side_effects() {
+    for (name, dev) in devices() {
+        let cap = dev.block_count();
+        let data = vec![1u8; BLOCK_SIZE];
+        assert!(dev.write(Lba(cap), &data, Nanos::ZERO).is_err(), "{name}");
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        assert!(dev.read(Lba(cap), &mut buf, Nanos::ZERO).is_err(), "{name}");
+        // A straddling request is rejected wholesale.
+        let two = vec![1u8; 2 * BLOCK_SIZE];
+        assert!(dev.write(Lba(cap - 1), &two, Nanos::ZERO).is_err(), "{name}");
+    }
+}
+
+#[test]
+fn misaligned_buffers_rejected() {
+    for (name, dev) in devices() {
+        assert!(
+            dev.write(Lba(0), &[0u8; 100], Nanos::ZERO).is_err(),
+            "{name}: accepted misaligned write"
+        );
+        let mut buf = [0u8; 10];
+        assert!(
+            dev.read(Lba(0), &mut buf, Nanos::ZERO).is_err(),
+            "{name}: accepted misaligned read"
+        );
+    }
+}
+
+#[test]
+fn trim_then_read_returns_zeros_on_mapping_devices() {
+    // Only the FTL interprets trim; it must read back zeros afterwards.
+    let dev = BlockSsd::new(FtlConfig::small_test());
+    let data = vec![0x77u8; BLOCK_SIZE];
+    let t = dev.write(Lba(3), &data, Nanos::ZERO).unwrap();
+    let t = dev.trim(Lba(3), 1, t).unwrap();
+    let mut out = vec![1u8; BLOCK_SIZE];
+    dev.read(Lba(3), &mut out, t).unwrap();
+    assert!(out.iter().all(|&b| b == 0));
+}
+
+#[test]
+fn capacity_bytes_consistent() {
+    for (name, dev) in devices() {
+        assert_eq!(
+            dev.capacity_bytes(),
+            dev.block_count() * BLOCK_SIZE as u64,
+            "{name}"
+        );
+    }
+}

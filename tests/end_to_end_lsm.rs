@@ -1,0 +1,112 @@
+//! The full §4.2 stack as an integration test: mini-RocksDB on the HDD
+//! model with each scheme as secondary cache, validated against an
+//! in-memory model database.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use zns_cache_repro::hdd::{Hdd, HddConfig};
+use zns_cache_repro::lsm::{Db, DbConfig, NavySecondary};
+use zns_cache_repro::sim::Nanos;
+use zns_cache_repro::zns::{ZnsConfig, ZnsDevice};
+use zns_cache_repro::zns_cache::backend::MiddleConfig;
+use zns_cache_repro::zns_cache::{CacheConfig, Scheme, SchemeCache};
+
+fn flash(scheme: Scheme) -> SchemeCache {
+    let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+    match scheme {
+        Scheme::Zone => SchemeCache::zone(dev, None, CacheConfig::small_test()).unwrap(),
+        Scheme::Region => {
+            SchemeCache::region(dev, MiddleConfig::small_test(), CacheConfig::small_test())
+                .unwrap()
+        }
+        other => panic!("test only wires ZNS schemes, got {other}"),
+    }
+}
+
+fn db_with(flash: &SchemeCache) -> Db {
+    Db::open(DbConfig {
+        dev: Arc::new(Hdd::new(HddConfig::small_test())),
+        secondary: Some(Arc::new(NavySecondary::new(flash.cache.clone()))),
+        block_cache_bytes: 8 * 1024, // tiny DRAM so the flash tier works
+        ..DbConfig::small_test()
+    })
+    .unwrap()
+}
+
+#[test]
+fn lsm_with_flash_secondary_matches_model() {
+    for scheme in [Scheme::Zone, Scheme::Region] {
+        let fc = flash(scheme);
+        let db = db_with(&fc);
+        let mut model: HashMap<Vec<u8>, Option<Vec<u8>>> = HashMap::new();
+        let mut t = Nanos::ZERO;
+
+        // Deterministic mixed workload: puts, overwrites, deletes.
+        for i in 0..3_000u32 {
+            let key = format!("key{:05}", (i * 17) % 800).into_bytes();
+            match i % 7 {
+                6 => {
+                    t = db.delete(&key, t).unwrap();
+                    model.insert(key, None);
+                }
+                _ => {
+                    let value = format!("value-{i}").into_bytes();
+                    t = db.put(&key, &value, t).unwrap();
+                    model.insert(key, Some(value));
+                }
+            }
+        }
+        t = db.flush(t).unwrap();
+
+        // Every model entry must agree — through DRAM, flash, or HDD.
+        for (key, expect) in &model {
+            let (got, t2) = db.get(key, t).unwrap();
+            t = t2;
+            assert_eq!(
+                got.as_deref(),
+                expect.as_deref(),
+                "{scheme}: key {} diverged",
+                String::from_utf8_lossy(key)
+            );
+        }
+        // The flash tier must actually have participated.
+        let m = fc.cache.metrics();
+        assert!(m.sets > 0, "{scheme}: no block demotions reached flash");
+    }
+}
+
+#[test]
+fn secondary_cache_hits_reduce_device_reads() {
+    let fc = flash(Scheme::Region);
+    let db = db_with(&fc);
+    let mut t = Nanos::ZERO;
+    for i in 0..2_000u32 {
+        let key = format!("key{i:05}");
+        t = db.put(key.as_bytes(), b"value-payload-xx", t).unwrap();
+    }
+    t = db.flush(t).unwrap();
+
+    // Two passes over the same keys: the second should be served mostly
+    // from the caches.
+    let hdd_reads_between = |db: &Db, t0: Nanos| {
+        let mut t = t0;
+        for i in (0..2_000u32).step_by(13) {
+            let key = format!("key{i:05}");
+            let (v, t2) = db.get(key.as_bytes(), t).unwrap();
+            assert!(v.is_some());
+            t = t2;
+        }
+        t
+    };
+    t = hdd_reads_between(&db, t);
+    let misses_after_first = db.cache_stats().misses;
+    hdd_reads_between(&db, t);
+    let misses_after_second = db.cache_stats().misses;
+    assert!(
+        misses_after_second - misses_after_first < misses_after_first / 2 + 1,
+        "second pass should mostly hit the cache tiers: {} then {}",
+        misses_after_first,
+        misses_after_second - misses_after_first
+    );
+}

@@ -1,0 +1,91 @@
+//! Failure-path behaviour: injected device faults must surface as typed
+//! errors, never corrupt state, and the system must keep working once the
+//! fault clears.
+
+use std::sync::Arc;
+
+use zns_cache_repro::lsm::{Db, DbConfig};
+use zns_cache_repro::sim::fault::{FaultKind, FaultyDevice};
+use zns_cache_repro::sim::{Nanos, RamDisk};
+use zns_cache_repro::zns_cache::backend::BlockBackend;
+use zns_cache_repro::zns_cache::{CacheConfig, CacheError, LogCache};
+
+fn faulty_cache() -> (LogCache, Arc<FaultyDevice>) {
+    let dev = Arc::new(FaultyDevice::new(Arc::new(RamDisk::new(256))));
+    let backend = Arc::new(BlockBackend::new(dev.clone(), 4 * 4096));
+    let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+    (cache, dev)
+}
+
+#[test]
+fn flush_write_fault_surfaces_and_cache_recovers() {
+    let (cache, dev) = faulty_cache();
+    let mut t = Nanos::ZERO;
+    // Fill most of one region buffer.
+    let value = vec![1u8; 3000];
+    for i in 0..4u32 {
+        t = cache.set(format!("a{i}").as_bytes(), &value, t).unwrap();
+    }
+    // The next buffer rollover performs the region write: make it fail.
+    dev.arm(FaultKind::Writes, 1);
+    let mut failed = false;
+    for i in 0..8u32 {
+        match cache.set(format!("b{i}").as_bytes(), &value, t) {
+            Ok(t2) => t = t2,
+            Err(CacheError::Io(msg)) => {
+                assert!(msg.contains("injected"), "unexpected error: {msg}");
+                failed = true;
+                break;
+            }
+            Err(other) => panic!("wrong error type: {other}"),
+        }
+    }
+    assert!(failed, "injected write fault never surfaced");
+    assert_eq!(dev.injected(), 1);
+
+    // Fault cleared: the cache continues to serve and accept data.
+    dev.disarm();
+    let t2 = cache.set(b"after", b"ok", t).unwrap();
+    let (v, _) = cache.get(b"after", t2).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"ok"[..]));
+}
+
+#[test]
+fn read_fault_surfaces_on_flash_hit() {
+    let (cache, dev) = faulty_cache();
+    let t = cache.set(b"k", b"v", Nanos::ZERO).unwrap();
+    let t = cache.flush(t).unwrap();
+    dev.arm(FaultKind::Reads, 1);
+    match cache.get(b"k", t) {
+        Err(CacheError::Io(msg)) => assert!(msg.contains("injected")),
+        other => panic!("expected injected read error, got {other:?}"),
+    }
+    dev.disarm();
+    let (v, _) = cache.get(b"k", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"v"[..]));
+}
+
+#[test]
+fn lsm_storage_fault_fails_the_operation_not_the_db() {
+    let dev = Arc::new(FaultyDevice::new(Arc::new(RamDisk::new(8192))));
+    let db = Db::open(DbConfig {
+        dev: dev.clone(),
+        ..DbConfig::small_test()
+    })
+    .unwrap();
+    let mut t = Nanos::ZERO;
+    for i in 0..50u32 {
+        t = db.put(format!("k{i:03}").as_bytes(), b"value", t).unwrap();
+    }
+    t = db.flush(t).unwrap();
+
+    // Reads failing at the device must propagate as storage errors.
+    dev.arm(FaultKind::Reads, 100);
+    let err = db.get(b"k001", t);
+    assert!(err.is_err(), "device fault swallowed");
+    dev.disarm();
+
+    // And the database still answers once the device heals.
+    let (v, _) = db.get(b"k001", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"value"[..]));
+}

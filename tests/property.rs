@@ -1,0 +1,237 @@
+//! Property-based tests over the core invariants: the cache behaves like a
+//! map (modulo evictions), the zoned device enforces its contract under
+//! arbitrary op streams, the FTL never loses acknowledged writes, and the
+//! filesystem is read-your-writes under random I/O.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zns_cache_repro::f2fs_lite::{FileSystem, FsConfig};
+use zns_cache_repro::ftl::{BlockSsd, FtlConfig};
+use zns_cache_repro::sim::{BlockDevice, Lba, Nanos, BLOCK_SIZE};
+use zns_cache_repro::zns::{ZnsConfig, ZnsDevice, ZoneId};
+use zns_cache_repro::zns_cache::backend::{MiddleConfig, MiddleLayerBackend};
+use zns_cache_repro::zns_cache::{recovery, CacheConfig, LogCache};
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Set(u8, Vec<u8>),
+    Get(u8),
+    Delete(u8),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..300))
+            .prop_map(|(k, v)| CacheOp::Set(k, v)),
+        any::<u8>().prop_map(CacheOp::Get),
+        any::<u8>().prop_map(CacheOp::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A cache hit must always return the *latest* value for the key; a
+    /// key that was deleted (and not re-set) must never hit.
+    #[test]
+    fn cache_is_a_subset_of_a_map(ops in proptest::collection::vec(cache_op(), 1..300)) {
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let backend = Arc::new(MiddleLayerBackend::new(dev, MiddleConfig::small_test()));
+        let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+        let mut model: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+        let mut t = Nanos::ZERO;
+        for op in ops {
+            match op {
+                CacheOp::Set(k, v) => {
+                    t = cache.set(&[k], &v, t).unwrap();
+                    model.insert(k, Some(v));
+                }
+                CacheOp::Get(k) => {
+                    let (got, t2) = cache.get(&[k], t).unwrap();
+                    t = t2;
+                    if let Some(got) = got {
+                        match model.get(&k) {
+                            Some(Some(expect)) => prop_assert_eq!(got.as_ref(), expect.as_slice()),
+                            _ => prop_assert!(false, "hit for a deleted/never-set key"),
+                        }
+                    }
+                }
+                CacheOp::Delete(k) => {
+                    t = cache.delete(&[k], t).1;
+                    model.insert(k, None);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary zone op sequences never corrupt the device: every
+    /// accepted write is readable, every rejected op leaves state intact.
+    #[test]
+    fn zns_state_machine_is_sound(ops in proptest::collection::vec((0u32..8, 0u8..4), 1..200)) {
+        let dev = ZnsDevice::new(ZnsConfig::small_test());
+        let mut t = Nanos::ZERO;
+        // Shadow write pointers per zone.
+        let mut wp = vec![0u64; dev.num_zones() as usize];
+        let mut full = vec![false; dev.num_zones() as usize];
+        for (zone_raw, action) in ops {
+            let zone = ZoneId(zone_raw % dev.num_zones());
+            let z = zone.0 as usize;
+            match action {
+                0 => {
+                    // write one block
+                    let data = vec![zone.0 as u8; BLOCK_SIZE];
+                    match dev.write(zone, &data, t) {
+                        Ok(t2) => {
+                            t = t2;
+                            prop_assert!(!full[z], "write accepted on full zone");
+                            wp[z] += 1;
+                            if wp[z] == dev.zone_cap_blocks() { full[z] = true; }
+                        }
+                        Err(_) => {}
+                    }
+                }
+                1 => {
+                    t = dev.reset(zone, t).unwrap();
+                    wp[z] = 0;
+                    full[z] = false;
+                }
+                2 => {
+                    if dev.finish(zone, t).is_ok() {
+                        full[z] = true;
+                    }
+                }
+                _ => {
+                    // read below wp must succeed; at/above must fail
+                    if wp[z] > 0 {
+                        let mut buf = vec![0u8; BLOCK_SIZE];
+                        prop_assert!(dev.read(zone, wp[z] - 1, &mut buf, t).is_ok());
+                    }
+                    let mut buf = vec![0u8; BLOCK_SIZE];
+                    prop_assert!(dev.read(zone, wp[z], &mut buf, t).is_err());
+                }
+            }
+            let info = dev.zone_info(zone).unwrap();
+            prop_assert_eq!(info.write_pointer, wp[z], "wp diverged on {}", zone);
+        }
+    }
+
+    /// The FTL is read-your-writes for every LBA under random overwrites
+    /// and trims, even while GC runs.
+    #[test]
+    fn ftl_read_your_writes(ops in proptest::collection::vec((0u64..200, any::<u8>(), any::<bool>()), 1..400)) {
+        let ssd = BlockSsd::new(FtlConfig::small_test());
+        let mut model: HashMap<u64, Option<u8>> = HashMap::new();
+        let mut t = Nanos::ZERO;
+        for (lba, fill, is_trim) in ops {
+            if is_trim {
+                t = ssd.trim(Lba(lba), 1, t).unwrap();
+                model.insert(lba, None);
+            } else {
+                let data = vec![fill; BLOCK_SIZE];
+                t = ssd.write(Lba(lba), &data, t).unwrap();
+                model.insert(lba, Some(fill));
+            }
+        }
+        for (lba, expect) in model {
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            t = ssd.read(Lba(lba), &mut buf, t).unwrap();
+            let want = expect.unwrap_or(0);
+            prop_assert!(buf.iter().all(|&b| b == want), "lba {} corrupt", lba);
+        }
+    }
+
+    /// Snapshot + recover is lossless: whatever a cache would serve
+    /// before a clean shutdown, the recovered cache serves identically.
+    #[test]
+    fn recovery_is_lossless(ops in proptest::collection::vec(cache_op(), 1..150)) {
+        let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+        let backend = Arc::new(MiddleLayerBackend::new(dev, MiddleConfig::small_test()));
+        let cache = LogCache::new(backend.clone(), CacheConfig::small_test()).unwrap();
+        let mut t = Nanos::ZERO;
+        for op in ops {
+            match op {
+                CacheOp::Set(k, v) => t = cache.set(&[k], &v, t).unwrap(),
+                CacheOp::Get(k) => t = cache.get(&[k], t).unwrap().1,
+                CacheOp::Delete(k) => t = cache.delete(&[k], t).1,
+            }
+        }
+        // What does the original serve right before shutdown?
+        let (snap, t2) = recovery::snapshot(&cache, t).unwrap();
+        let mut before: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+        let mut t3 = t2;
+        for k in 0..=255u8 {
+            let (v, tn) = cache.get(&[k], t3).unwrap();
+            t3 = tn;
+            before.insert(k, v.map(|b| b.to_vec()));
+        }
+        drop(cache);
+        let recovered = recovery::recover(backend, CacheConfig::small_test(), &snap).unwrap();
+        for (k, expect) in before {
+            let (v, tn) = recovered.get(&[k], t3).unwrap();
+            t3 = tn;
+            prop_assert_eq!(v.map(|b| b.to_vec()), expect, "key {} diverged", k);
+        }
+    }
+
+    /// The hybrid (BigHash + log-structured) engine agrees with a map
+    /// under mixed-size workloads, including objects crossing the size
+    /// threshold between updates.
+    #[test]
+    fn hybrid_engine_matches_map(
+        ops in proptest::collection::vec((any::<u8>(), 0u16..3000, any::<bool>()), 1..200)
+    ) {
+        use zns_cache_repro::zns_cache::backend::BlockBackend;
+        use zns_cache_repro::zns_cache::bighash::{BigHash, HybridEngine};
+        use zns_cache_repro::sim::{Lba, RamDisk};
+
+        let bucket_dev = Arc::new(RamDisk::new(16));
+        let small = BigHash::new(bucket_dev, Lba(0), 16).unwrap();
+        let region_dev = Arc::new(RamDisk::new(512));
+        let backend = Arc::new(BlockBackend::new(region_dev, 16 * BLOCK_SIZE));
+        let large = Arc::new(LogCache::new(backend, CacheConfig::small_test()).unwrap());
+        let hybrid = HybridEngine::new(small, large, 256);
+
+        let mut model: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+        let mut t = Nanos::ZERO;
+        for (k, len, is_delete) in ops {
+            if is_delete {
+                t = hybrid.delete(&[k], t).unwrap().1;
+                model.insert(k, None);
+            } else {
+                let v = vec![k ^ 0x5a; len as usize];
+                t = hybrid.set(&[k], &v, t).unwrap();
+                model.insert(k, Some(v));
+            }
+        }
+        for (k, expect) in model {
+            let (got, t2) = hybrid.get(&[k], t).unwrap();
+            t = t2;
+            if let Some(got) = got {
+                // The cache may evict, but a hit must be the latest value.
+                prop_assert_eq!(Some(got.to_vec()), expect, "key {} stale", k);
+            }
+        }
+    }
+
+    /// The filesystem is read-your-writes at block granularity under
+    /// random writes to a file, across enough churn to trigger cleaning.
+    #[test]
+    fn f2fs_read_your_writes(writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..250)) {
+        let fs = FileSystem::format(FsConfig::small_test());
+        let ino = fs.create("f", Nanos::ZERO).unwrap();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        let mut t = Nanos::ZERO;
+        for (block, fill) in writes {
+            let data = vec![fill; BLOCK_SIZE];
+            t = fs.pwrite(ino, block * BLOCK_SIZE as u64, &data, t).unwrap();
+            model.insert(block, fill);
+        }
+        for (block, fill) in model {
+            let mut buf = vec![0u8; BLOCK_SIZE];
+            t = fs.pread(ino, block * BLOCK_SIZE as u64, &mut buf, t).unwrap();
+            prop_assert!(buf.iter().all(|&b| b == fill), "block {} corrupt", block);
+        }
+    }
+}
