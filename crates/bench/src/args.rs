@@ -18,7 +18,7 @@ impl Flags {
     /// Panics on malformed arguments (a flag without a value), printing
     /// usage — acceptable for experiment binaries.
     pub fn from_env() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
@@ -26,7 +26,7 @@ impl Flags {
     /// # Panics
     ///
     /// As [`Flags::from_env`].
-    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut map = HashMap::new();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -76,7 +76,7 @@ mod tests {
     use super::*;
 
     fn flags(args: &[&str]) -> Flags {
-        Flags::from_iter(args.iter().map(|s| s.to_string()))
+        Flags::from_args(args.iter().map(|s| s.to_string()))
     }
 
     #[test]

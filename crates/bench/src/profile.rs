@@ -194,6 +194,7 @@ pub fn experiment_cache_config(region_size: usize) -> CacheConfig {
         eviction_lock_threshold: 4096,
         reinsertion_fraction: 0.0,
         maintenance_interval_sets: 64,
+        retry: Default::default(),
         seed: 42,
     }
 }

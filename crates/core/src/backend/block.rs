@@ -33,7 +33,7 @@ impl BlockBackend {
     /// device — configuration bugs.
     pub fn new(dev: Arc<dyn BlockDevice>, region_size: usize) -> Self {
         assert!(
-            region_size > 0 && region_size % BLOCK_SIZE == 0,
+            region_size > 0 && region_size.is_multiple_of(BLOCK_SIZE),
             "region size {region_size} must be a positive multiple of {BLOCK_SIZE}"
         );
         let region_blocks = (region_size / BLOCK_SIZE) as u64;

@@ -49,7 +49,7 @@ impl FileBackend {
         now: Nanos,
     ) -> Result<Self, CacheError> {
         assert!(
-            region_size > 0 && region_size % BLOCK_SIZE == 0,
+            region_size > 0 && region_size.is_multiple_of(BLOCK_SIZE),
             "region size {region_size} must be a positive multiple of {BLOCK_SIZE}"
         );
         let needed = region_size as u64 * num_regions as u64;

@@ -141,7 +141,7 @@ impl MiddleLayerBackend {
     /// device allows, or too little over-provisioning left for GC.
     pub fn new(dev: Arc<ZnsDevice>, config: MiddleConfig) -> Self {
         assert!(
-            config.region_size > 0 && config.region_size % BLOCK_SIZE == 0,
+            config.region_size > 0 && config.region_size.is_multiple_of(BLOCK_SIZE),
             "region size must be a positive multiple of {BLOCK_SIZE}"
         );
         let region_blocks = (config.region_size / BLOCK_SIZE) as u64;
@@ -368,7 +368,7 @@ impl MiddleLayerBackend {
                 continue; // never written
             }
             let valid = s.bitmap[z as usize].count_ones();
-            if best.map_or(true, |(bv, _)| valid < bv) {
+            if best.is_none_or(|(bv, _)| valid < bv) {
                 best = Some((valid, z));
                 if valid == 0 {
                     break;
@@ -458,6 +458,17 @@ impl RegionBackend for MiddleLayerBackend {
 
     fn num_regions(&self) -> u32 {
         self.user_regions
+    }
+
+    fn readable_bytes(&self, region: RegionId) -> usize {
+        // A region is readable only while its zone mapping exists; mapped
+        // regions were written in full by `place`.
+        let s = self.state.lock();
+        if s.map.contains_key(&region.0) {
+            self.region_size
+        } else {
+            0
+        }
     }
 
     fn write_region(

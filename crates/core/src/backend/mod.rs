@@ -72,6 +72,15 @@ pub trait RegionBackend: Send + Sync {
         now: Nanos,
     ) -> Result<Nanos, CacheError>;
 
+    /// Bytes of a region that are durably readable right now — used by
+    /// scan recovery to walk whatever survived a crash. Backends with
+    /// partial-write visibility (zones expose a write pointer) override
+    /// this; the default claims the whole region, and the scanner treats
+    /// read failures as "nothing readable".
+    fn readable_bytes(&self, _region: RegionId) -> usize {
+        self.region_size()
+    }
+
     /// Releases a region's storage ahead of slot reuse (TRIM, zone reset,
     /// or mapping removal, depending on the scheme).
     ///

@@ -68,6 +68,15 @@ impl RegionBackend for ZoneBackend {
         self.num_regions
     }
 
+    fn readable_bytes(&self, region: RegionId) -> usize {
+        // The zone's write pointer bounds what a scan may read — a torn
+        // zone write leaves a durable prefix below the pointer.
+        match self.dev.zone_info(self.zone(region)) {
+            Ok(info) => (info.write_pointer as usize * BLOCK_SIZE).min(self.region_size()),
+            Err(_) => 0,
+        }
+    }
+
     fn write_region(
         &self,
         region: RegionId,

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use sim::{LatencyHistogram, Nanos};
+use sim::{crc32, Crc32, LatencyHistogram, Nanos};
 
 use crate::backend::RegionBackend;
 use crate::dram::DramCache;
@@ -34,8 +34,41 @@ use crate::policy::{Admission, AdmissionGate, EvictionPolicy};
 use crate::types::{fingerprint, hash_key, CacheError, RegionId};
 
 /// On-flash object header: `u16 key_len`, `u16 flags` (reserved),
-/// `u32 value_len`.
-pub const OBJECT_HEADER: usize = 8;
+/// `u32 value_len`, `u32 crc` (CRC32 over key + value).
+pub const OBJECT_HEADER: usize = 12;
+
+/// Byte offset of the CRC field within [`OBJECT_HEADER`].
+pub(crate) const HEADER_CRC_OFFSET: usize = 8;
+
+/// Bounded retry for transient backend I/O failures, with exponential
+/// backoff in *simulated* time (the delay is charged to the operation's
+/// completion timestamp; nothing sleeps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per I/O (1 = no retry).
+    pub attempts: u32,
+    /// Delay before the first retry; doubles on each subsequent one.
+    pub backoff: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            backoff: Nanos::from_micros(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every backend error is treated as permanent.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            backoff: Nanos::ZERO,
+        }
+    }
+}
 
 /// Configuration for a [`LogCache`].
 #[derive(Clone, Debug)]
@@ -76,6 +109,8 @@ pub struct CacheConfig {
     pub reinsertion_fraction: f64,
     /// Run backend maintenance (middle-layer GC) every N sets.
     pub maintenance_interval_sets: u32,
+    /// Retry budget for transient backend I/O failures.
+    pub retry: RetryPolicy,
     /// RNG seed for the admission gate.
     pub seed: u64,
 }
@@ -96,10 +131,16 @@ impl CacheConfig {
             eviction_lock_threshold: 4096,
             reinsertion_fraction: 0.0,
             maintenance_interval_sets: 16,
+            retry: RetryPolicy::default(),
             seed: 42,
         }
     }
 }
+
+/// One region's dumped index state, as recovery snapshots carry it:
+/// `(region, entries as (hash, byte offset), live objects, last-access
+/// sequence, sealed?)`.
+pub(crate) type RegionDumpEntry = (u32, Vec<(u64, u32)>, u32, u64, bool);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum RegionState {
@@ -109,6 +150,9 @@ enum RegionState {
     Active,
     /// Flushed to the backend and readable.
     Sealed,
+    /// Taken out of service after a permanent write/discard failure; never
+    /// allocated again for the lifetime of this engine.
+    Quarantined,
 }
 
 #[derive(Debug)]
@@ -253,6 +297,57 @@ impl LogCache {
         OBJECT_HEADER + key.len() + value.len()
     }
 
+    /// Runs a backend I/O under the configured retry budget. Transient
+    /// device errors ([`CacheError::Io`]) are retried with exponential
+    /// simulated-time backoff; anything else — and exhaustion of the
+    /// budget — propagates.
+    fn retry_io(
+        &self,
+        mut t: Nanos,
+        mut op: impl FnMut(Nanos) -> Result<Nanos, CacheError>,
+    ) -> Result<Nanos, CacheError> {
+        let attempts = self.config.retry.attempts.max(1);
+        let mut delay = self.config.retry.backoff;
+        for attempt in 1..=attempts {
+            match op(t) {
+                Ok(done) => return Ok(done),
+                Err(CacheError::Io(msg)) => {
+                    if attempt == attempts {
+                        self.metrics.retries_exhausted.incr();
+                        return Err(CacheError::Io(msg));
+                    }
+                    self.metrics.retries.incr();
+                    t += delay;
+                    delay = delay * 2;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+
+    /// Takes a region slot permanently out of service. The slot is never
+    /// returned to the free list; capacity shrinks by one region.
+    fn quarantine(&self, s: &mut EngineState, region: u32) {
+        let meta = &mut s.regions[region as usize];
+        meta.state = RegionState::Quarantined;
+        meta.entries.clear();
+        meta.live_objects = 0;
+        s.fifo.retain(|&r| r != region);
+        self.metrics.quarantined_regions.incr();
+        self.metrics
+            .quarantined_bytes
+            .add(self.backend.region_size() as u64);
+    }
+
+    /// CRC32 over an object's key + value, as stored in its header.
+    fn object_crc(key: &[u8], value: &[u8]) -> u32 {
+        let mut c = Crc32::new();
+        c.update(key);
+        c.update(value);
+        c.finalize()
+    }
+
     /// Picks an eviction victim among sealed regions.
     fn pick_victim(&self, s: &mut EngineState) -> Option<u32> {
         match self.config.eviction {
@@ -276,65 +371,92 @@ impl LogCache {
 
     /// Acquires a free region slot, evicting if necessary. Returns the slot
     /// and the time after any serialized eviction work.
+    ///
+    /// A victim whose discard keeps failing through the retry budget is
+    /// quarantined and the next victim is tried — one bad region must not
+    /// wedge the whole cache.
     fn acquire_region(&self, s: &mut EngineState, now: Nanos) -> Result<(u32, Nanos), CacheError> {
         if let Some(r) = s.free.pop_front() {
             debug_assert_eq!(s.regions[r as usize].state, RegionState::Free);
             return Ok((r, now));
         }
-        let victim = self
-            .pick_victim(s)
-            .ok_or_else(|| CacheError::Io("no sealed region to evict".into()))?;
-        let meta = &mut s.regions[victim as usize];
-        let entries = std::mem::take(&mut meta.entries);
-        meta.live_objects = 0;
-        meta.state = RegionState::Free;
-        // Reinsertion policy: rescue a bounded share of still-referenced
-        // objects by reading them back before the region is discarded.
         let mut now = now;
-        if self.config.reinsertion_fraction > 0.0 {
-            let budget = ((entries.len() as f64) * self.config.reinsertion_fraction) as usize;
-            let mut rescued = 0usize;
+        loop {
+            let victim = self.pick_victim(s).ok_or_else(|| {
+                CacheError::Io("no region available: nothing sealed to evict".into())
+            })?;
+            let meta = &mut s.regions[victim as usize];
+            let entries = std::mem::take(&mut meta.entries);
+            meta.live_objects = 0;
+            meta.state = RegionState::Free;
+            // Reinsertion policy: rescue a bounded share of still-referenced
+            // objects by reading them back before the region is discarded.
+            // Rescue is best-effort: unreadable or corrupt objects are
+            // simply not rescued.
+            if self.config.reinsertion_fraction > 0.0 {
+                let budget = ((entries.len() as f64) * self.config.reinsertion_fraction) as usize;
+                let mut rescued = 0usize;
+                for &(hash, offset) in &entries {
+                    if rescued >= budget {
+                        break;
+                    }
+                    let Some(e) = self.index.get_at(hash, RegionId(victim), offset) else {
+                        continue;
+                    };
+                    if !e.accessed || e.expiry <= now {
+                        continue;
+                    }
+                    let len = OBJECT_HEADER + e.key_len as usize + e.value_len as usize;
+                    let mut obj = vec![0u8; len];
+                    match self.retry_io(now, |t| {
+                        self.backend.read(RegionId(victim), offset as usize, &mut obj, t)
+                    }) {
+                        Ok(t) => now = t,
+                        Err(_) => continue,
+                    }
+                    let key = &obj[OBJECT_HEADER..OBJECT_HEADER + e.key_len as usize];
+                    let value = &obj[OBJECT_HEADER + e.key_len as usize..];
+                    let stored_crc = u32::from_le_bytes(
+                        obj[HEADER_CRC_OFFSET..OBJECT_HEADER].try_into().expect("4 bytes"),
+                    );
+                    if stored_crc != Self::object_crc(key, value) {
+                        self.metrics.corrupt_reads.incr();
+                        continue;
+                    }
+                    s.pending_reinserts.push((key.to_vec(), value.to_vec(), e.expiry));
+                    rescued += 1;
+                }
+                self.metrics.reinserted_objects.add(rescued as u64);
+            }
+            // Serialized index cleanup: the eviction cost that grows with
+            // region size (Fig. 3's jump).
+            let mut removed = 0u64;
             for &(hash, offset) in &entries {
-                if rescued >= budget {
-                    break;
+                if self.index.remove_if_at(hash, RegionId(victim), offset) {
+                    removed += 1;
                 }
-                let Some(e) = self.index.get_at(hash, RegionId(victim), offset) else {
-                    continue;
-                };
-                if !e.accessed || e.expiry <= now {
-                    continue;
-                }
-                let len = OBJECT_HEADER + e.key_len as usize + e.value_len as usize;
-                let mut obj = vec![0u8; len];
-                now = self.backend.read(RegionId(victim), offset as usize, &mut obj, now)?;
-                let key = obj[OBJECT_HEADER..OBJECT_HEADER + e.key_len as usize].to_vec();
-                let value = obj[OBJECT_HEADER + e.key_len as usize..].to_vec();
-                s.pending_reinserts.push((key, value, e.expiry));
-                rescued += 1;
             }
-            self.metrics.reinserted_objects.add(rescued as u64);
-        }
-        // Serialized index cleanup: the eviction cost that grows with
-        // region size (Fig. 3's jump).
-        let mut removed = 0u64;
-        for &(hash, offset) in &entries {
-            if self.index.remove_if_at(hash, RegionId(victim), offset) {
-                removed += 1;
+            let mut t = now + self.config.index_remove_cpu * entries.len() as u64;
+            // Small cleanups hide behind sharded index locks; a huge one (a
+            // zone-sized region) touches every shard continuously and stalls
+            // the whole engine — the paper's Fig. 3 contention.
+            if entries.len() > self.config.eviction_lock_threshold {
+                let stall = now + self.config.index_remove_contended_cpu * entries.len() as u64;
+                s.stall_until = s.stall_until.max(stall);
+                t = t.max(stall);
+            }
+            self.metrics.evicted_objects.add(removed);
+            self.metrics.evicted_regions.incr();
+            match self.retry_io(t, |t| self.backend.discard_region(RegionId(victim), t)) {
+                Ok(t) => return Ok((victim, t)),
+                Err(_) => {
+                    // Permanent discard failure: the slot's storage cannot
+                    // be reclaimed safely. Quarantine it and evict another.
+                    self.quarantine(s, victim);
+                    now = t;
+                }
             }
         }
-        let mut t = now + self.config.index_remove_cpu * entries.len() as u64;
-        // Small cleanups hide behind sharded index locks; a huge one (a
-        // zone-sized region) touches every shard continuously and stalls
-        // the whole engine — the paper's Fig. 3 contention.
-        if entries.len() > self.config.eviction_lock_threshold {
-            let stall = now + self.config.index_remove_contended_cpu * entries.len() as u64;
-            s.stall_until = s.stall_until.max(stall);
-            t = t.max(stall);
-        }
-        self.metrics.evicted_objects.add(removed);
-        self.metrics.evicted_regions.incr();
-        let t = self.backend.discard_region(RegionId(victim), t)?;
-        Ok((victim, t))
     }
 
     /// Seals and flushes the active buffer. Returns the time after the
@@ -347,26 +469,29 @@ impl LogCache {
         let mut t = now;
         // Flush pipeline: wait for the oldest in-flight flush if all
         // buffers are busy.
-        while s.in_flight.len() >= self.config.in_memory_buffers {
-            let oldest = s.in_flight.pop_front().expect("non-empty");
-            t = t.max(oldest);
+        while s.in_flight.len() >= self.config.in_memory_buffers.max(1) {
+            match s.in_flight.pop_front() {
+                Some(oldest) => t = t.max(oldest),
+                None => break,
+            }
         }
         // Pad the tail and write the full region image.
         buffer.data.resize(self.backend.region_size(), 0);
-        let done = match self.backend.write_region(buffer.region, &buffer.data, t) {
+        let write = self.retry_io(t, |t| {
+            self.backend.write_region(buffer.region, &buffer.data, t)
+        });
+        let done = match write {
             Ok(done) => done,
             Err(e) => {
-                // Failed flush: this is a cache, so the buffered objects
-                // may be dropped — but the slot must not leak, and the
-                // index must not point at unwritten storage.
+                // Permanent flush failure: this is a cache, so the buffered
+                // objects may be dropped — but the index must not point at
+                // unwritten storage, and the slot (whose media just proved
+                // unwritable) is quarantined rather than recycled.
                 for &(hash, offset) in &buffer.entries {
                     self.index.remove_if_at(hash, buffer.region, offset);
                 }
-                let meta = &mut s.regions[buffer.region.0 as usize];
-                meta.state = RegionState::Free;
-                meta.entries.clear();
-                meta.live_objects = 0;
-                s.free.push_back(buffer.region.0);
+                self.quarantine(s, buffer.region.0);
+                self.metrics.flush_failures.incr();
                 return Err(e);
             }
         };
@@ -413,26 +538,45 @@ impl LogCache {
         let pending = std::mem::take(&mut s.pending_reinserts);
         for (key, value, expiry) in pending {
             let size = Self::object_size(&key, &value);
-            let buf = s.active.as_mut().expect("just created");
-            if region_size - buf.used < size {
+            let fits = match &s.active {
+                Some(buf) => region_size - buf.used >= size,
+                None => false,
+            };
+            if !fits {
                 continue;
             }
-            self.append_object(s, &key, &value, expiry);
+            self.append_object(s, &key, &value, expiry)?;
         }
         Ok(t)
     }
 
     /// Appends one object into the active buffer and indexes it. The
     /// caller has verified it fits.
-    fn append_object(&self, s: &mut EngineState, key: &[u8], value: &[u8], expiry: Nanos) {
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Internal`] if no active buffer is bound (an engine
+    /// bug, surfaced instead of panicking).
+    fn append_object(
+        &self,
+        s: &mut EngineState,
+        key: &[u8],
+        value: &[u8],
+        expiry: Nanos,
+    ) -> Result<(), CacheError> {
         let hash = hash_key(key);
         let fp = fingerprint(key);
         let size = Self::object_size(key, value);
-        let buf = s.active.as_mut().expect("active buffer required");
+        let crc = Self::object_crc(key, value);
+        let buf = s
+            .active
+            .as_mut()
+            .ok_or_else(|| CacheError::Internal("append without an active buffer".into()))?;
         let offset = buf.used as u32;
         buf.data.extend_from_slice(&(key.len() as u16).to_le_bytes());
         buf.data.extend_from_slice(&0u16.to_le_bytes());
         buf.data.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        buf.data.extend_from_slice(&crc.to_le_bytes());
         buf.data.extend_from_slice(key);
         buf.data.extend_from_slice(value);
         buf.used += size;
@@ -454,6 +598,7 @@ impl LogCache {
             let meta = &mut s.regions[old.region.0 as usize];
             meta.live_objects = meta.live_objects.saturating_sub(1);
         }
+        Ok(())
     }
 
     /// Runs backend maintenance with LRU-derived temperatures and recycles
@@ -542,8 +687,12 @@ impl LogCache {
 
         let hash = hash_key(key);
         let expiry = ttl.map_or(Nanos::MAX, |ttl| now + ttl);
-        self.append_object(&mut s, key, value, expiry);
-        let region = s.active.as_ref().expect("buffer exists").region;
+        self.append_object(&mut s, key, value, expiry)?;
+        let region = s
+            .active
+            .as_ref()
+            .ok_or_else(|| CacheError::Internal("active buffer vanished after append".into()))?
+            .region;
         s.regions[region.0 as usize].last_access = seq;
         // DRAM tier mirrors the newest version.
         if self.config.dram_bytes > 0 {
@@ -626,14 +775,33 @@ impl LogCache {
             Some(v) => v,
             None => {
                 if self.config.verify_keys {
-                    // Read header + key + value and verify identity.
+                    // Read header + key + value; verify identity + checksum.
                     let len = OBJECT_HEADER + entry.key_len as usize + entry.value_len as usize;
                     let mut obj = vec![0u8; len];
-                    t = self
-                        .backend
-                        .read(entry.region, entry.offset as usize, &mut obj, t)?;
+                    t = self.retry_io(t, |t| {
+                        self.backend.read(entry.region, entry.offset as usize, &mut obj, t)
+                    })?;
                     let stored_key =
                         &obj[OBJECT_HEADER..OBJECT_HEADER + entry.key_len as usize];
+                    let stored_crc = u32::from_le_bytes([
+                        obj[HEADER_CRC_OFFSET],
+                        obj[HEADER_CRC_OFFSET + 1],
+                        obj[HEADER_CRC_OFFSET + 2],
+                        obj[HEADER_CRC_OFFSET + 3],
+                    ]);
+                    if stored_crc != crc32(&obj[OBJECT_HEADER..]) {
+                        // Bit rot or a torn flush: the entry is poison.
+                        // Invalidate it and serve a miss — never bad bytes.
+                        if self.index.remove(hash, fp).is_some() {
+                            let mut s = self.state.lock();
+                            let meta = &mut s.regions[entry.region.0 as usize];
+                            meta.live_objects = meta.live_objects.saturating_sub(1);
+                            s.dram.remove(hash);
+                        }
+                        self.metrics.corrupt_reads.incr();
+                        self.metrics.record_get(t - now);
+                        return Ok((None, t));
+                    }
                     if stored_key != key {
                         // Fingerprint collision with a different key.
                         self.index.remove(hash, fp);
@@ -642,9 +810,13 @@ impl LogCache {
                     }
                     Bytes::copy_from_slice(&obj[OBJECT_HEADER + entry.key_len as usize..])
                 } else {
+                    // Sparse-store mode: payloads are not retained, so
+                    // neither key nor checksum can be verified.
                     let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
                     let mut value = vec![0u8; entry.value_len as usize];
-                    t = self.backend.read(entry.region, start, &mut value, t)?;
+                    t = self.retry_io(t, |t| {
+                        self.backend.read(entry.region, start, &mut value, t)
+                    })?;
                     Bytes::from(value)
                 }
             }
@@ -695,13 +867,17 @@ impl LogCache {
         &self.index
     }
 
+    pub(crate) fn metrics_internal(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
     /// The engine's configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.config
     }
 
     /// Internal: region metadata dump for recovery snapshots.
-    pub(crate) fn region_dump(&self) -> Vec<(u32, Vec<(u64, u32)>, u32, u64, bool)> {
+    pub(crate) fn region_dump(&self) -> Vec<RegionDumpEntry> {
         let s = self.state.lock();
         s.regions
             .iter()
@@ -719,10 +895,7 @@ impl LogCache {
     }
 
     /// Internal: restore region metadata from a recovery snapshot.
-    pub(crate) fn region_restore(
-        &self,
-        regions: Vec<(u32, Vec<(u64, u32)>, u32, u64, bool)>,
-    ) -> Result<(), CacheError> {
+    pub(crate) fn region_restore(&self, regions: Vec<RegionDumpEntry>) -> Result<(), CacheError> {
         let mut s = self.state.lock();
         if regions.len() != s.regions.len() {
             return Err(CacheError::BadSnapshot(format!(

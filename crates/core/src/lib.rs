@@ -56,7 +56,7 @@ pub mod scheme;
 pub mod types;
 
 pub use bighash::{BigHash, HybridEngine};
-pub use engine::{CacheConfig, LogCache};
+pub use engine::{CacheConfig, LogCache, RetryPolicy};
 pub use metrics::CacheMetricsSnapshot;
 pub use policy::{Admission, EvictionPolicy};
 pub use scheme::{Scheme, SchemeCache};

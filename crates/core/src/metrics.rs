@@ -32,6 +32,25 @@ pub struct CacheMetricsSnapshot {
     pub expired: u64,
     /// Objects rescued by the reinsertion policy during region eviction.
     pub reinserted_objects: u64,
+    /// Reads whose object failed checksum verification (served as misses,
+    /// entries invalidated).
+    pub corrupt_reads: u64,
+    /// Backend I/O operations retried after a transient failure.
+    pub retries: u64,
+    /// Backend I/O operations that kept failing through the whole retry
+    /// budget (treated as permanent).
+    pub retries_exhausted: u64,
+    /// Region flushes abandoned after retry exhaustion (their buffered
+    /// objects were dropped).
+    pub flush_failures: u64,
+    /// Region slots taken out of service after a permanent write/discard
+    /// failure.
+    pub quarantined_regions: u64,
+    /// Capacity lost to quarantined region slots, in bytes.
+    pub quarantined_bytes: u64,
+    /// Objects rebuilt into the index by a device scan (snapshot-less
+    /// recovery).
+    pub scan_recovered_objects: u64,
 }
 
 impl CacheMetricsSnapshot {
@@ -60,6 +79,13 @@ pub(crate) struct CacheMetrics {
     pub gc_dropped_objects: Counter,
     pub expired: Counter,
     pub reinserted_objects: Counter,
+    pub corrupt_reads: Counter,
+    pub retries: Counter,
+    pub retries_exhausted: Counter,
+    pub flush_failures: Counter,
+    pub quarantined_regions: Counter,
+    pub quarantined_bytes: Counter,
+    pub scan_recovered_objects: Counter,
     pub get_latency: Mutex<LatencyHistogram>,
     pub set_latency: Mutex<LatencyHistogram>,
 }
@@ -79,6 +105,13 @@ impl CacheMetrics {
             gc_dropped_objects: self.gc_dropped_objects.get(),
             expired: self.expired.get(),
             reinserted_objects: self.reinserted_objects.get(),
+            corrupt_reads: self.corrupt_reads.get(),
+            retries: self.retries.get(),
+            retries_exhausted: self.retries_exhausted.get(),
+            flush_failures: self.flush_failures.get(),
+            quarantined_regions: self.quarantined_regions.get(),
+            quarantined_bytes: self.quarantined_bytes.get(),
+            scan_recovered_objects: self.scan_recovered_objects.get(),
         }
     }
 

@@ -5,16 +5,24 @@
 //! that: [`snapshot`] flushes the active buffer and serializes the index +
 //! region tables; [`recover`] rebuilds a cache over the *same* backend
 //! (whose devices retain their data across the restart).
+//!
+//! The snapshot blob carries a CRC32 trailer, so a torn or bit-flipped
+//! snapshot is detected rather than deserialized into garbage. When the
+//! snapshot is unusable for any reason — corrupt, truncated, absent —
+//! [`recover_or_scan`] falls back to rebuilding the index by scanning the
+//! on-flash regions themselves: every object carries a self-describing
+//! header with its own checksum, so durably-written entries survive even a
+//! power cut that destroyed all DRAM state.
 
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
-use sim::Nanos;
+use sim::{crc32, Nanos};
 
+use crate::engine::{CacheConfig, LogCache, HEADER_CRC_OFFSET, OBJECT_HEADER};
 use crate::backend::RegionBackend;
-use crate::engine::{CacheConfig, LogCache};
 use crate::index::IndexEntry;
-use crate::types::{CacheError, RegionId};
+use crate::types::{fingerprint, hash_key, CacheError, RegionId};
 
 const MAGIC: u64 = 0xCAC4_E5A7_2024_0708;
 
@@ -57,6 +65,9 @@ pub fn snapshot(cache: &LogCache, now: Nanos) -> Result<(Vec<u8>, Nanos), CacheE
         buf.put_u64_le(last_access);
         buf.put_u8(sealed as u8);
     }
+    // Whole-blob checksum trailer: recovery refuses corrupt snapshots.
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
     Ok((buf, t))
 }
 
@@ -71,7 +82,21 @@ pub fn recover(
     config: CacheConfig,
     snapshot: &[u8],
 ) -> Result<LogCache, CacheError> {
-    let mut buf = snapshot;
+    if snapshot.len() < 4 {
+        return Err(CacheError::BadSnapshot(format!(
+            "{} bytes is too short to carry a checksum",
+            snapshot.len()
+        )));
+    }
+    let (body, trailer) = snapshot.split_at(snapshot.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CacheError::BadSnapshot(format!(
+            "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    let mut buf = body;
     let need = |buf: &[u8], n: usize| -> Result<(), CacheError> {
         if buf.remaining() < n {
             Err(CacheError::BadSnapshot(format!(
@@ -140,6 +165,139 @@ pub fn recover(
     }
     cache.region_restore(regions)?;
     Ok(cache)
+}
+
+/// Recovers from a snapshot when possible, otherwise rebuilds the index by
+/// scanning the backend's regions.
+///
+/// This is the full recovery ladder: a valid snapshot gives back the exact
+/// pre-shutdown cache (TTLs, recency, region tables); a corrupt, truncated,
+/// or absent snapshot degrades to [`scan_rebuild`], which recovers every
+/// durably-written, checksum-valid object.
+///
+/// # Errors
+///
+/// Backend I/O failures during the scan. Snapshot problems never error —
+/// they trigger the fallback.
+pub fn recover_or_scan(
+    backend: Arc<dyn RegionBackend>,
+    config: CacheConfig,
+    snapshot: Option<&[u8]>,
+    now: Nanos,
+) -> Result<LogCache, CacheError> {
+    if let Some(snap) = snapshot {
+        match recover(Arc::clone(&backend), config.clone(), snap) {
+            Ok(cache) => return Ok(cache),
+            Err(CacheError::BadSnapshot(_)) => {}
+            Err(other) => return Err(other),
+        }
+    }
+    scan_rebuild(backend, config, now)
+}
+
+/// Rebuilds a cache index by walking every region's on-flash log.
+///
+/// Objects are parsed from each region's durably-readable prefix (zones
+/// expose their write pointer, so a torn zone write yields its persisted
+/// prefix). Parsing a region stops at the first hole (`key_len == 0`, the
+/// flush padding), malformed length, or checksum failure — after a torn
+/// write, everything before the tear is still served.
+///
+/// Scan limitations, by design: per-object TTLs lived only in the DRAM
+/// index, so recovered objects never expire; and without write sequence
+/// numbers, a key duplicated across regions keeps whichever copy is
+/// scanned last. Both are acceptable for a cache (stale data is legal,
+/// lost data is a miss).
+///
+/// # Errors
+///
+/// Engine construction failures ([`CacheError::BackendTooSmall`]). Regions
+/// that cannot be read are skipped, not fatal.
+pub fn scan_rebuild(
+    backend: Arc<dyn RegionBackend>,
+    config: CacheConfig,
+    now: Nanos,
+) -> Result<LogCache, CacheError> {
+    let cache = LogCache::new(Arc::clone(&backend), config)?;
+    let mut region_tables = Vec::with_capacity(backend.num_regions() as usize);
+    let mut recovered = 0u64;
+    let mut t = now;
+    for r in 0..backend.num_regions() {
+        let region = RegionId(r);
+        let readable = backend.readable_bytes(region).min(backend.region_size());
+        let mut entries = Vec::new();
+        if readable >= OBJECT_HEADER {
+            let mut image = vec![0u8; readable];
+            match backend.read(region, 0, &mut image, t) {
+                Ok(done) => {
+                    t = done;
+                    entries = scan_region(&cache, region, &image);
+                }
+                Err(_) => {
+                    // Unreadable region: recover nothing from it.
+                }
+            }
+        }
+        recovered += entries.len() as u64;
+        let live = entries.len() as u32;
+        let sealed = !entries.is_empty();
+        region_tables.push((r, entries, live, 0u64, sealed));
+    }
+    cache.region_restore(region_tables)?;
+    cache.metrics_internal().scan_recovered_objects.add(recovered);
+    Ok(cache)
+}
+
+/// Parses one region image, inserting valid objects into the cache index.
+/// Returns the region's `(hash, offset)` table.
+fn scan_region(cache: &LogCache, region: RegionId, image: &[u8]) -> Vec<(u64, u32)> {
+    let mut entries = Vec::new();
+    let mut off = 0usize;
+    while off + OBJECT_HEADER <= image.len() {
+        let key_len = u16::from_le_bytes([image[off], image[off + 1]]) as usize;
+        if key_len == 0 {
+            break; // flush padding: end of the region's log
+        }
+        let value_len = u32::from_le_bytes([
+            image[off + 4],
+            image[off + 5],
+            image[off + 6],
+            image[off + 7],
+        ]) as usize;
+        let crc_base = off + HEADER_CRC_OFFSET;
+        let stored_crc = u32::from_le_bytes([
+            image[crc_base],
+            image[crc_base + 1],
+            image[crc_base + 2],
+            image[crc_base + 3],
+        ]);
+        let end = off + OBJECT_HEADER + key_len + value_len;
+        if end > image.len() {
+            break; // truncated tail (torn write)
+        }
+        let key = &image[off + OBJECT_HEADER..off + OBJECT_HEADER + key_len];
+        let payload = &image[off + OBJECT_HEADER..end];
+        if crc32(payload) != stored_crc {
+            break; // corrupt or torn: nothing after this point is trusted
+        }
+        let hash = hash_key(key);
+        cache.index().insert(
+            hash,
+            IndexEntry {
+                region,
+                offset: off as u32,
+                key_len: key_len as u16,
+                value_len: value_len as u32,
+                fingerprint: fingerprint(key),
+                // TTLs are DRAM-only state; a scanned object never expires.
+                expiry: Nanos::MAX,
+                accessed: false,
+            },
+        );
+        entries.push((hash, off as u32));
+        off = end;
+    }
+    entries
 }
 
 #[cfg(test)]
@@ -225,5 +383,89 @@ mod tests {
             recover(be, CacheConfig::small_test(), &[0u8; 64]),
             Err(CacheError::BadSnapshot(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_bit_flip_detected_by_checksum() {
+        let be = backend();
+        let cache = LogCache::new(be.clone(), CacheConfig::small_test()).unwrap();
+        cache.set(b"k", b"v", Nanos::ZERO).unwrap();
+        let (mut snap, _) = snapshot(&cache, Nanos::ZERO).unwrap();
+        let mid = snap.len() / 2;
+        snap[mid] ^= 0x40;
+        let err = recover(be, CacheConfig::small_test(), &snap).unwrap_err();
+        assert!(matches!(err, CacheError::BadSnapshot(ref m) if m.contains("checksum")), "{err}");
+    }
+
+    #[test]
+    fn scan_rebuild_serves_flushed_objects_without_snapshot() {
+        let be = backend();
+        let cache = LogCache::new(be.clone(), CacheConfig::small_test()).unwrap();
+        let mut t = Nanos::ZERO;
+        for i in 0..20 {
+            let key = format!("key-{i}");
+            let value = format!("value-{i}");
+            t = cache.set(key.as_bytes(), value.as_bytes(), t).unwrap();
+        }
+        t = cache.flush(t).unwrap();
+        // Crash: no snapshot survives. The device keeps its contents.
+        drop(cache);
+        let cache2 = recover_or_scan(be, CacheConfig::small_test(), None, t).unwrap();
+        for i in 0..20 {
+            let key = format!("key-{i}");
+            let (v, t2) = cache2.get(key.as_bytes(), t).unwrap();
+            t = t2;
+            assert_eq!(
+                v.as_deref(),
+                Some(format!("value-{i}").as_bytes()),
+                "key-{i} lost without snapshot"
+            );
+        }
+        assert_eq!(cache2.metrics().scan_recovered_objects, 20);
+        // The rebuilt cache keeps accepting writes.
+        cache2.set(b"post", b"crash", t).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_scan() {
+        let be = backend();
+        let cache = LogCache::new(be.clone(), CacheConfig::small_test()).unwrap();
+        let t = cache.set(b"durable", b"yes", Nanos::ZERO).unwrap();
+        let (mut snap, t) = snapshot(&cache, t).unwrap();
+        snap.truncate(snap.len() / 3); // torn snapshot write
+        drop(cache);
+        let cache2 = recover_or_scan(be, CacheConfig::small_test(), Some(&snap), t).unwrap();
+        let (v, _) = cache2.get(b"durable", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"yes"[..]));
+        assert!(cache2.metrics().scan_recovered_objects >= 1);
+    }
+
+    #[test]
+    fn scan_stops_at_corrupt_object_but_keeps_prefix() {
+        let be = backend();
+        let cache = LogCache::new(be.clone(), CacheConfig::small_test()).unwrap();
+        let mut t = Nanos::ZERO;
+        for i in 0..4 {
+            let key = format!("k{i}");
+            t = cache.set(key.as_bytes(), b"val", t).unwrap();
+        }
+        t = cache.flush(t).unwrap();
+        drop(cache);
+        // Corrupt the third object's value on the media: read the region
+        // image, flip a byte, write it back through a fresh device view.
+        // Easier here: corrupt via a second cache write is impossible
+        // (regions are write-once per flush), so flip a bit in RAM directly
+        // using the block device under the backend.
+        // Object layout: four objects of 12 + 2 + 3 = 17 bytes each.
+        let mut block = vec![0u8; 4096];
+        be.read(RegionId(0), 0, &mut block, t).unwrap();
+        // Corrupt inside the third object's value (offset 2*17 + 14).
+        let target = 2 * 17 + 14;
+        block[target] ^= 0xFF;
+        // No general rewrite path exists; emulate by scanning the damaged
+        // image directly.
+        let cache2 = LogCache::new(be, CacheConfig::small_test()).unwrap();
+        let entries = scan_region(&cache2, RegionId(0), &block);
+        assert_eq!(entries.len(), 2, "scan should stop at the corrupt third object");
     }
 }

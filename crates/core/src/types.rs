@@ -38,6 +38,18 @@ pub enum CacheError {
     BackendTooSmall,
     /// A recovery snapshot did not match the backend/configuration.
     BadSnapshot(String),
+    /// An on-flash object failed its checksum: the bytes read back do not
+    /// match what was written. The engine treats this as a miss and
+    /// invalidates the entry.
+    Corrupt {
+        /// Region holding the damaged object.
+        region: RegionId,
+        /// Byte offset of the object header within the region.
+        offset: u32,
+    },
+    /// An internal invariant was violated (a bug in the engine, surfaced
+    /// as an error instead of a panic so callers can keep serving).
+    Internal(String),
     /// Error propagated from the storage backend.
     Io(String),
 }
@@ -51,6 +63,10 @@ impl fmt::Display for CacheError {
             CacheError::KeyTooLarge { len } => write!(f, "key of {len} bytes too large"),
             CacheError::BackendTooSmall => f.write_str("backend has no region capacity"),
             CacheError::BadSnapshot(msg) => write!(f, "bad recovery snapshot: {msg}"),
+            CacheError::Corrupt { region, offset } => {
+                write!(f, "corrupt object at {region} offset {offset}")
+            }
+            CacheError::Internal(msg) => write!(f, "internal cache invariant violated: {msg}"),
             CacheError::Io(msg) => write!(f, "backend I/O error: {msg}"),
         }
     }

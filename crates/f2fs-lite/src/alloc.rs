@@ -205,7 +205,7 @@ impl MainArea {
                 _ => continue,
             }
             let v = self.valid_per_zone[z as usize];
-            if best.map_or(true, |(bv, _)| v < bv) {
+            if best.is_none_or(|(bv, _)| v < bv) {
                 best = Some((v, zone));
                 if v == 0 {
                     break;

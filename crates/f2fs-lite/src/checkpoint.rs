@@ -187,8 +187,7 @@ pub(crate) fn decode(mut buf: &[u8]) -> Result<CheckpointData, FsError> {
     let nbytes = nvalid.div_ceil(8);
     need(buf, nbytes)?;
     let mut valid = Vec::with_capacity(nvalid);
-    for i in 0..nbytes {
-        let byte = buf[i];
+    for &byte in buf.iter().take(nbytes) {
         for bit in 0..8 {
             if valid.len() < nvalid {
                 valid.push(byte & (1 << bit) != 0);

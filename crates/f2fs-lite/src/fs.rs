@@ -487,10 +487,10 @@ impl FileSystem {
     ///
     /// [`FsError::Misaligned`], [`FsError::NotFound`], [`FsError::NoSpace`].
     pub fn pwrite(&self, ino: Ino, offset: u64, data: &[u8], now: Nanos) -> Result<Nanos, FsError> {
-        if offset % BLOCK_SIZE as u64 != 0 {
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
             return Err(FsError::Misaligned { value: offset });
         }
-        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(FsError::Misaligned {
                 value: data.len() as u64,
             });
@@ -590,10 +590,10 @@ impl FileSystem {
         buf: &mut [u8],
         now: Nanos,
     ) -> Result<Nanos, FsError> {
-        if offset % BLOCK_SIZE as u64 != 0 {
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
             return Err(FsError::Misaligned { value: offset });
         }
-        if buf.is_empty() || buf.len() % BLOCK_SIZE != 0 {
+        if buf.is_empty() || !buf.len().is_multiple_of(BLOCK_SIZE) {
             return Err(FsError::Misaligned {
                 value: buf.len() as u64,
             });
@@ -637,10 +637,10 @@ impl FileSystem {
         len: u64,
         _now: Nanos,
     ) -> Result<(), FsError> {
-        if offset % BLOCK_SIZE as u64 != 0 {
+        if !offset.is_multiple_of(BLOCK_SIZE as u64) {
             return Err(FsError::Misaligned { value: offset });
         }
-        if len == 0 || len % BLOCK_SIZE as u64 != 0 {
+        if len == 0 || !len.is_multiple_of(BLOCK_SIZE as u64) {
             return Err(FsError::Misaligned { value: len });
         }
         let mut inner = self.inner.lock();

@@ -346,7 +346,7 @@ impl BlockSsd {
         for (i, st) in s.state.iter().enumerate() {
             if *st == BlockState::Full {
                 let v = s.valid[i];
-                if best.map_or(true, |(bv, _)| v < bv) {
+                if best.is_none_or(|(bv, _)| v < bv) {
                     best = Some((v, BlockAddr(i as u64)));
                     if v == 0 {
                         break;

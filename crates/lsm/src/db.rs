@@ -348,7 +348,7 @@ impl Db {
             return Ok((Vec::new(), t));
         }
         // Collect candidate tables oldest-first so newer versions overwrite.
-        let (tables, mem_entries): (Vec<Arc<Table>>, Vec<(Bytes, Option<Bytes>)>) = {
+        let (tables, mem_entries): (Vec<Arc<Table>>, crate::table::TableEntries) = {
             let inner = self.inner.lock();
             let mut tables = Vec::new();
             // Deepest level first (oldest data), L0 last in age order.

@@ -15,6 +15,9 @@ use crate::block::{block_entries, block_get, BlockBuilder, BLOCK_TARGET};
 use crate::bloom::BloomFilter;
 use crate::types::DbError;
 
+/// Versioned entries as scans yield them: `(key, value-or-tombstone)`.
+pub type TableEntries = Vec<(Bytes, Option<Bytes>)>;
+
 /// A first-fit extent allocator over a block device, shared by all tables.
 pub struct TableStore {
     dev: Arc<dyn BlockDevice>,
@@ -283,7 +286,7 @@ impl Table {
     /// # Errors
     ///
     /// Device/decode failures.
-    pub fn scan(&self, now: Nanos) -> Result<(Vec<(Bytes, Option<Bytes>)>, Nanos), DbError> {
+    pub fn scan(&self, now: Nanos) -> Result<(TableEntries, Nanos), DbError> {
         let mut out = Vec::with_capacity(self.entries as usize);
         let mut t = now;
         for b in 0..self.data_blocks {
@@ -305,7 +308,7 @@ impl Table {
         start: &[u8],
         end: &[u8],
         now: Nanos,
-    ) -> Result<(Vec<(Bytes, Option<Bytes>)>, Nanos), DbError> {
+    ) -> Result<(TableEntries, Nanos), DbError> {
         let mut out = Vec::new();
         let mut t = now;
         if start >= end || end <= self.first_key.as_ref() || start > self.last_key.as_ref() {

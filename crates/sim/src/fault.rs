@@ -1,28 +1,362 @@
-//! Fault injection for block devices.
+//! Fault injection for block and zoned devices.
 //!
-//! [`FaultyDevice`] wraps any [`BlockDevice`] and fails selected
-//! operations, letting tests drive the error paths of every layer above
-//! (filesystem cleaning mid-failure, cache flush failures, LSM storage
-//! errors) without bespoke mocks.
+//! The heart of the module is [`FaultInjector`]: a device-independent fault
+//! plan that decides, per operation, whether to inject a failure and of what
+//! shape. [`FaultyDevice`] wraps any [`BlockDevice`] and consults an
+//! injector on every read, write, **and trim**; the `zns` crate's
+//! `ZnsDevice` accepts the same injector for zone writes, appends, resets
+//! and finishes, so every scheme backend (Block/File/Zone/Region) can be
+//! driven through identical failure scenarios.
+//!
+//! Fault plans are composable: each [`FaultSpec`] names the operations it
+//! matches, the failure [`FaultMode`] (clean error, torn write, silent
+//! bit-flip), a probability drawn from a seeded RNG, and a credit budget
+//! distinguishing *transient* faults (small budget, recovery possible) from
+//! *permanent* ones ([`FaultSpec::PERMANENT`]).
 
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::io::{BlockDevice, IoError, IoResult, Lba};
+use crate::io::{BlockDevice, IoError, IoResult, Lba, BLOCK_SIZE};
 use crate::time::Nanos;
 
-/// Which operations a fault plan affects.
+/// Which operations a (legacy, kind-based) fault plan affects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// Fail reads only.
     Reads,
-    /// Fail writes only.
+    /// Fail writes and trims/resets (destructive ops share the write path).
     Writes,
-    /// Fail both.
+    /// Fail everything.
     All,
 }
 
-/// A wrapper that fails every matching operation once armed.
+/// The operation class an injector is consulted for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Data reads.
+    Read,
+    /// Data writes and zone appends.
+    Write,
+    /// Trims, zone resets, and zone finishes.
+    Trim,
+}
+
+/// The shape of an injected failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultMode {
+    /// The operation fails cleanly with a device error; no state changes.
+    Fail,
+    /// A write persists roughly `fraction` of its payload (rounded down to
+    /// whole blocks, always strictly less than the full payload), then
+    /// fails. Models a power loss or firmware crash mid-program. On
+    /// non-write operations this degrades to [`FaultMode::Fail`].
+    Torn {
+        /// Fraction of the payload persisted before the failure, in `0..=1`.
+        fraction: f64,
+    },
+    /// The operation *succeeds* but one bit of the payload is silently
+    /// flipped: on writes the corrupted data is persisted, on reads the
+    /// returned buffer is corrupted. Models media or bus corruption that
+    /// only end-to-end checksums can catch. Trims degrade to `Fail`.
+    BitFlip,
+}
+
+/// One composable fault rule: which ops, what shape, how likely, how often.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// Match data reads.
+    pub reads: bool,
+    /// Match data writes / zone appends.
+    pub writes: bool,
+    /// Match trims / zone resets / zone finishes.
+    pub trims: bool,
+    /// Failure shape.
+    pub mode: FaultMode,
+    /// Probability that a matching operation triggers the fault.
+    pub probability: f64,
+    /// Remaining injections; [`FaultSpec::PERMANENT`] never decrements, so
+    /// the fault persists for the life of the plan (a dead die, not a
+    /// transient glitch).
+    pub count: u64,
+}
+
+impl FaultSpec {
+    /// Credit value meaning "never exhausts".
+    pub const PERMANENT: u64 = u64::MAX;
+
+    fn base(mode: FaultMode) -> Self {
+        FaultSpec {
+            reads: false,
+            writes: false,
+            trims: false,
+            mode,
+            probability: 1.0,
+            count: 1,
+        }
+    }
+
+    /// The next `count` reads fail cleanly.
+    pub fn fail_reads(count: u64) -> Self {
+        FaultSpec {
+            reads: true,
+            count,
+            ..Self::base(FaultMode::Fail)
+        }
+    }
+
+    /// The next `count` writes fail cleanly.
+    pub fn fail_writes(count: u64) -> Self {
+        FaultSpec {
+            writes: true,
+            count,
+            ..Self::base(FaultMode::Fail)
+        }
+    }
+
+    /// The next `count` trims/resets fail cleanly.
+    pub fn fail_trims(count: u64) -> Self {
+        FaultSpec {
+            trims: true,
+            count,
+            ..Self::base(FaultMode::Fail)
+        }
+    }
+
+    /// The next `count` writes tear: a prefix persists, then the op fails.
+    pub fn torn_writes(count: u64, fraction: f64) -> Self {
+        FaultSpec {
+            writes: true,
+            count,
+            ..Self::base(FaultMode::Torn { fraction })
+        }
+    }
+
+    /// The next `count` writes silently flip one persisted bit.
+    pub fn corrupt_writes(count: u64) -> Self {
+        FaultSpec {
+            writes: true,
+            count,
+            ..Self::base(FaultMode::BitFlip)
+        }
+    }
+
+    /// The next `count` reads silently flip one returned bit.
+    pub fn corrupt_reads(count: u64) -> Self {
+        FaultSpec {
+            reads: true,
+            count,
+            ..Self::base(FaultMode::BitFlip)
+        }
+    }
+
+    /// Makes the fault fire on each matching op only with probability `p`.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Makes the fault permanent (credits never exhaust).
+    pub fn permanent(mut self) -> Self {
+        self.count = Self::PERMANENT;
+        self
+    }
+
+    fn matches(&self, op: FaultOp) -> bool {
+        match op {
+            FaultOp::Read => self.reads,
+            FaultOp::Write => self.writes,
+            FaultOp::Trim => self.trims,
+        }
+    }
+}
+
+/// The injector's verdict for one operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Injection {
+    /// Proceed normally.
+    None,
+    /// Fail cleanly without touching state.
+    Fail,
+    /// Persist `keep_blocks` blocks of the payload, then fail.
+    Torn {
+        /// Whole blocks of the payload to persist before failing.
+        keep_blocks: u64,
+    },
+    /// Proceed, but flip bit `bit` (an offset into the payload bit-space).
+    BitFlip {
+        /// Absolute bit index within the payload to invert.
+        bit: u64,
+    },
+}
+
+/// xorshift64* — tiny seeded RNG for probabilistic injection and bit
+/// selection; deliberately independent of the `rand` facade so `sim` stays
+/// dependency-free at its root.
+#[derive(Debug)]
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A shared, composable fault plan.
+///
+/// Push any number of [`FaultSpec`]s; each operation consults them in
+/// insertion order and the first matching spec with remaining credits (and a
+/// successful probability roll) fires. Exhausted specs are pruned.
+///
+/// # Example
+///
+/// ```
+/// use sim::fault::{FaultInjector, FaultOp, FaultSpec, Injection};
+///
+/// let inj = FaultInjector::with_seed(7);
+/// inj.push(FaultSpec::fail_writes(1));
+/// assert_eq!(inj.decide(FaultOp::Read, 4096), Injection::None);
+/// assert_eq!(inj.decide(FaultOp::Write, 4096), Injection::Fail);
+/// // Credit consumed: next write passes.
+/// assert_eq!(inj.decide(FaultOp::Write, 4096), Injection::None);
+/// assert_eq!(inj.injected(), 1);
+/// ```
+pub struct FaultInjector {
+    state: parking_lot::Mutex<InjectorState>,
+    injected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    specs: Vec<FaultSpec>,
+    rng: XorShift64,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::with_seed(0xFA_017)
+    }
+}
+
+impl FaultInjector {
+    /// Creates an injector whose probabilistic decisions derive from `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultInjector {
+            state: parking_lot::Mutex::new(InjectorState {
+                specs: Vec::new(),
+                rng: XorShift64::new(seed),
+            }),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a fault rule to the plan.
+    pub fn push(&self, spec: FaultSpec) {
+        self.state.lock().specs.push(spec);
+    }
+
+    /// Legacy credit-based arming: replaces the plan with a single clean
+    /// failure rule. `Writes` (and `All`) cover trims/resets too, so
+    /// destructive zone ops are no longer exempt from injection.
+    pub fn arm(&self, kind: FaultKind, count: u64) {
+        let spec = FaultSpec {
+            reads: matches!(kind, FaultKind::Reads | FaultKind::All),
+            writes: matches!(kind, FaultKind::Writes | FaultKind::All),
+            trims: matches!(kind, FaultKind::Writes | FaultKind::All),
+            mode: FaultMode::Fail,
+            probability: 1.0,
+            count,
+        };
+        let mut s = self.state.lock();
+        s.specs.clear();
+        s.specs.push(spec);
+    }
+
+    /// Clears the whole plan.
+    pub fn clear(&self) {
+        self.state.lock().specs.clear();
+    }
+
+    /// Total faults injected (all modes).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Decides the fate of one operation carrying `payload_len` bytes.
+    pub fn decide(&self, op: FaultOp, payload_len: usize) -> Injection {
+        let mut s = self.state.lock();
+        let mut verdict = Injection::None;
+        if let Some(i) = s
+            .specs
+            .iter()
+            .position(|spec| spec.matches(op) && spec.count > 0)
+        {
+            let probability = s.specs[i].probability;
+            if probability >= 1.0 || s.rng.next_f64() < probability {
+                let mode = s.specs[i].mode;
+                if s.specs[i].count != FaultSpec::PERMANENT {
+                    s.specs[i].count -= 1;
+                }
+                verdict = materialize(op, mode, payload_len, &mut s.rng);
+                self.injected.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        s.specs.retain(|spec| spec.count > 0);
+        verdict
+    }
+}
+
+fn materialize(op: FaultOp, mode: FaultMode, payload_len: usize, rng: &mut XorShift64) -> Injection {
+    match mode {
+        FaultMode::Fail => Injection::Fail,
+        FaultMode::Torn { fraction } => {
+            if op != FaultOp::Write || payload_len < BLOCK_SIZE {
+                return Injection::Fail;
+            }
+            let blocks = (payload_len / BLOCK_SIZE) as u64;
+            let keep = ((blocks as f64 * fraction.clamp(0.0, 1.0)) as u64).min(blocks - 1);
+            Injection::Torn { keep_blocks: keep }
+        }
+        FaultMode::BitFlip => {
+            if op == FaultOp::Trim || payload_len == 0 {
+                return Injection::Fail;
+            }
+            let bit = rng.next_u64() % (payload_len as u64 * 8);
+            Injection::BitFlip { bit }
+        }
+    }
+}
+
+impl core::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("injected", &self.injected())
+            .field("specs", &self.state.lock().specs.len())
+            .finish()
+    }
+}
+
+/// Flips bit `bit` (absolute payload bit index) in `buf`.
+pub fn flip_bit(buf: &mut [u8], bit: u64) {
+    let byte = (bit / 8) as usize % buf.len().max(1);
+    buf[byte] ^= 1 << (bit % 8);
+}
+
+/// A wrapper that injects faults into every operation of a [`BlockDevice`],
+/// including trims.
 ///
 /// # Example
 ///
@@ -42,65 +376,40 @@ pub enum FaultKind {
 /// ```
 pub struct FaultyDevice {
     inner: Arc<dyn BlockDevice>,
-    kind: parking_lot::Mutex<FaultKind>,
-    remaining: AtomicU64,
-    injected: AtomicU64,
+    injector: Arc<FaultInjector>,
 }
 
 impl FaultyDevice {
-    /// Wraps a device with no faults armed.
+    /// Wraps a device with a fresh, disarmed injector.
     pub fn new(inner: Arc<dyn BlockDevice>) -> Self {
-        FaultyDevice {
-            inner,
-            kind: parking_lot::Mutex::new(FaultKind::All),
-            remaining: AtomicU64::new(0),
-            injected: AtomicU64::new(0),
-        }
+        Self::with_injector(inner, Arc::new(FaultInjector::default()))
+    }
+
+    /// Wraps a device sharing an existing fault plan (so one plan can drive
+    /// several devices — e.g. a data disk and a metadata disk).
+    pub fn with_injector(inner: Arc<dyn BlockDevice>, injector: Arc<FaultInjector>) -> Self {
+        FaultyDevice { inner, injector }
+    }
+
+    /// The shared fault plan, for composing richer scenarios than
+    /// [`FaultyDevice::arm`] expresses.
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
     }
 
     /// Arms the injector: the next `count` matching operations fail.
     pub fn arm(&self, kind: FaultKind, count: u64) {
-        *self.kind.lock() = kind;
-        self.remaining.store(count, Ordering::SeqCst);
+        self.injector.arm(kind, count);
     }
 
     /// Disarms the injector.
     pub fn disarm(&self) {
-        self.remaining.store(0, Ordering::SeqCst);
+        self.injector.clear();
     }
 
     /// Faults injected so far.
     pub fn injected(&self) -> u64 {
-        self.injected.load(Ordering::SeqCst)
-    }
-
-    fn should_fail(&self, is_write: bool) -> bool {
-        let kind = *self.kind.lock();
-        let matches = match kind {
-            FaultKind::Reads => !is_write,
-            FaultKind::Writes => is_write,
-            FaultKind::All => true,
-        };
-        if !matches {
-            return false;
-        }
-        // Consume one fault credit if any remain.
-        let mut current = self.remaining.load(Ordering::SeqCst);
-        while current > 0 {
-            match self.remaining.compare_exchange(
-                current,
-                current - 1,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
-                Ok(_) => {
-                    self.injected.fetch_add(1, Ordering::SeqCst);
-                    return true;
-                }
-                Err(next) => current = next,
-            }
-        }
-        false
+        self.injector.injected()
     }
 }
 
@@ -118,21 +427,50 @@ impl BlockDevice for FaultyDevice {
     }
 
     fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos> {
-        if self.should_fail(false) {
-            return Err(IoError::Device("injected read fault".into()));
+        match self.injector.decide(FaultOp::Read, buf.len()) {
+            Injection::None => self.inner.read(lba, buf, now),
+            Injection::Fail | Injection::Torn { .. } => {
+                Err(IoError::Device("injected read fault".into()))
+            }
+            Injection::BitFlip { bit } => {
+                let done = self.inner.read(lba, buf, now)?;
+                flip_bit(buf, bit);
+                Ok(done)
+            }
         }
-        self.inner.read(lba, buf, now)
     }
 
     fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos> {
-        if self.should_fail(true) {
-            return Err(IoError::Device("injected write fault".into()));
+        match self.injector.decide(FaultOp::Write, data.len()) {
+            Injection::None => self.inner.write(lba, data, now),
+            Injection::Fail => Err(IoError::Device("injected write fault".into())),
+            Injection::Torn { keep_blocks } => {
+                let keep_bytes = (keep_blocks as usize) * BLOCK_SIZE;
+                if keep_bytes > 0 {
+                    self.inner.write(lba, &data[..keep_bytes], now)?;
+                }
+                Err(IoError::Device(format!(
+                    "injected torn write: {keep_blocks} of {} blocks persisted",
+                    data.len() / BLOCK_SIZE
+                )))
+            }
+            Injection::BitFlip { bit } => {
+                let mut corrupted = data.to_vec();
+                flip_bit(&mut corrupted, bit);
+                self.inner.write(lba, &corrupted, now)
+            }
         }
-        self.inner.write(lba, data, now)
     }
 
     fn trim(&self, lba: Lba, blocks: u64, now: Nanos) -> IoResult<Nanos> {
-        self.inner.trim(lba, blocks, now)
+        match self.injector.decide(FaultOp::Trim, 0) {
+            Injection::None => self.inner.trim(lba, blocks, now),
+            _ => Err(IoError::Device("injected trim fault".into())),
+        }
+    }
+
+    fn sync(&self, now: Nanos) -> IoResult<Nanos> {
+        self.inner.sync(now)
     }
 }
 
@@ -178,6 +516,110 @@ mod tests {
         let mut out = vec![0u8; BLOCK_SIZE];
         assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_err());
         d.disarm();
+        assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn trim_consumes_write_credits() {
+        let d = dev();
+        d.arm(FaultKind::Writes, 1);
+        assert!(d.trim(Lba(0), 1, Nanos::ZERO).is_err());
+        // Credit consumed by the trim: the next write passes.
+        let data = vec![5u8; BLOCK_SIZE];
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_ok());
+        assert_eq!(d.injected(), 1);
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_only() {
+        let d = dev();
+        let data: Vec<u8> = (0..4 * BLOCK_SIZE).map(|i| (i / BLOCK_SIZE) as u8 + 1).collect();
+        d.injector().push(FaultSpec::torn_writes(1, 0.5));
+        let err = d.write(Lba(0), &data, Nanos::ZERO).unwrap_err();
+        assert!(err.to_string().contains("torn"), "got: {err}");
+        // First two blocks persisted, last two untouched (still zero).
+        let mut out = vec![0u8; 4 * BLOCK_SIZE];
+        d.read(Lba(0), &mut out, Nanos::ZERO).unwrap();
+        assert_eq!(&out[..2 * BLOCK_SIZE], &data[..2 * BLOCK_SIZE]);
+        assert!(out[2 * BLOCK_SIZE..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn torn_write_never_persists_everything() {
+        let d = dev();
+        let data = vec![9u8; BLOCK_SIZE];
+        d.injector().push(FaultSpec::torn_writes(1, 1.0));
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_err());
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, Nanos::ZERO).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "single-block torn write must persist nothing");
+    }
+
+    #[test]
+    fn bit_flip_write_corrupts_exactly_one_bit() {
+        let d = dev();
+        let data = vec![0u8; BLOCK_SIZE];
+        d.injector().push(FaultSpec::corrupt_writes(1));
+        d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, Nanos::ZERO).unwrap();
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+        assert_eq!(d.injected(), 1);
+    }
+
+    #[test]
+    fn bit_flip_read_leaves_media_intact() {
+        let d = dev();
+        let data = vec![0xffu8; BLOCK_SIZE];
+        d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        d.injector().push(FaultSpec::corrupt_reads(1));
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, Nanos::ZERO).unwrap();
+        assert_ne!(out, data, "read must return corrupted data");
+        // Media was never touched: a second read is clean.
+        let mut again = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut again, Nanos::ZERO).unwrap();
+        assert_eq!(again, data);
+    }
+
+    #[test]
+    fn probabilistic_faults_fire_sometimes() {
+        let d = dev();
+        d.injector()
+            .push(FaultSpec::fail_writes(FaultSpec::PERMANENT).with_probability(0.5));
+        let data = vec![1u8; BLOCK_SIZE];
+        let mut failures = 0;
+        for _ in 0..200 {
+            if d.write(Lba(0), &data, Nanos::ZERO).is_err() {
+                failures += 1;
+            }
+        }
+        assert!((60..140).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn permanent_fault_never_exhausts() {
+        let d = dev();
+        d.injector().push(FaultSpec::fail_reads(FaultSpec::PERMANENT));
+        let mut out = vec![0u8; BLOCK_SIZE];
+        for _ in 0..50 {
+            assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_err());
+        }
+        d.disarm();
+        assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn specs_compose_in_order() {
+        let d = dev();
+        d.injector().push(FaultSpec::fail_reads(1));
+        d.injector().push(FaultSpec::fail_writes(1));
+        let data = vec![1u8; BLOCK_SIZE];
+        let mut out = vec![0u8; BLOCK_SIZE];
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_err());
+        assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_err());
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_ok());
         assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_ok());
     }
 }

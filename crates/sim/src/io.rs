@@ -50,7 +50,7 @@ impl Lba {
     #[inline]
     pub fn from_byte_offset(off: u64) -> Self {
         assert!(
-            off % BLOCK_SIZE as u64 == 0,
+            off.is_multiple_of(BLOCK_SIZE as u64),
             "byte offset {off} is not {BLOCK_SIZE}-aligned"
         );
         Lba(off / BLOCK_SIZE as u64)
@@ -144,6 +144,13 @@ pub trait BlockDevice: Send + Sync {
         Ok(now)
     }
 
+    /// Makes all acknowledged writes durable (survive a power cut). Devices
+    /// without a volatile cache treat this as a no-op completing
+    /// immediately.
+    fn sync(&self, now: Nanos) -> IoResult<Nanos> {
+        Ok(now)
+    }
+
     /// Capacity in bytes.
     fn capacity_bytes(&self) -> u64 {
         self.block_count() * BLOCK_SIZE as u64
@@ -153,7 +160,7 @@ pub trait BlockDevice: Send + Sync {
 /// Validates an I/O request against device capacity, returning the block
 /// count of the request.
 pub fn check_request(lba: Lba, len: usize, capacity_blocks: u64) -> IoResult<u64> {
-    if len % BLOCK_SIZE != 0 || len == 0 {
+    if !len.is_multiple_of(BLOCK_SIZE) || len == 0 {
         return Err(IoError::Misaligned { len });
     }
     let blocks = (len / BLOCK_SIZE) as u64;
@@ -169,6 +176,11 @@ pub fn check_request(lba: Lba, len: usize, capacity_blocks: u64) -> IoResult<u64
 /// An in-memory block device with a flat per-block latency, standing in for
 /// the paper's `nullblk` metadata device for F2FS.
 ///
+/// Writes land in a volatile image and become durable only on
+/// [`BlockDevice::sync`]; [`RamDisk::power_cut`] atomically reverts the
+/// volatile image to the last synced state, modeling a crash-consistency
+/// boundary for the recovery tests.
+///
 /// # Example
 ///
 /// ```
@@ -180,12 +192,33 @@ pub fn check_request(lba: Lba, len: usize, capacity_blocks: u64) -> IoResult<u64
 /// let mut out = vec![0u8; BLOCK_SIZE];
 /// disk.read(Lba(3), &mut out, done).unwrap();
 /// assert_eq!(out, data);
+///
+/// // Unsynced writes vanish at a power cut...
+/// disk.power_cut();
+/// disk.read(Lba(3), &mut out, done).unwrap();
+/// assert_eq!(out, vec![0u8; BLOCK_SIZE]);
+///
+/// // ...synced writes survive one.
+/// disk.write(Lba(3), &data, done).unwrap();
+/// disk.sync(done).unwrap();
+/// disk.power_cut();
+/// disk.read(Lba(3), &mut out, done).unwrap();
+/// assert_eq!(out, data);
 /// ```
 pub struct RamDisk {
-    data: RwLock<Vec<u8>>,
+    state: RwLock<RamState>,
     blocks: u64,
     read_latency: Nanos,
     write_latency: Nanos,
+}
+
+struct RamState {
+    /// What reads observe: includes unsynced (volatile) writes.
+    live: Vec<u8>,
+    /// The last synced image: what survives a power cut.
+    durable: Vec<u8>,
+    /// Blocks written since the last sync.
+    dirty: std::collections::BTreeSet<u64>,
 }
 
 impl RamDisk {
@@ -197,12 +230,32 @@ impl RamDisk {
 
     /// Creates a RAM disk with explicit per-block latencies.
     pub fn with_latency(blocks: u64, read_latency: Nanos, write_latency: Nanos) -> Self {
+        let bytes = (blocks as usize) * BLOCK_SIZE;
         RamDisk {
-            data: RwLock::new(vec![0u8; (blocks as usize) * BLOCK_SIZE]),
+            state: RwLock::new(RamState {
+                live: vec![0u8; bytes],
+                durable: vec![0u8; bytes],
+                dirty: std::collections::BTreeSet::new(),
+            }),
             blocks,
             read_latency,
             write_latency,
         }
+    }
+
+    /// Atomically drops every write since the last [`BlockDevice::sync`],
+    /// reverting the device to its durable image — the simulator's
+    /// power-cut primitive.
+    pub fn power_cut(&self) {
+        let mut s = self.state.write();
+        let RamState { live, durable, dirty } = &mut *s;
+        live.copy_from_slice(durable);
+        dirty.clear();
+    }
+
+    /// Blocks written since the last sync (unsynced = lost at power cut).
+    pub fn dirty_blocks(&self) -> usize {
+        self.state.read().dirty.len()
     }
 }
 
@@ -220,15 +273,30 @@ impl BlockDevice for RamDisk {
     fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos> {
         let n = check_request(lba, buf.len(), self.blocks)?;
         let start = lba.byte_offset() as usize;
-        buf.copy_from_slice(&self.data.read()[start..start + buf.len()]);
+        buf.copy_from_slice(&self.state.read().live[start..start + buf.len()]);
         Ok(now + self.read_latency * n)
     }
 
     fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos> {
         let n = check_request(lba, data.len(), self.blocks)?;
         let start = lba.byte_offset() as usize;
-        self.data.write()[start..start + data.len()].copy_from_slice(data);
+        let mut s = self.state.write();
+        s.live[start..start + data.len()].copy_from_slice(data);
+        for b in lba.0..lba.0 + n {
+            s.dirty.insert(b);
+        }
         Ok(now + self.write_latency * n)
+    }
+
+    fn sync(&self, now: Nanos) -> IoResult<Nanos> {
+        let mut s = self.state.write();
+        let RamState { live, durable, dirty } = &mut *s;
+        for &b in dirty.iter() {
+            let start = (b as usize) * BLOCK_SIZE;
+            durable[start..start + BLOCK_SIZE].copy_from_slice(&live[start..start + BLOCK_SIZE]);
+        }
+        dirty.clear();
+        Ok(now)
     }
 }
 
@@ -297,5 +365,42 @@ mod tests {
         let d = RamDisk::new(2);
         assert_eq!(d.trim(Lba(0), 1, Nanos(7)).unwrap(), Nanos(7));
         assert_eq!(d.capacity_bytes(), 2 * 4096);
+    }
+
+    #[test]
+    fn power_cut_drops_unsynced_writes_only() {
+        let d = RamDisk::new(4);
+        let a = vec![0xaau8; BLOCK_SIZE];
+        let b = vec![0xbbu8; BLOCK_SIZE];
+        let t = d.write(Lba(0), &a, Nanos::ZERO).unwrap();
+        let t = d.sync(t).unwrap();
+        let _ = d.write(Lba(1), &b, t).unwrap();
+        assert_eq!(d.dirty_blocks(), 1);
+
+        d.power_cut();
+        assert_eq!(d.dirty_blocks(), 0);
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, t).unwrap();
+        assert_eq!(out, a, "synced block must survive");
+        d.read(Lba(1), &mut out, t).unwrap();
+        assert!(out.iter().all(|&x| x == 0), "unsynced block must be gone");
+    }
+
+    #[test]
+    fn sync_then_overwrite_keeps_synced_image() {
+        let d = RamDisk::new(2);
+        let v1 = vec![1u8; BLOCK_SIZE];
+        let v2 = vec![2u8; BLOCK_SIZE];
+        let t = d.write(Lba(0), &v1, Nanos::ZERO).unwrap();
+        let t = d.sync(t).unwrap();
+        let t = d.write(Lba(0), &v2, t).unwrap();
+        // Reads see the newest (volatile) data before the cut...
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, t).unwrap();
+        assert_eq!(out, v2);
+        // ...and the synced version after it.
+        d.power_cut();
+        d.read(Lba(0), &mut out, t).unwrap();
+        assert_eq!(out, v1);
     }
 }

@@ -29,6 +29,7 @@
 //! assert!(hist.percentile(99.0).as_micros() >= 40_000);
 //! ```
 
+pub mod checksum;
 pub mod driver;
 pub mod fault;
 pub mod histogram;
@@ -36,7 +37,9 @@ pub mod io;
 pub mod stats;
 pub mod time;
 
+pub use checksum::{crc32, Crc32};
 pub use driver::{ClosedLoop, DriverReport};
+pub use fault::{FaultInjector, FaultOp, FaultSpec, Injection};
 pub use histogram::LatencyHistogram;
 pub use io::{BlockDevice, IoError, IoResult, Lba, RamDisk, BLOCK_SIZE};
 pub use stats::Counter;

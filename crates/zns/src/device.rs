@@ -7,6 +7,7 @@ use std::sync::Arc;
 use nand::{NandArray, NandConfig};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use sim::fault::{flip_bit, FaultInjector, FaultOp, Injection};
 use sim::{Counter, Nanos, BLOCK_SIZE};
 
 use crate::error::ZnsError;
@@ -103,6 +104,7 @@ pub struct ZnsDevice {
     host_blocks_read: Counter,
     zone_resets: Counter,
     zone_finishes: Counter,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl fmt::Debug for ZnsDevice {
@@ -158,7 +160,29 @@ impl ZnsDevice {
             host_blocks_read: Counter::new(),
             zone_resets: Counter::new(),
             zone_finishes: Counter::new(),
+            injector: None,
         }
+    }
+
+    /// Attaches a fault plan consulted on every zone write, append, read,
+    /// reset, and finish — the zoned counterpart of wrapping a block device
+    /// in `sim::fault::FaultyDevice`. Torn zone writes persist a prefix of
+    /// the payload and advance the write pointer only that far, exactly what
+    /// a power loss mid-program leaves behind on real zoned hardware.
+    pub fn with_fault_injector(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    fn decide(&self, op: FaultOp, payload_len: usize) -> Injection {
+        self.injector
+            .as_ref()
+            .map_or(Injection::None, |inj| inj.decide(op, payload_len))
     }
 
     /// Number of zones.
@@ -393,12 +417,17 @@ impl ZnsDevice {
         now: Nanos,
     ) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
-        if data.is_empty() || data.len() % BLOCK_SIZE != 0 {
+        if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(ZnsError::Misaligned { len: data.len() });
         }
         let nblocks = (data.len() / BLOCK_SIZE) as u64;
 
         let start_offset;
+        // Injected faults fire only after every protocol check passes:
+        // a rejected command never reaches the media, so it must not
+        // consume a fault credit either.
+        let injection;
+        let mut persist_blocks = nblocks;
         {
             let mut state = self.state.lock();
             let meta = state.zones[zone.0 as usize];
@@ -423,6 +452,18 @@ impl ZnsDevice {
                     attempted: nblocks,
                 });
             }
+            injection = self.decide(FaultOp::Write, data.len());
+            match injection {
+                Injection::Fail => {
+                    return Err(ZnsError::Injected(format!(
+                        "zone write fault at {zone} offset {offset_blocks}"
+                    )))
+                }
+                // A torn write programs a prefix and leaves the pointer
+                // there; keep_blocks < nblocks, so the zone cannot fill.
+                Injection::Torn { keep_blocks } => persist_blocks = keep_blocks,
+                Injection::None | Injection::BitFlip { .. } => {}
+            }
             Self::acquire_open(
                 &mut state,
                 zone,
@@ -431,7 +472,7 @@ impl ZnsDevice {
                 self.max_active,
             )?;
             start_offset = meta.wp;
-            state.zones[zone.0 as usize].wp += nblocks;
+            state.zones[zone.0 as usize].wp += persist_blocks;
             if state.zones[zone.0 as usize].wp == self.cap_blocks {
                 Self::release_zone(&mut state, zone, ZoneState::Full);
                 // Full zones stay active? No: NVMe full zones hold no
@@ -439,18 +480,33 @@ impl ZnsDevice {
             }
         }
 
+        let mut corrupted;
+        let payload = match injection {
+            Injection::BitFlip { bit } => {
+                corrupted = data.to_vec();
+                flip_bit(&mut corrupted, bit);
+                &corrupted[..]
+            }
+            _ => data,
+        };
+
         // Program the pages; completion is the slowest page.
         let mut done = now;
-        for i in 0..nblocks {
+        for i in 0..persist_blocks {
             let page = self.layout.page_of(zone, start_offset + i);
-            let chunk = &data[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
+            let chunk = &payload[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
             let t = self
                 .array
                 .program_page(page, chunk, now)
                 .map_err(|e| ZnsError::Nand(e.to_string()))?;
             done = done.max(t);
         }
-        self.host_blocks_written.add(nblocks);
+        self.host_blocks_written.add(persist_blocks);
+        if let Injection::Torn { keep_blocks } = injection {
+            return Err(ZnsError::Injected(format!(
+                "torn zone write at {zone}: {keep_blocks} of {nblocks} blocks persisted"
+            )));
+        }
         Ok(done)
     }
 
@@ -486,7 +542,7 @@ impl ZnsDevice {
         now: Nanos,
     ) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
-        if buf.is_empty() || buf.len() % BLOCK_SIZE != 0 {
+        if buf.is_empty() || !buf.len().is_multiple_of(BLOCK_SIZE) {
             return Err(ZnsError::Misaligned { len: buf.len() });
         }
         let nblocks = (buf.len() / BLOCK_SIZE) as u64;
@@ -501,6 +557,12 @@ impl ZnsDevice {
                 });
             }
         }
+        let injection = self.decide(FaultOp::Read, buf.len());
+        if matches!(injection, Injection::Fail | Injection::Torn { .. }) {
+            return Err(ZnsError::Injected(format!(
+                "zone read fault at {zone} offset {offset_blocks}"
+            )));
+        }
         let mut done = now;
         for i in 0..nblocks {
             let page = self.layout.page_of(zone, offset_blocks + i);
@@ -510,6 +572,10 @@ impl ZnsDevice {
                 .read_page(page, chunk, now)
                 .map_err(|e| ZnsError::Nand(e.to_string()))?;
             done = done.max(t);
+        }
+        if let Injection::BitFlip { bit } = injection {
+            // Media kept the data; the host's copy comes back corrupted.
+            flip_bit(buf, bit);
         }
         self.host_blocks_read.add(nblocks);
         Ok(done)
@@ -524,6 +590,9 @@ impl ZnsDevice {
     /// [`ZnsError::NoSuchZone`].
     pub fn reset(&self, zone: ZoneId, now: Nanos) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
+        if self.decide(FaultOp::Trim, 0) != Injection::None {
+            return Err(ZnsError::Injected(format!("zone reset fault at {zone}")));
+        }
         {
             let mut state = self.state.lock();
             Self::release_zone(&mut state, zone, ZoneState::Empty);
@@ -551,6 +620,9 @@ impl ZnsDevice {
     /// [`ZnsError::InvalidState`] if the zone is already Full.
     pub fn finish(&self, zone: ZoneId, now: Nanos) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
+        if self.decide(FaultOp::Trim, 0) != Injection::None {
+            return Err(ZnsError::Injected(format!("zone finish fault at {zone}")));
+        }
         let mut state = self.state.lock();
         let meta = state.zones[zone.0 as usize];
         if meta.state == ZoneState::Full {
@@ -810,6 +882,106 @@ mod tests {
         assert_eq!(d.empty_zones(), all - 1);
         d.reset(ZoneId(0), Nanos::ZERO).unwrap();
         assert_eq!(d.empty_zones(), all);
+    }
+
+    #[test]
+    fn injected_write_fault_leaves_zone_untouched() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        inj.push(sim::fault::FaultSpec::fail_writes(1));
+        let err = d.write(ZoneId(0), &blocks(2, 1), Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, ZnsError::Injected(_)));
+        // Nothing persisted: wp still 0, zone still Empty, credit consumed.
+        assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, 0);
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::Empty);
+        d.write(ZoneId(0), &blocks(2, 1), Nanos::ZERO).unwrap();
+    }
+
+    #[test]
+    fn torn_zone_write_persists_prefix_and_parks_wp() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        inj.push(sim::fault::FaultSpec::torn_writes(1, 0.5));
+        let err = d.write(ZoneId(0), &blocks(4, 0xcd), Nanos::ZERO).unwrap_err();
+        assert!(matches!(err, ZnsError::Injected(_)), "{err}");
+        // Half of the 4-block payload landed; the pointer sits after it.
+        assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, 2);
+        let mut buf = blocks(2, 0);
+        d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO).unwrap();
+        assert!(buf.iter().all(|&b| b == 0xcd));
+        // The zone keeps accepting writes at the torn pointer.
+        d.write(ZoneId(0), &blocks(1, 0xee), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, 3);
+    }
+
+    #[test]
+    fn injected_read_fault_then_recovers() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        d.write(ZoneId(0), &blocks(1, 7), Nanos::ZERO).unwrap();
+        inj.push(sim::fault::FaultSpec::fail_reads(1));
+        let mut buf = blocks(1, 0);
+        assert!(matches!(
+            d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO),
+            Err(ZnsError::Injected(_))
+        ));
+        d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn corrupt_write_flips_one_bit_on_media() {
+        let inj = Arc::new(FaultInjector::with_seed(9));
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        inj.push(sim::fault::FaultSpec::corrupt_writes(1));
+        // The write itself succeeds — silent corruption.
+        d.write(ZoneId(0), &blocks(2, 0xaa), Nanos::ZERO).unwrap();
+        let mut buf = blocks(2, 0);
+        d.read(ZoneId(0), 0, &mut buf, Nanos::ZERO).unwrap();
+        let wrong = buf.iter().filter(|&&b| b != 0xaa).count();
+        assert_eq!(wrong, 1, "exactly one byte should differ");
+    }
+
+    #[test]
+    fn reset_and_finish_consume_trim_faults() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).unwrap();
+        inj.push(sim::fault::FaultSpec::fail_trims(2));
+        assert!(matches!(
+            d.reset(ZoneId(0), Nanos::ZERO),
+            Err(ZnsError::Injected(_))
+        ));
+        // Failed reset left the zone's data and pointer intact.
+        assert_eq!(d.zone_info(ZoneId(0)).unwrap().write_pointer, 1);
+        assert!(matches!(
+            d.finish(ZoneId(0), Nanos::ZERO),
+            Err(ZnsError::Injected(_))
+        ));
+        assert_ne!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::Full);
+        // Credits spent; both ops succeed now.
+        d.finish(ZoneId(0), Nanos::ZERO).unwrap();
+        d.reset(ZoneId(0), Nanos::ZERO).unwrap();
+    }
+
+    #[test]
+    fn protocol_errors_do_not_consume_fault_credits() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        inj.push(sim::fault::FaultSpec::fail_writes(1));
+        // Misaligned + off-pointer writes are rejected before injection.
+        assert!(matches!(
+            d.write(ZoneId(0), &[0u8; 10], Nanos::ZERO),
+            Err(ZnsError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            d.write_at(ZoneId(0), 5, &blocks(1, 1), Nanos::ZERO),
+            Err(ZnsError::NotAtWritePointer { .. })
+        ));
+        assert_eq!(inj.injected(), 0);
+        // The credit is still armed and fires on a valid write.
+        assert!(d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).is_err());
+        assert_eq!(inj.injected(), 1);
     }
 
     #[test]

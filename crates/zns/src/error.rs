@@ -66,6 +66,9 @@ pub enum ZnsError {
     },
     /// Error propagated from the flash array; always a bug in this crate.
     Nand(String),
+    /// Failure injected by a [`sim::fault::FaultInjector`] attached to the
+    /// device; models media/firmware failures rather than protocol errors.
+    Injected(String),
 }
 
 impl fmt::Display for ZnsError {
@@ -108,6 +111,7 @@ impl fmt::Display for ZnsError {
                 write!(f, "buffer length {len} is zero or not 4096-aligned")
             }
             ZnsError::Nand(msg) => write!(f, "flash error: {msg}"),
+            ZnsError::Injected(msg) => write!(f, "injected fault: {msg}"),
         }
     }
 }
@@ -116,7 +120,12 @@ impl std::error::Error for ZnsError {}
 
 impl From<ZnsError> for sim::IoError {
     fn from(err: ZnsError) -> Self {
-        sim::IoError::Zoned(err.to_string())
+        match err {
+            // Injected faults map to Device so they look identical to
+            // faults injected at the block layer (`FaultyDevice`).
+            ZnsError::Injected(msg) => sim::IoError::Device(format!("injected fault: {msg}")),
+            other => sim::IoError::Zoned(other.to_string()),
+        }
     }
 }
 

@@ -89,13 +89,13 @@ impl ZoneLayout {
     /// See [`LayoutError`] for each divisibility requirement.
     pub fn new(geometry: Geometry, zone_blocks: u32, stripe_dies: u32) -> Result<Self, LayoutError> {
         let total_dies = geometry.total_dies();
-        if stripe_dies == 0 || total_dies % stripe_dies != 0 {
+        if stripe_dies == 0 || !total_dies.is_multiple_of(stripe_dies) {
             return Err(LayoutError::StripeDoesNotDivideDies {
                 stripe_dies,
                 total_dies,
             });
         }
-        if zone_blocks == 0 || zone_blocks % stripe_dies != 0 {
+        if zone_blocks == 0 || !zone_blocks.is_multiple_of(stripe_dies) {
             return Err(LayoutError::ZoneNotStripeMultiple {
                 zone_blocks,
                 stripe_dies,

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before merging.
+#
+#   scripts/tier1.sh            # build + tests + clippy
+#
+# Run from anywhere; the script cd's to the repository root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: release build =="
+cargo build --release
+
+echo "== tier1: test suite =="
+cargo test -q
+
+echo "== tier1: clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: OK =="

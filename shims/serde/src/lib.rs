@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (for future
+//! tooling compatibility); no code path serializes through serde — every
+//! persistent format here is a hand-rolled little-endian layout with its own
+//! checksums. These marker traits keep the derive annotations compiling
+//! without the real (unfetchable, offline) dependency.
+
+// API-compat shim: mirror the upstream crate, not clippy idiom.
+#![allow(clippy::all)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,44 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain data types but
+//! never actually serializes through serde (all on-flash formats are
+//! hand-rolled little-endian layouts). The real derive would need `syn` +
+//! `quote`, which the offline build can't fetch, so this macro scans the raw
+//! token stream for the type name and emits an empty marker impl. It accepts
+//! (and ignores) `#[serde(...)]` helper attributes such as
+//! `#[serde(transparent)]`.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+                panic!("serde_derive shim: expected a type name after `{kw}`");
+            }
+        }
+    }
+    panic!("serde_derive shim: no `struct` or `enum` keyword in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl must parse")
+}

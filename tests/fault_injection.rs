@@ -1,68 +1,368 @@
 //! Failure-path behaviour: injected device faults must surface as typed
 //! errors, never corrupt state, and the system must keep working once the
 //! fault clears.
+//!
+//! The engine's failure-hardening contract under test:
+//!
+//! * transient faults (small credit budgets) are absorbed by the bounded
+//!   retry policy and never reach the caller;
+//! * permanent faults exhaust the retry budget, surface as typed errors,
+//!   and quarantine the failing region instead of wedging the cache;
+//! * silent corruption (bit flips) is caught by per-object checksums and
+//!   served as a miss, never as bad bytes;
+//! * all four scheme backends (Block/File/Zone/Region-Cache) ride the same
+//!   machinery;
+//! * a power cut plus a corrupted snapshot still recovers every durably
+//!   written object via device scan.
 
 use std::sync::Arc;
 
+use zns_cache_repro::f2fs_lite::{FileSystem, FsConfig};
 use zns_cache_repro::lsm::{Db, DbConfig};
-use zns_cache_repro::sim::fault::{FaultKind, FaultyDevice};
-use zns_cache_repro::sim::{Nanos, RamDisk};
-use zns_cache_repro::zns_cache::backend::BlockBackend;
-use zns_cache_repro::zns_cache::{CacheConfig, CacheError, LogCache};
+use zns_cache_repro::sim::fault::{FaultInjector, FaultKind, FaultSpec, FaultyDevice};
+use zns_cache_repro::sim::{BlockDevice, Nanos, RamDisk, BLOCK_SIZE};
+use zns_cache_repro::zns::{ZnsConfig, ZnsDevice};
+use zns_cache_repro::zns_cache::backend::{
+    BlockBackend, FileBackend, MiddleConfig, MiddleLayerBackend, ZoneBackend,
+};
+use zns_cache_repro::zns_cache::{recovery, CacheConfig, CacheError, LogCache};
 
-fn faulty_cache() -> (LogCache, Arc<FaultyDevice>) {
-    let dev = Arc::new(FaultyDevice::new(Arc::new(RamDisk::new(256))));
-    let backend = Arc::new(BlockBackend::new(dev.clone(), 4 * 4096));
+const REGION: usize = 4 * BLOCK_SIZE;
+
+/// A value sized so one object (12-byte header + 2-byte key + value) fills
+/// exactly one 4 KiB block — corruption tests then know any flipped bit
+/// lands inside a checksummed object, not in padding.
+fn block_value(fill: u8) -> Vec<u8> {
+    vec![fill; BLOCK_SIZE - 12 - 2]
+}
+
+fn block_cache(disk_blocks: u64, seed: u64) -> (LogCache, Arc<FaultInjector>) {
+    let inj = Arc::new(FaultInjector::with_seed(seed));
+    let dev = Arc::new(FaultyDevice::with_injector(
+        Arc::new(RamDisk::new(disk_blocks)),
+        Arc::clone(&inj),
+    ));
+    let backend = Arc::new(BlockBackend::new(dev, REGION));
     let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
-    (cache, dev)
+    (cache, inj)
 }
 
 #[test]
-fn flush_write_fault_surfaces_and_cache_recovers() {
-    let (cache, dev) = faulty_cache();
+fn transient_flush_fault_is_absorbed_by_retry() {
+    let (cache, inj) = block_cache(256, 7);
     let mut t = Nanos::ZERO;
-    // Fill most of one region buffer.
-    let value = vec![1u8; 3000];
-    for i in 0..4u32 {
-        t = cache.set(format!("a{i}").as_bytes(), &value, t).unwrap();
+    for i in 0..3u32 {
+        t = cache.set(format!("a{i}").as_bytes(), &vec![1u8; 3000], t).unwrap();
     }
-    // The next buffer rollover performs the region write: make it fail.
-    dev.arm(FaultKind::Writes, 1);
-    let mut failed = false;
-    for i in 0..8u32 {
-        match cache.set(format!("b{i}").as_bytes(), &value, t) {
-            Ok(t2) => t = t2,
-            Err(CacheError::Io(msg)) => {
-                assert!(msg.contains("injected"), "unexpected error: {msg}");
-                failed = true;
-                break;
-            }
-            Err(other) => panic!("wrong error type: {other}"),
-        }
-    }
-    assert!(failed, "injected write fault never surfaced");
-    assert_eq!(dev.injected(), 1);
+    // One write-fault credit: the flush fails once, the retry lands it.
+    inj.push(FaultSpec::fail_writes(1));
+    t = cache.flush(t).unwrap();
+    let m = cache.metrics();
+    assert!(m.retries >= 1, "transient fault did not register a retry");
+    assert_eq!(m.retries_exhausted, 0);
+    assert_eq!(m.flush_failures, 0);
+    assert_eq!(inj.injected(), 1);
 
-    // Fault cleared: the cache continues to serve and accept data.
-    dev.disarm();
-    let t2 = cache.set(b"after", b"ok", t).unwrap();
-    let (v, _) = cache.get(b"after", t2).unwrap();
+    // Everything written before the fault is served from flash.
+    for i in 0..3u32 {
+        let (v, t2) = cache.get(format!("a{i}").as_bytes(), t).unwrap();
+        assert_eq!(v.as_deref(), Some(&vec![1u8; 3000][..]));
+        t = t2;
+    }
+}
+
+#[test]
+fn exhausted_write_retries_quarantine_the_region() {
+    let (cache, inj) = block_cache(256, 8);
+    let mut t = Nanos::ZERO;
+    for i in 0..3u32 {
+        t = cache.set(format!("a{i}").as_bytes(), &vec![2u8; 3000], t).unwrap();
+    }
+    // Exactly the retry budget: every attempt fails, the flush gives up.
+    inj.push(FaultSpec::fail_writes(3));
+    match cache.flush(t) {
+        Err(CacheError::Io(msg)) => assert!(msg.contains("injected"), "unexpected error: {msg}"),
+        other => panic!("expected exhausted retries to surface Io, got {other:?}"),
+    }
+    let m = cache.metrics();
+    assert_eq!(m.retries, 2, "attempts 2 and 3 are retries");
+    assert_eq!(m.retries_exhausted, 1);
+    assert_eq!(m.flush_failures, 1);
+    assert_eq!(m.quarantined_regions, 1);
+    assert_eq!(m.quarantined_bytes, REGION as u64);
+
+    // The buffered objects died with the failed flush: misses, not errors.
+    let (v, t2) = cache.get(b"a0", t).unwrap();
+    assert!(v.is_none());
+    t = t2;
+
+    // Credits exhausted, slot quarantined: the cache keeps working.
+    t = cache.set(b"after", b"ok", t).unwrap();
+    t = cache.flush(t).unwrap();
+    let (v, _) = cache.get(b"after", t).unwrap();
     assert_eq!(v.as_deref(), Some(&b"ok"[..]));
 }
 
 #[test]
-fn read_fault_surfaces_on_flash_hit() {
-    let (cache, dev) = faulty_cache();
+fn read_fault_transient_then_permanent() {
+    let (cache, inj) = block_cache(256, 9);
     let t = cache.set(b"k", b"v", Nanos::ZERO).unwrap();
     let t = cache.flush(t).unwrap();
-    dev.arm(FaultKind::Reads, 1);
+
+    // Transient: one credit is absorbed by the retry loop.
+    inj.push(FaultSpec::fail_reads(1));
+    let (v, t) = cache.get(b"k", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"v"[..]));
+    assert!(cache.metrics().retries >= 1);
+
+    // Permanent: the budget exhausts and the error surfaces, typed.
+    inj.push(FaultSpec::fail_reads(FaultSpec::PERMANENT));
     match cache.get(b"k", t) {
         Err(CacheError::Io(msg)) => assert!(msg.contains("injected")),
         other => panic!("expected injected read error, got {other:?}"),
     }
-    dev.disarm();
+    assert!(cache.metrics().retries_exhausted >= 1);
+
+    // The fault clears and the entry was never invalidated.
+    inj.clear();
     let (v, _) = cache.get(b"k", t).unwrap();
     assert_eq!(v.as_deref(), Some(&b"v"[..]));
+}
+
+#[test]
+fn corrupt_read_is_served_as_checksummed_miss() {
+    let (cache, inj) = block_cache(256, 10);
+    let value = block_value(0xA5);
+    let mut t = Nanos::ZERO;
+    for i in 0..4u32 {
+        t = cache.set(format!("c{i}").as_bytes(), &value, t).unwrap();
+    }
+    t = cache.flush(t).unwrap();
+
+    // One read returns a flipped bit: the checksum catches it, the entry
+    // is invalidated, and the caller sees a miss — never corrupt bytes.
+    inj.push(FaultSpec::corrupt_reads(1));
+    let (v, t2) = cache.get(b"c0", t).unwrap();
+    assert!(v.is_none(), "corrupt object must be a miss");
+    assert_eq!(cache.metrics().corrupt_reads, 1);
+    t = t2;
+
+    // Invalidated: a clean miss now, not an error or a stale value.
+    let (v, t2) = cache.get(b"c0", t).unwrap();
+    assert!(v.is_none());
+    t = t2;
+
+    // Unaffected neighbours still verify and serve.
+    for i in 1..4u32 {
+        let (v, t2) = cache.get(format!("c{i}").as_bytes(), t).unwrap();
+        assert_eq!(v.as_deref(), Some(&value[..]));
+        t = t2;
+    }
+}
+
+#[test]
+fn corrupt_flush_is_detected_on_later_reads() {
+    let (cache, inj) = block_cache(256, 11);
+    let value = block_value(0x3C);
+    let mut t = Nanos::ZERO;
+    // Four block-sized objects fill the region image exactly: a flipped
+    // bit in the flush payload must land inside some checksummed object.
+    for i in 0..4u32 {
+        t = cache.set(format!("d{i}").as_bytes(), &value, t).unwrap();
+    }
+    inj.push(FaultSpec::corrupt_writes(1));
+    t = cache.flush(t).unwrap();
+
+    let mut misses = 0;
+    for i in 0..4u32 {
+        let (v, t2) = cache.get(format!("d{i}").as_bytes(), t).unwrap();
+        match v {
+            Some(got) => assert_eq!(&got[..], &value[..], "served bytes must verify"),
+            None => misses += 1,
+        }
+        t = t2;
+    }
+    assert_eq!(misses, 1, "exactly one object took the flipped bit");
+    assert_eq!(cache.metrics().corrupt_reads, 1);
+}
+
+#[test]
+fn trim_fault_quarantines_the_victim_and_eviction_moves_on() {
+    // 16 blocks = 4 regions: filling the cache forces region eviction.
+    let (cache, inj) = block_cache(16, 12);
+    // Permanent-ish trim failure for one full retry budget: the first
+    // eviction victim is quarantined, the next victim serves the slot.
+    inj.push(FaultSpec::fail_trims(3));
+    let mut t = Nanos::ZERO;
+    for i in 0..40u32 {
+        t = cache.set(format!("t{i:02}").as_bytes(), &vec![5u8; 3000], t).unwrap();
+    }
+    let m = cache.metrics();
+    assert_eq!(m.quarantined_regions, 1, "failed discard must quarantine");
+    assert_eq!(m.quarantined_bytes, REGION as u64);
+    assert_eq!(m.retries_exhausted, 1);
+    // The cache shrank but never stopped: recent inserts are readable.
+    let (v, _) = cache.get(b"t39", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&vec![5u8; 3000][..]));
+}
+
+#[test]
+fn torn_zone_write_quarantines_the_region() {
+    let inj = Arc::new(FaultInjector::with_seed(13));
+    let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()).with_fault_injector(Arc::clone(&inj)));
+    let backend = Arc::new(ZoneBackend::new(dev));
+    let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+
+    let mut t = Nanos::ZERO;
+    for i in 0..3u32 {
+        t = cache.set(format!("z{i}").as_bytes(), &vec![6u8; 3000], t).unwrap();
+    }
+    // The zone write tears half-way: a prefix is on media and the write
+    // pointer is parked mid-zone, so the full-region retry can never fit —
+    // the engine must give up and quarantine the zone.
+    inj.push(FaultSpec::torn_writes(1, 0.5));
+    assert!(cache.flush(t).is_err(), "torn zone must fail the flush");
+    let m = cache.metrics();
+    assert_eq!(m.flush_failures, 1);
+    assert_eq!(m.quarantined_regions, 1);
+    assert!(m.retries >= 1);
+
+    // One dead zone does not wedge the cache: new data lands elsewhere.
+    t = cache.set(b"fresh", b"data", t).unwrap();
+    t = cache.flush(t).unwrap();
+    let (v, _) = cache.get(b"fresh", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"data"[..]));
+}
+
+/// One cache per scheme, each wired to its own fault plan.
+fn all_scheme_rigs(now: Nanos) -> Vec<(&'static str, LogCache, Arc<FaultInjector>)> {
+    let mut rigs = Vec::new();
+
+    let (cache, inj) = block_cache(256, 21);
+    rigs.push(("Block-Cache", cache, inj));
+
+    {
+        let inj = Arc::new(FaultInjector::with_seed(22));
+        let config = FsConfig::small_test();
+        let dev =
+            Arc::new(ZnsDevice::new(config.zns.clone()).with_fault_injector(Arc::clone(&inj)));
+        let meta = Arc::new(RamDisk::new(config.meta_blocks));
+        let fs = Arc::new(FileSystem::format_on(dev, meta, &config));
+        let backend = Arc::new(FileBackend::create(fs, "cache", REGION, 8, now).unwrap());
+        let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+        rigs.push(("File-Cache", cache, inj));
+    }
+    {
+        let inj = Arc::new(FaultInjector::with_seed(23));
+        let dev =
+            Arc::new(ZnsDevice::new(ZnsConfig::small_test()).with_fault_injector(Arc::clone(&inj)));
+        let backend = Arc::new(ZoneBackend::new(dev));
+        let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+        rigs.push(("Zone-Cache", cache, inj));
+    }
+    {
+        let inj = Arc::new(FaultInjector::with_seed(24));
+        let dev =
+            Arc::new(ZnsDevice::new(ZnsConfig::small_test()).with_fault_injector(Arc::clone(&inj)));
+        let backend = Arc::new(MiddleLayerBackend::new(dev, MiddleConfig::small_test()));
+        let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+        rigs.push(("Region-Cache", cache, inj));
+    }
+    rigs
+}
+
+#[test]
+fn transient_faults_are_absorbed_across_all_four_schemes() {
+    for (label, cache, inj) in all_scheme_rigs(Nanos::ZERO) {
+        let mut t = Nanos::ZERO;
+        let value = vec![9u8; 3000];
+        for i in 0..3u32 {
+            t = cache
+                .set(format!("k{i}").as_bytes(), &value, t)
+                .unwrap_or_else(|e| panic!("{label}: set failed: {e}"));
+        }
+        t = cache.flush(t).unwrap_or_else(|e| panic!("{label}: flush failed: {e}"));
+
+        // Transient read fault: absorbed, the value still arrives.
+        inj.push(FaultSpec::fail_reads(1));
+        let (v, t2) = cache
+            .get(b"k0", t)
+            .unwrap_or_else(|e| panic!("{label}: faulted get failed: {e}"));
+        assert_eq!(v.as_deref(), Some(&value[..]), "{label}: wrong bytes");
+        t = t2;
+
+        // Transient write fault: the next flush retries and lands.
+        inj.push(FaultSpec::fail_writes(1));
+        t = cache
+            .set(b"w", &value, t)
+            .unwrap_or_else(|e| panic!("{label}: set after arming failed: {e}"));
+        t = cache.flush(t).unwrap_or_else(|e| panic!("{label}: faulted flush failed: {e}"));
+        let (v, _) = cache
+            .get(b"w", t)
+            .unwrap_or_else(|e| panic!("{label}: get after flush failed: {e}"));
+        assert_eq!(v.as_deref(), Some(&value[..]), "{label}: wrong bytes after retry");
+
+        let m = cache.metrics();
+        assert!(m.retries >= 2, "{label}: retries not counted ({})", m.retries);
+        assert_eq!(m.retries_exhausted, 0, "{label}: budget wrongly exhausted");
+        assert!(inj.injected() >= 2, "{label}: faults never fired");
+    }
+}
+
+#[test]
+fn power_cut_with_corrupt_snapshot_recovers_by_device_scan() {
+    let ram = Arc::new(RamDisk::new(64));
+    let backend = Arc::new(BlockBackend::new(
+        Arc::clone(&ram) as Arc<dyn BlockDevice>,
+        REGION,
+    ));
+    let cache = LogCache::new(Arc::clone(&backend) as _, CacheConfig::small_test()).unwrap();
+
+    let value = vec![4u8; 3000];
+    let mut t = Nanos::ZERO;
+    // Durable batch: flushed to the device AND synced.
+    for i in 0..8u32 {
+        t = cache.set(format!("dur{i}").as_bytes(), &value, t).unwrap();
+    }
+    t = cache.flush(t).unwrap();
+    t = ram.sync(t).unwrap();
+    let durable_objects = cache.metrics().flushes; // flushed regions so far
+
+    // Volatile batch: written but never synced — a power cut drops it.
+    for i in 0..4u32 {
+        t = cache.set(format!("vol{i}").as_bytes(), &value, t).unwrap();
+    }
+    t = cache.flush(t).unwrap();
+
+    // The index snapshot itself is damaged in the outage.
+    let (mut snap, t) = recovery::snapshot(&cache, t).unwrap();
+    snap[10] ^= 0xFF;
+    ram.power_cut();
+
+    // Recovery: the corrupt snapshot is rejected, the device scan rebuilds
+    // the index from whatever survived, and every durable entry is served.
+    let backend2 = Arc::new(BlockBackend::new(Arc::clone(&ram) as Arc<dyn BlockDevice>, REGION));
+    let recovered =
+        recovery::recover_or_scan(backend2, CacheConfig::small_test(), Some(&snap), t).unwrap();
+    assert_eq!(recovered.metrics().scan_recovered_objects, 8);
+    assert!(durable_objects >= 1);
+
+    let mut t2 = t;
+    for i in 0..8u32 {
+        let (v, t3) = recovered.get(format!("dur{i}").as_bytes(), t2).unwrap();
+        assert_eq!(v.as_deref(), Some(&value[..]), "durable dur{i} lost");
+        t2 = t3;
+    }
+    // Unsynced writes are gone — as misses, never as errors or panics.
+    for i in 0..4u32 {
+        let (v, t3) = recovered.get(format!("vol{i}").as_bytes(), t2).unwrap();
+        assert!(v.is_none(), "vol{i} should not survive the power cut");
+        t2 = t3;
+    }
+    // The rebuilt cache is live: it accepts and serves new writes.
+    let t3 = recovered.set(b"post", b"recovery", t2).unwrap();
+    let (v, _) = recovered.get(b"post", t3).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"recovery"[..]));
 }
 
 #[test]

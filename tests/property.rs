@@ -1,18 +1,25 @@
-//! Property-based tests over the core invariants: the cache behaves like a
-//! map (modulo evictions), the zoned device enforces its contract under
-//! arbitrary op streams, the FTL never loses acknowledged writes, and the
-//! filesystem is read-your-writes under random I/O.
+//! Randomized property tests over the core invariants: the cache behaves
+//! like a map (modulo evictions), the zoned device enforces its contract
+//! under arbitrary op streams, the FTL never loses acknowledged writes, and
+//! the filesystem is read-your-writes under random I/O.
+//!
+//! Each property runs against a battery of seeded random op streams (the
+//! offline toolchain has no proptest, so shrinking is replaced by printing
+//! the failing seed — rerun with that seed to reproduce).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use zns_cache_repro::f2fs_lite::{FileSystem, FsConfig};
 use zns_cache_repro::ftl::{BlockSsd, FtlConfig};
 use zns_cache_repro::sim::{BlockDevice, Lba, Nanos, BLOCK_SIZE};
 use zns_cache_repro::zns::{ZnsConfig, ZnsDevice, ZoneId};
 use zns_cache_repro::zns_cache::backend::{MiddleConfig, MiddleLayerBackend};
 use zns_cache_repro::zns_cache::{recovery, CacheConfig, LogCache};
+
+const SEEDS: std::ops::Range<u64> = 0..12;
 
 #[derive(Clone, Debug)]
 enum CacheOp {
@@ -21,22 +28,31 @@ enum CacheOp {
     Delete(u8),
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..300))
-            .prop_map(|(k, v)| CacheOp::Set(k, v)),
-        any::<u8>().prop_map(CacheOp::Get),
-        any::<u8>().prop_map(CacheOp::Delete),
-    ]
+fn cache_ops(rng: &mut StdRng, max_len: usize) -> Vec<CacheOp> {
+    let n = rng.gen_range(1..max_len);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..256u64) as u8;
+            match rng.gen_range(0..3u32) {
+                0 => {
+                    let len = rng.gen_range(1..300usize);
+                    let v = (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect();
+                    CacheOp::Set(k, v)
+                }
+                1 => CacheOp::Get(k),
+                _ => CacheOp::Delete(k),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A cache hit must always return the *latest* value for the key; a
-    /// key that was deleted (and not re-set) must never hit.
-    #[test]
-    fn cache_is_a_subset_of_a_map(ops in proptest::collection::vec(cache_op(), 1..300)) {
+/// A cache hit must always return the *latest* value for the key; a key
+/// that was deleted (and not re-set) must never hit.
+#[test]
+fn cache_is_a_subset_of_a_map() {
+    for seed in SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = cache_ops(&mut rng, 300);
         let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
         let backend = Arc::new(MiddleLayerBackend::new(dev, MiddleConfig::small_test()));
         let cache = LogCache::new(backend, CacheConfig::small_test()).unwrap();
@@ -53,8 +69,12 @@ proptest! {
                     t = t2;
                     if let Some(got) = got {
                         match model.get(&k) {
-                            Some(Some(expect)) => prop_assert_eq!(got.as_ref(), expect.as_slice()),
-                            _ => prop_assert!(false, "hit for a deleted/never-set key"),
+                            Some(Some(expect)) => assert_eq!(
+                                got.as_ref(),
+                                expect.as_slice(),
+                                "seed {seed}: stale value for key {k}"
+                            ),
+                            _ => panic!("seed {seed}: hit for a deleted/never-set key {k}"),
                         }
                     }
                 }
@@ -65,31 +85,34 @@ proptest! {
             }
         }
     }
+}
 
-    /// Arbitrary zone op sequences never corrupt the device: every
-    /// accepted write is readable, every rejected op leaves state intact.
-    #[test]
-    fn zns_state_machine_is_sound(ops in proptest::collection::vec((0u32..8, 0u8..4), 1..200)) {
+/// Arbitrary zone op sequences never corrupt the device: every accepted
+/// write is readable, every rejected op leaves state intact.
+#[test]
+fn zns_state_machine_is_sound() {
+    for seed in SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let dev = ZnsDevice::new(ZnsConfig::small_test());
         let mut t = Nanos::ZERO;
         // Shadow write pointers per zone.
         let mut wp = vec![0u64; dev.num_zones() as usize];
         let mut full = vec![false; dev.num_zones() as usize];
-        for (zone_raw, action) in ops {
-            let zone = ZoneId(zone_raw % dev.num_zones());
+        let n = rng.gen_range(1..200usize);
+        for _ in 0..n {
+            let zone = ZoneId(rng.gen_range(0..8u32) % dev.num_zones());
             let z = zone.0 as usize;
-            match action {
+            match rng.gen_range(0..4u32) {
                 0 => {
                     // write one block
                     let data = vec![zone.0 as u8; BLOCK_SIZE];
-                    match dev.write(zone, &data, t) {
-                        Ok(t2) => {
-                            t = t2;
-                            prop_assert!(!full[z], "write accepted on full zone");
-                            wp[z] += 1;
-                            if wp[z] == dev.zone_cap_blocks() { full[z] = true; }
+                    if let Ok(t2) = dev.write(zone, &data, t) {
+                        t = t2;
+                        assert!(!full[z], "seed {seed}: write accepted on full zone");
+                        wp[z] += 1;
+                        if wp[z] == dev.zone_cap_blocks() {
+                            full[z] = true;
                         }
-                        Err(_) => {}
                     }
                 }
                 1 => {
@@ -106,26 +129,32 @@ proptest! {
                     // read below wp must succeed; at/above must fail
                     if wp[z] > 0 {
                         let mut buf = vec![0u8; BLOCK_SIZE];
-                        prop_assert!(dev.read(zone, wp[z] - 1, &mut buf, t).is_ok());
+                        assert!(dev.read(zone, wp[z] - 1, &mut buf, t).is_ok());
                     }
                     let mut buf = vec![0u8; BLOCK_SIZE];
-                    prop_assert!(dev.read(zone, wp[z], &mut buf, t).is_err());
+                    assert!(dev.read(zone, wp[z], &mut buf, t).is_err());
                 }
             }
             let info = dev.zone_info(zone).unwrap();
-            prop_assert_eq!(info.write_pointer, wp[z], "wp diverged on {}", zone);
+            assert_eq!(info.write_pointer, wp[z], "seed {seed}: wp diverged on {zone}");
         }
     }
+}
 
-    /// The FTL is read-your-writes for every LBA under random overwrites
-    /// and trims, even while GC runs.
-    #[test]
-    fn ftl_read_your_writes(ops in proptest::collection::vec((0u64..200, any::<u8>(), any::<bool>()), 1..400)) {
+/// The FTL is read-your-writes for every LBA under random overwrites and
+/// trims, even while GC runs.
+#[test]
+fn ftl_read_your_writes() {
+    for seed in SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let ssd = BlockSsd::new(FtlConfig::small_test());
         let mut model: HashMap<u64, Option<u8>> = HashMap::new();
         let mut t = Nanos::ZERO;
-        for (lba, fill, is_trim) in ops {
-            if is_trim {
+        let n = rng.gen_range(1..400usize);
+        for _ in 0..n {
+            let lba = rng.gen_range(0..200u64);
+            let fill = rng.gen_range(0..256u64) as u8;
+            if rng.gen_bool(0.5) {
                 t = ssd.trim(Lba(lba), 1, t).unwrap();
                 model.insert(lba, None);
             } else {
@@ -138,14 +167,21 @@ proptest! {
             let mut buf = vec![0u8; BLOCK_SIZE];
             t = ssd.read(Lba(lba), &mut buf, t).unwrap();
             let want = expect.unwrap_or(0);
-            prop_assert!(buf.iter().all(|&b| b == want), "lba {} corrupt", lba);
+            assert!(
+                buf.iter().all(|&b| b == want),
+                "seed {seed}: lba {lba} corrupt"
+            );
         }
     }
+}
 
-    /// Snapshot + recover is lossless: whatever a cache would serve
-    /// before a clean shutdown, the recovered cache serves identically.
-    #[test]
-    fn recovery_is_lossless(ops in proptest::collection::vec(cache_op(), 1..150)) {
+/// Snapshot + recover is lossless: whatever a cache would serve before a
+/// clean shutdown, the recovered cache serves identically.
+#[test]
+fn recovery_is_lossless() {
+    for seed in SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ops = cache_ops(&mut rng, 150);
         let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
         let backend = Arc::new(MiddleLayerBackend::new(dev, MiddleConfig::small_test()));
         let cache = LogCache::new(backend.clone(), CacheConfig::small_test()).unwrap();
@@ -171,21 +207,26 @@ proptest! {
         for (k, expect) in before {
             let (v, tn) = recovered.get(&[k], t3).unwrap();
             t3 = tn;
-            prop_assert_eq!(v.map(|b| b.to_vec()), expect, "key {} diverged", k);
+            assert_eq!(
+                v.map(|b| b.to_vec()),
+                expect,
+                "seed {seed}: key {k} diverged"
+            );
         }
     }
+}
 
-    /// The hybrid (BigHash + log-structured) engine agrees with a map
-    /// under mixed-size workloads, including objects crossing the size
-    /// threshold between updates.
-    #[test]
-    fn hybrid_engine_matches_map(
-        ops in proptest::collection::vec((any::<u8>(), 0u16..3000, any::<bool>()), 1..200)
-    ) {
-        use zns_cache_repro::zns_cache::backend::BlockBackend;
-        use zns_cache_repro::zns_cache::bighash::{BigHash, HybridEngine};
-        use zns_cache_repro::sim::{Lba, RamDisk};
+/// The hybrid (BigHash + log-structured) engine agrees with a map under
+/// mixed-size workloads, including objects crossing the size threshold
+/// between updates.
+#[test]
+fn hybrid_engine_matches_map() {
+    use zns_cache_repro::sim::RamDisk;
+    use zns_cache_repro::zns_cache::backend::BlockBackend;
+    use zns_cache_repro::zns_cache::bighash::{BigHash, HybridEngine};
 
+    for seed in SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let bucket_dev = Arc::new(RamDisk::new(16));
         let small = BigHash::new(bucket_dev, Lba(0), 16).unwrap();
         let region_dev = Arc::new(RamDisk::new(512));
@@ -195,12 +236,15 @@ proptest! {
 
         let mut model: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
         let mut t = Nanos::ZERO;
-        for (k, len, is_delete) in ops {
-            if is_delete {
+        let n = rng.gen_range(1..200usize);
+        for _ in 0..n {
+            let k = rng.gen_range(0..256u64) as u8;
+            if rng.gen_bool(0.5) {
                 t = hybrid.delete(&[k], t).unwrap().1;
                 model.insert(k, None);
             } else {
-                let v = vec![k ^ 0x5a; len as usize];
+                let len = rng.gen_range(0..3000usize);
+                let v = vec![k ^ 0x5a; len];
                 t = hybrid.set(&[k], &v, t).unwrap();
                 model.insert(k, Some(v));
             }
@@ -210,20 +254,26 @@ proptest! {
             t = t2;
             if let Some(got) = got {
                 // The cache may evict, but a hit must be the latest value.
-                prop_assert_eq!(Some(got.to_vec()), expect, "key {} stale", k);
+                assert_eq!(Some(got.to_vec()), expect, "seed {seed}: key {k} stale");
             }
         }
     }
+}
 
-    /// The filesystem is read-your-writes at block granularity under
-    /// random writes to a file, across enough churn to trigger cleaning.
-    #[test]
-    fn f2fs_read_your_writes(writes in proptest::collection::vec((0u64..64, any::<u8>()), 1..250)) {
+/// The filesystem is read-your-writes at block granularity under random
+/// writes to a file, across enough churn to trigger cleaning.
+#[test]
+fn f2fs_read_your_writes() {
+    for seed in SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
         let fs = FileSystem::format(FsConfig::small_test());
         let ino = fs.create("f", Nanos::ZERO).unwrap();
         let mut model: HashMap<u64, u8> = HashMap::new();
         let mut t = Nanos::ZERO;
-        for (block, fill) in writes {
+        let n = rng.gen_range(1..250usize);
+        for _ in 0..n {
+            let block = rng.gen_range(0..64u64);
+            let fill = rng.gen_range(0..256u64) as u8;
             let data = vec![fill; BLOCK_SIZE];
             t = fs.pwrite(ino, block * BLOCK_SIZE as u64, &data, t).unwrap();
             model.insert(block, fill);
@@ -231,7 +281,10 @@ proptest! {
         for (block, fill) in model {
             let mut buf = vec![0u8; BLOCK_SIZE];
             t = fs.pread(ino, block * BLOCK_SIZE as u64, &mut buf, t).unwrap();
-            prop_assert!(buf.iter().all(|&b| b == fill), "block {} corrupt", block);
+            assert!(
+                buf.iter().all(|&b| b == fill),
+                "seed {seed}: block {block} corrupt"
+            );
         }
     }
 }
