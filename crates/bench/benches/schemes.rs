@@ -37,7 +37,7 @@ fn bench_schemes(c: &mut Criterion) {
                         t = sc.cache.set(&key, &value, t).unwrap();
                     }
                     Op::Delete { key, .. } => {
-                        t = sc.cache.delete(&key, t).1;
+                        t = sc.cache.delete(&key, t).unwrap().1;
                     }
                 })
             },

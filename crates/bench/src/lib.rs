@@ -17,6 +17,7 @@
 //! flags to move along the scale axis.
 
 pub mod args;
+pub mod mt;
 pub mod profile;
 pub mod report;
 pub mod runner;
@@ -24,8 +25,9 @@ pub mod lsm_setup;
 pub mod setup;
 
 pub use args::Flags;
+pub use mt::{run_mt, throughput_json, MtConfig, MtReport};
 pub use profile::{DeviceProfile, ZONE_MIB};
 pub use report::Table;
 pub use runner::{run_cachebench, MicroReport};
 pub use lsm_setup::{build_lsm_experiment, LsmExperiment};
-pub use setup::build_scheme;
+pub use setup::{build_scheme, build_scheme_on};

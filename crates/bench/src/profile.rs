@@ -35,6 +35,11 @@ pub struct DeviceProfile {
     pub zones: u32,
     /// Whether flash payloads are retained (RAM) or discarded (Sparse).
     pub store: StoreKind,
+    /// Flash timing. Defaults to flash-realistic; [`DeviceProfile::fast`]
+    /// swaps in a near-instant device (the simulation analogue of running
+    /// on nullblk, as the paper does for metadata) so a benchmark measures
+    /// the cache software stack rather than NAND bandwidth.
+    pub timing: NandTiming,
 }
 
 impl DeviceProfile {
@@ -43,6 +48,7 @@ impl DeviceProfile {
         DeviceProfile {
             zones,
             store: StoreKind::Sparse,
+            timing: NandTiming::default(),
         }
     }
 
@@ -51,7 +57,14 @@ impl DeviceProfile {
         DeviceProfile {
             zones,
             store: StoreKind::Ram,
+            timing: NandTiming::default(),
         }
+    }
+
+    /// Same geometry on a near-instant device, for engine-bound runs.
+    pub fn fast(mut self) -> Self {
+        self.timing = NandTiming::fast_test();
+        self
     }
 
     fn geometry(&self) -> Geometry {
@@ -71,7 +84,7 @@ impl DeviceProfile {
         Arc::new(ZnsDevice::new(ZnsConfig {
             nand: NandConfig {
                 geometry: self.geometry(),
-                timing: NandTiming::default(),
+                timing: self.timing,
                 store: self.store,
             },
             zone_blocks: 8,
@@ -88,7 +101,7 @@ impl DeviceProfile {
         Arc::new(BlockSsd::new(FtlConfig {
             nand: NandConfig {
                 geometry: self.geometry(),
-                timing: NandTiming::default(),
+                timing: self.timing,
                 store: self.store,
             },
             op_ratio,
@@ -108,7 +121,7 @@ impl DeviceProfile {
             zns: ZnsConfig {
                 nand: NandConfig {
                     geometry: self.geometry(),
-                    timing: NandTiming::default(),
+                    timing: self.timing,
                     store: self.store,
                 },
                 zone_blocks: 8,
@@ -195,6 +208,11 @@ pub fn experiment_cache_config(region_size: usize) -> CacheConfig {
         reinsertion_fraction: 0.0,
         maintenance_interval_sets: 64,
         retry: Default::default(),
+        read_retry_attempts: 3,
+        // Keep a small clean pool ahead of the writers so the maintainer
+        // (when running) absorbs eviction cost off the foreground path.
+        clean_region_watermark: 2,
+        dram_shards: 16,
         seed: 42,
     }
 }

@@ -83,7 +83,7 @@ pub fn run_cachebench(
             Op::Set { key, value, .. } => {
                 t = cache.set(&key, &value, t).expect("warmup set");
             }
-            Op::Delete { key, .. } => t = cache.delete(&key, t).1,
+            Op::Delete { key, .. } => t = cache.delete(&key, t).expect("warmup delete").1,
         }
     }
 
@@ -92,8 +92,8 @@ pub fn run_cachebench(
     let mut remaining = ops;
     let mut gets = 0u64;
     let mut hits = 0u64;
-    let mut get_latency = LatencyHistogram::new();
-    let mut set_latency = LatencyHistogram::new();
+    let get_latency = LatencyHistogram::new();
+    let set_latency = LatencyHistogram::new();
     let report = ClosedLoop::new(workers).run(|_worker, now| {
         if remaining == 0 {
             return None;
@@ -121,7 +121,7 @@ pub fn run_cachebench(
                 Some(done - base)
             }
             Op::Delete { key, .. } => {
-                let (_, done) = cache.delete(&key, start);
+                let (_, done) = cache.delete(&key, start).expect("measured delete");
                 Some(done - base)
             }
         }

@@ -25,11 +25,27 @@ pub fn build_scheme(
     store: StoreKind,
     gc_mode: GcMode,
 ) -> SchemeCache {
+    let mut profile = DeviceProfile::sparse(device_zones);
+    profile.store = store;
+    build_scheme_on(profile, scheme, cache_zones, gc_mode)
+}
+
+/// [`build_scheme`] with an explicit [`DeviceProfile`], so callers can
+/// pick non-default flash timing (e.g. `profile.fast()` for engine-bound
+/// thread-scaling runs).
+///
+/// # Panics
+///
+/// Same feasibility panics as [`build_scheme`].
+pub fn build_scheme_on(
+    profile: DeviceProfile,
+    scheme: Scheme,
+    cache_zones: u32,
+    gc_mode: GcMode,
+) -> SchemeCache {
+    let device_zones = profile.zones;
+    let store = profile.store;
     assert!(cache_zones >= 1 && cache_zones <= device_zones);
-    let profile = DeviceProfile {
-        zones: device_zones,
-        store,
-    };
     let zone_bytes = ZONE_MIB * 1024 * 1024;
     let cache_bytes = cache_zones as u64 * zone_bytes;
     // Zone-Cache's region is the whole zone; its two in-flight buffers
@@ -56,7 +72,11 @@ pub fn build_scheme(
             let reserved = device_zones - cache_zones;
             assert!(reserved >= 1, "File-Cache needs filesystem OP zones");
             let fs = profile.f2fs(reserved);
-            let regions = (cache_bytes / REGION_BYTES as u64) as u32;
+            // Size the file a hair under the advertised capacity: node
+            // blocks and the two log heads share the main area with file
+            // data, so a 100%-full file leaves the cleaner no compactable
+            // victim and a long run deadlocks in `FsError::NoSpace`.
+            let regions = (cache_bytes / REGION_BYTES as u64) as u32 - 8;
             SchemeCache::file_with_punch(fs, REGION_BYTES, regions, config, Nanos::ZERO)
                 .expect("file scheme construction")
         }

@@ -325,19 +325,36 @@ impl MiddleLayerBackend {
             Ok(slot as u64 * self.region_blocks),
             "slot cursor diverged from device write pointer"
         );
-        let done = if self.use_append {
+        let write = if self.use_append {
             // Zone append: the device picks the offset; verify it matches
             // the slot the layer reserved.
-            let (offset, done) = self
-                .dev
-                .append(ZoneId(zone), data, now)
-                .map_err(|e| CacheError::Io(e.to_string()))?;
-            debug_assert_eq!(offset, slot as u64 * self.region_blocks);
-            done
+            self.dev.append(ZoneId(zone), data, now).map(|(offset, done)| {
+                debug_assert_eq!(offset, slot as u64 * self.region_blocks);
+                done
+            })
         } else {
-            self.dev
-                .write(ZoneId(zone), data, now)
-                .map_err(|e| CacheError::Io(e.to_string()))?
+            self.dev.write(ZoneId(zone), data, now)
+        };
+        let done = match write {
+            Ok(done) => done,
+            Err(e) => {
+                // A torn write leaves the device write pointer mid-slot;
+                // positioned writes can never realign with the slot grid,
+                // so retire the zone: cursor to the end, out of the open
+                // set, finished if the device lets us. Its dead space is
+                // reclaimed when GC resets the zone.
+                let expected = slot as u64 * self.region_blocks;
+                if self.dev.zone_info(ZoneId(zone)).map(|i| i.write_pointer) != Ok(expected) {
+                    s.next_slot[zone as usize] = self.slots_per_zone;
+                    s.open.retain(|&o| o != zone);
+                    if self.dev.zone_state(ZoneId(zone)) != Ok(ZoneState::Full) {
+                        // Best effort: a zone that will not finish still
+                        // resets fine later.
+                        let _ = self.dev.finish(ZoneId(zone), now);
+                    }
+                }
+                return Err(CacheError::Io(e.to_string()));
+            }
         };
         s.next_slot[zone as usize] = slot + 1;
         s.bitmap[zone as usize] |= 1u64 << slot;

@@ -343,7 +343,7 @@ impl HybridEngine {
         if self.is_small(key, value.len()) {
             // The object may previously have been large: remove the stale
             // copy so the two engines never disagree.
-            let (_, t) = self.large.delete(key, now);
+            let (_, t) = self.large.delete(key, now)?;
             self.small.set(key, value, t)
         } else {
             let (_, t) = self.small.delete(key, now)?;
@@ -371,7 +371,7 @@ impl HybridEngine {
     /// As the underlying engines.
     pub fn delete(&self, key: &[u8], now: Nanos) -> Result<(bool, Nanos), CacheError> {
         let (in_small, t) = self.small.delete(key, now)?;
-        let (in_large, t) = self.large.delete(key, t);
+        let (in_large, t) = self.large.delete(key, t)?;
         Ok((in_small || in_large, t))
     }
 

@@ -7,6 +7,31 @@
 //! objects"). Lookups resolve entirely in the DRAM index and touch flash
 //! only for the object bytes.
 //!
+//! # Concurrency architecture
+//!
+//! Foreground operations scale with threads (see DESIGN.md §8 for the full
+//! model):
+//!
+//! * **Reads take no engine-wide lock.** A lookup resolves `(region,
+//!   offset, len)` under one index-shard lock, *pins* the region (a
+//!   per-region reader count), re-confirms the location, performs the
+//!   device read and CRC verification completely unlocked, and revalidates
+//!   the region's generation counter afterwards. A read that raced an
+//!   eviction retries (bounded by `read_retry_attempts`) and otherwise
+//!   degrades to a miss — never to wrong bytes.
+//! * **Writes reserve, then copy outside the lock.** The writer mutex is
+//!   held only to bump the active region's append cursor; the payload copy
+//!   into the shared region buffer and the index insert happen after the
+//!   lock is dropped. Sealing quiesces on a `committed` byte counter so a
+//!   region image is never flushed with a reservation's copy still in
+//!   flight. Seals carry a monotone sequence number so recovery restores
+//!   FIFO eviction order exactly.
+//! * **Eviction runs in a maintainer.** With `clean_region_watermark > 0`,
+//!   a [`crate::maintainer::Maintainer`] (a real background thread, or a
+//!   test driving it deterministically in simulated time) refills the
+//!   clean-region pool. The foreground write path still evicts inline when
+//!   the pool runs dry — that is the backpressure contract.
+//!
 //! Two timing mechanisms matter for reproducing the paper:
 //!
 //! * **Bounded flush pipeline** — up to `in_memory_buffers` region flushes
@@ -19,11 +44,13 @@
 //!   of objects visibly stalls insertion, the Fig. 3 jump at the onset of
 //!   eviction.
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use sim::{crc32, Crc32, LatencyHistogram, Nanos};
 
 use crate::backend::RegionBackend;
@@ -79,6 +106,10 @@ pub struct CacheConfig {
     pub admission: Admission,
     /// DRAM tier capacity in bytes (0 disables the tier).
     pub dram_bytes: usize,
+    /// Lock shards for the DRAM tier (rounded up to a power of two). Each
+    /// shard is an independent byte-capped LRU holding an equal split of
+    /// `dram_bytes`.
+    pub dram_shards: usize,
     /// Region buffers that may be in flight at once (CacheLib default: a
     /// small clean-region pool; 2 here).
     pub in_memory_buffers: usize,
@@ -111,6 +142,17 @@ pub struct CacheConfig {
     pub maintenance_interval_sets: u32,
     /// Retry budget for transient backend I/O failures.
     pub retry: RetryPolicy,
+    /// Attempts for a lookup whose unlocked flash read raced an eviction
+    /// (the entry's region generation changed mid-read). Exhaustion
+    /// degrades to a miss — under that much churn the object is as good as
+    /// evicted.
+    pub read_retry_attempts: u32,
+    /// Keep at least this many clean (free) regions available, refilled by
+    /// the [`crate::maintainer::Maintainer`]. 0 disables background
+    /// eviction entirely: every eviction then runs inline on the write
+    /// path (the pre-maintainer behavior, and what deterministic
+    /// single-thread tests use).
+    pub clean_region_watermark: usize,
     /// RNG seed for the admission gate.
     pub seed: u64,
 }
@@ -122,6 +164,7 @@ impl CacheConfig {
             eviction: EvictionPolicy::Lru,
             admission: Admission::Always,
             dram_bytes: 0,
+            dram_shards: 4,
             in_memory_buffers: 2,
             insert_cpu: Nanos::from_nanos(2_000),
             lookup_cpu: Nanos::from_nanos(1_000),
@@ -132,6 +175,8 @@ impl CacheConfig {
             reinsertion_fraction: 0.0,
             maintenance_interval_sets: 16,
             retry: RetryPolicy::default(),
+            read_retry_attempts: 3,
+            clean_region_watermark: 0,
             seed: 42,
         }
     }
@@ -139,8 +184,8 @@ impl CacheConfig {
 
 /// One region's dumped index state, as recovery snapshots carry it:
 /// `(region, entries as (hash, byte offset), live objects, last-access
-/// sequence, sealed?)`.
-pub(crate) type RegionDumpEntry = (u32, Vec<(u64, u32)>, u32, u64, bool);
+/// sequence, sealed?, seal sequence)`.
+pub(crate) type RegionDumpEntry = (u32, Vec<(u64, u32)>, u32, u64, bool, u64);
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum RegionState {
@@ -155,55 +200,194 @@ enum RegionState {
     Quarantined,
 }
 
+/// Mutable region metadata, guarded by the slot's own small mutex (lock
+/// order: writer → slot meta → index/DRAM shard; never the reverse).
 #[derive(Debug)]
 struct RegionMeta {
     state: RegionState,
     /// (key hash, object offset) of every object written to this region.
     entries: Vec<(u64, u32)>,
-    /// Objects not yet superseded or deleted.
-    live_objects: u32,
-    /// Global access sequence at last touch (LRU key).
-    last_access: u64,
+    /// Monotone seal order, preserved by recovery so FIFO eviction order
+    /// survives a restart.
+    seal_seq: u64,
 }
 
-struct ActiveBuffer {
+/// One region slot: a small mutex for structural metadata plus lock-free
+/// fields the hot paths touch.
+struct RegionSlot {
+    meta: Mutex<RegionMeta>,
+    /// Bumped whenever the slot's contents stop being trustworthy: at
+    /// eviction start (before index cleanup), on GC drop, on quarantine,
+    /// and when the slot is re-activated. Unlocked readers revalidate
+    /// against it.
+    generation: AtomicU64,
+    /// Global access sequence at last touch (LRU key).
+    last_access: AtomicU64,
+    /// Objects not yet superseded or deleted.
+    live_objects: AtomicU32,
+    /// In-flight unlocked reads. Eviction waits for zero before the
+    /// region's storage is discarded, so a pinned read never observes
+    /// reclaimed media.
+    readers: AtomicU32,
+}
+
+impl RegionSlot {
+    fn new() -> Self {
+        RegionSlot {
+            meta: Mutex::new(RegionMeta {
+                state: RegionState::Free,
+                entries: Vec::new(),
+                seal_seq: 0,
+            }),
+            generation: AtomicU64::new(0),
+            last_access: AtomicU64::new(0),
+            live_objects: AtomicU32::new(0),
+            readers: AtomicU32::new(0),
+        }
+    }
+
+    fn pin(&self) -> PinGuard<'_> {
+        self.readers.fetch_add(1, Ordering::AcqRel);
+        PinGuard(&self.readers)
+    }
+}
+
+/// RAII read pin: unpins on drop so early returns and `?` cannot leak a
+/// reader count and wedge eviction.
+struct PinGuard<'a>(&'a AtomicU32);
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The shared in-memory image of the active region. Writers copy into
+/// disjoint reserved ranges without any lock; readers serve committed
+/// ranges concurrently.
+struct RegionBuffer {
     region: RegionId,
-    data: Vec<u8>,
+    data: Box<[UnsafeCell<u8>]>,
+    /// Bytes whose payload copy has completed. Sealing spins until this
+    /// reaches the reserved total before flushing the image.
+    committed: AtomicUsize,
+}
+
+// SAFETY: every byte range is written by exactly one thread (the owner of
+// that append reservation, granted under the writer mutex) and becomes
+// immutable once committed. Readers only access ranges that were published
+// either through an index-shard lock (insert happens after the copy) or
+// through the `committed` release/acquire pair (the seal path), both of
+// which establish the necessary happens-before edges.
+unsafe impl Send for RegionBuffer {}
+unsafe impl Sync for RegionBuffer {}
+
+impl RegionBuffer {
+    fn new(region: RegionId, size: usize) -> Self {
+        RegionBuffer {
+            region,
+            data: (0..size).map(|_| UnsafeCell::new(0u8)).collect(),
+            committed: AtomicUsize::new(0),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The caller must own the reservation covering
+    /// `offset..offset + bytes.len()` and must not have committed it yet.
+    unsafe fn write(&self, offset: usize, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        debug_assert!(offset + bytes.len() <= self.data.len());
+        let dst = self.data[offset].get();
+        std::ptr::copy_nonoverlapping(bytes.as_ptr(), dst, bytes.len());
+    }
+
+    /// # Safety
+    ///
+    /// `offset..offset + len` must be committed (e.g. the range of an
+    /// object whose index entry the caller just observed).
+    unsafe fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        if len == 0 {
+            return &[];
+        }
+        debug_assert!(offset + len <= self.data.len());
+        std::slice::from_raw_parts(self.data[offset].get() as *const u8, len)
+    }
+
+    /// # Safety
+    ///
+    /// All reservations must be committed and no further reservation may
+    /// be granted while the slice is alive (the sealer holds the writer
+    /// lock and has quiesced on `committed`).
+    unsafe fn as_slice(&self) -> &[u8] {
+        std::slice::from_raw_parts(self.data.as_ptr() as *const u8, self.data.len())
+    }
+}
+
+struct ActiveRegion {
+    buf: Arc<RegionBuffer>,
+    /// Append cursor (bytes reserved so far).
     used: usize,
     entries: Vec<(u64, u32)>,
 }
 
-struct EngineState {
-    regions: Vec<RegionMeta>,
+/// Everything the append path mutates, behind one small mutex. Device
+/// writes (seal) and inline evictions run under it by design: when the
+/// clean-region pool is dry, writers must feel the reclamation cost —
+/// that is the backpressure contract with the maintainer.
+struct WriterState {
+    active: Option<ActiveRegion>,
     free: VecDeque<u32>,
     /// Seal order for FIFO eviction.
     fifo: VecDeque<u32>,
-    active: Option<ActiveBuffer>,
     /// Completion times of in-flight region flushes.
     in_flight: VecDeque<Nanos>,
-    access_seq: u64,
     sets_since_maintenance: u32,
-    /// Index-wide stall from region-eviction cleanup: every operation
-    /// entering the engine waits for it. This is the shared-index lock
-    /// contention the paper holds responsible for the Fig. 3 insertion
-    /// jump ("caused by eviction operations in other threads, which
-    /// involve lock controls for the shared index").
-    stall_until: Nanos,
     /// Objects rescued from the last evicted region, waiting to be
     /// appended into the next buffer (reinsertion policy).
     pending_reinserts: Vec<(Vec<u8>, Vec<u8>, Nanos)>,
-    dram: DramCache,
-    admission: AdmissionGate,
+    next_seal_seq: u64,
+}
+
+enum TryGet {
+    Hit(Bytes),
+    Miss,
+    /// The unlocked read raced an eviction/seal; retry the lookup.
+    Stale,
 }
 
 /// A hybrid (DRAM + flash) log-structured cache over a [`RegionBackend`].
+///
+/// All methods take `&self` and are safe to call from many threads; see
+/// the module docs for the concurrency model.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 pub struct LogCache {
     backend: Arc<dyn RegionBackend>,
     config: CacheConfig,
     index: Index,
-    state: Mutex<EngineState>,
+    slots: Vec<RegionSlot>,
+    writer: Mutex<WriterState>,
+    /// Read-side handle to the active region buffer, kept only while the
+    /// region is actually active (cleared at seal) so sealed regions are
+    /// served from flash like before.
+    active_ro: RwLock<Option<Arc<RegionBuffer>>>,
+    /// Lock-striped DRAM tier; empty when `dram_bytes == 0`.
+    dram: Vec<Mutex<DramCache>>,
+    admission: Mutex<AdmissionGate>,
+    /// Fast path: `Admission::Always` never needs the gate's RNG.
+    admit_all: bool,
+    access_seq: AtomicU64,
+    /// Index-wide stall deadline (ns) from oversized region-eviction
+    /// cleanup: every operation entering the engine waits for it. This is
+    /// the shared-index lock contention the paper holds responsible for
+    /// the Fig. 3 insertion jump.
+    stall_until: AtomicU64,
+    /// High-water mark of observed simulated time, so a wall-clock
+    /// background maintainer can run "at" a meaningful sim timestamp.
+    clock_hwm: AtomicU64,
     metrics: CacheMetrics,
 }
 
@@ -229,29 +413,33 @@ impl LogCache {
             return Err(CacheError::BackendTooSmall);
         }
         let n = backend.num_regions();
-        let regions = (0..n)
-            .map(|_| RegionMeta {
-                state: RegionState::Free,
-                entries: Vec::new(),
-                live_objects: 0,
-                last_access: 0,
-            })
-            .collect();
+        let slots = (0..n).map(|_| RegionSlot::new()).collect();
+        let dram = if config.dram_bytes == 0 {
+            Vec::new()
+        } else {
+            let shards = config.dram_shards.max(1).next_power_of_two();
+            let per_shard = config.dram_bytes.div_ceil(shards);
+            (0..shards).map(|_| Mutex::new(DramCache::new(per_shard))).collect()
+        };
         Ok(LogCache {
             index: Index::new(),
-            state: Mutex::new(EngineState {
-                regions,
+            slots,
+            writer: Mutex::new(WriterState {
+                active: None,
                 free: (0..n).collect(),
                 fifo: VecDeque::new(),
-                active: None,
                 in_flight: VecDeque::new(),
-                access_seq: 0,
                 sets_since_maintenance: 0,
-                stall_until: Nanos::ZERO,
                 pending_reinserts: Vec::new(),
-                dram: DramCache::new(config.dram_bytes),
-                admission: AdmissionGate::new(config.admission, config.seed),
+                next_seal_seq: 0,
             }),
+            active_ro: RwLock::new(None),
+            dram,
+            admission: Mutex::new(AdmissionGate::new(config.admission, config.seed)),
+            admit_all: config.admission == Admission::Always,
+            access_seq: AtomicU64::new(0),
+            stall_until: AtomicU64::new(0),
+            clock_hwm: AtomicU64::new(0),
             metrics: CacheMetrics::default(),
             backend,
             config,
@@ -293,6 +481,58 @@ impl LogCache {
         self.index.is_empty()
     }
 
+    /// Latest simulated timestamp any foreground operation has presented.
+    /// Background maintenance uses this as its notion of "now".
+    pub fn observed_clock(&self) -> Nanos {
+        Nanos::from_nanos(self.clock_hwm.load(Ordering::Relaxed))
+    }
+
+    /// Clean (immediately allocatable) region slots.
+    pub fn clean_regions(&self) -> usize {
+        self.writer.lock().free.len()
+    }
+
+    fn observe_clock(&self, now: Nanos) {
+        self.clock_hwm.fetch_max(now.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn stall_deadline(&self) -> Nanos {
+        Nanos::from_nanos(self.stall_until.load(Ordering::Relaxed))
+    }
+
+    fn raise_stall(&self, until: Nanos) {
+        self.stall_until.fetch_max(until.as_nanos(), Ordering::Relaxed);
+    }
+
+    fn admit(&self) -> bool {
+        self.admit_all || self.admission.lock().admit()
+    }
+
+    fn dram_shard(&self, hash: u64) -> Option<&Mutex<DramCache>> {
+        if self.dram.is_empty() {
+            None
+        } else {
+            // High bits: the index shards already consume the low bits.
+            Some(&self.dram[(hash >> 32) as usize & (self.dram.len() - 1)])
+        }
+    }
+
+    fn dec_live(&self, region: RegionId) {
+        let _ = self.slots[region.0 as usize].live_objects.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_sub(1)),
+        );
+    }
+
+    /// Drops an invalidated entry's per-region and DRAM footprint.
+    fn on_entry_invalidated(&self, hash: u64, region: RegionId) {
+        self.dec_live(region);
+        if let Some(shard) = self.dram_shard(hash) {
+            shard.lock().remove(hash);
+        }
+    }
+
     fn object_size(key: &[u8], value: &[u8]) -> usize {
         OBJECT_HEADER + key.len() + value.len()
     }
@@ -328,12 +568,15 @@ impl LogCache {
 
     /// Takes a region slot permanently out of service. The slot is never
     /// returned to the free list; capacity shrinks by one region.
-    fn quarantine(&self, s: &mut EngineState, region: u32) {
-        let meta = &mut s.regions[region as usize];
-        meta.state = RegionState::Quarantined;
-        meta.entries.clear();
-        meta.live_objects = 0;
-        s.fifo.retain(|&r| r != region);
+    fn quarantine(&self, w: &mut WriterState, region: u32) {
+        let slot = &self.slots[region as usize];
+        {
+            let mut meta = slot.meta.lock();
+            meta.state = RegionState::Quarantined;
+            meta.entries.clear();
+        }
+        slot.live_objects.store(0, Ordering::Relaxed);
+        w.fifo.retain(|&r| r != region);
         self.metrics.quarantined_regions.incr();
         self.metrics
             .quarantined_bytes
@@ -349,46 +592,51 @@ impl LogCache {
     }
 
     /// Picks an eviction victim among sealed regions.
-    fn pick_victim(&self, s: &mut EngineState) -> Option<u32> {
+    fn pick_victim(&self, w: &mut WriterState) -> Option<u32> {
         match self.config.eviction {
             EvictionPolicy::Fifo => {
-                while let Some(r) = s.fifo.pop_front() {
-                    if s.regions[r as usize].state == RegionState::Sealed {
+                while let Some(r) = w.fifo.pop_front() {
+                    if self.slots[r as usize].meta.lock().state == RegionState::Sealed {
                         return Some(r);
                     }
                 }
                 None
             }
-            EvictionPolicy::Lru => s
-                .regions
+            EvictionPolicy::Lru => self
+                .slots
                 .iter()
                 .enumerate()
-                .filter(|(_, m)| m.state == RegionState::Sealed)
-                .min_by_key(|(_, m)| m.last_access)
+                .filter(|(_, s)| s.meta.lock().state == RegionState::Sealed)
+                .min_by_key(|(_, s)| s.last_access.load(Ordering::Relaxed))
                 .map(|(i, _)| i as u32),
         }
     }
 
-    /// Acquires a free region slot, evicting if necessary. Returns the slot
-    /// and the time after any serialized eviction work.
+    /// Evicts one sealed region and returns its (now clean) slot id plus
+    /// the time after the serialized cleanup. The caller decides whether
+    /// the slot goes to the free pool (maintainer) or straight into use
+    /// (inline backpressure path).
     ///
     /// A victim whose discard keeps failing through the retry budget is
     /// quarantined and the next victim is tried — one bad region must not
-    /// wedge the whole cache.
-    fn acquire_region(&self, s: &mut EngineState, now: Nanos) -> Result<(u32, Nanos), CacheError> {
-        if let Some(r) = s.free.pop_front() {
-            debug_assert_eq!(s.regions[r as usize].state, RegionState::Free);
-            return Ok((r, now));
-        }
+    /// wedge the whole cache. Eviction metrics are counted only after the
+    /// discard succeeds.
+    fn evict_one(&self, w: &mut WriterState, now: Nanos) -> Result<(u32, Nanos), CacheError> {
         let mut now = now;
         loop {
-            let victim = self.pick_victim(s).ok_or_else(|| {
+            let victim = self.pick_victim(w).ok_or_else(|| {
                 CacheError::Io("no region available: nothing sealed to evict".into())
             })?;
-            let meta = &mut s.regions[victim as usize];
-            let entries = std::mem::take(&mut meta.entries);
-            meta.live_objects = 0;
-            meta.state = RegionState::Free;
+            let slot = &self.slots[victim as usize];
+            // Invalidate *before* the index cleanup: an unlocked read that
+            // sampled the old generation will refuse data from this slot.
+            slot.generation.fetch_add(1, Ordering::Release);
+            let entries = {
+                let mut meta = slot.meta.lock();
+                meta.state = RegionState::Free;
+                std::mem::take(&mut meta.entries)
+            };
+            slot.live_objects.store(0, Ordering::Relaxed);
             // Reinsertion policy: rescue a bounded share of still-referenced
             // objects by reading them back before the region is discarded.
             // Rescue is best-effort: unreadable or corrupt objects are
@@ -423,7 +671,7 @@ impl LogCache {
                         self.metrics.corrupt_reads.incr();
                         continue;
                     }
-                    s.pending_reinserts.push((key.to_vec(), value.to_vec(), e.expiry));
+                    w.pending_reinserts.push((key.to_vec(), value.to_vec(), e.expiry));
                     rescued += 1;
                 }
                 self.metrics.reinserted_objects.add(rescued as u64);
@@ -442,44 +690,102 @@ impl LogCache {
             // the whole engine — the paper's Fig. 3 contention.
             if entries.len() > self.config.eviction_lock_threshold {
                 let stall = now + self.config.index_remove_contended_cpu * entries.len() as u64;
-                s.stall_until = s.stall_until.max(stall);
+                self.raise_stall(stall);
                 t = t.max(stall);
             }
-            self.metrics.evicted_objects.add(removed);
-            self.metrics.evicted_regions.incr();
+            // Wait out in-flight pinned reads: nobody may be mid-read on
+            // storage we are about to reclaim.
+            while slot.readers.load(Ordering::Acquire) != 0 {
+                std::hint::spin_loop();
+            }
             match self.retry_io(t, |t| self.backend.discard_region(RegionId(victim), t)) {
-                Ok(t) => return Ok((victim, t)),
+                Ok(t) => {
+                    self.metrics.evicted_objects.add(removed);
+                    self.metrics.evicted_regions.incr();
+                    return Ok((victim, t));
+                }
                 Err(_) => {
                     // Permanent discard failure: the slot's storage cannot
                     // be reclaimed safely. Quarantine it and evict another.
-                    self.quarantine(s, victim);
+                    self.quarantine(w, victim);
                     now = t;
                 }
             }
         }
     }
 
+    /// Acquires a free region slot, evicting inline if the clean pool is
+    /// dry (the maintainer's backpressure path).
+    fn acquire_region(&self, w: &mut WriterState, now: Nanos) -> Result<(u32, Nanos), CacheError> {
+        if let Some(r) = w.free.pop_front() {
+            debug_assert_eq!(self.slots[r as usize].meta.lock().state, RegionState::Free);
+            return Ok((r, now));
+        }
+        self.metrics.inline_evictions.incr();
+        self.evict_one(w, now)
+    }
+
+    /// Evicts until at least `clean_region_watermark` free regions exist.
+    /// Driven by the [`crate::maintainer::Maintainer`] — either its
+    /// background thread or a test calling it at a chosen simulated time.
+    /// Returns the evicted regions in order (deterministic for a given
+    /// cache state, which the maintainer determinism test relies on).
+    ///
+    /// # Errors
+    ///
+    /// None today: running out of sealed victims simply stops the pass.
+    /// The `Result` is the typed surface for future failure modes.
+    pub fn maintain(&self, now: Nanos) -> Result<Vec<RegionId>, CacheError> {
+        let watermark = self.config.clean_region_watermark;
+        let mut evicted = Vec::new();
+        if watermark == 0 {
+            return Ok(evicted);
+        }
+        let mut w = self.writer.lock();
+        let mut t = now;
+        while w.free.len() < watermark {
+            match self.evict_one(&mut w, t) {
+                Ok((victim, t2)) => {
+                    w.free.push_back(victim);
+                    evicted.push(RegionId(victim));
+                    self.metrics.maintainer_evictions.incr();
+                    t = t2;
+                }
+                // Nothing sealed left to evict: the pass is done.
+                Err(_) => break,
+            }
+        }
+        Ok(evicted)
+    }
+
     /// Seals and flushes the active buffer. Returns the time after the
     /// writer may proceed (stalls when the flush pipeline is full).
-    fn seal_active(&self, s: &mut EngineState, now: Nanos) -> Result<Nanos, CacheError> {
-        let mut buffer = match s.active.take() {
-            Some(b) => b,
-            None => return Ok(now),
+    fn seal_active(&self, w: &mut WriterState, now: Nanos) -> Result<Nanos, CacheError> {
+        let Some(active) = w.active.take() else {
+            return Ok(now);
         };
+        let ActiveRegion { buf, used, entries } = active;
+        // Quiesce: every granted reservation's payload copy must land
+        // before the image is flushed (reservations are only granted under
+        // the writer lock, which we hold, so no new ones can start).
+        while buf.committed.load(Ordering::Acquire) < used {
+            std::hint::spin_loop();
+        }
         let mut t = now;
         // Flush pipeline: wait for the oldest in-flight flush if all
         // buffers are busy.
-        while s.in_flight.len() >= self.config.in_memory_buffers.max(1) {
-            match s.in_flight.pop_front() {
+        while w.in_flight.len() >= self.config.in_memory_buffers.max(1) {
+            match w.in_flight.pop_front() {
                 Some(oldest) => t = t.max(oldest),
                 None => break,
             }
         }
-        // Pad the tail and write the full region image.
-        buffer.data.resize(self.backend.region_size(), 0);
-        let write = self.retry_io(t, |t| {
-            self.backend.write_region(buffer.region, &buffer.data, t)
-        });
+        // The buffer was zero-initialized, so the tail past `used` is
+        // already padding.
+        // SAFETY: quiesced above; no writer can reserve while we hold the
+        // writer lock.
+        let image = unsafe { buf.as_slice() };
+        let write = self.retry_io(t, |t| self.backend.write_region(buf.region, image, t));
         let done = match write {
             Ok(done) => done,
             Err(e) => {
@@ -487,22 +793,36 @@ impl LogCache {
                 // objects may be dropped — but the index must not point at
                 // unwritten storage, and the slot (whose media just proved
                 // unwritable) is quarantined rather than recycled.
-                for &(hash, offset) in &buffer.entries {
-                    self.index.remove_if_at(hash, buffer.region, offset);
+                self.slots[buf.region.0 as usize]
+                    .generation
+                    .fetch_add(1, Ordering::Release);
+                for &(hash, offset) in &entries {
+                    self.index.remove_if_at(hash, buf.region, offset);
                 }
-                self.quarantine(s, buffer.region.0);
+                self.quarantine(w, buf.region.0);
+                *self.active_ro.write() = None;
                 self.metrics.flush_failures.incr();
                 return Err(e);
             }
         };
-        s.in_flight.push_back(done);
-        let meta = &mut s.regions[buffer.region.0 as usize];
-        debug_assert_eq!(meta.state, RegionState::Active);
-        meta.state = RegionState::Sealed;
-        meta.live_objects = buffer.entries.len() as u32;
-        meta.entries = std::mem::take(&mut buffer.entries);
-        meta.last_access = s.access_seq;
-        s.fifo.push_back(buffer.region.0);
+        w.in_flight.push_back(done);
+        let slot = &self.slots[buf.region.0 as usize];
+        let live = entries.len() as u32;
+        {
+            let mut meta = slot.meta.lock();
+            debug_assert_eq!(meta.state, RegionState::Active);
+            meta.state = RegionState::Sealed;
+            meta.entries = entries;
+            meta.seal_seq = w.next_seal_seq;
+        }
+        w.next_seal_seq += 1;
+        slot.live_objects.store(live, Ordering::Relaxed);
+        slot.last_access
+            .store(self.access_seq.load(Ordering::Relaxed), Ordering::Relaxed);
+        w.fifo.push_back(buf.region.0);
+        // Sealed regions are served from flash; readers already holding
+        // the buffer Arc finish their in-flight serves from RAM safely.
+        *self.active_ro.write() = None;
         self.metrics.flushes.incr();
         self.metrics
             .bytes_flushed
@@ -513,53 +833,60 @@ impl LogCache {
     /// Ensures an active buffer with at least `need` free bytes.
     fn ensure_buffer(
         &self,
-        s: &mut EngineState,
+        w: &mut WriterState,
         need: usize,
         now: Nanos,
     ) -> Result<Nanos, CacheError> {
         let region_size = self.backend.region_size();
-        if let Some(buf) = &s.active {
-            if region_size - buf.used >= need {
+        if let Some(active) = &w.active {
+            if region_size - active.used >= need {
                 return Ok(now);
             }
         }
-        let t = self.seal_active(s, now)?;
-        let (slot, t) = self.acquire_region(s, t)?;
-        s.regions[slot as usize].state = RegionState::Active;
-        s.regions[slot as usize].last_access = s.access_seq;
-        s.active = Some(ActiveBuffer {
-            region: RegionId(slot),
-            data: Vec::with_capacity(region_size),
+        let t = self.seal_active(w, now)?;
+        let (slot_id, t) = self.acquire_region(w, t)?;
+        let slot = &self.slots[slot_id as usize];
+        slot.meta.lock().state = RegionState::Active;
+        // Re-activation bump: a reader still pinned to the slot's previous
+        // life must not trust its location again.
+        slot.generation.fetch_add(1, Ordering::Release);
+        slot.last_access
+            .store(self.access_seq.load(Ordering::Relaxed), Ordering::Relaxed);
+        let buf = Arc::new(RegionBuffer::new(RegionId(slot_id), region_size));
+        w.active = Some(ActiveRegion {
+            buf: Arc::clone(&buf),
             used: 0,
             entries: Vec::new(),
         });
-        // Drain rescued objects into the fresh buffer (dropping any that
-        // no longer fit — reinsertion is best-effort).
-        let pending = std::mem::take(&mut s.pending_reinserts);
+        *self.active_ro.write() = Some(buf);
+        // Drain rescued objects into the fresh buffer, always preserving
+        // room for the caller's object (reinsertion is best-effort).
+        let pending = std::mem::take(&mut w.pending_reinserts);
         for (key, value, expiry) in pending {
             let size = Self::object_size(&key, &value);
-            let fits = match &s.active {
-                Some(buf) => region_size - buf.used >= size,
+            let fits = match &w.active {
+                Some(a) => region_size - a.used >= size + need,
                 None => false,
             };
             if !fits {
                 continue;
             }
-            self.append_object(s, &key, &value, expiry)?;
+            self.append_locked(w, &key, &value, expiry)?;
         }
         Ok(t)
     }
 
-    /// Appends one object into the active buffer and indexes it. The
-    /// caller has verified it fits.
+    /// Appends one object while holding the writer lock (reinsertion
+    /// drain): reserve, copy, commit, and index in place. The caller has
+    /// verified it fits.
     ///
     /// # Errors
     ///
     /// [`CacheError::Internal`] if no active buffer is bound (an engine
     /// bug, surfaced instead of panicking).
-    fn append_object(
+    fn append_locked(
         &self,
-        s: &mut EngineState,
+        w: &mut WriterState,
         key: &[u8],
         value: &[u8],
         expiry: Nanos,
@@ -568,20 +895,20 @@ impl LogCache {
         let fp = fingerprint(key);
         let size = Self::object_size(key, value);
         let crc = Self::object_crc(key, value);
-        let buf = s
+        let active = w
             .active
             .as_mut()
             .ok_or_else(|| CacheError::Internal("append without an active buffer".into()))?;
-        let offset = buf.used as u32;
-        buf.data.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        buf.data.extend_from_slice(&0u16.to_le_bytes());
-        buf.data.extend_from_slice(&(value.len() as u32).to_le_bytes());
-        buf.data.extend_from_slice(&crc.to_le_bytes());
-        buf.data.extend_from_slice(key);
-        buf.data.extend_from_slice(value);
-        buf.used += size;
-        buf.entries.push((hash, offset));
+        let offset = active.used as u32;
+        active.used += size;
+        active.entries.push((hash, offset));
+        let buf = Arc::clone(&active.buf);
         let region = buf.region;
+        // SAFETY: we own the reservation we just granted ourselves.
+        unsafe {
+            Self::write_object(&buf, offset as usize, key, value, crc);
+        }
+        buf.committed.fetch_add(size, Ordering::Release);
         let old = self.index.insert(
             hash,
             IndexEntry {
@@ -595,43 +922,72 @@ impl LogCache {
             },
         );
         if let Some(old) = old {
-            let meta = &mut s.regions[old.region.0 as usize];
-            meta.live_objects = meta.live_objects.saturating_sub(1);
+            self.dec_live(old.region);
         }
         Ok(())
     }
 
+    /// # Safety
+    ///
+    /// The caller must own the (uncommitted) reservation at `offset` for
+    /// the full serialized object.
+    unsafe fn write_object(buf: &RegionBuffer, offset: usize, key: &[u8], value: &[u8], crc: u32) {
+        let mut header = [0u8; OBJECT_HEADER];
+        header[0..2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+        // Bytes 2..4: reserved flags, zero.
+        header[4..8].copy_from_slice(&(value.len() as u32).to_le_bytes());
+        header[HEADER_CRC_OFFSET..OBJECT_HEADER].copy_from_slice(&crc.to_le_bytes());
+        buf.write(offset, &header);
+        buf.write(offset + OBJECT_HEADER, key);
+        buf.write(offset + OBJECT_HEADER + key.len(), value);
+    }
+
     /// Runs backend maintenance with LRU-derived temperatures and recycles
     /// any regions the backend dropped (hinted GC).
-    fn run_maintenance(&self, s: &mut EngineState, now: Nanos) -> Result<(), CacheError> {
+    fn run_maintenance(&self, w: &mut WriterState, now: Nanos) -> Result<(), CacheError> {
         // Rank-based recency: the coldest region scores 0, the hottest 1.
         // (A raw last_access/now ratio saturates near 1 for everything
         // that was touched at all; ranks keep the hint discriminative.)
-        let mut order: Vec<u32> = (0..s.regions.len() as u32).collect();
-        order.sort_by_key(|&r| s.regions[r as usize].last_access);
+        // Snapshot the access stamps before sorting: concurrent gets keep
+        // bumping `last_access`, and a sort whose key mutates mid-run
+        // violates total order (std::sort panics on that).
+        let mut order: Vec<(u64, u32)> = (0..self.slots.len() as u32)
+            .map(|r| (self.slots[r as usize].last_access.load(Ordering::Relaxed), r))
+            .collect();
+        order.sort_unstable();
         let n = order.len().max(1) as f64;
         let mut scores = vec![0.0f64; order.len()];
-        for (rank, &r) in order.iter().enumerate() {
+        for (rank, &(_, r)) in order.iter().enumerate() {
             scores[r as usize] = rank as f64 / n;
         }
         let temperature = move |r: RegionId| scores.get(r.0 as usize).copied().unwrap_or(0.0);
         let outcome = self.backend.maintenance(now, &temperature)?;
         for region in outcome.dropped_regions {
-            let meta = &mut s.regions[region.0 as usize];
-            if meta.state != RegionState::Sealed {
-                continue; // raced with eviction; nothing to recycle
-            }
-            let entries = std::mem::take(&mut meta.entries);
+            let slot = &self.slots[region.0 as usize];
+            let entries = {
+                let mut meta = slot.meta.lock();
+                if meta.state != RegionState::Sealed {
+                    continue; // raced with eviction; nothing to recycle
+                }
+                // Invalidate before the index cleanup, exactly like
+                // eviction: the storage is already gone.
+                slot.generation.fetch_add(1, Ordering::Release);
+                meta.state = RegionState::Free;
+                std::mem::take(&mut meta.entries)
+            };
             let mut removed = 0u64;
             for &(hash, offset) in &entries {
                 if self.index.remove_if_at(hash, region, offset) {
                     removed += 1;
                 }
             }
-            meta.live_objects = 0;
-            meta.state = RegionState::Free;
-            s.free.push_back(region.0);
-            s.fifo.retain(|&r| r != region.0);
+            slot.live_objects.store(0, Ordering::Relaxed);
+            // The slot must not be re-activated under a pinned reader.
+            while slot.readers.load(Ordering::Acquire) != 0 {
+                std::hint::spin_loop();
+            }
+            w.free.push_back(region.0);
+            w.fifo.retain(|&r| r != region.0);
             self.metrics.gc_dropped_objects.add(removed);
         }
         Ok(())
@@ -664,47 +1020,84 @@ impl LogCache {
         ttl: Option<Nanos>,
         now: Nanos,
     ) -> Result<Nanos, CacheError> {
+        self.observe_clock(now);
         if key.len() > u16::MAX as usize {
             return Err(CacheError::KeyTooLarge { len: key.len() });
         }
         let size = Self::object_size(key, value);
         let region_size = self.backend.region_size();
         if size > region_size {
-            return Err(CacheError::ObjectTooLarge {
-                size,
-                region_size,
-            });
+            return Err(CacheError::ObjectTooLarge { size, region_size });
         }
-        let mut s = self.state.lock();
-        if !s.admission.admit() {
+        if !self.admit() {
             self.metrics.rejected.incr();
             return Ok(now + self.config.insert_cpu);
         }
-        let mut t = now.max(s.stall_until) + self.config.insert_cpu;
-        t = self.ensure_buffer(&mut s, size, t)?;
-        s.access_seq += 1;
-        let seq = s.access_seq;
-
         let hash = hash_key(key);
+        let fp = fingerprint(key);
+        let crc = Self::object_crc(key, value);
         let expiry = ttl.map_or(Nanos::MAX, |ttl| now + ttl);
-        self.append_object(&mut s, key, value, expiry)?;
-        let region = s
-            .active
-            .as_ref()
-            .ok_or_else(|| CacheError::Internal("active buffer vanished after append".into()))?
-            .region;
-        s.regions[region.0 as usize].last_access = seq;
-        // DRAM tier mirrors the newest version.
-        if self.config.dram_bytes > 0 {
-            s.dram.insert(hash, Bytes::copy_from_slice(value));
-        }
 
-        s.sets_since_maintenance += 1;
-        if s.sets_since_maintenance >= self.config.maintenance_interval_sets {
-            s.sets_since_maintenance = 0;
-            self.run_maintenance(&mut s, t)?;
+        // Phase 1, under the writer lock: reserve an append range. Any
+        // seal/eviction needed to make room also runs here — writers pay
+        // the reclamation cost when the clean pool is dry (backpressure).
+        let mut w = self.writer.lock();
+        let mut t = now.max(self.stall_deadline()) + self.config.insert_cpu;
+        t = self.ensure_buffer(&mut w, size, t)?;
+        let seq = self.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let active = w
+            .active
+            .as_mut()
+            .ok_or_else(|| CacheError::Internal("active buffer vanished after ensure".into()))?;
+        let offset = active.used as u32;
+        active.used += size;
+        active.entries.push((hash, offset));
+        let buf = Arc::clone(&active.buf);
+        let region = buf.region;
+        let slot = &self.slots[region.0 as usize];
+        slot.last_access.store(seq, Ordering::Relaxed);
+        let reserved_gen = slot.generation.load(Ordering::Acquire);
+        w.sets_since_maintenance += 1;
+        if w.sets_since_maintenance >= self.config.maintenance_interval_sets {
+            w.sets_since_maintenance = 0;
+            self.run_maintenance(&mut w, t)?;
         }
-        drop(s);
+        drop(w);
+
+        // Phase 2, no locks: copy the payload into the reserved range and
+        // publish it.
+        // SAFETY: the reservation above is exclusively ours.
+        unsafe {
+            Self::write_object(&buf, offset as usize, key, value, crc);
+        }
+        buf.committed.fetch_add(size, Ordering::Release);
+
+        // Phase 3: index under one shard lock, DRAM under one shard lock.
+        let old = self.index.insert(
+            hash,
+            IndexEntry {
+                region,
+                offset,
+                key_len: key.len() as u16,
+                value_len: value.len() as u32,
+                fingerprint: fp,
+                expiry,
+                accessed: false,
+            },
+        );
+        if let Some(old) = old {
+            self.dec_live(old.region);
+        }
+        if slot.generation.load(Ordering::Acquire) != reserved_gen {
+            // The region was sealed *and* evicted between our reservation
+            // and the index insert (extreme churn): the entry points at
+            // reclaimed storage. Undo it — the object counts as evicted
+            // immediately, which a cache is always allowed to do.
+            self.index.remove_if_at(hash, region, offset);
+        } else if let Some(shard) = self.dram_shard(hash) {
+            // DRAM tier mirrors the newest version.
+            shard.lock().insert(hash, Bytes::copy_from_slice(value));
+        }
         self.metrics.sets.incr();
         self.metrics.record_set(t - now);
         Ok(t)
@@ -718,129 +1111,196 @@ impl LogCache {
     ///
     /// Backend I/O failures (never "miss" — a miss is `Ok(None)`).
     pub fn get(&self, key: &[u8], now: Nanos) -> Result<(Option<Bytes>, Nanos), CacheError> {
+        self.observe_clock(now);
         let hash = hash_key(key);
         let fp = fingerprint(key);
-        let mut t = now + self.config.lookup_cpu;
         self.metrics.gets.incr();
+        let mut t = now + self.config.lookup_cpu;
 
+        let attempts = self.config.read_retry_attempts.max(1);
+        for _ in 0..attempts {
+            match self.try_get(key, hash, fp, now, &mut t)? {
+                TryGet::Hit(value) => {
+                    self.index.touch(hash, fp);
+                    self.metrics.hits.incr();
+                    self.metrics.record_get(t - now);
+                    return Ok((Some(value), t));
+                }
+                TryGet::Miss => {
+                    self.metrics.record_get(t - now);
+                    return Ok((None, t));
+                }
+                TryGet::Stale => {
+                    self.metrics.stale_reads.incr();
+                }
+            }
+        }
+        // The entry kept moving under eviction churn through the whole
+        // retry budget: it is as good as evicted. Serve a miss.
+        self.metrics.record_get(t - now);
+        Ok((None, t))
+    }
+
+    /// One lookup attempt. `Stale` means an unlocked read raced a
+    /// seal/eviction and the caller should retry from the index.
+    fn try_get(
+        &self,
+        key: &[u8],
+        hash: u64,
+        fp: u32,
+        now: Nanos,
+        t: &mut Nanos,
+    ) -> Result<TryGet, CacheError> {
         let entry = match self.index.lookup(hash, fp) {
             Some(e) => e,
-            None => {
-                self.metrics.record_get(t - now);
-                return Ok((None, t));
-            }
+            None => return Ok(TryGet::Miss),
         };
         if entry.expiry <= now {
-            // Lazy TTL reclamation: drop the entry, report a miss.
-            if self.index.remove(hash, fp).is_some() {
-                let mut s = self.state.lock();
-                let meta = &mut s.regions[entry.region.0 as usize];
-                meta.live_objects = meta.live_objects.saturating_sub(1);
-                s.dram.remove(hash);
+            // Lazy TTL reclamation: drop the entry, report a miss. The
+            // removal is location-checked so a racing re-insert of the
+            // same key is never clobbered.
+            if self.index.remove_if_at(hash, entry.region, entry.offset) {
+                self.on_entry_invalidated(hash, entry.region);
             }
             self.metrics.expired.incr();
-            self.metrics.record_get(t - now);
-            return Ok((None, t));
+            return Ok(TryGet::Miss);
         }
+        // Index-wide stall from oversized eviction cleanup.
+        *t = (*t).max(self.stall_deadline() + self.config.lookup_cpu);
+        let seq = self.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.slots[entry.region.0 as usize];
+        slot.last_access.store(seq, Ordering::Relaxed);
 
-        let mut s = self.state.lock();
-        t = t.max(s.stall_until + self.config.lookup_cpu);
-        s.access_seq += 1;
-        let seq = s.access_seq;
         // DRAM tier first.
-        if self.config.dram_bytes > 0 {
-            if let Some(v) = s.dram.get(hash) {
-                s.regions[entry.region.0 as usize].last_access = seq;
-                drop(s);
+        if let Some(shard) = self.dram_shard(hash) {
+            if let Some(v) = shard.lock().get(hash) {
                 // A DRAM hit is still a reference to the flash copy.
-                self.index.touch(hash, fp);
-                self.metrics.hits.incr();
-                self.metrics.record_get(t - now);
-                return Ok((Some(v), t));
+                return Ok(TryGet::Hit(v));
             }
         }
-        // Serve from the active buffer without touching flash.
-        let from_buffer = match &s.active {
-            Some(buf) if buf.region == entry.region => {
-                let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
-                let end = start + entry.value_len as usize;
-                Some(Bytes::copy_from_slice(&buf.data[start..end]))
-            }
-            _ => None,
-        };
-        s.regions[entry.region.0 as usize].last_access = seq;
-        drop(s);
 
-        let value = match from_buffer {
-            Some(v) => v,
-            None => {
-                if self.config.verify_keys {
-                    // Read header + key + value; verify identity + checksum.
-                    let len = OBJECT_HEADER + entry.key_len as usize + entry.value_len as usize;
-                    let mut obj = vec![0u8; len];
-                    t = self.retry_io(t, |t| {
-                        self.backend.read(entry.region, entry.offset as usize, &mut obj, t)
-                    })?;
-                    let stored_key =
-                        &obj[OBJECT_HEADER..OBJECT_HEADER + entry.key_len as usize];
-                    let stored_crc = u32::from_le_bytes([
-                        obj[HEADER_CRC_OFFSET],
-                        obj[HEADER_CRC_OFFSET + 1],
-                        obj[HEADER_CRC_OFFSET + 2],
-                        obj[HEADER_CRC_OFFSET + 3],
-                    ]);
-                    if stored_crc != crc32(&obj[OBJECT_HEADER..]) {
-                        // Bit rot or a torn flush: the entry is poison.
-                        // Invalidate it and serve a miss — never bad bytes.
-                        if self.index.remove(hash, fp).is_some() {
-                            let mut s = self.state.lock();
-                            let meta = &mut s.regions[entry.region.0 as usize];
-                            meta.live_objects = meta.live_objects.saturating_sub(1);
-                            s.dram.remove(hash);
-                        }
-                        self.metrics.corrupt_reads.incr();
-                        self.metrics.record_get(t - now);
-                        return Ok((None, t));
-                    }
-                    if stored_key != key {
-                        // Fingerprint collision with a different key.
-                        self.index.remove(hash, fp);
-                        self.metrics.record_get(t - now);
-                        return Ok((None, t));
-                    }
-                    Bytes::copy_from_slice(&obj[OBJECT_HEADER + entry.key_len as usize..])
-                } else {
-                    // Sparse-store mode: payloads are not retained, so
-                    // neither key nor checksum can be verified.
-                    let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
-                    let mut value = vec![0u8; entry.value_len as usize];
-                    t = self.retry_io(t, |t| {
-                        self.backend.read(entry.region, start, &mut value, t)
-                    })?;
-                    Bytes::from(value)
+        // Serve from the active buffer without touching flash.
+        let active = self.active_ro.read().clone();
+        if let Some(buf) = &active {
+            if buf.region == entry.region {
+                // Re-confirm the location against the buffer we hold: the
+                // entry cannot name this buffer's region unless it was
+                // inserted for this incarnation (eviction removes a
+                // region's entries before the slot can be reused).
+                if self.index.get_at(hash, entry.region, entry.offset).is_none() {
+                    return Ok(TryGet::Stale);
+                }
+                let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
+                // SAFETY: an indexed object's bytes are committed before
+                // the entry is published.
+                let value = unsafe { buf.slice(start, entry.value_len as usize) };
+                return Ok(TryGet::Hit(Bytes::copy_from_slice(value)));
+            }
+        }
+
+        // Flash path — entirely outside any engine lock. Pin the region
+        // so eviction cannot reclaim its storage mid-read, then confirm
+        // nothing moved before trusting the location.
+        let _pin = slot.pin();
+        let gen = slot.generation.load(Ordering::Acquire);
+        if self.index.get_at(hash, entry.region, entry.offset).is_none() {
+            return Ok(TryGet::Stale);
+        }
+        if let Some(buf) = self.active_ro.read().as_ref() {
+            if buf.region == entry.region {
+                // The slot was recycled into the active buffer between the
+                // first check and the pin; retry through the buffer path.
+                return Ok(TryGet::Stale);
+            }
+        }
+        let stale = |e: Option<CacheError>| {
+            if slot.generation.load(Ordering::Acquire) != gen {
+                Ok(TryGet::Stale)
+            } else {
+                match e {
+                    Some(err) => Err(err),
+                    None => Ok(TryGet::Stale),
                 }
             }
         };
-        self.index.touch(hash, fp);
-        self.metrics.hits.incr();
-        self.metrics.record_get(t - now);
-        Ok((Some(value), t))
+        if self.config.verify_keys {
+            // Read header + key + value; verify identity + checksum.
+            let len = OBJECT_HEADER + entry.key_len as usize + entry.value_len as usize;
+            let mut obj = vec![0u8; len];
+            match self.retry_io(*t, |t| {
+                self.backend.read(entry.region, entry.offset as usize, &mut obj, t)
+            }) {
+                Ok(done) => *t = done,
+                // A read error on a region that was invalidated mid-read
+                // (e.g. a reset zone) is staleness, not device failure.
+                Err(e) => return stale(Some(e)),
+            }
+            let stored_key = &obj[OBJECT_HEADER..OBJECT_HEADER + entry.key_len as usize];
+            let stored_crc = u32::from_le_bytes([
+                obj[HEADER_CRC_OFFSET],
+                obj[HEADER_CRC_OFFSET + 1],
+                obj[HEADER_CRC_OFFSET + 2],
+                obj[HEADER_CRC_OFFSET + 3],
+            ]);
+            if stored_crc != crc32(&obj[OBJECT_HEADER..]) {
+                if slot.generation.load(Ordering::Acquire) != gen {
+                    return Ok(TryGet::Stale);
+                }
+                // Bit rot or a torn flush: the entry is poison.
+                // Invalidate it and serve a miss — never bad bytes.
+                if self.index.remove_if_at(hash, entry.region, entry.offset) {
+                    self.on_entry_invalidated(hash, entry.region);
+                }
+                self.metrics.corrupt_reads.incr();
+                return Ok(TryGet::Miss);
+            }
+            if stored_key != key {
+                if slot.generation.load(Ordering::Acquire) != gen {
+                    return Ok(TryGet::Stale);
+                }
+                // Fingerprint collision with a different key.
+                self.index.remove_if_at(hash, entry.region, entry.offset);
+                return Ok(TryGet::Miss);
+            }
+            Ok(TryGet::Hit(Bytes::copy_from_slice(
+                &obj[OBJECT_HEADER + entry.key_len as usize..],
+            )))
+        } else {
+            // Sparse-store mode: payloads are not retained, so neither key
+            // nor checksum can be verified — the generation revalidation
+            // is the only guard against serving a reclaimed location.
+            let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
+            let mut value = vec![0u8; entry.value_len as usize];
+            match self.retry_io(*t, |t| self.backend.read(entry.region, start, &mut value, t)) {
+                Ok(done) => *t = done,
+                Err(e) => return stale(Some(e)),
+            }
+            if slot.generation.load(Ordering::Acquire) != gen {
+                return Ok(TryGet::Stale);
+            }
+            Ok(TryGet::Hit(Bytes::from(value)))
+        }
     }
 
     /// Deletes a key. Returns whether it existed, and the completion time.
-    pub fn delete(&self, key: &[u8], now: Nanos) -> (bool, Nanos) {
+    ///
+    /// # Errors
+    ///
+    /// None today — deletion is pure DRAM-state invalidation (the flash
+    /// copy dies with its region). The typed `Result` is the contract for
+    /// callers so a future trim-on-delete path can surface backend
+    /// failures instead of swallowing them.
+    pub fn delete(&self, key: &[u8], now: Nanos) -> Result<(bool, Nanos), CacheError> {
+        self.observe_clock(now);
         let hash = hash_key(key);
         let fp = fingerprint(key);
         let t = now + self.config.lookup_cpu;
         let removed = self.index.remove(hash, fp);
         if let Some(entry) = &removed {
-            let mut s = self.state.lock();
-            let meta = &mut s.regions[entry.region.0 as usize];
-            meta.live_objects = meta.live_objects.saturating_sub(1);
-            s.dram.remove(hash);
+            self.on_entry_invalidated(hash, entry.region);
             self.metrics.deletes.incr();
         }
-        (removed.is_some(), t)
+        Ok((removed.is_some(), t))
     }
 
     /// Seals and flushes the active buffer even if partially full.
@@ -849,8 +1309,9 @@ impl LogCache {
     ///
     /// Backend I/O failures.
     pub fn flush(&self, now: Nanos) -> Result<Nanos, CacheError> {
-        let mut s = self.state.lock();
-        self.seal_active(&mut s, now)
+        self.observe_clock(now);
+        let mut w = self.writer.lock();
+        self.seal_active(&mut w, now)
     }
 
     /// Runs backend maintenance immediately (tests and shutdown paths).
@@ -859,8 +1320,8 @@ impl LogCache {
     ///
     /// Backend I/O failures.
     pub fn force_maintenance(&self, now: Nanos) -> Result<(), CacheError> {
-        let mut s = self.state.lock();
-        self.run_maintenance(&mut s, now)
+        let mut w = self.writer.lock();
+        self.run_maintenance(&mut w, now)
     }
 
     pub(crate) fn index(&self) -> &Index {
@@ -878,53 +1339,69 @@ impl LogCache {
 
     /// Internal: region metadata dump for recovery snapshots.
     pub(crate) fn region_dump(&self) -> Vec<RegionDumpEntry> {
-        let s = self.state.lock();
-        s.regions
+        // Hold the writer lock so no seal/eviction mutates region tables
+        // mid-dump.
+        let _w = self.writer.lock();
+        self.slots
             .iter()
             .enumerate()
-            .map(|(i, m)| {
+            .map(|(i, s)| {
+                let meta = s.meta.lock();
                 (
                     i as u32,
-                    m.entries.clone(),
-                    m.live_objects,
-                    m.last_access,
-                    m.state == RegionState::Sealed,
+                    meta.entries.clone(),
+                    s.live_objects.load(Ordering::Relaxed),
+                    s.last_access.load(Ordering::Relaxed),
+                    meta.state == RegionState::Sealed,
+                    meta.seal_seq,
                 )
             })
             .collect()
     }
 
-    /// Internal: restore region metadata from a recovery snapshot.
+    /// Internal: restore region metadata from a recovery snapshot. Sealed
+    /// regions re-enter the FIFO in their recorded seal order, so a
+    /// restarted cache evicts in exactly the pre-shutdown order.
     pub(crate) fn region_restore(&self, regions: Vec<RegionDumpEntry>) -> Result<(), CacheError> {
-        let mut s = self.state.lock();
-        if regions.len() != s.regions.len() {
+        let mut w = self.writer.lock();
+        if regions.len() != self.slots.len() {
             return Err(CacheError::BadSnapshot(format!(
                 "snapshot has {} regions, backend has {}",
                 regions.len(),
-                s.regions.len()
+                self.slots.len()
             )));
         }
-        s.free.clear();
-        s.fifo.clear();
+        w.free.clear();
+        w.fifo.clear();
         let mut max_seq = 0;
-        for (i, entries, live, last_access, sealed) in regions {
-            let meta = &mut s.regions[i as usize];
-            meta.entries = entries;
-            meta.live_objects = live;
-            meta.last_access = last_access;
+        let mut sealed: Vec<(u64, u32)> = Vec::new();
+        for (i, entries, live, last_access, is_sealed, seal_seq) in regions {
+            let slot = &self.slots[i as usize];
+            {
+                let mut meta = slot.meta.lock();
+                meta.entries = entries;
+                meta.seal_seq = seal_seq;
+                meta.state = if is_sealed {
+                    RegionState::Sealed
+                } else {
+                    RegionState::Free
+                };
+            }
+            slot.live_objects.store(live, Ordering::Relaxed);
+            slot.last_access.store(last_access, Ordering::Relaxed);
             max_seq = max_seq.max(last_access);
-            meta.state = if sealed {
-                RegionState::Sealed
+            if is_sealed {
+                sealed.push((seal_seq, i));
             } else {
-                RegionState::Free
-            };
-            if sealed {
-                s.fifo.push_back(i);
-            } else {
-                s.free.push_back(i);
+                w.free.push_back(i);
             }
         }
-        s.access_seq = max_seq;
+        sealed.sort_unstable();
+        w.next_seal_seq = sealed.last().map_or(0, |&(s, _)| s + 1);
+        for (_, i) in sealed {
+            w.fifo.push_back(i);
+        }
+        self.access_seq.store(max_seq, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -981,11 +1458,11 @@ mod tests {
     fn delete_removes() {
         let c = cache();
         let t = c.set(b"k", b"v", Nanos::ZERO).unwrap();
-        let (existed, t) = c.delete(b"k", t);
+        let (existed, t) = c.delete(b"k", t).unwrap();
         assert!(existed);
         let (v, _) = c.get(b"k", t).unwrap();
         assert!(v.is_none());
-        let (existed, _) = c.delete(b"k", t);
+        let (existed, _) = c.delete(b"k", t).unwrap();
         assert!(!existed);
     }
 
@@ -1013,6 +1490,7 @@ mod tests {
         let m = c.metrics();
         assert!(m.evicted_regions > 0, "no eviction: {m:?}");
         assert!(m.evicted_objects > 0);
+        assert!(m.inline_evictions > 0, "foreground evictions not counted");
         // Recently inserted keys must be present; the oldest must be gone.
         let last = format!("key-{:06}", total - 1);
         let (v, _) = c.get(last.as_bytes(), t).unwrap();
@@ -1197,7 +1675,72 @@ mod tests {
         assert!(c.is_empty());
         let t = c.set(b"a", b"1", Nanos::ZERO).unwrap();
         let t = c.set(b"b", b"2", t).unwrap();
-        c.delete(b"a", t);
+        c.delete(b"a", t).unwrap();
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn maintain_refills_clean_pool_to_watermark() {
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        let config = CacheConfig {
+            clean_region_watermark: 4,
+            eviction: EvictionPolicy::Fifo,
+            ..CacheConfig::small_test()
+        };
+        let c = LogCache::new(backend, config).unwrap();
+        // Seal every region: free pool empty afterwards.
+        let value = vec![1u8; 15 * 1024];
+        let mut t = Nanos::ZERO;
+        for i in 0..16u32 {
+            let key = format!("k{i:02}");
+            t = c.set(key.as_bytes(), &value, t).unwrap();
+        }
+        t = c.flush(t).unwrap();
+        assert_eq!(c.clean_regions(), 0);
+        let evicted = c.maintain(t).unwrap();
+        assert_eq!(evicted.len(), 4, "maintainer should evict to the watermark");
+        assert_eq!(c.clean_regions(), 4);
+        assert_eq!(c.metrics().maintainer_evictions, 4);
+        // FIFO: the oldest sealed regions go first, in order.
+        let ids: Vec<u32> = evicted.iter().map(|r| r.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // Already at the watermark: a second pass is a no-op.
+        assert!(c.maintain(t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn concurrent_sets_and_gets_preserve_committed_values() {
+        // A smoke-level version of tests/concurrency.rs: hammer one small
+        // cache from several threads and require every surviving read to
+        // return the exact bytes its key was last acked with.
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(256)),
+            4 * BLOCK_SIZE,
+        ));
+        let c = Arc::new(LogCache::new(backend, CacheConfig::small_test()).unwrap());
+        std::thread::scope(|s| {
+            for thread in 0..4u32 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    let mut t = Nanos::ZERO;
+                    for i in 0..200u32 {
+                        let key = format!("t{thread}-k{:02}", i % 16);
+                        let value = format!("t{thread}-v{i:04}");
+                        t = c.set(key.as_bytes(), value.as_bytes(), t).unwrap();
+                        let (got, t2) = c.get(key.as_bytes(), t).unwrap();
+                        t = t2;
+                        if let Some(got) = got {
+                            // Keys are thread-private: a hit must be the
+                            // value this thread just wrote.
+                            assert_eq!(got.as_ref(), value.as_bytes(), "{key} served wrong bytes");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.metrics().sets > 0);
     }
 }

@@ -49,6 +49,7 @@ pub mod bloom_filter;
 pub mod dram;
 pub mod engine;
 pub mod index;
+pub mod maintainer;
 pub mod metrics;
 pub mod policy;
 pub mod recovery;
@@ -57,6 +58,7 @@ pub mod types;
 
 pub use bighash::{BigHash, HybridEngine};
 pub use engine::{CacheConfig, LogCache, RetryPolicy};
+pub use maintainer::{Maintainer, MaintainerHandle};
 pub use metrics::CacheMetricsSnapshot;
 pub use policy::{Admission, EvictionPolicy};
 pub use scheme::{Scheme, SchemeCache};

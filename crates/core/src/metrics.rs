@@ -1,6 +1,11 @@
 //! Cache metrics: hit ratios, op counts, latency distributions.
+//!
+//! Every counter is a lock-free atomic ([`Counter`]) and the latency
+//! histograms record wait-free, so the foreground paths never serialize on a
+//! metrics lock. [`CacheMetrics::snapshot`] reads the counters in dependency
+//! order (numerators before denominators) so derived ratios in a snapshot
+//! taken under concurrent traffic stay within `[0, 1]`.
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim::{Counter, LatencyHistogram, Nanos};
 
@@ -51,6 +56,16 @@ pub struct CacheMetricsSnapshot {
     /// Objects rebuilt into the index by a device scan (snapshot-less
     /// recovery).
     pub scan_recovered_objects: u64,
+    /// Unlocked reads that raced an eviction/seal and had to retry or miss
+    /// (the entry's region generation changed while the I/O was in flight).
+    pub stale_reads: u64,
+    /// Regions evicted inline on the foreground write path because no clean
+    /// region was available (maintenance backpressure).
+    pub inline_evictions: u64,
+    /// Regions evicted by the background/explicitly-driven [`Maintainer`].
+    ///
+    /// [`Maintainer`]: crate::maintainer::Maintainer
+    pub maintainer_evictions: u64,
 }
 
 impl CacheMetricsSnapshot {
@@ -86,51 +101,70 @@ pub(crate) struct CacheMetrics {
     pub quarantined_regions: Counter,
     pub quarantined_bytes: Counter,
     pub scan_recovered_objects: Counter,
-    pub get_latency: Mutex<LatencyHistogram>,
-    pub set_latency: Mutex<LatencyHistogram>,
+    pub stale_reads: Counter,
+    pub inline_evictions: Counter,
+    pub maintainer_evictions: Counter,
+    pub get_latency: LatencyHistogram,
+    pub set_latency: LatencyHistogram,
 }
 
 impl CacheMetrics {
+    /// Reads all counters into a consistent-enough snapshot.
+    ///
+    /// Counters are atomics, so a snapshot under live traffic is not a
+    /// single instant — but numerators are read *before* their denominators
+    /// (`hits` before `gets`, `evicted_objects` before `evicted_regions`),
+    /// so monotone-increasing counters can never make a ratio exceed its
+    /// logical bound.
     pub(crate) fn snapshot(&self) -> CacheMetricsSnapshot {
+        // Numerators first.
+        let hits = self.hits.get();
+        let evicted_objects = self.evicted_objects.get();
+        let expired = self.expired.get();
+        let corrupt_reads = self.corrupt_reads.get();
+        let stale_reads = self.stale_reads.get();
         CacheMetricsSnapshot {
+            hits,
+            evicted_objects,
+            expired,
+            corrupt_reads,
+            stale_reads,
             gets: self.gets.get(),
-            hits: self.hits.get(),
             sets: self.sets.get(),
             rejected: self.rejected.get(),
             deletes: self.deletes.get(),
-            evicted_objects: self.evicted_objects.get(),
             evicted_regions: self.evicted_regions.get(),
             flushes: self.flushes.get(),
             bytes_flushed: self.bytes_flushed.get(),
             gc_dropped_objects: self.gc_dropped_objects.get(),
-            expired: self.expired.get(),
             reinserted_objects: self.reinserted_objects.get(),
-            corrupt_reads: self.corrupt_reads.get(),
             retries: self.retries.get(),
             retries_exhausted: self.retries_exhausted.get(),
             flush_failures: self.flush_failures.get(),
             quarantined_regions: self.quarantined_regions.get(),
             quarantined_bytes: self.quarantined_bytes.get(),
             scan_recovered_objects: self.scan_recovered_objects.get(),
+            inline_evictions: self.inline_evictions.get(),
+            maintainer_evictions: self.maintainer_evictions.get(),
         }
     }
 
     pub(crate) fn record_get(&self, latency: Nanos) {
-        self.get_latency.lock().record(latency);
+        self.get_latency.record(latency);
     }
 
     pub(crate) fn record_set(&self, latency: Nanos) {
-        self.set_latency.lock().record(latency);
+        self.set_latency.record(latency);
     }
 
     /// Clones the get-latency histogram for reporting.
     pub(crate) fn get_latency_snapshot(&self) -> LatencyHistogram {
-        self.get_latency.lock().clone()
+        self.get_latency.clone()
     }
 
     /// Clones the set-latency histogram for reporting.
     pub(crate) fn set_latency_snapshot(&self) -> LatencyHistogram {
-        self.set_latency.lock().clone()
+        self.set_latency.clone()
     }
 }
 
@@ -157,5 +191,28 @@ mod tests {
         assert_eq!((s.gets, s.hits), (3, 2));
         assert_eq!(m.get_latency_snapshot().count(), 1);
         assert_eq!(m.set_latency_snapshot().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_updates_keeps_hits_bounded() {
+        use std::sync::Arc;
+        let m = Arc::new(CacheMetrics::default());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let w = Arc::clone(&m);
+            let st = Arc::clone(&stop);
+            s.spawn(move || {
+                while !st.load(std::sync::atomic::Ordering::Relaxed) {
+                    // A hit is always recorded after its get.
+                    w.gets.add(1);
+                    w.hits.add(1);
+                }
+            });
+            for _ in 0..1_000 {
+                let snap = m.snapshot();
+                assert!(snap.hits <= snap.gets, "hits {} > gets {}", snap.hits, snap.gets);
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
     }
 }

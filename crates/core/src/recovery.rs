@@ -24,7 +24,10 @@ use crate::backend::RegionBackend;
 use crate::index::IndexEntry;
 use crate::types::{fingerprint, hash_key, CacheError, RegionId};
 
-const MAGIC: u64 = 0xCAC4_E5A7_2024_0708;
+/// Snapshot format tag. Bumped (v2) when region records gained a seal
+/// sequence number; v1 snapshots fail the magic check and recovery
+/// degrades to the device scan, by design.
+const MAGIC: u64 = 0xCAC4_E5A7_2024_0709;
 
 /// Serializes the cache's DRAM state after flushing in-flight data.
 ///
@@ -54,7 +57,7 @@ pub fn snapshot(cache: &LogCache, now: Nanos) -> Result<(Vec<u8>, Nanos), CacheE
 
     let regions = cache.region_dump();
     buf.put_u32_le(regions.len() as u32);
-    for (id, entries, live, last_access, sealed) in regions {
+    for (id, entries, live, last_access, sealed, seal_seq) in regions {
         buf.put_u32_le(id);
         buf.put_u32_le(entries.len() as u32);
         for (hash, offset) in entries {
@@ -64,6 +67,7 @@ pub fn snapshot(cache: &LogCache, now: Nanos) -> Result<(Vec<u8>, Nanos), CacheE
         buf.put_u32_le(live);
         buf.put_u64_le(last_access);
         buf.put_u8(sealed as u8);
+        buf.put_u64_le(seal_seq);
     }
     // Whole-blob checksum trailer: recovery refuses corrupt snapshots.
     let crc = crc32(&buf);
@@ -151,7 +155,7 @@ pub fn recover(
         need(buf, 8)?;
         let id = buf.get_u32_le();
         let n = buf.get_u32_le() as usize;
-        need(buf, n * 12 + 13)?;
+        need(buf, n * 12 + 21)?;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let hash = buf.get_u64_le();
@@ -161,7 +165,8 @@ pub fn recover(
         let live = buf.get_u32_le();
         let last_access = buf.get_u64_le();
         let sealed = buf.get_u8() != 0;
-        regions.push((id, entries, live, last_access, sealed));
+        let seal_seq = buf.get_u64_le();
+        regions.push((id, entries, live, last_access, sealed, seal_seq));
     }
     cache.region_restore(regions)?;
     Ok(cache)
@@ -222,6 +227,9 @@ pub fn scan_rebuild(
     let mut region_tables = Vec::with_capacity(backend.num_regions() as usize);
     let mut recovered = 0u64;
     let mut t = now;
+    // Without a snapshot the true seal order is unknown; region-id order is
+    // a deterministic stand-in for the recovered FIFO.
+    let mut next_seal_seq = 0u64;
     for r in 0..backend.num_regions() {
         let region = RegionId(r);
         let readable = backend.readable_bytes(region).min(backend.region_size());
@@ -241,7 +249,13 @@ pub fn scan_rebuild(
         recovered += entries.len() as u64;
         let live = entries.len() as u32;
         let sealed = !entries.is_empty();
-        region_tables.push((r, entries, live, 0u64, sealed));
+        let seal_seq = if sealed {
+            next_seal_seq += 1;
+            next_seal_seq - 1
+        } else {
+            0
+        };
+        region_tables.push((r, entries, live, 0u64, sealed, seal_seq));
     }
     cache.region_restore(region_tables)?;
     cache.metrics_internal().scan_recovered_objects.add(recovered);

@@ -241,7 +241,7 @@ mod tests {
                     t = t2;
                 }
                 5..=7 => t = sc.cache.set(key.as_bytes(), &value, t).unwrap(),
-                _ => t = sc.cache.delete(key.as_bytes(), t).1,
+                _ => t = sc.cache.delete(key.as_bytes(), t).unwrap().1,
             }
         }
         let m = sc.cache.metrics();

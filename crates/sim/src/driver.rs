@@ -92,7 +92,7 @@ impl ClosedLoop {
         let mut clocks = vec![Nanos::ZERO; self.workers];
         let mut alive = vec![true; self.workers];
         let mut live = self.workers;
-        let mut latency = LatencyHistogram::new();
+        let latency = LatencyHistogram::new();
         let mut ops = 0u64;
         let mut makespan = Nanos::ZERO;
 

@@ -3,8 +3,12 @@
 //! The evaluation reports P50/P99 latencies (Fig. 5c/5d of the paper), so the
 //! kernel ships a compact HDR-style histogram: buckets grow geometrically,
 //! giving ~4% relative error across nine decades of nanoseconds while using a
-//! fixed 1.5 KiB of memory. Histograms can be merged, which the closed-loop
-//! driver uses to combine per-worker recordings.
+//! fixed 5 KiB of memory. Recording is wait-free (atomic bucket increments),
+//! so one histogram can be shared by many worker threads, and histograms can
+//! be merged, which the closed-loop drivers use to combine per-worker
+//! recordings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::time::Nanos;
 
@@ -17,12 +21,18 @@ const NUM_BUCKETS: usize = DECADES * SUBBUCKETS;
 
 /// A fixed-size log-bucketed histogram of [`Nanos`] durations.
 ///
+/// Recording takes `&self` and is wait-free: every field is an atomic updated
+/// with relaxed ordering, so concurrent recorders never block each other.
+/// Readers ([`Self::percentile`], [`Self::count`], ...) observe a
+/// possibly-slightly-torn view while writers are active; quiesce recorders
+/// (or clone) before reporting if exact totals matter.
+///
 /// # Example
 ///
 /// ```
 /// use sim::{LatencyHistogram, Nanos};
 ///
-/// let mut h = LatencyHistogram::new();
+/// let h = LatencyHistogram::new();
 /// for i in 1..=100u64 {
 ///     h.record(Nanos::from_micros(i));
 /// }
@@ -30,24 +40,25 @@ const NUM_BUCKETS: usize = DECADES * SUBBUCKETS;
 /// assert!((45..=56).contains(&p50), "p50 was {p50}");
 /// assert_eq!(h.count(), 100);
 /// ```
-#[derive(Clone)]
 pub struct LatencyHistogram {
-    buckets: Box<[u64; NUM_BUCKETS]>,
-    count: u64,
-    sum: u128,
-    min: Nanos,
-    max: Nanos,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of nanoseconds. `u64` overflows only after 2^64 ns ≈ 584 years of
+    /// accumulated latency — unreachable for any run this kernel drives.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            buckets: Box::new([0; NUM_BUCKETS]),
-            count: 0,
-            sum: 0,
-            min: Nanos::MAX,
-            max: Nanos::ZERO,
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -75,83 +86,106 @@ impl LatencyHistogram {
         base + (sub + 1) * (base >> SUBBUCKETS_LOG2)
     }
 
-    /// Records one duration.
-    pub fn record(&mut self, value: Nanos) {
+    /// Records one duration. Wait-free; safe to call from many threads.
+    pub fn record(&self, value: Nanos) {
         let v = value.as_nanos();
-        self.buckets[Self::bucket_index(v)] += 1;
-        self.count += 1;
-        self.sum += v as u128;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Mean of recorded samples, zero when empty.
     pub fn mean(&self) -> Nanos {
-        if self.count == 0 {
-            Nanos::ZERO
-        } else {
-            Nanos::from_nanos((self.sum / self.count as u128) as u64)
-        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        Nanos::from_nanos(sum.checked_div(self.count()).unwrap_or(0))
     }
 
     /// Smallest recorded sample, zero when empty.
     pub fn min(&self) -> Nanos {
-        if self.count == 0 {
+        if self.count() == 0 {
             Nanos::ZERO
         } else {
-            self.min
+            Nanos::from_nanos(self.min.load(Ordering::Relaxed))
         }
     }
 
     /// Largest recorded sample.
     pub fn max(&self) -> Nanos {
-        self.max
+        Nanos::from_nanos(self.max.load(Ordering::Relaxed))
     }
 
     /// Value at or below which `p` percent of samples fall.
     ///
     /// `p` is clamped into `[0, 100]`. Returns zero for an empty histogram.
     pub fn percentile(&self, p: f64) -> Nanos {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return Nanos::ZERO;
         }
         let p = p.clamp(0.0, 100.0);
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
-        for (idx, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+        for (idx, c) in self.buckets.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
             if seen >= target {
-                return Nanos::from_nanos(Self::bucket_value(idx).min(self.max.as_nanos()));
+                return Nanos::from_nanos(Self::bucket_value(idx).min(self.max().as_nanos()));
             }
         }
-        self.max
+        self.max()
     }
 
     /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += *b;
+    ///
+    /// Wait-free against concurrent recorders on either side, but for an
+    /// exact merged total the other histogram should be quiescent.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            if v != 0 {
+                a.fetch_add(v, Ordering::Relaxed);
+            }
         }
-        self.count += other.count;
-        self.sum += other.sum;
-        if other.count > 0 {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        if other.count() > 0 {
+            self.min.fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
-    /// Clears all recorded samples.
-    pub fn reset(&mut self) {
-        self.buckets.fill(0);
-        self.count = 0;
-        self.sum = 0;
-        self.min = Nanos::MAX;
-        self.max = Nanos::ZERO;
+    /// Clears all recorded samples. Not atomic with respect to concurrent
+    /// recorders; quiesce first.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for LatencyHistogram {
+    fn clone(&self) -> Self {
+        LatencyHistogram {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| AtomicU64::new(b.load(Ordering::Relaxed)))
+                .collect(),
+            count: AtomicU64::new(self.count.load(Ordering::Relaxed)),
+            sum: AtomicU64::new(self.sum.load(Ordering::Relaxed)),
+            min: AtomicU64::new(self.min.load(Ordering::Relaxed)),
+            max: AtomicU64::new(self.max.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -164,7 +198,7 @@ impl Default for LatencyHistogram {
 impl core::fmt::Debug for LatencyHistogram {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("LatencyHistogram")
-            .field("count", &self.count)
+            .field("count", &self.count())
             .field("mean", &self.mean())
             .field("p50", &self.percentile(50.0))
             .field("p99", &self.percentile(99.0))
@@ -188,7 +222,7 @@ mod tests {
 
     #[test]
     fn single_sample_is_every_percentile() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::new();
         h.record(Nanos::from_micros(123));
         for p in [0.0, 50.0, 99.0, 100.0] {
             let v = h.percentile(p).as_micros();
@@ -198,7 +232,7 @@ mod tests {
 
     #[test]
     fn percentiles_have_bounded_relative_error() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::new();
         for i in 1..=10_000u64 {
             h.record(Nanos::from_nanos(i * 100));
         }
@@ -212,8 +246,8 @@ mod tests {
 
     #[test]
     fn merge_combines_counts_and_extremes() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
         a.record(Nanos::from_micros(1));
         b.record(Nanos::from_micros(1_000));
         a.merge(&b);
@@ -224,14 +258,14 @@ mod tests {
 
     #[test]
     fn max_is_not_exceeded_by_percentile() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::new();
         h.record(Nanos::from_nanos(1_000_003));
         assert!(h.percentile(100.0) <= h.max());
     }
 
     #[test]
     fn reset_clears_everything() {
-        let mut h = LatencyHistogram::new();
+        let h = LatencyHistogram::new();
         h.record(Nanos::from_micros(5));
         h.reset();
         assert_eq!(h.count(), 0);
@@ -246,5 +280,34 @@ mod tests {
             assert!(idx >= last);
             last = idx;
         }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(Nanos::from_nanos((t * 10_000 + i) % 50_000 + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert!(h.max().as_nanos() <= 50_000);
+        assert!(h.min().as_nanos() >= 1);
+    }
+
+    #[test]
+    fn clone_snapshots_state() {
+        let h = LatencyHistogram::new();
+        h.record(Nanos::from_micros(7));
+        let c = h.clone();
+        h.record(Nanos::from_micros(9));
+        assert_eq!(c.count(), 1);
+        assert_eq!(h.count(), 2);
     }
 }

@@ -21,7 +21,7 @@
 //! ```
 //! use sim::{Nanos, LatencyHistogram};
 //!
-//! let mut hist = LatencyHistogram::new();
+//! let hist = LatencyHistogram::new();
 //! for us in [100u64, 200, 300, 400, 50_000] {
 //!     hist.record(Nanos::from_micros(us));
 //! }

@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             Op::Set { key, value, .. } => t = cache.set(&key, &value, t)?,
-            Op::Delete { key, .. } => t = cache.delete(&key, t).1,
+            Op::Delete { key, .. } => t = cache.delete(&key, t)?.1,
         }
     }
 

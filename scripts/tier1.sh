@@ -17,4 +17,10 @@ cargo test -q
 echo "== tier1: clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== tier1: multi-thread smoke (4 workers, shared engine) =="
+# Short mixed get/set run on Zone-Cache; asserts op counts and hit/get
+# self-consistency. The full sweep (writes BENCH_throughput.json) is
+# `cargo run --release -p zns-cache-bench --bin bench_threads`.
+cargo run --release -p zns-cache-bench --bin bench_threads -- --smoke 1 --threads 4
+
 echo "== tier1: OK =="

@@ -79,7 +79,7 @@ fn cache_is_a_subset_of_a_map() {
                     }
                 }
                 CacheOp::Delete(k) => {
-                    t = cache.delete(&[k], t).1;
+                    t = cache.delete(&[k], t).unwrap().1;
                     model.insert(k, None);
                 }
             }
@@ -190,7 +190,7 @@ fn recovery_is_lossless() {
             match op {
                 CacheOp::Set(k, v) => t = cache.set(&[k], &v, t).unwrap(),
                 CacheOp::Get(k) => t = cache.get(&[k], t).unwrap().1,
-                CacheOp::Delete(k) => t = cache.delete(&[k], t).1,
+                CacheOp::Delete(k) => t = cache.delete(&[k], t).unwrap().1,
             }
         }
         // What does the original serve right before shutdown?

@@ -74,7 +74,7 @@ fn churn(sc: &SchemeCache, ops: u64, keys: u64, seed: u64) -> (u64, u64) {
                 }
             }
             Op::Set { key, value, .. } => t = sc.cache.set(&key, &value, t).expect("set"),
-            Op::Delete { key, .. } => t = sc.cache.delete(&key, t).1,
+            Op::Delete { key, .. } => t = sc.cache.delete(&key, t).expect("delete").1,
         }
     }
     (hits, misses)
@@ -147,7 +147,7 @@ fn deletes_never_resurrect() {
         let mut t = Nanos::ZERO;
         t = sc.cache.set(b"k", b"v1", t).unwrap();
         t = sc.cache.flush(t).unwrap();
-        let (deleted, t2) = sc.cache.delete(b"k", t);
+        let (deleted, t2) = sc.cache.delete(b"k", t).unwrap();
         assert!(deleted);
         t = t2;
         // Churn enough to cycle regions; "k" must stay gone.
