@@ -24,6 +24,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+// relaxed-ok(file): per-thread pacing clocks and aggregate benchmark
+// counters; approximate by design (see module doc), and no memory is
+// published through them.
+
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use sim::{LatencyHistogram, Nanos};
 use workload::Zipf;

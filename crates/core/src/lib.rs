@@ -43,6 +43,13 @@
 //! assert_eq!(hit.as_deref(), Some(&b"value"[..]));
 //! ```
 
+// The unsafe core (engine::RegionBuffer) is held to an explicit-contract
+// standard: every unsafe operation sits in its own `unsafe` block inside
+// `unsafe fn`s, and every block carries a `// SAFETY:` justification.
+// Checked by Miri (scripts/miri.sh) and by clippy respectively.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 pub mod backend;
 pub mod bighash;
 pub mod bloom_filter;
@@ -52,8 +59,10 @@ pub mod index;
 pub mod maintainer;
 pub mod metrics;
 pub mod policy;
+pub mod protocol;
 pub mod recovery;
 pub mod scheme;
+pub mod sync;
 pub mod types;
 
 pub use bighash::{BigHash, HybridEngine};

@@ -202,6 +202,7 @@ mod tests {
             let w = Arc::clone(&m);
             let st = Arc::clone(&stop);
             s.spawn(move || {
+                // relaxed-ok: test stop flag; no payload rides on it.
                 while !st.load(std::sync::atomic::Ordering::Relaxed) {
                     // A hit is always recorded after its get.
                     w.gets.add(1);
@@ -212,6 +213,7 @@ mod tests {
                 let snap = m.snapshot();
                 assert!(snap.hits <= snap.gets, "hits {} > gets {}", snap.hits, snap.gets);
             }
+            // relaxed-ok: test stop flag; no payload rides on it.
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
         });
     }

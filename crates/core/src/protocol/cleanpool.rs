@@ -1,0 +1,106 @@
+//! Clean-region pool handoff.
+//!
+//! The maintainer evicts sealed regions in the background and parks the
+//! reclaimed slots here; the write path pops one when it needs a fresh
+//! active region, and falls back to evicting inline when the pool is dry
+//! (the backpressure contract). The pool itself is plain data guarded by
+//! the writer mutex — the *protocol* is the ownership discipline:
+//!
+//! * a region id entering the pool is owned by the pool alone (the
+//!   evictor must have finished draining readers and discarding
+//!   storage before pushing);
+//! * [`pop`](CleanPool::pop) transfers ownership to exactly one caller;
+//! * a region id can never be in the pool twice — a double push means
+//!   two future writers would both treat the same slot as exclusively
+//!   theirs, which is the use-after-free of this design.
+//!
+//! The no-duplicate invariant is debug-asserted on every push, so every
+//! existing test doubles as a handoff check. The handoff interleavings
+//! (maintainer refilling vs. writers draining vs. inline eviction when
+//! dry) are model-checked in `tests/loom.rs` (`clean_pool_*`).
+
+use std::collections::VecDeque;
+
+/// FIFO pool of clean (immediately allocatable) region slots.
+#[derive(Debug, Default)]
+pub struct CleanPool {
+    free: VecDeque<u32>,
+}
+
+impl CleanPool {
+    /// An empty pool.
+    pub const fn new() -> Self {
+        CleanPool {
+            free: VecDeque::new(),
+        }
+    }
+
+    /// Hands a reclaimed region to the pool.
+    ///
+    /// Debug-asserts the ownership invariant: the region must not
+    /// already be pooled (a double-free of the slot).
+    pub fn push(&mut self, region: u32) {
+        debug_assert!(
+            !self.free.contains(&region),
+            "clean-pool invariant violated: region {region} pushed twice"
+        );
+        self.free.push_back(region);
+    }
+
+    /// Takes exclusive ownership of the oldest clean region, if any.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.free.pop_front()
+    }
+
+    /// Clean regions currently pooled.
+    pub fn len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether the pool is dry (the write path must evict inline).
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Empties the pool (recovery restore rebuilds it from a snapshot).
+    pub fn clear(&mut self) {
+        self.free.clear();
+    }
+}
+
+impl FromIterator<u32> for CleanPool {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut pool = CleanPool::new();
+        for region in iter {
+            pool.push(region);
+        }
+        pool
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_exclusive_handoff() {
+        let mut pool: CleanPool = (0..3).collect();
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.pop(), Some(0));
+        assert_eq!(pool.pop(), Some(1));
+        pool.push(0);
+        assert_eq!(pool.pop(), Some(2));
+        assert_eq!(pool.pop(), Some(0));
+        assert_eq!(pool.pop(), None);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed twice")]
+    #[cfg(debug_assertions)]
+    fn double_push_is_caught() {
+        let mut pool = CleanPool::new();
+        pool.push(7);
+        pool.push(7);
+    }
+}

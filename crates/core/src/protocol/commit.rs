@@ -1,0 +1,73 @@
+//! Committed-bytes seal quiescence.
+//!
+//! The append path is a three-phase protocol: (1) *reserve* a byte range
+//! of the active region buffer under the writer mutex, (2) *copy* the
+//! payload into the reserved range with no lock held, (3) *commit* by
+//! adding the range's length to this counter. Sealing — which flushes
+//! the whole buffer image to the device — holds the writer mutex (so no
+//! new reservation can start) and then [quiesces](CommitWindow::quiesce)
+//! until every granted reservation has committed. Without the quiesce, a
+//! region image could hit flash with a copy still in flight and serve
+//! torn objects forever after.
+//!
+//! # Ordering contract
+//!
+//! [`CommitWindow::commit`] is `Release` and [`CommitWindow::committed`]
+//! is `Acquire`: when the sealer observes `committed >= reserved`, every
+//! payload byte written before each `commit` is visible to it. The same
+//! edge publishes an object's bytes to unlocked buffer readers that
+//! found its index entry (the index insert happens after `commit`, under
+//! a shard lock that is itself a second, independent publication edge).
+//!
+//! Model-checked in `tests/loom.rs` (`commit_window_*`): the exhaustive
+//! schedule space of two committing writers and one sealer, including a
+//! negative model demonstrating that a `Relaxed` commit lets the sealer
+//! observe the count without the bytes.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::spin_loop;
+
+/// Byte-commit counter for one active region buffer.
+///
+/// Tracks how many reserved bytes have had their payload copy completed.
+/// Monotone over a buffer's lifetime; a fresh buffer starts a fresh
+/// window.
+#[derive(Debug, Default)]
+pub struct CommitWindow {
+    committed: AtomicUsize,
+}
+
+impl CommitWindow {
+    /// A window with zero committed bytes.
+    pub const fn new() -> Self {
+        CommitWindow {
+            committed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes `len` copied bytes (phase 3 of the append protocol).
+    ///
+    /// `Release`: pairs with [`committed`](Self::committed) so the bytes
+    /// written before this call are visible to whoever observes the
+    /// count — the quiescing sealer, or a buffer reader revalidating an
+    /// index entry.
+    pub fn commit(&self, len: usize) {
+        self.committed.fetch_add(len, Ordering::Release);
+    }
+
+    /// Bytes committed so far (`Acquire`, see [`commit`](Self::commit)).
+    pub fn committed(&self) -> usize {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Spins until at least `reserved` bytes are committed.
+    ///
+    /// Sound only while no new reservation can be granted — i.e. the
+    /// caller holds the writer mutex. The engine's sealer does; see
+    /// `seal_active`.
+    pub fn quiesce(&self, reserved: usize) {
+        while self.committed() < reserved {
+            spin_loop();
+        }
+    }
+}

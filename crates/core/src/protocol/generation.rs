@@ -1,0 +1,140 @@
+//! Region generation/pin revalidation.
+//!
+//! Unlocked reads and wholesale region eviction race by design. The
+//! engine keeps reads off every engine lock with two per-region words:
+//!
+//! * a **generation** counter, bumped the moment a region's contents
+//!   stop being trustworthy (eviction start, GC drop, quarantine,
+//!   re-activation), and
+//! * a **pin** count of in-flight unlocked reads, which eviction drains
+//!   to zero before the region's storage is reclaimed.
+//!
+//! Reader: `pin` → `sample` the generation → re-check the index → read
+//! from the device with no lock → `changed_since(sample)`; a changed
+//! generation means the bytes may be reclaimed garbage, so the read is
+//! discarded and retried from the index. Evictor: `invalidate` → remove
+//! index entries → `drain` pins → discard storage.
+//!
+//! # Why `SeqCst`
+//!
+//! The crossing pattern is store buffering (Dekker): the reader writes
+//! `pins` then loads `generation`; the evictor writes `generation` then
+//! loads `pins`. With only release/acquire, one execution lets *both*
+//! sides read stale values — the reader samples the old generation while
+//! the evictor reads zero pins — and the reader then trusts storage the
+//! evictor is already discarding. Independent writes followed by loads
+//! of each other's variable require a single total order, which only
+//! `SeqCst` provides. The unpin itself stays `Release`: it is a pure
+//! "my reads are done" publication, ordered before the drain's `SeqCst`
+//! (acquiring) load observes it.
+//!
+//! Model-checked in `tests/loom.rs` (`generation_*`): the exhaustive
+//! read-vs-evict race, plus a negative model showing the acquire/release
+//! variant reaches the both-stale execution.
+
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use crate::sync::spin_loop;
+
+/// Monotone invalidation counter for one region slot.
+#[derive(Debug, Default)]
+pub struct Generation {
+    gen: AtomicU64,
+}
+
+impl Generation {
+    /// A fresh generation (zero).
+    pub const fn new() -> Self {
+        Generation {
+            gen: AtomicU64::new(0),
+        }
+    }
+
+    /// Samples the current generation before an unlocked read.
+    ///
+    /// `SeqCst`: must be totally ordered against a concurrent
+    /// [`invalidate`](Self::invalidate) (see the module docs' store-
+    /// buffering argument).
+    pub fn sample(&self) -> u64 {
+        self.gen.load(Ordering::SeqCst)
+    }
+
+    /// Marks the region's contents untrustworthy (eviction, GC drop,
+    /// quarantine, re-activation). Returns the *previous* generation.
+    ///
+    /// `SeqCst` read-modify-write: the bump must be visible to any
+    /// reader whose pin the evictor's subsequent [`Pins::drain`] could
+    /// miss.
+    pub fn invalidate(&self) -> u64 {
+        self.gen.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Whether the region was invalidated after `sampled` was taken —
+    /// i.e. whether an unlocked read that started then must be
+    /// discarded.
+    pub fn changed_since(&self, sampled: u64) -> bool {
+        self.gen.load(Ordering::SeqCst) != sampled
+    }
+}
+
+/// In-flight unlocked-read count for one region slot.
+#[derive(Debug, Default)]
+pub struct Pins {
+    readers: AtomicU32,
+}
+
+impl Pins {
+    /// No pinned readers.
+    pub const fn new() -> Self {
+        Pins {
+            readers: AtomicU32::new(0),
+        }
+    }
+
+    /// Pins the region for an unlocked read. The pin is dropped (RAII)
+    /// when the returned guard goes out of scope, so early returns and
+    /// `?` cannot leak a reader count and wedge eviction.
+    ///
+    /// `SeqCst` read-modify-write: the reader's pin must be totally
+    /// ordered against the evictor's [`Generation::invalidate`] (store
+    /// buffering, see the module docs).
+    pub fn pin(&self) -> PinGuard<'_> {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        PinGuard(&self.readers)
+    }
+
+    /// Spins until no reader is pinned. Called by the evictor *after*
+    /// [`Generation::invalidate`]; on return, every read that pinned
+    /// before the invalidation has finished, and every later read will
+    /// observe the new generation and discard itself — so the storage
+    /// can be reclaimed.
+    ///
+    /// `SeqCst` load: the total order with `pin` closes the store-
+    /// buffering race; its acquire half orders the subsequent discard
+    /// after the drained readers' device reads (paired with the
+    /// `Release` unpin).
+    pub fn drain(&self) {
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            spin_loop();
+        }
+    }
+
+    /// Current pin count (tests/diagnostics only — any nonzero answer is
+    /// stale the moment it returns).
+    pub fn count(&self) -> u32 {
+        self.readers.load(Ordering::SeqCst)
+    }
+}
+
+/// RAII pin released on drop.
+///
+/// The unpin is `Release`: everything the reader did while pinned (the
+/// device read of the pinned region) is ordered before an evictor's
+/// drain observing the count reach zero.
+#[derive(Debug)]
+pub struct PinGuard<'a>(&'a AtomicU32);
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,30 @@
+//! The engine's lock-free protocols, extracted into minimal, separately
+//! model-checkable pieces.
+//!
+//! [`crate::engine`] composes four protocols that run outside (or only
+//! partially inside) the writer mutex. Each lives here as a small type
+//! whose entire synchronization surface goes through [`crate::sync`], so
+//! the loom suite (`tests/loom.rs`, built with `RUSTFLAGS="--cfg loom"`)
+//! can explore every schedule of the *same code* the engine runs:
+//!
+//! | Protocol | Type | Engine use |
+//! |----------|------|-----------|
+//! | committed-bytes seal quiescence | [`CommitWindow`] | a seal must not flush a region image while a reservation's payload copy is still in flight |
+//! | generation/pin revalidation | [`Generation`] + [`Pins`] | an unlocked read must never trust storage an eviction reclaimed |
+//! | clean-pool handoff | [`CleanPool`] | a region evicted by the maintainer is handed to exactly one future writer |
+//!
+//! The fourth protocol — append-window reservation — is the part that
+//! *stays inside* the writer mutex by design: reservations are granted
+//! only under the lock, which is what makes the other three sound. The
+//! loom suite models it together with [`CommitWindow`] (reserve under a
+//! mutex, copy and commit outside it).
+//!
+//! See `DESIGN.md` §9 for what is verified where.
+
+pub mod cleanpool;
+pub mod commit;
+pub mod generation;
+
+pub use cleanpool::CleanPool;
+pub use commit::CommitWindow;
+pub use generation::{Generation, PinGuard, Pins};

@@ -1,0 +1,41 @@
+//! Synchronization facade: std/`parking_lot` in production builds, the
+//! `loom` model checker under `RUSTFLAGS="--cfg loom"`.
+//!
+//! Everything in [`crate::protocol`] (the engine's extracted lock-free
+//! protocols) imports its primitives from here and from nowhere else, so
+//! the exact code that runs in production is the code the loom suite
+//! (`tests/loom.rs`) model-checks exhaustively. The engine itself also
+//! routes through this facade; it is only ever *executed* in the
+//! production configuration (loom primitives panic outside
+//! `loom::model`), but compiling it under both cfgs keeps the facade
+//! honest.
+//!
+//! `cfg(loom)` is a compile-time switch, not a feature: the loom build
+//! never ships, and the production build contains zero model-checking
+//! overhead — the facade re-exports resolve to the real types.
+
+#[cfg(loom)]
+pub use loom_facade::*;
+#[cfg(not(loom))]
+pub use std_facade::*;
+
+#[cfg(not(loom))]
+mod std_facade {
+    pub use parking_lot::{Mutex, RwLock};
+    pub use std::hint::spin_loop;
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(loom)]
+mod loom_facade {
+    pub use loom::hint::spin_loop;
+    pub use loom::sync::{Arc, Mutex, RwLock};
+
+    pub mod atomic {
+        pub use loom::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}

@@ -10,6 +10,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+// relaxed-ok(file): wait-free statistics buckets; counts are merged and
+// reported with no ordering dependence on any other memory.
+
 use crate::time::Nanos;
 
 /// Sub-buckets per power of two; 16 gives <= 1/16 ≈ 6% relative error.

@@ -32,7 +32,7 @@ impl Counter {
     /// Adds `n` to the counter.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.fetch_add(n, Ordering::Relaxed); // relaxed-ok: statistics counter
     }
 
     /// Adds one to the counter.
@@ -44,12 +44,12 @@ impl Counter {
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // relaxed-ok: statistics counter
     }
 
     /// Resets the counter to zero, returning the previous value.
     pub fn take(&self) -> u64 {
-        self.0.swap(0, Ordering::Relaxed)
+        self.0.swap(0, Ordering::Relaxed) // relaxed-ok: statistics counter
     }
 }
 

@@ -1,0 +1,386 @@
+//! Concurrency-discipline lint rules (see DESIGN.md §9).
+//!
+//! Each rule is a pure function over `(relative path, file text)` so it
+//! can be unit-tested against seeded violations below. The rules:
+//!
+//! * `relaxed-needs-justification` — every `Ordering::Relaxed` in crate
+//!   sources carries a `// relaxed-ok: …` comment on the same line or
+//!   within the four preceding lines, or the file declares a blanket
+//!   `relaxed-ok(file): …` waiver (pure-statistics modules).
+//! * `core-protocol-orderings` — `crates/core/src/protocol/` must not
+//!   use `Ordering::Relaxed` at all, annotated or not: those orderings
+//!   are the ones the loom suite model-checks, and every one is
+//!   load-bearing.
+//! * `zns-state-authority` — no `.state =` assignment anywhere under
+//!   `crates/zns/src/` except `state_machine.rs`; zone state changes go
+//!   through `state_machine::step`, the single transition authority.
+//! * `lock-across-io` — in `crates/core/src/engine.rs`, the read-side
+//!   entry points (`get`, `try_get`, `delete`) never take the writer
+//!   lock, and no statement creates a lock/read guard in the same
+//!   expression that calls into `self.backend` (device I/O must happen
+//!   with all shard locks released).
+//! * `no-panic-paths` — `engine.rs` code above its `#[cfg(test)]` module
+//!   contains no `unwrap`/`expect`/`unreachable!`/`panic!` reachable
+//!   from the public API; failures surface as typed `CacheError`s.
+
+use std::fmt;
+
+/// One rule hit at one source line.
+#[derive(Debug)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// Runs every rule against one file. `path` is workspace-relative with
+/// forward slashes (e.g. `crates/core/src/engine.rs`).
+pub fn check_file(path: &str, text: &str, out: &mut Vec<Violation>) {
+    relaxed_needs_justification(path, text, out);
+    core_protocol_orderings(path, text, out);
+    zns_state_authority(path, text, out);
+    lock_across_io(path, text, out);
+    no_panic_paths(path, text, out);
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    rule: &'static str,
+    path: &str,
+    line: usize,
+    msg: impl Into<String>,
+) {
+    out.push(Violation { rule, file: path.to_string(), line, msg: msg.into() });
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: relaxed-needs-justification
+// ---------------------------------------------------------------------
+
+/// How many lines above an `Ordering::Relaxed` use the justifying
+/// comment may sit (multi-line calls put the annotation above the
+/// statement).
+const RELAXED_LOOKBACK: usize = 4;
+
+fn relaxed_needs_justification(path: &str, text: &str, out: &mut Vec<Violation>) {
+    // Crate sources only: test directories may deliberately use Relaxed
+    // to demonstrate bugs (the loom negative twins do).
+    if !path.contains("/src/") {
+        return;
+    }
+    if text.contains("relaxed-ok(file):") {
+        return;
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if !line.contains("Ordering::Relaxed") {
+            continue;
+        }
+        let justified = line.contains("relaxed-ok:")
+            || (1..=RELAXED_LOOKBACK).any(|back| {
+                i.checked_sub(back)
+                    .and_then(|j| lines.get(j))
+                    .is_some_and(|prev| prev.contains("relaxed-ok:"))
+            });
+        if !justified {
+            push(
+                out,
+                "relaxed-needs-justification",
+                path,
+                i + 1,
+                "Ordering::Relaxed without a `// relaxed-ok:` justification \
+                 on this line or the preceding comment",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: core-protocol-orderings
+// ---------------------------------------------------------------------
+
+fn core_protocol_orderings(path: &str, text: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/core/src/protocol") {
+        return;
+    }
+    for (i, line) in text.lines().enumerate() {
+        if line.contains("Ordering::Relaxed") {
+            push(
+                out,
+                "core-protocol-orderings",
+                path,
+                i + 1,
+                "protocol modules are model-checked with these exact \
+                 orderings; Relaxed is forbidden here even with a \
+                 relaxed-ok comment",
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: zns-state-authority
+// ---------------------------------------------------------------------
+
+fn zns_state_authority(path: &str, text: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/zns/src/") || path.ends_with("state_machine.rs") {
+        return;
+    }
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        for (pos, _) in line.match_indices(".state") {
+            let rest = line[pos + ".state".len()..].trim_start();
+            // An assignment, not a comparison (`==`) or match arm (`=>`).
+            if rest.starts_with('=') && !rest.starts_with("==") && !rest.starts_with("=>") {
+                push(
+                    out,
+                    "zns-state-authority",
+                    path,
+                    i + 1,
+                    "zone state assigned outside state_machine.rs; \
+                     route the transition through state_machine::step",
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: lock-across-io
+// ---------------------------------------------------------------------
+
+/// Engine entry points that must stay off the writer mutex: the whole
+/// point of the sharded read path is that gets and deletes never contend
+/// with the append path.
+const READ_PATH_FNS: &[&str] = &["get", "try_get", "delete"];
+
+fn lock_across_io(path: &str, text: &str, out: &mut Vec<Violation>) {
+    if path != "crates/core/src/engine.rs" {
+        return;
+    }
+    for name in READ_PATH_FNS {
+        for (start_line, body) in fn_bodies(text, name) {
+            for (off, line) in body.lines().enumerate() {
+                if line.contains("writer.lock()") {
+                    push(
+                        out,
+                        "lock-across-io",
+                        path,
+                        start_line + off,
+                        format!("read-path entry `{name}` takes the writer lock"),
+                    );
+                }
+            }
+        }
+    }
+    // A guard created in the same statement as a backend call is held
+    // across the device I/O. (Guards the engine *means* to hold are
+    // bound with `let` on their own line and dropped before I/O.)
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("//") || !line.contains("self.backend.") {
+            continue;
+        }
+        if line.contains(".lock()") || line.contains("active_ro.read()") {
+            push(
+                out,
+                "lock-across-io",
+                path,
+                i + 1,
+                "lock/read guard acquired in the same statement as device \
+                 I/O; release all shard locks before calling the backend",
+            );
+        }
+    }
+}
+
+/// Finds every `fn <name>(` in `text` and returns `(line of the opening
+/// brace, body text including braces)` for each. Brace matching is
+/// textual — good enough for this codebase, and the unit tests plus the
+/// clean-workspace test in `main.rs` keep it honest.
+fn fn_bodies<'a>(text: &'a str, name: &str) -> Vec<(usize, &'a str)> {
+    let needle = format!("fn {name}(");
+    let mut found = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = text[search..].find(&needle) {
+        let sig = search + pos;
+        let Some(brace_rel) = text[sig..].find('{') else {
+            break;
+        };
+        let open = sig + brace_rel;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (i, c) in text[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        found.push((text[..open].lines().count(), &text[open..=end]));
+        search = end;
+    }
+    found
+}
+
+// ---------------------------------------------------------------------
+// Rule 5: no-panic-paths
+// ---------------------------------------------------------------------
+
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "unreachable!", "panic!(", "todo!(", "unimplemented!("];
+
+fn no_panic_paths(path: &str, text: &str, out: &mut Vec<Violation>) {
+    if path != "crates/core/src/engine.rs" {
+        return;
+    }
+    for (i, line) in text.lines().enumerate() {
+        // The in-file test module may unwrap freely.
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            if line.contains(token) {
+                push(
+                    out,
+                    "no-panic-paths",
+                    path,
+                    i + 1,
+                    format!(
+                        "`{token}` reachable from the public engine API; \
+                         surface the failure as a CacheError instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded-violation tests: each rule must demonstrably fire.
+// ---------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, text: &str) -> Vec<Violation> {
+        let mut v = Vec::new();
+        check_file(path, text, &mut v);
+        v
+    }
+
+    #[test]
+    fn unjustified_relaxed_is_flagged() {
+        let src = "fn f(a: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n}\n";
+        let v = run("crates/sim/src/thing.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "relaxed-needs-justification");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn same_line_and_preceding_comment_justifications_pass() {
+        let same = "a.load(Ordering::Relaxed); // relaxed-ok: statistic\n";
+        assert!(run("crates/sim/src/thing.rs", same).is_empty());
+        let above = "// relaxed-ok: monotone counter, no payload published.\n\
+                     let _ = a.fetch_update(\n    Ordering::Relaxed,\n    Ordering::Relaxed,\n    |v| Some(v + 1));\n";
+        assert!(run("crates/sim/src/thing.rs", above).is_empty());
+    }
+
+    #[test]
+    fn relaxed_lookback_window_is_bounded() {
+        // An annotation five lines above no longer covers the use.
+        let src = "// relaxed-ok: too far away\n\n\n\n\n a.load(Ordering::Relaxed);\n";
+        let v = run("crates/sim/src/thing.rs", src);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn file_waiver_and_test_dirs_are_exempt() {
+        let src = "// relaxed-ok(file): pure statistics counters.\n\
+                   a.load(Ordering::Relaxed);\nb.load(Ordering::Relaxed);\n";
+        assert!(run("crates/sim/src/histogram.rs", src).is_empty());
+        // tests/ trees may use Relaxed to *demonstrate* races.
+        let twin = "a.load(Ordering::Relaxed);\n";
+        assert!(run("crates/core/tests/loom.rs", twin).is_empty());
+    }
+
+    #[test]
+    fn protocol_modules_reject_relaxed_even_when_annotated() {
+        let src = "self.committed.load(Ordering::Relaxed) // relaxed-ok: no\n";
+        let v = run("crates/core/src/protocol/commit.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "core-protocol-orderings");
+    }
+
+    #[test]
+    fn zone_state_assignment_outside_the_machine_is_flagged() {
+        let src = "fn close(meta: &mut ZoneMeta) {\n    meta.state = ZoneState::Closed;\n}\n";
+        let v = run("crates/zns/src/device.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "zns-state-authority");
+        assert_eq!(v[0].line, 2);
+        // The authority itself may assign.
+        assert!(run("crates/zns/src/state_machine.rs", src).is_empty());
+        // Comparisons and match arms are not assignments.
+        let cmp = "if meta.state == ZoneState::Full {}\nmatch m { S { .state => 1 } }\n";
+        assert!(run("crates/zns/src/device.rs", cmp).is_empty());
+    }
+
+    #[test]
+    fn read_path_taking_the_writer_lock_is_flagged() {
+        let src = "impl Engine {\n    pub fn try_get(&self) {\n        let w = self.writer.lock();\n    }\n    pub fn set(&self) {\n        let w = self.writer.lock();\n    }\n}\n";
+        let v = run("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 1, "set may lock the writer, try_get may not: {v:?}");
+        assert_eq!(v[0].rule, "lock-across-io");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn guard_held_across_backend_io_is_flagged() {
+        let src = "let loc = self.slots[i].meta.lock().location;\n\
+                   self.backend.read_at(self.slots[i].meta.lock().location)?;\n";
+        let v = run("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-across-io");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn panic_tokens_above_the_test_module_are_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn g(y: Option<u32>) { y.unwrap(); }\n}\n";
+        // `.unwrap()` appears twice but only the pre-test one fires.
+        let v: Vec<_> =
+            run("crates/core/src/engine.rs", src).into_iter().filter(|v| v.rule == "no-panic-paths").collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn fn_bodies_matches_braces_and_reports_lines() {
+        let src = "struct S;\nimpl S {\n    fn get(&self) {\n        if true { let _ = 1; }\n    }\n    fn get_at(&self) {}\n}\n";
+        let bodies = fn_bodies(src, "get");
+        assert_eq!(bodies.len(), 1, "`fn get_at(` must not match `fn get(`");
+        assert_eq!(bodies[0].0, 3);
+        assert!(bodies[0].1.contains("let _ = 1"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Workspace task runner (`cargo xtask <task>`).
+//!
+//! The only task today is `lint`: the concurrency-discipline static pass
+//! described in DESIGN.md §9. It enforces rules the type system cannot
+//! express — memory-ordering justification, the zone state-machine
+//! authority, and the engine's no-I/O-under-lock discipline — with plain
+//! text analysis over the workspace tree. No dependencies and no compiler
+//! plumbing, so it runs in CI and pre-commit in milliseconds.
+//!
+//! The rules themselves live in [`lint`]; each is unit-tested against
+//! seeded violations so a rule that silently stops firing fails the test
+//! suite.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod lint;
+
+const USAGE: &str = "usage: cargo xtask lint";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let (violations, files) = lint_workspace();
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        println!("xtask lint: OK ({files} files)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Lints every workspace source file; returns the violations and the
+/// number of files checked.
+fn lint_workspace() -> (Vec<lint::Violation>, usize) {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        // The linter's own sources hold seeded-violation test fixtures
+        // (raw `Ordering::Relaxed` strings and the like); linting them
+        // would flag the fixtures.
+        if rel.starts_with("crates/xtask/") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        checked += 1;
+        lint::check_file(&rel, &text, &mut violations);
+    }
+    (violations, checked)
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workspace itself must be lint-clean — this makes `cargo test`
+    /// enforce the same discipline CI does via `cargo xtask lint`.
+    #[test]
+    fn workspace_sources_pass_the_lint() {
+        let (violations, files) = lint_workspace();
+        assert!(
+            files > 30,
+            "walker found only {files} files; workspace root misdetected?"
+        );
+        assert!(
+            violations.is_empty(),
+            "workspace lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

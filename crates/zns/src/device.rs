@@ -12,6 +12,7 @@ use sim::{Counter, Nanos, BLOCK_SIZE};
 
 use crate::error::ZnsError;
 use crate::mapping::ZoneLayout;
+use crate::state_machine::{self, ZoneOp};
 use crate::zone::{ZoneId, ZoneInfo, ZoneState};
 
 /// Configuration for a [`ZnsDevice`].
@@ -308,29 +309,35 @@ impl ZnsDevice {
 
     /// Acquires open/active resources so `zone` can accept writes.
     ///
-    /// Holding the device lock, transitions the zone to `target` (implicit
-    /// or explicit open), auto-closing the oldest implicitly-open zone when
-    /// open resources are exhausted — the behaviour NVMe mandates for
-    /// implicit opens.
+    /// Holding the device lock, applies an *opening* op (`Write` or
+    /// `Open`) through the [`crate::state_machine`] authority,
+    /// auto-closing the oldest implicitly-open zone when open resources
+    /// are exhausted — the behaviour NVMe mandates for implicit opens.
     fn acquire_open(
         state: &mut DevState,
         zone: ZoneId,
-        target: ZoneState,
+        op: ZoneOp,
         max_open: u32,
         max_active: u32,
     ) -> Result<(), ZnsError> {
-        let cur = state.zones[zone.0 as usize].state;
-        debug_assert!(target.is_open());
+        let meta = state.zones[zone.0 as usize];
+        let cur = meta.state;
+        let wp_zero = meta.wp == 0;
+        // Plan the transition first: an illegal pair is a typed error
+        // before any resource accounting is touched.
+        let target = state_machine::transition(cur, op, wp_zero).map_err(|e| e.into_zns(zone))?;
+        debug_assert!(target.is_open(), "acquire_open only serves opening ops");
         if cur == target {
             return Ok(());
         }
         if cur.is_open() {
-            // Implicit → explicit (or vice versa) keeps the same resources.
+            // Implicit → explicit keeps the same resources.
             if cur == ZoneState::ImplicitOpen {
                 state.implicit_lru.retain(|&z| z != zone.0);
             }
-            state.zones[zone.0 as usize].state = target;
-            if target == ZoneState::ImplicitOpen {
+            let next = state_machine::step(&mut state.zones[zone.0 as usize].state, op, wp_zero)
+                .map_err(|e| e.into_zns(zone))?;
+            if next == ZoneState::ImplicitOpen {
                 state.implicit_lru.push_back(zone.0);
             }
             return Ok(());
@@ -345,12 +352,12 @@ impl ZnsDevice {
                 Some(victim) => {
                     let vm = &mut state.zones[victim as usize];
                     debug_assert_eq!(vm.state, ZoneState::ImplicitOpen);
-                    vm.state = if vm.wp == 0 {
+                    let vm_wp_zero = vm.wp == 0;
+                    let closed = state_machine::step(&mut vm.state, ZoneOp::Close, vm_wp_zero)
+                        .map_err(|e| e.into_zns(ZoneId(victim)))?;
+                    if closed == ZoneState::Empty {
                         state.active_count -= 1;
-                        ZoneState::Empty
-                    } else {
-                        ZoneState::Closed
-                    };
+                    }
                     state.open_count -= 1;
                 }
                 None => {
@@ -363,27 +370,81 @@ impl ZnsDevice {
             state.active_count += 1;
         }
         state.open_count += 1;
-        state.zones[zone.0 as usize].state = target;
-        if target == ZoneState::ImplicitOpen {
+        let next = state_machine::step(&mut state.zones[zone.0 as usize].state, op, wp_zero)
+            .map_err(|e| e.into_zns(zone))?;
+        if next == ZoneState::ImplicitOpen {
             state.implicit_lru.push_back(zone.0);
         }
         Ok(())
     }
 
-    fn release_zone(state: &mut DevState, zone: ZoneId, to: ZoneState) {
-        let meta = &mut state.zones[zone.0 as usize];
-        if meta.state.is_open() {
+    /// Applies a resource-releasing op (`Close`, `Finish`, `Reset`, or a
+    /// zone-filling `Write`) through the state-machine authority and
+    /// updates the open/active accounting. Returns the new state.
+    fn release_zone(state: &mut DevState, zone: ZoneId, op: ZoneOp) -> Result<ZoneState, ZnsError> {
+        let was = state.zones[zone.0 as usize].state;
+        let wp_zero = state.zones[zone.0 as usize].wp == 0;
+        let to = state_machine::step(&mut state.zones[zone.0 as usize].state, op, wp_zero)
+            .map_err(|e| e.into_zns(zone))?;
+        if was.is_open() {
             state.open_count -= 1;
-            if meta.state == ZoneState::ImplicitOpen {
+            if was == ZoneState::ImplicitOpen {
                 state.implicit_lru.retain(|&z| z != zone.0);
             }
         }
-        let was_active = meta.state.is_active();
-        meta.state = to;
-        if was_active && !to.is_active() {
+        if was.is_active() && !to.is_active() {
             state.active_count -= 1;
-        } else if !was_active && to.is_active() {
+        } else if !was.is_active() && to.is_active() {
             state.active_count += 1;
+        }
+        Ok(to)
+    }
+
+    /// Debug-build invariant sweep over the whole device state:
+    ///
+    /// * `open_count` / `active_count` match a recount of zone states and
+    ///   respect the configured limits;
+    /// * every write pointer is within zone capacity, and `Empty` zones
+    ///   sit exactly at zero (write-pointer monotonicity is asserted at
+    ///   the write site, where the previous pointer is in hand);
+    /// * the implicit-open LRU contains exactly the implicitly-open
+    ///   zones, each once.
+    ///
+    /// Called after every state-mutating command; compiled out of
+    /// release builds.
+    #[cfg(debug_assertions)]
+    fn debug_validate(&self, state: &DevState) {
+        let open = state.zones.iter().filter(|z| z.state.is_open()).count() as u32;
+        let active = state.zones.iter().filter(|z| z.state.is_active()).count() as u32;
+        debug_assert_eq!(open, state.open_count, "open_count out of sync with zone states");
+        debug_assert_eq!(active, state.active_count, "active_count out of sync with zone states");
+        debug_assert!(open <= self.max_open, "open-zone limit violated: {open} > {}", self.max_open);
+        debug_assert!(
+            active <= self.max_active,
+            "active-zone limit violated: {active} > {}",
+            self.max_active
+        );
+        for (i, z) in state.zones.iter().enumerate() {
+            debug_assert!(
+                z.wp <= self.cap_blocks,
+                "zone {i}: write pointer {} beyond capacity {}",
+                z.wp,
+                self.cap_blocks
+            );
+            if z.state == ZoneState::Empty {
+                debug_assert_eq!(z.wp, 0, "zone {i}: Empty with an advanced write pointer");
+            }
+        }
+        let mut lru: Vec<u32> = state.implicit_lru.iter().copied().collect();
+        lru.sort_unstable();
+        lru.dedup();
+        debug_assert_eq!(lru.len(), state.implicit_lru.len(), "implicit LRU holds duplicates");
+        for &z in &state.implicit_lru {
+            debug_assert_eq!(
+                state.zones[z as usize].state,
+                ZoneState::ImplicitOpen,
+                "implicit LRU holds zone {z} which is not implicitly open"
+            );
         }
     }
 
@@ -467,17 +528,26 @@ impl ZnsDevice {
             Self::acquire_open(
                 &mut state,
                 zone,
-                ZoneState::ImplicitOpen,
+                ZoneOp::Write { fills: false },
                 self.max_open,
                 self.max_active,
             )?;
             start_offset = meta.wp;
             state.zones[zone.0 as usize].wp += persist_blocks;
-            if state.zones[zone.0 as usize].wp == self.cap_blocks {
-                Self::release_zone(&mut state, zone, ZoneState::Full);
-                // Full zones stay active? No: NVMe full zones hold no
-                // active resources.
+            let new_wp = state.zones[zone.0 as usize].wp;
+            // Write-pointer monotonicity: a write may only advance the
+            // pointer, and never past the zone capacity.
+            debug_assert!(
+                new_wp >= start_offset && new_wp <= self.cap_blocks,
+                "{zone}: write pointer moved {start_offset} -> {new_wp} (cap {})",
+                self.cap_blocks
+            );
+            if new_wp == self.cap_blocks {
+                // NVMe full zones hold no open/active resources.
+                Self::release_zone(&mut state, zone, ZoneOp::Write { fills: true })?;
             }
+            #[cfg(debug_assertions)]
+            self.debug_validate(&state);
         }
 
         let mut corrupted;
@@ -595,10 +665,12 @@ impl ZnsDevice {
         }
         {
             let mut state = self.state.lock();
-            Self::release_zone(&mut state, zone, ZoneState::Empty);
+            Self::release_zone(&mut state, zone, ZoneOp::Reset)?;
             let meta = &mut state.zones[zone.0 as usize];
             meta.wp = 0;
             meta.reset_count += 1;
+            #[cfg(debug_assertions)]
+            self.debug_validate(&state);
         }
         let mut done = now;
         for block in self.layout.blocks_of(zone) {
@@ -624,15 +696,11 @@ impl ZnsDevice {
             return Err(ZnsError::Injected(format!("zone finish fault at {zone}")));
         }
         let mut state = self.state.lock();
-        let meta = state.zones[zone.0 as usize];
-        if meta.state == ZoneState::Full {
-            return Err(ZnsError::InvalidState {
-                zone,
-                state: meta.state,
-                op: "finish",
-            });
-        }
-        Self::release_zone(&mut state, zone, ZoneState::Full);
+        // The state machine rejects finishing a Full zone with the same
+        // typed error the manual check used to produce.
+        Self::release_zone(&mut state, zone, ZoneOp::Finish)?;
+        #[cfg(debug_assertions)]
+        self.debug_validate(&state);
         drop(state);
         self.zone_finishes.incr();
         Ok(now)
@@ -647,21 +715,12 @@ impl ZnsDevice {
     pub fn open(&self, zone: ZoneId, _now: Nanos) -> Result<(), ZnsError> {
         self.check_zone(zone)?;
         let mut state = self.state.lock();
-        let cur = state.zones[zone.0 as usize].state;
-        if cur == ZoneState::Full {
-            return Err(ZnsError::InvalidState {
-                zone,
-                state: cur,
-                op: "open",
-            });
-        }
-        Self::acquire_open(
-            &mut state,
-            zone,
-            ZoneState::ExplicitOpen,
-            self.max_open,
-            self.max_active,
-        )
+        // The state machine rejects opening a Full zone with the same
+        // typed error the manual check used to produce.
+        Self::acquire_open(&mut state, zone, ZoneOp::Open, self.max_open, self.max_active)?;
+        #[cfg(debug_assertions)]
+        self.debug_validate(&state);
+        Ok(())
     }
 
     /// Closes an open zone, releasing its open (but not active) resources.
@@ -674,20 +733,11 @@ impl ZnsDevice {
     pub fn close(&self, zone: ZoneId, _now: Nanos) -> Result<(), ZnsError> {
         self.check_zone(zone)?;
         let mut state = self.state.lock();
-        let meta = state.zones[zone.0 as usize];
-        if !meta.state.is_open() {
-            return Err(ZnsError::InvalidState {
-                zone,
-                state: meta.state,
-                op: "close",
-            });
-        }
-        let to = if meta.wp == 0 {
-            ZoneState::Empty
-        } else {
-            ZoneState::Closed
-        };
-        Self::release_zone(&mut state, zone, to);
+        // Close is only legal from an open state, and lands in Empty or
+        // Closed depending on the pointer — all encoded in the machine.
+        Self::release_zone(&mut state, zone, ZoneOp::Close)?;
+        #[cfg(debug_assertions)]
+        self.debug_validate(&state);
         Ok(())
     }
 }

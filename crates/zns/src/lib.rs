@@ -34,9 +34,11 @@
 pub mod device;
 pub mod error;
 pub mod mapping;
+pub mod state_machine;
 pub mod zone;
 
 pub use device::{ZnsConfig, ZnsDevice, ZnsStatsSnapshot};
 pub use error::ZnsError;
+pub use state_machine::{IllegalTransition, ZoneOp};
 pub use mapping::ZoneLayout;
 pub use zone::{ZoneId, ZoneInfo, ZoneState};

@@ -1,0 +1,183 @@
+//! The zone state machine: the single transition authority.
+//!
+//! NVMe ZNS zones move through a small, fully enumerable state machine
+//! (Empty → ImplicitOpen/ExplicitOpen → Closed/Full → Empty). The device
+//! emulator used to scatter `meta.state = …` assignments across its
+//! command handlers; this module centralizes them so that
+//!
+//! * every transition is decided by one pure, exhaustively testable
+//!   function ([`transition`]),
+//! * every *applied* transition goes through [`step`], the only code in
+//!   the crate allowed to assign a zone's state field (`cargo xtask
+//!   lint` rule `zns-state-authority` rejects `.state =` assignments
+//!   anywhere else under `crates/zns/src`), and
+//! * illegal (state, op) pairs surface as a typed
+//!   [`IllegalTransition`] — never a panic, and never a silent
+//!   pointer/state mismatch.
+//!
+//! Resource limits (max open / max active zones) are deliberately *not*
+//! judged here: they depend on device-wide counts, and the spec treats
+//! them as a separate failure (`TooManyActiveZones`) from transition
+//! legality. The device checks them between planning a transition
+//! ([`transition`]) and committing it ([`step`]).
+//!
+//! The full (state × op) table is pinned by
+//! `crates/zns/tests/state_machine.rs`.
+
+use crate::zone::{ZoneId, ZoneState};
+use crate::ZnsError;
+use core::fmt;
+
+/// A zone-level command, as seen by the state machine.
+///
+/// `Write` covers both regular writes and zone appends (identical state
+/// semantics); `fills` says whether this write advances the pointer to
+/// the zone capacity, which moves the zone to `Full` instead of leaving
+/// it open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ZoneOp {
+    /// Write or append at the write pointer.
+    Write {
+        /// The write pointer reaches the zone capacity.
+        fills: bool,
+    },
+    /// Explicit open command.
+    Open,
+    /// Close command (also the controller's auto-close of the oldest
+    /// implicitly open zone when open resources run out).
+    Close,
+    /// Finish command: jump the pointer to the end, drop all resources.
+    Finish,
+    /// Reset command: rewind the pointer, erase, drop all resources.
+    Reset,
+}
+
+impl ZoneOp {
+    /// The command name used in error messages (matches the historical
+    /// `ZnsError::InvalidState { op }` strings).
+    pub fn name(self) -> &'static str {
+        match self {
+            ZoneOp::Write { .. } => "write",
+            ZoneOp::Open => "open",
+            ZoneOp::Close => "close",
+            ZoneOp::Finish => "finish",
+            ZoneOp::Reset => "reset",
+        }
+    }
+}
+
+/// A (state, op) pair the zone state machine forbids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IllegalTransition {
+    /// The zone's state when the command arrived.
+    pub from: ZoneState,
+    /// The rejected command.
+    pub op: ZoneOp,
+}
+
+impl IllegalTransition {
+    /// Converts into the device-level error for `zone`.
+    pub fn into_zns(self, zone: ZoneId) -> ZnsError {
+        ZnsError::InvalidState {
+            zone,
+            state: self.from,
+            op: self.op.name(),
+        }
+    }
+}
+
+impl fmt::Display for IllegalTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} a zone in state {}", self.op.name(), self.from)
+    }
+}
+
+impl std::error::Error for IllegalTransition {}
+
+/// The pure legality function: the state a zone in `from` enters when
+/// `op` succeeds, or [`IllegalTransition`].
+///
+/// `wp_zero` reports whether the write pointer is at the zone start; it
+/// only matters for `Close`, which returns an untouched zone to `Empty`
+/// (per spec) and a written one to `Closed`.
+///
+/// Never panics — every (state, op) pair maps to `Ok` or `Err`, which
+/// the table test enumerates exhaustively.
+pub fn transition(from: ZoneState, op: ZoneOp, wp_zero: bool) -> Result<ZoneState, IllegalTransition> {
+    use ZoneState::*;
+    let illegal = Err(IllegalTransition { from, op });
+    match op {
+        ZoneOp::Write { fills } => match from {
+            // A filling write lands in Full regardless of how the zone
+            // was opened; otherwise writes implicitly open the zone —
+            // except an explicitly opened zone, which keeps its
+            // explicit resources (NVMe: writes do not demote
+            // Explicitly Opened to Implicitly Opened).
+            Empty | ImplicitOpen | Closed => Ok(if fills { Full } else { ImplicitOpen }),
+            ExplicitOpen => Ok(if fills { Full } else { ExplicitOpen }),
+            Full => illegal,
+        },
+        ZoneOp::Open => match from {
+            Empty | ImplicitOpen | ExplicitOpen | Closed => Ok(ExplicitOpen),
+            Full => illegal,
+        },
+        ZoneOp::Close => match from {
+            // Closing a zone whose pointer never moved returns it to
+            // Empty (it holds no data to keep active).
+            ImplicitOpen | ExplicitOpen => Ok(if wp_zero { Empty } else { Closed }),
+            Empty | Closed | Full => illegal,
+        },
+        ZoneOp::Finish => match from {
+            Empty | ImplicitOpen | ExplicitOpen | Closed => Ok(Full),
+            Full => illegal,
+        },
+        // Reset is legal from every state, including Empty (a no-op
+        // rewind) and Full (the usual reclaim path).
+        ZoneOp::Reset => Ok(Empty),
+    }
+}
+
+/// Plans and *applies* a transition: the only sanctioned way to mutate a
+/// zone's state field.
+///
+/// Returns the new state. On an illegal pair the slot is left untouched.
+pub fn step(
+    slot: &mut ZoneState,
+    op: ZoneOp,
+    wp_zero: bool,
+) -> Result<ZoneState, IllegalTransition> {
+    let next = transition(*slot, op, wp_zero)?;
+    *slot = next;
+    Ok(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_applies_only_legal_transitions() {
+        let mut s = ZoneState::Empty;
+        assert_eq!(step(&mut s, ZoneOp::Write { fills: false }, true), Ok(ZoneState::ImplicitOpen));
+        assert_eq!(s, ZoneState::ImplicitOpen);
+        assert_eq!(step(&mut s, ZoneOp::Finish, false), Ok(ZoneState::Full));
+        // Illegal: the slot must be left untouched.
+        let err = step(&mut s, ZoneOp::Write { fills: false }, false).unwrap_err();
+        assert_eq!(err.from, ZoneState::Full);
+        assert_eq!(s, ZoneState::Full);
+        assert_eq!(step(&mut s, ZoneOp::Reset, true), Ok(ZoneState::Empty));
+    }
+
+    #[test]
+    fn illegal_transition_maps_to_typed_device_error() {
+        let err = transition(ZoneState::Full, ZoneOp::Open, false).unwrap_err();
+        match err.into_zns(ZoneId(3)) {
+            ZnsError::InvalidState { zone, state, op } => {
+                assert_eq!(zone, ZoneId(3));
+                assert_eq!(state, ZoneState::Full);
+                assert_eq!(op, "open");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+}

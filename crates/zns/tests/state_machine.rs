@@ -1,0 +1,128 @@
+//! Exhaustive table-driven check of the zone state machine.
+//!
+//! Every (state, op, wp) combination is enumerated; each must map to
+//! exactly the `Ok(next)` or typed `IllegalTransition` the table says —
+//! and never panic. The table is written out literally (no clever
+//! generation) so a change to the machine is a visible diff here.
+
+use zns::state_machine::{transition, IllegalTransition, ZoneOp};
+use zns::ZoneState;
+
+use ZoneState::{Closed, Empty, ExplicitOpen, Full, ImplicitOpen};
+
+const WRITE: ZoneOp = ZoneOp::Write { fills: false };
+const FILL: ZoneOp = ZoneOp::Write { fills: true };
+
+/// `Ok(next)` rows of the machine. Anything not listed is illegal.
+/// Columns: from-state, op, wp-at-zero?, expected next state.
+/// `wp_zero: None` means the pointer position must not matter.
+struct Row {
+    from: ZoneState,
+    op: ZoneOp,
+    wp_zero: Option<bool>,
+    next: ZoneState,
+}
+
+const LEGAL: &[Row] = &[
+    // Write (non-filling): implicitly opens, except explicit stays put.
+    Row { from: Empty,        op: WRITE, wp_zero: None,        next: ImplicitOpen },
+    Row { from: ImplicitOpen, op: WRITE, wp_zero: None,        next: ImplicitOpen },
+    Row { from: ExplicitOpen, op: WRITE, wp_zero: None,        next: ExplicitOpen },
+    Row { from: Closed,       op: WRITE, wp_zero: None,        next: ImplicitOpen },
+    // Write that fills the zone: Full, regardless of open flavor.
+    Row { from: Empty,        op: FILL,  wp_zero: None,        next: Full },
+    Row { from: ImplicitOpen, op: FILL,  wp_zero: None,        next: Full },
+    Row { from: ExplicitOpen, op: FILL,  wp_zero: None,        next: Full },
+    Row { from: Closed,       op: FILL,  wp_zero: None,        next: Full },
+    // Explicit open: legal from every non-Full state.
+    Row { from: Empty,        op: ZoneOp::Open,   wp_zero: None,        next: ExplicitOpen },
+    Row { from: ImplicitOpen, op: ZoneOp::Open,   wp_zero: None,        next: ExplicitOpen },
+    Row { from: ExplicitOpen, op: ZoneOp::Open,   wp_zero: None,        next: ExplicitOpen },
+    Row { from: Closed,       op: ZoneOp::Open,   wp_zero: None,        next: ExplicitOpen },
+    // Close: open zones only; an untouched pointer returns to Empty.
+    Row { from: ImplicitOpen, op: ZoneOp::Close,  wp_zero: Some(true),  next: Empty },
+    Row { from: ImplicitOpen, op: ZoneOp::Close,  wp_zero: Some(false), next: Closed },
+    Row { from: ExplicitOpen, op: ZoneOp::Close,  wp_zero: Some(true),  next: Empty },
+    Row { from: ExplicitOpen, op: ZoneOp::Close,  wp_zero: Some(false), next: Closed },
+    // Finish: everything but Full lands in Full.
+    Row { from: Empty,        op: ZoneOp::Finish, wp_zero: None,        next: Full },
+    Row { from: ImplicitOpen, op: ZoneOp::Finish, wp_zero: None,        next: Full },
+    Row { from: ExplicitOpen, op: ZoneOp::Finish, wp_zero: None,        next: Full },
+    Row { from: Closed,       op: ZoneOp::Finish, wp_zero: None,        next: Full },
+    // Reset: legal from every state, always Empty.
+    Row { from: Empty,        op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
+    Row { from: ImplicitOpen, op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
+    Row { from: ExplicitOpen, op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
+    Row { from: Closed,       op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
+    Row { from: Full,         op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
+];
+
+const STATES: [ZoneState; 5] = [Empty, ImplicitOpen, ExplicitOpen, Closed, Full];
+const OPS: [ZoneOp; 6] = [WRITE, FILL, ZoneOp::Open, ZoneOp::Close, ZoneOp::Finish, ZoneOp::Reset];
+
+fn expected(from: ZoneState, op: ZoneOp, wp_zero: bool) -> Option<ZoneState> {
+    LEGAL
+        .iter()
+        .find(|r| r.from == from && r.op == op && r.wp_zero.is_none_or(|w| w == wp_zero))
+        .map(|r| r.next)
+}
+
+#[test]
+fn every_state_op_pair_matches_the_table_and_never_panics() {
+    let mut checked = 0;
+    for &from in &STATES {
+        for &op in &OPS {
+            for wp_zero in [true, false] {
+                let got = transition(from, op, wp_zero);
+                match expected(from, op, wp_zero) {
+                    Some(next) => assert_eq!(
+                        got,
+                        Ok(next),
+                        "({from:?}, {op:?}, wp_zero={wp_zero}) must be legal"
+                    ),
+                    None => assert_eq!(
+                        got,
+                        Err(IllegalTransition { from, op }),
+                        "({from:?}, {op:?}, wp_zero={wp_zero}) must be illegal"
+                    ),
+                }
+                checked += 1;
+            }
+        }
+    }
+    // 5 states x 6 ops x 2 pointer positions: full coverage, no panics.
+    assert_eq!(checked, 60);
+}
+
+#[test]
+fn illegal_pairs_are_exactly_the_full_and_closed_corners() {
+    // The complement of the table, spelled out: a reviewer can audit the
+    // forbidden set directly.
+    let illegal: Vec<(ZoneState, ZoneOp)> = STATES
+        .iter()
+        .flat_map(|&s| OPS.iter().map(move |&op| (s, op)))
+        .filter(|&(s, op)| {
+            transition(s, op, true).is_err() && transition(s, op, false).is_err()
+        })
+        .collect();
+    assert_eq!(
+        illegal,
+        vec![
+            (Empty, ZoneOp::Close),
+            (Closed, ZoneOp::Close),
+            (Full, WRITE),
+            (Full, FILL),
+            (Full, ZoneOp::Open),
+            (Full, ZoneOp::Close),
+            (Full, ZoneOp::Finish),
+        ]
+    );
+}
+
+#[test]
+fn typed_error_carries_the_offending_pair() {
+    let err = transition(Full, WRITE, false).unwrap_err();
+    assert_eq!(err.from, Full);
+    assert_eq!(err.op, WRITE);
+    assert_eq!(err.to_string(), "cannot write a zone in state full");
+}

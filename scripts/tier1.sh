@@ -17,6 +17,14 @@ cargo test -q
 echo "== tier1: clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== tier1: concurrency lints (cargo xtask lint) =="
+cargo xtask lint
+
+echo "== tier1: loom model checks (exhaustive interleavings) =="
+# The vendored checker's own self-tests, then the engine protocol models.
+cargo test -q -p loom
+RUSTFLAGS="--cfg loom" cargo test -q -p zns-cache --test loom
+
 echo "== tier1: multi-thread smoke (4 workers, shared engine) =="
 # Short mixed get/set run on Zone-Cache; asserts op counts and hit/get
 # self-consistency. The full sweep (writes BENCH_throughput.json) is

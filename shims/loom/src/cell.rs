@@ -1,0 +1,65 @@
+//! Race-checked interior mutability.
+
+use crate::rt;
+
+/// An `UnsafeCell` whose accesses are checked for data races.
+///
+/// Every `with`/`with_mut` records a happens-before edge; if a write is
+/// not ordered after every prior access (or a read not ordered after the
+/// last write) the model panics with a `data race` message, which
+/// [`crate::model`] reports for the offending schedule.
+#[derive(Debug)]
+pub struct UnsafeCell<T: ?Sized> {
+    id: rt::ObjectId,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: mirrors std::cell::UnsafeCell's auto-Send; the runtime's race
+// checker (not the type system) enforces exclusion at access time.
+unsafe impl<T: ?Sized + Send> Send for UnsafeCell<T> {}
+// SAFETY: access is only possible through `with`/`with_mut`, which the
+// runtime race-checks; unsynchronized concurrent access aborts the model
+// before the closure runs.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new race-checked cell.
+    pub const fn new(data: T) -> Self {
+        UnsafeCell {
+            id: rt::ObjectId::new(),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Consumes the cell, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Immutable access; checked to happen-after the last write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::rt_cell_access(&self.id, false);
+        f(self.data.get())
+    }
+
+    /// Mutable access; checked to happen-after every prior access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::rt_cell_access(&self.id, true);
+        f(self.data.get())
+    }
+
+    /// Mutable access through exclusive ownership (not race-checked —
+    /// `&mut self` already proves exclusivity).
+    pub fn get_mut(&mut self) -> &mut T {
+        // SAFETY: `&mut self` guarantees no other reference exists.
+        unsafe { &mut *self.data.get() }
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        UnsafeCell::new(T::default())
+    }
+}

@@ -1,0 +1,10 @@
+//! Spin-loop hint, modelled as a fairness yield.
+
+/// Model equivalent of [`std::hint::spin_loop`].
+///
+/// Deschedules the current thread until another thread makes progress,
+/// which makes busy-wait loops explorable: without this, an exhaustive
+/// checker would enumerate unboundedly many spins of the waiting thread.
+pub fn spin_loop() {
+    crate::thread::yield_now();
+}

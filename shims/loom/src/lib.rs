@@ -1,0 +1,32 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) model checker.
+//!
+//! The real `loom` crate cannot be vendored into this workspace (no
+//! network access), so this shim re-implements the subset of its API the
+//! cache engine's protocol tests need, backed by a small exhaustive
+//! model checker ([`rt`]):
+//!
+//! * [`model`] runs a closure under every *fair* thread schedule and
+//!   every legal weak-memory read, by serializing real OS threads into a
+//!   turn-taking discipline and backtracking over recorded decisions.
+//! * [`sync::atomic`] atomics keep their full modification history with
+//!   vector clocks, so `Relaxed`/`Acquire` loads really can observe
+//!   stale values — ordering bugs fail deterministically instead of
+//!   one-in-a-million.
+//! * [`cell::UnsafeCell`] checks every access pair for happens-before
+//!   and panics with `data race` when two accesses are unordered.
+//! * [`sync::Mutex`] and [`sync::RwLock`] follow the `parking_lot` API
+//!   the workspace uses (no poisoning, `lock()` returns the guard).
+//!
+//! Limitations versus real loom: at most [`MAX_THREADS`](rt) threads, no
+//! partial-order reduction (keep models to ≤ 3 threads × a handful of
+//! visible operations), SeqCst is modelled slightly stronger than C11
+//! (sound for race *detection*, may miss some SC-only behaviours), and
+//! `RwLock` is modelled as an exclusive lock.
+
+pub mod cell;
+pub mod hint;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::model;

@@ -1,0 +1,918 @@
+//! The model-checking runtime.
+//!
+//! A model execution runs the user closure plus every thread it spawns on
+//! real OS threads, but *serialized*: exactly one thread holds the logical
+//! turn at any instant, and the turn only changes hands at *visible
+//! operations* (atomic accesses, mutex ops, cell accesses, spawn/join,
+//! yields). Each point where more than one thread could run next — or
+//! where a weak-memory load could legally return more than one value — is
+//! a recorded decision. After an execution finishes, the explorer
+//! backtracks to the deepest decision with an untried alternative and
+//! replays, which enumerates the full (fair-schedule) tree exhaustively.
+//!
+//! # Memory model
+//!
+//! Happens-before is tracked with vector clocks:
+//!
+//! * Every store to an atomic is kept in modification order together with
+//!   the writer's clock. A load may return *any* store not superseded by
+//!   one the loading thread already knows about (per its clock and its own
+//!   coherence floor) — so `Relaxed`/`Acquire` loads can observe stale
+//!   values exactly where the C11 model permits it, and protocols that
+//!   need `SeqCst` (store-buffering shapes) genuinely fail without it.
+//! * `Acquire` loads join the clock released by the store they read;
+//!   `Release` stores publish the writer's clock. Read-modify-writes
+//!   continue the release sequence (they pass the head's clock through),
+//!   plain stores break it — the C++20 rule.
+//! * `SeqCst` operations additionally join a global SC clock, which
+//!   totally orders them. (This is marginally stronger than the C11 SC
+//!   order — it cannot produce false data-race reports, but may miss
+//!   behaviours only reachable through the weaker formal SC. Good enough
+//!   for the protocols checked here.)
+//! * [`cell access`](crate::cell::UnsafeCell) is race-*checked*: a read
+//!   must happen-after the last write, a write must happen-after every
+//!   prior access, else the model panics with `data race`.
+//!
+//! # Fairness
+//!
+//! `yield_now`/`spin_loop` deschedule the calling thread until another
+//! thread performs an operation. This makes spin loops explorable without
+//! unfair infinite schedules; a model where every live thread spins
+//! forever trips the per-execution step bound and is reported as a
+//! livelock.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Most threads a single model may spawn (including the model closure).
+pub(crate) const MAX_THREADS: usize = 4;
+
+/// Per-execution visible-operation bound; exceeding it means a livelock
+/// or a model far too large to explore exhaustively.
+const MAX_STEPS: usize = 50_000;
+
+/// Default bound on explored executions, overridable with the
+/// `LOOM_MAX_ITERATIONS` environment variable.
+const DEFAULT_MAX_ITERATIONS: u64 = 500_000;
+
+/// Marker in abort-unwind panics so wrappers can tell them apart from
+/// user assertion failures.
+const ABORT_MARKER: &str = "loom-shim: execution aborted";
+
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Atomic memory orderings, mirroring `std::sync::atomic::Ordering`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Ordering {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ordering {
+    pub(crate) fn acquires(self) -> bool {
+        matches!(self, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    pub(crate) fn releases(self) -> bool {
+        matches!(self, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+}
+
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    fn inc(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(mine, theirs)| mine <= theirs)
+    }
+}
+
+/// One store in an atomic's modification order.
+struct Store {
+    value: u64,
+    /// Clock transferred to acquiring loads (release-sequence carried).
+    sync: VClock,
+    /// The writer's full clock, for visibility pruning.
+    writer: VClock,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    stores: Vec<Store>,
+}
+
+#[derive(Default)]
+struct CellState {
+    last_write: VClock,
+    reads: [VClock; MAX_THREADS],
+}
+
+#[derive(Default)]
+struct LockState {
+    locked_by: Option<usize>,
+    clock: VClock,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Descheduled by `yield_now` until another thread makes progress.
+    Yielded,
+    Blocked(Blocker),
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Blocker {
+    Lock(usize),
+    Join(usize),
+}
+
+struct Thread {
+    status: Status,
+    clock: VClock,
+    /// Per-atomic coherence floor: lowest modification-order index this
+    /// thread may still read.
+    seen: Vec<usize>,
+    /// Set by a yield and consumed by the next load, which is then
+    /// forced to observe the newest store. Models eventual visibility
+    /// ("stores become visible in finite time") so spin loops terminate
+    /// instead of branching on the stale value forever. Does NOT create
+    /// happens-before — the load still only acquires what its ordering
+    /// permits.
+    fresh_load: bool,
+}
+
+impl Thread {
+    fn new(clock: VClock) -> Self {
+        Thread {
+            status: Status::Runnable,
+            clock,
+            seen: Vec::new(),
+            fresh_load: false,
+        }
+    }
+
+    fn floor(&self, id: usize) -> usize {
+        self.seen.get(id).copied().unwrap_or(0)
+    }
+
+    fn set_floor(&mut self, id: usize, idx: usize) {
+        if self.seen.len() <= id {
+            self.seen.resize(id + 1, 0);
+        }
+        self.seen[id] = self.seen[id].max(idx);
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Decision {
+    chosen: usize,
+    options: usize,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<Thread>,
+    cur: usize,
+    atomics: Vec<AtomicState>,
+    cells: Vec<CellState>,
+    locks: Vec<LockState>,
+    sc_clock: VClock,
+    replay: Vec<usize>,
+    decisions: Vec<Decision>,
+    cursor: usize,
+    steps: usize,
+    abort: Option<String>,
+    payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl ExecState {
+    fn decide(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        if options == 1 {
+            return 0;
+        }
+        let chosen = if self.cursor < self.replay.len() {
+            self.replay[self.cursor]
+        } else {
+            0
+        };
+        assert!(
+            chosen < options,
+            "loom-shim: nondeterministic model (decision options changed between replays)"
+        );
+        self.decisions.push(Decision { chosen, options });
+        self.cursor += 1;
+        chosen
+    }
+
+    fn atomic_load(&mut self, id: usize, tid: usize, ord: Ordering) -> u64 {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let clock = self.threads[tid].clock.clone();
+        let mut floor = self.threads[tid].floor(id);
+        for (i, store) in self.atomics[id].stores.iter().enumerate() {
+            if store.writer.le(&clock) {
+                floor = floor.max(i);
+            }
+        }
+        let n = self.atomics[id].stores.len();
+        if std::mem::take(&mut self.threads[tid].fresh_load) {
+            floor = n - 1;
+        }
+        debug_assert!(floor < n);
+        let choice = floor + self.decide(n - floor);
+        let store = &self.atomics[id].stores[choice];
+        let value = store.value;
+        let sync = store.sync.clone();
+        self.threads[tid].set_floor(id, choice);
+        if ord.acquires() {
+            self.threads[tid].clock.join(&sync);
+        }
+        if ord == Ordering::SeqCst {
+            let c = self.threads[tid].clock.clone();
+            self.sc_clock.join(&c);
+        }
+        value
+    }
+
+    fn atomic_store(&mut self, id: usize, tid: usize, ord: Ordering, value: u64) {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let clock = self.threads[tid].clock.clone();
+        let sync = if ord.releases() {
+            clock.clone()
+        } else {
+            VClock::default()
+        };
+        self.atomics[id].stores.push(Store {
+            value,
+            sync,
+            writer: clock.clone(),
+        });
+        let idx = self.atomics[id].stores.len() - 1;
+        self.threads[tid].set_floor(id, idx);
+        if ord == Ordering::SeqCst {
+            self.sc_clock.join(&clock);
+        }
+    }
+
+    /// Read-modify-write: reads the *latest* store in modification order
+    /// (atomicity), continues its release sequence, returns the old value.
+    fn atomic_rmw(
+        &mut self,
+        id: usize,
+        tid: usize,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let last = self.atomics[id].stores.len() - 1;
+        let old = self.atomics[id].stores[last].value;
+        let head_sync = self.atomics[id].stores[last].sync.clone();
+        if ord.acquires() {
+            self.threads[tid].clock.join(&head_sync);
+        }
+        let clock = self.threads[tid].clock.clone();
+        let mut sync = head_sync;
+        if ord.releases() {
+            sync.join(&clock);
+        }
+        self.atomics[id].stores.push(Store {
+            value: f(old),
+            sync,
+            writer: clock.clone(),
+        });
+        let idx = self.atomics[id].stores.len() - 1;
+        self.threads[tid].set_floor(id, idx);
+        if ord == Ordering::SeqCst {
+            self.sc_clock.join(&clock);
+        }
+        old
+    }
+
+    /// A failed compare-exchange: observes the latest value like an RMW
+    /// but stores nothing.
+    fn atomic_read_latest(&mut self, id: usize, tid: usize, ord: Ordering) -> u64 {
+        if ord == Ordering::SeqCst {
+            let sc = self.sc_clock.clone();
+            self.threads[tid].clock.join(&sc);
+        }
+        let last = self.atomics[id].stores.len() - 1;
+        let store = &self.atomics[id].stores[last];
+        let value = store.value;
+        let sync = store.sync.clone();
+        self.threads[tid].set_floor(id, last);
+        if ord.acquires() {
+            self.threads[tid].clock.join(&sync);
+        }
+        if ord == Ordering::SeqCst {
+            let c = self.threads[tid].clock.clone();
+            self.sc_clock.join(&c);
+        }
+        value
+    }
+
+    fn cell_access(&mut self, id: usize, tid: usize, write: bool) -> Result<(), String> {
+        let clock = self.threads[tid].clock.clone();
+        let cell = &mut self.cells[id];
+        if !cell.last_write.le(&clock) {
+            return Err(format!(
+                "data race: thread {tid} {} a cell not ordered after its last write",
+                if write { "writes" } else { "reads" }
+            ));
+        }
+        if write {
+            for (other, read) in cell.reads.iter().enumerate() {
+                if !read.le(&clock) {
+                    return Err(format!(
+                        "data race: thread {tid} writes a cell concurrently read by thread {other}"
+                    ));
+                }
+            }
+            cell.last_write = clock;
+        } else {
+            cell.reads[tid].join(&clock);
+        }
+        Ok(())
+    }
+}
+
+enum OpOutcome<R> {
+    Ready(R),
+    Block(Blocker),
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    epoch: u64,
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>) -> Self {
+        Execution {
+            state: Mutex::new(ExecState {
+                threads: vec![Thread::new({
+                    let mut c = VClock::default();
+                    c.inc(0);
+                    c
+                })],
+                cur: 0,
+                atomics: Vec::new(),
+                cells: Vec::new(),
+                locks: Vec::new(),
+                sc_clock: VClock::default(),
+                replay,
+                decisions: Vec::new(),
+                cursor: 0,
+                steps: 0,
+                abort: None,
+                payload: None,
+            }),
+            cv: Condvar::new(),
+            epoch: EPOCH.fetch_add(1, StdOrdering::Relaxed),
+        }
+    }
+
+    /// Runs one visible operation under the turn discipline.
+    fn op<R>(&self, tid: usize, mut f: impl FnMut(&mut ExecState, usize) -> OpOutcome<R>) -> R {
+        // Captured before taking the lock: whether this op was issued by
+        // a destructor running while the thread already unwinds (e.g. an
+        // RAII guard doing an atomic decrement). Such an op must never
+        // panic — a panic in a destructor during cleanup is a process
+        // abort — so on an aborted execution it is applied out of turn
+        // instead (the execution's results are discarded anyway).
+        let unwinding = std::thread::panicking();
+        let mut s = self.state.lock().unwrap();
+        loop {
+            while s.cur != tid && s.abort.is_none() {
+                s = self.cv.wait(s).unwrap();
+            }
+            if s.abort.is_some() {
+                if !unwinding {
+                    drop(s);
+                    panic!("{ABORT_MARKER}");
+                }
+                match f(&mut s, tid) {
+                    OpOutcome::Ready(r) => {
+                        self.cv.notify_all();
+                        return r;
+                    }
+                    OpOutcome::Block(_) => {
+                        // Blocked in a destructor during teardown: wait
+                        // for a peer (also unwinding) to release the
+                        // blocker; poll so a wedged peer cannot hang the
+                        // whole run.
+                        let (guard, _) = self
+                            .cv
+                            .wait_timeout(s, std::time::Duration::from_millis(1))
+                            .unwrap();
+                        s = guard;
+                        continue;
+                    }
+                }
+            }
+            s.steps += 1;
+            if s.steps > MAX_STEPS {
+                s.abort = Some(
+                    "livelock or oversized model: execution exceeded the step bound".to_string(),
+                );
+                self.cv.notify_all();
+                drop(s);
+                panic!("{ABORT_MARKER}");
+            }
+            match f(&mut s, tid) {
+                OpOutcome::Ready(r) => {
+                    s.threads[tid].clock.inc(tid);
+                    self.schedule_next(&mut s, tid);
+                    self.cv.notify_all();
+                    return r;
+                }
+                OpOutcome::Block(b) => {
+                    s.threads[tid].status = Status::Blocked(b);
+                    self.schedule_next(&mut s, tid);
+                    self.cv.notify_all();
+                    // Loop: wait to be unblocked and rescheduled, then
+                    // re-attempt the operation.
+                }
+            }
+        }
+    }
+
+    /// Picks the next thread to run. Called with the state locked, after
+    /// `from` completed (or blocked on) an operation.
+    fn schedule_next(&self, s: &mut ExecState, from: usize) {
+        // Progress by `from` wakes spinners that descheduled themselves.
+        for (i, t) in s.threads.iter_mut().enumerate() {
+            if i != from && t.status == Status::Yielded {
+                t.status = Status::Runnable;
+            }
+        }
+        let mut options: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if options.is_empty() {
+            // Only the yielding thread itself may be left; let it spin —
+            // the step bound catches genuine livelock.
+            options = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Yielded)
+                .map(|(i, _)| i)
+                .collect();
+            for &i in &options {
+                s.threads[i].status = Status::Runnable;
+            }
+        }
+        if options.is_empty() {
+            if s.threads.iter().all(|t| t.status == Status::Finished) {
+                s.cur = usize::MAX; // execution complete
+            } else {
+                s.abort = Some("deadlock: every live thread is blocked".to_string());
+            }
+            return;
+        }
+        let idx = s.decide(options.len());
+        s.cur = options[idx];
+    }
+
+    fn finish_thread(&self, tid: usize, panicked: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(payload) = panicked {
+            // Abort the whole execution; other threads unwind at their
+            // next visible operation.
+            let mut s = self.state.lock().unwrap();
+            s.threads[tid].status = Status::Finished;
+            let is_abort_echo = payload
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains(ABORT_MARKER))
+                || payload
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains(ABORT_MARKER));
+            if s.abort.is_none() {
+                s.abort = Some(format!("thread {tid} panicked"));
+            }
+            if s.payload.is_none() && !is_abort_echo {
+                s.payload = Some(payload);
+            }
+            for t in s.threads.iter_mut() {
+                if matches!(t.status, Status::Blocked(_) | Status::Yielded) {
+                    t.status = Status::Runnable;
+                }
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Normal completion. Must NOT go through `op`: if the execution
+        // aborts while this thread waits for its finish turn, `op` would
+        // panic outside `run_thread`'s catch_unwind and the OS thread
+        // would die without ever recording `Finished`, wedging
+        // `wait_all_finished`. Hand-rolled non-panicking turn loop.
+        let mut s = self.state.lock().unwrap();
+        while s.cur != tid && s.abort.is_none() {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.threads[tid].status = Status::Finished;
+        for t in s.threads.iter_mut() {
+            if t.status == Status::Blocked(Blocker::Join(tid)) {
+                t.status = Status::Runnable;
+            }
+        }
+        if s.abort.is_none() {
+            s.threads[tid].clock.inc(tid);
+            self.schedule_next(&mut s, tid);
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut s = self.state.lock().unwrap();
+        while !s.threads.iter().all(|t| t.status == Status::Finished) {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+}
+
+fn with_context<R>(f: impl FnOnce(&Arc<Execution>, usize) -> R) -> R {
+    CONTEXT.with(|c| {
+        let ctx = c.borrow();
+        let (exec, tid) = ctx
+            .as_ref()
+            .expect("loom primitives may only be used inside loom::model");
+        f(exec, *tid)
+    })
+}
+
+fn run_thread(exec: Arc<Execution>, tid: usize, f: impl FnOnce()) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+    exec.finish_thread(tid, result.err());
+}
+
+/// Lazily-registered per-execution object id (atomics, locks, cells keep
+/// one; a fresh execution re-registers).
+#[derive(Debug)]
+pub(crate) struct ObjectId {
+    slot: Mutex<Option<(u64, usize)>>,
+}
+
+impl ObjectId {
+    pub(crate) const fn new() -> Self {
+        ObjectId {
+            slot: Mutex::new(None),
+        }
+    }
+
+    fn get(&self, epoch: u64, register: impl FnOnce() -> usize) -> usize {
+        let mut slot = self.slot.lock().unwrap();
+        match *slot {
+            Some((e, id)) if e == epoch => id,
+            _ => {
+                let id = register();
+                *slot = Some((epoch, id));
+                id
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runtime entry points used by the public facade modules.
+// ---------------------------------------------------------------------
+
+pub(crate) fn rt_atomic_load(obj: &ObjectId, initial: u64, ord: Ordering) -> u64 {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.atomics.push(AtomicState {
+                    stores: vec![Store {
+                        value: initial,
+                        sync: VClock::default(),
+                        writer: VClock::default(),
+                    }],
+                });
+                s.atomics.len() - 1
+            });
+            OpOutcome::Ready(s.atomic_load(id, tid, ord))
+        })
+    })
+}
+
+pub(crate) fn rt_atomic_store(obj: &ObjectId, initial: u64, ord: Ordering, value: u64) {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.atomics.push(AtomicState {
+                    stores: vec![Store {
+                        value: initial,
+                        sync: VClock::default(),
+                        writer: VClock::default(),
+                    }],
+                });
+                s.atomics.len() - 1
+            });
+            s.atomic_store(id, tid, ord, value);
+            OpOutcome::Ready(())
+        })
+    })
+}
+
+pub(crate) fn rt_atomic_rmw(
+    obj: &ObjectId,
+    initial: u64,
+    ord: Ordering,
+    f: impl Fn(u64) -> u64,
+) -> u64 {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.atomics.push(AtomicState {
+                    stores: vec![Store {
+                        value: initial,
+                        sync: VClock::default(),
+                        writer: VClock::default(),
+                    }],
+                });
+                s.atomics.len() - 1
+            });
+            OpOutcome::Ready(s.atomic_rmw(id, tid, ord, &f))
+        })
+    })
+}
+
+/// Compare-exchange; returns `Ok(old)` on success, `Err(latest)` on
+/// failure.
+pub(crate) fn rt_atomic_cas(
+    obj: &ObjectId,
+    initial: u64,
+    current: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<u64, u64> {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.atomics.push(AtomicState {
+                    stores: vec![Store {
+                        value: initial,
+                        sync: VClock::default(),
+                        writer: VClock::default(),
+                    }],
+                });
+                s.atomics.len() - 1
+            });
+            let latest = s.atomics[id].stores.last().expect("nonempty history").value;
+            if latest == current {
+                OpOutcome::Ready(Ok(s.atomic_rmw(id, tid, success, |_| new)))
+            } else {
+                OpOutcome::Ready(Err(s.atomic_read_latest(id, tid, failure)))
+            }
+        })
+    })
+}
+
+pub(crate) fn rt_cell_access(obj: &ObjectId, write: bool) {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.cells.push(CellState::default());
+                s.cells.len() - 1
+            });
+            match s.cell_access(id, tid, write) {
+                Ok(()) => OpOutcome::Ready(()),
+                Err(race) => {
+                    // Surface the race as the model's failure.
+                    s.abort = Some(race.clone());
+                    s.payload = Some(Box::new(race.clone()));
+                    for t in s.threads.iter_mut() {
+                        if matches!(t.status, Status::Blocked(_) | Status::Yielded) {
+                            t.status = Status::Runnable;
+                        }
+                    }
+                    OpOutcome::Ready(())
+                }
+            }
+        });
+        // Unwind *after* releasing the runtime lock.
+        let s = exec.state.lock().unwrap();
+        if let Some(reason) = s.abort.clone() {
+            drop(s);
+            panic!("{reason}");
+        }
+    })
+}
+
+pub(crate) fn rt_lock(obj: &ObjectId) {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.locks.push(LockState::default());
+                s.locks.len() - 1
+            });
+            match s.locks[id].locked_by {
+                None => {
+                    s.locks[id].locked_by = Some(tid);
+                    let clock = s.locks[id].clock.clone();
+                    s.threads[tid].clock.join(&clock);
+                    OpOutcome::Ready(())
+                }
+                Some(owner) => {
+                    assert_ne!(owner, tid, "loom-shim: recursive lock acquisition");
+                    OpOutcome::Block(Blocker::Lock(id))
+                }
+            }
+        })
+    })
+}
+
+pub(crate) fn rt_try_lock(obj: &ObjectId) -> bool {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            let id = obj.get(exec.epoch, || {
+                s.locks.push(LockState::default());
+                s.locks.len() - 1
+            });
+            match s.locks[id].locked_by {
+                None => {
+                    s.locks[id].locked_by = Some(tid);
+                    let clock = s.locks[id].clock.clone();
+                    s.threads[tid].clock.join(&clock);
+                    OpOutcome::Ready(true)
+                }
+                Some(_) => OpOutcome::Ready(false),
+            }
+        })
+    })
+}
+
+pub(crate) fn rt_unlock(obj: &ObjectId) {
+    // Runs from guard destructors, possibly during a panic unwind after
+    // the execution aborted — so unlike every other primitive it must
+    // NEVER panic (a panic in a destructor during cleanup aborts the
+    // process). Hand-rolled turn loop instead of `op`.
+    with_context(|exec, tid| {
+        let mut s = exec.state.lock().unwrap();
+        while s.cur != tid && s.abort.is_none() {
+            s = exec.cv.wait(s).unwrap();
+        }
+        if s.abort.is_some() {
+            // Teardown: every thread is unwinding; lock state is moot.
+            return;
+        }
+        s.steps += 1;
+        let id = obj.get(exec.epoch, || unreachable!("unlock before lock"));
+        debug_assert_eq!(s.locks[id].locked_by, Some(tid));
+        let clock = s.threads[tid].clock.clone();
+        s.locks[id].clock = clock;
+        s.locks[id].locked_by = None;
+        for t in s.threads.iter_mut() {
+            if t.status == Status::Blocked(Blocker::Lock(id)) {
+                t.status = Status::Runnable;
+            }
+        }
+        s.threads[tid].clock.inc(tid);
+        exec.schedule_next(&mut s, tid);
+        exec.cv.notify_all();
+    })
+}
+
+pub(crate) fn rt_yield() {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            s.threads[tid].status = Status::Yielded;
+            s.threads[tid].fresh_load = true;
+            OpOutcome::Ready(())
+        })
+    })
+}
+
+pub(crate) fn rt_spawn(f: impl FnOnce() + Send + 'static) -> usize {
+    with_context(|exec, tid| {
+        let child = exec.op(tid, |s, tid| {
+            let child = s.threads.len();
+            assert!(
+                child < MAX_THREADS,
+                "loom-shim: at most {MAX_THREADS} threads per model"
+            );
+            let mut clock = s.threads[tid].clock.clone();
+            clock.inc(child);
+            s.threads.push(Thread::new(clock));
+            OpOutcome::Ready(child)
+        });
+        let exec2 = Arc::clone(exec);
+        // Detached: the runtime tracks completion through thread status;
+        // the model's JoinHandle::join is a modelled operation.
+        std::thread::spawn(move || run_thread(exec2, child, f));
+        child
+    })
+}
+
+/// Blocks (in model time) until `child` finishes, joining its clock.
+pub(crate) fn rt_join(child: usize) {
+    with_context(|exec, tid| {
+        exec.op(tid, |s, tid| {
+            if s.threads[child].status == Status::Finished {
+                let clock = s.threads[child].clock.clone();
+                s.threads[tid].clock.join(&clock);
+                OpOutcome::Ready(())
+            } else {
+                OpOutcome::Block(Blocker::Join(child))
+            }
+        })
+    })
+}
+
+fn max_iterations() -> u64 {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_ITERATIONS)
+}
+
+fn next_replay(decisions: &[Decision]) -> Option<Vec<usize>> {
+    for i in (0..decisions.len()).rev() {
+        if decisions[i].chosen + 1 < decisions[i].options {
+            let mut replay: Vec<usize> = decisions[..i].iter().map(|d| d.chosen).collect();
+            replay.push(decisions[i].chosen + 1);
+            return Some(replay);
+        }
+    }
+    None
+}
+
+/// Explores every fair schedule (and weak-memory read choice) of `f`,
+/// panicking on the first schedule where the model panics, races, or
+/// deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let cap = max_iterations();
+    let mut replay: Vec<usize> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        if std::env::var("LOOM_DEBUG").is_ok() {
+            eprintln!("loom-shim debug: execution {iterations}, replay {replay:?}");
+        }
+        assert!(
+            iterations <= cap,
+            "loom-shim: exceeded {cap} executions without exhausting the schedule \
+             space; shrink the model (this checker has no partial-order reduction) \
+             or raise LOOM_MAX_ITERATIONS"
+        );
+        let exec = Arc::new(Execution::new(std::mem::take(&mut replay)));
+        let exec0 = Arc::clone(&exec);
+        let f0 = Arc::clone(&f);
+        let root = std::thread::spawn(move || run_thread(exec0, 0, move || f0()));
+        exec.wait_all_finished();
+        root.join().expect("root wrapper never panics");
+        let mut s = exec.state.lock().unwrap();
+        if let Some(reason) = s.abort.take() {
+            if let Some(payload) = s.payload.take() {
+                drop(s);
+                panic::resume_unwind(payload);
+            }
+            panic!("loom-shim: model failed after {iterations} executions: {reason}");
+        }
+        match next_replay(&s.decisions) {
+            Some(r) => replay = r,
+            None => break,
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Model-checked synchronization primitives.
+//!
+//! Mirrors the parts of `loom::sync` the workspace uses. `Mutex` and
+//! `RwLock` follow the *parking_lot* calling convention (`lock()`
+//! returns the guard directly, no poisoning) because that is what the
+//! non-loom build of `crates/core` links against.
+
+use crate::rt;
+use std::cell::UnsafeCell as StdUnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Model-checked atomic types with full modification-order history.
+
+    use crate::rt::{self, ObjectId};
+
+    pub use crate::rt::Ordering;
+
+    macro_rules! atomic_impl {
+        ($name:ident, $ty:ty, $doc:expr) => {
+            #[doc = $doc]
+            pub struct $name {
+                initial: $ty,
+                id: ObjectId,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $ty) -> Self {
+                    $name {
+                        initial: v,
+                        id: ObjectId::new(),
+                    }
+                }
+
+                fn init(&self) -> u64 {
+                    self.initial as u64
+                }
+
+                /// Loads the value; weaker orderings may observe stale stores.
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    rt::rt_atomic_load(&self.id, self.init(), ord) as $ty
+                }
+
+                /// Stores a value.
+                pub fn store(&self, v: $ty, ord: Ordering) {
+                    rt::rt_atomic_store(&self.id, self.init(), ord, v as u64)
+                }
+
+                /// Atomically replaces the value, returning the old one.
+                pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                    rt::rt_atomic_rmw(&self.id, self.init(), ord, |_| v as u64) as $ty
+                }
+
+                /// Atomically adds (wrapping), returning the old value.
+                pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                    rt::rt_atomic_rmw(&self.id, self.init(), ord, |old| {
+                        (old as $ty).wrapping_add(v) as u64
+                    }) as $ty
+                }
+
+                /// Atomically subtracts (wrapping), returning the old value.
+                pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                    rt::rt_atomic_rmw(&self.id, self.init(), ord, |old| {
+                        (old as $ty).wrapping_sub(v) as u64
+                    }) as $ty
+                }
+
+                /// Atomically stores the maximum, returning the old value.
+                pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                    rt::rt_atomic_rmw(&self.id, self.init(), ord, |old| {
+                        (old as $ty).max(v) as u64
+                    }) as $ty
+                }
+
+                /// Atomically stores the minimum, returning the old value.
+                pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                    rt::rt_atomic_rmw(&self.id, self.init(), ord, |old| {
+                        (old as $ty).min(v) as u64
+                    }) as $ty
+                }
+
+                /// Compare-exchange; `Ok(previous)` on success.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    rt::rt_atomic_cas(
+                        &self.id,
+                        self.init(),
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    )
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+                }
+
+                /// Weak compare-exchange (never fails spuriously here).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// CAS loop over `f`, as in std.
+                pub fn fetch_update(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    mut f: impl FnMut($ty) -> Option<$ty>,
+                ) -> Result<$ty, $ty> {
+                    let mut prev = self.load(fetch_order);
+                    while let Some(next) = f(prev) {
+                        match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                            Ok(v) => return Ok(v),
+                            Err(v) => prev = v,
+                        }
+                    }
+                    Err(prev)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$ty>::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_struct(stringify!($name)).finish_non_exhaustive()
+                }
+            }
+        };
+    }
+
+    atomic_impl!(AtomicU32, u32, "Model-checked `AtomicU32`.");
+    atomic_impl!(AtomicU64, u64, "Model-checked `AtomicU64`.");
+    atomic_impl!(AtomicUsize, usize, "Model-checked `AtomicUsize`.");
+
+    /// Model-checked `AtomicBool`.
+    pub struct AtomicBool {
+        initial: bool,
+        id: ObjectId,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(v: bool) -> Self {
+            AtomicBool {
+                initial: v,
+                id: ObjectId::new(),
+            }
+        }
+
+        fn init(&self) -> u64 {
+            self.initial as u64
+        }
+
+        /// Loads the value; weaker orderings may observe stale stores.
+        pub fn load(&self, ord: Ordering) -> bool {
+            rt::rt_atomic_load(&self.id, self.init(), ord) != 0
+        }
+
+        /// Stores a value.
+        pub fn store(&self, v: bool, ord: Ordering) {
+            rt::rt_atomic_store(&self.id, self.init(), ord, v as u64)
+        }
+
+        /// Atomically replaces the value, returning the old one.
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            rt::rt_atomic_rmw(&self.id, self.init(), ord, |_| v as u64) != 0
+        }
+
+        /// Compare-exchange; `Ok(previous)` on success.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            rt::rt_atomic_cas(
+                &self.id,
+                self.init(),
+                current as u64,
+                new as u64,
+                success,
+                failure,
+            )
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("AtomicBool").finish_non_exhaustive()
+        }
+    }
+}
+
+/// Model-checked mutex with the parking_lot calling convention.
+pub struct Mutex<T: ?Sized> {
+    id: rt::ObjectId,
+    data: StdUnsafeCell<T>,
+}
+
+// SAFETY: the runtime serializes all access — `lock()` blocks (in model
+// time) until the lock is free, so `&mut T` handed out via the guard is
+// exclusive, matching std::sync::Mutex's Send/Sync conditions.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+// SAFETY: as above; the guard provides exclusive access.
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            id: rt::ObjectId::new(),
+            data: StdUnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::rt_lock(&self.id);
+        MutexGuard { lock: self }
+    }
+
+    /// Attempts the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if rt::rt_try_lock(&self.id) {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access through exclusive ownership (no locking needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the runtime granted this thread the lock; no other
+        // guard exists until drop releases it.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the lock guarantees exclusivity.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::rt_unlock(&self.lock.id);
+    }
+}
+
+/// Model-checked reader-writer lock.
+///
+/// Modelled as an *exclusive* lock: readers serialize with each other.
+/// This shrinks the schedule space and is sound — every behaviour of the
+/// exclusive model is a legal behaviour of the shared-read lock; only
+/// reader-reader parallelism (which cannot race by construction) is not
+/// explored.
+pub struct RwLock<T: ?Sized>(Mutex<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(Mutex::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared access (modelled exclusively).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.lock())
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.lock())
+    }
+
+    /// Mutable access through exclusive ownership.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// RAII shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(MutexGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(MutexGuard<'a, T>);
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

@@ -1,0 +1,60 @@
+//! Model-checked threads.
+
+use crate::rt;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a model thread; `join` blocks in model time and establishes
+/// happens-before with everything the thread did.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value.
+    ///
+    /// If the thread panicked the whole model execution has already been
+    /// aborted by the runtime, so unlike std this never returns `Err`.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        rt::rt_join(self.tid);
+        let value = self
+            .result
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+            .expect("thread finished; result present");
+        Ok(value)
+    }
+}
+
+/// Spawns a model thread.
+///
+/// Unlike std, `'static` closures only — the model runs them on real
+/// detached OS threads under the turn-taking runtime.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::rt_spawn(move || {
+        let value = f();
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+    });
+    JoinHandle {
+        tid,
+        result,
+        _not_send: PhantomData,
+    }
+}
+
+/// Deschedules the current thread until another thread makes progress.
+///
+/// This is how spin loops stay explorable: the model never schedules a
+/// yielded thread twice in a row without intervening progress elsewhere.
+pub fn yield_now() {
+    rt::rt_yield();
+}

@@ -1,0 +1,312 @@
+//! Self-tests for the loom shim's model checker.
+//!
+//! These certify the properties the engine's protocol suite relies on:
+//! correct schedules *pass* exhaustively, and each class of concurrency
+//! bug (stale relaxed reads, store buffering, data races, lost updates,
+//! deadlock) is *caught* deterministically.
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+// ---------------------------------------------------------------------
+// Passing models: correct protocols survive exhaustive exploration.
+// ---------------------------------------------------------------------
+
+#[test]
+fn message_passing_release_acquire() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed); // relaxed-ok: published by the Release store below
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            // Acquire saw the Release store, so the data write is visible.
+            assert_eq!(data.load(Ordering::Relaxed), 42); // relaxed-ok: ordered by the flag
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn store_buffering_forbidden_under_seqcst() {
+    // Dekker / store-buffering: with SeqCst both threads cannot read 0.
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let saw_x = x.load(Ordering::SeqCst);
+        let saw_y = t.join().unwrap();
+        assert!(
+            saw_x == 1 || saw_y == 1,
+            "SeqCst store-buffering: both threads read 0"
+        );
+    });
+}
+
+#[test]
+fn mutex_provides_exclusion_and_ordering() {
+    loom::model(|| {
+        let counter = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || *c.lock() += 1)
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 2);
+    });
+}
+
+#[test]
+fn cell_guarded_by_mutex_is_race_free() {
+    loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let lock = Arc::new(Mutex::new(()));
+        let (c2, l2) = (Arc::clone(&cell), Arc::clone(&lock));
+        let t = thread::spawn(move || {
+            let _g = l2.lock();
+            c2.with_mut(|p| {
+                // SAFETY: the mutex serializes every access to the cell.
+                unsafe { *p += 1 }
+            });
+        });
+        {
+            let _g = lock.lock();
+            cell.with_mut(|p| {
+                // SAFETY: as above.
+                unsafe { *p += 1 }
+            });
+        }
+        t.join().unwrap();
+        let total = cell.with(|p| {
+            // SAFETY: both writers joined; no concurrent access remains.
+            unsafe { *p }
+        });
+        assert_eq!(total, 2);
+    });
+}
+
+#[test]
+fn rmw_continues_the_release_sequence() {
+    // Writer publishes with Release; a third party interposes a *relaxed
+    // RMW* on the same atomic. C++20: the RMW continues the release
+    // sequence, so an Acquire load reading the RMW's value still
+    // synchronizes with the original Release store.
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let (f3, d3) = (Arc::clone(&flag), Arc::clone(&data));
+        let publisher = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed); // relaxed-ok: published by the Release RMW chain
+            f2.store(1, Ordering::Release);
+        });
+        let interposer = thread::spawn(move || {
+            f3.fetch_add(1, Ordering::Relaxed); // relaxed-ok: RMW passes the release sequence through
+            let _ = d3; // keep types in scope
+        });
+        if flag.load(Ordering::Acquire) == 2 {
+            // 2 can only result from the RMW applied after the Release
+            // store of 1, so the data write must be visible.
+            assert_eq!(data.load(Ordering::Relaxed), 7); // relaxed-ok: ordered via release sequence
+        }
+        publisher.join().unwrap();
+        interposer.join().unwrap();
+    });
+}
+
+#[test]
+fn spin_loop_quiescence_is_explorable() {
+    // Miniature of the engine's seal quiescence: a writer commits bytes,
+    // the sealer spins until the committed counter reaches the target.
+    // Yield-based fairness must make this terminate in every schedule.
+    loom::model(|| {
+        let committed = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&committed);
+        let writer = thread::spawn(move || {
+            c2.fetch_add(8, Ordering::Release);
+        });
+        while committed.load(Ordering::Acquire) < 8 {
+            loom::hint::spin_loop();
+        }
+        writer.join().unwrap();
+        assert_eq!(committed.load(Ordering::Acquire), 8);
+    });
+}
+
+#[test]
+fn exploration_visits_multiple_schedules() {
+    // The checker must actually branch: two racing increments have more
+    // than one interleaving, and a relaxed read of an independent
+    // variable has more than one visible value.
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+    static EXECUTIONS: StdAtomicUsize = StdAtomicUsize::new(0);
+    EXECUTIONS.store(0, StdOrdering::SeqCst);
+    loom::model(|| {
+        EXECUTIONS.fetch_add(1, StdOrdering::SeqCst);
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || x2.store(1, Ordering::Relaxed)); // relaxed-ok: test probe
+        let _ = x.load(Ordering::Relaxed); // relaxed-ok: test probe
+        t.join().unwrap();
+    });
+    assert!(
+        EXECUTIONS.load(StdOrdering::SeqCst) >= 3,
+        "expected several distinct executions, got {}",
+        EXECUTIONS.load(StdOrdering::SeqCst)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Failing models: every bug class is caught.
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "stale relaxed read")]
+fn relaxed_message_passing_is_caught() {
+    // Publishing a flag with Relaxed lets the reader see the flag but
+    // stale data — the checker must find that execution.
+    loom::model(|| {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed); // relaxed-ok: the bug under test
+            f2.store(true, Ordering::Relaxed); // relaxed-ok: the bug under test
+        });
+        if flag.load(Ordering::Relaxed) {
+            // relaxed-ok: the bug under test
+            assert_eq!(
+                data.load(Ordering::Relaxed), // relaxed-ok: the bug under test
+                42,
+                "stale relaxed read"
+            );
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "store buffering")]
+fn store_buffering_reachable_under_release_acquire() {
+    // The same Dekker shape with Release/Acquire only: both threads CAN
+    // read 0 (store buffering) and the checker must reach it.
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::Release);
+            y2.load(Ordering::Acquire)
+        });
+        y.store(1, Ordering::Release);
+        let saw_x = x.load(Ordering::Acquire);
+        let saw_y = t.join().unwrap();
+        assert!(saw_x == 1 || saw_y == 1, "store buffering");
+    });
+}
+
+#[test]
+#[should_panic(expected = "data race")]
+fn unsynchronized_cell_write_is_a_race() {
+    loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            c2.with_mut(|p| {
+                // SAFETY: intentionally racy — the checker must abort
+                // before this closure can overlap another access.
+                unsafe { *p = 1 }
+            });
+        });
+        cell.with(|p| {
+            // SAFETY: as above; the model panics on the racy schedule.
+            unsafe { *p }
+        });
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "lost update")]
+fn unlocked_read_modify_write_loses_updates() {
+    // Classic lost update: load + store instead of fetch_add.
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            let v = x2.load(Ordering::SeqCst);
+            x2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = x.load(Ordering::SeqCst);
+        x.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::SeqCst), 2, "lost update");
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn lock_inversion_deadlocks() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn fetch_add_is_atomic() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.fetch_add(1, Ordering::Relaxed); // relaxed-ok: RMW atomicity under test
+        });
+        x.fetch_add(1, Ordering::Relaxed); // relaxed-ok: RMW atomicity under test
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::Relaxed), 2); // relaxed-ok: after join
+    });
+}
+
+#[test]
+fn compare_exchange_success_and_failure() {
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = thread::spawn(move || {
+            x2.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        });
+        let mine = x
+            .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        let theirs = t.join().unwrap();
+        // Exactly one CAS can win the 0 -> new transition.
+        assert!(mine ^ theirs, "both or neither CAS won");
+        let v = x.load(Ordering::Acquire);
+        assert!(v == 1 || v == 2);
+    });
+}
