@@ -17,10 +17,16 @@
 //!   is the section the lock-striping acceptance criterion reads.
 //!
 //! ```text
-//! bench_threads                      # full sweep -> BENCH_throughput.json
-//! bench_threads --smoke 1 --threads 4  # one quick Zone-Cache run, no file
+//! bench_threads                        # full sweep -> BENCH_throughput.json
+//! bench_threads --smoke 1 --threads 8  # all schemes at 1 and 8 threads,
+//!                                      # asserting scaling floors; no file
 //! bench_threads --scheme Region-Cache --threads 8
+//! bench_threads --trace-out trace.jsonl --scheme File-Cache --threads 8
 //! ```
+//!
+//! `--trace-out <file.jsonl>` enables the event tracer for the whole
+//! sweep and dumps the merged timeline (zone resets, cleaner passes,
+//! seals, evictions — see `zns_cache::trace`) as JSONL on exit.
 
 use zns_cache::backend::GcMode;
 use zns_cache::Scheme;
@@ -52,12 +58,13 @@ fn run_one(scheme: Scheme, cfg: &MtConfig, fast: bool) -> MtReport {
     let sc = build_scheme_on(profile, scheme, scheme_cache_zones(scheme), GcMode::Migrate);
     let report = run_mt(&sc, cfg);
     println!(
-        "{:<11} {:<14} threads={} ops/s={:>10.0} hit={:.3} p50={}us p99={}us stale={} inline_ev={} maint_ev={}",
+        "{:<11} {:<14} threads={} ops/s={:>10.0} hit={:.3} wa={:.2} p50={}us p99={}us stale={} inline_ev={} maint_ev={}",
         if fast { "fast_device" } else { "flash" },
         report.scheme,
         report.threads,
         report.ops_per_sec(),
         report.hit_ratio(),
+        report.write_amplification,
         report.get_latency.percentile(50.0).as_micros(),
         report.get_latency.percentile(99.0).as_micros(),
         report.stale_reads,
@@ -71,15 +78,40 @@ fn main() {
     let flags = Flags::from_env();
     let smoke = flags.u64("smoke", 0) != 0;
     let out = flags.str("out", "BENCH_throughput.json");
+    let trace_out = zns_cache_bench::start_trace(&flags);
 
     if smoke {
-        // CI gate: one short mixed run on the flagship scheme must complete
-        // and stay self-consistent. Fast media keeps the gate seconds-scale.
-        let threads = flags.u64("threads", 4) as usize;
-        let cfg = MtConfig::smoke(threads);
-        let report = run_one(Scheme::Zone, &cfg, true);
-        assert_eq!(report.ops, cfg.threads as u64 * cfg.ops_per_thread);
-        assert!(report.hits <= report.gets);
+        // CI gate: every scheme must complete a short mixed run at 1 and
+        // N threads, stay self-consistent, offer the same workload at
+        // both thread counts, and keep at least half its single-thread
+        // throughput — the floor that catches a multi-thread collapse
+        // (File-Cache once dropped 108.6k -> 4.7k ops/s at >= 4 threads).
+        // Fast media keeps the gate seconds-scale.
+        let threads = flags.u64("threads", 8) as usize;
+        for scheme in Scheme::ALL {
+            let base = run_one(scheme, &MtConfig::smoke(1), true);
+            let multi = run_one(scheme, &MtConfig::smoke(threads), true);
+            assert_eq!(multi.ops, MtConfig::smoke(threads).ops);
+            assert!(multi.hits <= multi.gets);
+            assert_eq!(
+                base.gets, multi.gets,
+                "{scheme}: offered workload changed with thread count"
+            );
+            assert!(
+                (base.hit_ratio() - multi.hit_ratio()).abs() < 0.02,
+                "{scheme}: hit ratio drifted with threads: {:.4} -> {:.4}",
+                base.hit_ratio(),
+                multi.hit_ratio()
+            );
+            assert!(
+                multi.ops_per_sec() >= 0.5 * base.ops_per_sec(),
+                "{scheme}: {threads}-thread throughput {:.0} ops/s fell below half \
+                 of single-thread {:.0} ops/s",
+                multi.ops_per_sec(),
+                base.ops_per_sec()
+            );
+        }
+        zns_cache_bench::finish_trace(&trace_out);
         println!("smoke OK");
         return;
     }
@@ -90,7 +122,7 @@ fn main() {
         n => vec![n as usize],
     };
     let mut template = MtConfig::throughput(1);
-    template.ops_per_thread = flags.u64("ops", template.ops_per_thread);
+    template.ops = flags.u64("ops", template.ops);
     template.keys = flags.u64("keys", template.keys);
     template.zipf = flags.f64("zipf", template.zipf);
     template.get_ratio = flags.f64("get-ratio", template.get_ratio);
@@ -123,4 +155,5 @@ fn main() {
     );
     std::fs::write(&out, &json).expect("write throughput artifact");
     println!("wrote {out}");
+    zns_cache_bench::finish_trace(&trace_out);
 }

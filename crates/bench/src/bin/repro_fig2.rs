@@ -20,6 +20,7 @@ use zns_cache_bench::{build_scheme, report, run_cachebench, Flags, Table};
 
 fn main() {
     let flags = Flags::from_env();
+    let trace_out = zns_cache_bench::start_trace(&flags);
     let zones = flags.u64("zones", 25) as u32;
     let cache_zones = flags.u64("cache", 20) as u32;
     let keys = flags.u64("keys", 450_000);
@@ -60,4 +61,5 @@ fn main() {
     println!("{}", table.render());
     println!("# Paper shape: hit ratio Zone > others (94.29% -> 95.08%);");
     println!("# throughput Region ~ Block > Zone > File.");
+    zns_cache_bench::finish_trace(&trace_out);
 }

@@ -77,6 +77,7 @@ fn print_series(name: &str, series: &[(u64, Nanos)]) {
 
 fn main() {
     let flags = Flags::from_env();
+    let trace_out = zns_cache_bench::start_trace(&flags);
     let profile = flags.str("profile", "both");
     let zones = flags.u64("zones", 16) as u32;
     let regions = flags.u64("regions", 40);
@@ -98,4 +99,5 @@ fn main() {
     }
     println!("# Paper shape: large-region series jumps at eviction onset;");
     println!("# small-region series stays flat.");
+    zns_cache_bench::finish_trace(&trace_out);
 }

@@ -19,6 +19,7 @@ use zns_cache_bench::{build_scheme, report, run_cachebench, Flags, Table};
 
 fn main() {
     let flags = Flags::from_env();
+    let trace_out = zns_cache_bench::start_trace(&flags);
     let zones = flags.u64("zones", 40) as u32;
     let ops = flags.u64("ops", 300_000);
     let workers = flags.u64("workers", 4) as usize;
@@ -86,4 +87,5 @@ fn main() {
     println!("# Paper shape: larger OP -> higher throughput, lower hit ratio,");
     println!("# lower WA (paper: Region 1.39/1.30/1.15, File 1.25/1.19/1.11);");
     println!("# Zone-Cache is GC-free with WA == 1 always.");
+    zns_cache_bench::finish_trace(&trace_out);
 }

@@ -18,6 +18,7 @@ use zns_cache_bench::{build_lsm_experiment, report, Flags, Table};
 
 fn main() {
     let flags = Flags::from_env();
+    let trace_out = zns_cache_bench::start_trace(&flags);
     let keys = flags.u64("keys", 800_000);
     let reads = flags.u64("reads", 250_000);
     let cache_zones = flags.u64("cache-zones", 3) as u32;
@@ -64,4 +65,5 @@ fn main() {
     println!("# Block-Cache lowest p50 but highest p99 (device GC);");
     println!("# File-Cache lowest p99 (up to -42% vs Block);");
     println!("# Zone-Cache lowest ops/s at this small cache size (Table 2 recovers it).");
+    zns_cache_bench::finish_trace(&trace_out);
 }

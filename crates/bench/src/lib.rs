@@ -25,6 +25,34 @@ pub mod lsm_setup;
 pub mod setup;
 
 pub use args::Flags;
+
+/// Handles the shared `--trace-out <file.jsonl>` flag: enables the
+/// global event tracer when present and returns the output path (empty
+/// string = tracing stays off). Pair with [`finish_trace`] at exit.
+pub fn start_trace(flags: &Flags) -> String {
+    let path = flags.str("trace-out", "");
+    if !path.is_empty() {
+        zns_cache::trace::enable();
+    }
+    path
+}
+
+/// Dumps the merged trace timeline to `path` as JSONL (no-op on an
+/// empty path). Reports how many events were lost to ring wraparound so
+/// a truncated trace is never mistaken for a complete one.
+///
+/// # Panics
+///
+/// Panics when the trace file cannot be written — an experiment asked
+/// for a trace and silently losing it would invalidate the diagnosis.
+pub fn finish_trace(path: &str) {
+    if path.is_empty() {
+        return;
+    }
+    let n = zns_cache::trace::dump_to_file(path).expect("write trace file");
+    let dropped = zns_cache::trace::dropped();
+    println!("wrote {n} trace events to {path} ({dropped} dropped to ring wraparound)");
+}
 pub use mt::{run_mt, throughput_json, MtConfig, MtReport};
 pub use profile::{DeviceProfile, ZONE_MIB};
 pub use report::Table;

@@ -38,8 +38,15 @@ use zns_cache::{Maintainer, SchemeCache};
 pub struct MtConfig {
     /// Worker threads.
     pub threads: usize,
-    /// Measured operations per thread.
-    pub ops_per_thread: u64,
+    /// Total measured operations, **across all threads**. The op
+    /// sequence (key ids and get/set choices) is generated once from
+    /// `seed` and dealt to threads round-robin, so the offered workload
+    /// is identical at every thread count — an N-thread run and a
+    /// 1-thread run read the same keys in (nearly) the same global
+    /// order. Per-thread op counts or per-thread RNG streams would make
+    /// hit ratios and total work functions of the thread count, which
+    /// poisons any scaling comparison.
+    pub ops: u64,
     /// Unmeasured warmup operations (single-threaded, fills the cache).
     pub warmup_ops: u64,
     /// Distinct keys.
@@ -51,7 +58,7 @@ pub struct MtConfig {
     /// Fraction of operations that are lookups; the rest are inserts.
     /// Lookups are look-aside: a miss fetches from origin and inserts.
     pub get_ratio: f64,
-    /// Base RNG seed (each thread derives its own stream).
+    /// RNG seed for the shared op sequence.
     pub seed: u64,
 }
 
@@ -61,7 +68,7 @@ impl MtConfig {
     pub fn throughput(threads: usize) -> Self {
         MtConfig {
             threads,
-            ops_per_thread: 40_000,
+            ops: 160_000,
             warmup_ops: 30_000,
             keys: 12_000,
             zipf: 0.9,
@@ -74,7 +81,7 @@ impl MtConfig {
     /// A seconds-scale variant for CI smoke runs.
     pub fn smoke(threads: usize) -> Self {
         MtConfig {
-            ops_per_thread: 4_000,
+            ops: 32_000,
             warmup_ops: 2_000,
             keys: 4_000,
             ..MtConfig::throughput(threads)
@@ -110,6 +117,9 @@ pub struct MtReport {
     pub maintainer_evictions: u64,
     /// Reads that raced an eviction and retried.
     pub stale_reads: u64,
+    /// End-to-end write amplification (media bytes / cache flush bytes)
+    /// at the end of the run.
+    pub write_amplification: f64,
 }
 
 impl MtReport {
@@ -190,6 +200,16 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
     }
     let warm_clock = t;
 
+    // One shared op sequence, generated up front from one RNG and dealt
+    // to threads round-robin (thread j runs ops j, j+N, j+2N, ...). See
+    // the `ops` field docs: this is what makes the offered workload
+    // invariant under the thread count.
+    let mut seq_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_5EED);
+    let op_seq: Vec<(u64, bool)> = (0..cfg.ops)
+        .map(|_| (zipf.sample(&mut seq_rng), seq_rng.gen_bool(cfg.get_ratio)))
+        .collect();
+    let op_seq = &op_seq;
+
     // Background maintainer overlaps eviction with the measured phase.
     let maintainer = Maintainer::new(std::sync::Arc::clone(cache)).spawn(Duration::from_millis(1));
 
@@ -206,7 +226,6 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
     let started = Instant::now();
     std::thread::scope(|s| {
         for thread in 0..cfg.threads {
-            let zipf = &zipf;
             let value = &value;
             let gets = &gets;
             let hits = &hits;
@@ -215,14 +234,12 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
             let set_latency = &set_latency;
             let clocks = &clocks;
             s.spawn(move || {
-                let mut rng =
-                    StdRng::seed_from_u64(cfg.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9));
                 let mut t = warm_clock;
                 let my_gets = LatencyHistogram::new();
                 let my_sets = LatencyHistogram::new();
                 let mut my_get_count = 0u64;
                 let mut my_hits = 0u64;
-                for _ in 0..cfg.ops_per_thread {
+                for &(key_id, is_get) in op_seq.iter().skip(thread).step_by(cfg.threads.max(1)) {
                     clocks[thread].store(t.as_nanos(), Ordering::Relaxed);
                     loop {
                         let min = clocks
@@ -235,9 +252,9 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
                         }
                         std::thread::yield_now();
                     }
-                    let key = key_bytes(zipf.sample(&mut rng));
+                    let key = key_bytes(key_id);
                     let start = t;
-                    if rng.gen_bool(cfg.get_ratio) {
+                    if is_get {
                         let (v, done) = cache.get(&key, start).expect("measured get");
                         my_get_count += 1;
                         let done = if v.is_some() {
@@ -270,7 +287,7 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
     MtReport {
         scheme: sc.scheme.label().to_string(),
         threads: cfg.threads,
-        ops: cfg.threads as u64 * cfg.ops_per_thread,
+        ops: cfg.ops,
         sim_elapsed: Nanos::from_nanos(makespan.load(Ordering::Relaxed)),
         wall,
         gets: gets.load(Ordering::Relaxed),
@@ -280,6 +297,7 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
         inline_evictions: m.inline_evictions,
         maintainer_evictions: m.maintainer_evictions,
         stale_reads: m.stale_reads,
+        write_amplification: cache.write_amplification(),
     }
 }
 
@@ -330,8 +348,8 @@ fn schemes_json(runs: &[MtReport], indent: &str) -> String {
 pub fn throughput_json(cfg: &MtConfig, sections: &[(&str, &[MtReport])]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"workload\": {{\"zipf\": {}, \"value_len\": {}, \"get_ratio\": {}, \"keys\": {}, \"ops_per_thread\": {}}},\n",
-        cfg.zipf, cfg.value_len, cfg.get_ratio, cfg.keys, cfg.ops_per_thread
+        "  \"workload\": {{\"zipf\": {}, \"value_len\": {}, \"get_ratio\": {}, \"keys\": {}, \"total_ops\": {}}},\n",
+        cfg.zipf, cfg.value_len, cfg.get_ratio, cfg.keys, cfg.ops
     ));
     out.push_str("  \"profiles\": {\n");
     for (pi, (label, runs)) in sections.iter().enumerate() {
@@ -359,7 +377,7 @@ mod tests {
         let sc = build_scheme(Scheme::Region, 8, 6, StoreKind::Sparse, GcMode::Migrate);
         let cfg = MtConfig {
             threads: 2,
-            ops_per_thread: 500,
+            ops: 1_000,
             warmup_ops: 300,
             keys: 1_000,
             zipf: 0.9,
@@ -375,11 +393,42 @@ mod tests {
     }
 
     #[test]
+    fn offered_workload_is_thread_count_invariant() {
+        // The same config at 1 and 4 threads must issue the same ops with
+        // the same get/set split; the hit ratio may only drift by true
+        // interleaving effects, not by workload differences.
+        let report = |threads: usize| {
+            let sc = build_scheme(Scheme::Region, 8, 6, StoreKind::Sparse, GcMode::Migrate);
+            let cfg = MtConfig {
+                threads,
+                ops: 2_000,
+                warmup_ops: 500,
+                keys: 1_000,
+                zipf: 0.9,
+                value_len: 1024,
+                get_ratio: 0.9,
+                seed: 3,
+            };
+            run_mt(&sc, &cfg)
+        };
+        let r1 = report(1);
+        let r4 = report(4);
+        assert_eq!(r1.ops, r4.ops, "total ops must not scale with threads");
+        assert_eq!(r1.gets, r4.gets, "get/set split must not depend on threads");
+        assert!(
+            (r1.hit_ratio() - r4.hit_ratio()).abs() < 0.02,
+            "hit ratio drifted with thread count: {} vs {}",
+            r1.hit_ratio(),
+            r4.hit_ratio()
+        );
+    }
+
+    #[test]
     fn json_artifact_shape() {
         let sc = build_scheme(Scheme::Zone, 8, 8, StoreKind::Sparse, GcMode::Migrate);
         let cfg = MtConfig {
             threads: 1,
-            ops_per_thread: 200,
+            ops: 200,
             warmup_ops: 100,
             keys: 500,
             zipf: 0.9,

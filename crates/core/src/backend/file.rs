@@ -127,6 +127,21 @@ impl RegionBackend for FileBackend {
         Ok(done)
     }
 
+    fn maintenance(
+        &self,
+        now: Nanos,
+        _temperature: &dyn Fn(RegionId) -> f64,
+    ) -> Result<super::MaintenanceOutcome, CacheError> {
+        // Run the filesystem's cleaner in the background so foreground
+        // writers do not hit the free-zone floor and clean inline under
+        // their own op latency — the File-Cache collapse mode.
+        let done = self.fs.clean(now)?;
+        Ok(super::MaintenanceOutcome {
+            dropped_regions: Vec::new(),
+            done,
+        })
+    }
+
     fn discard_region(&self, region: RegionId, now: Nanos) -> Result<Nanos, CacheError> {
         check_region_read(region, 0, 0, self.region_size, self.num_regions)?;
         if self.punch_on_discard {

@@ -48,12 +48,13 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 
 use bytes::Bytes;
+use sim::trace::{self, EventKind};
 use sim::{crc32, Crc32, LatencyHistogram, Nanos};
 
 use crate::backend::RegionBackend;
 use crate::dram::DramCache;
 use crate::index::{Index, IndexEntry};
-use crate::metrics::{CacheMetrics, CacheMetricsSnapshot};
+use crate::metrics::{CacheMetrics, CacheMetricsSnapshot, CounterTable};
 use crate::policy::{Admission, AdmissionGate, EvictionPolicy};
 use crate::protocol::{CleanPool, CommitWindow, Generation, Pins};
 use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -443,7 +444,16 @@ pub struct LogCache {
     /// High-water mark of observed simulated time, so a wall-clock
     /// background maintainer can run "at" a meaningful sim timestamp.
     clock_hwm: AtomicU64,
+    /// `inline_evictions` count as of the last maintenance pass. The
+    /// delta since then is the backpressure signal: each inline eviction
+    /// means a foreground writer found the clean pool dry, so the next
+    /// pass raises its target above the static watermark to get ahead.
+    pressure_seen: AtomicU64,
     metrics: CacheMetrics,
+    /// Seal count per region slot (sized at construction).
+    region_seals: CounterTable,
+    /// Eviction count per region slot (sized at construction).
+    region_evictions: CounterTable,
 }
 
 impl core::fmt::Debug for LogCache {
@@ -495,7 +505,10 @@ impl LogCache {
             access_seq: AtomicU64::new(0),
             stall_until: AtomicU64::new(0),
             clock_hwm: AtomicU64::new(0),
+            pressure_seen: AtomicU64::new(0),
             metrics: CacheMetrics::default(),
+            region_seals: CounterTable::new(n as usize),
+            region_evictions: CounterTable::new(n as usize),
             backend,
             config,
         })
@@ -509,6 +522,16 @@ impl LogCache {
     /// Cache metrics snapshot.
     pub fn metrics(&self) -> CacheMetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Per-region seal counts, indexed by region id.
+    pub fn region_seal_counts(&self) -> Vec<u64> {
+        self.region_seals.snapshot()
+    }
+
+    /// Per-region eviction counts, indexed by region id.
+    pub fn region_eviction_counts(&self) -> Vec<u64> {
+        self.region_evictions.snapshot()
     }
 
     /// Lookup-latency histogram (copied).
@@ -624,6 +647,7 @@ impl LogCache {
                     }
                     attempt += 1;
                     self.metrics.retries.incr();
+                    trace::emit(EventKind::IoRetry, t, attempt as u64, delay.as_nanos());
                     t += delay;
                     delay = delay * 2;
                 }
@@ -643,6 +667,12 @@ impl LogCache {
         }
         slot.live_objects.store(0, Ordering::Relaxed); // relaxed-ok: statistic
         w.fifo.retain(|&r| r != region);
+        trace::emit(
+            EventKind::RegionQuarantine,
+            self.observed_clock(),
+            region as u64,
+            0,
+        );
         self.metrics.quarantined_regions.incr();
         self.metrics
             .quarantined_bytes
@@ -778,6 +808,8 @@ impl LogCache {
                 Ok(t) => {
                     self.metrics.evicted_objects.add(removed);
                     self.metrics.evicted_regions.incr();
+                    self.region_evictions.incr(victim as usize);
+                    trace::emit(EventKind::RegionEvict, t, victim as u64, removed);
                     return Ok((victim, t));
                 }
                 Err(_) => {
@@ -798,39 +830,64 @@ impl LogCache {
             return Ok((r, now));
         }
         self.metrics.inline_evictions.incr();
-        self.evict_one(w, now)
+        let (victim, t) = self.evict_one(w, now)?;
+        trace::emit(EventKind::InlineEviction, t, victim as u64, 0);
+        Ok((victim, t))
     }
 
-    /// Evicts until at least `clean_region_watermark` free regions exist.
+    /// Evicts until at least `clean_region_watermark` free regions exist,
+    /// then runs one backend maintenance pass (GC / filesystem cleaning).
     /// Driven by the [`crate::maintainer::Maintainer`] — either its
     /// background thread or a test calling it at a chosen simulated time.
     /// Returns the evicted regions in order (deterministic for a given
     /// cache state, which the maintainer determinism test relies on).
     ///
+    /// The eviction target adapts to backpressure: every inline eviction
+    /// since the previous pass means a foreground writer drained the pool
+    /// faster than this thread refilled it, so the target grows by that
+    /// delta (bounded to a quarter of all slots). With no inline
+    /// evictions the target is exactly the configured watermark, which
+    /// keeps single-threaded runs and determinism tests bit-identical.
+    ///
     /// # Errors
     ///
-    /// None today: running out of sealed victims simply stops the pass.
-    /// The `Result` is the typed surface for future failure modes.
+    /// Backend maintenance failures. Running out of sealed victims is not
+    /// an error — the pass simply stops.
     pub fn maintain(&self, now: Nanos) -> Result<Vec<RegionId>, CacheError> {
         let watermark = self.config.clean_region_watermark;
         let mut evicted = Vec::new();
         if watermark == 0 {
             return Ok(evicted);
         }
+        // relaxed-ok: pacing heuristic; a stale count only shifts work
+        // between consecutive passes.
+        let inline_now = self.metrics.inline_evictions.get();
+        // relaxed-ok: see above.
+        let prev = self.pressure_seen.swap(inline_now, Ordering::Relaxed);
+        let pressure = inline_now.saturating_sub(prev) as usize;
+        let target = watermark + pressure.min(self.slots.len() / 4);
         let mut w = self.writer.lock();
         let mut t = now;
-        while w.free.len() < watermark {
+        while w.free.len() < target {
             match self.evict_one(&mut w, t) {
                 Ok((victim, t2)) => {
                     w.free.push(victim);
                     evicted.push(RegionId(victim));
                     self.metrics.maintainer_evictions.incr();
+                    trace::emit(EventKind::MaintainerEviction, t2, victim as u64, 0);
                     t = t2;
                 }
                 // Nothing sealed left to evict: the pass is done.
                 Err(_) => break,
             }
         }
+        // Backend-level maintenance (middle-layer GC, filesystem
+        // cleaning) also belongs to the background thread. Before this
+        // ran only on the foreground set path every
+        // `maintenance_interval_sets` inserts, so File-Cache's cleaner
+        // dug writers into the free-zone floor and they cleaned inline
+        // under their own op latency.
+        self.run_maintenance(&mut w, t)?;
         Ok(evicted)
     }
 
@@ -900,6 +957,13 @@ impl LogCache {
         self.metrics
             .bytes_flushed
             .add(self.backend.region_size() as u64);
+        self.region_seals.incr(buf.region.0 as usize);
+        trace::emit(
+            EventKind::RegionSeal,
+            done,
+            buf.region.0 as u64,
+            self.backend.region_size() as u64,
+        );
         Ok(t)
     }
 

@@ -63,6 +63,7 @@ pub mod protocol;
 pub mod recovery;
 pub mod scheme;
 pub mod sync;
+pub mod trace;
 pub mod types;
 
 pub use bighash::{BigHash, HybridEngine};

@@ -79,6 +79,66 @@ impl CacheMetricsSnapshot {
     }
 }
 
+/// A fixed-size table of per-id counters — one per region slot or zone,
+/// sized at construction so hot-path increments are a bounds-checked
+/// atomic add with no locking and no allocation. Out-of-range ids are
+/// silently dropped (a statistics table must never panic a data path).
+///
+/// [`LogCache`] keeps one table per tracked dimension (seals and
+/// evictions per region); trace snapshots cross-check against them.
+///
+/// [`LogCache`]: crate::engine::LogCache
+#[derive(Debug, Default)]
+pub struct CounterTable {
+    counters: Vec<Counter>,
+}
+
+impl CounterTable {
+    /// A table of `n` zeroed counters.
+    pub fn new(n: usize) -> Self {
+        CounterTable {
+            counters: (0..n).map(|_| Counter::new()).collect(),
+        }
+    }
+
+    /// Adds 1 to counter `id` (no-op when out of range).
+    pub fn incr(&self, id: usize) {
+        self.add(id, 1);
+    }
+
+    /// Adds `delta` to counter `id` (no-op when out of range).
+    pub fn add(&self, id: usize, delta: u64) {
+        if let Some(c) = self.counters.get(id) {
+            c.add(delta);
+        }
+    }
+
+    /// Current value of counter `id` (0 when out of range).
+    pub fn get(&self, id: usize) -> u64 {
+        self.counters.get(id).map_or(0, Counter::get)
+    }
+
+    /// Number of counters in the table.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the table holds no counters.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// All counter values, indexed by id.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counters.iter().map(Counter::get).collect()
+    }
+
+    /// Sum across all counters.
+    pub fn total(&self) -> u64 {
+        self.counters.iter().map(Counter::get).sum()
+    }
+}
+
 /// Internal live metrics: counters plus op-latency histograms.
 #[derive(Debug, Default)]
 pub(crate) struct CacheMetrics {
@@ -171,6 +231,20 @@ impl CacheMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_table_bounds_and_totals() {
+        let t = CounterTable::new(4);
+        assert_eq!((t.len(), t.is_empty()), (4, false));
+        t.incr(0);
+        t.add(3, 5);
+        t.incr(99); // out of range: dropped, not a panic
+        assert_eq!(t.get(0), 1);
+        assert_eq!(t.get(3), 5);
+        assert_eq!(t.get(99), 0);
+        assert_eq!(t.snapshot(), vec![1, 0, 0, 5]);
+        assert_eq!(t.total(), 6);
+    }
 
     #[test]
     fn hit_ratio_math() {

@@ -1,0 +1,152 @@
+//! Trace export: the [`sim::trace`] event log as JSONL.
+//!
+//! The recording machinery (ring buffers, event kinds, enable/disable)
+//! lives in [`sim::trace`] so every layer — the ZNS device model,
+//! `f2fs-lite`'s cleaner, and this crate's engine — can emit into one
+//! merged timeline. This module re-exports it and adds the line-oriented
+//! JSON serialization the benchmark binaries write behind `--trace-out`.
+//!
+//! One event per line, stable field order:
+//!
+//! ```json
+//! {"t":153600,"thread":0,"seq":42,"kind":"region_seal","a":3,"b":262144}
+//! ```
+//!
+//! * `t` — simulated nanoseconds the emitter observed,
+//! * `thread` — dense id of the emitting thread (registration order),
+//! * `seq` — global emission order (tie-breaker for equal timestamps),
+//! * `kind` — snake_case event name (see [`EventKind`]),
+//! * `a`/`b` — kind-specific payload (documented on [`EventKind`]).
+//!
+//! Lines are sorted by `(t, seq)`; a consumer can stream-process without
+//! buffering. `jq`, `grep`, and a text editor all work on the output.
+
+pub use sim::trace::{
+    clear, disable, dropped, emit, enable, is_enabled, snapshot, Event, EventKind, RING_CAPACITY,
+};
+
+use std::io::Write;
+
+/// Serializes one event as a single JSON line (no trailing newline).
+pub fn to_json_line(e: &Event) -> String {
+    // Hand-rolled: every field is an integer or a fixed identifier, so
+    // full serde machinery would buy nothing over format!.
+    format!(
+        "{{\"t\":{},\"thread\":{},\"seq\":{},\"kind\":\"{}\",\"a\":{},\"b\":{}}}",
+        e.t.as_nanos(),
+        e.thread,
+        e.seq,
+        e.kind.name(),
+        e.a,
+        e.b
+    )
+}
+
+/// Writes `events` as JSONL to `out`, one line per event.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_jsonl<W: Write>(out: &mut W, events: &[Event]) -> std::io::Result<()> {
+    for e in events {
+        writeln!(out, "{}", to_json_line(e))?;
+    }
+    Ok(())
+}
+
+/// Takes a snapshot of the global tracer and writes it to `path` as
+/// JSONL. Returns the number of events written.
+///
+/// # Errors
+///
+/// File creation/write failures.
+pub fn dump_to_file(path: &str) -> std::io::Result<usize> {
+    let events = snapshot();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_jsonl(&mut file, &events)?;
+    file.flush()?;
+    Ok(events.len())
+}
+
+/// Counts events of each kind in a snapshot — the cross-check a report
+/// runs against the engine's aggregate metrics.
+pub fn count_by_kind(events: &[Event]) -> std::collections::HashMap<EventKind, u64> {
+    let mut counts = std::collections::HashMap::new();
+    for e in events {
+        *counts.entry(e.kind).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Nanos;
+
+    #[test]
+    fn json_line_shape_is_stable() {
+        let e = Event {
+            seq: 42,
+            thread: 0,
+            t: Nanos(153_600),
+            kind: EventKind::RegionSeal,
+            a: 3,
+            b: 262_144,
+        };
+        assert_eq!(
+            to_json_line(&e),
+            "{\"t\":153600,\"thread\":0,\"seq\":42,\"kind\":\"region_seal\",\"a\":3,\"b\":262144}"
+        );
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_line_per_event() {
+        let events = vec![
+            Event {
+                seq: 1,
+                thread: 0,
+                t: Nanos(10),
+                kind: EventKind::InlineEviction,
+                a: 1,
+                b: 0,
+            },
+            Event {
+                seq: 2,
+                thread: 1,
+                t: Nanos(20),
+                kind: EventKind::CleanerVictim,
+                a: 5,
+                b: 77,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"inline_eviction\""));
+        assert!(lines[1].contains("\"kind\":\"cleaner_victim\""));
+        assert!(lines[1].contains("\"b\":77"));
+    }
+
+    #[test]
+    fn count_by_kind_groups_events() {
+        let mk = |seq, kind| Event {
+            seq,
+            thread: 0,
+            t: Nanos(seq),
+            kind,
+            a: 0,
+            b: 0,
+        };
+        let events = vec![
+            mk(1, EventKind::RegionEvict),
+            mk(2, EventKind::RegionEvict),
+            mk(3, EventKind::RegionSeal),
+        ];
+        let counts = count_by_kind(&events);
+        assert_eq!(counts[&EventKind::RegionEvict], 2);
+        assert_eq!(counts[&EventKind::RegionSeal], 1);
+        assert_eq!(counts.get(&EventKind::ZoneReset), None);
+    }
+}

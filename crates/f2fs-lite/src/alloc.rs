@@ -118,6 +118,74 @@ impl MainArea {
         mba.0 as u64 % self.blocks_per_zone
     }
 
+    /// Reserves the next block of `log`, marking it valid and owned
+    /// *before* the device write happens.
+    ///
+    /// This is the allocation half of an out-of-lock append: the caller
+    /// holds the per-log append lock, reserves under the filesystem lock,
+    /// then performs the device write with the filesystem lock released
+    /// (the log lock keeps the zone's write pointer in reserve order).
+    /// Marking the block valid eagerly means the cleaner can never reset
+    /// a zone that still has a reservation in flight: the zone only
+    /// becomes a victim candidate once Full, and by then the write that
+    /// filled it has completed.
+    ///
+    /// On device-write failure the caller must roll back with
+    /// [`MainArea::unreserve`].
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NoSpace`] when no zone is free for a new head — the
+    /// caller must clean first.
+    pub fn reserve(&mut self, log: LogType, owner: Owner) -> Result<(ZoneId, u64, Mba), FsError> {
+        let slot = Self::log_slot(log);
+        if self.heads[slot].is_none() {
+            let zone = self.free.pop_front().ok_or(FsError::NoSpace)?;
+            debug_assert_eq!(self.dev.zone_state(zone)?, ZoneState::Empty);
+            self.heads[slot] = Some((zone, 0));
+        }
+        let (zone, off) = self.heads[slot].expect("head just ensured");
+        let mba = self.mba(zone, off);
+        self.valid[mba.0 as usize] = true;
+        self.valid_per_zone[zone.0 as usize] += 1;
+        self.summary[mba.0 as usize] = Some(owner);
+        let next = off + 1;
+        if next == self.blocks_per_zone {
+            // Zone exhausted: the write that lands at `off` seals it.
+            self.heads[slot] = None;
+        } else {
+            self.heads[slot] = Some((zone, next));
+        }
+        Ok((zone, off, mba))
+    }
+
+    /// Rolls back a [`MainArea::reserve`] whose device write failed.
+    ///
+    /// Only valid while the caller still holds the per-log append lock:
+    /// the head is restored to point back at the reserved offset.
+    pub fn unreserve(&mut self, log: LogType, zone: ZoneId, off: u64) {
+        let mba = self.mba(zone, off);
+        debug_assert!(self.valid[mba.0 as usize], "unreserve of unreserved {mba:?}");
+        self.valid[mba.0 as usize] = false;
+        self.summary[mba.0 as usize] = None;
+        self.valid_per_zone[zone.0 as usize] -= 1;
+        self.heads[Self::log_slot(log)] = Some((zone, off));
+    }
+
+    /// Returns a zone to the free pool after the caller reset it on the
+    /// device *outside* the filesystem lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zone still holds valid blocks.
+    pub fn release_reset_zone(&mut self, zone: ZoneId) {
+        assert_eq!(
+            self.valid_per_zone[zone.0 as usize], 0,
+            "releasing {zone} with live blocks"
+        );
+        self.free.push_back(zone);
+    }
+
     /// Appends one 4 KiB block to `log`, recording its owner.
     ///
     /// Returns the block's address and the completion time.
@@ -423,6 +491,59 @@ mod tests {
         }
         let zone = a.pick_victim().unwrap();
         let _ = a.reset_zone(zone, t);
+    }
+
+    #[test]
+    fn reserve_then_unreserve_restores_the_head() {
+        let mut a = area();
+        let (z1, o1, m1) = a.reserve(LogType::HotData, owner(0)).unwrap();
+        assert!(a.is_valid(m1), "reserved blocks count as valid immediately");
+        assert_eq!(a.zone_valid(z1), 1);
+        a.unreserve(LogType::HotData, z1, o1);
+        assert!(!a.is_valid(m1));
+        assert_eq!(a.zone_valid(z1), 0);
+        // The next reservation reuses the rolled-back slot.
+        let (z2, o2, m2) = a.reserve(LogType::HotData, owner(0)).unwrap();
+        assert_eq!((z2, o2, m2), (z1, o1, m1));
+    }
+
+    #[test]
+    fn reserving_the_last_block_seals_the_head() {
+        let mut a = area();
+        let bpz = a.blocks_per_zone();
+        let mut t = Nanos::ZERO;
+        for i in 0..bpz - 1 {
+            t = a.append(LogType::HotData, &block(1), owner(i as u32), t).unwrap().1;
+        }
+        let heads_before = a.head_zones();
+        let (zone, off, _) = a.reserve(LogType::HotData, owner(99)).unwrap();
+        assert_eq!(off, bpz - 1);
+        assert!(a.head_zones().is_empty(), "sealing reservation drops the head");
+        // Rolling back the sealing reservation restores the head.
+        a.unreserve(LogType::HotData, zone, off);
+        assert_eq!(a.head_zones(), heads_before);
+    }
+
+    #[test]
+    fn release_reset_zone_requires_external_reset() {
+        let mut a = area();
+        let bpz = a.blocks_per_zone();
+        let before = a.free_zones();
+        let mut t = Nanos::ZERO;
+        let mut blocks = Vec::new();
+        for i in 0..bpz {
+            let (m, t2) = a.append(LogType::HotData, &block(1), owner(i as u32), t).unwrap();
+            blocks.push(m);
+            t = t2;
+        }
+        for m in blocks {
+            a.invalidate(m);
+        }
+        let zone = a.pick_victim().unwrap();
+        // Device reset performed by the caller, outside the fs lock.
+        a.device().clone().reset(zone, t).unwrap();
+        a.release_reset_zone(zone);
+        assert_eq!(a.free_zones(), before);
     }
 
     #[test]

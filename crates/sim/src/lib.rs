@@ -36,6 +36,7 @@ pub mod histogram;
 pub mod io;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use checksum::{crc32, Crc32};
 pub use driver::{ClosedLoop, DriverReport};

@@ -18,7 +18,14 @@
 //!   entry points (`get`, `try_get`, `delete`) never take the writer
 //!   lock, and no statement creates a lock/read guard in the same
 //!   expression that calls into `self.backend` (device I/O must happen
-//!   with all shard locks released).
+//!   with all shard locks released). The same rule covers
+//!   `crates/f2fs-lite/src/` (no statement acquires a lock guard in the
+//!   expression that performs `.dev.` I/O — holding the filesystem's
+//!   `inner` lock across NAND latency was the File-Cache multi-thread
+//!   collapse mode) and `crates/core/src/maintainer.rs` (no maintenance
+//!   pass started in a statement that takes a lock: the poll lock exists
+//!   only for the stop condvar, and a pass under it would serialize
+//!   `stop()` behind a full eviction's device I/O).
 //! * `no-panic-paths` — `engine.rs` code above its `#[cfg(test)]` module
 //!   contains no `unwrap`/`expect`/`unreachable!`/`panic!` reachable
 //!   from the public API; failures surface as typed `CacheError`s.
@@ -164,40 +171,83 @@ fn zns_state_authority(path: &str, text: &str, out: &mut Vec<Violation>) {
 const READ_PATH_FNS: &[&str] = &["get", "try_get", "delete"];
 
 fn lock_across_io(path: &str, text: &str, out: &mut Vec<Violation>) {
-    if path != "crates/core/src/engine.rs" {
-        return;
-    }
-    for name in READ_PATH_FNS {
-        for (start_line, body) in fn_bodies(text, name) {
-            for (off, line) in body.lines().enumerate() {
-                if line.contains("writer.lock()") {
-                    push(
-                        out,
-                        "lock-across-io",
-                        path,
-                        start_line + off,
-                        format!("read-path entry `{name}` takes the writer lock"),
-                    );
+    if path == "crates/core/src/engine.rs" {
+        for name in READ_PATH_FNS {
+            for (start_line, body) in fn_bodies(text, name) {
+                for (off, line) in body.lines().enumerate() {
+                    if line.contains("writer.lock()") {
+                        push(
+                            out,
+                            "lock-across-io",
+                            path,
+                            start_line + off,
+                            format!("read-path entry `{name}` takes the writer lock"),
+                        );
+                    }
                 }
             }
         }
-    }
-    // A guard created in the same statement as a backend call is held
-    // across the device I/O. (Guards the engine *means* to hold are
-    // bound with `let` on their own line and dropped before I/O.)
-    for (i, line) in text.lines().enumerate() {
-        if line.trim_start().starts_with("//") || !line.contains("self.backend.") {
-            continue;
+        // A guard created in the same statement as a backend call is held
+        // across the device I/O. (Guards the engine *means* to hold are
+        // bound with `let` on their own line and dropped before I/O.)
+        for (i, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("//") || !line.contains("self.backend.") {
+                continue;
+            }
+            if line.contains(".lock()") || line.contains("active_ro.read()") {
+                push(
+                    out,
+                    "lock-across-io",
+                    path,
+                    i + 1,
+                    "lock/read guard acquired in the same statement as device \
+                     I/O; release all shard locks before calling the backend",
+                );
+            }
         }
-        if line.contains(".lock()") || line.contains("active_ro.read()") {
-            push(
-                out,
-                "lock-across-io",
-                path,
-                i + 1,
-                "lock/read guard acquired in the same statement as device \
-                 I/O; release all shard locks before calling the backend",
-            );
+    }
+    // f2fs-lite: the filesystem's discipline is "stage under the lock,
+    // issue device I/O after release". A `.dev.` call in the same
+    // statement as a `.lock()` chains NAND latency onto the guard.
+    if path.starts_with("crates/f2fs-lite/src/") {
+        for (i, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("//") {
+                continue;
+            }
+            if line.contains(".dev.") && line.contains(".lock()") {
+                push(
+                    out,
+                    "lock-across-io",
+                    path,
+                    i + 1,
+                    "filesystem lock guard acquired in the same statement \
+                     as device I/O; stage under the lock, issue the I/O \
+                     after release",
+                );
+            }
+        }
+    }
+    // Maintainer: a maintenance pass performs eviction I/O; starting one
+    // while acquiring a lock in the same statement holds that lock for
+    // the whole pass (and `stop()` then waits out the device).
+    if path == "crates/core/src/maintainer.rs" {
+        for (i, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("//") {
+                continue;
+            }
+            if (line.contains(".maintain(") || line.contains(".run_once("))
+                && line.contains(".lock()")
+            {
+                push(
+                    out,
+                    "lock-across-io",
+                    path,
+                    i + 1,
+                    "maintenance pass started in the same statement as a \
+                     lock acquisition; the pass does device I/O and must \
+                     run with the lock released",
+                );
+            }
         }
     }
 }
@@ -352,6 +402,37 @@ mod tests {
         assert_eq!(v.len(), 1, "set may lock the writer, try_get may not: {v:?}");
         assert_eq!(v[0].rule, "lock-across-io");
         assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn f2fs_device_io_under_lock_is_flagged() {
+        // Seeded violation: the guard from `inner.lock()` lives for the
+        // whole statement, so the NAND write happens under it.
+        let bad = "let t = self.inner.lock().alloc.dev.write(zone, data, now)?;\n";
+        let v = run("crates/f2fs-lite/src/fs.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-across-io");
+        assert_eq!(v[0].line, 1);
+        // The disciplined shape: stage under the lock, I/O after release.
+        let good = "let zone = self.inner.lock().cur_zone;\n\
+                    let t = self.dev.write(zone, data, now)?;\n";
+        assert!(run("crates/f2fs-lite/src/fs.rs", good).is_empty());
+        // The rule is scoped: the same line elsewhere is not flagged.
+        assert!(run("crates/sim/src/thing.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn maintainer_pass_under_lock_is_flagged() {
+        let bad =
+            "let _ = signal.lock.lock().map(|_g| self.cache.maintain(now));\n";
+        let v = run("crates/core/src/maintainer.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-across-io");
+        // The real loop's shape — pass first, lock only for the condvar
+        // wait — is clean.
+        let good = "let _ = self.cache.maintain(now);\n\
+                    let guard = signal.lock.lock().expect(\"poisoned\");\n";
+        assert!(run("crates/core/src/maintainer.rs", good).is_empty());
     }
 
     #[test]

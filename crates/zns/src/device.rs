@@ -681,6 +681,7 @@ impl ZnsDevice {
             done = done.max(t);
         }
         self.zone_resets.incr();
+        sim::trace::emit(sim::trace::EventKind::ZoneReset, done, zone.0 as u64, 0);
         Ok(done)
     }
 
@@ -703,6 +704,7 @@ impl ZnsDevice {
         self.debug_validate(&state);
         drop(state);
         self.zone_finishes.incr();
+        sim::trace::emit(sim::trace::EventKind::ZoneFinish, now, zone.0 as u64, 0);
         Ok(now)
     }
 

@@ -25,10 +25,14 @@ echo "== tier1: loom model checks (exhaustive interleavings) =="
 cargo test -q -p loom
 RUSTFLAGS="--cfg loom" cargo test -q -p zns-cache --test loom
 
-echo "== tier1: multi-thread smoke (4 workers, shared engine) =="
-# Short mixed get/set run on Zone-Cache; asserts op counts and hit/get
-# self-consistency. The full sweep (writes BENCH_throughput.json) is
+echo "== tier1: multi-thread smoke (all schemes, 8 workers, shared engine) =="
+# Short mixed get/set run on every scheme at 1 and 8 threads. Asserts op
+# conservation, hit/get self-consistency, a thread-count-invariant offered
+# workload (hit ratios must match across thread counts), and a throughput
+# floor: 8-thread ops/s >= 0.5x single-thread — the gate that catches a
+# multi-thread collapse (File-Cache once fell 108.6k -> 4.7k ops/s). The
+# full sweep (writes BENCH_throughput.json) is
 # `cargo run --release -p zns-cache-bench --bin bench_threads`.
-cargo run --release -p zns-cache-bench --bin bench_threads -- --smoke 1 --threads 4
+cargo run --release -p zns-cache-bench --bin bench_threads -- --smoke 1 --threads 8
 
 echo "== tier1: OK =="
