@@ -27,7 +27,9 @@ use zns::{ZnsDevice, ZoneId, ZoneState};
 
 use crate::types::{CacheError, RegionId};
 
-use super::{check_region_read, check_region_write, MaintenanceOutcome, RegionBackend};
+use super::{
+    check_region_read, check_region_write, MaintenanceOutcome, RegionBackend, RegionHealth,
+};
 
 /// Zone GC strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -344,10 +346,18 @@ impl MiddleLayerBackend {
                 // set, finished if the device lets us. Its dead space is
                 // reclaimed when GC resets the zone.
                 let expected = slot as u64 * self.region_blocks;
-                if self.dev.zone_info(ZoneId(zone)).map(|i| i.write_pointer) != Ok(expected) {
+                let state = self.dev.zone_state(ZoneId(zone));
+                if matches!(state, Ok(ZoneState::ReadOnly | ZoneState::Offline)) {
+                    // The zone degraded under the open set: it can never
+                    // take another write, so drop it from rotation. Its
+                    // live slots stay mapped — reads still work on a
+                    // read-only zone, and the scrubber salvages them.
                     s.next_slot[zone as usize] = self.slots_per_zone;
                     s.open.retain(|&o| o != zone);
-                    if self.dev.zone_state(ZoneId(zone)) != Ok(ZoneState::Full) {
+                } else if self.dev.zone_info(ZoneId(zone)).map(|i| i.write_pointer) != Ok(expected) {
+                    s.next_slot[zone as usize] = self.slots_per_zone;
+                    s.open.retain(|&o| o != zone);
+                    if state != Ok(ZoneState::Full) {
                         // Best effort: a zone that will not finish still
                         // resets fine later.
                         let _ = self.dev.finish(ZoneId(zone), now);
@@ -383,6 +393,15 @@ impl MiddleLayerBackend {
             }
             if s.next_slot[z as usize] == 0 {
                 continue; // never written
+            }
+            if matches!(
+                self.dev.zone_state(ZoneId(z)),
+                Ok(ZoneState::ReadOnly | ZoneState::Offline)
+            ) {
+                // A degraded zone can never be reset: it is lost capacity,
+                // not a GC victim. Live slots on a read-only zone stay
+                // readable until the cache-level scrubber salvages them.
+                continue;
             }
             let valid = s.bitmap[z as usize].count_ones();
             if best.is_none_or(|(bv, _)| valid < bv) {
@@ -475,6 +494,25 @@ impl RegionBackend for MiddleLayerBackend {
 
     fn num_regions(&self) -> u32 {
         self.user_regions
+    }
+
+    fn region_health(&self, region: RegionId) -> RegionHealth {
+        // A region inherits the health of the zone its slot lives on:
+        // read-only zones still serve their frozen slots (salvageable),
+        // offline zones take every slot down with them. Unmapped regions
+        // hold no data, so nothing needs salvaging.
+        let zone = {
+            let s = self.state.lock();
+            match s.map.get(&region.0) {
+                Some(&(zone, _)) => zone,
+                None => return RegionHealth::Healthy,
+            }
+        };
+        match self.dev.zone_state(ZoneId(zone)) {
+            Ok(ZoneState::ReadOnly) => RegionHealth::Degraded,
+            Ok(ZoneState::Offline) => RegionHealth::Dead,
+            _ => RegionHealth::Healthy,
+        }
     }
 
     fn readable_bytes(&self, region: RegionId) -> usize {

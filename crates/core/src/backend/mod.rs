@@ -28,6 +28,23 @@ use sim::Nanos;
 
 use crate::types::{CacheError, RegionId};
 
+/// Health of the storage beneath one region, as reported by
+/// [`RegionBackend::region_health`]. The scrubber uses this to salvage
+/// live data off degrading media before it goes dark.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RegionHealth {
+    /// Fully serviceable.
+    #[default]
+    Healthy,
+    /// Still readable but no longer writable or erasable (a zone that
+    /// fell to the spec's read-only state): live objects must be
+    /// migrated off before the media degrades further.
+    Degraded,
+    /// Gone dark (an offline zone): reads fail too, nothing can be
+    /// salvaged, the region is pure lost capacity.
+    Dead,
+}
+
 /// Result of a backend maintenance (GC) pass.
 #[derive(Debug, Default)]
 pub struct MaintenanceOutcome {
@@ -79,6 +96,14 @@ pub trait RegionBackend: Send + Sync {
     /// read failures as "nothing readable".
     fn readable_bytes(&self, _region: RegionId) -> usize {
         self.region_size()
+    }
+
+    /// How trustworthy a region's storage currently is. Backends whose
+    /// media exposes degradation (zones report Read-Only/Offline states)
+    /// override this; the default claims perfect health, in which case
+    /// failures surface only through I/O errors.
+    fn region_health(&self, _region: RegionId) -> RegionHealth {
+        RegionHealth::Healthy
     }
 
     /// Releases a region's storage ahead of slot reuse (TRIM, zone reset,

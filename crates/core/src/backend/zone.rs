@@ -9,11 +9,11 @@
 use std::sync::Arc;
 
 use sim::{Counter, Nanos, BLOCK_SIZE};
-use zns::{ZnsDevice, ZoneId};
+use zns::{ZnsDevice, ZoneId, ZoneState};
 
 use crate::types::{CacheError, RegionId};
 
-use super::{check_region_read, check_region_write, RegionBackend};
+use super::{check_region_read, check_region_write, RegionBackend, RegionHealth};
 
 /// Region `i` lives in zone `i`.
 pub struct ZoneBackend {
@@ -66,6 +66,18 @@ impl RegionBackend for ZoneBackend {
 
     fn num_regions(&self) -> u32 {
         self.num_regions
+    }
+
+    fn region_health(&self, region: RegionId) -> RegionHealth {
+        // Zone state maps 1:1 onto region health: a read-only zone still
+        // serves its frozen contents (salvageable), an offline zone is
+        // gone. Probe errors mean the region id is out of range, which
+        // the shape checks reject elsewhere.
+        match self.dev.zone_state(self.zone(region)) {
+            Ok(ZoneState::ReadOnly) => RegionHealth::Degraded,
+            Ok(ZoneState::Offline) => RegionHealth::Dead,
+            _ => RegionHealth::Healthy,
+        }
     }
 
     fn readable_bytes(&self, region: RegionId) -> usize {

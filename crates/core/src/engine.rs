@@ -51,7 +51,7 @@ use bytes::Bytes;
 use sim::trace::{self, EventKind};
 use sim::{crc32, Crc32, LatencyHistogram, Nanos};
 
-use crate::backend::RegionBackend;
+use crate::backend::{RegionBackend, RegionHealth};
 use crate::dram::DramCache;
 use crate::index::{Index, IndexEntry};
 use crate::metrics::{CacheMetrics, CacheMetricsSnapshot, CounterTable};
@@ -77,6 +77,13 @@ pub struct RetryPolicy {
     pub attempts: u32,
     /// Delay before the first retry; doubles on each subsequent one.
     pub backoff: Nanos,
+    /// Spread each backoff by a deterministic pseudo-random increment of
+    /// up to half the delay, derived from (simulated time, attempt,
+    /// per-retry-sequence salt, config seed). Without it, N threads that
+    /// fail together retry together, collide again, and double in
+    /// lockstep — the classic synchronized retry storm. Pure integer
+    /// hashing keeps runs reproducible and the policy `Eq`.
+    pub jitter: bool,
 }
 
 impl Default for RetryPolicy {
@@ -84,6 +91,7 @@ impl Default for RetryPolicy {
         RetryPolicy {
             attempts: 3,
             backoff: Nanos::from_micros(10),
+            jitter: true,
         }
     }
 }
@@ -94,6 +102,16 @@ impl RetryPolicy {
         RetryPolicy {
             attempts: 1,
             backoff: Nanos::ZERO,
+            jitter: false,
+        }
+    }
+
+    /// The default budget with jitter disabled, for tests that assert
+    /// exact retry timing.
+    pub fn no_jitter() -> Self {
+        RetryPolicy {
+            jitter: false,
+            ..RetryPolicy::default()
         }
     }
 }
@@ -414,6 +432,24 @@ enum TryGet {
     Stale,
 }
 
+/// What one [`LogCache::scrub`] pass found and did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Sealed regions walked.
+    pub regions_scanned: u64,
+    /// Objects whose stored CRC no longer matched (invalidated: they are
+    /// served as misses from now on, never as bad bytes).
+    pub corrupt_objects: u64,
+    /// Live objects migrated off degrading (read-only) regions.
+    pub salvaged_objects: u64,
+    /// Bytes of key+value payload salvaged.
+    pub salvaged_bytes: u64,
+    /// Regions retired (quarantined) because their media degraded.
+    pub retired_regions: u64,
+    /// Completion time of the pass.
+    pub done: Nanos,
+}
+
 /// A hybrid (DRAM + flash) log-structured cache over a [`RegionBackend`].
 ///
 /// All methods take `&self` and are safe to call from many threads; see
@@ -449,6 +485,10 @@ pub struct LogCache {
     /// means a foreground writer found the clean pool dry, so the next
     /// pass raises its target above the static watermark to get ahead.
     pressure_seen: AtomicU64,
+    /// Per-retry-sequence salt: each `retry_io` call draws a fresh value
+    /// so two operations that fail at the same simulated instant still
+    /// jitter apart (see [`RetryPolicy::jitter`]).
+    retry_salt: AtomicU64,
     metrics: CacheMetrics,
     /// Seal count per region slot (sized at construction).
     region_seals: CounterTable,
@@ -506,6 +546,7 @@ impl LogCache {
             stall_until: AtomicU64::new(0),
             clock_hwm: AtomicU64::new(0),
             pressure_seen: AtomicU64::new(0),
+            retry_salt: AtomicU64::new(0),
             metrics: CacheMetrics::default(),
             region_seals: CounterTable::new(n as usize),
             region_evictions: CounterTable::new(n as usize),
@@ -621,10 +662,31 @@ impl LogCache {
         OBJECT_HEADER + key.len() + value.len()
     }
 
+    /// Deterministic backoff jitter: a splitmix64-style hash of the
+    /// simulated time, attempt number, per-sequence salt and config seed,
+    /// scaled to `[0, delay/2]`. No wall clock, no shared RNG: identical
+    /// runs produce identical jitter, but concurrent retry sequences
+    /// (distinct salts) spread out instead of re-colliding in lockstep.
+    fn retry_jitter(&self, delay: Nanos, t: Nanos, attempt: u32, salt: u64) -> Nanos {
+        let span = delay.as_nanos() / 2;
+        if !self.config.retry.jitter || span == 0 {
+            return Nanos::ZERO;
+        }
+        let mut x = t
+            .as_nanos()
+            .wrapping_add((attempt as u64) << 48)
+            .wrapping_add(salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ self.config.seed;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        Nanos::from_nanos(x % (span + 1))
+    }
+
     /// Runs a backend I/O under the configured retry budget. Transient
     /// device errors ([`CacheError::Io`]) are retried with exponential
-    /// simulated-time backoff; anything else — and exhaustion of the
-    /// budget — propagates.
+    /// simulated-time backoff (jittered; see [`RetryPolicy::jitter`]);
+    /// anything else — and exhaustion of the budget — propagates.
     fn retry_io(
         &self,
         mut t: Nanos,
@@ -633,6 +695,9 @@ impl LogCache {
         let attempts = self.config.retry.attempts.max(1);
         let mut delay = self.config.retry.backoff;
         let mut attempt = 1;
+        // relaxed-ok: the salt only needs to be distinct per sequence;
+        // no ordering with any other memory is required.
+        let salt = self.retry_salt.fetch_add(1, Ordering::Relaxed);
         // A `loop` rather than `for attempt in 1..=attempts`: every arm
         // returns or continues, so exhaustion is handled in-band and no
         // `unreachable!()` is needed after the loop (the public API must
@@ -647,8 +712,9 @@ impl LogCache {
                     }
                     attempt += 1;
                     self.metrics.retries.incr();
-                    trace::emit(EventKind::IoRetry, t, attempt as u64, delay.as_nanos());
-                    t += delay;
+                    let pause = delay + self.retry_jitter(delay, t, attempt, salt);
+                    trace::emit(EventKind::IoRetry, t, attempt as u64, pause.as_nanos());
+                    t += pause;
                     delay = delay * 2;
                 }
                 Err(other) => return Err(other),
@@ -891,6 +957,178 @@ impl LogCache {
         Ok(evicted)
     }
 
+    /// One scrubber pass: walk every sealed region, CRC-verify its live
+    /// objects, and salvage-migrate data off degrading media before it
+    /// goes dark (see DESIGN.md §7). Driven by the
+    /// [`crate::maintainer::Maintainer`] on a simulated-time cadence.
+    ///
+    /// Invariants the pass maintains:
+    ///
+    /// * An object that fails its checksum is invalidated on the spot —
+    ///   after a scrub pass no latent corruption in a sealed region can
+    ///   ever be served (it becomes a miss).
+    /// * A region whose backend reports [`RegionHealth::Degraded`] has
+    ///   every live, verified object re-inserted through the normal write
+    ///   path (landing in a fresh region) and is then retired; one whose
+    ///   backend reports [`RegionHealth::Dead`] is retired immediately —
+    ///   its objects are unreachable and become misses.
+    /// * Retired regions are quarantined: capacity shrinks and the slot
+    ///   is never allocated again, so eviction watermarks stay correct.
+    ///
+    /// [`RegionHealth::Degraded`]: crate::backend::RegionHealth::Degraded
+    /// [`RegionHealth::Dead`]: crate::backend::RegionHealth::Dead
+    ///
+    /// # Errors
+    ///
+    /// Salvage re-insertion failures (backend write errors after the
+    /// retry budget and reroute). Read failures and corruption are
+    /// handled in-band, not errors.
+    pub fn scrub(&self, now: Nanos) -> Result<ScrubReport, CacheError> {
+        self.observe_clock(now);
+        let mut report = ScrubReport::default();
+        let mut t = now;
+        let sealed: Vec<u32> = (0..self.slots.len() as u32)
+            .filter(|&r| self.slots[r as usize].meta.lock().state == RegionState::Sealed)
+            .collect();
+        trace::emit(EventKind::ScrubStart, now, sealed.len() as u64, 0);
+        for region in sealed {
+            self.scrub_region(region, &mut report, &mut t)?;
+        }
+        self.metrics.scrub_passes.incr();
+        trace::emit(
+            EventKind::ScrubStop,
+            t,
+            report.regions_scanned,
+            report.corrupt_objects,
+        );
+        report.done = t;
+        Ok(report)
+    }
+
+    /// Scrubs one region: verify, salvage, retire as its health demands.
+    fn scrub_region(
+        &self,
+        region: u32,
+        report: &mut ScrubReport,
+        t: &mut Nanos,
+    ) -> Result<(), CacheError> {
+        let slot = &self.slots[region as usize];
+        let entries = {
+            let meta = slot.meta.lock();
+            if meta.state != RegionState::Sealed {
+                return Ok(()); // raced with eviction since the snapshot
+            }
+            meta.entries.clone()
+        };
+        report.regions_scanned += 1;
+        let health = self.backend.region_health(RegionId(region));
+        if health == RegionHealth::Dead {
+            // Nothing below a dead zone's surface is reachable: every
+            // remaining object becomes a miss, the slot leaves service.
+            self.retire_region(region);
+            self.metrics.zones_offline.incr();
+            report.retired_regions += 1;
+            trace::emit(EventKind::ScrubSalvage, *t, region as u64, 0);
+            return Ok(());
+        }
+        let salvage = health == RegionHealth::Degraded;
+        let mut salvaged_bytes = 0u64;
+        for (hash, offset) in entries {
+            let Some(e) = self.index.get_at(hash, RegionId(region), offset) else {
+                continue; // superseded or deleted since the seal
+            };
+            if e.expiry <= *t {
+                continue; // already dead weight; lazy reclamation handles it
+            }
+            let len = OBJECT_HEADER + e.key_len as usize + e.value_len as usize;
+            let mut obj = vec![0u8; len];
+            // Pin only for the read: the salvage insert below takes the
+            // writer lock, and an eviction draining our own pin while we
+            // wait there would deadlock.
+            let read = {
+                let _pin = slot.pins.pin();
+                let gen = slot.generation.sample();
+                let r = self.retry_io(*t, |t| {
+                    self.backend.read(RegionId(region), offset as usize, &mut obj, t)
+                });
+                if slot.generation.changed_since(gen) {
+                    return Ok(()); // region evicted mid-scrub; its entries are gone
+                }
+                r
+            };
+            let verified = match read {
+                Ok(done) => {
+                    *t = done;
+                    let key_end = OBJECT_HEADER + e.key_len as usize;
+                    Self::header_crc(&obj) == Some(crc32(&obj[OBJECT_HEADER..]))
+                        && obj.len() >= key_end
+                }
+                // Unreadable: treat like corruption — the object can no
+                // longer be proven intact, so it must not be served.
+                Err(_) => false,
+            };
+            if !verified {
+                if self.index.remove_if_at(hash, RegionId(region), offset) {
+                    self.on_entry_invalidated(hash, RegionId(region));
+                }
+                self.metrics.corrupt_reads.incr();
+                self.metrics.scrub_corrupt_objects.incr();
+                report.corrupt_objects += 1;
+                continue;
+            }
+            if salvage {
+                let key = &obj[OBJECT_HEADER..OBJECT_HEADER + e.key_len as usize];
+                let value = &obj[OBJECT_HEADER + e.key_len as usize..];
+                let ttl = if e.expiry == Nanos::MAX {
+                    None
+                } else {
+                    Some(e.expiry - *t)
+                };
+                *t = self.set_with_ttl(key, value, ttl, *t)?;
+                salvaged_bytes += (key.len() + value.len()) as u64;
+                self.metrics.scrub_salvaged_objects.incr();
+                report.salvaged_objects += 1;
+            }
+        }
+        if salvage {
+            // Every live object now has a fresh copy; take the region out
+            // of service before the zone falls all the way to offline.
+            self.retire_region(region);
+            self.metrics.zones_readonly.incr();
+            self.metrics.scrub_salvaged_bytes.add(salvaged_bytes);
+            report.salvaged_bytes += salvaged_bytes;
+            report.retired_regions += 1;
+            trace::emit(EventKind::ScrubSalvage, *t, region as u64, salvaged_bytes);
+        }
+        Ok(())
+    }
+
+    /// Takes a sealed region whose media degraded out of service:
+    /// invalidates its remaining index entries, waits out pinned readers,
+    /// and quarantines the slot (capacity shrinks permanently).
+    fn retire_region(&self, region: u32) {
+        let mut w = self.writer.lock();
+        let slot = &self.slots[region as usize];
+        let entries = {
+            let mut meta = slot.meta.lock();
+            if meta.state != RegionState::Sealed {
+                return; // raced with eviction; nothing left to retire
+            }
+            std::mem::take(&mut meta.entries)
+        };
+        // Invalidate before the index cleanup, exactly like eviction: an
+        // unlocked read that sampled the old generation must refuse data
+        // from this slot.
+        slot.generation.invalidate();
+        for &(hash, offset) in &entries {
+            if self.index.remove_if_at(hash, RegionId(region), offset) {
+                self.on_entry_invalidated(hash, RegionId(region));
+            }
+        }
+        slot.pins.drain();
+        self.quarantine(&mut w, region);
+    }
+
     /// Seals and flushes the active buffer. Returns the time after the
     /// writer may proceed (stalls when the flush pipeline is full).
     fn seal_active(&self, w: &mut WriterState, now: Nanos) -> Result<Nanos, CacheError> {
@@ -980,7 +1218,19 @@ impl LogCache {
                 return Ok(now);
             }
         }
-        let t = self.seal_active(w, now)?;
+        let t = match self.seal_active(w, now) {
+            Ok(t) => t,
+            // Permanent flush failure (e.g. the active region's zone fell
+            // read-only mid-life): `seal_active` already dropped the
+            // buffered entries and quarantined the slot. A cache insert
+            // must not fail because one region died — reroute this write
+            // into a fresh region and keep serving.
+            Err(CacheError::Io(_)) => {
+                self.metrics.write_reroutes.incr();
+                now
+            }
+            Err(other) => return Err(other),
+        };
         let (slot_id, t) = self.acquire_region(w, t)?;
         let slot = &self.slots[slot_id as usize];
         slot.meta.lock().state = RegionState::Active;
@@ -1518,6 +1768,23 @@ impl LogCache {
         let mut max_seq = 0;
         let mut sealed: Vec<(u64, u32)> = Vec::new();
         for (i, entries, live, last_access, is_sealed, seal_seq) in regions {
+            // A zone that degraded while the cache was down must not
+            // re-enter service: a dead region serves nothing, and a
+            // read-only region can keep serving sealed data but never
+            // host a fresh write. Quarantine instead of freeing, and drop
+            // any restored index entries a snapshot may still list.
+            let health = self.backend.region_health(RegionId(i));
+            let unusable = health == RegionHealth::Dead
+                || (health == RegionHealth::Degraded && !is_sealed);
+            if unusable {
+                for &(hash, offset) in &entries {
+                    if self.index.remove_if_at(hash, RegionId(i), offset) {
+                        self.on_entry_invalidated(hash, RegionId(i));
+                    }
+                }
+                self.quarantine(&mut w, i);
+                continue;
+            }
             let slot = &self.slots[i as usize];
             {
                 let mut meta = slot.meta.lock();
@@ -1973,6 +2240,178 @@ mod tests {
     // surface as a typed error, never a panic (satellite of the
     // verification-layer PR; `cargo xtask lint` enforces the static side).
     // ------------------------------------------------------------------
+
+    // ------------------------------------------------------------------
+    // Dying-device robustness: retry jitter, write reroute, scrubber.
+    // ------------------------------------------------------------------
+
+    /// A Zone-Cache rig over a fault-injectable ZNS device.
+    fn zoned_cache() -> (
+        Arc<sim::fault::FaultInjector>,
+        Arc<zns::ZnsDevice>,
+        LogCache,
+    ) {
+        let inj = Arc::new(sim::fault::FaultInjector::with_seed(7));
+        let dev = Arc::new(
+            zns::ZnsDevice::new(zns::ZnsConfig::small_test())
+                .with_fault_injector(Arc::clone(&inj)),
+        );
+        let backend = Arc::new(crate::backend::ZoneBackend::new(Arc::clone(&dev)));
+        let c = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+        (inj, dev, c)
+    }
+
+    /// Runs one failing-then-succeeding retry sequence and returns the
+    /// timestamp presented to each attempt.
+    fn retry_attempt_times(c: &LogCache, fails: u32) -> Vec<Nanos> {
+        let mut seen = Vec::new();
+        let mut left = fails;
+        c.retry_io(Nanos::ZERO, |t| {
+            seen.push(t);
+            if left > 0 {
+                left -= 1;
+                Err(CacheError::Io("transient".into()))
+            } else {
+                Ok(t)
+            }
+        })
+        .unwrap();
+        seen
+    }
+
+    #[test]
+    fn retry_backoff_jitter_decorrelates_concurrent_sequences() {
+        // Two retry sequences starting at the same instant (the 8-thread
+        // retry-storm shape) must not back off in lockstep: each draws a
+        // fresh salt, so their pause schedules diverge.
+        let c = cache();
+        assert!(c.config().retry.jitter, "jitter must default on");
+        let a = retry_attempt_times(&c, 2);
+        let b = retry_attempt_times(&c, 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0], b[0], "first attempts are un-delayed");
+        assert_ne!(
+            &a[1..],
+            &b[1..],
+            "jittered retry sequences re-collided in lockstep"
+        );
+        // And the jitter is bounded: never more than 1.5x the base delay.
+        let base = c.config().retry.backoff;
+        assert!(a[1] <= Nanos::ZERO + base + base / 2);
+
+        // With jitter disabled the schedule is exact and repeatable.
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        let config = CacheConfig {
+            retry: RetryPolicy::no_jitter(),
+            ..CacheConfig::small_test()
+        };
+        let c = LogCache::new(backend, config).unwrap();
+        let a = retry_attempt_times(&c, 2);
+        let b = retry_attempt_times(&c, 2);
+        assert_eq!(a, b, "no_jitter schedules must be identical");
+        assert_eq!(a[1] - a[0], c.config().retry.backoff);
+    }
+
+    #[test]
+    fn set_survives_permanent_region_flush_failure() {
+        use sim::fault::{FaultKind, FaultyDevice};
+        let faulty = Arc::new(FaultyDevice::new(Arc::new(RamDisk::new(64))));
+        let backend = Arc::new(BlockBackend::new(
+            Arc::clone(&faulty) as Arc<dyn sim::BlockDevice>,
+            4 * BLOCK_SIZE,
+        ));
+        let c = LogCache::new(backend, CacheConfig::small_test()).unwrap();
+        let value = vec![9u8; 15 * 1024];
+        let t = c.set(b"doomed", &value, Nanos::ZERO).unwrap();
+        // The next seal's flush fails through the entire retry budget.
+        faulty.arm(FaultKind::Writes, u64::from(c.config().retry.attempts));
+        // This set seals the full buffer; the flush dies permanently, the
+        // region is quarantined, and the set reroutes to a fresh region
+        // instead of surfacing the dead region's error.
+        let t = c.set(b"survivor", &value, t).unwrap();
+        let m = c.metrics();
+        assert_eq!(m.write_reroutes, 1, "{m:?}");
+        assert_eq!(m.flush_failures, 1);
+        assert_eq!(m.quarantined_regions, 1);
+        let t = c.flush(t).unwrap();
+        let (v, t) = c.get(b"doomed", t).unwrap();
+        assert!(v.is_none(), "objects of a failed flush must not resurface");
+        let (v, _) = c.get(b"survivor", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&value[..]), "rerouted set lost");
+    }
+
+    #[test]
+    fn scrub_invalidates_latent_corruption_before_it_is_served() {
+        let (inj, _dev, c) = zoned_cache();
+        // One write persists with a silently flipped bit; nothing fails
+        // until the data is read back. The object fills its whole region
+        // so the flip must land inside it.
+        inj.push(sim::fault::FaultSpec::latent_corruption(1));
+        let value = vec![3u8; c.backend.region_size() - OBJECT_HEADER - 6];
+        let t = c.set(b"rotten", &value, Nanos::ZERO).unwrap();
+        let t = c.flush(t).unwrap();
+        let report = c.scrub(t).unwrap();
+        assert_eq!(report.corrupt_objects, 1, "{report:?}");
+        assert_eq!(report.regions_scanned, 1);
+        assert_eq!(c.metrics().scrub_corrupt_objects, 1);
+        assert_eq!(c.metrics().scrub_passes, 1);
+        // After the scrub the object is a miss — bad bytes never surface.
+        let (v, _) = c.get(b"rotten", report.done).unwrap();
+        assert!(v.is_none(), "corrupt object served after scrub");
+    }
+
+    #[test]
+    fn scrub_salvages_live_data_off_a_readonly_zone() {
+        let (_inj, dev, c) = zoned_cache();
+        let value = vec![5u8; 15 * 1024];
+        let t = c.set(b"precious", &value, Nanos::ZERO).unwrap();
+        let t = c.flush(t).unwrap();
+        let full = (0..dev.num_zones())
+            .map(zns::ZoneId)
+            .find(|&z| dev.zone_state(z) == Ok(zns::ZoneState::Full))
+            .expect("flush sealed a zone");
+        dev.degrade(full, false, t).unwrap();
+        let report = c.scrub(t).unwrap();
+        assert_eq!(report.salvaged_objects, 1, "{report:?}");
+        assert_eq!(report.retired_regions, 1);
+        assert!(report.salvaged_bytes > 0);
+        let m = c.metrics();
+        assert_eq!(m.zones_readonly, 1);
+        assert_eq!(m.quarantined_regions, 1, "retired region not quarantined");
+        assert_eq!(m.scrub_salvaged_bytes, report.salvaged_bytes);
+        // The object survives its zone: served from the salvage copy.
+        let (v, _) = c.get(b"precious", report.done).unwrap();
+        assert_eq!(v.as_deref(), Some(&value[..]), "salvage lost the object");
+    }
+
+    #[test]
+    fn scrub_retires_an_offline_zone_and_its_objects_miss() {
+        let (_inj, dev, c) = zoned_cache();
+        let value = vec![6u8; 15 * 1024];
+        let t = c.set(b"gone", &value, Nanos::ZERO).unwrap();
+        let t = c.flush(t).unwrap();
+        let full = (0..dev.num_zones())
+            .map(zns::ZoneId)
+            .find(|&z| dev.zone_state(z) == Ok(zns::ZoneState::Full))
+            .expect("flush sealed a zone");
+        dev.degrade(full, true, t).unwrap();
+        let report = c.scrub(t).unwrap();
+        assert_eq!(report.retired_regions, 1, "{report:?}");
+        assert_eq!(report.salvaged_objects, 0);
+        let m = c.metrics();
+        assert_eq!(m.zones_offline, 1);
+        assert_eq!(m.quarantined_regions, 1);
+        // Miss, not an error and not stale bytes.
+        let (v, t) = c.get(b"gone", report.done).unwrap();
+        assert!(v.is_none(), "offline zone's object served");
+        // The engine keeps working at reduced capacity.
+        let t = c.set(b"after", b"ok", t).unwrap();
+        let (v, _) = c.get(b"after", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"ok"[..]));
+    }
 
     #[test]
     fn io_exhaustion_surfaces_as_error_never_panic() {

@@ -67,7 +67,7 @@ pub mod trace;
 pub mod types;
 
 pub use bighash::{BigHash, HybridEngine};
-pub use engine::{CacheConfig, LogCache, RetryPolicy};
+pub use engine::{CacheConfig, LogCache, RetryPolicy, ScrubReport};
 pub use maintainer::{Maintainer, MaintainerHandle};
 pub use metrics::CacheMetricsSnapshot;
 pub use policy::{Admission, EvictionPolicy};

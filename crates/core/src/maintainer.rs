@@ -18,7 +18,7 @@
 //! the reclamation latency — visible as `inline_evictions` in the metrics
 //! versus `maintainer_evictions` for pre-cleaned pools.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -29,27 +29,73 @@ use crate::engine::LogCache;
 use crate::types::{CacheError, RegionId};
 
 /// Drives [`LogCache::maintain`]: refills the clean-region pool to the
-/// configured `clean_region_watermark` by evicting sealed regions.
+/// configured `clean_region_watermark` by evicting sealed regions, and —
+/// when a scrub interval is configured — periodically runs
+/// [`LogCache::scrub`] to verify sealed data and salvage live objects
+/// off degrading media (DESIGN.md §7).
 #[derive(Clone)]
 pub struct Maintainer {
     cache: Arc<LogCache>,
+    /// Scrub cadence in simulated time; `Nanos::ZERO` disables scrubbing.
+    scrub_every: Nanos,
+    /// Simulated timestamp of the last scrub, shared across clones so
+    /// concurrent drivers never double-scrub one due slot.
+    last_scrub: Arc<AtomicU64>,
 }
 
 impl Maintainer {
-    /// Creates a maintainer for `cache`.
+    /// Creates a maintainer for `cache` (scrubbing disabled).
     pub fn new(cache: Arc<LogCache>) -> Self {
-        Maintainer { cache }
+        Maintainer {
+            cache,
+            scrub_every: Nanos::ZERO,
+            last_scrub: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Enables a scrubber pass every `every` of *simulated* time: any
+    /// maintenance pass whose `now` is at least that far past the last
+    /// scrub runs one.
+    #[must_use]
+    pub fn with_scrub_interval(mut self, every: Nanos) -> Self {
+        self.scrub_every = every;
+        self
     }
 
     /// Runs one maintenance pass at simulated time `now`, evicting until
-    /// the clean-region pool reaches the watermark. Returns the evicted
-    /// regions in eviction order. A watermark of 0 makes this a no-op.
+    /// the clean-region pool reaches the watermark, then a scrub pass if
+    /// one is due. Returns the evicted regions in eviction order. A
+    /// watermark of 0 skips eviction refill.
     ///
     /// # Errors
     ///
-    /// Propagates [`LogCache::maintain`] failures.
+    /// Propagates [`LogCache::maintain`] and [`LogCache::scrub`] failures.
     pub fn run_once(&self, now: Nanos) -> Result<Vec<RegionId>, CacheError> {
-        self.cache.maintain(now)
+        let evicted = self.cache.maintain(now)?;
+        self.scrub_if_due(now)?;
+        Ok(evicted)
+    }
+
+    /// Runs a scrub pass when `now` is at least one interval past the
+    /// last pass. The claim is a compare-exchange, so of several
+    /// concurrent drivers exactly one scrubs a due slot.
+    fn scrub_if_due(&self, now: Nanos) -> Result<(), CacheError> {
+        if self.scrub_every == Nanos::ZERO {
+            return Ok(());
+        }
+        let last = self.last_scrub.load(Ordering::Acquire);
+        if now.as_nanos() < last.saturating_add(self.scrub_every.as_nanos()) {
+            return Ok(());
+        }
+        if self
+            .last_scrub
+            .compare_exchange(last, now.as_nanos(), Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Ok(()); // another driver claimed this slot
+        }
+        let report = self.cache.scrub(now);
+        report.map(|_| ())
     }
 
     /// Starts a background thread that runs a maintenance pass every
@@ -182,6 +228,25 @@ mod tests {
         assert_eq!(c.clean_regions(), 4, "background maintainer never refilled");
         assert!(c.metrics().maintainer_evictions >= 4);
         let _ = t;
+    }
+
+    #[test]
+    fn scrub_interval_gates_scrub_passes() {
+        let c = watermark_cache(0);
+        let t = fill_all_regions(&c);
+        let m = Maintainer::new(Arc::clone(&c)).with_scrub_interval(Nanos::from_millis(1));
+        // First due pass scrubs; a pass inside the interval does not.
+        let base = t + Nanos::from_millis(1);
+        m.run_once(base).unwrap();
+        assert_eq!(c.metrics().scrub_passes, 1);
+        m.run_once(base).unwrap();
+        assert_eq!(c.metrics().scrub_passes, 1, "scrubbed inside the interval");
+        m.run_once(base + Nanos::from_millis(2)).unwrap();
+        assert_eq!(c.metrics().scrub_passes, 2);
+        // Without an interval the maintainer never scrubs.
+        let plain = Maintainer::new(Arc::clone(&c));
+        plain.run_once(base + Nanos::from_millis(10)).unwrap();
+        assert_eq!(c.metrics().scrub_passes, 2);
     }
 
     #[test]

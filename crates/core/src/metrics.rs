@@ -66,6 +66,26 @@ pub struct CacheMetricsSnapshot {
     ///
     /// [`Maintainer`]: crate::maintainer::Maintainer
     pub maintainer_evictions: u64,
+    /// Sets rerouted into a fresh region after their seal's flush failed
+    /// permanently (the old region was quarantined and drained).
+    pub write_reroutes: u64,
+    /// Completed scrubber passes ([`LogCache::scrub`]).
+    ///
+    /// [`LogCache::scrub`]: crate::engine::LogCache::scrub
+    pub scrub_passes: u64,
+    /// Objects the scrubber found failing their checksum (invalidated so
+    /// they surface as misses, never as bad bytes).
+    pub scrub_corrupt_objects: u64,
+    /// Live objects the scrubber migrated off degrading regions.
+    pub scrub_salvaged_objects: u64,
+    /// Key+value bytes the scrubber migrated off degrading regions.
+    pub scrub_salvaged_bytes: u64,
+    /// Regions retired because their zone degraded to read-only (live
+    /// data was salvaged first).
+    pub zones_readonly: u64,
+    /// Regions retired because their zone went offline (contents lost;
+    /// remaining objects became misses).
+    pub zones_offline: u64,
 }
 
 impl CacheMetricsSnapshot {
@@ -164,6 +184,13 @@ pub(crate) struct CacheMetrics {
     pub stale_reads: Counter,
     pub inline_evictions: Counter,
     pub maintainer_evictions: Counter,
+    pub write_reroutes: Counter,
+    pub scrub_passes: Counter,
+    pub scrub_corrupt_objects: Counter,
+    pub scrub_salvaged_objects: Counter,
+    pub scrub_salvaged_bytes: Counter,
+    pub zones_readonly: Counter,
+    pub zones_offline: Counter,
     pub get_latency: LatencyHistogram,
     pub set_latency: LatencyHistogram,
 }
@@ -206,6 +233,13 @@ impl CacheMetrics {
             scan_recovered_objects: self.scan_recovered_objects.get(),
             inline_evictions: self.inline_evictions.get(),
             maintainer_evictions: self.maintainer_evictions.get(),
+            write_reroutes: self.write_reroutes.get(),
+            scrub_passes: self.scrub_passes.get(),
+            scrub_corrupt_objects: self.scrub_corrupt_objects.get(),
+            scrub_salvaged_objects: self.scrub_salvaged_objects.get(),
+            scrub_salvaged_bytes: self.scrub_salvaged_bytes.get(),
+            zones_readonly: self.zones_readonly.get(),
+            zones_offline: self.zones_offline.get(),
         }
     }
 

@@ -140,8 +140,7 @@ impl MainArea {
     pub fn reserve(&mut self, log: LogType, owner: Owner) -> Result<(ZoneId, u64, Mba), FsError> {
         let slot = Self::log_slot(log);
         if self.heads[slot].is_none() {
-            let zone = self.free.pop_front().ok_or(FsError::NoSpace)?;
-            debug_assert_eq!(self.dev.zone_state(zone)?, ZoneState::Empty);
+            let zone = self.next_free_zone()?;
             self.heads[slot] = Some((zone, 0));
         }
         let (zone, off) = self.heads[slot].expect("head just ensured");
@@ -157,6 +156,32 @@ impl MainArea {
             self.heads[slot] = Some((zone, next));
         }
         Ok((zone, off, mba))
+    }
+
+    /// Pops the next usable zone from the free pool. A pooled zone can
+    /// degrade to read-only/offline while parked; such zones are silently
+    /// dropped — the pool shrinks with the media.
+    fn next_free_zone(&mut self) -> Result<ZoneId, FsError> {
+        while let Some(zone) = self.free.pop_front() {
+            let state = self.dev.zone_state(zone)?;
+            if matches!(state, ZoneState::ReadOnly | ZoneState::Offline) {
+                continue;
+            }
+            debug_assert_eq!(state, ZoneState::Empty, "non-empty zone {zone} in free pool");
+            return Ok(zone);
+        }
+        Err(FsError::NoSpace)
+    }
+
+    /// Drops `log`'s head after its zone degraded mid-append. The zone is
+    /// *not* returned to the free pool: a read-only zone keeps serving its
+    /// already-written blocks until the cleaner salvages them, an offline
+    /// zone is simply lost. No-op if the head has already moved on.
+    pub fn retire_head(&mut self, log: LogType, zone: ZoneId) {
+        let slot = Self::log_slot(log);
+        if self.heads[slot].is_some_and(|(z, _)| z == zone) {
+            self.heads[slot] = None;
+        }
     }
 
     /// Rolls back a [`MainArea::reserve`] whose device write failed.
@@ -205,8 +230,7 @@ impl MainArea {
         let slot = Self::log_slot(log);
         // Ensure the log has an open zone with room.
         if self.heads[slot].is_none() {
-            let zone = self.free.pop_front().ok_or(FsError::NoSpace)?;
-            debug_assert_eq!(self.dev.zone_state(zone)?, ZoneState::Empty);
+            let zone = self.next_free_zone()?;
             self.heads[slot] = Some((zone, 0));
         }
         let (zone, off) = self.heads[slot].expect("head just ensured");
@@ -257,8 +281,12 @@ impl MainArea {
 
     /// Picks the sealed zone with the fewest valid blocks (greedy policy).
     ///
-    /// Head zones and free zones are never candidates. Returns `None` when
-    /// nothing is cleanable.
+    /// Head zones and free zones are never candidates. Read-only zones
+    /// that still hold live blocks take priority over any sealed zone:
+    /// their media is dying and the cleaner should salvage them before
+    /// they go offline entirely. Offline zones are never candidates
+    /// (their blocks cannot be read back). Returns `None` when nothing
+    /// is cleanable.
     pub fn pick_victim(&self) -> Option<ZoneId> {
         let heads: Vec<ZoneId> = self.head_zones();
         let mut best: Option<(u32, ZoneId)> = None;
@@ -270,6 +298,11 @@ impl MainArea {
             // Sealed = Full state (written to cap or finished).
             match self.dev.zone_state(zone) {
                 Ok(ZoneState::Full) => {}
+                // A degraded-but-readable zone with live data is the most
+                // urgent victim there is.
+                Ok(ZoneState::ReadOnly) if self.valid_per_zone[z as usize] > 0 => {
+                    return Some(zone);
+                }
                 _ => continue,
             }
             let v = self.valid_per_zone[z as usize];

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim::trace::{self, EventKind};
 use sim::{Nanos, RamDisk, BLOCK_SIZE};
-use zns::{ZnsConfig, ZnsDevice, ZoneId};
+use zns::{ZnsConfig, ZnsDevice, ZnsError, ZoneId, ZoneState};
 
 use crate::alloc::{MainArea, Owner};
 use crate::checkpoint::{self, CheckpointData, FileRecord};
@@ -81,6 +81,9 @@ pub struct FsStatsSnapshot {
     pub gc_node_moved: u64,
     /// Zones cleaned (migrate + reset cycles).
     pub zones_cleaned: u64,
+    /// Zones permanently retired after degrading to read-only/offline:
+    /// salvaged (if readable) and removed from circulation, never reset.
+    pub zones_retired: u64,
     /// Checkpoints written.
     pub checkpoints: u64,
 }
@@ -427,15 +430,30 @@ impl FileSystem {
         now: Nanos,
     ) -> Result<(Mba, Nanos), FsError> {
         let _log = self.log_locks[log_slot(log)].lock();
-        let (zone, off, mba) = {
-            let mut inner = self.inner.lock();
-            inner.main.reserve(log, owner)?
-        };
-        match self.dev.write(zone, data, now) {
-            Ok(done) => Ok((mba, done)),
-            Err(e) => {
-                self.inner.lock().main.unreserve(log, zone, off);
-                Err(e.into())
+        loop {
+            let (zone, off, mba) = {
+                let mut inner = self.inner.lock();
+                inner.main.reserve(log, owner)?
+            };
+            match self.dev.write(zone, data, now) {
+                Ok(done) => return Ok((mba, done)),
+                Err(ZnsError::ZoneDegraded { .. }) => {
+                    // The head zone died under the append. Roll back the
+                    // reservation, retire the head (its already-written
+                    // blocks stay readable if the zone is merely
+                    // read-only; the cleaner salvages them), and retry
+                    // on a fresh zone. Terminates: each pass retires one
+                    // zone, and an empty free pool surfaces NoSpace from
+                    // the reserve above.
+                    let mut inner = self.inner.lock();
+                    inner.main.unreserve(log, zone, off);
+                    inner.main.retire_head(log, zone);
+                    inner.stats.zones_retired += 1;
+                }
+                Err(e) => {
+                    self.inner.lock().main.unreserve(log, zone, off);
+                    return Err(e.into());
+                }
             }
         }
     }
@@ -591,7 +609,12 @@ impl FileSystem {
                 Some(z) => z,
                 None => return Ok(None),
             };
-            if inner.main.zone_valid(victim) as u64 > max_valid {
+            // A read-only victim is a salvage, not a space reclaim: its
+            // media is dying, so the victim-quality gate does not apply —
+            // every live block must move off it regardless of occupancy.
+            let salvage =
+                matches!(self.dev.zone_state(victim), Ok(ZoneState::ReadOnly));
+            if !salvage && inner.main.zone_valid(victim) as u64 > max_valid {
                 return Ok(None);
             }
             (victim, inner.main.live_blocks(victim))
@@ -607,24 +630,46 @@ impl FileSystem {
         let mut done = now;
         let mut buf = vec![0u8; BLOCK_SIZE];
         for (mba, owner) in live {
-            let t = if owner.is_node {
-                self.migrate_node(mba, owner, now)?
+            let moved = if owner.is_node {
+                self.migrate_node(mba, owner, now)
             } else {
-                self.migrate_data(mba, owner, &mut buf, now)?
+                self.migrate_data(mba, owner, &mut buf, now)
             };
-            done = done.max(t);
+            match moved {
+                Ok(t) => done = done.max(t),
+                Err(FsError::DeadZone { .. }) => {
+                    // The victim went offline mid-salvage: its remaining
+                    // blocks are unreadable and stay stranded (reads of
+                    // them keep surfacing DeadZone). Retire it and report
+                    // progress — failing the whole pass would couple an
+                    // unrelated dead zone to foreground writes.
+                    self.inner.lock().stats.zones_retired += 1;
+                    return Ok(Some(done));
+                }
+                Err(e) => return Err(e),
+            }
         }
         // Every live block was either migrated (old copy invalidated at
         // publish) or invalidated by a racing overwrite/punch/remove, and
         // sealed zones never take new writes — the victim is fully dead.
         debug_assert_eq!(self.inner.lock().main.zone_valid(victim), 0);
-        let t = self.dev.reset(victim, done)?;
-        {
-            let mut inner = self.inner.lock();
-            inner.main.release_reset_zone(victim);
-            inner.stats.zones_cleaned += 1;
+        match self.dev.reset(victim, done) {
+            Ok(t) => {
+                let mut inner = self.inner.lock();
+                inner.main.release_reset_zone(victim);
+                inner.stats.zones_cleaned += 1;
+                Ok(Some(t))
+            }
+            Err(ZnsError::ZoneDegraded { .. }) => {
+                // Degraded zones cannot be reset. Live data was migrated
+                // above; retiring the zone (never returning it to the
+                // free pool) is all that's left. Still `Some`: the pass
+                // made progress, the loop may continue.
+                self.inner.lock().stats.zones_retired += 1;
+                Ok(Some(done))
+            }
+            Err(e) => Err(e.into()),
         }
-        Ok(Some(t))
     }
 
     /// Runs cleaning until `target_free` zones are free (or nothing is

@@ -70,6 +70,14 @@ pub enum FsError {
     },
     /// The metadata device contains no valid filesystem.
     BadSuperblock(String),
+    /// A zone degraded to read-only or offline underneath the filesystem.
+    /// Unlike [`FsError::Device`] this is a media condition, not a bug:
+    /// the allocator and cleaner route around dead zones, and reads of
+    /// blocks stranded on offline media surface this error.
+    DeadZone {
+        /// The degraded zone.
+        zone: zns::ZoneId,
+    },
     /// An error from the zoned device; indicates a bug in this crate.
     Device(String),
 }
@@ -87,6 +95,7 @@ impl fmt::Display for FsError {
                 write!(f, "read at {offset} beyond end of {size}-byte file")
             }
             FsError::BadSuperblock(msg) => write!(f, "bad superblock: {msg}"),
+            FsError::DeadZone { zone } => write!(f, "{zone} degraded under the filesystem"),
             FsError::Device(msg) => write!(f, "device error: {msg}"),
         }
     }
@@ -96,7 +105,10 @@ impl std::error::Error for FsError {}
 
 impl From<zns::ZnsError> for FsError {
     fn from(err: zns::ZnsError) -> Self {
-        FsError::Device(err.to_string())
+        match err {
+            zns::ZnsError::ZoneDegraded { zone, .. } => FsError::DeadZone { zone },
+            other => FsError::Device(other.to_string()),
+        }
     }
 }
 

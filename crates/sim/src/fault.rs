@@ -10,15 +10,23 @@
 //!
 //! Fault plans are composable: each [`FaultSpec`] names the operations it
 //! matches, the failure [`FaultMode`] (clean error, torn write, silent
-//! bit-flip), a probability drawn from a seeded RNG, and a credit budget
+//! bit-flip, zone degradation), a probability drawn from a seeded RNG, a
+//! skip budget (matching operations that pass before the rule arms — how
+//! wear-out "after N resets" is expressed), and a credit budget
 //! distinguishing *transient* faults (small budget, recovery possible) from
 //! *permanent* ones ([`FaultSpec::PERMANENT`]).
+//!
+//! Injected faults are observable in the event trace: devices consult the
+//! injector through [`FaultInjector::decide_at`], which emits a
+//! `FaultInjected` trace event for every non-`None` verdict, so a JSONL
+//! trace distinguishes self-inflicted failures from organic ones.
 
 use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::io::{BlockDevice, IoError, IoResult, Lba, BLOCK_SIZE};
 use crate::time::Nanos;
+use crate::trace::{self, EventKind};
 
 /// Which operations a (legacy, kind-based) fault plan affects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +68,16 @@ pub enum FaultMode {
     /// returned buffer is corrupted. Models media or bus corruption that
     /// only end-to-end checksums can catch. Trims degrade to `Fail`.
     BitFlip,
+    /// The zone the operation targets degrades to the ZNS Read-Only
+    /// state: persisted data stays readable but the zone accepts no
+    /// further writes or resets. Models wear-out / failed erase. On
+    /// plain block devices (no zone concept) this degrades to
+    /// [`FaultMode::Fail`].
+    DegradeReadOnly,
+    /// The zone the operation targets goes Offline: it serves nothing.
+    /// Models a dead die. Degrades to [`FaultMode::Fail`] on block
+    /// devices.
+    DegradeOffline,
 }
 
 /// One composable fault rule: which ops, what shape, how likely, how often.
@@ -75,6 +93,10 @@ pub struct FaultSpec {
     pub mode: FaultMode,
     /// Probability that a matching operation triggers the fault.
     pub probability: f64,
+    /// Matching operations that pass untouched before the rule arms.
+    /// A wear-out plan is `skip: N` over trims: the first N resets
+    /// succeed, then degradation fires.
+    pub skip: u64,
     /// Remaining injections; [`FaultSpec::PERMANENT`] never decrements, so
     /// the fault persists for the life of the plan (a dead die, not a
     /// transient glitch).
@@ -92,6 +114,7 @@ impl FaultSpec {
             trims: false,
             mode,
             probability: 1.0,
+            skip: 0,
             count: 1,
         }
     }
@@ -150,9 +173,53 @@ impl FaultSpec {
         }
     }
 
+    /// Latent corruption: `count` writes persist with one silently
+    /// flipped bit. Nothing fails at write time — the damage surfaces
+    /// only when the object is read back (or a scrubber CRC-checks it).
+    pub fn latent_corruption(count: u64) -> Self {
+        Self::corrupt_writes(count)
+    }
+
+    /// Wear-out plan: the first `resets` zone resets succeed, then every
+    /// later reset degrades its target zone to Read-Only. Models an
+    /// erase-cycle budget running out across the device.
+    pub fn wear_out_after(resets: u64) -> Self {
+        FaultSpec {
+            trims: true,
+            skip: resets,
+            count: Self::PERMANENT,
+            ..Self::base(FaultMode::DegradeReadOnly)
+        }
+    }
+
+    /// The next `count` matching writes degrade their zone to Read-Only
+    /// (spontaneous media failure under program load).
+    pub fn degrade_read_only_writes(count: u64) -> Self {
+        FaultSpec {
+            writes: true,
+            count,
+            ..Self::base(FaultMode::DegradeReadOnly)
+        }
+    }
+
+    /// The next `count` matching writes take their zone Offline.
+    pub fn degrade_offline_writes(count: u64) -> Self {
+        FaultSpec {
+            writes: true,
+            count,
+            ..Self::base(FaultMode::DegradeOffline)
+        }
+    }
+
     /// Makes the fault fire on each matching op only with probability `p`.
     pub fn with_probability(mut self, p: f64) -> Self {
         self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Lets the first `n` matching operations pass before the rule arms.
+    pub fn with_skip(mut self, n: u64) -> Self {
+        self.skip = n;
         self
     }
 
@@ -188,6 +255,27 @@ pub enum Injection {
         /// Absolute bit index within the payload to invert.
         bit: u64,
     },
+    /// The target zone degrades to Read-Only: the op fails and the zone
+    /// keeps serving reads only. Block devices treat this as a clean
+    /// failure.
+    DegradeReadOnly,
+    /// The target zone goes Offline: the op fails and the zone serves
+    /// nothing. Block devices treat this as a clean failure.
+    DegradeOffline,
+}
+
+impl Injection {
+    /// Dense code for the `FaultInjected` trace event's `b` payload.
+    fn trace_code(self) -> u64 {
+        match self {
+            Injection::None => 0,
+            Injection::Fail => 1,
+            Injection::Torn { .. } => 2,
+            Injection::BitFlip { .. } => 3,
+            Injection::DegradeReadOnly => 4,
+            Injection::DegradeOffline => 5,
+        }
+    }
 }
 
 /// xorshift64* — tiny seeded RNG for probabilistic injection and bit
@@ -278,6 +366,7 @@ impl FaultInjector {
             trims: matches!(kind, FaultKind::Writes | FaultKind::All),
             mode: FaultMode::Fail,
             probability: 1.0,
+            skip: 0,
             count,
         };
         let mut s = self.state.lock();
@@ -304,17 +393,42 @@ impl FaultInjector {
             .iter()
             .position(|spec| spec.matches(op) && spec.count > 0)
         {
-            let probability = s.specs[i].probability;
-            if probability >= 1.0 || s.rng.next_f64() < probability {
-                let mode = s.specs[i].mode;
-                if s.specs[i].count != FaultSpec::PERMANENT {
-                    s.specs[i].count -= 1;
+            if s.specs[i].skip > 0 {
+                // Grace period: the op passes, the rule edges closer to
+                // arming (this is how "wear-out after N resets" counts).
+                s.specs[i].skip -= 1;
+            } else {
+                let probability = s.specs[i].probability;
+                if probability >= 1.0 || s.rng.next_f64() < probability {
+                    let mode = s.specs[i].mode;
+                    if s.specs[i].count != FaultSpec::PERMANENT {
+                        s.specs[i].count -= 1;
+                    }
+                    verdict = materialize(op, mode, payload_len, &mut s.rng);
+                    self.injected.fetch_add(1, Ordering::SeqCst);
                 }
-                verdict = materialize(op, mode, payload_len, &mut s.rng);
-                self.injected.fetch_add(1, Ordering::SeqCst);
             }
         }
         s.specs.retain(|spec| spec.count > 0);
+        verdict
+    }
+
+    /// As [`FaultInjector::decide`], but stamps every non-`None` verdict
+    /// into the event trace as a `FaultInjected` event (`a` = op: 1 read,
+    /// 2 write, 3 trim; `b` = shape code: 1 fail, 2 torn, 3 bit-flip,
+    /// 4 degrade-read-only, 5 degrade-offline). Devices should prefer
+    /// this entry point so traces can tell self-inflicted failures from
+    /// organic ones.
+    pub fn decide_at(&self, op: FaultOp, payload_len: usize, now: Nanos) -> Injection {
+        let verdict = self.decide(op, payload_len);
+        if verdict != Injection::None {
+            let op_code = match op {
+                FaultOp::Read => 1,
+                FaultOp::Write => 2,
+                FaultOp::Trim => 3,
+            };
+            trace::emit(EventKind::FaultInjected, now, op_code, verdict.trace_code());
+        }
         verdict
     }
 }
@@ -337,6 +451,8 @@ fn materialize(op: FaultOp, mode: FaultMode, payload_len: usize, rng: &mut XorSh
             let bit = rng.next_u64() % (payload_len as u64 * 8);
             Injection::BitFlip { bit }
         }
+        FaultMode::DegradeReadOnly => Injection::DegradeReadOnly,
+        FaultMode::DegradeOffline => Injection::DegradeOffline,
     }
 }
 
@@ -427,11 +543,13 @@ impl BlockDevice for FaultyDevice {
     }
 
     fn read(&self, lba: Lba, buf: &mut [u8], now: Nanos) -> IoResult<Nanos> {
-        match self.injector.decide(FaultOp::Read, buf.len()) {
+        match self.injector.decide_at(FaultOp::Read, buf.len(), now) {
             Injection::None => self.inner.read(lba, buf, now),
-            Injection::Fail | Injection::Torn { .. } => {
-                Err(IoError::Device("injected read fault".into()))
-            }
+            // Block devices have no zones: degradation is a clean failure.
+            Injection::Fail
+            | Injection::Torn { .. }
+            | Injection::DegradeReadOnly
+            | Injection::DegradeOffline => Err(IoError::Device("injected read fault".into())),
             Injection::BitFlip { bit } => {
                 let done = self.inner.read(lba, buf, now)?;
                 flip_bit(buf, bit);
@@ -441,9 +559,11 @@ impl BlockDevice for FaultyDevice {
     }
 
     fn write(&self, lba: Lba, data: &[u8], now: Nanos) -> IoResult<Nanos> {
-        match self.injector.decide(FaultOp::Write, data.len()) {
+        match self.injector.decide_at(FaultOp::Write, data.len(), now) {
             Injection::None => self.inner.write(lba, data, now),
-            Injection::Fail => Err(IoError::Device("injected write fault".into())),
+            Injection::Fail | Injection::DegradeReadOnly | Injection::DegradeOffline => {
+                Err(IoError::Device("injected write fault".into()))
+            }
             Injection::Torn { keep_blocks } => {
                 let keep_bytes = (keep_blocks as usize) * BLOCK_SIZE;
                 if keep_bytes > 0 {
@@ -463,7 +583,7 @@ impl BlockDevice for FaultyDevice {
     }
 
     fn trim(&self, lba: Lba, blocks: u64, now: Nanos) -> IoResult<Nanos> {
-        match self.injector.decide(FaultOp::Trim, 0) {
+        match self.injector.decide_at(FaultOp::Trim, 0, now) {
             Injection::None => self.inner.trim(lba, blocks, now),
             _ => Err(IoError::Device("injected trim fault".into())),
         }
@@ -608,6 +728,50 @@ mod tests {
         }
         d.disarm();
         assert!(d.read(Lba(0), &mut out, Nanos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn wear_out_skip_lets_early_resets_pass_then_degrades_forever() {
+        let inj = FaultInjector::with_seed(3);
+        inj.push(FaultSpec::wear_out_after(2));
+        assert_eq!(inj.decide(FaultOp::Trim, 0), Injection::None);
+        // Non-matching ops never consume the grace budget.
+        assert_eq!(inj.decide(FaultOp::Read, 4096), Injection::None);
+        assert_eq!(inj.decide(FaultOp::Trim, 0), Injection::None);
+        assert_eq!(inj.decide(FaultOp::Trim, 0), Injection::DegradeReadOnly);
+        // Permanent: the device only gets worse.
+        assert_eq!(inj.decide(FaultOp::Trim, 0), Injection::DegradeReadOnly);
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn degrade_modes_materialize_unchanged() {
+        let inj = FaultInjector::default();
+        inj.push(FaultSpec::degrade_offline_writes(1));
+        assert_eq!(inj.decide(FaultOp::Write, 4096), Injection::DegradeOffline);
+        inj.push(FaultSpec::degrade_read_only_writes(1));
+        assert_eq!(inj.decide(FaultOp::Write, 4096), Injection::DegradeReadOnly);
+    }
+
+    #[test]
+    fn degrade_on_block_device_is_a_clean_failure() {
+        let d = dev();
+        let data = vec![1u8; BLOCK_SIZE];
+        d.injector().push(FaultSpec::degrade_read_only_writes(1));
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_err());
+        assert!(d.write(Lba(0), &data, Nanos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn latent_corruption_is_silent_at_write_time() {
+        let d = dev();
+        let data = vec![0u8; BLOCK_SIZE];
+        d.injector().push(FaultSpec::latent_corruption(1));
+        d.write(Lba(0), &data, Nanos::ZERO).unwrap();
+        let mut out = vec![0u8; BLOCK_SIZE];
+        d.read(Lba(0), &mut out, Nanos::ZERO).unwrap();
+        let flipped: u32 = out.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "one persisted bit must differ");
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub const RING_CAPACITY: usize = 16_384;
 /// | `InlineEviction`     | region id              | 0                           |
 /// | `MaintainerEviction` | region id              | 0                           |
 /// | `IoRetry`            | attempt number         | backoff nanos               |
+/// | `FaultInjected`      | op (1 rd, 2 wr, 3 trim)| shape (1 fail, 2 torn, 3 flip, 4 ro, 5 off) |
+/// | `ZoneReadOnly`       | zone id                | reset count at degradation  |
+/// | `ZoneOffline`        | zone id                | 0                           |
+/// | `ScrubStart`         | sealed regions to scan | 0                           |
+/// | `ScrubStop`          | regions scanned        | corrupt objects found       |
+/// | `ScrubSalvage`       | region id              | bytes salvaged              |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u64)]
 pub enum EventKind {
@@ -89,6 +95,19 @@ pub enum EventKind {
     MaintainerEviction = 10,
     /// A backend I/O was retried after a transient failure.
     IoRetry = 11,
+    /// The fault injector fired: the failure this op reports (or the
+    /// corruption it carries) was self-inflicted, not organic.
+    FaultInjected = 12,
+    /// A zone degraded to the Read-Only terminal state.
+    ZoneReadOnly = 13,
+    /// A zone degraded to the Offline terminal state.
+    ZoneOffline = 14,
+    /// A background scrub pass over sealed regions began.
+    ScrubStart = 15,
+    /// A background scrub pass ended.
+    ScrubStop = 16,
+    /// The scrubber salvage-migrated live data off a degrading region.
+    ScrubSalvage = 17,
 }
 
 impl EventKind {
@@ -106,6 +125,12 @@ impl EventKind {
             EventKind::InlineEviction => "inline_eviction",
             EventKind::MaintainerEviction => "maintainer_eviction",
             EventKind::IoRetry => "io_retry",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::ZoneReadOnly => "zone_read_only",
+            EventKind::ZoneOffline => "zone_offline",
+            EventKind::ScrubStart => "scrub_start",
+            EventKind::ScrubStop => "scrub_stop",
+            EventKind::ScrubSalvage => "scrub_salvage",
         }
     }
 
@@ -122,6 +147,12 @@ impl EventKind {
             9 => EventKind::InlineEviction,
             10 => EventKind::MaintainerEviction,
             11 => EventKind::IoRetry,
+            12 => EventKind::FaultInjected,
+            13 => EventKind::ZoneReadOnly,
+            14 => EventKind::ZoneOffline,
+            15 => EventKind::ScrubStart,
+            16 => EventKind::ScrubStop,
+            17 => EventKind::ScrubSalvage,
             _ => return None,
         })
     }
@@ -394,12 +425,12 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for v in 1..=11 {
+        for v in 1..=17 {
             let k = EventKind::from_u64(v).expect("dense ids");
             assert_eq!(k as u64, v);
             assert!(!k.name().is_empty());
         }
         assert_eq!(EventKind::from_u64(0), None);
-        assert_eq!(EventKind::from_u64(12), None);
+        assert_eq!(EventKind::from_u64(18), None);
     }
 }

@@ -29,6 +29,13 @@
 //! * `no-panic-paths` — `engine.rs` code above its `#[cfg(test)]` module
 //!   contains no `unwrap`/`expect`/`unreachable!`/`panic!` reachable
 //!   from the public API; failures surface as typed `CacheError`s.
+//! * `no-unwrap-in-recovery` — code that runs while the cache is
+//!   degraded or rebuilding (all of `recovery.rs`, plus the scrubber,
+//!   salvage, and cleaner functions wherever they live under
+//!   `crates/core/src/` or `crates/f2fs-lite/src/`) never panics: a
+//!   crash *during* crash recovery or media salvage is the one failure
+//!   mode the robustness layer exists to prevent, so these paths must
+//!   return typed errors for every contingency.
 
 use std::fmt;
 
@@ -55,6 +62,7 @@ pub fn check_file(path: &str, text: &str, out: &mut Vec<Violation>) {
     zns_state_authority(path, text, out);
     lock_across_io(path, text, out);
     no_panic_paths(path, text, out);
+    no_unwrap_in_recovery(path, text, out);
 }
 
 fn push(
@@ -324,6 +332,70 @@ fn no_panic_paths(path: &str, text: &str, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------
+// Rule 6: no-unwrap-in-recovery
+// ---------------------------------------------------------------------
+
+/// Functions that run while the cache is degraded or rebuilding. A panic
+/// in one of these turns recoverable media trouble into a crash, so their
+/// bodies are held to the no-panic standard wherever they appear in the
+/// covered crates.
+const RECOVERY_FNS: &[&str] = &[
+    "recover",
+    "recover_or_scan",
+    "scan_rebuild",
+    "scan_region",
+    "scrub",
+    "scrub_region",
+    "retire_region",
+    "clean_one",
+    "clean_pass",
+];
+
+fn no_unwrap_in_recovery(path: &str, text: &str, out: &mut Vec<Violation>) {
+    if !path.starts_with("crates/core/src/") && !path.starts_with("crates/f2fs-lite/src/") {
+        return;
+    }
+    // The in-file test module may unwrap freely.
+    let cut = text.find("#[cfg(test)]").unwrap_or(text.len());
+    let code = &text[..cut];
+    // recovery.rs is a recovery path in its entirety.
+    if path == "crates/core/src/recovery.rs" {
+        scan_panic_tokens(code, 1, path, out);
+        return;
+    }
+    for name in RECOVERY_FNS {
+        for (start_line, body) in fn_bodies(code, name) {
+            scan_panic_tokens(body, start_line, path, out);
+        }
+    }
+}
+
+/// Flags every panic token in `body`; `base` is the 1-based source line
+/// of `body`'s first line.
+fn scan_panic_tokens(body: &str, base: usize, path: &str, out: &mut Vec<Violation>) {
+    for (off, line) in body.lines().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        for token in PANIC_TOKENS {
+            if line.contains(token) {
+                push(
+                    out,
+                    "no-unwrap-in-recovery",
+                    path,
+                    base + off,
+                    format!(
+                        "`{token}` on a recovery/scrub/salvage path; a panic \
+                         here crashes the cache exactly when it is trying to \
+                         survive — return a typed error instead"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Seeded-violation tests: each rule must demonstrably fire.
 // ---------------------------------------------------------------------
 
@@ -454,6 +526,29 @@ mod tests {
             run("crates/core/src/engine.rs", src).into_iter().filter(|v| v.rule == "no-panic-paths").collect();
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_on_recovery_paths_is_flagged() {
+        // recovery.rs is covered wall to wall.
+        let whole = "pub fn snapshot() -> u32 {\n    compute().unwrap()\n}\n";
+        let v = run("crates/core/src/recovery.rs", whole);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unwrap-in-recovery");
+        assert_eq!(v[0].line, 2);
+        // Elsewhere, only the named recovery/scrub/cleaner fns are scanned.
+        let src = "fn clean_one(&self) {\n    self.pick().expect(\"victim\");\n}\n\
+                   fn other(&self) {\n    self.pick().expect(\"fine here\");\n}\n";
+        let v: Vec<_> = run("crates/f2fs-lite/src/fs.rs", src)
+            .into_iter()
+            .filter(|v| v.rule == "no-unwrap-in-recovery")
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        // Test modules and uncovered crates are exempt.
+        let tested = "#[cfg(test)]\nmod tests {\n    fn scrub() { x.unwrap(); }\n}\n";
+        assert!(run("crates/core/src/recovery.rs", tested).is_empty());
+        assert!(run("crates/sim/src/thing.rs", whole).is_empty());
     }
 
     #[test]

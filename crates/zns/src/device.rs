@@ -180,10 +180,10 @@ impl ZnsDevice {
         self.injector.as_ref()
     }
 
-    fn decide(&self, op: FaultOp, payload_len: usize) -> Injection {
+    fn decide(&self, op: FaultOp, payload_len: usize, now: Nanos) -> Injection {
         self.injector
             .as_ref()
-            .map_or(Injection::None, |inj| inj.decide(op, payload_len))
+            .map_or(Injection::None, |inj| inj.decide_at(op, payload_len, now))
     }
 
     /// Number of zones.
@@ -307,6 +307,39 @@ impl ZnsDevice {
             .count() as u32
     }
 
+    /// Zones degraded to [`ZoneState::ReadOnly`].
+    pub fn readonly_zones(&self) -> u32 {
+        self.state
+            .lock()
+            .zones
+            .iter()
+            .filter(|z| z.state == ZoneState::ReadOnly)
+            .count() as u32
+    }
+
+    /// Zones degraded to [`ZoneState::Offline`].
+    pub fn offline_zones(&self) -> u32 {
+        self.state
+            .lock()
+            .zones
+            .iter()
+            .filter(|z| z.state == ZoneState::Offline)
+            .count() as u32
+    }
+
+    /// Writable capacity in bytes counting only non-degraded zones —
+    /// the number eviction watermarks must track as the device dies.
+    pub fn usable_capacity_bytes(&self) -> u64 {
+        let dead = self
+            .state
+            .lock()
+            .zones
+            .iter()
+            .filter(|z| z.state.is_degraded())
+            .count() as u64;
+        self.zone_cap_bytes() * (self.num_zones() as u64 - dead)
+    }
+
     /// Acquires open/active resources so `zone` can accept writes.
     ///
     /// Holding the device lock, applies an *opening* op (`Write` or
@@ -398,6 +431,68 @@ impl ZnsDevice {
             state.active_count += 1;
         }
         Ok(to)
+    }
+
+    /// Applies a controller-initiated degradation through the state
+    /// machine, fixing up resource accounting and emitting the matching
+    /// trace event. Data below the write pointer is preserved: a
+    /// Read-Only zone keeps serving reads at its frozen pointer.
+    fn degrade_locked(
+        &self,
+        state: &mut DevState,
+        zone: ZoneId,
+        offline: bool,
+        now: Nanos,
+    ) -> Result<ZoneState, ZnsError> {
+        let op = if offline {
+            ZoneOp::DegradeOffline
+        } else {
+            ZoneOp::DegradeReadOnly
+        };
+        let resets = state.zones[zone.0 as usize].reset_count;
+        let to = Self::release_zone(state, zone, op)?;
+        let kind = if offline {
+            sim::trace::EventKind::ZoneOffline
+        } else {
+            sim::trace::EventKind::ZoneReadOnly
+        };
+        sim::trace::emit(kind, now, zone.0 as u64, if offline { 0 } else { resets });
+        #[cfg(debug_assertions)]
+        self.debug_validate(state);
+        Ok(to)
+    }
+
+    /// The error a command reports after its target zone degrades under
+    /// it. If the zone was already at (or past) the requested state, the
+    /// current state is reported instead — degradation never un-happens.
+    fn degrade_error(
+        &self,
+        state: &mut DevState,
+        zone: ZoneId,
+        offline: bool,
+        now: Nanos,
+    ) -> ZnsError {
+        match self.degrade_locked(state, zone, offline, now) {
+            Ok(to) => ZnsError::ZoneDegraded { zone, state: to },
+            Err(_) => ZnsError::ZoneDegraded {
+                zone,
+                state: state.zones[zone.0 as usize].state,
+            },
+        }
+    }
+
+    /// Forces a zone into a degraded terminal state (Read-Only, or
+    /// Offline when `offline`), as wear-out scenarios and tests do
+    /// directly. Returns the new state.
+    ///
+    /// # Errors
+    ///
+    /// [`ZnsError::NoSuchZone`]; [`ZnsError::InvalidState`] when the zone
+    /// is already at or past the requested state.
+    pub fn degrade(&self, zone: ZoneId, offline: bool, now: Nanos) -> Result<ZoneState, ZnsError> {
+        self.check_zone(zone)?;
+        let mut state = self.state.lock();
+        self.degrade_locked(&mut state, zone, offline, now)
     }
 
     /// Debug-build invariant sweep over the whole device state:
@@ -493,6 +588,14 @@ impl ZnsDevice {
             let mut state = self.state.lock();
             let meta = state.zones[zone.0 as usize];
             if !meta.state.is_writable() {
+                // A degraded zone is a media condition the host routes
+                // around, not a protocol mistake it can correct.
+                if meta.state.is_degraded() {
+                    return Err(ZnsError::ZoneDegraded {
+                        zone,
+                        state: meta.state,
+                    });
+                }
                 return Err(ZnsError::InvalidState {
                     zone,
                     state: meta.state,
@@ -513,7 +616,7 @@ impl ZnsDevice {
                     attempted: nblocks,
                 });
             }
-            injection = self.decide(FaultOp::Write, data.len());
+            injection = self.decide(FaultOp::Write, data.len(), now);
             match injection {
                 Injection::Fail => {
                     return Err(ZnsError::Injected(format!(
@@ -523,6 +626,15 @@ impl ZnsDevice {
                 // A torn write programs a prefix and leaves the pointer
                 // there; keep_blocks < nblocks, so the zone cannot fill.
                 Injection::Torn { keep_blocks } => persist_blocks = keep_blocks,
+                // The program failed so hard the controller retired the
+                // zone: nothing persists, existing data stays readable
+                // (Read-Only) or is gone with the zone (Offline).
+                Injection::DegradeReadOnly => {
+                    return Err(self.degrade_error(&mut state, zone, false, now))
+                }
+                Injection::DegradeOffline => {
+                    return Err(self.degrade_error(&mut state, zone, true, now))
+                }
                 Injection::None | Injection::BitFlip { .. } => {}
             }
             Self::acquire_open(
@@ -619,6 +731,14 @@ impl ZnsDevice {
         {
             let state = self.state.lock();
             let meta = state.zones[zone.0 as usize];
+            // Offline zones serve nothing; Read-Only (and every healthy
+            // state) keeps serving data below the frozen pointer.
+            if !meta.state.is_readable() {
+                return Err(ZnsError::ZoneDegraded {
+                    zone,
+                    state: meta.state,
+                });
+            }
             if offset_blocks + nblocks > meta.wp {
                 return Err(ZnsError::ReadBeyondWritePointer {
                     zone,
@@ -627,11 +747,25 @@ impl ZnsDevice {
                 });
             }
         }
-        let injection = self.decide(FaultOp::Read, buf.len());
-        if matches!(injection, Injection::Fail | Injection::Torn { .. }) {
-            return Err(ZnsError::Injected(format!(
-                "zone read fault at {zone} offset {offset_blocks}"
-            )));
+        let injection = self.decide(FaultOp::Read, buf.len(), now);
+        match injection {
+            Injection::Fail | Injection::Torn { .. } => {
+                return Err(ZnsError::Injected(format!(
+                    "zone read fault at {zone} offset {offset_blocks}"
+                )));
+            }
+            // The controller retired the zone on a failing read (read
+            // disturb): this read fails, but a Read-Only zone still
+            // serves the retry.
+            Injection::DegradeReadOnly => {
+                let mut state = self.state.lock();
+                return Err(self.degrade_error(&mut state, zone, false, now));
+            }
+            Injection::DegradeOffline => {
+                let mut state = self.state.lock();
+                return Err(self.degrade_error(&mut state, zone, true, now));
+            }
+            Injection::None | Injection::BitFlip { .. } => {}
         }
         let mut done = now;
         for i in 0..nblocks {
@@ -660,11 +794,29 @@ impl ZnsDevice {
     /// [`ZnsError::NoSuchZone`].
     pub fn reset(&self, zone: ZoneId, now: Nanos) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
-        if self.decide(FaultOp::Trim, 0) != Injection::None {
-            return Err(ZnsError::Injected(format!("zone reset fault at {zone}")));
+        match self.decide(FaultOp::Trim, 0, now) {
+            Injection::None => {}
+            // The erase failed permanently: wear-out. The zone keeps its
+            // data and pointer but leaves service.
+            Injection::DegradeReadOnly => {
+                let mut state = self.state.lock();
+                return Err(self.degrade_error(&mut state, zone, false, now));
+            }
+            Injection::DegradeOffline => {
+                let mut state = self.state.lock();
+                return Err(self.degrade_error(&mut state, zone, true, now));
+            }
+            _ => return Err(ZnsError::Injected(format!("zone reset fault at {zone}"))),
         }
         {
             let mut state = self.state.lock();
+            let meta = state.zones[zone.0 as usize];
+            if meta.state.is_degraded() {
+                return Err(ZnsError::ZoneDegraded {
+                    zone,
+                    state: meta.state,
+                });
+            }
             Self::release_zone(&mut state, zone, ZoneOp::Reset)?;
             let meta = &mut state.zones[zone.0 as usize];
             meta.wp = 0;
@@ -693,10 +845,28 @@ impl ZnsDevice {
     /// [`ZnsError::InvalidState`] if the zone is already Full.
     pub fn finish(&self, zone: ZoneId, now: Nanos) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
-        if self.decide(FaultOp::Trim, 0) != Injection::None {
-            return Err(ZnsError::Injected(format!("zone finish fault at {zone}")));
+        match self.decide(FaultOp::Trim, 0, now) {
+            Injection::None => {}
+            Injection::DegradeReadOnly => {
+                let mut state = self.state.lock();
+                return Err(self.degrade_error(&mut state, zone, false, now));
+            }
+            Injection::DegradeOffline => {
+                let mut state = self.state.lock();
+                return Err(self.degrade_error(&mut state, zone, true, now));
+            }
+            _ => return Err(ZnsError::Injected(format!("zone finish fault at {zone}"))),
         }
         let mut state = self.state.lock();
+        {
+            let meta = state.zones[zone.0 as usize];
+            if meta.state.is_degraded() {
+                return Err(ZnsError::ZoneDegraded {
+                    zone,
+                    state: meta.state,
+                });
+            }
+        }
         // The state machine rejects finishing a Full zone with the same
         // typed error the manual check used to produce.
         Self::release_zone(&mut state, zone, ZoneOp::Finish)?;
@@ -1034,6 +1204,120 @@ mod tests {
         // The credit is still armed and fires on a valid write.
         assert!(d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).is_err());
         assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn degrade_read_only_keeps_data_readable_blocks_writes_and_resets() {
+        let d = dev();
+        let t = d.write(ZoneId(0), &blocks(2, 0x5a), Nanos::ZERO).unwrap();
+        d.degrade(ZoneId(0), false, t).unwrap();
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::ReadOnly);
+        // Reads below the frozen pointer still work.
+        let mut buf = blocks(2, 0);
+        d.read(ZoneId(0), 0, &mut buf, t).unwrap();
+        assert!(buf.iter().all(|&b| b == 0x5a));
+        // Writes and resets are media errors now, not protocol errors.
+        assert!(matches!(
+            d.write(ZoneId(0), &blocks(1, 1), t),
+            Err(ZnsError::ZoneDegraded { .. })
+        ));
+        assert!(matches!(d.reset(ZoneId(0), t), Err(ZnsError::ZoneDegraded { .. })));
+        assert!(matches!(d.finish(ZoneId(0), t), Err(ZnsError::ZoneDegraded { .. })));
+        assert_eq!(d.readonly_zones(), 1);
+        assert_eq!(
+            d.usable_capacity_bytes(),
+            d.capacity_bytes() - d.zone_cap_bytes()
+        );
+    }
+
+    #[test]
+    fn offline_zone_serves_nothing_and_is_terminal() {
+        let d = dev();
+        let t = d.write(ZoneId(1), &blocks(1, 9), Nanos::ZERO).unwrap();
+        d.degrade(ZoneId(1), true, t).unwrap();
+        assert_eq!(d.zone_state(ZoneId(1)).unwrap(), ZoneState::Offline);
+        let mut buf = blocks(1, 0);
+        assert!(matches!(
+            d.read(ZoneId(1), 0, &mut buf, t),
+            Err(ZnsError::ZoneDegraded { .. })
+        ));
+        assert!(matches!(
+            d.write(ZoneId(1), &blocks(1, 1), t),
+            Err(ZnsError::ZoneDegraded { .. })
+        ));
+        assert_eq!(d.offline_zones(), 1);
+        // Offline never un-happens — not even to Read-Only.
+        assert!(d.degrade(ZoneId(1), false, t).is_err());
+        assert!(d.degrade(ZoneId(1), true, t).is_err());
+        // Read-Only can still fall further, to Offline.
+        d.degrade(ZoneId(2), false, t).unwrap();
+        d.degrade(ZoneId(2), true, t).unwrap();
+        assert_eq!(d.zone_state(ZoneId(2)).unwrap(), ZoneState::Offline);
+    }
+
+    #[test]
+    fn wear_out_fault_degrades_zone_on_reset_preserving_data() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        inj.push(sim::fault::FaultSpec::wear_out_after(2));
+        let mut t = Nanos::ZERO;
+        // Two grace resets succeed.
+        for z in 0..2u32 {
+            t = d.write(ZoneId(z), &blocks(1, 1), t).unwrap();
+            t = d.reset(ZoneId(z), t).unwrap();
+        }
+        // The third reset wears its zone out; data survives read-only.
+        t = d.write(ZoneId(2), &blocks(1, 7), t).unwrap();
+        let err = d.reset(ZoneId(2), t).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ZnsError::ZoneDegraded {
+                    state: ZoneState::ReadOnly,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        let mut buf = blocks(1, 0);
+        d.read(ZoneId(2), 0, &mut buf, t).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+        assert_eq!(d.zone_info(ZoneId(2)).unwrap().write_pointer, 1);
+    }
+
+    #[test]
+    fn injected_write_degradation_retires_zone_and_persists_nothing() {
+        let inj = Arc::new(FaultInjector::default());
+        let d = dev().with_fault_injector(Arc::clone(&inj));
+        d.write(ZoneId(0), &blocks(1, 3), Nanos::ZERO).unwrap();
+        inj.push(sim::fault::FaultSpec::degrade_offline_writes(1));
+        let err = d.write(ZoneId(0), &blocks(1, 4), Nanos::ZERO).unwrap_err();
+        assert!(matches!(
+            err,
+            ZnsError::ZoneDegraded {
+                state: ZoneState::Offline,
+                ..
+            }
+        ));
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::Offline);
+        assert_eq!(
+            d.zone_info(ZoneId(0)).unwrap().write_pointer,
+            1,
+            "a failed program persists nothing"
+        );
+    }
+
+    #[test]
+    fn degrading_an_open_zone_releases_its_resources() {
+        let d = dev(); // max_open = 4
+        d.write(ZoneId(0), &blocks(1, 1), Nanos::ZERO).unwrap();
+        assert_eq!(d.zone_state(ZoneId(0)).unwrap(), ZoneState::ImplicitOpen);
+        d.degrade(ZoneId(0), false, Nanos::ZERO).unwrap();
+        // The open slot came back: four more zones open without auto-close.
+        for z in 1..=4u32 {
+            d.write(ZoneId(z), &blocks(1, 1), Nanos::ZERO).unwrap();
+        }
+        assert_eq!(d.zone_state(ZoneId(1)).unwrap(), ZoneState::ImplicitOpen);
     }
 
     #[test]

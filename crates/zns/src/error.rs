@@ -64,6 +64,16 @@ pub enum ZnsError {
         /// Offending byte length.
         len: usize,
     },
+    /// The zone has entered a degraded terminal state: `ReadOnly` still
+    /// serves reads below the write pointer, `Offline` serves nothing.
+    /// Unlike [`ZnsError::InvalidState`], this is a media condition the
+    /// host must route around, not a protocol mistake it can correct.
+    ZoneDegraded {
+        /// Zone in question.
+        zone: ZoneId,
+        /// The degraded state it now occupies.
+        state: ZoneState,
+    },
     /// Error propagated from the flash array; always a bug in this crate.
     Nand(String),
     /// Failure injected by a [`sim::fault::FaultInjector`] attached to the
@@ -109,6 +119,9 @@ impl fmt::Display for ZnsError {
             }
             ZnsError::Misaligned { len } => {
                 write!(f, "buffer length {len} is zero or not 4096-aligned")
+            }
+            ZnsError::ZoneDegraded { zone, state } => {
+                write!(f, "{zone}: degraded to {state}")
             }
             ZnsError::Nand(msg) => write!(f, "flash error: {msg}"),
             ZnsError::Injected(msg) => write!(f, "injected fault: {msg}"),

@@ -1,7 +1,9 @@
 //! The zone state machine: the single transition authority.
 //!
 //! NVMe ZNS zones move through a small, fully enumerable state machine
-//! (Empty → ImplicitOpen/ExplicitOpen → Closed/Full → Empty). The device
+//! (Empty → ImplicitOpen/ExplicitOpen → Closed/Full → Empty, plus the
+//! one-way degradations into ReadOnly and Offline that a wearing device
+//! takes on its own initiative). The device
 //! emulator used to scatter `meta.state = …` assignments across its
 //! command handlers; this module centralizes them so that
 //!
@@ -50,6 +52,14 @@ pub enum ZoneOp {
     Finish,
     /// Reset command: rewind the pointer, erase, drop all resources.
     Reset,
+    /// Controller-initiated degradation to Read-Only (wear-out, failed
+    /// erase): data below the pointer stays readable, everything else is
+    /// rejected. Not a host command — the device emulator applies it when
+    /// a degradation fault fires.
+    DegradeReadOnly,
+    /// Controller-initiated degradation to Offline: the zone serves
+    /// nothing. Terminal; legal from every state but Offline itself.
+    DegradeOffline,
 }
 
 impl ZoneOp {
@@ -62,6 +72,8 @@ impl ZoneOp {
             ZoneOp::Close => "close",
             ZoneOp::Finish => "finish",
             ZoneOp::Reset => "reset",
+            ZoneOp::DegradeReadOnly => "degrade-read-only",
+            ZoneOp::DegradeOffline => "degrade-offline",
         }
     }
 }
@@ -115,25 +127,41 @@ pub fn transition(from: ZoneState, op: ZoneOp, wp_zero: bool) -> Result<ZoneStat
             // Explicitly Opened to Implicitly Opened).
             Empty | ImplicitOpen | Closed => Ok(if fills { Full } else { ImplicitOpen }),
             ExplicitOpen => Ok(if fills { Full } else { ExplicitOpen }),
-            Full => illegal,
+            Full | ReadOnly | Offline => illegal,
         },
         ZoneOp::Open => match from {
             Empty | ImplicitOpen | ExplicitOpen | Closed => Ok(ExplicitOpen),
-            Full => illegal,
+            Full | ReadOnly | Offline => illegal,
         },
         ZoneOp::Close => match from {
             // Closing a zone whose pointer never moved returns it to
             // Empty (it holds no data to keep active).
             ImplicitOpen | ExplicitOpen => Ok(if wp_zero { Empty } else { Closed }),
-            Empty | Closed | Full => illegal,
+            Empty | Closed | Full | ReadOnly | Offline => illegal,
         },
         ZoneOp::Finish => match from {
             Empty | ImplicitOpen | ExplicitOpen | Closed => Ok(Full),
-            Full => illegal,
+            Full | ReadOnly | Offline => illegal,
         },
-        // Reset is legal from every state, including Empty (a no-op
-        // rewind) and Full (the usual reclaim path).
-        ZoneOp::Reset => Ok(Empty),
+        // Reset is legal from every healthy state, including Empty (a
+        // no-op rewind) and Full (the usual reclaim path) — but a
+        // degraded zone cannot be erased back into service.
+        ZoneOp::Reset => match from {
+            Empty | ImplicitOpen | ExplicitOpen | Closed | Full => Ok(Empty),
+            ReadOnly | Offline => illegal,
+        },
+        // Degradation is controller-initiated and terminal: any healthy
+        // zone can go Read-Only; anything not already dead can go
+        // Offline. Re-degrading to the same state is rejected so the
+        // device never double-counts a dying zone.
+        ZoneOp::DegradeReadOnly => match from {
+            Empty | ImplicitOpen | ExplicitOpen | Closed | Full => Ok(ReadOnly),
+            ReadOnly | Offline => illegal,
+        },
+        ZoneOp::DegradeOffline => match from {
+            Empty | ImplicitOpen | ExplicitOpen | Closed | Full | ReadOnly => Ok(Offline),
+            Offline => illegal,
+        },
     }
 }
 

@@ -16,7 +16,8 @@ impl fmt::Display for ZoneId {
     }
 }
 
-/// NVMe ZNS zone states (the subset reachable on a healthy device).
+/// NVMe ZNS zone states, including the two degraded terminal states a
+/// wearing device reaches (ZSRO / ZSO in the spec).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ZoneState {
     /// No data; write pointer at zone start.
@@ -29,6 +30,13 @@ pub enum ZoneState {
     Closed,
     /// Write pointer is invalid; the zone must be reset before rewriting.
     Full,
+    /// Degraded: data below the write pointer stays readable, but the
+    /// zone accepts no writes and cannot be reset. Terminal except for a
+    /// further degradation to [`ZoneState::Offline`].
+    ReadOnly,
+    /// Dead: the zone serves nothing — reads, writes, and resets all
+    /// fail. Terminal.
+    Offline,
 }
 
 impl ZoneState {
@@ -49,6 +57,18 @@ impl ZoneState {
             ZoneState::Empty | ZoneState::ImplicitOpen | ZoneState::ExplicitOpen | ZoneState::Closed
         )
     }
+
+    /// Whether the zone has degraded (read-only or offline). Degraded
+    /// zones never return to service; capacity accounting must drop them.
+    pub fn is_degraded(self) -> bool {
+        matches!(self, ZoneState::ReadOnly | ZoneState::Offline)
+    }
+
+    /// Whether reads below the write pointer still succeed. Everything
+    /// but [`ZoneState::Offline`] serves its persisted data.
+    pub fn is_readable(self) -> bool {
+        self != ZoneState::Offline
+    }
 }
 
 impl fmt::Display for ZoneState {
@@ -59,6 +79,8 @@ impl fmt::Display for ZoneState {
             ZoneState::ExplicitOpen => "explicit-open",
             ZoneState::Closed => "closed",
             ZoneState::Full => "full",
+            ZoneState::ReadOnly => "read-only",
+            ZoneState::Offline => "offline",
         };
         f.write_str(s)
     }
@@ -99,6 +121,20 @@ mod tests {
         assert!(!ZoneState::Empty.is_active());
         assert!(!ZoneState::Full.is_writable());
         assert!(ZoneState::Empty.is_writable());
+    }
+
+    #[test]
+    fn degraded_states_hold_no_resources() {
+        for s in [ZoneState::ReadOnly, ZoneState::Offline] {
+            assert!(!s.is_open());
+            assert!(!s.is_active());
+            assert!(!s.is_writable());
+            assert!(s.is_degraded());
+        }
+        assert!(ZoneState::ReadOnly.is_readable());
+        assert!(!ZoneState::Offline.is_readable());
+        assert!(!ZoneState::Full.is_degraded());
+        assert!(ZoneState::Full.is_readable());
     }
 
     #[test]

@@ -8,10 +8,12 @@
 use zns::state_machine::{transition, IllegalTransition, ZoneOp};
 use zns::ZoneState;
 
-use ZoneState::{Closed, Empty, ExplicitOpen, Full, ImplicitOpen};
+use ZoneState::{Closed, Empty, ExplicitOpen, Full, ImplicitOpen, Offline, ReadOnly};
 
 const WRITE: ZoneOp = ZoneOp::Write { fills: false };
 const FILL: ZoneOp = ZoneOp::Write { fills: true };
+const DEGRADE_RO: ZoneOp = ZoneOp::DegradeReadOnly;
+const DEGRADE_OFF: ZoneOp = ZoneOp::DegradeOffline;
 
 /// `Ok(next)` rows of the machine. Anything not listed is illegal.
 /// Columns: from-state, op, wp-at-zero?, expected next state.
@@ -49,16 +51,40 @@ const LEGAL: &[Row] = &[
     Row { from: ImplicitOpen, op: ZoneOp::Finish, wp_zero: None,        next: Full },
     Row { from: ExplicitOpen, op: ZoneOp::Finish, wp_zero: None,        next: Full },
     Row { from: Closed,       op: ZoneOp::Finish, wp_zero: None,        next: Full },
-    // Reset: legal from every state, always Empty.
+    // Reset: legal from every healthy state, always Empty. Degraded
+    // zones cannot be erased back into service.
     Row { from: Empty,        op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
     Row { from: ImplicitOpen, op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
     Row { from: ExplicitOpen, op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
     Row { from: Closed,       op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
     Row { from: Full,         op: ZoneOp::Reset,  wp_zero: None,        next: Empty },
+    // Degrade to Read-Only: any healthy state; terminal thereafter.
+    Row { from: Empty,        op: DEGRADE_RO,     wp_zero: None,        next: ReadOnly },
+    Row { from: ImplicitOpen, op: DEGRADE_RO,     wp_zero: None,        next: ReadOnly },
+    Row { from: ExplicitOpen, op: DEGRADE_RO,     wp_zero: None,        next: ReadOnly },
+    Row { from: Closed,       op: DEGRADE_RO,     wp_zero: None,        next: ReadOnly },
+    Row { from: Full,         op: DEGRADE_RO,     wp_zero: None,        next: ReadOnly },
+    // Degrade to Offline: anything not already dead, Read-Only included.
+    Row { from: Empty,        op: DEGRADE_OFF,    wp_zero: None,        next: Offline },
+    Row { from: ImplicitOpen, op: DEGRADE_OFF,    wp_zero: None,        next: Offline },
+    Row { from: ExplicitOpen, op: DEGRADE_OFF,    wp_zero: None,        next: Offline },
+    Row { from: Closed,       op: DEGRADE_OFF,    wp_zero: None,        next: Offline },
+    Row { from: Full,         op: DEGRADE_OFF,    wp_zero: None,        next: Offline },
+    Row { from: ReadOnly,     op: DEGRADE_OFF,    wp_zero: None,        next: Offline },
 ];
 
-const STATES: [ZoneState; 5] = [Empty, ImplicitOpen, ExplicitOpen, Closed, Full];
-const OPS: [ZoneOp; 6] = [WRITE, FILL, ZoneOp::Open, ZoneOp::Close, ZoneOp::Finish, ZoneOp::Reset];
+const STATES: [ZoneState; 7] =
+    [Empty, ImplicitOpen, ExplicitOpen, Closed, Full, ReadOnly, Offline];
+const OPS: [ZoneOp; 8] = [
+    WRITE,
+    FILL,
+    ZoneOp::Open,
+    ZoneOp::Close,
+    ZoneOp::Finish,
+    ZoneOp::Reset,
+    DEGRADE_RO,
+    DEGRADE_OFF,
+];
 
 fn expected(from: ZoneState, op: ZoneOp, wp_zero: bool) -> Option<ZoneState> {
     LEGAL
@@ -90,12 +116,12 @@ fn every_state_op_pair_matches_the_table_and_never_panics() {
             }
         }
     }
-    // 5 states x 6 ops x 2 pointer positions: full coverage, no panics.
-    assert_eq!(checked, 60);
+    // 7 states x 8 ops x 2 pointer positions: full coverage, no panics.
+    assert_eq!(checked, 112);
 }
 
 #[test]
-fn illegal_pairs_are_exactly_the_full_and_closed_corners() {
+fn illegal_pairs_are_exactly_the_full_closed_and_degraded_corners() {
     // The complement of the table, spelled out: a reviewer can audit the
     // forbidden set directly.
     let illegal: Vec<(ZoneState, ZoneOp)> = STATES
@@ -115,6 +141,24 @@ fn illegal_pairs_are_exactly_the_full_and_closed_corners() {
             (Full, ZoneOp::Open),
             (Full, ZoneOp::Close),
             (Full, ZoneOp::Finish),
+            // Read-Only: every host op is rejected; only a further fall
+            // to Offline remains.
+            (ReadOnly, WRITE),
+            (ReadOnly, FILL),
+            (ReadOnly, ZoneOp::Open),
+            (ReadOnly, ZoneOp::Close),
+            (ReadOnly, ZoneOp::Finish),
+            (ReadOnly, ZoneOp::Reset),
+            (ReadOnly, DEGRADE_RO),
+            // Offline: fully terminal.
+            (Offline, WRITE),
+            (Offline, FILL),
+            (Offline, ZoneOp::Open),
+            (Offline, ZoneOp::Close),
+            (Offline, ZoneOp::Finish),
+            (Offline, ZoneOp::Reset),
+            (Offline, DEGRADE_RO),
+            (Offline, DEGRADE_OFF),
         ]
     );
 }

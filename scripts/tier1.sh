@@ -25,6 +25,16 @@ echo "== tier1: loom model checks (exhaustive interleavings) =="
 cargo test -q -p loom
 RUSTFLAGS="--cfg loom" cargo test -q -p zns-cache --test loom
 
+echo "== tier1: fault matrix (${FAULT_MATRIX_SEEDS:-1} seed stream(s), release) =="
+# Failure-path suite (fault injection, zone-death torture, crash-point
+# recovery sweep) under distinct fault-RNG streams. The default runs one
+# stream for speed; CI's fault-matrix job — or FAULT_MATRIX_SEEDS=8 here —
+# sweeps all eight.
+for s in $(seq 0 $(( ${FAULT_MATRIX_SEEDS:-1} - 1 ))); do
+  FAULT_MATRIX_SEED=$s cargo test --release -q \
+    --test fault_injection --test zone_death --test recovery
+done
+
 echo "== tier1: multi-thread smoke (all schemes, 8 workers, shared engine) =="
 # Short mixed get/set run on every scheme at 1 and 8 threads. Asserts op
 # conservation, hit/get self-consistency, a thread-count-invariant offered

@@ -1,0 +1,368 @@
+//! Zone-death torture: kill a quarter of the device mid-run and demand the
+//! cache neither lies nor wedges.
+//!
+//! The robustness contract under test (DESIGN.md §7):
+//!
+//! * zones forced Read-Only or Offline mid-run never cause a wrong byte to
+//!   be served — every lookup returns the exact acknowledged value or a
+//!   clean miss;
+//! * the scrubber salvages live data off read-only zones before they go
+//!   dark, so losses stay proportional to *offline* capacity only;
+//! * capacity accounting shrinks with the dead zones (quarantined slots
+//!   never return to service) and the engine keeps accepting writes;
+//! * injected latent corruption is detected — and turned into misses —
+//!   within a single scrub cycle;
+//! * the conventional Block-Cache rides the same CRC/quarantine machinery
+//!   under its own device's failure modes.
+
+use std::sync::Arc;
+
+use zns_cache_repro::f2fs_lite::{FileSystem, FsConfig};
+use zns_cache_repro::sim::fault::{FaultInjector, FaultSpec, FaultyDevice};
+use zns_cache_repro::sim::{Nanos, RamDisk, BLOCK_SIZE};
+use zns_cache_repro::zns::{ZnsConfig, ZnsDevice, ZoneId, ZoneState};
+use zns_cache_repro::zns_cache::backend::{
+    BlockBackend, FileBackend, MiddleConfig, MiddleLayerBackend, RegionBackend, ZoneBackend,
+};
+use zns_cache_repro::zns_cache::{CacheConfig, LogCache, Maintainer};
+
+/// Offsets a test's base fault seed so the CI fault matrix
+/// (`FAULT_MATRIX_SEED=0..7`, see `.github/workflows/ci.yml`) re-runs the
+/// whole file under eight distinct fault-RNG streams.
+fn matrix_seed(base: u64) -> u64 {
+    let offset = std::env::var("FAULT_MATRIX_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    base + offset * 1_000
+}
+
+/// Deterministic per-key payload so every lookup can verify exact bytes.
+fn value_for(key: &str, len: usize) -> Vec<u8> {
+    let seed = key.bytes().fold(0u8, |a, b| a.wrapping_mul(31).wrapping_add(b));
+    (0..len).map(|i| seed.wrapping_add(i as u8)).collect()
+}
+
+/// Every key must come back as its exact bytes or a clean miss — never an
+/// error, never corrupt data. Returns (hits, misses).
+fn assert_correct_or_miss(
+    label: &str,
+    cache: &LogCache,
+    keys: &[(String, usize)],
+    t: &mut Nanos,
+) -> (usize, usize) {
+    let (mut hits, mut misses) = (0, 0);
+    for (key, len) in keys {
+        let (v, t2) = cache
+            .get(key.as_bytes(), *t)
+            .unwrap_or_else(|e| panic!("{label}: get({key}) errored after zone death: {e}"));
+        match v {
+            Some(got) => {
+                assert_eq!(
+                    got.as_ref(),
+                    &value_for(key, *len)[..],
+                    "{label}: wrong bytes served for {key}"
+                );
+                hits += 1;
+            }
+            None => misses += 1,
+        }
+        *t = t2;
+    }
+    (hits, misses)
+}
+
+/// Full zones, i.e. sealed data at risk when the media degrades.
+fn full_zones(dev: &ZnsDevice) -> Vec<ZoneId> {
+    (0..dev.num_zones())
+        .map(ZoneId)
+        .filter(|&z| dev.zone_state(z) == Ok(ZoneState::Full))
+        .collect()
+}
+
+#[test]
+fn zone_cache_survives_a_quarter_of_the_device_dying() {
+    let inj = Arc::new(FaultInjector::with_seed(matrix_seed(31)));
+    let dev =
+        Arc::new(ZnsDevice::new(ZnsConfig::small_test()).with_fault_injector(Arc::clone(&inj)));
+    let backend = Arc::new(ZoneBackend::new(Arc::clone(&dev)));
+    let cache = Arc::new(LogCache::new(backend.clone(), CacheConfig::small_test()).unwrap());
+    let maintainer =
+        Maintainer::new(Arc::clone(&cache)).with_scrub_interval(Nanos::from_millis(1));
+
+    // Four objects tile one region (= one zone) exactly.
+    let obj_len = backend.region_size() / 4;
+    let val_len = obj_len - 12 - 6; // OBJECT_HEADER + 6-byte key
+    let mut keys: Vec<(String, usize)> = Vec::new();
+    let mut t = Nanos::ZERO;
+
+    // Phase 1: eight zones of sealed data.
+    for i in 0..32u32 {
+        let key = format!("zd-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        keys.push((key, val_len));
+    }
+    t = cache.flush(t).unwrap();
+    let sealed = full_zones(&dev);
+    assert!(sealed.len() >= 8, "expected 8 full zones, got {}", sealed.len());
+
+    // Kill 25% of the device mid-run: 2 zones fall read-only (salvageable),
+    // 2 go dark entirely.
+    let quarter = (dev.num_zones() as usize / 4).max(4);
+    for (i, &z) in sealed.iter().take(quarter).enumerate() {
+        dev.degrade(z, i % 2 == 1, t).unwrap();
+    }
+    assert_eq!(dev.readonly_zones(), 2);
+    assert_eq!(dev.offline_zones(), 2);
+    assert_eq!(
+        dev.usable_capacity_bytes(),
+        (dev.num_zones() as u64 - 4) * dev.zone_cap_blocks() * BLOCK_SIZE as u64,
+        "all four degraded zones must leave the usable-capacity account"
+    );
+
+    // Phase 2: the run continues. One write lands on a zone that degrades
+    // at the exact moment of the flush — the engine must reroute, not fail.
+    inj.push(FaultSpec::degrade_read_only_writes(1));
+    for i in 32..44u32 {
+        let key = format!("zd-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        keys.push((key, val_len));
+    }
+    t = cache.flush(t).unwrap();
+
+    // One scrub cycle: salvage the read-only zones, retire the dead ones.
+    maintainer.run_once(t + Nanos::from_millis(1)).unwrap();
+    t += Nanos::from_millis(2);
+
+    let m = cache.metrics();
+    assert!(m.zones_readonly >= 2, "read-only regions not retired: {m:?}");
+    assert!(m.zones_offline >= 2, "offline regions not retired: {m:?}");
+    assert!(m.scrub_salvaged_objects >= 1, "nothing salvaged: {m:?}");
+    assert!(m.scrub_salvaged_bytes > 0);
+    assert!(m.quarantined_regions >= 4, "dead zones must shrink capacity: {m:?}");
+    assert!(m.write_reroutes >= 1, "degraded flush was not rerouted: {m:?}");
+
+    // No lies, and losses proportional to dead capacity: only the two
+    // offline zones (4 objects each) may take data with them. The flush
+    // that hit the mid-life degradation may additionally drop its own
+    // buffered region (reroute preserves the cache, not that buffer).
+    let (hits, misses) = assert_correct_or_miss("Zone-Cache", &cache, &keys, &mut t);
+    assert!(hits + misses == keys.len());
+    assert!(
+        misses <= 2 * 4 + 4,
+        "lost {misses} of {} objects; only 2 offline zones (+1 rerouted buffer) may lose data",
+        keys.len()
+    );
+    assert!(hits >= keys.len() - 12, "hit ratio fell further than lost capacity");
+
+    // The survivor still takes and serves new writes.
+    t = cache.set(b"after-death", b"alive", t).unwrap();
+    t = cache.flush(t).unwrap();
+    let (v, _) = cache.get(b"after-death", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"alive"[..]));
+}
+
+#[test]
+fn scrub_detects_every_latent_corruption_within_one_cycle() {
+    // Three regions each take one silently flipped bit at write time; the
+    // payloads tile every region exactly, so each flip lands inside a
+    // checksummed object (or its header) — never in padding.
+    let inj = Arc::new(FaultInjector::with_seed(matrix_seed(32)));
+    let dev =
+        Arc::new(ZnsDevice::new(ZnsConfig::small_test()).with_fault_injector(Arc::clone(&inj)));
+    let backend = Arc::new(ZoneBackend::new(Arc::clone(&dev)));
+    let cache = Arc::new(LogCache::new(backend.clone(), CacheConfig::small_test()).unwrap());
+
+    let obj_len = backend.region_size() / 4;
+    let val_len = obj_len - 12 - 6;
+    inj.push(FaultSpec::latent_corruption(3));
+    let mut keys = Vec::new();
+    let mut t = Nanos::ZERO;
+    for i in 0..12u32 {
+        let key = format!("lc-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        keys.push((key, val_len));
+    }
+    t = cache.flush(t).unwrap();
+    assert_eq!(inj.injected(), 3, "all three corruptions must have fired");
+
+    // One scrub pass finds all three before any reader trips over them.
+    let report = cache.scrub(t).unwrap();
+    assert_eq!(
+        report.corrupt_objects, 3,
+        "scrub must detect 100% of injected latent corruptions in one cycle"
+    );
+    t = report.done;
+    assert_eq!(cache.metrics().scrub_corrupt_objects, 3);
+
+    // The corrupted objects are misses now; everything else verifies.
+    let (hits, misses) = assert_correct_or_miss("latent", &cache, &keys, &mut t);
+    assert_eq!(misses, 3, "corrupt objects must become misses");
+    assert_eq!(hits, 9);
+    // A second cycle finds nothing: the pass converged.
+    let again = cache.scrub(t).unwrap();
+    assert_eq!(again.corrupt_objects, 0);
+}
+
+#[test]
+fn region_cache_middle_layer_survives_zone_death() {
+    let dev = Arc::new(ZnsDevice::new(ZnsConfig::small_test()));
+    let backend = Arc::new(MiddleLayerBackend::new(Arc::clone(&dev), MiddleConfig::small_test()));
+    let cache = Arc::new(LogCache::new(backend.clone(), CacheConfig::small_test()).unwrap());
+
+    // Four objects tile each 16 KiB middle-layer region.
+    let obj_len = backend.region_size() / 4;
+    let val_len = obj_len - 12 - 6;
+    let mut keys = Vec::new();
+    let mut t = Nanos::ZERO;
+    for i in 0..160u32 {
+        let key = format!("ml-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        keys.push((key, val_len));
+    }
+    t = cache.flush(t).unwrap();
+
+    // Kill 25% of the zones under the translation layer, half of them dark.
+    let sealed = full_zones(&dev);
+    assert!(sealed.len() >= 4, "expected full zones, got {}", sealed.len());
+    let quarter = (dev.num_zones() as usize / 4).max(4);
+    let mut offline_zones = 0u64;
+    for (i, &z) in sealed.iter().take(quarter).enumerate() {
+        let offline = i % 2 == 1;
+        offline_zones += offline as u64;
+        dev.degrade(z, offline, t).unwrap();
+    }
+
+    // The run continues across the kill, then one scrub cycle salvages
+    // read-only slots and retires dead ones.
+    for i in 160..176u32 {
+        let key = format!("ml-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        keys.push((key, val_len));
+    }
+    t = cache.flush(t).unwrap();
+    let report = cache.scrub(t).unwrap();
+    t = report.done;
+
+    let m = cache.metrics();
+    assert!(m.zones_readonly >= 1, "no read-only slot was salvaged: {m:?}");
+    assert!(m.zones_offline >= 1, "no dead slot was retired: {m:?}");
+    assert!(report.salvaged_objects >= 1);
+
+    // Proportionality: each dead zone strands at most 8 slots × 4 objects.
+    let (hits, misses) = assert_correct_or_miss("Region-Cache", &cache, &keys, &mut t);
+    let max_lost = (offline_zones * 8 * 4) as usize;
+    assert!(
+        misses <= max_lost,
+        "lost {misses} of {} objects; at most {max_lost} lived on offline zones",
+        keys.len()
+    );
+    assert!(hits >= keys.len() - max_lost);
+
+    // Still writable after the device shrank.
+    t = cache.set(b"ml-after", b"alive", t).unwrap();
+    t = cache.flush(t).unwrap();
+    let (v, _) = cache.get(b"ml-after", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"alive"[..]));
+}
+
+#[test]
+fn file_cache_keeps_serving_when_zones_fall_read_only() {
+    // The filesystem scheme: wear-out strikes the zones under the file.
+    // Read-only zones stay readable, the allocator routes around them,
+    // and the cleaner salvages their live blocks — no lookup may error.
+    let config = FsConfig::small_test();
+    let dev = Arc::new(ZnsDevice::new(config.zns.clone()));
+    let meta = Arc::new(RamDisk::new(config.meta_blocks));
+    let fs = Arc::new(FileSystem::format_on(Arc::clone(&dev), meta, &config));
+    let region = 4 * BLOCK_SIZE;
+    let backend =
+        Arc::new(FileBackend::create(Arc::clone(&fs), "cache", region, 8, Nanos::ZERO).unwrap());
+    let cache = Arc::new(LogCache::new(backend, CacheConfig::small_test()).unwrap());
+
+    let val_len = 3_000;
+    let mut keys = Vec::new();
+    let mut t = Nanos::ZERO;
+    // Three passes over the key set: the rewrites append enough fresh
+    // filesystem blocks that several zones seal under the file.
+    for i in 0..120u32 {
+        let key = format!("fc-{:03}", i % 40);
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        if i < 40 {
+            keys.push((key, val_len));
+        }
+    }
+    t = cache.flush(t).unwrap();
+
+    // A quarter of the device wears out to read-only under the file data.
+    let sealed = full_zones(&dev);
+    assert!(!sealed.is_empty(), "no full zones under the filesystem");
+    let quarter = sealed.len().min((dev.num_zones() as usize / 4).max(1));
+    for &z in sealed.iter().take(quarter) {
+        dev.degrade(z, false, t).unwrap();
+    }
+    assert!(dev.readonly_zones() >= 1);
+
+    // Keep overwriting: every rewrite forces fresh allocations that must
+    // dodge the dead zones, and cleaning pressure must tolerate them.
+    for i in 0..40u32 {
+        let key = format!("fc-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+    }
+    t = cache.flush(t).unwrap();
+
+    // Read-only zones lose nothing: every object is served or was
+    // superseded in-cache (evicted) — and never with wrong bytes.
+    let (hits, _misses) = assert_correct_or_miss("File-Cache", &cache, &keys, &mut t);
+    assert!(hits > 0, "cache went dark after read-only degradation");
+    t = cache.set(b"fc-after", b"alive", t).unwrap();
+    t = cache.flush(t).unwrap();
+    let (v, _) = cache.get(b"fc-after", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&b"alive"[..]));
+}
+
+#[test]
+fn block_cache_rides_the_same_machinery_under_device_failures() {
+    // The conventional scheme has no zones to lose, but the same torture
+    // discipline applies to its failure modes: silent corruption becomes
+    // misses, dead trims become quarantined slots, and the cache serves on.
+    let inj = Arc::new(FaultInjector::with_seed(matrix_seed(33)));
+    let dev = Arc::new(FaultyDevice::with_injector(
+        Arc::new(RamDisk::new(64)),
+        Arc::clone(&inj),
+    ));
+    let backend = Arc::new(BlockBackend::new(dev, 4 * BLOCK_SIZE));
+    let cache = Arc::new(LogCache::new(backend, CacheConfig::small_test()).unwrap());
+
+    let val_len = BLOCK_SIZE - 12 - 6; // tiles a region in four objects
+    inj.push(FaultSpec::latent_corruption(2));
+    let mut keys = Vec::new();
+    let mut t = Nanos::ZERO;
+    for i in 0..32u32 {
+        let key = format!("bc-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+        keys.push((key, val_len));
+    }
+    t = cache.flush(t).unwrap();
+    inj.push(FaultSpec::fail_trims(3));
+
+    // One scrub cycle turns both flipped bits into misses up front.
+    let report = cache.scrub(t).unwrap();
+    assert_eq!(report.corrupt_objects, 2);
+    t = report.done;
+
+    let (hits, misses) = assert_correct_or_miss("Block-Cache", &cache, &keys, &mut t);
+    assert_eq!(misses, 2, "exactly the corrupted objects may miss");
+    assert_eq!(hits, 30);
+
+    // Keep writing until eviction trips over the failing trims: the victim
+    // quarantines, capacity shrinks, and inserts keep landing.
+    for i in 32..80u32 {
+        let key = format!("bc-{i:03}");
+        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+    }
+    let m = cache.metrics();
+    assert!(m.quarantined_regions >= 1, "failed trim must quarantine: {m:?}");
+    let (v, _) = cache.get(b"bc-079", t).unwrap();
+    assert_eq!(v.as_deref(), Some(&value_for("bc-079", val_len)[..]));
+}
