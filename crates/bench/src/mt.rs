@@ -22,6 +22,7 @@
 //! which the `inline_evictions` metric makes visible in the report.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, OnceLock};
 use std::time::{Duration, Instant};
 
 // relaxed-ok(file): per-thread pacing clocks and aggregate benchmark
@@ -198,6 +199,12 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
             t = cache.set(&key, &value, t).expect("warmup fill");
         }
     }
+    // Quiesce the flush pipeline (without sealing the partial active
+    // buffer — its resident objects keep serving reads at RAM latency) so
+    // the measured phase starts from an idle device at every thread count
+    // instead of inheriting however much of a warmup program window was
+    // still in flight.
+    t = cache.drain_flushes(t);
     let warm_clock = t;
 
     // One shared op sequence, generated up front from one RNG and dealt
@@ -223,7 +230,15 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
     let clocks: Vec<AtomicU64> = (0..cfg.threads)
         .map(|_| AtomicU64::new(warm_clock.as_nanos()))
         .collect();
-    let started = Instant::now();
+    // The wall clock brackets exactly the measured loops: every worker
+    // arrives at the barrier before the leader starts the clock, a second
+    // wait releases them together, and the clock stops only once the last
+    // worker is done. Timing the whole `thread::scope` instead (spawn and
+    // join overhead included, clock started before any worker existed)
+    // made `wall_ops_per_sec` non-monotonic with the thread count.
+    let barrier = Barrier::new(cfg.threads.max(1));
+    let wall_start: OnceLock<Instant> = OnceLock::new();
+    let wall_elapsed: OnceLock<Duration> = OnceLock::new();
     std::thread::scope(|s| {
         for thread in 0..cfg.threads {
             let value = &value;
@@ -233,7 +248,15 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
             let get_latency = &get_latency;
             let set_latency = &set_latency;
             let clocks = &clocks;
+            let barrier = &barrier;
+            let wall_start = &wall_start;
+            let wall_elapsed = &wall_elapsed;
             s.spawn(move || {
+                if barrier.wait().is_leader() {
+                    let _ = wall_start.set(Instant::now());
+                }
+                // No worker issues an op before the clock is running.
+                barrier.wait();
                 let mut t = warm_clock;
                 let my_gets = LatencyHistogram::new();
                 let my_sets = LatencyHistogram::new();
@@ -277,10 +300,14 @@ pub fn run_mt(sc: &SchemeCache, cfg: &MtConfig) -> MtReport {
                 makespan.fetch_max((t - warm_clock).as_nanos(), Ordering::Relaxed);
                 get_latency.merge(&my_gets);
                 set_latency.merge(&my_sets);
+                if barrier.wait().is_leader() {
+                    let _ = wall_elapsed
+                        .set(wall_start.get().expect("wall clock started").elapsed());
+                }
             });
         }
     });
-    let wall = started.elapsed();
+    let wall = wall_elapsed.get().copied().unwrap_or_default();
     drop(maintainer);
 
     let m = cache.metrics();
@@ -345,11 +372,19 @@ fn schemes_json(runs: &[MtReport], indent: &str) -> String {
 /// bottleneck) and `"fast_device"` (near-instant media, the simulation
 /// analogue of nullblk — isolates the engine's own scalability, which is
 /// what the lock-striping work changes).
-pub fn throughput_json(cfg: &MtConfig, sections: &[(&str, &[MtReport])]) -> String {
+pub fn throughput_json(
+    cfg: &MtConfig,
+    device: &crate::profile::DeviceProfile,
+    sections: &[(&str, &[MtReport])],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"workload\": {{\"zipf\": {}, \"value_len\": {}, \"get_ratio\": {}, \"keys\": {}, \"total_ops\": {}}},\n",
         cfg.zipf, cfg.value_len, cfg.get_ratio, cfg.keys, cfg.ops
+    ));
+    out.push_str(&format!(
+        "  \"device\": {{\"zones\": {}, \"stripe_dies\": {}, \"append_depth\": {}}},\n",
+        device.zones, device.stripe_dies, device.append_depth
     ));
     out.push_str("  \"profiles\": {\n");
     for (pi, (label, runs)) in sections.iter().enumerate() {
@@ -390,6 +425,8 @@ mod tests {
         assert!(r.gets > 0 && r.hits <= r.gets);
         assert_eq!(r.get_latency.count() + r.set_latency.count(), r.ops);
         assert!(r.ops_per_sec() > 0.0);
+        // The barriered wall clock measured a real (non-zero) window.
+        assert!(r.wall > Duration::ZERO && r.wall_ops_per_sec() > 0.0);
     }
 
     #[test]
@@ -437,10 +474,13 @@ mod tests {
             seed: 3,
         };
         let r = run_mt(&sc, &cfg);
-        let json = throughput_json(&cfg, &[("flash", std::slice::from_ref(&r))]);
+        let profile = crate::profile::DeviceProfile::sparse(8);
+        let json = throughput_json(&cfg, &profile, &[("flash", std::slice::from_ref(&r))]);
         assert!(json.contains("\"flash\""));
         assert!(json.contains("\"Zone-Cache\""));
         assert!(json.contains("\"ops_per_sec\""));
+        assert!(json.contains("\"stripe_dies\": 8"));
+        assert!(json.contains("\"append_depth\": 16"));
         assert!(json.contains("\"1\""));
         // Balanced braces — cheap structural sanity for hand-built JSON.
         assert_eq!(

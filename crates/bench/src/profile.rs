@@ -40,6 +40,11 @@ pub struct DeviceProfile {
     /// on nullblk, as the paper does for metadata) so a benchmark measures
     /// the cache software stack rather than NAND bandwidth.
     pub timing: NandTiming,
+    /// Dies a zone stripes over (must divide the geometry's 8 dies and
+    /// the zone's 8 erase blocks: 1, 2, 4 or 8).
+    pub stripe_dies: u32,
+    /// Zone-append commands kept in flight during a region flush.
+    pub append_depth: usize,
 }
 
 impl DeviceProfile {
@@ -49,6 +54,8 @@ impl DeviceProfile {
             zones,
             store: StoreKind::Sparse,
             timing: NandTiming::default(),
+            stripe_dies: 8,
+            append_depth: zns_cache::backend::DEFAULT_APPEND_DEPTH,
         }
     }
 
@@ -58,12 +65,40 @@ impl DeviceProfile {
             zones,
             store: StoreKind::Ram,
             timing: NandTiming::default(),
+            stripe_dies: 8,
+            append_depth: zns_cache::backend::DEFAULT_APPEND_DEPTH,
         }
     }
 
     /// Same geometry on a near-instant device, for engine-bound runs.
     pub fn fast(mut self) -> Self {
         self.timing = NandTiming::fast_test();
+        self
+    }
+
+    /// Narrows (or widens) the zone stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dies` is 1, 2, 4 or 8 — the divisors the 8-die
+    /// geometry and 8-block zones admit.
+    pub fn with_stripe_dies(mut self, dies: u32) -> Self {
+        assert!(
+            matches!(dies, 1 | 2 | 4 | 8),
+            "stripe width {dies} does not divide 8 dies / 8 zone blocks"
+        );
+        self.stripe_dies = dies;
+        self
+    }
+
+    /// Overrides the flush append queue depth (1 = synchronous QD1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_append_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "append depth must be at least 1");
+        self.append_depth = depth;
         self
     }
 
@@ -88,7 +123,7 @@ impl DeviceProfile {
                 store: self.store,
             },
             zone_blocks: 8,
-            stripe_dies: 8,
+            stripe_dies: self.stripe_dies,
             max_open_zones: 14,
             max_active_zones: 28,
             zone_cap_blocks: None,
@@ -125,7 +160,7 @@ impl DeviceProfile {
                     store: self.store,
                 },
                 zone_blocks: 8,
-                stripe_dies: 8,
+                stripe_dies: self.stripe_dies,
                 max_open_zones: 14,
                 max_active_zones: 28,
                 zone_cap_blocks: None,
@@ -175,7 +210,10 @@ pub fn middle_config(device_zones: u32, cache_bytes: u64, gc_mode: GcMode) -> Mi
         min_empty_zones: (reserve_zones / 2).max(1),
         victim_valid_ratio: 0.2,
         concurrent_open_zones: 4,
-        use_append: false,
+        // Region writes go down as zone appends: queued page programs the
+        // controller can suspend at page granularity, so cache reads on
+        // the same dies pay `program_suspend` instead of `read_suspend`.
+        use_append: true,
         gc_mode,
     }
 }
@@ -188,7 +226,9 @@ pub const DRAM_BUDGET: usize = 48 * 1024 * 1024;
 
 /// Cache engine configuration for experiments: payload verification off
 /// (sparse stores), LRU regions, admit-all — the paper's setup. The DRAM
-/// pool is the budget minus the scheme's two in-flight region buffers.
+/// pool is the budget minus the scheme's two region buffers: one active
+/// plus one detached in-flight flush image (the pipeline serves reads
+/// from that image at DRAM latency until its flush ticket resolves).
 pub fn experiment_cache_config(region_size: usize) -> CacheConfig {
     let buffers = 2 * region_size;
     let dram_bytes = DRAM_BUDGET.saturating_sub(buffers).max(1024 * 1024);
@@ -198,7 +238,7 @@ pub fn experiment_cache_config(region_size: usize) -> CacheConfig {
         // CacheLib always fronts flash with a DRAM pool (scaled from the
         // multi-GiB pools CacheBench provisions), net of region buffers.
         dram_bytes,
-        in_memory_buffers: 2,
+        in_memory_buffers: 1,
         insert_cpu: sim::Nanos::from_nanos(2_000),
         lookup_cpu: sim::Nanos::from_nanos(1_000),
         index_remove_cpu: sim::Nanos::from_nanos(2_000),
@@ -213,6 +253,12 @@ pub fn experiment_cache_config(region_size: usize) -> CacheConfig {
         // (when running) absorbs eviction cost off the foreground path.
         clean_region_watermark: 2,
         dram_shards: 16,
+        // The DRAM pool runs write-back (CacheLib's demotion pipeline):
+        // hot overwrites are absorbed in DRAM and only DRAM-evicted
+        // entries are demoted into the flash log, which is what keeps the
+        // flash program stream near the irreducible working-set churn
+        // instead of the full set rate.
+        dram_write_back: true,
         seed: 42,
     }
 }

@@ -59,8 +59,13 @@ pub fn build_scheme_on(
     match scheme {
         Scheme::Zone => {
             // Region == zone; the whole budget is usable (no OP).
-            SchemeCache::zone(profile.zns(), Some(cache_zones), config)
-                .expect("zone scheme construction")
+            SchemeCache::zone_with_append_depth(
+                profile.zns(),
+                Some(cache_zones),
+                profile.append_depth,
+                config,
+            )
+            .expect("zone scheme construction")
         }
         Scheme::Region => SchemeCache::region(
             profile.zns(),

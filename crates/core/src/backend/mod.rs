@@ -22,7 +22,7 @@ mod zone;
 pub use block::BlockBackend;
 pub use file::FileBackend;
 pub use middle::{GcMode, MiddleConfig, MiddleLayerBackend, MiddleStatsSnapshot};
-pub use zone::ZoneBackend;
+pub use zone::{ZoneBackend, DEFAULT_APPEND_DEPTH};
 
 use sim::Nanos;
 

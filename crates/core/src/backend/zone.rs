@@ -6,19 +6,26 @@
 //! construction** — at the price of a very large region whose costs the
 //! engine's buffer/eviction path surfaces (Fig. 3).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
+use sim::trace::{self, EventKind};
 use sim::{Counter, Nanos, BLOCK_SIZE};
-use zns::{ZnsDevice, ZoneId, ZoneState};
+use zns::{DieService, ZnsDevice, ZoneId, ZoneState};
 
 use crate::types::{CacheError, RegionId};
 
 use super::{check_region_read, check_region_write, RegionBackend, RegionHealth};
 
+/// Default number of zone-append commands kept in flight during a region
+/// flush. Deep enough to keep every die of the stripe busy back-to-back.
+pub const DEFAULT_APPEND_DEPTH: usize = 16;
+
 /// Region `i` lives in zone `i`.
 pub struct ZoneBackend {
     dev: Arc<ZnsDevice>,
     num_regions: u32,
+    append_depth: usize,
     host_bytes: Counter,
 }
 
@@ -29,8 +36,22 @@ impl ZoneBackend {
         ZoneBackend {
             dev,
             num_regions,
+            append_depth: DEFAULT_APPEND_DEPTH,
             host_bytes: Counter::new(),
         }
+    }
+
+    /// Sets the zone-append queue depth used by region flushes. A depth of
+    /// 1 degenerates to synchronous QD1 appends (each command issued at
+    /// the completion instant of its predecessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn with_append_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "append depth must be at least 1");
+        self.append_depth = depth;
+        self
     }
 
     /// Restricts the cache to the first `num_regions` zones (capacity
@@ -56,6 +77,25 @@ impl ZoneBackend {
 
     fn zone(&self, region: RegionId) -> ZoneId {
         ZoneId(region.0)
+    }
+
+    /// Resets a zone left mid-range by a failed flush (earlier appends of
+    /// the deep queue land even when a later one faults; a torn append
+    /// persists a prefix). Without this the debris pins one of the
+    /// device's scarce open/active zone slots until the region is next
+    /// evicted — and a region the engine *quarantines* is never evicted,
+    /// so enough failed flushes would wedge the whole device. Best
+    /// effort: a zone that will not reset (degraded, or the reset itself
+    /// faults) is left for `discard_region` to reclaim later.
+    fn clear_debris(&self, zone: ZoneId, now: Nanos) {
+        if let Ok(info) = self.dev.zone_info(zone) {
+            if info.write_pointer != 0
+                && info.write_pointer < info.capacity
+                && info.state.is_writable()
+            {
+                let _ = self.dev.reset(zone, now);
+            }
+        }
     }
 }
 
@@ -96,9 +136,72 @@ impl RegionBackend for ZoneBackend {
         now: Nanos,
     ) -> Result<Nanos, CacheError> {
         check_region_write(region, data.len(), self.region_size(), self.num_regions)?;
-        // Writing exactly the zone capacity leaves the zone Full; the
-        // device releases its open/active resources automatically.
-        let done = self.dev.write(self.zone(region), data, now)?;
+        let zone = self.zone(region);
+        // A flush owns its zone from a reset pointer. If a previous
+        // attempt left debris behind (its cleanup reset itself faulted),
+        // clear it now so the retry is idempotent. A Full zone stays an
+        // error: rewriting without a discard is a protocol violation, not
+        // a retry.
+        self.clear_debris(zone, now);
+        // The region image goes down as a stream of zone-append commands,
+        // one stripe-width chunk (one page per die) each, `append_depth`
+        // of them in flight: command i is issued at the completion
+        // instant of command i-depth. Appends are queued page programs,
+        // so the dies of the stripe service successive commands
+        // back-to-back while reads landing between pages pay only the
+        // cheap `program_suspend` fee. Writing exactly the zone capacity
+        // leaves the zone Full; the device releases its open/active
+        // resources automatically.
+        let chunk_bytes = (self.dev.layout().stripe_dies() as usize).max(1) * BLOCK_SIZE;
+        let mut window: VecDeque<Nanos> = VecDeque::with_capacity(self.append_depth);
+        let mut service: Vec<DieService> = Vec::new();
+        let mut expect_blocks = 0u64;
+        let mut done = now;
+        for chunk in data.chunks(chunk_bytes) {
+            let issue = if window.len() >= self.append_depth {
+                now.max(window.pop_front().expect("window is non-empty"))
+            } else {
+                now
+            };
+            let (assigned, t, svc) = match self.dev.append_with_service(zone, chunk, issue) {
+                Ok(r) => r,
+                Err(e) => {
+                    // The chunks already landed are now garbage; release
+                    // the zone's open/active slot before surfacing the
+                    // fault so a flush that fails through the whole retry
+                    // budget (quarantined region) cannot pin it forever.
+                    self.clear_debris(zone, issue);
+                    return Err(e.into());
+                }
+            };
+            // Appends pick their own landing offset; a region flush owns
+            // the whole zone from a reset pointer, so anything else means
+            // the slot was not actually clean.
+            if assigned != expect_blocks {
+                return Err(CacheError::Internal(format!(
+                    "zone {} append landed at block {assigned}, expected {expect_blocks}",
+                    zone.0
+                )));
+            }
+            expect_blocks += (chunk.len() / BLOCK_SIZE) as u64;
+            done = done.max(t);
+            window.push_back(t);
+            for s in svc {
+                match service.iter_mut().find(|agg| agg.die == s.die) {
+                    Some(agg) => {
+                        agg.start = agg.start.min(s.start);
+                        agg.end = agg.end.max(s.end);
+                    }
+                    None => service.push(s),
+                }
+            }
+        }
+        // One aggregated service-window event per die per region flush:
+        // the overlap between these windows is the trace evidence that the
+        // flush kept the stripe's dies concurrently busy.
+        for s in &service {
+            trace::emit(EventKind::DieService, s.start, s.die as u64, s.end.0);
+        }
         self.host_bytes.add(data.len() as u64);
         Ok(done)
     }
@@ -196,6 +299,60 @@ mod tests {
         let image = vec![1u8; b.region_size()];
         let t = b.write_region(RegionId(2), &image, Nanos::ZERO).unwrap();
         assert!(b.write_region(RegionId(2), &image, t).is_err());
+    }
+
+    #[test]
+    fn deep_queue_flush_beats_qd1() {
+        // Same device timing, same image: the deep-queue flush overlaps
+        // per-die service windows, QD1 (each append issued only at its
+        // predecessor's completion) cannot — so the deep queue must
+        // finish strictly earlier on any stripe wider than one die.
+        let deep = backend();
+        let qd1 = ZoneBackend::new(Arc::new(ZnsDevice::new(ZnsConfig::small_test())))
+            .with_append_depth(1);
+        assert!(deep.device().layout().stripe_dies() > 1);
+        let image = vec![3u8; deep.region_size()];
+        let t_deep = deep.write_region(RegionId(0), &image, Nanos::ZERO).unwrap();
+        let t_qd1 = qd1.write_region(RegionId(0), &image, Nanos::ZERO).unwrap();
+        assert!(
+            t_deep < t_qd1,
+            "deep queue {t_deep:?} must beat QD1 {t_qd1:?}"
+        );
+        // Either way the image must be fully readable.
+        let mut out = vec![0u8; 512];
+        deep.read(RegionId(0), 100, &mut out, t_deep).unwrap();
+        assert_eq!(out[..], image[100..612]);
+    }
+
+    #[test]
+    fn failed_flush_is_retryable() {
+        // A deep-queue flush is not atomic: when one append faults (or
+        // tears), the earlier commands have already landed and the zone is
+        // left with a mid-range write pointer. The retry must start from a
+        // clean slot, not trip the landed-at-nonzero invariant.
+        let inj = Arc::new(sim::fault::FaultInjector::default());
+        let b = ZoneBackend::new(Arc::new(
+            ZnsDevice::new(ZnsConfig::small_test()).with_fault_injector(Arc::clone(&inj)),
+        ));
+        let image = vec![7u8; b.region_size()];
+        for spec in [
+            sim::fault::FaultSpec::torn_writes(1, 0.5),
+            sim::fault::FaultSpec::fail_writes(1),
+        ] {
+            inj.push(spec);
+            let err = b.write_region(RegionId(0), &image, Nanos::ZERO).unwrap_err();
+            assert!(
+                matches!(err, CacheError::Io(_)),
+                "fault must surface as retryable Io, got {err:?}"
+            );
+            let t = b
+                .write_region(RegionId(0), &image, Nanos::ZERO)
+                .expect("retry after failed flush");
+            let mut out = vec![0u8; 512];
+            b.read(RegionId(0), 4096, &mut out, t).unwrap();
+            assert_eq!(out[..], image[4096..4608]);
+            b.discard_region(RegionId(0), t).unwrap();
+        }
     }
 
     #[test]

@@ -3,37 +3,74 @@
 //! CacheLib is a hybrid cache: a byte-capped DRAM LRU sits in front of the
 //! flash engine (the paper's RocksDB evaluation provisions 32 MiB of DRAM
 //! against a 5 GiB flash cache). This module provides that tier: a strict
-//! LRU over owned byte values, evicting by total resident bytes.
+//! LRU over owned entries, evicting by total resident bytes.
+//!
+//! Entries carry their full key and expiry, not just the value. The engine
+//! needs both when it runs the tier **write-back** (DESIGN.md §10): an
+//! evicted entry is demoted to the flash log, which requires the key to
+//! serialize the object, and a DRAM-first lookup must be able to reject
+//! hash collisions and expired entries without consulting the flash index.
 
 use std::collections::{BTreeMap, HashMap};
 
 use bytes::Bytes;
+use sim::Nanos;
 
-/// A byte-capacity-bounded LRU map from key hash to value bytes.
+/// One resident object: key, value and absolute expiry (`Nanos::MAX` for
+/// no TTL). Both byte buffers count against the tier's capacity.
+#[derive(Clone, Debug)]
+pub struct DramEntry {
+    /// Full key bytes (hashes collide; lookups verify against this).
+    pub key: Bytes,
+    /// Value bytes.
+    pub value: Bytes,
+    /// Absolute expiry; entries at or past it are misses.
+    pub expiry: Nanos,
+    /// Whether the entry was looked up since it entered the tier. The
+    /// engine's write-back demotion gate reads this on eviction:
+    /// never-accessed entries are one-hit-wonders and are dropped instead
+    /// of demoted (CacheLib's reject-first admission). Insert with
+    /// `false`; [`DramCache::get`] sets it.
+    pub accessed: bool,
+}
+
+impl DramEntry {
+    fn size(&self) -> usize {
+        self.key.len() + self.value.len()
+    }
+}
+
+/// A byte-capacity-bounded LRU map from key hash to [`DramEntry`].
 ///
 /// # Example
 ///
 /// ```
-/// use zns_cache::dram::DramCache;
+/// use zns_cache::dram::{DramCache, DramEntry};
 /// use bytes::Bytes;
+/// use sim::Nanos;
 ///
 /// let mut c = DramCache::new(1024);
-/// c.insert(1, Bytes::from_static(b"hello"));
-/// assert_eq!(c.get(1).as_deref(), Some(&b"hello"[..]));
-/// assert_eq!(c.get(2), None);
+/// c.insert(1, DramEntry {
+///     key: Bytes::from_static(b"k"),
+///     value: Bytes::from_static(b"hello"),
+///     expiry: Nanos::MAX,
+///     accessed: false,
+/// });
+/// assert_eq!(c.get(1, b"k", Nanos::ZERO).as_deref(), Some(&b"hello"[..]));
+/// assert_eq!(c.get(2, b"k", Nanos::ZERO), None);
 /// ```
 #[derive(Debug)]
 pub struct DramCache {
     capacity_bytes: usize,
     resident_bytes: usize,
     seq: u64,
-    map: HashMap<u64, (Bytes, u64)>,
+    map: HashMap<u64, (DramEntry, u64)>,
     order: BTreeMap<u64, u64>,
 }
 
 impl DramCache {
-    /// Creates a cache bounded to `capacity_bytes` of values. A capacity of
-    /// zero disables the tier (every insert is dropped).
+    /// Creates a cache bounded to `capacity_bytes` of keys + values. A
+    /// capacity of zero disables the tier (every insert is dropped).
     pub fn new(capacity_bytes: usize) -> Self {
         DramCache {
             capacity_bytes,
@@ -55,51 +92,64 @@ impl DramCache {
         }
     }
 
-    /// Looks up and LRU-touches a value.
-    pub fn get(&mut self, hash: u64) -> Option<Bytes> {
-        if !self.map.contains_key(&hash) {
+    /// Looks up and LRU-touches a value. A hash hit whose stored key
+    /// differs from `key` is a collision with another object and reports a
+    /// miss (the resident entry keeps its slot). An entry at or past its
+    /// expiry is dropped and reported as a miss.
+    pub fn get(&mut self, hash: u64, key: &[u8], now: Nanos) -> Option<Bytes> {
+        let entry = self.map.get(&hash).map(|(e, _)| e)?;
+        if entry.key != key {
+            return None;
+        }
+        if entry.expiry <= now {
+            self.remove(hash);
             return None;
         }
         self.touch(hash);
-        self.map.get(&hash).map(|(v, _)| v.clone())
+        let (e, _) = self.map.get_mut(&hash).expect("present");
+        e.accessed = true;
+        Some(e.value.clone())
     }
 
-    /// Inserts a value, evicting LRU entries to fit. Returns the evicted
-    /// values (hash, bytes) so the caller can demote them to flash,
-    /// mirroring CacheLib's DRAM→flash demotion pipeline.
-    pub fn insert(&mut self, hash: u64, value: Bytes) -> Vec<(u64, Bytes)> {
-        let mut evicted = Vec::new();
-        if value.len() > self.capacity_bytes {
-            // Too large for the tier entirely; caller keeps it flash-only.
-            return evicted;
+    /// Inserts an entry, evicting LRU entries to fit. Returns the evicted
+    /// entries so the caller can demote them to flash (CacheLib's
+    /// DRAM→flash demotion pipeline), or `None` when the entry is larger
+    /// than the whole tier and was not admitted (the caller keeps it
+    /// flash-only).
+    pub fn insert(&mut self, hash: u64, entry: DramEntry) -> Option<Vec<(u64, DramEntry)>> {
+        if entry.size() > self.capacity_bytes {
+            return None;
         }
+        let mut evicted = Vec::new();
+        // Replacing the resident version is supersession, not eviction —
+        // the old value must never be demoted over the new one.
         self.remove(hash);
-        while self.resident_bytes + value.len() > self.capacity_bytes {
+        while self.resident_bytes + entry.size() > self.capacity_bytes {
             let (&oldest_seq, &oldest_hash) = self.order.iter().next().expect("resident > 0");
             self.order.remove(&oldest_seq);
-            let (v, _) = self.map.remove(&oldest_hash).expect("order/map in sync");
-            self.resident_bytes -= v.len();
-            evicted.push((oldest_hash, v));
+            let (e, _) = self.map.remove(&oldest_hash).expect("order/map in sync");
+            self.resident_bytes -= e.size();
+            evicted.push((oldest_hash, e));
         }
         self.seq += 1;
-        self.resident_bytes += value.len();
+        self.resident_bytes += entry.size();
         self.order.insert(self.seq, hash);
-        self.map.insert(hash, (value, self.seq));
-        evicted
+        self.map.insert(hash, (entry, self.seq));
+        Some(evicted)
     }
 
     /// Removes an entry if present; returns whether it existed.
     pub fn remove(&mut self, hash: u64) -> bool {
-        if let Some((v, seq)) = self.map.remove(&hash) {
+        if let Some((e, seq)) = self.map.remove(&hash) {
             self.order.remove(&seq);
-            self.resident_bytes -= v.len();
+            self.resident_bytes -= e.size();
             true
         } else {
             false
         }
     }
 
-    /// Bytes currently resident.
+    /// Bytes currently resident (keys + values).
     pub fn resident_bytes(&self) -> usize {
         self.resident_bytes
     }
@@ -119,30 +169,40 @@ impl DramCache {
 mod tests {
     use super::*;
 
-    fn val(n: usize) -> Bytes {
-        Bytes::from(vec![0u8; n])
+    fn entry(n: usize) -> DramEntry {
+        DramEntry {
+            key: Bytes::new(),
+            value: Bytes::from(vec![0u8; n]),
+            expiry: Nanos::MAX,
+            accessed: false,
+        }
+    }
+
+    fn get(c: &mut DramCache, hash: u64) -> Option<Bytes> {
+        c.get(hash, b"", Nanos::ZERO)
     }
 
     #[test]
     fn lru_eviction_order() {
         let mut c = DramCache::new(30);
-        assert!(c.insert(1, val(10)).is_empty());
-        assert!(c.insert(2, val(10)).is_empty());
-        assert!(c.insert(3, val(10)).is_empty());
+        assert!(c.insert(1, entry(10)).expect("admitted").is_empty());
+        assert!(c.insert(2, entry(10)).expect("admitted").is_empty());
+        assert!(c.insert(3, entry(10)).expect("admitted").is_empty());
         // Touch 1 so 2 becomes LRU.
-        c.get(1);
-        let evicted = c.insert(4, val(10));
+        get(&mut c, 1);
+        let evicted = c.insert(4, entry(10)).expect("admitted");
         assert_eq!(evicted.len(), 1);
         assert_eq!(evicted[0].0, 2);
-        assert!(c.get(2).is_none());
-        assert!(c.get(1).is_some());
+        assert!(get(&mut c, 2).is_none());
+        assert!(get(&mut c, 1).is_some());
     }
 
     #[test]
-    fn replace_frees_old_bytes() {
+    fn replace_frees_old_bytes_and_never_demotes_old_version() {
         let mut c = DramCache::new(20);
-        c.insert(1, val(10));
-        c.insert(1, val(15));
+        c.insert(1, entry(10));
+        let evicted = c.insert(1, entry(15)).expect("admitted");
+        assert!(evicted.is_empty(), "supersession must not demote");
         assert_eq!(c.resident_bytes(), 15);
         assert_eq!(c.len(), 1);
     }
@@ -150,22 +210,34 @@ mod tests {
     #[test]
     fn oversized_value_is_not_cached() {
         let mut c = DramCache::new(10);
-        assert!(c.insert(1, val(11)).is_empty());
-        assert!(c.get(1).is_none());
+        assert!(c.insert(1, entry(11)).is_none());
+        assert!(get(&mut c, 1).is_none());
         assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn key_bytes_count_against_capacity() {
+        let mut c = DramCache::new(10);
+        let e = DramEntry {
+            key: Bytes::from_static(b"12345678"),
+            value: Bytes::from(vec![0u8; 3]),
+            expiry: Nanos::MAX,
+            accessed: false,
+        };
+        assert!(c.insert(1, e).is_none(), "8 + 3 > 10 must not be admitted");
     }
 
     #[test]
     fn zero_capacity_disables_tier() {
         let mut c = DramCache::new(0);
-        c.insert(1, val(1));
+        c.insert(1, entry(1));
         assert!(c.is_empty());
     }
 
     #[test]
     fn remove_accounting() {
         let mut c = DramCache::new(100);
-        c.insert(1, val(40));
+        c.insert(1, entry(40));
         assert!(c.remove(1));
         assert!(!c.remove(1));
         assert_eq!(c.resident_bytes(), 0);
@@ -174,11 +246,46 @@ mod tests {
     #[test]
     fn multi_eviction_when_large_insert() {
         let mut c = DramCache::new(30);
-        c.insert(1, val(10));
-        c.insert(2, val(10));
-        c.insert(3, val(10));
-        let evicted = c.insert(4, val(25));
+        c.insert(1, entry(10));
+        c.insert(2, entry(10));
+        c.insert(3, entry(10));
+        let evicted = c.insert(4, entry(25)).expect("admitted");
         assert_eq!(evicted.len(), 3);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hash_collision_with_different_key_misses() {
+        let mut c = DramCache::new(100);
+        c.insert(
+            7,
+            DramEntry {
+                key: Bytes::from_static(b"a"),
+                value: Bytes::from_static(b"va"),
+                expiry: Nanos::MAX,
+                accessed: false,
+            },
+        );
+        assert!(c.get(7, b"b", Nanos::ZERO).is_none());
+        // The resident entry survives the colliding probe.
+        assert_eq!(c.get(7, b"a", Nanos::ZERO).as_deref(), Some(&b"va"[..]));
+    }
+
+    #[test]
+    fn expired_entry_is_dropped_on_lookup() {
+        let mut c = DramCache::new(100);
+        c.insert(
+            1,
+            DramEntry {
+                key: Bytes::from_static(b"k"),
+                value: Bytes::from_static(b"v"),
+                expiry: Nanos::from_micros(5),
+                accessed: false,
+            },
+        );
+        assert!(c.get(1, b"k", Nanos::from_micros(4)).is_some());
+        assert!(c.get(1, b"k", Nanos::from_micros(5)).is_none());
+        assert_eq!(c.len(), 0, "expired entry reclaimed");
+        assert_eq!(c.resident_bytes(), 0);
     }
 }

@@ -52,11 +52,12 @@ use sim::trace::{self, EventKind};
 use sim::{crc32, Crc32, LatencyHistogram, Nanos};
 
 use crate::backend::{RegionBackend, RegionHealth};
-use crate::dram::DramCache;
+use crate::dram::{DramCache, DramEntry};
 use crate::index::{Index, IndexEntry};
+use crate::io::{EngineIo, FlushTicket, IoClass};
 use crate::metrics::{CacheMetrics, CacheMetricsSnapshot, CounterTable};
 use crate::policy::{Admission, AdmissionGate, EvictionPolicy};
-use crate::protocol::{CleanPool, CommitWindow, Generation, Pins};
+use crate::protocol::{CleanPool, CommitWindow, Generation, InflightCell, Pins};
 use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex, RwLock};
 use crate::types::{fingerprint, hash_key, CacheError, RegionId};
@@ -129,6 +130,16 @@ pub struct CacheConfig {
     /// shard is an independent byte-capped LRU holding an equal split of
     /// `dram_bytes`.
     pub dram_shards: usize,
+    /// Run the DRAM tier write-back instead of as a read mirror: a set is
+    /// absorbed in DRAM (any flash copy is invalidated up front) and only
+    /// entries *evicted* from DRAM are demoted into the flash log, so hot
+    /// overwrites never touch the device — CacheLib's DRAM→flash demotion
+    /// pipeline. The DRAM copy is authoritative and lookups consult it
+    /// before the index. A crash loses the DRAM tier, so a snapshot-less
+    /// device-scan recovery may resurface the last *demoted* version of a
+    /// key (the bounded staleness any write-back tier accepts); mirror
+    /// mode (`false`) keeps the strict flash-authoritative semantics.
+    pub dram_write_back: bool,
     /// Region buffers that may be in flight at once (CacheLib default: a
     /// small clean-region pool; 2 here).
     pub in_memory_buffers: usize,
@@ -184,6 +195,7 @@ impl CacheConfig {
             admission: Admission::Always,
             dram_bytes: 0,
             dram_shards: 4,
+            dram_write_back: false,
             in_memory_buffers: 2,
             insert_cpu: Nanos::from_nanos(2_000),
             lookup_cpu: Nanos::from_nanos(1_000),
@@ -416,13 +428,26 @@ struct WriterState {
     free: CleanPool,
     /// Seal order for FIFO eviction.
     fifo: VecDeque<u32>,
-    /// Completion times of in-flight region flushes.
-    in_flight: VecDeque<Nanos>,
+    /// Tickets of detached region flushes, oldest first. Resolved (waited
+    /// and retired) when the pipeline exceeds `in_memory_buffers`, at a
+    /// `flush()` barrier, or before the region is evicted — never
+    /// opportunistically, so the pipeline stall is charged to the
+    /// threads the paper charges it to.
+    in_flight: VecDeque<FlushTicket>,
     sets_since_maintenance: u32,
     /// Objects rescued from the last evicted region, waiting to be
     /// appended into the next buffer (reinsertion policy).
     pending_reinserts: Vec<(Vec<u8>, Vec<u8>, Nanos)>,
     next_seal_seq: u64,
+}
+
+/// A detached flush: the sealed region image plus the completion cell its
+/// submitter fills. Created under the writer mutex by
+/// [`LogCache::seal_detach`]; the device call runs in
+/// [`LogCache::submit_flush`] with *no engine lock held*.
+struct SealJob {
+    buf: Arc<RegionBuffer>,
+    cell: Arc<InflightCell>,
 }
 
 enum TryGet {
@@ -466,6 +491,15 @@ pub struct LogCache {
     /// region is actually active (cleared at seal) so sealed regions are
     /// served from flash like before.
     active_ro: RwLock<Option<Arc<RegionBuffer>>>,
+    /// Detached flush images whose tickets are unresolved. Reads of these
+    /// regions are served from RAM: until the ticket resolves the data is
+    /// not guaranteed on flash (correctness), and afterwards the image is
+    /// dropped only at resolution, keeping the most recently sealed — and
+    /// hottest — region at DRAM latency (the Zone-Cache p99 lever).
+    /// Bounded by the flush pipeline depth (`in_memory_buffers`).
+    sealing_ro: RwLock<Vec<Arc<RegionBuffer>>>,
+    /// Submission/completion accounting for every backend call.
+    io: EngineIo,
     /// Lock-striped DRAM tier; empty when `dram_bytes == 0`.
     dram: Vec<Mutex<DramCache>>,
     admission: Mutex<AdmissionGate>,
@@ -539,6 +573,8 @@ impl LogCache {
                 next_seal_seq: 0,
             }),
             active_ro: RwLock::new(None),
+            sealing_ro: RwLock::new(Vec::new()),
+            io: EngineIo::new(),
             dram,
             admission: Mutex::new(AdmissionGate::new(config.admission, config.seed)),
             admit_all: config.admission == Admission::Always,
@@ -612,6 +648,14 @@ impl LogCache {
         self.writer.lock().free.len()
     }
 
+    /// Backend operations submitted but not yet completed, across all
+    /// I/O classes. Zero whenever the engine is quiescent (no detached
+    /// flush in flight, no read or maintenance op mid-call); tests use
+    /// this to prove no operation ever leaks.
+    pub fn io_in_flight(&self) -> u64 {
+        self.io.in_flight()
+    }
+
     fn observe_clock(&self, now: Nanos) {
         // relaxed-ok: monotone max; no other memory is published with it.
         self.clock_hwm.fetch_max(now.as_nanos(), Ordering::Relaxed);
@@ -653,8 +697,14 @@ impl LogCache {
     /// Drops an invalidated entry's per-region and DRAM footprint.
     fn on_entry_invalidated(&self, hash: u64, region: RegionId) {
         self.dec_live(region);
-        if let Some(shard) = self.dram_shard(hash) {
-            shard.lock().remove(hash);
+        // Mirror mode: the DRAM copy is a replica of the flash entry and
+        // dies with it. Write-back mode: a resident DRAM copy is *newer*
+        // than any flash entry (the authority rule, DESIGN.md §10) and
+        // must survive the flash copy's invalidation.
+        if !self.config.dram_write_back {
+            if let Some(shard) = self.dram_shard(hash) {
+                shard.lock().remove(hash);
+            }
         }
     }
 
@@ -725,6 +775,15 @@ impl LogCache {
     /// Takes a region slot permanently out of service. The slot is never
     /// returned to the free list; capacity shrinks by one region.
     fn quarantine(&self, w: &mut WriterState, region: u32) {
+        w.fifo.retain(|&r| r != region);
+        self.quarantine_slot(region);
+    }
+
+    /// The writer-lock-free part of quarantine, used by the flush
+    /// submitter's error path, which by contract holds no engine lock.
+    /// Any stale fifo entry for the slot is harmless: `pick_victim` only
+    /// accepts `Sealed` slots, and a quarantined slot never is again.
+    fn quarantine_slot(&self, region: u32) {
         let slot = &self.slots[region as usize];
         {
             let mut meta = slot.meta.lock();
@@ -732,7 +791,6 @@ impl LogCache {
             meta.entries.clear();
         }
         slot.live_objects.store(0, Ordering::Relaxed); // relaxed-ok: statistic
-        w.fifo.retain(|&r| r != region);
         trace::emit(
             EventKind::RegionQuarantine,
             self.observed_clock(),
@@ -800,6 +858,16 @@ impl LogCache {
             let victim = self.pick_victim(w).ok_or_else(|| {
                 CacheError::Io("no region available: nothing sealed to evict".into())
             })?;
+            // A victim whose flush is still in flight must land before its
+            // storage is discarded. Reap its ticket first; waiting here
+            // cannot deadlock because the submitter completes the cell
+            // without ever taking the writer lock.
+            if let Some(pos) = w.in_flight.iter().position(|tk| tk.region == victim) {
+                if let Some(ticket) = w.in_flight.remove(pos) {
+                    now = now.max(ticket.cell.wait_done());
+                }
+            }
+            self.drop_sealing(victim);
             let slot = &self.slots[victim as usize];
             // Invalidate *before* the index cleanup: an unlocked read that
             // sampled the old generation will refuse data from this slot.
@@ -829,8 +897,10 @@ impl LogCache {
                     }
                     let len = OBJECT_HEADER + e.key_len as usize + e.value_len as usize;
                     let mut obj = vec![0u8; len];
-                    match self.retry_io(now, |t| {
-                        self.backend.read(RegionId(victim), offset as usize, &mut obj, t)
+                    match self.io.run(IoClass::Maintenance, || {
+                        self.retry_io(now, |t| {
+                            self.backend.read(RegionId(victim), offset as usize, &mut obj, t)
+                        })
                     }) {
                         Ok(t) => now = t,
                         Err(_) => continue,
@@ -870,7 +940,9 @@ impl LogCache {
             // Wait out in-flight pinned reads: nobody may be mid-read on
             // storage we are about to reclaim.
             slot.pins.drain();
-            match self.retry_io(t, |t| self.backend.discard_region(RegionId(victim), t)) {
+            match self.io.run(IoClass::Maintenance, || {
+                self.retry_io(t, |t| self.backend.discard_region(RegionId(victim), t))
+            }) {
                 Ok(t) => {
                     self.metrics.evicted_objects.add(removed);
                     self.metrics.evicted_regions.incr();
@@ -1048,8 +1120,10 @@ impl LogCache {
             let read = {
                 let _pin = slot.pins.pin();
                 let gen = slot.generation.sample();
-                let r = self.retry_io(*t, |t| {
-                    self.backend.read(RegionId(region), offset as usize, &mut obj, t)
+                let r = self.io.run(IoClass::Maintenance, || {
+                    self.retry_io(*t, |t| {
+                        self.backend.read(RegionId(region), offset as usize, &mut obj, t)
+                    })
                 });
                 if slot.generation.changed_since(gen) {
                     return Ok(()); // region evicted mid-scrub; its entries are gone
@@ -1129,50 +1203,30 @@ impl LogCache {
         self.quarantine(&mut w, region);
     }
 
-    /// Seals and flushes the active buffer. Returns the time after the
-    /// writer may proceed (stalls when the flush pipeline is full).
-    fn seal_active(&self, w: &mut WriterState, now: Nanos) -> Result<Nanos, CacheError> {
+    /// Detaches the active buffer as a flush job, all under the writer
+    /// lock and with zero device I/O: quiesce the commit window, mark the
+    /// slot sealed, enqueue a pipeline ticket, and publish the image for
+    /// RAM serves. Also pops any tickets beyond the pipeline depth; the
+    /// caller must resolve those — and submit the job — *after* releasing
+    /// the writer lock, so the device never runs under it.
+    fn seal_detach(&self, w: &mut WriterState) -> (Option<SealJob>, Vec<FlushTicket>) {
         let Some(active) = w.active.take() else {
-            return Ok(now);
+            return (None, Vec::new());
         };
         let ActiveRegion { buf, used, entries } = active;
         // Quiesce: every granted reservation's payload copy must land
         // before the image is flushed (reservations are only granted under
         // the writer lock, which we hold, so no new ones can start).
         buf.commit.quiesce(used);
-        let mut t = now;
-        // Flush pipeline: wait for the oldest in-flight flush if all
-        // buffers are busy.
+        // Flush pipeline: hand the caller the oldest tickets once all
+        // buffers are busy; resolving them is the stall the inserter pays.
+        let mut over = Vec::new();
         while w.in_flight.len() >= self.config.in_memory_buffers.max(1) {
             match w.in_flight.pop_front() {
-                Some(oldest) => t = t.max(oldest),
+                Some(oldest) => over.push(oldest),
                 None => break,
             }
         }
-        // The buffer was zero-initialized, so the tail past `used` is
-        // already padding.
-        // SAFETY: quiesced above; no writer can reserve while we hold the
-        // writer lock.
-        let image = unsafe { buf.as_slice() };
-        let write = self.retry_io(t, |t| self.backend.write_region(buf.region, image, t));
-        let done = match write {
-            Ok(done) => done,
-            Err(e) => {
-                // Permanent flush failure: this is a cache, so the buffered
-                // objects may be dropped — but the index must not point at
-                // unwritten storage, and the slot (whose media just proved
-                // unwritable) is quarantined rather than recycled.
-                self.slots[buf.region.0 as usize].generation.invalidate();
-                for &(hash, offset) in &entries {
-                    self.index.remove_if_at(hash, buf.region, offset);
-                }
-                self.quarantine(w, buf.region.0);
-                *self.active_ro.write() = None;
-                self.metrics.flush_failures.incr();
-                return Err(e);
-            }
-        };
-        w.in_flight.push_back(done);
         let slot = &self.slots[buf.region.0 as usize];
         let live = entries.len() as u32;
         {
@@ -1188,50 +1242,100 @@ impl LogCache {
         slot.last_access
             .store(self.access_seq.load(Ordering::Relaxed), Ordering::Relaxed);
         w.fifo.push_back(buf.region.0);
-        // Sealed regions are served from flash; readers already holding
-        // the buffer Arc finish their in-flight serves from RAM safely.
+        let cell = Arc::new(InflightCell::new());
+        w.in_flight.push_back(FlushTicket {
+            region: buf.region.0,
+            cell: Arc::clone(&cell),
+        });
+        // Publish the image for RAM serves *before* clearing the active
+        // handle: a reader that sees `active_ro == None` then also sees
+        // this push (both edges go through the `active_ro` lock), so no
+        // read can fall through to flash before the flush has landed.
+        self.sealing_ro.write().push(Arc::clone(&buf));
         *self.active_ro.write() = None;
-        self.metrics.flushes.incr();
-        self.metrics
-            .bytes_flushed
-            .add(self.backend.region_size() as u64);
-        self.region_seals.incr(buf.region.0 as usize);
-        trace::emit(
-            EventKind::RegionSeal,
-            done,
-            buf.region.0 as u64,
-            self.backend.region_size() as u64,
-        );
-        Ok(t)
+        (Some(SealJob { buf, cell }), over)
     }
 
-    /// Ensures an active buffer with at least `need` free bytes.
-    fn ensure_buffer(
+    /// Submits a detached flush to the backend. Holds no engine lock —
+    /// that is the submit-to-complete contract (`cargo xtask lint`) and
+    /// what lets other writers fill the next buffer while the device
+    /// programs this one. Always completes the job's cell, success or
+    /// failure, so a pipeline waiter can never hang.
+    fn submit_flush(&self, job: SealJob, now: Nanos) -> Result<Nanos, CacheError> {
+        let SealJob { buf, cell } = job;
+        let region = buf.region;
+        self.io.submitted(IoClass::Flush);
+        // The buffer was zero-initialized, so the tail past `used` is
+        // already padding.
+        // SAFETY: quiesced in `seal_detach`, and the buffer is detached
+        // from the writer state — no reservation can ever target it again.
+        let image = unsafe { buf.as_slice() };
+        let write = self.retry_io(now, |t| self.backend.write_region(region, image, t));
+        match write {
+            Ok(done) => {
+                self.metrics.flushes.incr();
+                self.metrics
+                    .bytes_flushed
+                    .add(self.backend.region_size() as u64);
+                self.region_seals.incr(region.0 as usize);
+                trace::emit(
+                    EventKind::RegionSeal,
+                    done,
+                    region.0 as u64,
+                    self.backend.region_size() as u64,
+                );
+                cell.complete(done);
+                self.io.completed(IoClass::Flush);
+                Ok(done)
+            }
+            Err(e) => {
+                // Permanent flush failure: this is a cache, so the buffered
+                // objects may be dropped — but the index must not point at
+                // unwritten storage, and the slot (whose media just proved
+                // unwritable) is quarantined rather than recycled. Cleanup
+                // deliberately avoids the writer lock (a pipeline waiter
+                // may hold it while waiting on this very cell).
+                let slot = &self.slots[region.0 as usize];
+                slot.generation.invalidate();
+                let entries = std::mem::take(&mut slot.meta.lock().entries);
+                for &(hash, offset) in &entries {
+                    self.index.remove_if_at(hash, region, offset);
+                }
+                self.quarantine_slot(region.0);
+                self.drop_sealing(region.0);
+                self.metrics.flush_failures.incr();
+                cell.complete(now);
+                self.io.completed(IoClass::Flush);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reaps one detached flush: waits for its completion, retires its
+    /// RAM image, and returns the later of `t` and the completion time.
+    /// Callers hold no engine lock.
+    fn resolve_ticket(&self, ticket: FlushTicket, t: Nanos) -> Nanos {
+        let done = ticket.cell.wait_done();
+        self.drop_sealing(ticket.region);
+        t.max(done)
+    }
+
+    /// Drops a region's detached flush image from the RAM-serve set.
+    fn drop_sealing(&self, region: u32) {
+        self.sealing_ro.write().retain(|b| b.region.0 != region);
+    }
+
+    /// Allocates a region slot (evicting inline if the pool is dry) and
+    /// binds a fresh active buffer to it, draining pending reinserts while
+    /// keeping `need` bytes free for the caller's object.
+    fn bind_fresh_buffer(
         &self,
         w: &mut WriterState,
         need: usize,
         now: Nanos,
     ) -> Result<Nanos, CacheError> {
         let region_size = self.backend.region_size();
-        if let Some(active) = &w.active {
-            if region_size - active.used >= need {
-                return Ok(now);
-            }
-        }
-        let t = match self.seal_active(w, now) {
-            Ok(t) => t,
-            // Permanent flush failure (e.g. the active region's zone fell
-            // read-only mid-life): `seal_active` already dropped the
-            // buffered entries and quarantined the slot. A cache insert
-            // must not fail because one region died — reroute this write
-            // into a fresh region and keep serving.
-            Err(CacheError::Io(_)) => {
-                self.metrics.write_reroutes.incr();
-                now
-            }
-            Err(other) => return Err(other),
-        };
-        let (slot_id, t) = self.acquire_region(w, t)?;
+        let (slot_id, t) = self.acquire_region(w, now)?;
         let slot = &self.slots[slot_id as usize];
         slot.meta.lock().state = RegionState::Active;
         // Re-activation bump: a reader still pinned to the slot's previous
@@ -1355,7 +1459,9 @@ impl LogCache {
             scores[r as usize] = rank as f64 / n;
         }
         let temperature = move |r: RegionId| scores.get(r.0 as usize).copied().unwrap_or(0.0);
-        let outcome = self.backend.maintenance(now, &temperature)?;
+        let outcome = self
+            .io
+            .run(IoClass::Maintenance, || self.backend.maintenance(now, &temperature))?;
         for region in outcome.dropped_regions {
             let slot = &self.slots[region.0 as usize];
             let entries = {
@@ -1427,15 +1533,133 @@ impl LogCache {
         }
         let hash = hash_key(key);
         let fp = fingerprint(key);
-        let crc = Self::object_crc(key, value);
         let expiry = ttl.map_or(Nanos::MAX, |ttl| now + ttl);
 
+        // Write-back DRAM (DESIGN.md §10): absorb the insert in the DRAM
+        // tier; only entries *evicted* from it are demoted to the flash
+        // log, so a hot key overwritten in place never reaches the device.
+        if self.config.dram_write_back {
+            if let Some(shard) = self.dram_shard(hash) {
+                let absorbed = shard.lock().insert(
+                    hash,
+                    DramEntry {
+                        key: Bytes::copy_from_slice(key),
+                        value: Bytes::copy_from_slice(value),
+                        expiry,
+                        accessed: false,
+                    },
+                );
+                if let Some(evicted) = absorbed {
+                    // The DRAM copy is now the authoritative version; drop
+                    // any flash entry up front so losing the DRAM tier can
+                    // only surface as a miss, never as an older flash copy
+                    // resurfacing behind a newer value.
+                    if let Some(old) = self.index.remove(hash, fp) {
+                        self.dec_live(old.region);
+                    }
+                    let mut t = now.max(self.stall_deadline()) + self.config.insert_cpu;
+                    for (demoted_hash, entry) in evicted {
+                        t = self.demote(demoted_hash, entry, t)?;
+                    }
+                    self.metrics.sets.incr();
+                    self.metrics.record_set(t - now);
+                    return Ok(t);
+                }
+                // Larger than a whole DRAM shard: write through to flash.
+            }
+        }
+
+        let crc = Self::object_crc(key, value);
+        let t = self.log_write(key, value, expiry, hash, fp, crc, now)?;
+        self.metrics.sets.incr();
+        self.metrics.record_set(t - now);
+        Ok(t)
+    }
+
+    /// Writes a DRAM-evicted entry into the flash log (write-back mode's
+    /// demotion pipeline). Entries that expired while resident — or that
+    /// could never fit a region — are dropped instead of persisted:
+    /// eviction is always legal for a cache.
+    fn demote(&self, hash: u64, entry: DramEntry, now: Nanos) -> Result<Nanos, CacheError> {
+        if entry.expiry <= now {
+            return Ok(now);
+        }
+        if !entry.accessed {
+            // Reject-first admission (CacheLib): an entry never looked up
+            // during its whole DRAM residency is a one-hit-wonder; burning
+            // a flash write (and later flash reads) on it costs more than
+            // the rare miss it would save.
+            return Ok(now);
+        }
+        if Self::object_size(&entry.key, &entry.value) > self.backend.region_size() {
+            return Ok(now);
+        }
+        let fp = fingerprint(&entry.key);
+        let crc = Self::object_crc(&entry.key, &entry.value);
+        self.metrics.dram_demotions.incr();
+        self.log_write(&entry.key, &entry.value, entry.expiry, hash, fp, crc, now)
+    }
+
+    /// Appends one object to the flash log and publishes its index entry:
+    /// Phase 1 reserves a range under the writer lock (sealing and
+    /// flushing full buffers as needed), Phase 2 copies the payload with
+    /// no lock held, Phase 3 publishes the index (and, in mirror mode,
+    /// DRAM) entry. Common to write-through sets and write-back
+    /// demotions.
+    #[allow(clippy::too_many_arguments)]
+    fn log_write(
+        &self,
+        key: &[u8],
+        value: &[u8],
+        expiry: Nanos,
+        hash: u64,
+        fp: u32,
+        crc: u32,
+        now: Nanos,
+    ) -> Result<Nanos, CacheError> {
+        let size = Self::object_size(key, value);
+        let region_size = self.backend.region_size();
+
         // Phase 1, under the writer lock: reserve an append range. Any
-        // seal/eviction needed to make room also runs here — writers pay
-        // the reclamation cost when the clean pool is dry (backpressure).
+        // eviction needed to make room also runs here — writers pay the
+        // reclamation cost when the clean pool is dry (backpressure). A
+        // seal, however, only *detaches* the full buffer under the lock;
+        // its device write is submitted after the lock is dropped, so
+        // other writers fill the next buffer while the flush programs.
         let mut w = self.writer.lock();
         let mut t = now.max(self.stall_deadline()) + self.config.insert_cpu;
-        t = self.ensure_buffer(&mut w, size, t)?;
+        loop {
+            if let Some(active) = &w.active {
+                if region_size - active.used >= size {
+                    break;
+                }
+            }
+            let (job, tickets) = self.seal_detach(&mut w);
+            let Some(job) = job else {
+                // No active buffer at all: bind a fresh one and re-check.
+                t = self.bind_fresh_buffer(&mut w, size, t)?;
+                continue;
+            };
+            drop(w);
+            for ticket in tickets {
+                t = self.resolve_ticket(ticket, t);
+            }
+            match self.submit_flush(job, t) {
+                // Pipelined: the writer does not wait for the flush; the
+                // completion is reaped from the ticket later.
+                Ok(_done) => {}
+                // Permanent flush failure (e.g. the region's zone fell
+                // read-only mid-life): `submit_flush` already dropped the
+                // buffered entries and quarantined the slot. A cache
+                // insert must not fail because one region died — reroute
+                // this write into a fresh region and keep serving.
+                Err(CacheError::Io(_)) => {
+                    self.metrics.write_reroutes.incr();
+                }
+                Err(other) => return Err(other),
+            }
+            w = self.writer.lock();
+        }
         // relaxed-ok: access sequence is a recency counter, not a publish.
         let seq = self.access_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let active = w
@@ -1487,12 +1711,21 @@ impl LogCache {
             // reclaimed storage. Undo it — the object counts as evicted
             // immediately, which a cache is always allowed to do.
             self.index.remove_if_at(hash, region, offset);
-        } else if let Some(shard) = self.dram_shard(hash) {
-            // DRAM tier mirrors the newest version.
-            shard.lock().insert(hash, Bytes::copy_from_slice(value));
+        } else if !self.config.dram_write_back {
+            // DRAM tier mirrors the newest version (mirror mode only —
+            // write-back demotions must not bounce back into DRAM).
+            if let Some(shard) = self.dram_shard(hash) {
+                shard.lock().insert(
+                    hash,
+                    DramEntry {
+                        key: Bytes::copy_from_slice(key),
+                        value: Bytes::copy_from_slice(value),
+                        expiry,
+                        accessed: false,
+                    },
+                );
+            }
         }
-        self.metrics.sets.incr();
-        self.metrics.record_set(t - now);
         Ok(t)
     }
 
@@ -1544,6 +1777,17 @@ impl LogCache {
         now: Nanos,
         t: &mut Nanos,
     ) -> Result<TryGet, CacheError> {
+        // Write-back mode: the DRAM tier is authoritative and write-back
+        // entries have no index entry at all, so DRAM is consulted before
+        // the index (DESIGN.md §10). `DramCache::get` expiry-checks and
+        // rejects hash collisions itself.
+        if self.config.dram_write_back {
+            if let Some(shard) = self.dram_shard(hash) {
+                if let Some(v) = shard.lock().get(hash, key, now) {
+                    return Ok(TryGet::Hit(v));
+                }
+            }
+        }
         let entry = match self.index.lookup(hash, fp) {
             Some(e) => e,
             None => return Ok(TryGet::Miss),
@@ -1565,11 +1809,14 @@ impl LogCache {
         let slot = &self.slots[entry.region.0 as usize];
         slot.last_access.store(seq, Ordering::Relaxed); // relaxed-ok: recency stamp
 
-        // DRAM tier first.
-        if let Some(shard) = self.dram_shard(hash) {
-            if let Some(v) = shard.lock().get(hash) {
-                // A DRAM hit is still a reference to the flash copy.
-                return Ok(TryGet::Hit(v));
+        // DRAM tier first (mirror mode; write-back already checked it
+        // above, before the index).
+        if !self.config.dram_write_back {
+            if let Some(shard) = self.dram_shard(hash) {
+                if let Some(v) = shard.lock().get(hash, key, now) {
+                    // A DRAM hit is still a reference to the flash copy.
+                    return Ok(TryGet::Hit(v));
+                }
             }
         }
 
@@ -1592,6 +1839,27 @@ impl LogCache {
             }
         }
 
+        // Serve from a detached (sealing) flush image. Mandatory while the
+        // flush is in flight — the data is not yet guaranteed on flash —
+        // and kept until the ticket resolves, which holds the most
+        // recently sealed (hottest) region at DRAM latency.
+        let sealing = self
+            .sealing_ro
+            .read()
+            .iter()
+            .find(|b| b.region == entry.region)
+            .cloned();
+        if let Some(buf) = &sealing {
+            if self.index.get_at(hash, entry.region, entry.offset).is_none() {
+                return Ok(TryGet::Stale);
+            }
+            let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
+            // SAFETY: the image was quiesced at detach, so every byte is
+            // committed and immutable for the buffer's remaining lifetime.
+            let value = unsafe { buf.slice(start, entry.value_len as usize) };
+            return Ok(TryGet::Hit(Bytes::copy_from_slice(value)));
+        }
+
         // Flash path — entirely outside any engine lock. Pin the region
         // so eviction cannot reclaim its storage mid-read, then confirm
         // nothing moved before trusting the location.
@@ -1607,6 +1875,12 @@ impl LogCache {
                 return Ok(TryGet::Stale);
             }
         }
+        if self.sealing_ro.read().iter().any(|b| b.region == entry.region) {
+            // The slot was recycled *and re-sealed* between the first
+            // check and the pin: its new image may not be on flash yet.
+            // Retry — the next attempt serves it from the sealing buffer.
+            return Ok(TryGet::Stale);
+        }
         let stale = |e: Option<CacheError>| {
             if slot.generation.changed_since(gen) {
                 Ok(TryGet::Stale)
@@ -1621,8 +1895,10 @@ impl LogCache {
             // Read header + key + value; verify identity + checksum.
             let len = OBJECT_HEADER + entry.key_len as usize + entry.value_len as usize;
             let mut obj = vec![0u8; len];
-            match self.retry_io(*t, |t| {
-                self.backend.read(entry.region, entry.offset as usize, &mut obj, t)
+            match self.io.run(IoClass::Read, || {
+                self.retry_io(*t, |t| {
+                    self.backend.read(entry.region, entry.offset as usize, &mut obj, t)
+                })
             }) {
                 Ok(done) => *t = done,
                 // A read error on a region that was invalidated mid-read
@@ -1663,7 +1939,9 @@ impl LogCache {
             // is the only guard against serving a reclaimed location.
             let start = entry.offset as usize + OBJECT_HEADER + entry.key_len as usize;
             let mut value = vec![0u8; entry.value_len as usize];
-            match self.retry_io(*t, |t| self.backend.read(entry.region, start, &mut value, t)) {
+            match self.io.run(IoClass::Read, || {
+                self.retry_io(*t, |t| self.backend.read(entry.region, start, &mut value, t))
+            }) {
                 Ok(done) => *t = done,
                 Err(e) => return stale(Some(e)),
             }
@@ -1687,15 +1965,28 @@ impl LogCache {
         let hash = hash_key(key);
         let fp = fingerprint(key);
         let t = now + self.config.lookup_cpu;
+        // The DRAM tier is purged unconditionally: in write-back mode the
+        // resident copy may be the *only* copy, with no index entry to
+        // lead here (mirror mode reaches the same state — no stale DRAM
+        // entry may outlive a delete).
+        let dram_removed = self
+            .dram_shard(hash)
+            .is_some_and(|shard| shard.lock().remove(hash));
         let removed = self.index.remove(hash, fp);
         if let Some(entry) = &removed {
-            self.on_entry_invalidated(hash, entry.region);
+            self.dec_live(entry.region);
+        }
+        let existed = removed.is_some() || dram_removed;
+        if existed {
             self.metrics.deletes.incr();
         }
-        Ok((removed.is_some(), t))
+        Ok((existed, t))
     }
 
-    /// Seals and flushes the active buffer even if partially full.
+    /// Seals and flushes the active buffer even if partially full, then
+    /// drains the whole flush pipeline: on return every sealed region has
+    /// landed on the backend (a true barrier) and the returned time
+    /// covers the slowest in-flight flush.
     ///
     /// # Errors
     ///
@@ -1703,7 +1994,45 @@ impl LogCache {
     pub fn flush(&self, now: Nanos) -> Result<Nanos, CacheError> {
         self.observe_clock(now);
         let mut w = self.writer.lock();
-        self.seal_active(&mut w, now)
+        let (job, mut tickets) = self.seal_detach(&mut w);
+        // Barrier: drain everything, including the ticket of the job
+        // detached above (its cell is filled by the submit below, before
+        // any resolve waits on it).
+        tickets.extend(w.in_flight.drain(..));
+        drop(w);
+        let submit = match job {
+            Some(job) => self.submit_flush(job, now).map(Some),
+            None => Ok(None),
+        };
+        let mut t = now;
+        for ticket in tickets {
+            t = self.resolve_ticket(ticket, t);
+        }
+        // Error only after every cell is resolved: waiters never hang on
+        // a failed submission, and the barrier semantics still hold.
+        if let Some(done) = submit? {
+            t = t.max(done);
+        }
+        Ok(t)
+    }
+
+    /// Resolves every in-flight flush ticket without sealing the active
+    /// buffer. Unlike [`LogCache::flush`] this is not a durability
+    /// barrier — the partially-filled active region keeps accepting
+    /// writes. Benchmarks call it at the end of warmup so the measured
+    /// phase starts with an idle flush pipeline instead of inheriting a
+    /// half-finished program window.
+    pub fn drain_flushes(&self, now: Nanos) -> Nanos {
+        self.observe_clock(now);
+        let tickets: Vec<_> = {
+            let mut w = self.writer.lock();
+            w.in_flight.drain(..).collect()
+        };
+        let mut t = now;
+        for ticket in tickets {
+            t = self.resolve_ticket(ticket, t);
+        }
+        t
     }
 
     /// Runs backend maintenance immediately (tests and shutdown paths).
@@ -1972,6 +2301,129 @@ mod tests {
         assert_eq!(v.as_deref(), Some(&b"v"[..]));
         // DRAM hit: no device latency beyond CPU cost.
         assert_eq!(t_done - t, c.config().lookup_cpu);
+    }
+
+    /// Write-back rig: one DRAM shard sized for exactly two 31-byte
+    /// entries (1-byte key + 30-byte value), so the third insert evicts,
+    /// plus a handle on the backend to observe flash traffic.
+    fn write_back_cache(dram_bytes: usize) -> (LogCache, Arc<BlockBackend>) {
+        let backend = Arc::new(BlockBackend::new(
+            Arc::new(RamDisk::new(64)),
+            4 * BLOCK_SIZE,
+        ));
+        let config = CacheConfig {
+            dram_bytes,
+            dram_shards: 1,
+            dram_write_back: true,
+            ..CacheConfig::small_test()
+        };
+        let c = LogCache::new(Arc::clone(&backend) as Arc<dyn RegionBackend>, config).unwrap();
+        (c, backend)
+    }
+
+    #[test]
+    fn write_back_absorbs_sets_without_flash_writes() {
+        let (c, backend) = write_back_cache(64 * 1024);
+        let mut t = Nanos::ZERO;
+        for i in 0..50u32 {
+            t = c.set(format!("wb{i:02}").as_bytes(), &[i as u8; 100], t).unwrap();
+        }
+        t = c.flush(t).unwrap();
+        assert_eq!(backend.host_bytes_written(), 0, "sets must be absorbed in DRAM");
+        assert_eq!(c.len(), 0, "absorbed keys must have no flash index entry");
+        assert_eq!(c.metrics().dram_demotions, 0);
+        let (v, _) = c.get(b"wb07", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&[7u8; 100][..]));
+    }
+
+    #[test]
+    fn write_back_demotes_accessed_and_drops_one_hit_wonders() {
+        let (c, _backend) = write_back_cache(62);
+        let val = |b: u8| vec![b; 30];
+        let mut t = Nanos::ZERO;
+        t = c.set(b"a", &val(1), t).unwrap();
+        t = c.set(b"b", &val(2), t).unwrap();
+        // Touch `a`: it is now both accessed and most-recent.
+        let (v, t2) = c.get(b"a", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&val(1)[..]));
+        t = t2;
+        // Evicts `b` — never accessed, so reject-first drops it cold.
+        t = c.set(b"c", &val(3), t).unwrap();
+        assert_eq!(c.metrics().dram_demotions, 0, "one-hit-wonder must not demote");
+        // Evicts `a` — accessed, so it demotes into the flash log.
+        t = c.set(b"d", &val(4), t).unwrap();
+        assert_eq!(c.metrics().dram_demotions, 1, "accessed evictee must demote");
+        let (v, t3) = c.get(b"a", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&val(1)[..]), "demoted entry must stay readable");
+        t = t3;
+        let (v, _) = c.get(b"b", t).unwrap();
+        assert!(v.is_none(), "dropped one-hit-wonder must miss");
+    }
+
+    #[test]
+    fn write_back_overwrite_never_resurfaces_old_flash_copy() {
+        let (c, _backend) = write_back_cache(62);
+        let val = |b: u8| vec![b; 30];
+        let mut t = Nanos::ZERO;
+        t = c.set(b"a", &val(1), t).unwrap();
+        let (_, t2) = c.get(b"a", t).unwrap(); // mark accessed
+        t = t2;
+        // Push `a` (v1) out to flash, then overwrite it in DRAM with v2.
+        t = c.set(b"b", &val(2), t).unwrap();
+        t = c.set(b"c", &val(3), t).unwrap();
+        assert_eq!(c.metrics().dram_demotions, 1);
+        t = c.set(b"a", &val(9), t).unwrap();
+        let (v, t2) = c.get(b"a", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&val(9)[..]), "resident copy is authoritative");
+        t = t2;
+        // The stale flash copy of v1 must be gone, not shadowed: after a
+        // delete nothing may resurface.
+        let (existed, t2) = c.delete(b"a", t).unwrap();
+        assert!(existed);
+        let (v, _) = c.get(b"a", t2).unwrap();
+        assert!(v.is_none(), "old flash version resurfaced after delete");
+    }
+
+    #[test]
+    fn write_back_delete_removes_dram_only_entry() {
+        let (c, _backend) = write_back_cache(64 * 1024);
+        let t = c.set(b"k", b"v", Nanos::ZERO).unwrap();
+        let (existed, t) = c.delete(b"k", t).unwrap();
+        assert!(existed, "DRAM-resident entry must count as existing");
+        let (v, _) = c.get(b"k", t).unwrap();
+        assert!(v.is_none());
+    }
+
+    #[test]
+    fn write_back_ttl_expires_in_dram() {
+        let (c, _backend) = write_back_cache(64 * 1024);
+        let t = c
+            .set_with_ttl(b"k", b"v", Some(Nanos::from_millis(5)), Nanos::ZERO)
+            .unwrap();
+        let (v, t) = c.get(b"k", t).unwrap();
+        assert_eq!(v.as_deref(), Some(&b"v"[..]));
+        let late = t + Nanos::from_millis(10);
+        let (v, _) = c.get(b"k", late).unwrap();
+        assert!(v.is_none(), "expired DRAM-resident entry served");
+    }
+
+    #[test]
+    fn write_back_expired_evictee_is_not_demoted() {
+        let (c, _backend) = write_back_cache(62);
+        let val = |b: u8| vec![b; 30];
+        let mut t = Nanos::ZERO;
+        t = c
+            .set_with_ttl(b"a", &val(1), Some(Nanos::from_millis(1)), t)
+            .unwrap();
+        let (_, t2) = c.get(b"a", t).unwrap(); // accessed — would demote if alive
+        t = t2 + Nanos::from_millis(5);
+        t = c.set(b"b", &val(2), t).unwrap();
+        c.set(b"c", &val(3), t).unwrap();
+        assert_eq!(
+            c.metrics().dram_demotions,
+            0,
+            "an entry that expired while resident must not reach flash"
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod bloom_filter;
 pub mod dram;
 pub mod engine;
 pub mod index;
+pub mod io;
 pub mod maintainer;
 pub mod metrics;
 pub mod policy;

@@ -214,6 +214,16 @@ mod tests {
     }
 
     #[test]
+    fn passes_leave_no_io_in_flight() {
+        // Every maintenance op goes through the engine's submit/complete
+        // accounting; a quiescent cache must balance to zero.
+        let c = watermark_cache(3);
+        let t = fill_all_regions(&c);
+        Maintainer::new(Arc::clone(&c)).run_once(t).unwrap();
+        assert_eq!(c.io_in_flight(), 0);
+    }
+
+    #[test]
     fn background_thread_refills_pool() {
         let c = watermark_cache(4);
         let t = fill_all_regions(&c);

@@ -86,6 +86,9 @@ pub struct CacheMetricsSnapshot {
     /// Regions retired because their zone went offline (contents lost;
     /// remaining objects became misses).
     pub zones_offline: u64,
+    /// Entries evicted from the DRAM tier and written into the flash log
+    /// (write-back mode's DRAM→flash demotion pipeline; 0 in mirror mode).
+    pub dram_demotions: u64,
 }
 
 impl CacheMetricsSnapshot {
@@ -191,6 +194,7 @@ pub(crate) struct CacheMetrics {
     pub scrub_salvaged_bytes: Counter,
     pub zones_readonly: Counter,
     pub zones_offline: Counter,
+    pub dram_demotions: Counter,
     pub get_latency: LatencyHistogram,
     pub set_latency: LatencyHistogram,
 }
@@ -240,6 +244,7 @@ impl CacheMetrics {
             scrub_salvaged_bytes: self.scrub_salvaged_bytes.get(),
             zones_readonly: self.zones_readonly.get(),
             zones_offline: self.zones_offline.get(),
+            dram_demotions: self.dram_demotions.get(),
         }
     }
 

@@ -1,0 +1,115 @@
+//! In-flight flush completion handoff.
+//!
+//! With the async I/O core, sealing detaches the full region buffer as a
+//! flush *job* and releases the writer mutex before the device call runs.
+//! Whoever later needs that flush's outcome — the next sealer draining
+//! the pipeline, an explicit `flush()` barrier, or an evictor about to
+//! discard the region — waits on an [`InflightCell`]: a one-shot cell the
+//! submitter fills with the completion timestamp when the device call
+//! returns.
+//!
+//! # Ordering contract
+//!
+//! [`InflightCell::complete`] stores the completion time and then flips
+//! the state flag, both `Release`; [`InflightCell::try_done`] loads the
+//! flag and then the time, both `Acquire`. When a waiter observes the
+//! flag set, the timestamp — and every write the submitter made before
+//! completing (metrics, trace events, sealed-slot metadata) — is visible
+//! to it. The cell is single-shot: exactly one submitter completes it,
+//! any number of waiters may poll it.
+//!
+//! Model-checked in `tests/loom.rs` (`inflight_*`): a submitter thread
+//! completing with a payload write before the `complete`, and a waiter
+//! spinning on `try_done` that must observe the payload; the negative
+//! twin demonstrates that a `Relaxed` flag store lets the waiter observe
+//! the flag without the payload.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::spin_loop;
+use sim::Nanos;
+
+const PENDING: u64 = 0;
+const DONE: u64 = 1;
+
+/// One-shot completion cell for a detached region flush.
+#[derive(Debug)]
+pub struct InflightCell {
+    state: AtomicU64,
+    done_ns: AtomicU64,
+}
+
+impl Default for InflightCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InflightCell {
+    /// A pending cell.
+    pub fn new() -> Self {
+        InflightCell {
+            state: AtomicU64::new(PENDING),
+            done_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Fills the cell with the flush's completion time.
+    ///
+    /// `Release` on both stores: pairs with [`try_done`](Self::try_done)
+    /// so everything the submitter wrote before completing is visible to
+    /// whoever observes the done flag. Must be called exactly once.
+    pub fn complete(&self, done: Nanos) {
+        self.done_ns.store(done.as_nanos(), Ordering::Release);
+        self.state.store(DONE, Ordering::Release);
+    }
+
+    /// Returns the completion time if the flush has completed.
+    ///
+    /// `Acquire` on both loads (see [`complete`](Self::complete)).
+    pub fn try_done(&self) -> Option<Nanos> {
+        if self.state.load(Ordering::Acquire) == DONE {
+            Some(Nanos(self.done_ns.load(Ordering::Acquire)))
+        } else {
+            None
+        }
+    }
+
+    /// Spins until the submitter completes the cell.
+    ///
+    /// Sound because the engine submits a flush on the same thread that
+    /// detached it, before any waiter can queue behind the next seal: a
+    /// pending cell always has a live submitter mid-device-call.
+    pub fn wait_done(&self) -> Nanos {
+        loop {
+            if let Some(done) = self.try_done() {
+                return done;
+            }
+            spin_loop();
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_pending_then_completes_once() {
+        let cell = InflightCell::new();
+        assert_eq!(cell.try_done(), None);
+        cell.complete(Nanos(42));
+        assert_eq!(cell.try_done(), Some(Nanos(42)));
+        assert_eq!(cell.wait_done(), Nanos(42));
+    }
+
+    #[test]
+    fn waiters_across_threads_observe_completion() {
+        let cell = std::sync::Arc::new(InflightCell::new());
+        let waiter = {
+            let cell = cell.clone();
+            std::thread::spawn(move || cell.wait_done())
+        };
+        cell.complete(Nanos(7));
+        assert_eq!(waiter.join().unwrap(), Nanos(7));
+    }
+}

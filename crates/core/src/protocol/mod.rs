@@ -12,6 +12,7 @@
 //! | committed-bytes seal quiescence | [`CommitWindow`] | a seal must not flush a region image while a reservation's payload copy is still in flight |
 //! | generation/pin revalidation | [`Generation`] + [`Pins`] | an unlocked read must never trust storage an eviction reclaimed |
 //! | clean-pool handoff | [`CleanPool`] | a region evicted by the maintainer is handed to exactly one future writer |
+//! | in-flight flush completion | [`InflightCell`] | a detached flush's completion time (and everything the submitter wrote) is published to pipeline waiters exactly once |
 //!
 //! The fourth protocol — append-window reservation — is the part that
 //! *stays inside* the writer mutex by design: reservations are granted
@@ -24,7 +25,9 @@
 pub mod cleanpool;
 pub mod commit;
 pub mod generation;
+pub mod inflight;
 
 pub use cleanpool::CleanPool;
 pub use commit::CommitWindow;
 pub use generation::{Generation, PinGuard, Pins};
+pub use inflight::InflightCell;

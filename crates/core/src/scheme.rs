@@ -174,7 +174,22 @@ impl SchemeCache {
         zone_limit: Option<u32>,
         config: CacheConfig,
     ) -> Result<Self, CacheError> {
-        let mut backend = ZoneBackend::new(dev.clone());
+        Self::zone_with_append_depth(dev, zone_limit, crate::backend::DEFAULT_APPEND_DEPTH, config)
+    }
+
+    /// Zone-Cache with an explicit zone-append queue depth for region
+    /// flushes (see `ZoneBackend::with_append_depth`).
+    ///
+    /// # Errors
+    ///
+    /// As [`SchemeCache::zone`].
+    pub fn zone_with_append_depth(
+        dev: Arc<ZnsDevice>,
+        zone_limit: Option<u32>,
+        append_depth: usize,
+        config: CacheConfig,
+    ) -> Result<Self, CacheError> {
+        let mut backend = ZoneBackend::new(dev.clone()).with_append_depth(append_depth);
         if let Some(n) = zone_limit {
             backend = backend.with_zone_limit(n);
         }

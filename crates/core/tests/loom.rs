@@ -13,7 +13,7 @@
 //! checker can detect any unsynchronized access. Every interleaving of
 //! every model is explored exhaustively.
 //!
-//! Three protocols are covered, each with a negative twin that weakens
+//! Four protocols are covered, each with a negative twin that weakens
 //! the ordering and *demonstrates the bug the protocol exists to
 //! prevent* — so the suite fails loudly if someone "optimizes" the
 //! orderings, and documents why they are what they are:
@@ -23,6 +23,7 @@
 //! | commit window (seal-vs-late-writer) | `commit_*` | relaxed quiesce races the payload copy |
 //! | generation/pin (read-vs-evict ABA) | `generation_*` | acq/rel store-buffering lets both sides miss each other |
 //! | clean-pool handoff (maintainer-vs-inline-eviction) | `clean_pool_*` | unguarded pool double-allocates a region |
+//! | in-flight flush completion (submit-vs-wait) | `inflight_*` | relaxed done-flag store races the flush results |
 
 #![cfg(loom)]
 
@@ -276,6 +277,71 @@ fn clean_pool_hands_each_region_to_exactly_one_writer() {
         let mut owned = owned.lock().clone();
         owned.sort_unstable();
         assert_eq!(owned, vec![0, 1], "a region was double-allocated or lost");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Protocol 4: in-flight flush completion (async submit → waiter).
+//
+// The submitter runs the device call with no lock held, writes its
+// results (sealed-slot metadata, metrics — the payload cell here), and
+// completes the InflightCell. A pipeline waiter that observes the done
+// flag must also observe every one of those writes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn inflight_completion_publishes_submitter_writes() {
+    model(|| {
+        let results = Arc::new(UnsafeCell::new(0u32));
+        let cell = Arc::new(zns_cache::protocol::InflightCell::new());
+
+        {
+            let results = Arc::clone(&results);
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || {
+                // The flush's side effects land before the completion.
+                results.with_mut(|p| unsafe { *p = 9 });
+                cell.complete(sim::Nanos(5));
+            });
+        }
+
+        // A waiter draining the pipeline (loom needs the yield; the
+        // engine's wait_done spins the same loop).
+        let done = loop {
+            if let Some(done) = cell.try_done() {
+                break done;
+            }
+            loom::thread::yield_now();
+        };
+        assert_eq!(done, sim::Nanos(5));
+        let seen = results.with(|p| unsafe { *p });
+        assert_eq!(seen, 9, "waiter observed the flag without the flush results");
+    });
+}
+
+#[test]
+#[should_panic]
+fn inflight_with_relaxed_flag_store_races_the_flush_results() {
+    // The negative twin, and why InflightCell::complete is Release: a
+    // Relaxed done-flag store publishes nothing, so the waiter's read of
+    // the flush results is a data race (loom aborts the execution).
+    model(|| {
+        let results = Arc::new(UnsafeCell::new(0u32));
+        let state = Arc::new(AtomicU64::new(0));
+
+        {
+            let results = Arc::clone(&results);
+            let state = Arc::clone(&state);
+            loom::thread::spawn(move || {
+                results.with_mut(|p| unsafe { *p = 9 });
+                state.store(1, Ordering::Relaxed);
+            });
+        }
+
+        while state.load(Ordering::Acquire) == 0 {
+            loom::thread::yield_now();
+        }
+        let _ = results.with(|p| unsafe { *p });
     });
 }
 

@@ -156,6 +156,11 @@ fn read_racing_eviction_counts_a_stale_read_and_misses() {
     let victim_key = keys[0].clone();
     let probe_key = keys[1].clone();
 
+    // Drain the flush pipeline: a freshly sealed region is served from its
+    // detached RAM image until the flush ticket resolves, and this test
+    // needs the reader on the *flash* path. The barrier retires the image.
+    t = cache.flush(t).unwrap();
+
     // Park a reader inside the device read of the sealed region. It has
     // already pinned the region and sampled its generation.
     let (parked_tx, parked_rx) = mpsc::channel();

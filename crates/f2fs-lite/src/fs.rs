@@ -620,34 +620,43 @@ impl FileSystem {
             (victim, inner.main.live_blocks(victim))
         };
         trace::emit(EventKind::CleanerVictim, now, victim.0 as u64, live.len() as u64);
-        // Issue every migration at the pass start (a deep device queue),
+        // Submit every migration at the pass start (a deep device queue),
         // not chained on the previous block's completion: block moves are
         // independent I/Os, and the device model already serializes each
         // die's programs. Chaining them serialized a zone's cleaning to
         // ~550us per block — tens of simulated seconds per pass — and
         // that serial tail, not foreground traffic, dominated File-Cache
-        // makespans.
-        let mut done = now;
+        // makespans. The `IoHandle` keeps the submit/complete split
+        // explicit: all commands go out at `now`, completions are reaped
+        // afterwards.
+        let mut io = sim::aio::IoPool::<FsError>::new().handle();
         let mut buf = vec![0u8; BLOCK_SIZE];
         for (mba, owner) in live {
-            let moved = if owner.is_node {
-                self.migrate_node(mba, owner, now)
+            if owner.is_node {
+                io.submit(now, |t| self.migrate_node(mba, owner, t));
             } else {
-                self.migrate_data(mba, owner, &mut buf, now)
-            };
-            match moved {
-                Ok(t) => done = done.max(t),
-                Err(FsError::DeadZone { .. }) => {
+                io.submit(now, |t| self.migrate_data(mba, owner, &mut buf, t));
+            }
+        }
+        let mut done = now;
+        let mut victim_died = false;
+        while let Some(reaped) = io.try_complete() {
+            match reaped {
+                Ok(c) => done = done.max(c.done),
+                Err((_, FsError::DeadZone { .. })) => {
                     // The victim went offline mid-salvage: its remaining
                     // blocks are unreadable and stay stranded (reads of
                     // them keep surfacing DeadZone). Retire it and report
                     // progress — failing the whole pass would couple an
                     // unrelated dead zone to foreground writes.
-                    self.inner.lock().stats.zones_retired += 1;
-                    return Ok(Some(done));
+                    victim_died = true;
                 }
-                Err(e) => return Err(e),
+                Err((_, e)) => return Err(e),
             }
+        }
+        if victim_died {
+            self.inner.lock().stats.zones_retired += 1;
+            return Ok(Some(done));
         }
         // Every live block was either migrated (old copy invalidated at
         // publish) or invalidated by a racing overwrite/punch/remove, and

@@ -11,7 +11,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim::{Counter, Nanos};
-use zns_cache::dram::DramCache;
+use zns_cache::dram::{DramCache, DramEntry};
 use zns_cache::LogCache;
 
 use crate::types::DbError;
@@ -149,7 +149,7 @@ impl BlockCache {
         // entries (which only know their hash) and lookups agree.
         let skey = hash.to_le_bytes();
         // Tier 1: DRAM.
-        if let Some(v) = self.dram.lock().get(hash) {
+        if let Some(v) = self.dram.lock().get(hash, &skey, now) {
             self.dram_hits.incr();
             return Ok((v, now + self.dram_hit_cost));
         }
@@ -177,13 +177,20 @@ impl BlockCache {
 
     /// Inserts into DRAM, demoting evictions to the secondary tier.
     fn admit(&self, hash: u64, value: Bytes, now: Nanos) -> Result<Nanos, DbError> {
-        let evicted = self.dram.lock().insert(hash, value);
+        // Entries are keyed by their hash bytes (blocks never expire), the
+        // same key the secondary tier uses, so lookups and demotions agree.
+        let entry = DramEntry {
+            key: Bytes::copy_from_slice(&hash.to_le_bytes()),
+            value,
+            expiry: Nanos::MAX,
+            accessed: false,
+        };
+        // `None` (block larger than the tier) admits and demotes nothing.
+        let evicted = self.dram.lock().insert(hash, entry).unwrap_or_default();
         let mut t = now;
         if let Some(secondary) = &self.secondary {
-            for (ehash, evalue) in evicted {
-                // Demotions carry only the hash; the secondary tier is
-                // keyed by hash bytes (see get_block), so this matches.
-                t = t.max(secondary.insert(&ehash.to_le_bytes(), &evalue, now)?);
+            for (ehash, e) in evicted {
+                t = t.max(secondary.insert(&ehash.to_le_bytes(), &e.value, now)?);
             }
         }
         Ok(t)

@@ -34,6 +34,12 @@ pub struct NandTiming {
     /// scheduling, as real SSD firmware does — without it a read queued
     /// behind a whole zone write would wait for every page of it).
     pub read_suspend: Nanos,
+    /// Cheaper suspension fee when the die is executing *queued*
+    /// page-granular programs (zone appends issued at depth): the
+    /// controller reaches a suspend point at every page boundary, so a
+    /// read only waits out the current page, not a monolithic
+    /// positioned-write burst. Must be <= `read_suspend`.
+    pub program_suspend: Nanos,
 }
 
 impl Default for NandTiming {
@@ -44,6 +50,7 @@ impl Default for NandTiming {
             block_erase: Nanos::from_millis(3),
             bus_transfer: Nanos::from_micros(5),
             read_suspend: Nanos::from_micros(250),
+            program_suspend: Nanos::from_micros(35),
         }
     }
 }
@@ -58,6 +65,7 @@ impl NandTiming {
             block_erase: Nanos::from_micros(20),
             bus_transfer: Nanos::from_nanos(200),
             read_suspend: Nanos::from_micros(2),
+            program_suspend: Nanos::from_nanos(500),
         }
     }
 }
@@ -72,5 +80,14 @@ mod tests {
         assert!(t.block_erase.as_nanos() >= 4 * t.page_program.as_nanos());
         assert!(t.page_program.as_nanos() >= 5 * t.page_read.as_nanos());
         assert!(t.page_read.as_nanos() >= 2 * t.bus_transfer.as_nanos());
+        assert!(t.program_suspend <= t.read_suspend);
+    }
+
+    #[test]
+    fn queued_suspension_is_cheaper_in_every_profile() {
+        for t in [NandTiming::default(), NandTiming::fast_test()] {
+            assert!(t.program_suspend > Nanos::ZERO);
+            assert!(t.program_suspend < t.read_suspend);
+        }
     }
 }

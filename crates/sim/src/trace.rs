@@ -70,6 +70,7 @@ pub const RING_CAPACITY: usize = 16_384;
 /// | `ScrubStart`         | sealed regions to scan | 0                           |
 /// | `ScrubStop`          | regions scanned        | corrupt objects found       |
 /// | `ScrubSalvage`       | region id              | bytes salvaged              |
+/// | `DieService`         | die index              | service end (nanos)         |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u64)]
 pub enum EventKind {
@@ -108,6 +109,11 @@ pub enum EventKind {
     ScrubStop = 16,
     /// The scrubber salvage-migrated live data off a degrading region.
     ScrubSalvage = 17,
+    /// One die's service window during a deep-queue zone-append flush:
+    /// `t` is the window start, `b` its end. Emitted once per die per
+    /// region flush; overlapping windows are the direct evidence that the
+    /// stripe's dies program concurrently.
+    DieService = 18,
 }
 
 impl EventKind {
@@ -131,6 +137,7 @@ impl EventKind {
             EventKind::ScrubStart => "scrub_start",
             EventKind::ScrubStop => "scrub_stop",
             EventKind::ScrubSalvage => "scrub_salvage",
+            EventKind::DieService => "die_service",
         }
     }
 
@@ -153,6 +160,7 @@ impl EventKind {
             15 => EventKind::ScrubStart,
             16 => EventKind::ScrubStop,
             17 => EventKind::ScrubSalvage,
+            18 => EventKind::DieService,
             _ => return None,
         })
     }
@@ -425,12 +433,12 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for v in 1..=17 {
+        for v in 1..=18 {
             let k = EventKind::from_u64(v).expect("dense ids");
             assert_eq!(k as u64, v);
             assert!(!k.name().is_empty());
         }
         assert_eq!(EventKind::from_u64(0), None);
-        assert_eq!(EventKind::from_u64(18), None);
+        assert_eq!(EventKind::from_u64(19), None);
     }
 }

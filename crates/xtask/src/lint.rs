@@ -26,6 +26,14 @@
 //!   pass started in a statement that takes a lock: the poll lock exists
 //!   only for the stop condvar, and a pass under it would serialize
 //!   `stop()` behind a full eviction's device I/O).
+//! * `submit-to-complete` — in `crates/core/src/engine.rs` and
+//!   `crates/core/src/maintainer.rs`, no statement acquires a lock/read
+//!   guard in the same expression that submits a detached flush
+//!   (`submit_flush(`) or waits on one (`.wait_done(`,
+//!   `resolve_ticket(`). The async I/O core's contract is that the
+//!   submit-to-complete interval runs with every shard lock released —
+//!   holding one across it re-serializes the pipeline on device latency,
+//!   which is exactly what the seal-detach refactor removed.
 //! * `no-panic-paths` — `engine.rs` code above its `#[cfg(test)]` module
 //!   contains no `unwrap`/`expect`/`unreachable!`/`panic!` reachable
 //!   from the public API; failures surface as typed `CacheError`s.
@@ -61,6 +69,7 @@ pub fn check_file(path: &str, text: &str, out: &mut Vec<Violation>) {
     core_protocol_orderings(path, text, out);
     zns_state_authority(path, text, out);
     lock_across_io(path, text, out);
+    submit_to_complete(path, text, out);
     no_panic_paths(path, text, out);
     no_unwrap_in_recovery(path, text, out);
 }
@@ -256,6 +265,38 @@ fn lock_across_io(path: &str, text: &str, out: &mut Vec<Violation>) {
                      run with the lock released",
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: submit-to-complete
+// ---------------------------------------------------------------------
+
+/// Calls that bound the async flush pipeline: submission detaches the
+/// sealed buffer for device I/O, the wait side blocks until that I/O
+/// completes. Neither may share a statement with a guard acquisition.
+const SUBMIT_COMPLETE_TOKENS: &[&str] = &["submit_flush(", ".wait_done(", "resolve_ticket("];
+
+fn submit_to_complete(path: &str, text: &str, out: &mut Vec<Violation>) {
+    if path != "crates/core/src/engine.rs" && path != "crates/core/src/maintainer.rs" {
+        return;
+    }
+    for (i, line) in text.lines().enumerate() {
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+        let touches_pipeline = SUBMIT_COMPLETE_TOKENS.iter().any(|t| line.contains(t));
+        if touches_pipeline && (line.contains(".lock()") || line.contains("active_ro.read()")) {
+            push(
+                out,
+                "submit-to-complete",
+                path,
+                i + 1,
+                "lock/read guard acquired in the same statement as a flush \
+                 submit/wait; the submit-to-complete interval must run with \
+                 all shard locks released",
+            );
         }
     }
 }
@@ -515,6 +556,28 @@ mod tests {
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, "lock-across-io");
         assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn flush_submit_or_wait_under_lock_is_flagged() {
+        // Seeded violations: a submit issued while the statement holds the
+        // writer guard, and a wait chained onto a freshly taken meta lock.
+        let bad_submit = "let t = self.writer.lock().map(|_| self.submit_flush(job, now))?;\n";
+        let v = run("crates/core/src/engine.rs", bad_submit);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "submit-to-complete");
+        let bad_wait =
+            "let done = self.slots[i].meta.lock().ticket.cell.wait_done();\n";
+        let v = run("crates/core/src/engine.rs", bad_wait);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "submit-to-complete");
+        // The disciplined shape: detach under the lock, submit after.
+        let good = "let job = { let mut w = self.writer.lock(); w.detach() };\n\
+                    let t = self.submit_flush(job, now)?;\n\
+                    let done = ticket.cell.wait_done();\n";
+        assert!(run("crates/core/src/engine.rs", good).is_empty());
+        // Scoped: other files may compose these names freely.
+        assert!(run("crates/sim/src/thing.rs", bad_submit).is_empty());
     }
 
     #[test]

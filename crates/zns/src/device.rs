@@ -48,6 +48,21 @@ impl ZnsConfig {
     }
 }
 
+/// Service interval of one die during a zone append: the window in which
+/// that die was busy programming pages of the command. Appends stripe
+/// across dies, so a multi-die command reports one interval per die and
+/// the intervals overlap in sim time — the parallelism evidence the event
+/// trace surfaces during a region flush.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DieService {
+    /// Flat die index in the array.
+    pub die: u32,
+    /// When the die started programming the first page of this command.
+    pub start: Nanos,
+    /// When the die finished programming its last page of this command.
+    pub end: Nanos,
+}
+
 /// Point-in-time device statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ZnsStatsSnapshot {
@@ -572,6 +587,21 @@ impl ZnsDevice {
         data: &[u8],
         now: Nanos,
     ) -> Result<Nanos, ZnsError> {
+        // A positioned write is a monolithic burst: the controller cannot
+        // suspend it at page granularity, so reads landing on its dies pay
+        // the full `read_suspend` fee (queued = false).
+        self.write_at_inner(zone, offset_blocks, data, now, false, None)
+    }
+
+    fn write_at_inner(
+        &self,
+        zone: ZoneId,
+        offset_blocks: u64,
+        data: &[u8],
+        now: Nanos,
+        queued: bool,
+        mut service: Option<&mut Vec<DieService>>,
+    ) -> Result<Nanos, ZnsError> {
         self.check_zone(zone)?;
         if data.is_empty() || !data.len().is_multiple_of(BLOCK_SIZE) {
             return Err(ZnsError::Misaligned { len: data.len() });
@@ -672,16 +702,40 @@ impl ZnsDevice {
             _ => data,
         };
 
-        // Program the pages; completion is the slowest page.
+        // Program the pages; completion is the slowest page. Queued
+        // (append-path) programs register page-granular suspend points on
+        // their dies and report per-die service windows.
         let mut done = now;
         for i in 0..persist_blocks {
             let page = self.layout.page_of(zone, start_offset + i);
             let chunk = &payload[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
-            let t = self
-                .array
-                .program_page(page, chunk, now)
-                .map_err(|e| ZnsError::Nand(e.to_string()))?;
+            let (start, t) = if queued {
+                self.array
+                    .program_page_queued(page, chunk, now)
+                    .map_err(|e| ZnsError::Nand(e.to_string()))?
+            } else {
+                let t = self
+                    .array
+                    .program_page(page, chunk, now)
+                    .map_err(|e| ZnsError::Nand(e.to_string()))?;
+                (now, t)
+            };
             done = done.max(t);
+            if let Some(service) = service.as_deref_mut() {
+                let g = self.array.geometry();
+                let die = g.die_of_block(g.block_of_page(page)).0;
+                match service.iter_mut().find(|s| s.die == die) {
+                    Some(s) => {
+                        s.start = s.start.min(start);
+                        s.end = s.end.max(t);
+                    }
+                    None => service.push(DieService {
+                        die,
+                        start,
+                        end: t,
+                    }),
+                }
+            }
         }
         self.host_blocks_written.add(persist_blocks);
         if let Injection::Torn { keep_blocks } = injection {
@@ -706,8 +760,31 @@ impl ZnsDevice {
     ) -> Result<(u64, Nanos), ZnsError> {
         self.check_zone(zone)?;
         let wp = self.state.lock().zones[zone.0 as usize].wp;
-        let done = self.write_at(zone, wp, data, now)?;
+        // Appends are issued as queued page programs: the controller can
+        // suspend them at every page boundary, so reads on the same dies
+        // pay the cheap `program_suspend` fee instead of `read_suspend`.
+        let done = self.write_at_inner(zone, wp, data, now, true, None)?;
         Ok((wp, done))
+    }
+
+    /// Zone append that also reports the per-die service intervals the
+    /// command occupied — the raw material for the overlapped-per-die
+    /// trace evidence during a region flush.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::write`].
+    pub fn append_with_service(
+        &self,
+        zone: ZoneId,
+        data: &[u8],
+        now: Nanos,
+    ) -> Result<(u64, Nanos, Vec<DieService>), ZnsError> {
+        self.check_zone(zone)?;
+        let wp = self.state.lock().zones[zone.0 as usize].wp;
+        let mut service = Vec::new();
+        let done = self.write_at_inner(zone, wp, data, now, true, Some(&mut service))?;
+        Ok((wp, done, service))
     }
 
     /// Reads `buf.len() / 4096` blocks starting at `offset_blocks`.
@@ -996,6 +1073,26 @@ mod tests {
         let (o1, t1) = d.append(ZoneId(2), &blocks(2, 7), Nanos::ZERO).unwrap();
         let (o2, _) = d.append(ZoneId(2), &blocks(1, 8), t1).unwrap();
         assert_eq!((o1, o2), (0, 2));
+    }
+
+    #[test]
+    fn append_service_intervals_overlap_across_dies() {
+        let d = dev(); // small_test stripes each zone over 2 dies
+        let (off, done, service) = d
+            .append_with_service(ZoneId(0), &blocks(2, 5), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(off, 0);
+        assert_eq!(service.len(), 2, "one interval per striped die");
+        assert_ne!(service[0].die, service[1].die);
+        for s in &service {
+            assert!(s.start < s.end && s.end <= done);
+        }
+        // The dies program concurrently: each starts before the other ends.
+        let (a, b) = (&service[0], &service[1]);
+        assert!(
+            a.start < b.end && b.start < a.end,
+            "per-die service intervals must overlap: {a:?} vs {b:?}"
+        );
     }
 
     #[test]

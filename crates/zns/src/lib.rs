@@ -37,7 +37,7 @@ pub mod mapping;
 pub mod state_machine;
 pub mod zone;
 
-pub use device::{ZnsConfig, ZnsDevice, ZnsStatsSnapshot};
+pub use device::{DieService, ZnsConfig, ZnsDevice, ZnsStatsSnapshot};
 pub use error::ZnsError;
 pub use state_machine::{IllegalTransition, ZoneOp};
 pub use mapping::ZoneLayout;

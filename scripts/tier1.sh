@@ -45,4 +45,11 @@ echo "== tier1: multi-thread smoke (all schemes, 8 workers, shared engine) =="
 # `cargo run --release -p zns-cache-bench --bin bench_threads`.
 cargo run --release -p zns-cache-bench --bin bench_threads -- --smoke 1 --threads 8
 
+echo "== tier1: perf floor (flash Zone-Cache, 8 threads) =="
+# The async I/O core's acceptance bar: flash-profile Zone-Cache at 8
+# threads must sustain >= 110k sim ops/s with a get p99 under 100us.
+# One sweep point, not the full matrix; the full sweep (which also
+# rewrites BENCH_throughput.json) is the bare bench_threads invocation.
+cargo run --release -p zns-cache-bench --bin bench_threads -- --floor 1
+
 echo "== tier1: OK =="

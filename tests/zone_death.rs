@@ -175,15 +175,22 @@ fn scrub_detects_every_latent_corruption_within_one_cycle() {
 
     let obj_len = backend.region_size() / 4;
     let val_len = obj_len - 12 - 6;
-    inj.push(FaultSpec::latent_corruption(3));
     let mut keys = Vec::new();
     let mut t = Nanos::ZERO;
-    for i in 0..12u32 {
-        let key = format!("lc-{i:03}");
-        t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
-        keys.push((key, val_len));
+    // Arm one credit per region batch: a region flush is a stream of
+    // zone-append commands, and each append rolls the fault dice — so a
+    // single 3-credit plan would burn all three flips on the first
+    // region's first chunks. One credit per flush pins one flip to each
+    // region.
+    for batch in 0..3u32 {
+        inj.push(FaultSpec::latent_corruption(1));
+        for i in batch * 4..batch * 4 + 4 {
+            let key = format!("lc-{i:03}");
+            t = cache.set(key.as_bytes(), &value_for(&key, val_len), t).unwrap();
+            keys.push((key, val_len));
+        }
+        t = cache.flush(t).unwrap();
     }
-    t = cache.flush(t).unwrap();
     assert_eq!(inj.injected(), 3, "all three corruptions must have fired");
 
     // One scrub pass finds all three before any reader trips over them.
