@@ -16,6 +16,13 @@
 //! cache for each victim region's temperature and *drops* cold regions
 //! instead of migrating them — the cache merely loses some already-cold
 //! objects, and WA returns to ≈ 1.
+//
+// lock-ok(file): this layer's whole job is translating under its mapping
+// lock — `state` must stay held across the device call so the slot cursor
+// it hands out and the device write pointer advance in lockstep (the
+// debug_assert on every write checks exactly that). The engine never
+// holds its own locks when it calls in here, and the simulated device
+// computes in-memory, so there is no blocking I/O under the lock.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;

@@ -502,6 +502,14 @@ pub struct LogCache {
     io: EngineIo,
     /// Lock-striped DRAM tier; empty when `dram_bytes == 0`.
     dram: Vec<Mutex<DramCache>>,
+    /// Per-DRAM-shard supersession epochs, one per shard (write-back
+    /// mode's demote/invalidate crossing, DESIGN.md §10): every set or
+    /// delete touching a shard bumps its epoch *under the shard lock,
+    /// before* touching the flash index; a demotion samples the epoch
+    /// when its entry is evicted and, after publishing to the index,
+    /// un-publishes if the epoch moved — the demoted version may have
+    /// been superseded while the demotion was in flight.
+    dram_epochs: Vec<Generation>,
     admission: Mutex<AdmissionGate>,
     /// Fast path: `Admission::Always` never needs the gate's RNG.
     admit_all: bool,
@@ -560,6 +568,7 @@ impl LogCache {
             let per_shard = config.dram_bytes.div_ceil(shards);
             (0..shards).map(|_| Mutex::new(DramCache::new(per_shard))).collect()
         };
+        let dram_epochs = (0..dram.len()).map(|_| Generation::new()).collect();
         Ok(LogCache {
             index: Index::new(),
             slots,
@@ -576,6 +585,7 @@ impl LogCache {
             sealing_ro: RwLock::new(Vec::new()),
             io: EngineIo::new(),
             dram,
+            dram_epochs,
             admission: Mutex::new(AdmissionGate::new(config.admission, config.seed)),
             admit_all: config.admission == Admission::Always,
             access_seq: AtomicU64::new(0),
@@ -682,6 +692,16 @@ impl LogCache {
         } else {
             // High bits: the index shards already consume the low bits.
             Some(&self.dram[(hash >> 32) as usize & (self.dram.len() - 1)])
+        }
+    }
+
+    /// The supersession epoch of `hash`'s DRAM shard (same indexing as
+    /// [`Self::dram_shard`]; the two vectors are sized together).
+    fn dram_epoch(&self, hash: u64) -> Option<&Generation> {
+        if self.dram_epochs.is_empty() {
+            None
+        } else {
+            Some(&self.dram_epochs[(hash >> 32) as usize & (self.dram_epochs.len() - 1)])
         }
     }
 
@@ -1007,6 +1027,9 @@ impl LogCache {
         let mut w = self.writer.lock();
         let mut t = now;
         while w.free.len() < target {
+            // lock-ok: eviction rewrites the free list and slot states,
+            // which only the writer lock owns; the backend discard it
+            // issues is metadata-only on the simulated device.
             match self.evict_one(&mut w, t) {
                 Ok((victim, t2)) => {
                     w.free.push(victim);
@@ -1025,6 +1048,9 @@ impl LogCache {
         // `maintenance_interval_sets` inserts, so File-Cache's cleaner
         // dug writers into the free-zone floor and they cleaned inline
         // under their own op latency.
+        // lock-ok: deliberate backpressure — holding the writer lock
+        // through backend GC stalls foreground writers instead of letting
+        // them outrun the empty-zone floor.
         self.run_maintenance(&mut w, t)?;
         Ok(evicted)
     }
@@ -1200,6 +1226,9 @@ impl LogCache {
             }
         }
         slot.pins.drain();
+        // lock-ok: quarantining edits the slot table, which the writer
+        // lock owns; no foreground progress is possible for a region
+        // that just failed its media check anyway.
         self.quarantine(&mut w, region);
     }
 
@@ -1539,16 +1568,35 @@ impl LogCache {
         // tier; only entries *evicted* from it are demoted to the flash
         // log, so a hot key overwritten in place never reaches the device.
         if self.config.dram_write_back {
-            if let Some(shard) = self.dram_shard(hash) {
-                let absorbed = shard.lock().insert(
-                    hash,
-                    DramEntry {
-                        key: Bytes::copy_from_slice(key),
-                        value: Bytes::copy_from_slice(value),
-                        expiry,
-                        accessed: false,
-                    },
-                );
+            // The two vectors are sized together, so both or neither.
+            if let (Some(shard), Some(epoch)) = (self.dram_shard(hash), self.dram_epoch(hash)) {
+                let (absorbed, demote_epoch) = {
+                    let mut tier = shard.lock();
+                    let absorbed = tier.insert(
+                        hash,
+                        DramEntry {
+                            key: Bytes::copy_from_slice(key),
+                            value: Bytes::copy_from_slice(value),
+                            expiry,
+                            accessed: false,
+                        },
+                    );
+                    if absorbed.is_none() {
+                        // Too large for the tier: the write-through below
+                        // will publish the new version to flash. A resident
+                        // older copy must not stay behind to shadow it —
+                        // DRAM is authoritative in this mode.
+                        tier.remove(hash);
+                    }
+                    // This set supersedes any in-flight demotion of an
+                    // older version of the key: bump the shard's epoch
+                    // (under the lock, *before* we touch the index) so the
+                    // demoter's post-publish check sees it. Our own
+                    // demotions sample *after* the bump, so a demotion only
+                    // ever undoes itself on someone else's supersession.
+                    epoch.invalidate();
+                    (absorbed, epoch.sample())
+                };
                 if let Some(evicted) = absorbed {
                     // The DRAM copy is now the authoritative version; drop
                     // any flash entry up front so losing the DRAM tier can
@@ -1559,7 +1607,7 @@ impl LogCache {
                     }
                     let mut t = now.max(self.stall_deadline()) + self.config.insert_cpu;
                     for (demoted_hash, entry) in evicted {
-                        t = self.demote(demoted_hash, entry, t)?;
+                        t = self.demote(demoted_hash, entry, demote_epoch, t)?;
                     }
                     self.metrics.sets.incr();
                     self.metrics.record_set(t - now);
@@ -1570,7 +1618,7 @@ impl LogCache {
         }
 
         let crc = Self::object_crc(key, value);
-        let t = self.log_write(key, value, expiry, hash, fp, crc, now)?;
+        let (t, _, _) = self.log_write(key, value, expiry, hash, fp, crc, now)?;
         self.metrics.sets.incr();
         self.metrics.record_set(t - now);
         Ok(t)
@@ -1580,7 +1628,19 @@ impl LogCache {
     /// demotion pipeline). Entries that expired while resident — or that
     /// could never fit a region — are dropped instead of persisted:
     /// eviction is always legal for a cache.
-    fn demote(&self, hash: u64, entry: DramEntry, now: Nanos) -> Result<Nanos, CacheError> {
+    ///
+    /// `epoch_sampled` is the shard's supersession epoch as sampled when
+    /// the entry left DRAM (under the shard lock, after the evicting
+    /// set's own bump). If a concurrent set or delete bumps the epoch
+    /// before the index publish lands, the demoted version may be stale
+    /// — it is un-published rather than left to shadow the newer value.
+    fn demote(
+        &self,
+        hash: u64,
+        entry: DramEntry,
+        epoch_sampled: u64,
+        now: Nanos,
+    ) -> Result<Nanos, CacheError> {
         if entry.expiry <= now {
             return Ok(now);
         }
@@ -1597,7 +1657,24 @@ impl LogCache {
         let fp = fingerprint(&entry.key);
         let crc = Self::object_crc(&entry.key, &entry.value);
         self.metrics.dram_demotions.incr();
-        self.log_write(&entry.key, &entry.value, entry.expiry, hash, fp, crc, now)
+        let (t, region, offset) =
+            self.log_write(&entry.key, &entry.value, entry.expiry, hash, fp, crc, now)?;
+        // The demote/invalidate crossing: a set or delete that touched the
+        // shard between this entry's eviction and the publish above has
+        // already removed the key's flash entry — re-publishing behind it
+        // would resurrect a superseded (or deleted) version. The writers'
+        // bump-before-index-remove and our sample-then-recheck discipline
+        // guarantee one side sees the other, whichever publishes first.
+        // (Per-shard granularity: an unrelated key's set can undo a fresh
+        // demotion — that is an eviction, which a cache may always take.)
+        if let Some(epoch) = self.dram_epoch(hash) {
+            if epoch.changed_since(epoch_sampled) && self.index.remove_if_at(hash, region, offset)
+            {
+                self.metrics.dram_demote_undos.incr();
+                self.on_entry_invalidated(hash, region);
+            }
+        }
+        Ok(t)
     }
 
     /// Appends one object to the flash log and publishes its index entry:
@@ -1605,8 +1682,9 @@ impl LogCache {
     /// flushing full buffers as needed), Phase 2 copies the payload with
     /// no lock held, Phase 3 publishes the index (and, in mirror mode,
     /// DRAM) entry. Common to write-through sets and write-back
-    /// demotions.
-    #[allow(clippy::too_many_arguments)]
+    /// demotions. Returns the completion time plus the log location the
+    /// entry was published at, so a demotion can un-publish itself
+    /// (location-checked) if its version was superseded mid-flight.
     fn log_write(
         &self,
         key: &[u8],
@@ -1616,7 +1694,7 @@ impl LogCache {
         fp: u32,
         crc: u32,
         now: Nanos,
-    ) -> Result<Nanos, CacheError> {
+    ) -> Result<(Nanos, RegionId, u32), CacheError> {
         let size = Self::object_size(key, value);
         let region_size = self.backend.region_size();
 
@@ -1635,8 +1713,14 @@ impl LogCache {
                 }
             }
             let (job, tickets) = self.seal_detach(&mut w);
+            // ticket-ok: `seal_detach` returns no tickets when there is no
+            // job — with no active buffer there was nothing sealed, hence
+            // nothing in flight to resolve on this path.
             let Some(job) = job else {
                 // No active buffer at all: bind a fresh one and re-check.
+                // lock-ok: allocating the replacement buffer must happen
+                // under the writer lock (it installs `w.active`); eviction
+                // backpressure on a dry pool is intentional.
                 t = self.bind_fresh_buffer(&mut w, size, t)?;
                 continue;
             };
@@ -1726,7 +1810,7 @@ impl LogCache {
                 );
             }
         }
-        Ok(t)
+        Ok((t, region, offset))
     }
 
     /// Looks up a key.
@@ -1969,9 +2053,23 @@ impl LogCache {
         // resident copy may be the *only* copy, with no index entry to
         // lead here (mirror mode reaches the same state — no stale DRAM
         // entry may outlive a delete).
-        let dram_removed = self
-            .dram_shard(hash)
-            .is_some_and(|shard| shard.lock().remove(hash));
+        let dram_removed = match self.dram_shard(hash) {
+            Some(shard) => {
+                let mut tier = shard.lock();
+                let removed = tier.remove(hash);
+                // Bump the shard's supersession epoch even when the key is
+                // absent: in write-back mode an in-flight demotion may hold
+                // the key's only copy (already evicted from the shard), and
+                // the bump — ordered under the lock, before the index
+                // remove below — is what keeps it from re-publishing the
+                // deleted key behind us.
+                if let Some(epoch) = self.dram_epoch(hash) {
+                    epoch.invalidate();
+                }
+                removed
+            }
+            None => false,
+        };
         let removed = self.index.remove(hash, fp);
         if let Some(entry) = &removed {
             self.dec_live(entry.region);
@@ -2042,6 +2140,8 @@ impl LogCache {
     /// Backend I/O failures.
     pub fn force_maintenance(&self, now: Nanos) -> Result<(), CacheError> {
         let mut w = self.writer.lock();
+        // lock-ok: the explicit stop-the-world knob — callers ask for
+        // maintenance to displace foreground writes.
         self.run_maintenance(&mut w, now)
     }
 
@@ -2102,6 +2202,9 @@ impl LogCache {
             // read-only region can keep serving sealed data but never
             // host a fresh write. Quarantine instead of freeing, and drop
             // any restored index entries a snapshot may still list.
+            // lock-ok: recovery runs single-threaded before the cache is
+            // open; the writer lock is held for invariant convenience,
+            // nobody contends it.
             let health = self.backend.region_health(RegionId(i));
             let unusable = health == RegionHealth::Dead
                 || (health == RegionHealth::Degraded && !is_sealed);
@@ -2111,6 +2214,7 @@ impl LogCache {
                         self.on_entry_invalidated(hash, RegionId(i));
                     }
                 }
+                // lock-ok: same single-threaded recovery scan as above.
                 self.quarantine(&mut w, i);
                 continue;
             }
@@ -2382,6 +2486,23 @@ mod tests {
         assert!(existed);
         let (v, _) = c.get(b"a", t2).unwrap();
         assert!(v.is_none(), "old flash version resurfaced after delete");
+    }
+
+    #[test]
+    fn write_back_write_through_purges_stale_resident_copy() {
+        // A value too large for the whole DRAM tier writes through to
+        // flash; an older *resident* version of the same key must not
+        // stay behind to shadow it (DRAM is authoritative in this mode).
+        let (c, _backend) = write_back_cache(62);
+        let mut t = Nanos::ZERO;
+        t = c.set(b"a", &[1u8; 30], t).unwrap();
+        t = c.set(b"a", &[9u8; 200], t).unwrap();
+        let (v, _) = c.get(b"a", t).unwrap();
+        assert_eq!(
+            v.as_deref(),
+            Some(&[9u8; 200][..]),
+            "stale DRAM copy shadowed the written-through version"
+        );
     }
 
     #[test]

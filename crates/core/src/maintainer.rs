@@ -83,10 +83,14 @@ impl Maintainer {
         if self.scrub_every == Nanos::ZERO {
             return Ok(());
         }
+        // ordering-ok: acquire pairs with the AcqRel claim below so a
+        // driver that loses the race also sees the winner's timestamp.
         let last = self.last_scrub.load(Ordering::Acquire);
         if now.as_nanos() < last.saturating_add(self.scrub_every.as_nanos()) {
             return Ok(());
         }
+        // ordering-ok: the CAS is the claim ticket for this scrub slot;
+        // AcqRel publishes the new deadline to the losing drivers.
         if self
             .last_scrub
             .compare_exchange(last, now.as_nanos(), Ordering::AcqRel, Ordering::Acquire)
@@ -115,10 +119,13 @@ impl Maintainer {
         });
         let thread_signal = Arc::clone(&signal);
         let handle = std::thread::spawn(move || {
+            // ordering-ok: acquire pairs with the Release store in
+            // `stop()`; the flag is a plain shutdown latch.
             while !thread_signal.stopped.load(Ordering::Acquire) {
                 let now = self.cache.observed_clock();
                 let _ = self.cache.maintain(now);
                 let guard = thread_signal.lock.lock().expect("maintainer lock poisoned");
+                // ordering-ok: same stop-latch pairing as above.
                 if thread_signal.stopped.load(Ordering::Acquire) {
                     break;
                 }
@@ -151,6 +158,8 @@ pub struct MaintainerHandle {
 impl MaintainerHandle {
     /// Signals the thread to stop and joins it. Idempotent.
     pub fn stop(&mut self) {
+        // ordering-ok: release half of the stop latch read by the
+        // maintainer thread's Acquire loads.
         self.signal.stopped.store(true, Ordering::Release);
         // Take the lock so the wake-up cannot slip between the thread's
         // stopped-check and its wait.

@@ -89,6 +89,10 @@ pub struct CacheMetricsSnapshot {
     /// Entries evicted from the DRAM tier and written into the flash log
     /// (write-back mode's DRAM→flash demotion pipeline; 0 in mirror mode).
     pub dram_demotions: u64,
+    /// Demotions un-published because a concurrent set or delete bumped
+    /// the shard's supersession epoch while the flash publish was in
+    /// flight (the demote/invalidate crossing, DESIGN.md §10).
+    pub dram_demote_undos: u64,
 }
 
 impl CacheMetricsSnapshot {
@@ -195,6 +199,7 @@ pub(crate) struct CacheMetrics {
     pub zones_readonly: Counter,
     pub zones_offline: Counter,
     pub dram_demotions: Counter,
+    pub dram_demote_undos: Counter,
     pub get_latency: LatencyHistogram,
     pub set_latency: LatencyHistogram,
 }
@@ -245,6 +250,7 @@ impl CacheMetrics {
             zones_readonly: self.zones_readonly.get(),
             zones_offline: self.zones_offline.get(),
             dram_demotions: self.dram_demotions.get(),
+            dram_demote_undos: self.dram_demote_undos.get(),
         }
     }
 

@@ -13,7 +13,7 @@
 //! checker can detect any unsynchronized access. Every interleaving of
 //! every model is explored exhaustively.
 //!
-//! Four protocols are covered, each with a negative twin that weakens
+//! Five protocols are covered, each with a negative twin that weakens
 //! the ordering and *demonstrates the bug the protocol exists to
 //! prevent* — so the suite fails loudly if someone "optimizes" the
 //! orderings, and documents why they are what they are:
@@ -24,6 +24,7 @@
 //! | generation/pin (read-vs-evict ABA) | `generation_*` | acq/rel store-buffering lets both sides miss each other |
 //! | clean-pool handoff (maintainer-vs-inline-eviction) | `clean_pool_*` | unguarded pool double-allocates a region |
 //! | in-flight flush completion (submit-vs-wait) | `inflight_*` | relaxed done-flag store races the flush results |
+//! | demote supersession epoch (write-back demote-vs-set/delete) | `demote_epoch_*` | check-before-publish lets a stale demotion land |
 
 #![cfg(loom)]
 
@@ -371,5 +372,163 @@ fn clean_pool_refill_and_drain_never_alias() {
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1], "handoff lost or duplicated a region");
+    });
+}
+
+// ---------------------------------------------------------------------
+// Protocol 5: write-back demote supersession epoch.
+//
+// In write-back mode a DRAM eviction demotes the evicted version to the
+// flash index *after* the shard lock is released. A concurrent set (or
+// delete) of the same key can remove the key's flash entry in that
+// window; if the demotion then lands, a superseded — or deleted —
+// version resurfaces behind the newer one. The engine closes the
+// crossing with a per-shard `Generation` epoch: writers bump it under
+// the shard lock *before* touching the index, the demoter samples it at
+// eviction (after its own set's bump) and re-checks after publishing,
+// un-publishing on movement. The miniature: `dram` and `index` are
+// single-key maps (value = version), the demoter evicts whatever is
+// resident, a second thread supersedes the key.
+// ---------------------------------------------------------------------
+
+/// The demoter half of the protocol: evict the resident version (epoch
+/// sampled under the same lock, after the evicting set's own bump), then
+/// publish it to the index and un-publish if the epoch moved.
+fn demote_with_recheck(
+    dram: &Mutex<Option<u32>>,
+    index: &Mutex<Option<u32>>,
+    epoch: &Generation,
+) {
+    let (evicted, sampled) = {
+        let mut d = dram.lock();
+        let evicted = d.take();
+        // The evicting set's own bump (it inserted some other key), then
+        // the sample — ordered so only *someone else's* bump undoes us.
+        epoch.invalidate();
+        (evicted, epoch.sample())
+    };
+    if let Some(v) = evicted {
+        *index.lock() = Some(v);
+        if epoch.changed_since(sampled) {
+            // Location-checked un-publish: only remove our own entry.
+            let mut ix = index.lock();
+            if *ix == Some(v) {
+                *ix = None;
+            }
+        }
+    }
+}
+
+#[test]
+fn demote_epoch_undo_prevents_stale_republication() {
+    model(|| {
+        let dram = Arc::new(Mutex::new(Some(1u32))); // version 1 resident
+        let index = Arc::new(Mutex::new(None::<u32>));
+        let epoch = Arc::new(Generation::new());
+
+        let setter = {
+            let (dram, index, epoch) = (Arc::clone(&dram), Arc::clone(&index), Arc::clone(&epoch));
+            loom::thread::spawn(move || {
+                // set(K, 2): absorb into DRAM with the bump under the
+                // lock, then drop the key's flash entry up front.
+                {
+                    let mut d = dram.lock();
+                    *d = Some(2);
+                    epoch.invalidate();
+                }
+                *index.lock() = None;
+            })
+        };
+
+        demote_with_recheck(&dram, &index, &epoch);
+        setter.join().unwrap();
+
+        let d = *dram.lock();
+        let ix = *index.lock();
+        // Whatever the interleaving: once version 2 is the resident
+        // authority, version 1 must not survive in the flash index.
+        if d == Some(2) {
+            assert_ne!(ix, Some(1), "superseded demotion shadowed the newer version");
+        }
+    });
+}
+
+#[test]
+fn demote_epoch_undo_prevents_deleted_key_resurrection() {
+    model(|| {
+        let dram = Arc::new(Mutex::new(Some(1u32)));
+        let index = Arc::new(Mutex::new(None::<u32>));
+        let epoch = Arc::new(Generation::new());
+
+        let deleter = {
+            let (dram, index, epoch) = (Arc::clone(&dram), Arc::clone(&index), Arc::clone(&epoch));
+            loom::thread::spawn(move || {
+                // delete(K): purge DRAM with the bump under the lock —
+                // even when the demoter already took the only copy —
+                // then remove the flash entry.
+                {
+                    let mut d = dram.lock();
+                    let _ = d.take();
+                    epoch.invalidate();
+                }
+                *index.lock() = None;
+            })
+        };
+
+        demote_with_recheck(&dram, &index, &epoch);
+        deleter.join().unwrap();
+
+        assert_eq!(*dram.lock(), None);
+        assert_eq!(
+            *index.lock(),
+            None,
+            "an in-flight demotion resurrected a deleted key"
+        );
+    });
+}
+
+#[test]
+#[should_panic]
+fn demote_epoch_check_before_publish_lets_a_stale_demotion_land() {
+    // The negative twin, and why the demoter re-checks *after*
+    // publishing: a check-then-publish (TOCTOU) passes while the epoch
+    // is still clean, then lands the stale version after the setter has
+    // already removed the key's flash entry — nothing is left to notice.
+    model(|| {
+        let dram = Arc::new(Mutex::new(Some(1u32)));
+        let index = Arc::new(Mutex::new(None::<u32>));
+        let epoch = Arc::new(Generation::new());
+
+        let setter = {
+            let (dram, index, epoch) = (Arc::clone(&dram), Arc::clone(&index), Arc::clone(&epoch));
+            loom::thread::spawn(move || {
+                {
+                    let mut d = dram.lock();
+                    *d = Some(2);
+                    epoch.invalidate();
+                }
+                *index.lock() = None;
+            })
+        };
+
+        // The broken demoter: sample, check, and only then publish.
+        let (evicted, sampled) = {
+            let mut d = dram.lock();
+            let evicted = d.take();
+            epoch.invalidate();
+            (evicted, epoch.sample())
+        };
+        if let Some(v) = evicted {
+            if !epoch.changed_since(sampled) {
+                *index.lock() = Some(v);
+            }
+        }
+        setter.join().unwrap();
+
+        let d = *dram.lock();
+        let ix = *index.lock();
+        if d == Some(2) {
+            assert_ne!(ix, Some(1), "superseded demotion shadowed the newer version");
+        }
     });
 }

@@ -435,6 +435,10 @@ impl FileSystem {
                 let mut inner = self.inner.lock();
                 inner.main.reserve(log, owner)?
             };
+            // lock-ok: the per-head log lock exists precisely to serialize
+            // device appends on this head — reservations hand out
+            // sequential offsets, and a second writer slipping in between
+            // reserve and write would tear the zone's write pointer.
             match self.dev.write(zone, data, now) {
                 Ok(done) => return Ok((mba, done)),
                 Err(ZnsError::ZoneDegraded { .. }) => {
@@ -491,6 +495,8 @@ impl FileSystem {
             self.node_payload(files.get(&ino).expect("still present"), node_idx)
         };
         let owner = Owner { ino: Ino(ino), index: node_idx, is_node: true };
+        // lock-ok: `node_flush` is held across the append on purpose — it
+        // is what makes flush-vs-flush races impossible for a node block.
         let (mba, done) = self.append_block(LogType::Node, &payload, owner, now)?;
         // Publish. The file can only have vanished (remove) meanwhile —
         // node_flush excludes competing flushes — so an absent file
@@ -535,6 +541,8 @@ impl FileSystem {
                 _ => return Ok(now), // superseded by a flush meanwhile
             }
         };
+        // lock-ok: same `node_flush` exclusion as `flush_node` — the
+        // migration is a flush and must not race one.
         let (new_mba, done) = self.append_block(LogType::Node, &payload, owner, now)?;
         let mut inner = self.inner.lock();
         let Inner { files, main, stats, .. } = &mut *inner;
@@ -612,6 +620,9 @@ impl FileSystem {
             // A read-only victim is a salvage, not a space reclaim: its
             // media is dying, so the victim-quality gate does not apply —
             // every live block must move off it regardless of occupancy.
+            // lock-ok: the victim's health must be read atomically with
+            // picking it from the mapping state, or a zone could degrade
+            // between selection and the gate below.
             let salvage =
                 matches!(self.dev.zone_state(victim), Ok(ZoneState::ReadOnly));
             if !salvage && inner.main.zone_valid(victim) as u64 > max_valid {
@@ -709,6 +720,9 @@ impl FileSystem {
         let mut done = now;
         let mut cleaned = 0u64;
         while self.inner.lock().main.free_zones() < target_free {
+            // lock-ok: the cleaner mutex serializes whole cleaning passes;
+            // holding it across the migration I/O is the point — two
+            // concurrent cleaners would fight over the same victims.
             match self.clean_one(max_valid, done)? {
                 Some(t) => {
                     done = t;

@@ -1,4 +1,12 @@
 //! Structured event tracing with simulated-time timestamps.
+//
+// ordering-ok(file): the ring is a seqlock — Release publishes each
+// slot's payload against the Acquire re-check in `snapshot`, and the
+// global enable flag / sequence counter use SeqCst so a toggle is a
+// total-order barrier between test phases. This is diagnostics
+// infrastructure; it deliberately lives outside the engine's
+// loom-modeled protocol module and its interleavings are covered by the
+// `trace_*` stress tests instead.
 //!
 //! A global, process-wide event log built for diagnosing concurrency
 //! pathologies (cleaner-vs-foreground serialization, eviction stalls,

@@ -1,0 +1,278 @@
+//! Atomic-ordering inventory and justification rules.
+//!
+//! Every atomic access site in first-party `src/` code is inventoried
+//! with its `Ordering` (the table lands in ANALYSIS.md), and cross-checked
+//! against the workspace's concurrency discipline:
+//!
+//! * Inside `crates/core/src/protocol/` — the loom-modeled publication
+//!   protocol — `Ordering::Relaxed` is forbidden outright. Annotations do
+//!   not override this: protocol types exist precisely so that ordering
+//!   decisions live in loom-checked code.
+//! * Outside protocol, `Relaxed` requires a `relaxed-ok:` justification
+//!   (same line or up to four lines above) or a file-level
+//!   `relaxed-ok(file):` waiver.
+//! * Outside protocol, any *stronger* ordering requires an `ordering-ok:`
+//!   justification: raw Acquire/Release choreography belongs in the
+//!   protocol module where loom models it, so a stray `Acquire` in a
+//!   maintainer loop is either misrouted or needs to say why it is safe
+//!   where it is.
+
+use super::model::build;
+use super::parse::{SourceFile, Tok, Token, Tree};
+use super::{push, Violation};
+
+/// One atomic access site, for the ANALYSIS.md inventory.
+pub struct AtomicSite {
+    pub file: String,
+    pub line: u32,
+    pub op: String,
+    pub ordering: String,
+    /// Carries an explicit `relaxed-ok:`/`ordering-ok:` justification.
+    /// Protocol sites are `false`: they are justified by the loom model,
+    /// not by comments.
+    pub justified: bool,
+}
+
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic method idents used to label the `op` column. Nearest one before
+/// the `Ordering::` path wins.
+const ATOMIC_OPS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_max",
+    "fetch_min",
+];
+
+/// Runs the analysis over one file, returning its inventory rows.
+pub fn analyze(file: &str, sf: &SourceFile, out: &mut Vec<Violation>) -> Vec<AtomicSite> {
+    if !file.contains("/src/") {
+        return Vec::new();
+    }
+    let in_protocol = file.starts_with("crates/core/src/protocol");
+    let relaxed_file_waiver = sf.file_annotated("relaxed-ok(file):");
+    let ordering_file_waiver = sf.file_annotated("ordering-ok(file):");
+
+    // Test functions may use whatever orderings make the test readable.
+    let m = build(sf);
+    let test_ranges: Vec<(u32, u32)> = m
+        .fns
+        .iter()
+        .filter(|f| f.is_test)
+        .filter_map(|f| f.body.map(|b| (b.open_line, b.close_line)))
+        .collect();
+    let in_test = |line: u32| test_ranges.iter().any(|(a, b)| line >= *a && line <= *b);
+
+    let mut leaves: Vec<&Token> = Vec::new();
+    flatten(&sf.trees, &mut leaves);
+
+    let mut sites = Vec::new();
+    for i in 0..leaves.len() {
+        // Match `Ordering :: <ord>`.
+        let Tok::Ident(head) = &leaves[i].tok else { continue };
+        if head != "Ordering" || i + 3 >= leaves.len() {
+            continue;
+        }
+        if leaves[i + 1].tok != Tok::Punct(':') || leaves[i + 2].tok != Tok::Punct(':') {
+            continue;
+        }
+        let Tok::Ident(ord) = &leaves[i + 3].tok else { continue };
+        if !ORDERINGS.contains(&ord.as_str()) {
+            continue;
+        }
+        let line = leaves[i].line;
+        if in_test(line) {
+            continue;
+        }
+        let op = nearest_op(&leaves, i);
+        let relaxed = ord == "Relaxed";
+        let justified = if relaxed {
+            relaxed_file_waiver || sf.annotated(line, 4, "relaxed-ok:")
+        } else {
+            ordering_file_waiver || sf.annotated(line, 4, "ordering-ok:")
+        };
+
+        if in_protocol {
+            if relaxed {
+                push(
+                    out,
+                    "core-protocol-orderings",
+                    file,
+                    line,
+                    format!(
+                        "`Ordering::Relaxed` on `{op}` inside the loom-modeled protocol \
+                         module; protocol types must use acquire/release or stronger \
+                         (annotations do not override this rule)"
+                    ),
+                );
+            }
+            sites.push(AtomicSite {
+                file: file.to_string(),
+                line,
+                op,
+                ordering: ord.clone(),
+                justified: false,
+            });
+            continue;
+        }
+
+        if relaxed && !justified {
+            push(
+                out,
+                "relaxed-needs-justification",
+                file,
+                line,
+                format!(
+                    "`Ordering::Relaxed` on `{op}` without a `relaxed-ok:` comment \
+                     (same line or up to 4 lines above) or `relaxed-ok(file):` waiver"
+                ),
+            );
+        } else if !relaxed && !justified {
+            push(
+                out,
+                "ordering-outside-protocol",
+                file,
+                line,
+                format!(
+                    "`Ordering::{ord}` on `{op}` outside crates/core/src/protocol/; \
+                     route the choreography through a loom-modeled protocol type, or \
+                     justify the site with an `ordering-ok:` comment"
+                ),
+            );
+        }
+        sites.push(AtomicSite {
+            file: file.to_string(),
+            line,
+            op,
+            ordering: ord.clone(),
+            justified,
+        });
+    }
+    sites
+}
+
+fn flatten<'a>(trees: &'a [Tree], out: &mut Vec<&'a Token>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(tok),
+            Tree::Group(g) => flatten(&g.children, out),
+        }
+    }
+}
+
+/// The nearest atomic-method ident before index `i`, searching a short
+/// window backwards; `atomic` when the call shape is unusual.
+fn nearest_op(leaves: &[&Token], i: usize) -> String {
+    for j in (i.saturating_sub(40)..i).rev() {
+        if let Tok::Ident(id) = &leaves[j].tok {
+            if ATOMIC_OPS.contains(&id.as_str()) {
+                return id.clone();
+            }
+        }
+    }
+    "atomic".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse::parse;
+
+    fn run(file: &str, src: &str) -> (Vec<Violation>, Vec<AtomicSite>) {
+        let sf = parse(src).unwrap();
+        let mut out = Vec::new();
+        let sites = analyze(file, &sf, &mut out);
+        (out, sites)
+    }
+
+    #[test]
+    fn unjustified_relaxed_is_flagged_and_inventoried() {
+        let src = "fn f(c: &AtomicU64) -> u64 {\n    c.fetch_add(1, Ordering::Relaxed)\n}\n";
+        let (v, s) = run("crates/sim/src/stats.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "relaxed-needs-justification");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].op, "fetch_add");
+        assert_eq!(s[0].ordering, "Relaxed");
+        assert!(!s[0].justified);
+    }
+
+    #[test]
+    fn relaxed_ok_comment_justifies_a_site() {
+        let src = "fn f(c: &AtomicU64) -> u64 {\n    \
+                   // relaxed-ok: monotonic counter, read only for stats.\n    \
+                   c.fetch_add(1, Ordering::Relaxed)\n}\n";
+        let (v, s) = run("crates/sim/src/stats.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s[0].justified);
+    }
+
+    #[test]
+    fn file_waiver_covers_every_relaxed_site() {
+        let src = "// relaxed-ok(file): pure counters, no cross-thread ordering.\n\
+                   fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n    \
+                   c.store(0, Ordering::Relaxed);\n}\n";
+        let (v, s) = run("crates/sim/src/stats.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn relaxed_inside_protocol_is_forbidden_even_with_annotation() {
+        let src = "fn publish(g: &AtomicU64) {\n    \
+                   // relaxed-ok: trust me.\n    \
+                   g.store(1, Ordering::Relaxed);\n}\n";
+        let (v, _) = run("crates/core/src/protocol/generation.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "core-protocol-orderings");
+    }
+
+    #[test]
+    fn strong_orderings_inside_protocol_need_no_comment() {
+        let src = "fn publish(g: &AtomicU64) {\n    g.store(1, Ordering::Release);\n    \
+                   let _ = g.load(Ordering::Acquire);\n}\n";
+        let (v, s) = run("crates/core/src/protocol/generation.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn strong_ordering_outside_protocol_needs_ordering_ok() {
+        let src = "fn f(flag: &AtomicBool) -> bool {\n    flag.load(Ordering::Acquire)\n}\n";
+        let (v, _) = run("crates/core/src/maintainer.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "ordering-outside-protocol");
+        let src_ok = "fn f(flag: &AtomicBool) -> bool {\n    \
+                      // ordering-ok: pairs with the Release store in stop().\n    \
+                      flag.load(Ordering::Acquire)\n}\n";
+        let (v, s) = run("crates/core/src/maintainer.rs", src_ok);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s[0].justified);
+    }
+
+    #[test]
+    fn test_functions_are_exempt_but_not_inventoried() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   c.store(1, Ordering::SeqCst);\n    }\n}\n";
+        let (v, s) = run("crates/core/src/metrics.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn non_src_files_are_out_of_scope() {
+        let src = "fn t() {\n    c.store(1, Ordering::SeqCst);\n}\n";
+        let (v, s) = run("crates/core/tests/loom.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,1208 @@
+//! Lock-order analysis: the may-hold-while-acquiring graph.
+//!
+//! For each covered crate, discovers every `Mutex`/`RwLock` field from
+//! struct definitions, finds every acquisition scope (a `let`-bound guard
+//! is live until `drop` or end of block; a guard acquired mid-expression
+//! is live for the rest of its statement), and builds the directed graph
+//! *lock A held while acquiring lock B*. Call edges propagate: a call
+//! made while holding A contributes edges A → every lock the callee may
+//! acquire (computed to a fixpoint over the crate's call graph).
+//!
+//! Three findings fall out:
+//!
+//! * **lock-cycle** — a cycle in the graph is a deadlock schedule waiting
+//!   for the right thread timing; always an error. Re-acquiring a held
+//!   scalar lock is the one-node case of the same bug.
+//! * **lock-across-io** — a guard live at a statement that performs
+//!   device I/O (calls through a `backend`/`dev` field, maintenance
+//!   passes, scrubs), directly or via a callee that does. Unlike the old
+//!   regex rule, this follows guards across *statements* and *calls* —
+//!   the bug class the regex provably missed. Intentional sites (the
+//!   engine's inline-eviction backpressure) carry `// lock-ok: why`.
+//! * **submit-to-complete** — same liveness check, but for the async
+//!   flush pipeline's endpoints (`submit_flush`, `wait_done`,
+//!   `resolve_ticket`), which must run with every shard lock released.
+//!
+//! Plus the engine-specific read-path rule carried over from the old
+//! linter: `get`/`try_get`/`delete` never acquire the writer mutex,
+//! directly or transitively.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::model::{build, stmts, FieldItem, FileModel, FnItem, LockKind, Stmt};
+use super::parse::{Group, SourceFile, Tok, Token, Tree};
+use super::{push, Violation};
+
+/// Fields named these are device handles: any method call through them is
+/// I/O.
+const IO_FIELDS: &[&str] = &["backend", "dev"];
+
+/// Method names that are maintenance passes — they reach the device
+/// regardless of how the receiver resolves.
+const IO_METHODS: &[&str] = &["maintain", "run_once", "scrub"];
+
+/// The async submit-to-complete interval's endpoints.
+const PIPELINE_METHODS: &[&str] = &["submit_flush", "wait_done", "resolve_ticket"];
+
+/// Wrapper types to see through when resolving a field's payload type.
+const WRAPPERS: &[&str] = &[
+    "Vec", "Box", "Arc", "Rc", "Option", "Result", "RefCell", "Cell", "VecDeque", "Mutex",
+    "RwLock", "HashMap", "BTreeMap", "u8", "u16", "u32", "u64", "usize",
+];
+
+/// Engine read-path entry points that must never touch the writer mutex.
+const READ_PATH_FNS: &[&str] = &["get", "try_get", "delete"];
+
+/// One parsed file of a crate, as handed in by the driver.
+pub struct CrateFile<'a> {
+    pub path: &'a str,
+    pub source: &'a SourceFile,
+}
+
+/// The per-crate lock graph, kept for the ANALYSIS.md inventory.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Lock node → kind label (`Mutex`, `RwLock`, `?`).
+    pub nodes: BTreeMap<String, &'static str>,
+    /// (held, acquired) → one example site `file:line`.
+    pub edges: BTreeMap<(String, String), String>,
+}
+
+type FnKey = (Option<String>, String);
+
+#[derive(Clone, Debug)]
+struct Guard {
+    /// Binding name for `let`-bound guards; `None` for temporaries.
+    var: Option<String>,
+    lock: String,
+}
+
+/// A call made while holding locks — resolved against the fixpoint later.
+struct HeldCall {
+    callee: FnKey,
+    held: Vec<String>,
+    file: String,
+    line: u32,
+    annotated: bool,
+}
+
+#[derive(Default)]
+struct FnFacts {
+    /// Locks this fn acquires directly.
+    acquires: BTreeSet<String>,
+    /// Directly performs device I/O.
+    does_io: bool,
+    /// Directly touches the flush pipeline endpoints.
+    does_pipeline: bool,
+    /// Same-crate callees (resolved).
+    calls: Vec<FnKey>,
+}
+
+/// Runs the analysis over one crate's files. Appends violations and
+/// returns the lock graph.
+pub fn analyze(crate_name: &str, files: &[CrateFile<'_>], out: &mut Vec<Violation>) -> LockGraph {
+    let models: Vec<FileModel<'_>> = files.iter().map(|f| build(f.source)).collect();
+    let reg = Registry::new(&models);
+
+    // Per-fn facts from a guard-liveness walk of every body.
+    let mut facts: BTreeMap<FnKey, FnFacts> = BTreeMap::new();
+    let mut graph = LockGraph::default();
+    let mut held_calls: Vec<HeldCall> = Vec::new();
+    for (f, m) in files.iter().zip(&models) {
+        for func in &m.fns {
+            if func.is_test {
+                continue;
+            }
+            let Some(body) = func.body else { continue };
+            let mut fx = FnFacts::default();
+            let mut walker = Walker {
+                reg: &reg,
+                source: f.source,
+                file: f.path,
+                func,
+                facts: &mut fx,
+                graph: &mut graph,
+                out,
+                held_calls: &mut held_calls,
+                locals: BTreeMap::new(),
+            };
+            walker.block(&stmts(body), &mut Vec::new());
+            let entry = facts
+                .entry((func.self_ty.clone(), func.name.clone()))
+                .or_default();
+            entry.acquires.extend(fx.acquires);
+            entry.does_io |= fx.does_io;
+            entry.does_pipeline |= fx.does_pipeline;
+            entry.calls.extend(fx.calls);
+        }
+    }
+
+    // Fixpoint: what may each fn acquire / do, transitively?
+    let mut may_acquire: BTreeMap<FnKey, BTreeSet<String>> = BTreeMap::new();
+    let mut may_io: BTreeMap<FnKey, (bool, bool)> = BTreeMap::new();
+    for (k, fx) in &facts {
+        may_acquire.insert(k.clone(), fx.acquires.clone());
+        may_io.insert(k.clone(), (fx.does_io, fx.does_pipeline));
+    }
+    loop {
+        let mut changed = false;
+        for (k, fx) in &facts {
+            let mut acq = may_acquire.get(k).cloned().unwrap_or_default();
+            let mut io = *may_io.get(k).unwrap_or(&(false, false));
+            for callee in &fx.calls {
+                if let Some(ca) = may_acquire.get(callee) {
+                    for l in ca.clone() {
+                        changed |= acq.insert(l);
+                    }
+                }
+                if let Some(&(cio, cpipe)) = may_io.get(callee) {
+                    changed |= cio && !io.0;
+                    changed |= cpipe && !io.1;
+                    io.0 |= cio;
+                    io.1 |= cpipe;
+                }
+            }
+            may_acquire.insert(k.clone(), acq);
+            may_io.insert(k.clone(), io);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Held-context calls: transitive edges plus held-across-io findings.
+    for hc in &held_calls {
+        if let Some(acq) = may_acquire.get(&hc.callee) {
+            for l in acq {
+                for h in &hc.held {
+                    if h != l {
+                        graph
+                            .edges
+                            .entry((h.clone(), l.clone()))
+                            .or_insert_with(|| format!("{}:{}", hc.file, hc.line));
+                    }
+                }
+            }
+        }
+        if hc.annotated {
+            continue;
+        }
+        if let Some(&(cio, cpipe)) = may_io.get(&hc.callee) {
+            if cio {
+                push(
+                    out,
+                    "lock-across-io",
+                    &hc.file,
+                    hc.line,
+                    format!(
+                        "lock(s) {:?} held across a call to `{}` which performs \
+                         device I/O; release them first or annotate `// lock-ok: why`",
+                        hc.held, hc.callee.1
+                    ),
+                );
+            } else if cpipe {
+                push(
+                    out,
+                    "submit-to-complete",
+                    &hc.file,
+                    hc.line,
+                    format!(
+                        "lock(s) {:?} held across a call to `{}` which enters the \
+                         flush submit/complete interval; the pipeline must run with \
+                         all shard locks released",
+                        hc.held, hc.callee.1
+                    ),
+                );
+            }
+        }
+    }
+
+    report_cycles(crate_name, &graph, out);
+
+    // Engine read-path rule (crates/core only).
+    if crate_name == "core" {
+        for (f, m) in files.iter().zip(&models) {
+            if !f.path.ends_with("src/engine.rs") {
+                continue;
+            }
+            for func in &m.fns {
+                if func.is_test || !READ_PATH_FNS.contains(&func.name.as_str()) {
+                    continue;
+                }
+                let key = (func.self_ty.clone(), func.name.clone());
+                if let Some(acq) = may_acquire.get(&key) {
+                    if let Some(w) = acq.iter().find(|l| l.ends_with(".writer")) {
+                        push(
+                            out,
+                            "lock-across-io",
+                            f.path,
+                            func.line,
+                            format!(
+                                "read-path entry `{}` may acquire the writer mutex ({w})",
+                                func.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    graph
+}
+
+fn report_cycles(crate_name: &str, graph: &LockGraph, out: &mut Vec<Violation>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (h, a) in graph.edges.keys() {
+        adj.entry(h).or_default().push(a);
+    }
+
+    fn dfs<'a>(
+        n: &'a str,
+        adj: &BTreeMap<&'a str, Vec<&'a str>>,
+        state: &mut BTreeMap<&'a str, u8>, // 0 unseen, 1 on-stack, 2 done
+        stack: &mut Vec<&'a str>,
+        cycles: &mut Vec<Vec<String>>,
+    ) {
+        state.insert(n, 1);
+        stack.push(n);
+        for &m in adj.get(n).into_iter().flatten() {
+            match state.get(m).copied().unwrap_or(0) {
+                0 => dfs(m, adj, state, stack, cycles),
+                1 => {
+                    let pos = stack.iter().position(|&s| s == m).unwrap_or(0);
+                    let mut cyc: Vec<String> =
+                        stack[pos..].iter().map(|s| s.to_string()).collect();
+                    cyc.push(m.to_string());
+                    cycles.push(cyc);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        state.insert(n, 2);
+    }
+
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+    let mut cycles = Vec::new();
+    let nodes: Vec<&str> = graph
+        .edges
+        .keys()
+        .flat_map(|(a, b)| [a.as_str(), b.as_str()])
+        .collect();
+    for n in nodes {
+        if state.get(n).copied().unwrap_or(0) == 0 {
+            dfs(n, &adj, &mut state, &mut stack, &mut cycles);
+        }
+    }
+
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for cyc in cycles {
+        let mut canon = cyc.clone();
+        canon.sort();
+        canon.dedup();
+        if !reported.insert(canon.join("→")) {
+            continue;
+        }
+        let sites: Vec<String> = cyc
+            .windows(2)
+            .filter_map(|w| {
+                graph
+                    .edges
+                    .get(&(w[0].clone(), w[1].clone()))
+                    .map(|s| format!("{}→{} at {}", w[0], w[1], s))
+            })
+            .collect();
+        push(
+            out,
+            "lock-cycle",
+            &format!("crates/{crate_name}"),
+            0,
+            format!(
+                "lock-order cycle {}: a deadlock schedule exists ({})",
+                cyc.join(" → "),
+                sites.join("; ")
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resolution registry
+// ---------------------------------------------------------------------
+
+struct Registry<'m> {
+    /// (struct, field) → the field item.
+    by_struct: BTreeMap<(&'m str, &'m str), &'m FieldItem>,
+    lock_fields: Vec<&'m FieldItem>,
+    /// Lock field name → node name, when unique in the crate (fallback
+    /// resolution for untyped receivers).
+    unique_lock_fields: BTreeMap<&'m str, String>,
+    /// (self_ty, fn name) → return-type principal ident.
+    fn_ret: BTreeMap<FnKey, Option<String>>,
+    /// Keys of all same-crate fns, so calls can be resolved.
+    fn_keys: BTreeSet<FnKey>,
+}
+
+impl<'m> Registry<'m> {
+    fn new(models: &'m [FileModel<'_>]) -> Registry<'m> {
+        let mut by_struct = BTreeMap::new();
+        let mut lock_fields: Vec<&'m FieldItem> = Vec::new();
+        let mut by_name: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+        for m in models {
+            for f in &m.fields {
+                by_struct.insert((f.struct_name.as_str(), f.field.as_str()), f);
+                if f.lock_kind().is_some() {
+                    lock_fields.push(f);
+                    by_name
+                        .entry(f.field.as_str())
+                        .or_default()
+                        .push(format!("{}.{}", f.struct_name, f.field));
+                }
+            }
+        }
+        let mut unique_lock_fields = BTreeMap::new();
+        for (k, v) in by_name {
+            if v.len() == 1 {
+                unique_lock_fields.insert(k, v.into_iter().next().unwrap());
+            }
+        }
+        let mut fn_ret = BTreeMap::new();
+        let mut fn_keys = BTreeSet::new();
+        for m in models {
+            for f in &m.fns {
+                let key = (f.self_ty.clone(), f.name.clone());
+                fn_ret.insert(key.clone(), f.ret_ty.clone());
+                fn_keys.insert(key);
+            }
+        }
+        Registry {
+            by_struct,
+            lock_fields,
+            unique_lock_fields,
+            fn_ret,
+            fn_keys,
+        }
+    }
+
+    fn field(&self, ty: &str, name: &str) -> Option<&'m FieldItem> {
+        self.by_struct.get(&(ty, name)).copied()
+    }
+
+    /// Payload type of a field, seeing through wrapper types.
+    fn payload_type(&self, f: &FieldItem) -> Option<String> {
+        f.type_idents
+            .iter()
+            .rev()
+            .find(|t| !WRAPPERS.contains(&t.as_str()))
+            .cloned()
+    }
+
+    /// A method on `ty` whose return type is a lock handle: map it back to
+    /// the lock field it exposes when the names overlap (`dram_shard` →
+    /// `dram`, `shard` → `shards`).
+    fn method_lock_node(&self, ty: &str, method: &str) -> Option<String> {
+        let ret = self
+            .fn_ret
+            .get(&(Some(ty.to_string()), method.to_string()))?
+            .as_deref()?;
+        if ret != "Mutex" && ret != "RwLock" {
+            return None;
+        }
+        for f in &self.lock_fields {
+            if f.struct_name == ty
+                && (method.contains(f.field.as_str()) || f.field.contains(method))
+            {
+                return Some(format!("{}.{}", f.struct_name, f.field));
+            }
+        }
+        Some(format!("{ty}.{method}()"))
+    }
+
+    /// Resolves a receiver chain (idents up to, but excluding, the final
+    /// method) against `self`'s type and the fn's local type map.
+    fn resolve_chain(
+        &self,
+        chain: &[String],
+        self_ty: Option<&str>,
+        locals: &BTreeMap<String, Resolved>,
+    ) -> Resolved {
+        let mut idx = 0usize;
+        let mut ty: Option<String> = None;
+        match chain.first().map(String::as_str) {
+            Some("self") => {
+                ty = self_ty.map(str::to_string);
+                idx = 1;
+            }
+            Some(head) => {
+                if let Some(r) = locals.get(head) {
+                    match r {
+                        Resolved::Lock(_) if chain.len() == 1 => return r.clone(),
+                        Resolved::Type(t) => {
+                            ty = Some(t.clone());
+                            idx = 1;
+                        }
+                        _ => return Resolved::Unknown,
+                    }
+                }
+            }
+            None => return Resolved::Unknown,
+        }
+        let Some(mut ty) = ty else {
+            // Untyped head: fall back to unique-lock-field matching on the
+            // final chain ident.
+            if let Some(last) = chain.last() {
+                if let Some(node) = self.unique_lock_fields.get(last.as_str()) {
+                    return Resolved::Lock(node.clone());
+                }
+            }
+            return Resolved::Unknown;
+        };
+        while idx < chain.len() {
+            let seg = &chain[idx];
+            let last = idx == chain.len() - 1;
+            if let Some(f) = self.field(&ty, seg) {
+                if last && f.lock_kind().is_some() {
+                    return Resolved::Lock(format!("{}.{}", f.struct_name, f.field));
+                }
+                match self.payload_type(f) {
+                    Some(t) => ty = t,
+                    None => return Resolved::Unknown,
+                }
+            } else if let Some(node) = self.method_lock_node(&ty, seg) {
+                return if last { Resolved::Lock(node) } else { Resolved::Unknown };
+            } else if let Some(Some(r)) = self.fn_ret.get(&(Some(ty.clone()), seg.clone())) {
+                ty = r.clone();
+            } else {
+                return Resolved::Unknown;
+            }
+            idx += 1;
+        }
+        Resolved::Type(ty)
+    }
+
+    fn lock_kind_of(&self, node: &str) -> Option<LockKind> {
+        // `registry()` — a free-fn static lock getter.
+        if let Some(name) = node.strip_suffix("()") {
+            return match self
+                .fn_ret
+                .get(&(None, name.to_string()))
+                .and_then(|r| r.as_deref())
+            {
+                Some("Mutex") => Some(LockKind::Mutex),
+                Some("RwLock") => Some(LockKind::RwLock),
+                _ => None,
+            };
+        }
+        let (s, f) = node.split_once('.')?;
+        self.field(s, f).and_then(|fi| fi.lock_kind())
+    }
+
+    fn is_collection(&self, node: &str) -> bool {
+        node.split_once('.')
+            .and_then(|(s, f)| self.field(s, f))
+            .is_some_and(|fi| fi.is_collection())
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Resolved {
+    Lock(String),
+    Type(String),
+    Unknown,
+}
+
+// ---------------------------------------------------------------------
+// Leaf stream: flat statement tokens with call positions and depth
+// ---------------------------------------------------------------------
+
+/// The flattened tokens of one statement, aligned with (a) whether each
+/// ident is immediately followed by a `(...)` group (a call), and (b) the
+/// group-nesting depth of each token — so receiver chains can be walked
+/// back *skipping argument tokens*, which plain flattening loses.
+struct LeafStream<'a> {
+    toks: Vec<&'a Token>,
+    is_call: Vec<bool>,
+    depth: Vec<u32>,
+}
+
+fn leaf_stream<'a>(st: &Stmt<'a>) -> LeafStream<'a> {
+    fn walk<'a>(g: &'a Group, d: u32, s: &mut LeafStream<'a>) {
+        for (i, c) in g.children.iter().enumerate() {
+            let next_paren =
+                matches!(g.children.get(i + 1), Some(Tree::Group(p)) if p.delim == '(');
+            emit(c, next_paren, d, s);
+        }
+    }
+    fn emit<'a>(t: &'a Tree, next_paren: bool, d: u32, s: &mut LeafStream<'a>) {
+        match t {
+            Tree::Leaf(tok) => {
+                s.is_call
+                    .push(matches!(tok.tok, Tok::Ident(_)) && next_paren);
+                s.depth.push(d);
+                s.toks.push(tok);
+            }
+            Tree::Group(g) => walk(g, d + 1, s),
+        }
+    }
+    let mut s = LeafStream {
+        toks: Vec::new(),
+        is_call: Vec::new(),
+        depth: Vec::new(),
+    };
+    for i in 0..st.trees.len() {
+        let t = st.trees[i];
+        // Top-level brace sub-blocks are separate scopes (they surface
+        // through `Stmt::blocks`), mirroring `Stmt::leaves`.
+        if matches!(t, Tree::Group(Group { delim: '{', .. })) {
+            continue;
+        }
+        let next_paren =
+            matches!(st.trees.get(i + 1), Some(Tree::Group(p)) if p.delim == '(');
+        emit(t, next_paren, 0, &mut s);
+    }
+    s
+}
+
+/// Walks back from the `.` before a method to collect the receiver chain
+/// in source order, staying at the dot's nesting depth (argument and
+/// index tokens sit deeper and are skipped).
+fn receiver_chain(s: &LeafStream<'_>, dot_idx: usize) -> Vec<String> {
+    let d = s.depth[dot_idx];
+    let mut chain = Vec::new();
+    let mut expect_ident = true;
+    let mut i = dot_idx;
+    while i > 0 {
+        i -= 1;
+        if s.depth[i] > d {
+            continue;
+        }
+        if s.depth[i] < d {
+            break;
+        }
+        match &s.toks[i].tok {
+            Tok::Ident(id) if expect_ident => {
+                chain.push(id.clone());
+                expect_ident = false;
+            }
+            Tok::Punct('.') if !expect_ident => expect_ident = true,
+            Tok::Punct(':') => expect_ident = true,
+            _ => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Whether the acquisition at leaf `i` is the statement's final value
+/// (allowing only `.unwrap()` / `.expect(…)` / `?` after it) — i.e. a
+/// `let`-bound guard rather than a temporary.
+fn terminal_acquisition(s: &LeafStream<'_>, i: usize) -> bool {
+    let d = s.depth[i];
+    let mut expect_method = false;
+    for j in i + 1..s.toks.len() {
+        if s.depth[j] > d {
+            continue;
+        }
+        if s.depth[j] < d {
+            return false;
+        }
+        match &s.toks[j].tok {
+            Tok::Punct('.') => expect_method = true,
+            Tok::Ident(m) if expect_method && (m == "unwrap" || m == "expect") => {
+                expect_method = false;
+            }
+            Tok::Punct('?') => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// The RHS chain of `let x = <chain>;`, at top depth only, for local type
+/// inference.
+fn rhs_chain(s: &LeafStream<'_>) -> Option<Vec<String>> {
+    let eq = s
+        .toks
+        .iter()
+        .enumerate()
+        .position(|(i, t)| t.tok == Tok::Punct('=') && s.depth[i] == 0)?;
+    let mut chain = Vec::new();
+    for j in eq + 1..s.toks.len() {
+        if s.depth[j] > 0 {
+            continue;
+        }
+        match &s.toks[j].tok {
+            Tok::Ident(id) => chain.push(id.clone()),
+            Tok::Punct('.') | Tok::Punct('&') | Tok::Punct(':') | Tok::Punct('*') => {}
+            _ => break,
+        }
+    }
+    (!chain.is_empty()).then_some(chain)
+}
+
+// ---------------------------------------------------------------------
+// Body walker
+// ---------------------------------------------------------------------
+
+struct Walker<'a, 'b> {
+    reg: &'b Registry<'b>,
+    source: &'a SourceFile,
+    file: &'a str,
+    func: &'b FnItem<'a>,
+    facts: &'b mut FnFacts,
+    graph: &'b mut LockGraph,
+    out: &'b mut Vec<Violation>,
+    held_calls: &'b mut Vec<HeldCall>,
+    locals: BTreeMap<String, Resolved>,
+}
+
+impl<'a> Walker<'a, '_> {
+    /// Walks one block's statements with the inherited live guards;
+    /// guards bound inside die at block end.
+    fn block(&mut self, statements: &[Stmt<'a>], live: &mut Vec<Guard>) {
+        let depth = live.len();
+        for st in statements {
+            self.statement(st, live);
+        }
+        live.truncate(depth);
+    }
+
+    fn statement(&mut self, st: &Stmt<'a>, live: &mut Vec<Guard>) {
+        let s = leaf_stream(st);
+        let lock_ok = self.source.annotated(st.first_line, 4, "lock-ok:")
+            || self.source.file_annotated("lock-ok(file):");
+        let is_match_stmt = matches!(s.toks.first().map(|t| &t.tok),
+            Some(Tok::Ident(k)) if k.as_str() == "match");
+
+        // `self.dram_shard(h).is_some_and(|shard| shard.lock()…)`: a
+        // single-param closure inside a combinator call binds its param
+        // to whatever the receiver chain resolves to.
+        for i in 0..s.toks.len() {
+            if s.toks[i].tok != Tok::Punct('|') || i + 2 >= s.toks.len() {
+                continue;
+            }
+            let Tok::Ident(param) = &s.toks[i + 1].tok else { continue };
+            if s.toks[i + 2].tok != Tok::Punct('|') || s.depth[i] == 0 {
+                continue;
+            }
+            // A closure's `|` opens an argument: it starts the group or
+            // follows a comma. Anything else is bitwise/pattern or.
+            let opens_arg = i == 0
+                || s.depth[i - 1] < s.depth[i]
+                || s.toks[i - 1].tok == Tok::Punct(',');
+            if !opens_arg {
+                continue;
+            }
+            // The enclosing combinator: nearest call ident one level up.
+            let Some(j) = (0..i)
+                .rev()
+                .find(|&j| s.depth[j] + 1 == s.depth[i] && s.is_call[j])
+            else {
+                continue;
+            };
+            if !(j > 0 && s.toks[j - 1].tok == Tok::Punct('.')) {
+                continue;
+            }
+            let chain = receiver_chain(&s, j - 1);
+            let r = self
+                .reg
+                .resolve_chain(&chain, self.func.self_ty.as_deref(), &self.locals);
+            if !matches!(r, Resolved::Unknown) {
+                self.locals.insert(param.clone(), r);
+            }
+        }
+
+        let mut temp: Vec<Guard> = Vec::new();
+        let mut bound_lock: Option<String> = None;
+        for i in 0..s.toks.len() {
+            let Tok::Ident(id) = &s.toks[i].tok else { continue };
+            let line = s.toks[i].line;
+            let after_dot = i > 0 && s.toks[i - 1].tok == Tok::Punct('.');
+
+            // drop(x) kills the named guard.
+            if id == "drop" && s.is_call[i] && !after_dot {
+                if let Some(Tok::Ident(arg)) = s.toks.get(i + 1).map(|t| &t.tok) {
+                    live.retain(|g| g.var.as_deref() != Some(arg.as_str()));
+                }
+                continue;
+            }
+
+            // Acquisition: `.lock()`, `.read()`, `.write()` on a receiver
+            // that resolves to a lock field.
+            let mut handled = false;
+            if (id == "lock" || id == "read" || id == "write") && after_dot && s.is_call[i] {
+                let chain = receiver_chain(&s, i - 1);
+                let resolved =
+                    self.reg
+                        .resolve_chain(&chain, self.func.self_ty.as_deref(), &self.locals);
+                let node = match resolved {
+                    Resolved::Lock(node) => {
+                        let ok = match (id.as_str(), self.reg.lock_kind_of(&node)) {
+                            ("lock", Some(LockKind::Mutex)) => true,
+                            ("read" | "write", Some(LockKind::RwLock)) => true,
+                            (_, None) => id == "lock",
+                            _ => false,
+                        };
+                        ok.then_some(node)
+                    }
+                    _ => {
+                        // `registry().lock()` — a free fn returning a
+                        // static lock is its own node.
+                        let free_fn = chain.len() == 1 && i >= 2 && s.is_call[i - 2];
+                        let free_node = free_fn.then(|| format!("{}()", chain[0]));
+                        if let Some(n) = free_node
+                            .filter(|n| self.reg.lock_kind_of(n).is_some())
+                        {
+                            Some(n)
+                        } else if id == "lock" {
+                            // `.lock()` on an unresolved receiver is still
+                            // a mutex by contract; fall back to the
+                            // unique-field map or an opaque per-name node.
+                            Some(
+                                chain
+                                    .last()
+                                    .and_then(|l| {
+                                        self.reg
+                                            .unique_lock_fields
+                                            .get(l.as_str())
+                                            .cloned()
+                                    })
+                                    .unwrap_or_else(|| {
+                                        format!(
+                                            "?.{}",
+                                            chain.last().cloned().unwrap_or_default()
+                                        )
+                                    }),
+                            )
+                        } else {
+                            None
+                        }
+                    }
+                };
+                if let Some(node) = node {
+                    self.acquire(&node, line, live, &mut temp);
+                    if terminal_acquisition(&s, i) {
+                        bound_lock = Some(node);
+                    }
+                    handled = true;
+                }
+            }
+            if handled || !s.is_call[i] {
+                continue;
+            }
+
+            // Flush pipeline endpoints.
+            if PIPELINE_METHODS.contains(&id.as_str()) {
+                if (!live.is_empty() || !temp.is_empty()) && !lock_ok {
+                    push(
+                        self.out,
+                        "submit-to-complete",
+                        self.file,
+                        line,
+                        format!(
+                            "lock(s) {:?} held at flush pipeline call `{id}`; the \
+                             submit-to-complete interval must run with all shard \
+                             locks released",
+                            held_names(live, &temp)
+                        ),
+                    );
+                }
+                self.facts.does_pipeline = true;
+                continue;
+            }
+
+            if after_dot {
+                let chain = receiver_chain(&s, i - 1);
+                let via_io_field = chain.iter().any(|c| IO_FIELDS.contains(&c.as_str()));
+                if via_io_field || IO_METHODS.contains(&id.as_str()) {
+                    // Direct device I/O.
+                    if (!live.is_empty() || !temp.is_empty()) && !lock_ok {
+                        push(
+                            self.out,
+                            "lock-across-io",
+                            self.file,
+                            line,
+                            format!(
+                                "lock(s) {:?} held across device I/O `{id}`; release \
+                                 every guard before the device call or annotate \
+                                 `// lock-ok: why`",
+                                held_names(live, &temp)
+                            ),
+                        );
+                    }
+                    self.facts.does_io = true;
+                } else {
+                    // Same-crate method call: resolve the receiver type.
+                    let key: Option<FnKey> = match chain.first().map(String::as_str) {
+                        Some("self") if chain.len() == 1 => {
+                            Some((self.func.self_ty.clone(), id.clone()))
+                        }
+                        _ => match self.reg.resolve_chain(
+                            &chain,
+                            self.func.self_ty.as_deref(),
+                            &self.locals,
+                        ) {
+                            Resolved::Type(ty) => Some((Some(ty), id.clone())),
+                            _ => None,
+                        },
+                    };
+                    if let Some(key) = key {
+                        if self.reg.fn_keys.contains(&key) {
+                            self.push_call(key, line, live, &temp, lock_ok);
+                        }
+                    }
+                }
+            } else {
+                // Free-fn call within the crate.
+                let key: FnKey = (None, id.clone());
+                if self.reg.fn_keys.contains(&key) {
+                    self.push_call(key, line, live, &temp, lock_ok);
+                }
+            }
+        }
+
+        // `if let Some(shard) = self.dram_shard(h) { shard.lock() … }`:
+        // record the binding's type *before* walking the sub-blocks, so
+        // receivers inside them resolve.
+        let binds = st.let_bindings();
+        if bound_lock.is_none() && binds.len() == 1 {
+            if let Some(chain) = rhs_chain(&s) {
+                let r = self
+                    .reg
+                    .resolve_chain(&chain, self.func.self_ty.as_deref(), &self.locals);
+                if !matches!(r, Resolved::Unknown) {
+                    self.locals.insert(binds[0].clone(), r);
+                }
+            }
+        }
+
+        // Sub-blocks (if/else bodies, match arms, loop bodies) see the
+        // inherited guards; a `match` scrutinee's temporary guard lives
+        // through the whole match body.
+        if !st.blocks.is_empty() {
+            let depth = live.len();
+            if is_match_stmt {
+                live.extend(temp.iter().cloned());
+            }
+            for b in &st.blocks {
+                let sub = stmts(b);
+                self.block(&sub, live);
+            }
+            live.truncate(depth);
+        }
+
+        // A terminal acquisition bound by `let` stays live.
+        if let Some(node) = bound_lock {
+            if let Some(var) = binds.first() {
+                live.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                live.push(Guard {
+                    var: Some(var.clone()),
+                    lock: node,
+                });
+            }
+        }
+    }
+
+    fn acquire(&mut self, node: &str, line: u32, live: &[Guard], temp: &mut Vec<Guard>) {
+        let kind = match self.reg.lock_kind_of(node) {
+            Some(LockKind::Mutex) => "Mutex",
+            Some(LockKind::RwLock) => "RwLock",
+            None => "?",
+        };
+        self.graph.nodes.entry(node.to_string()).or_insert(kind);
+        self.facts.acquires.insert(node.to_string());
+        for g in live.iter().chain(temp.iter()) {
+            if g.lock != node {
+                self.graph
+                    .edges
+                    .entry((g.lock.clone(), node.to_string()))
+                    .or_insert_with(|| format!("{}:{}", self.file, line));
+            } else if self.reg.lock_kind_of(node).is_some()
+                && !self.reg.is_collection(node)
+                && !self.source.annotated(line, 4, "lock-ok:")
+            {
+                push(
+                    self.out,
+                    "lock-cycle",
+                    self.file,
+                    line,
+                    format!(
+                        "`{node}` acquired while already held (self-deadlock on a \
+                         non-reentrant lock); if the instances are provably \
+                         distinct, annotate `// lock-ok: why`"
+                    ),
+                );
+            }
+        }
+        temp.push(Guard {
+            var: None,
+            lock: node.to_string(),
+        });
+    }
+
+    fn push_call(&mut self, key: FnKey, line: u32, live: &[Guard], temp: &[Guard], lock_ok: bool) {
+        self.facts.calls.push(key.clone());
+        let held = held_names(live, temp);
+        if !held.is_empty() {
+            self.held_calls.push(HeldCall {
+                callee: key,
+                held,
+                file: self.file.to_string(),
+                line,
+                annotated: lock_ok,
+            });
+        }
+    }
+}
+
+fn held_names(live: &[Guard], temp: &[Guard]) -> Vec<String> {
+    let mut v: Vec<String> = live
+        .iter()
+        .chain(temp.iter())
+        .map(|g| g.lock.clone())
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse::parse;
+
+    fn run(crate_name: &str, files: &[(&str, &str)]) -> (Vec<Violation>, LockGraph) {
+        let parsed: Vec<SourceFile> = files
+            .iter()
+            .map(|(_, text)| parse(text).unwrap())
+            .collect();
+        let cf: Vec<CrateFile<'_>> = parsed
+            .iter()
+            .zip(files)
+            .map(|(sf, (path, _))| CrateFile { path, source: sf })
+            .collect();
+        let mut out = Vec::new();
+        let graph = analyze(crate_name, &cf, &mut out);
+        (out, graph)
+    }
+
+    const STRUCTS: &str =
+        "struct Engine {\n    writer: Mutex<W>,\n    meta: Mutex<M>,\n    backend: B,\n}\n";
+
+    #[test]
+    fn guard_live_across_later_io_statement_is_flagged() {
+        // The case the old same-line regex provably missed: the guard is
+        // bound on one line, the device call happens three lines later.
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn seal(&self) -> Result<(), E> {{\n        \
+             let w = self.writer.lock();\n        let x = 1;\n        let _ = x;\n        \
+             self.backend.write_region(x)?;\n        Ok(())\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-across-io");
+        assert_eq!(v[0].line, 11, "{v:?}");
+    }
+
+    #[test]
+    fn dropped_guard_clears_the_liveness() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn seal(&self) -> Result<(), E> {{\n        \
+             let w = self.writer.lock();\n        drop(w);\n        \
+             self.backend.write_region(1)?;\n        Ok(())\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn block_scoped_guard_dies_at_block_end() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn seal(&self) -> Result<(), E> {{\n        \
+             let job = {{ let w = self.writer.lock(); w.detach() }};\n        \
+             self.backend.write_region(1)?;\n        Ok(())\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_order_cycle_is_detected() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn ab(&self) {{\n        \
+             let a = self.writer.lock();\n        let b = self.meta.lock();\n    }}\n    \
+             fn ba(&self) {{\n        let b = self.meta.lock();\n        \
+             let a = self.writer.lock();\n    }}\n}}\n"
+        );
+        let (v, g) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(
+            v.iter().any(|x| x.rule == "lock-cycle" && x.msg.contains("cycle")),
+            "{v:?}"
+        );
+        assert!(g.edges.contains_key(&("Engine.writer".into(), "Engine.meta".into())));
+        assert!(g.edges.contains_key(&("Engine.meta".into(), "Engine.writer".into())));
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_graphed() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn ab(&self) {{\n        \
+             let a = self.writer.lock();\n        let b = self.meta.lock();\n    }}\n    \
+             fn ab2(&self) {{\n        let a = self.writer.lock();\n        \
+             let b = self.meta.lock();\n    }}\n}}\n"
+        );
+        let (v, g) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.nodes.get("Engine.writer"), Some(&"Mutex"));
+    }
+
+    #[test]
+    fn transitive_io_through_a_callee_is_flagged() {
+        // Holding the writer across a call to a fn that does I/O — only
+        // visible with the interprocedural pass; the old regex had no
+        // concept of callees at all.
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn outer(&self) {{\n        \
+             let w = self.writer.lock();\n        self.evict_one();\n    }}\n    \
+             fn evict_one(&self) {{\n        let _ = self.backend.discard(1);\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-across-io");
+        assert!(v[0].msg.contains("evict_one"));
+    }
+
+    #[test]
+    fn lock_ok_annotation_waives_intentional_backpressure() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn outer(&self) {{\n        \
+             let w = self.writer.lock();\n        \
+             // lock-ok: inline eviction backpressure.\n        \
+             self.evict_one();\n    }}\n    \
+             fn evict_one(&self) {{\n        let _ = self.backend.discard(1);\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn lock_ok_file_waiver_covers_a_translation_layer() {
+        // A layer whose whole point is "device ops run under the mapping
+        // lock" carries one file-level waiver instead of one per call.
+        let src = format!(
+            "// lock-ok(file): state lock serializes the device write pointer.\n\
+             {STRUCTS}impl Engine {{\n    fn outer(&self) {{\n        \
+             let w = self.writer.lock();\n        \
+             let _ = self.backend.discard(1);\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/backend/middle.rs", &src)]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn closure_param_inherits_the_receiver_chain_resolution() {
+        // `self.dram_shard(h).is_some_and(|shard| shard.lock()…)` must
+        // resolve to the dram field, not an opaque `?.shard` node.
+        let src = "struct Cache {\n    dram: Vec<Mutex<u32>>,\n}\n\
+                   impl Cache {\n    fn dram_shard(&self, h: u64) -> Option<&Mutex<u32>> {\n        \
+                   self.dram.get(h as usize)\n    }\n    \
+                   fn del(&self, h: u64) -> bool {\n        \
+                   self.dram_shard(h).is_some_and(|shard| shard.lock().eq(&h))\n    }\n}\n";
+        let (v, g) = run("core", &[("crates/core/src/engine.rs", src)]);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(g.nodes.contains_key("Cache.dram"), "{:?}", g.nodes);
+        assert!(!g.nodes.keys().any(|n| n.starts_with('?')), "{:?}", g.nodes);
+    }
+
+    #[test]
+    fn free_fn_static_lock_getter_resolves_to_a_named_node() {
+        // `registry().lock()` — the getter fn itself is the node, not an
+        // opaque `?.registry`.
+        let src = "fn registry() -> &'static Mutex<Vec<u32>> {\n    \
+                   static R: Mutex<Vec<u32>> = Mutex::new(Vec::new());\n    &R\n}\n\
+                   fn record(v: u32) {\n    registry().lock().push(v);\n}\n";
+        let (v, g) = run("sim", &[("crates/sim/src/trace.rs", src)]);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(g.nodes.contains_key("registry()"), "{:?}", g.nodes);
+        assert!(!g.nodes.keys().any(|n| n.starts_with('?')), "{:?}", g.nodes);
+    }
+
+    #[test]
+    fn pipeline_call_under_guard_is_submit_to_complete() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn seal(&self) {{\n        \
+             let w = self.writer.lock();\n        let t = self.submit_flush(1, 2);\n    }}\n    \
+             fn submit_flush(&self, a: u32, b: u32) -> u32 {{ a + b }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(v.iter().any(|x| x.rule == "submit-to-complete"), "{v:?}");
+    }
+
+    #[test]
+    fn self_deadlock_on_scalar_mutex_flagged_but_collections_pass() {
+        let src = "struct S {\n    m: Mutex<u32>,\n    shards: Vec<Mutex<u32>>,\n}\n\
+                   impl S {\n    fn bad(&self) {\n        let a = self.m.lock();\n        \
+                   let b = self.m.lock();\n    }\n    \
+                   fn ok(&self) {\n        let a = self.shards.lock();\n        \
+                   let b = self.shards.lock();\n    }\n}\n";
+        let (v, _) = run("core", &[("crates/core/src/x.rs", src)]);
+        let selfs: Vec<_> = v.iter().filter(|x| x.msg.contains("already held")).collect();
+        assert_eq!(selfs.len(), 1, "{v:?}");
+        assert_eq!(selfs[0].line, 8);
+    }
+
+    #[test]
+    fn read_path_must_not_reach_the_writer_even_transitively() {
+        let src = "struct LogCache {\n    writer: Mutex<W>,\n}\n\
+                   impl LogCache {\n    pub fn get(&self) {\n        self.helper();\n    }\n    \
+                   fn helper(&self) {\n        let w = self.writer.lock();\n    }\n    \
+                   pub fn set(&self) {\n        let w = self.writer.lock();\n    }\n}\n";
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", src)]);
+        let rp: Vec<_> = v.iter().filter(|x| x.msg.contains("read-path")).collect();
+        assert_eq!(rp.len(), 1, "{v:?}");
+        assert!(rp[0].msg.contains("`get`"));
+    }
+
+    #[test]
+    fn same_statement_guard_io_still_fires() {
+        // The old regex rule's case must keep working: guard and device
+        // call in one statement.
+        let src = "struct Fs {\n    inner: Mutex<Inner>,\n    dev: D,\n}\n\
+                   impl Fs {\n    fn write(&self) -> Result<(), E> {\n        \
+                   let t = self.inner.lock().alloc.dev.write(1)?;\n        Ok(())\n    }\n}\n";
+        let (v, _) = run("f2fs-lite", &[("crates/f2fs-lite/src/fs.rs", src)]);
+        assert!(v.iter().any(|x| x.rule == "lock-across-io"), "{v:?}");
+    }
+
+    #[test]
+    fn accessor_method_resolves_to_its_lock_field() {
+        // `self.dram_shard(h).lock()` — the accessor's return type maps
+        // back to the `dram` field, so order edges stay precise.
+        let src = "struct Cache {\n    dram: Vec<Mutex<D>>,\n    writer: Mutex<W>,\n}\n\
+                   impl Cache {\n    fn dram_shard(&self, h: u64) -> &Mutex<D> {\n        \
+                   &self.dram[0]\n    }\n    \
+                   fn demote(&self, h: u64) {\n        let w = self.writer.lock();\n        \
+                   let s = self.dram_shard(h).lock();\n    }\n}\n";
+        let (v, g) = run("core", &[("crates/core/src/engine.rs", src)]);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(
+            g.edges.contains_key(&("Cache.writer".into(), "Cache.dram".into())),
+            "{:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn match_scrutinee_guard_lives_through_the_arms() {
+        let src = format!(
+            "{STRUCTS}impl Engine {{\n    fn f(&self) {{\n        \
+             match self.meta.lock().state() {{\n            \
+             1 => self.backend.discard(1),\n            _ => 0,\n        }};\n    }}\n}}\n"
+        );
+        let (v, _) = run("core", &[("crates/core/src/engine.rs", &src)]);
+        assert!(v.iter().any(|x| x.rule == "lock-across-io"), "{v:?}");
+    }
+}

@@ -1,0 +1,520 @@
+//! The thin parse layer under every analysis: a Rust lexer plus
+//! brace-matched token trees.
+//!
+//! The build environment is fully offline, so `syn` is not available as a
+//! dependency; this module vendors the *minimal* subset the analyses
+//! need — a faithful lexer (strings, raw strings, char-vs-lifetime
+//! disambiguation, nested block comments) and delimiter-matched token
+//! trees with line numbers. Everything higher-level (items, functions,
+//! statements, lock fields) is built on top in [`super::model`].
+//!
+//! Fidelity matters more than coverage here: the one unforgivable lexer
+//! bug for a static analyzer is misclassifying a string or comment, which
+//! silently turns code into non-code (the failure mode of the old
+//! line/regex `cargo xtask lint` that this engine replaces). The lexer is
+//! therefore exact about literal forms, and the unit tests below pin the
+//! corner cases (`'a'` vs `'a`, `r#".."#`, `"//"`, nested `/* /* */ */`).
+
+use std::fmt;
+
+/// A lexical token. Multi-character operators are *not* joined — `::` is
+/// two `Punct(':')` leaves — so pattern matching works over single chars.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`fn`, `self`, `Ordering`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `?`, `=`, …).
+    Punct(char),
+    /// Any literal: string, raw string, byte string, char, number.
+    Lit,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// A token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A token tree: a leaf token or a delimiter-matched group.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    Leaf(Token),
+    Group(Group),
+}
+
+/// A `(…)`, `[…]` or `{…}` group with its span.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Opening delimiter: `(`, `[` or `{`.
+    pub delim: char,
+    pub open_line: u32,
+    pub close_line: u32,
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// The source line the tree starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+
+    /// The identifier text, if this is an ident leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(Token { tok: Tok::Ident(s), .. }) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The punct char, if this is a punct leaf.
+    pub fn punct(&self) -> Option<char> {
+        match self {
+            Tree::Leaf(Token { tok: Tok::Punct(c), .. }) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// A comment with the line it sits on (block comments: the line they
+/// start on). Doc comments are included — `// SAFETY:` and
+/// `// relaxed-ok:` annotations both arrive through this channel.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// A parsed source file: the token forest plus the comment side-channel.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    pub trees: Vec<Tree>,
+    pub comments: Vec<Comment>,
+}
+
+impl SourceFile {
+    /// Whether any comment on `line` (or a `lookback`-line window above
+    /// it) contains `needle`. This is the annotation-resolution rule every
+    /// analysis shares: same line, or an explanatory comment just above a
+    /// multi-line statement.
+    pub fn annotated(&self, line: u32, lookback: u32, needle: &str) -> bool {
+        let lo = line.saturating_sub(lookback);
+        self.comments
+            .iter()
+            .any(|c| c.line >= lo && c.line <= line && c.text.contains(needle))
+    }
+
+    /// Whether any comment in the whole file contains `needle` (file-level
+    /// waivers like `relaxed-ok(file):`).
+    pub fn file_annotated(&self, needle: &str) -> bool {
+        self.comments.iter().any(|c| c.text.contains(needle))
+    }
+}
+
+/// A parse failure (unbalanced delimiters, unterminated literal). The
+/// analyses treat this as a violation in its own right: a file the
+/// analyzer cannot parse is a file it cannot vouch for.
+#[derive(Debug)]
+pub struct ParseError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Lexes and tree-builds one source file.
+pub fn parse(text: &str) -> Result<SourceFile, ParseError> {
+    let tokens = lex(text)?;
+    let mut file = SourceFile {
+        trees: Vec::new(),
+        comments: tokens.comments,
+    };
+    // Delimiter matching over the flat token stream.
+    let mut stack: Vec<(char, u32, Vec<Tree>)> = Vec::new();
+    let mut current: Vec<Tree> = Vec::new();
+    for t in tokens.tokens {
+        match t.tok {
+            Tok::Punct(open @ ('(' | '[' | '{')) => {
+                stack.push((open, t.line, std::mem::take(&mut current)));
+            }
+            Tok::Punct(close @ (')' | ']' | '}')) => {
+                let Some((open, open_line, parent)) = stack.pop() else {
+                    return Err(ParseError {
+                        line: t.line,
+                        msg: format!("unmatched closing `{close}`"),
+                    });
+                };
+                let expect = match open {
+                    '(' => ')',
+                    '[' => ']',
+                    _ => '}',
+                };
+                if close != expect {
+                    return Err(ParseError {
+                        line: t.line,
+                        msg: format!("`{open}` at line {open_line} closed by `{close}`"),
+                    });
+                }
+                let children = std::mem::replace(&mut current, parent);
+                current.push(Tree::Group(Group {
+                    delim: open,
+                    open_line,
+                    close_line: t.line,
+                    children,
+                }));
+            }
+            _ => current.push(Tree::Leaf(t)),
+        }
+    }
+    if let Some((open, open_line, _)) = stack.pop() {
+        return Err(ParseError {
+            line: open_line,
+            msg: format!("unclosed `{open}`"),
+        });
+    }
+    file.trees = current;
+    Ok(file)
+}
+
+struct LexOutput {
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+fn lex(text: &str) -> Result<LexOutput, ParseError> {
+    let b = text.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: text[start..i].to_string(),
+                });
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                if depth != 0 {
+                    return Err(ParseError {
+                        line: start_line,
+                        msg: "unterminated block comment".into(),
+                    });
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    text: text[start..i].to_string(),
+                });
+            }
+            '"' => {
+                i = skip_string(b, i, &mut line).ok_or(ParseError {
+                    line,
+                    msg: "unterminated string literal".into(),
+                })?;
+                tokens.push(Token { tok: Tok::Lit, line });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_literal(b, i, &mut line).ok_or(ParseError {
+                    line: start_line,
+                    msg: "unterminated raw/byte literal".into(),
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Lit,
+                    line: start_line,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                if is_char_literal(b, i) {
+                    i = skip_char_literal(b, i).ok_or(ParseError {
+                        line,
+                        msg: "unterminated char literal".into(),
+                    })?;
+                    tokens.push(Token { tok: Tok::Lit, line });
+                } else {
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || (b[i] as char).is_alphanumeric()) {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (including 0x…, 1_000, 1.5e3, type suffixes).
+                // `1.max(2)` must not swallow `.max` — only consume a `.`
+                // if a digit follows.
+                while i < b.len() {
+                    let d = b[i] as char;
+                    let frac_dot =
+                        d == '.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit();
+                    if d.is_ascii_alphanumeric() || d == '_' || frac_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { tok: Tok::Lit, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || (b[i] as char).is_alphanumeric()) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    tok: Tok::Ident(text[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(LexOutput { tokens, comments })
+}
+
+/// Skips a `"…"` literal starting at `i`; returns the index past the
+/// closing quote.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> Option<usize> {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(i + 1),
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string, byte string,
+/// raw byte string, or byte char literal — as opposed to an identifier
+/// like `region` or `buf`.
+fn starts_raw_or_byte_literal(b: &[u8], i: usize) -> bool {
+    // Reject when preceded by an ident char (then `r`/`b` is mid-ident —
+    // the caller only reaches us at ident starts, but be safe).
+    if i > 0 && (b[i - 1] == b'_' || (b[i - 1] as char).is_alphanumeric()) {
+        return false;
+    }
+    let rest = &b[i..];
+    let forms: [&[u8]; 7] = [
+        b"r\"", b"r#", b"b\"", b"b'", b"br\"", b"br#", b"rb\"",
+    ];
+    forms.iter().any(|f| rest.starts_with(f))
+}
+
+fn skip_raw_or_byte_literal(b: &[u8], mut i: usize, line: &mut u32) -> Option<usize> {
+    // Consume the prefix letters.
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        // Byte char `b'x'`.
+        return skip_char_literal(b, i);
+    }
+    // Count `#`s for raw strings.
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None;
+    }
+    if hashes == 0 {
+        return skip_string(b, i, line);
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+        {
+            return Some(i + 1 + hashes);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether the `'` at `i` opens a char literal rather than a lifetime.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,                       // '\n', '\''
+        Some(&b'\'') => false, // '' is not valid; treat as lifetime-ish
+        Some(&c) => b.get(i + 2) == Some(&b'\'') || !(c == b'_' || (c as char).is_alphabetic()),
+        None => false,
+    }
+}
+
+fn skip_char_literal(b: &[u8], mut i: usize) -> Option<usize> {
+    i += 1; // opening quote
+    if i < b.len() && b[i] == b'\\' {
+        i += 2;
+    } else {
+        i += 1;
+    }
+    // Unicode escapes ('\u{1F4A9}') span further; scan to the quote.
+    while i < b.len() && b[i] != b'\'' {
+        i += 1;
+    }
+    if i < b.len() {
+        Some(i + 1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        fn walk(trees: &[Tree], out: &mut Vec<String>) {
+            for t in trees {
+                match t {
+                    Tree::Leaf(Token { tok: Tok::Ident(s), .. }) => out.push(s.clone()),
+                    Tree::Group(g) => walk(&g.children, out),
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&parse(src).unwrap().trees, &mut out);
+        out
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        // The classic regex-lint failure: tokens inside strings/comments.
+        let src = "let a = \"self.writer.lock()\"; // self.backend.read()\n";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a"]);
+        let f = parse(src).unwrap();
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("backend"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nlet esc = '\\'';\n";
+        let f = parse(src).unwrap();
+        let lifetimes = count_kind(&f.trees, |t| matches!(t, Tok::Lifetime));
+        assert_eq!(lifetimes, 2, "two uses of 'a");
+        // 'x' and '\'' are literals, not lifetimes.
+        let lits = count_kind(&f.trees, |t| matches!(t, Tok::Lit));
+        assert_eq!(lits, 2);
+    }
+
+    fn count_kind(trees: &[Tree], pred: fn(&Tok) -> bool) -> usize {
+        trees
+            .iter()
+            .map(|t| match t {
+                Tree::Leaf(tok) => usize::from(pred(&tok.tok)),
+                Tree::Group(g) => count_kind(&g.children, pred),
+            })
+            .sum()
+    }
+
+    #[test]
+    fn raw_strings_skip_embedded_quotes() {
+        let src = "let r = r#\"a \" b\"#; let b = b\"bytes\"; let done = 1;\n";
+        let ids = idents(src);
+        assert!(ids.contains(&"done".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}\n";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn groups_match_and_carry_lines() {
+        let src = "fn f() {\n    g(1, [2]);\n}\n";
+        let f = parse(src).unwrap();
+        // fn f () { … }
+        let Tree::Group(body) = &f.trees[3] else {
+            panic!("expected body group, got {:?}", f.trees[3]);
+        };
+        assert_eq!(body.delim, '{');
+        assert_eq!(body.open_line, 1);
+        assert_eq!(body.close_line, 3);
+    }
+
+    #[test]
+    fn unbalanced_input_is_an_error() {
+        assert!(parse("fn f() {").is_err());
+        assert!(parse("}").is_err());
+        assert!(parse("fn f(] {}").is_err());
+    }
+
+    #[test]
+    fn annotation_lookback_window() {
+        let src = "// relaxed-ok: statistic\nlet a = 1;\nlet b = 2;\n";
+        let f = parse(src).unwrap();
+        assert!(f.annotated(2, 4, "relaxed-ok:"));
+        assert!(f.annotated(1, 0, "relaxed-ok:"));
+        assert!(!f.annotated(7, 4, "relaxed-ok:"));
+    }
+
+    #[test]
+    fn numeric_literals_do_not_eat_method_calls() {
+        let ids = idents("let x = 1.max(2) + 0x1f + 1_000e3;\n");
+        assert!(ids.contains(&"max".to_string()), "{ids:?}");
+    }
+}

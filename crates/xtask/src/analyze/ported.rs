@@ -1,0 +1,226 @@
+//! Rules ported from the retired string-matching linter, reimplemented
+//! over the token model so there is exactly one engine:
+//!
+//! * **zns-state-authority** — inside `crates/zns/src/` (except
+//!   `state_machine.rs`), nothing assigns `.state` directly; all
+//!   transitions route through `state_machine::step` so the transition
+//!   table stays the single authority. Token-level now, so string
+//!   literals and comments can no longer false-positive.
+//! * **no-panic-paths** — the engine hot path (`crates/core/src/engine.rs`)
+//!   must not contain `.unwrap()`, `.expect(…)`, or panicking macros in
+//!   non-test code: a cache miss is an error value, never a crash.
+//! * **no-unwrap-in-recovery** — recovery, scrub, and cleaning code in
+//!   `crates/core/src/` and `crates/f2fs-lite/src/` must tolerate torn
+//!   state; panicking there turns a survivable crash into an unmountable
+//!   device.
+
+use super::model::{build, FnItem};
+use super::parse::{SourceFile, Tok, Token, Tree};
+use super::{push, Violation};
+
+const RECOVERY_FNS: &[&str] = &[
+    "recover",
+    "recover_or_scan",
+    "scan_rebuild",
+    "scan_region",
+    "scrub",
+    "scrub_region",
+    "retire_region",
+    "clean_one",
+    "clean_pass",
+];
+
+/// Idents that panic when invoked as `.ident(` (method position).
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Idents that panic when invoked as `ident!` (macro position).
+const PANIC_MACROS: &[&str] = &["unreachable", "panic", "todo", "unimplemented"];
+
+/// Runs all ported rules over one file.
+pub fn analyze(file: &str, sf: &SourceFile, out: &mut Vec<Violation>) {
+    if file.starts_with("crates/zns/src/") && !file.ends_with("state_machine.rs") {
+        state_authority(file, sf, out);
+    }
+    if file == "crates/core/src/engine.rs" {
+        panic_scan(file, sf, out, "no-panic-paths", &|_| true);
+    }
+    if file.starts_with("crates/core/src/") || file.starts_with("crates/f2fs-lite/src/") {
+        if file.ends_with("recovery.rs") {
+            panic_scan(file, sf, out, "no-unwrap-in-recovery", &|_| true);
+        } else {
+            panic_scan(file, sf, out, "no-unwrap-in-recovery", &|f| {
+                RECOVERY_FNS.contains(&f.name.as_str())
+            });
+        }
+    }
+}
+
+/// Flags `.state = …` assignments (but not `==` comparisons or `=>` arms).
+fn state_authority(file: &str, sf: &SourceFile, out: &mut Vec<Violation>) {
+    let mut leaves = Vec::new();
+    flatten(&sf.trees, &mut leaves);
+    for i in 0..leaves.len() {
+        if leaves[i].tok != Tok::Punct('.') {
+            continue;
+        }
+        let Some(Tok::Ident(id)) = leaves.get(i + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        if id != "state" {
+            continue;
+        }
+        let Some(next) = leaves.get(i + 2) else { continue };
+        if next.tok != Tok::Punct('=') {
+            continue;
+        }
+        if let Some(after) = leaves.get(i + 3) {
+            if after.tok == Tok::Punct('=') || after.tok == Tok::Punct('>') {
+                continue;
+            }
+        }
+        push(
+            out,
+            "zns-state-authority",
+            file,
+            next.line,
+            "direct `.state` assignment; route the transition through \
+             `state_machine::step` so the transition table stays authoritative"
+                .to_string(),
+        );
+    }
+}
+
+/// Scans non-test function bodies selected by `select` for panic sites.
+fn panic_scan(
+    file: &str,
+    sf: &SourceFile,
+    out: &mut Vec<Violation>,
+    rule: &'static str,
+    select: &dyn Fn(&FnItem<'_>) -> bool,
+) {
+    let m = build(sf);
+    let mut seen = Vec::new();
+    for f in &m.fns {
+        if f.is_test || !select(f) {
+            continue;
+        }
+        let Some(body) = f.body else { continue };
+        let mut leaves = Vec::new();
+        flatten(&body.children, &mut leaves);
+        for i in 0..leaves.len() {
+            let Tok::Ident(id) = &leaves[i].tok else { continue };
+            let line = leaves[i].line;
+            let hit = (PANIC_METHODS.contains(&id.as_str())
+                && i > 0
+                && leaves[i - 1].tok == Tok::Punct('.'))
+                || (PANIC_MACROS.contains(&id.as_str())
+                    && leaves.get(i + 1).is_some_and(|t| t.tok == Tok::Punct('!')));
+            // Nested fns appear in both their own and the outer walk;
+            // dedup by site.
+            if hit && !seen.contains(&(line, id.clone())) {
+                seen.push((line, id.clone()));
+                push(
+                    out,
+                    rule,
+                    file,
+                    line,
+                    format!(
+                        "`{id}` in `{}`: this path must degrade to an error value, \
+                         not a panic",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn flatten<'a>(trees: &'a [Tree], out: &mut Vec<&'a Token>) {
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => out.push(tok),
+            Tree::Group(g) => flatten(&g.children, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse::parse;
+
+    fn run(file: &str, src: &str) -> Vec<Violation> {
+        let sf = parse(src).unwrap();
+        let mut out = Vec::new();
+        analyze(file, &sf, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_state_assignment_in_zns_is_flagged() {
+        let src = "fn force(z: &mut Zone) {\n    z.state = ZoneState::Full;\n}\n";
+        let v = run("crates/zns/src/zone.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "zns-state-authority");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn comparisons_arms_and_string_mentions_do_not_trip_state_authority() {
+        let src = "fn check(z: &Zone) -> bool {\n    \
+                   let s = \"z.state = Full\";\n    \
+                   match z.kind {\n        Kind::A => true,\n        _ => z.state == ZoneState::Full,\n    }\n}\n";
+        let v = run("crates/zns/src/zone.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn state_machine_rs_is_the_authority_and_may_assign() {
+        let src = "fn step(z: &mut Zone) {\n    z.state = ZoneState::Open;\n}\n";
+        let v = run("crates/zns/src/state_machine.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_and_panic_macros_in_engine_are_flagged() {
+        let src = "impl Engine {\n    fn get(&self, k: u64) -> Option<u64> {\n        \
+                   let v = self.index.get(&k).unwrap();\n        \
+                   if v == 0 { panic!(\"zero\"); }\n        Some(v)\n    }\n}\n";
+        let v = run("crates/core/src/engine.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "no-panic-paths"));
+    }
+
+    #[test]
+    fn engine_test_module_may_unwrap() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   engine().get(1).unwrap();\n    }\n}\n";
+        let v = run("crates/core/src/engine.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn recovery_file_is_covered_entirely() {
+        let src = "fn helper(x: Option<u64>) -> u64 {\n    x.unwrap()\n}\n";
+        let v = run("crates/core/src/recovery.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unwrap-in-recovery");
+    }
+
+    #[test]
+    fn recovery_named_fns_are_covered_elsewhere_but_others_are_not() {
+        let src = "impl Maint {\n    fn clean_one(&mut self) {\n        \
+                   self.pick().expect(\"victim\");\n    }\n    \
+                   fn stats(&self) -> u64 {\n        self.n.checked_mul(2).unwrap()\n    }\n}\n";
+        let v = run("crates/core/src/maintainer.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("clean_one"), "{v:?}");
+    }
+
+    #[test]
+    fn identifier_named_state_without_field_access_is_ignored() {
+        let src = "fn f() {\n    let state = 3;\n    let _ = state;\n}\n";
+        let v = run("crates/zns/src/zone.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

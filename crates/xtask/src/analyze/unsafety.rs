@@ -1,0 +1,194 @@
+//! Unsafe inventory: every `unsafe` block, fn, impl, or trait in
+//! first-party non-test code must carry a `// SAFETY:` comment (same line
+//! or up to three lines above) and is recorded in ANALYSIS.md, so the
+//! workspace's entire unsafe surface is reviewable in one table and any
+//! growth shows up as a diff.
+
+use super::model::build;
+use super::parse::SourceFile;
+use super::{push, Violation};
+
+/// One unsafe site, for the ANALYSIS.md inventory.
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: u32,
+    /// `block`, `fn`, `impl`, or `trait`.
+    pub kind: &'static str,
+    /// `in <enclosing fn> — <SAFETY: text>`, as far as each is known.
+    pub context: Option<String>,
+}
+
+/// Runs the analysis over one file, returning its inventory rows.
+pub fn analyze(file: &str, sf: &SourceFile, out: &mut Vec<Violation>) -> Vec<UnsafeSite> {
+    // Integration-test and bench scaffolding is exempt, like test fns.
+    if !file.contains("/src/") && !file.starts_with("src/") {
+        return Vec::new();
+    }
+    let m = build(sf);
+    let mut sites = Vec::new();
+    for u in &m.unsafes {
+        if u.is_test {
+            continue;
+        }
+        let safety = safety_text(sf, u.line);
+        if safety.is_none() {
+            push(
+                out,
+                "unsafe-needs-safety-comment",
+                file,
+                u.line,
+                format!(
+                    "unsafe {} without a `// SAFETY:` comment (same line or up to 3 \
+                     lines above) stating the invariant that makes it sound",
+                    u.kind
+                ),
+            );
+        }
+        let context = match (&u.context, &safety) {
+            (Some(f), Some(s)) => Some(format!("in `{f}` — {s}")),
+            (Some(f), None) => Some(format!("in `{f}`")),
+            (None, Some(s)) => Some(s.clone()),
+            (None, None) => None,
+        };
+        sites.push(UnsafeSite {
+            file: file.to_string(),
+            line: u.line,
+            kind: u.kind,
+            context,
+        });
+    }
+    sites
+}
+
+/// The justification attached to an unsafe site: a `SAFETY:` tag or a doc
+/// `# Safety` section in the contiguous comment block ending on the
+/// `unsafe` keyword's line (or within 3 lines above it, so attributes
+/// between the comment and the item do not detach it). Long soundness
+/// arguments are a feature; the tag may sit at the top of the block.
+fn safety_text(sf: &SourceFile, line: u32) -> Option<String> {
+    let comment_lines: std::collections::BTreeSet<u32> =
+        sf.comments.iter().map(|c| c.line).collect();
+    // Nearest comment at or shortly above the site…
+    let anchor = (line.saturating_sub(3)..=line)
+        .rev()
+        .find(|l| comment_lines.contains(l))?;
+    // …extended upward while the block stays contiguous.
+    let mut lo = anchor;
+    while lo > 0 && comment_lines.contains(&(lo - 1)) {
+        lo -= 1;
+    }
+    sf.comments
+        .iter()
+        .filter(|c| c.line >= lo && c.line <= line)
+        .rev()
+        .find_map(|c| {
+            if let Some(idx) = c.text.find("SAFETY:") {
+                let text = c.text[idx + "SAFETY:".len()..].trim();
+                Some(if text.is_empty() {
+                    "(empty)".to_string()
+                } else {
+                    text.to_string()
+                })
+            } else if c.text.contains("# Safety") {
+                // Doc-convention unsafe fn: the caller contract is the
+                // justification; unsafe blocks inside still need SAFETY.
+                Some("doc `# Safety` contract".to_string())
+            } else {
+                None
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::parse::parse;
+
+    fn run(file: &str, src: &str) -> (Vec<Violation>, Vec<UnsafeSite>) {
+        let sf = parse(src).unwrap();
+        let mut out = Vec::new();
+        let sites = analyze(file, &sf, &mut out);
+        (out, sites)
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged_and_inventoried() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let (v, s) = run("crates/core/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unsafe-needs-safety-comment");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, "block");
+        assert_eq!(s[0].context.as_deref(), Some("in `f`"));
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule_and_fills_context() {
+        let src = "fn f(p: *const u8) -> u8 {\n    \
+                   // SAFETY: caller guarantees p is valid for reads.\n    \
+                   unsafe { *p }\n}\n";
+        let (v, s) = run("crates/core/src/lib.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(
+            s[0].context.as_deref(),
+            Some("in `f` — caller guarantees p is valid for reads.")
+        );
+    }
+
+    #[test]
+    fn unsafe_impl_is_covered_too() {
+        let src = "// SAFETY: Shard owns its map; no thread-affine state.\n\
+                   unsafe impl Send for Shard {}\n\
+                   unsafe impl Sync for Shard {}\n";
+        let (v, s) = run("crates/core/src/engine.rs", src);
+        // The second impl sits 2 lines below the comment — still in range.
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].kind, "impl");
+    }
+
+    #[test]
+    fn long_safety_block_counts_when_the_tag_leads_it() {
+        let src = "fn f(p: *const u8) -> u8 {\n    \
+                   // SAFETY: the full argument —\n    \
+                   // line two of the argument,\n    \
+                   // line three of the argument,\n    \
+                   // line four of the argument,\n    \
+                   // line five, still attached.\n    \
+                   unsafe { *p }\n}\n";
+        let (v, s) = run("crates/core/src/lib.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s[0].context.as_deref().unwrap().contains("full argument"));
+    }
+
+    #[test]
+    fn doc_safety_section_covers_an_unsafe_fn() {
+        let src = "/// Reads a byte.\n///\n/// # Safety\n///\n\
+                   /// `p` must be valid for reads.\n\
+                   unsafe fn read_at(p: *const u8) -> u8 {\n    \
+                   // SAFETY: contract forwarded verbatim.\n    \
+                   unsafe { *p }\n}\n";
+        let (v, s) = run("crates/core/src/lib.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn a_detached_comment_does_not_count() {
+        let src = "// SAFETY: stale note about other code.\n\
+                   fn g() {}\n\n\n\n\
+                   fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let (v, _) = run("crates/core/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   let x = unsafe { core::mem::zeroed::<u8>() };\n        \
+                   assert_eq!(x, 0);\n    }\n}\n";
+        let (v, s) = run("crates/core/src/lib.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(s.is_empty());
+    }
+}

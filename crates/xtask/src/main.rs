@@ -1,27 +1,30 @@
 //! Workspace task runner (`cargo xtask <task>`).
 //!
-//! The only task today is `lint`: the concurrency-discipline static pass
-//! described in DESIGN.md §9. It enforces rules the type system cannot
-//! express — memory-ordering justification, the zone state-machine
-//! authority, and the engine's no-I/O-under-lock discipline — with plain
-//! text analysis over the workspace tree. No dependencies and no compiler
-//! plumbing, so it runs in CI and pre-commit in milliseconds.
+//! The main task is `analyze`: the AST-based workspace analyzer described
+//! in DESIGN.md §9. It parses every first-party source file into token
+//! trees (no syn, no compiler plumbing — the parse layer is vendored in
+//! [`analyze::parse`]) and runs four structural analyses: the lock-order
+//! graph, I/O-ticket obligation checking, the atomic-ordering inventory,
+//! and the unsafe inventory, plus the rules ported from the old
+//! string-matching linter. `analyze --write` regenerates ANALYSIS.md;
+//! plain `analyze` fails if the checked-in inventory has drifted.
 //!
-//! The rules themselves live in [`lint`]; each is unit-tested against
-//! seeded violations so a rule that silently stops firing fails the test
-//! suite.
+//! `lint` is kept as an alias so existing scripts and muscle memory keep
+//! working.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-mod lint;
+mod analyze;
 
-const USAGE: &str = "usage: cargo xtask lint";
+const USAGE: &str = "usage: cargo xtask analyze [--write] | lint";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("analyze") | Some("lint") => {
+            run_analyze(args.iter().any(|a| a == "--write"))
+        }
         Some(other) => {
             eprintln!("xtask: unknown task `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -33,49 +36,55 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_lint() -> ExitCode {
-    let (violations, files) = lint_workspace();
-    for v in &violations {
+fn run_analyze(write: bool) -> ExitCode {
+    let root = workspace_root();
+    let files = analyze::load_workspace(&root);
+    let report = analyze::run(&files);
+    for v in &report.violations {
         eprintln!("{v}");
     }
-    if violations.is_empty() {
-        println!("xtask lint: OK ({files} files)");
+
+    let rendered = analyze::render_analysis_md(&report);
+    let md_path = root.join("ANALYSIS.md");
+    let mut drift = false;
+    if write {
+        if std::fs::write(&md_path, &rendered).is_err() {
+            eprintln!("xtask analyze: cannot write {}", md_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: wrote ANALYSIS.md");
+    } else {
+        let on_disk = std::fs::read_to_string(&md_path).unwrap_or_default();
+        if on_disk != rendered {
+            eprintln!(
+                "ANALYSIS.md is out of date; run `cargo xtask analyze --write` \
+                 and commit the result"
+            );
+            drift = true;
+        }
+    }
+
+    if report.violations.is_empty() && !drift {
+        println!(
+            "xtask analyze: OK ({} files, {} lock nodes, {} atomic sites, {} unsafe sites)",
+            files.len(),
+            report
+                .lock_graphs
+                .iter()
+                .map(|(_, g)| g.nodes.len())
+                .sum::<usize>(),
+            report.atomic_sites.len(),
+            report.unsafe_sites.len(),
+        );
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {} violation(s)", violations.len());
+        eprintln!(
+            "xtask analyze: {} violation(s){}",
+            report.violations.len(),
+            if drift { " + ANALYSIS.md drift" } else { "" }
+        );
         ExitCode::FAILURE
     }
-}
-
-/// Lints every workspace source file; returns the violations and the
-/// number of files checked.
-fn lint_workspace() -> (Vec<lint::Violation>, usize) {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    collect_rs_files(&root.join("crates"), &mut files);
-    files.sort();
-
-    let mut violations = Vec::new();
-    let mut checked = 0usize;
-    for path in &files {
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        // The linter's own sources hold seeded-violation test fixtures
-        // (raw `Ordering::Relaxed` strings and the like); linting them
-        // would flag the fixtures.
-        if rel.starts_with("crates/xtask/") {
-            continue;
-        }
-        let Ok(text) = std::fs::read_to_string(path) else {
-            continue;
-        };
-        checked += 1;
-        lint::check_file(&rel, &text, &mut violations);
-    }
-    (violations, checked)
 }
 
 /// The workspace root, two levels above this crate's manifest.
@@ -87,44 +96,56 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// The workspace itself must be lint-clean — this makes `cargo test`
-    /// enforce the same discipline CI does via `cargo xtask lint`.
+    /// The workspace itself must analyze clean — this makes `cargo test`
+    /// enforce the same discipline CI does via `cargo xtask analyze`.
     #[test]
-    fn workspace_sources_pass_the_lint() {
-        let (violations, files) = lint_workspace();
+    fn workspace_sources_analyze_clean() {
+        let root = workspace_root();
+        let files = analyze::load_workspace(&root);
         assert!(
-            files > 30,
-            "walker found only {files} files; workspace root misdetected?"
+            files.len() > 30,
+            "walker found only {} files; workspace root misdetected?",
+            files.len()
         );
+        let report = analyze::run(&files);
         assert!(
-            violations.is_empty(),
-            "workspace lint violations:\n{}",
-            violations
+            report.violations.is_empty(),
+            "workspace analyze violations:\n{}",
+            report
+                .violations
                 .iter()
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        );
+    }
+
+    /// The analyzer sees the workspace's real structure: the engine's
+    /// locks and the core atomic sites must all be present. Guards
+    /// against the analyses silently matching nothing.
+    #[test]
+    fn analyzer_sees_the_live_workspace_structure() {
+        let root = workspace_root();
+        let files = analyze::load_workspace(&root);
+        let report = analyze::run(&files);
+        let core = report
+            .lock_graphs
+            .iter()
+            .find(|(c, _)| c == "core")
+            .map(|(_, g)| g);
+        let core = core.expect("core crate must have a lock graph");
+        assert!(
+            core.nodes.keys().any(|n| n.contains("writer")),
+            "engine writer lock missing from the core lock graph: {:?}",
+            core.nodes.keys().collect::<Vec<_>>()
+        );
+        assert!(
+            !report.atomic_sites.is_empty(),
+            "atomic inventory is empty — the Ordering scan is broken"
         );
     }
 }

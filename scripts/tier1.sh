@@ -14,11 +14,15 @@ cargo build --release
 echo "== tier1: test suite =="
 cargo test -q
 
-echo "== tier1: clippy (warnings are errors) =="
+echo "== tier1: clippy (warnings are errors, pinned allow-list in Cargo.toml) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== tier1: concurrency lints (cargo xtask lint) =="
-cargo xtask lint
+echo "== tier1: workspace static analysis (cargo xtask analyze) =="
+# Lock-order graphs, I/O-ticket obligations, the atomic-ordering
+# inventory, and the unsafe inventory — plus a freshness check that the
+# checked-in ANALYSIS.md matches the sources (regenerate with
+# `cargo xtask analyze --write`).
+cargo xtask analyze
 
 echo "== tier1: loom model checks (exhaustive interleavings) =="
 # The vendored checker's own self-tests, then the engine protocol models.
