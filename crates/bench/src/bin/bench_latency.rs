@@ -1,0 +1,129 @@
+//! Open-loop latency sweep: throughput-vs-p99 knee curves per scheme.
+//!
+//! Each point starts a loopback TCP [`zns_cache_server::CacheServer`]
+//! over one scheme, warms the cache, then offers Poisson arrivals at a
+//! fixed rate and measures every request's wall latency from its
+//! *scheduled* arrival (open-loop: a slow server does not slow the
+//! arrival process — see the `openloop` module docs). Sweeping the rate
+//! per scheme writes `BENCH_latency.json`, the artifact EXPERIMENTS.md's
+//! knee-curve section explains how to read.
+//!
+//! ```text
+//! bench_latency                               # full sweep -> BENCH_latency.json
+//!                                             # (top rate sits past the knee)
+//! bench_latency --rates 2000,8000 --secs 1    # custom sweep, shorter window
+//! bench_latency --scheme Zone-Cache           # one scheme's curve
+//! bench_latency --gate 1                      # CI loopback gate: one fixed
+//!                                             # rate, p99 + accounting floors
+//! ```
+//!
+//! The gate mode is wall-clock sensitive by nature (a loaded CI host
+//! inflates tails), so its thresholds are deliberately loose — it exists
+//! to catch order-of-magnitude regressions and accounting bugs (lost
+//! replies, unshed overload), not percent-level drift.
+
+use zns_cache::backend::GcMode;
+use zns_cache::Scheme;
+use zns_cache_bench::{
+    build_scheme_on, latency_json, run_open_loop, DeviceProfile, Flags, OpenLoopConfig,
+};
+
+const DEVICE_ZONES: u32 = 8;
+
+fn scheme_cache_zones(scheme: Scheme) -> u32 {
+    match scheme {
+        Scheme::Zone => DEVICE_ZONES,
+        Scheme::File => DEVICE_ZONES - 3,
+        _ => DEVICE_ZONES - 2,
+    }
+}
+
+fn run_point(scheme: Scheme, cfg: &OpenLoopConfig) -> zns_cache_bench::OpenLoopReport {
+    let profile = DeviceProfile::sparse(DEVICE_ZONES);
+    let sc = build_scheme_on(profile, scheme, scheme_cache_zones(scheme), GcMode::Migrate);
+    let r = run_open_loop(&sc, cfg);
+    println!(
+        "{:<14} offered={:>7.0}/s achieved={:>7.0}/s served={} busy={} p50={:.0}us p99={:.0}us",
+        r.scheme,
+        r.offered_rate,
+        r.achieved_rate(),
+        r.served,
+        r.busy,
+        r.latency.percentile(50.0).as_nanos() as f64 / 1e3,
+        r.latency.percentile(99.0).as_nanos() as f64 / 1e3,
+    );
+    r
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let secs = flags.f64("secs", 1.5);
+
+    if flags.u64("gate", 0) != 0 {
+        // CI loopback gate: one scheme, one modest offered rate. Asserts
+        // (a) request accounting closes, (b) the server actually served
+        // the offered load (low shed at a rate far under capacity), and
+        // (c) p99 stays under a loose wall-clock ceiling — the bounded
+        // queues' whole point is that the tail cannot run away.
+        let rate = flags.f64("rate", 2_000.0);
+        let r = run_point(Scheme::Zone, &OpenLoopConfig::sweep_point(rate, secs));
+        assert_eq!(
+            r.served + r.busy + r.errors,
+            r.scheduled,
+            "lost replies: {} of {} unaccounted",
+            r.scheduled - r.served - r.busy - r.errors,
+            r.scheduled
+        );
+        assert_eq!(r.errors, 0, "typed errors during the gate run");
+        assert!(
+            r.shed_fraction() < 0.05,
+            "shed {:.1}% at {rate}/s — far under capacity, should be ~0",
+            r.shed_fraction() * 100.0
+        );
+        let p99 = r.latency.percentile(99.0);
+        assert!(
+            p99 < sim::Nanos::from_millis(250),
+            "loopback p99 ballooned to {}us at {rate}/s (ceiling: 250ms)",
+            p99.as_micros()
+        );
+        println!(
+            "latency gate OK: {:.0}/s offered, p99 {}us, shed {:.2}%",
+            rate,
+            p99.as_micros(),
+            r.shed_fraction() * 100.0
+        );
+        return;
+    }
+
+    let scheme_filter = flags.str("scheme", "");
+    let out = flags.str("out", "BENCH_latency.json");
+    let rates: Vec<f64> = flags
+        // The top rate sits past the loopback stack's capacity on the CI
+        // host (~30k/s) on purpose: the knee and the shed fraction past
+        // it are the artifact's whole story.
+        .str("rates", "1000,2000,4000,8000,16000,32000,64000")
+        .split(',')
+        .map(|s| s.trim().parse().expect("--rates takes comma-separated numbers"))
+        .collect();
+
+    let mut runs = Vec::new();
+    let mut template = OpenLoopConfig::sweep_point(0.0, secs);
+    for scheme in Scheme::ALL {
+        if !scheme_filter.is_empty() && scheme.label() != scheme_filter {
+            continue;
+        }
+        for &rate in &rates {
+            let cfg = OpenLoopConfig {
+                offered_rate: rate,
+                requests: (rate * secs).max(1.0) as u64,
+                ..template.clone()
+            };
+            runs.push(run_point(scheme, &cfg));
+            template = cfg;
+        }
+    }
+
+    let json = latency_json(&template, &runs);
+    std::fs::write(&out, &json).expect("write latency artifact");
+    println!("wrote {out}");
+}

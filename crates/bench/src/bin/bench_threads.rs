@@ -15,6 +15,11 @@
 //! * `fast_device` — near-instant media (the simulation analogue of the
 //!   paper's nullblk runs). Isolates the engine's own scalability: this
 //!   is the section the lock-striping acceptance criterion reads.
+//! * `flash_dram_pressured` — realistic NAND with the DRAM budget
+//!   squeezed to 8 MiB (`--pressured-dram-bytes`). The default 48 MiB
+//!   budget absorbs the whole working set in the DRAM tier, making every
+//!   scheme identical; this section is where per-scheme device behavior
+//!   (GC, cleaning, zone appends) shows up in the numbers.
 //!
 //! ```text
 //! bench_threads                        # full sweep -> BENCH_throughput.json
@@ -29,7 +34,8 @@
 //! `--stripe-dies` (1/2/4/8, default 8) and `--append-depth` (default 16)
 //! shape the zoned device: how many dies a zone stripes over and how many
 //! zone-append commands a region flush keeps in flight. Both are recorded
-//! in the artifact's `device` header.
+//! in the artifact's `device` header. `--dram-bytes <n>` caps the DRAM
+//! budget for the whole run (0 disables the DRAM tier).
 //!
 //! `--trace-out <file.jsonl>` enables the event tracer for the whole
 //! sweep and dumps the merged timeline (zone resets, cleaner passes,
@@ -57,16 +63,12 @@ fn scheme_cache_zones(scheme: Scheme) -> u32 {
     }
 }
 
-fn run_one(scheme: Scheme, cfg: &MtConfig, base_profile: DeviceProfile, fast: bool) -> MtReport {
-    let mut profile = base_profile;
-    if fast {
-        profile = profile.fast();
-    }
+fn run_one(scheme: Scheme, cfg: &MtConfig, profile: DeviceProfile, label: &str) -> MtReport {
     let sc = build_scheme_on(profile, scheme, scheme_cache_zones(scheme), GcMode::Migrate);
     let report = run_mt(&sc, cfg);
     println!(
-        "{:<11} {:<14} threads={} ops/s={:>10.0} hit={:.3} wa={:.2} p50={}us p99={}us stale={} inline_ev={} maint_ev={}",
-        if fast { "fast_device" } else { "flash" },
+        "{:<20} {:<14} threads={} ops/s={:>10.0} hit={:.3} wa={:.2} p50={}us p99={}us stale={} inline_ev={} maint_ev={}",
+        label,
         report.scheme,
         report.threads,
         report.ops_per_sec(),
@@ -87,9 +89,16 @@ fn main() {
     let floor = flags.u64("floor", 0) != 0;
     let out = flags.str("out", "BENCH_throughput.json");
     let trace_out = zns_cache_bench::start_trace(&flags);
-    let profile = DeviceProfile::sparse(DEVICE_ZONES)
+    let mut profile = DeviceProfile::sparse(DEVICE_ZONES)
         .with_stripe_dies(flags.u64("stripe-dies", 8) as u32)
         .with_append_depth(flags.u64("append-depth", 16) as usize);
+    // `--dram-bytes` caps the per-scheme DRAM budget (0 disables the
+    // DRAM tier). u64::MAX is the "not given" sentinel so 0 stays
+    // expressible.
+    let dram_bytes = flags.u64("dram-bytes", u64::MAX);
+    if dram_bytes != u64::MAX {
+        profile = profile.with_dram_budget(dram_bytes as usize);
+    }
 
     if floor {
         // CI perf floor: the async flush pipeline must hold flash
@@ -99,7 +108,7 @@ fn main() {
         // this is the end-to-end number the paper's Fig. 3 argument
         // hinges on.
         let threads = flags.u64("threads", 8) as usize;
-        let report = run_one(Scheme::Zone, &MtConfig::throughput(threads), profile, false);
+        let report = run_one(Scheme::Zone, &MtConfig::throughput(threads), profile, "flash");
         let ops = report.ops_per_sec();
         let p99 = report.get_latency.percentile(99.0);
         assert!(
@@ -125,8 +134,8 @@ fn main() {
         // Fast media keeps the gate seconds-scale.
         let threads = flags.u64("threads", 8) as usize;
         for scheme in Scheme::ALL {
-            let base = run_one(scheme, &MtConfig::smoke(1), profile, true);
-            let multi = run_one(scheme, &MtConfig::smoke(threads), profile, true);
+            let base = run_one(scheme, &MtConfig::smoke(1), profile.fast(), "fast_device");
+            let multi = run_one(scheme, &MtConfig::smoke(threads), profile.fast(), "fast_device");
             assert_eq!(multi.ops, MtConfig::smoke(threads).ops);
             assert!(multi.hits <= multi.gets);
             assert_eq!(
@@ -146,6 +155,20 @@ fn main() {
                 multi.ops_per_sec(),
                 base.ops_per_sec()
             );
+            // Wall-clock sanity: the barriered window (started at the
+            // post-setup barrier, stopped at last-worker-done) must not
+            // collapse as threads are added. On a single-core host
+            // wall-clock *scaling* is impossible, so this is a
+            // non-collapse floor, not a monotonicity requirement — it
+            // catches the class of bug where setup cost (histogram
+            // allocation, spawn overhead) leaks back into the timed
+            // window and grows with the thread count.
+            assert!(
+                multi.wall_ops_per_sec() >= 0.4 * base.wall_ops_per_sec(),
+                "{scheme}: wall ops/s collapsed with threads: {:.0} at 1T -> {:.0} at {threads}T",
+                base.wall_ops_per_sec(),
+                multi.wall_ops_per_sec()
+            );
         }
         zns_cache_bench::finish_trace(&trace_out);
         println!("smoke OK");
@@ -163,9 +186,22 @@ fn main() {
     template.zipf = flags.f64("zipf", template.zipf);
     template.get_ratio = flags.f64("get-ratio", template.get_ratio);
 
-    let mut flash_runs = Vec::new();
-    let mut fast_runs = Vec::new();
-    for fast in [false, true] {
+    // Three sections: realistic flash, near-instant media, and flash
+    // under a pressured DRAM budget. The default 48 MiB budget absorbs
+    // the whole 12k x 4 KiB working set in the DRAM tier, which made
+    // every scheme's row byte-identical (~97% DRAM hits; the device never
+    // spoke). The pressured section squeezes the budget to 8 MiB so most
+    // gets reach flash and the schemes separate.
+    let pressured = profile.with_dram_budget(
+        flags.u64("pressured-dram-bytes", 8 * 1024 * 1024) as usize,
+    );
+    let sections: [(&str, DeviceProfile); 3] = [
+        ("flash", profile),
+        ("fast_device", profile.fast()),
+        ("flash_dram_pressured", pressured),
+    ];
+    let mut section_runs: Vec<Vec<MtReport>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    for (si, (label, section_profile)) in sections.iter().enumerate() {
         for scheme in Scheme::ALL {
             if !scheme_filter.is_empty() && scheme.label() != scheme_filter {
                 continue;
@@ -175,12 +211,7 @@ fn main() {
                     threads,
                     ..template.clone()
                 };
-                let report = run_one(scheme, &cfg, profile, fast);
-                if fast {
-                    fast_runs.push(report);
-                } else {
-                    flash_runs.push(report);
-                }
+                section_runs[si].push(run_one(scheme, &cfg, *section_profile, label));
             }
         }
     }
@@ -188,7 +219,11 @@ fn main() {
     let json = throughput_json(
         &template,
         &profile,
-        &[("flash", &flash_runs[..]), ("fast_device", &fast_runs[..])],
+        &[
+            ("flash", &section_runs[0][..]),
+            ("fast_device", &section_runs[1][..]),
+            ("flash_dram_pressured", &section_runs[2][..]),
+        ],
     );
     std::fs::write(&out, &json).expect("write throughput artifact");
     println!("wrote {out}");

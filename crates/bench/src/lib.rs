@@ -18,6 +18,7 @@
 
 pub mod args;
 pub mod mt;
+pub mod openloop;
 pub mod profile;
 pub mod report;
 pub mod runner;
@@ -54,6 +55,7 @@ pub fn finish_trace(path: &str) {
     println!("wrote {n} trace events to {path} ({dropped} dropped to ring wraparound)");
 }
 pub use mt::{run_mt, throughput_json, MtConfig, MtReport};
+pub use openloop::{latency_json, run_open_loop, OpenLoopConfig, OpenLoopReport};
 pub use profile::{DeviceProfile, ZONE_MIB};
 pub use report::Table;
 pub use runner::{run_cachebench, MicroReport};

@@ -1,0 +1,383 @@
+//! Open-loop latency driver over the cache server.
+//!
+//! The closed-loop drivers ([`crate::mt`], [`crate::runner`]) never let
+//! more requests exist than worker threads, so their latency numbers
+//! hide the thing production tails are made of: *queueing*. This driver
+//! measures it the standard way — a Poisson arrival process at a
+//! configurable **offered rate**, independent of how fast the server is
+//! answering, with each request's latency measured from its *scheduled
+//! arrival time*. A server that stalls does not pause the arrival
+//! process, so the stall's cost lands on every queued request
+//! (coordinated omission handled by construction).
+//!
+//! Sweeping the offered rate traces the throughput-vs-p99 curve whose
+//! knee is the server's usable capacity; past the knee, the bounded
+//! shard queues shed with typed BUSY replies instead of letting p99 run
+//! away — the shed fraction is reported alongside the tail.
+//!
+//! What the clock measures: **wall time through the real server stack**
+//! (frame codec, connection reader, shard queue, engine compute,
+//! reply write). The engine's *simulated* device time still shapes
+//! behavior (it drives eviction, GC, and flush scheduling) but does not
+//! consume wall time — the closed-loop artifacts carry the device-time
+//! story; this artifact carries the server's queueing story.
+
+use std::time::{Duration, Instant};
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sim::LatencyHistogram;
+use workload::Zipf;
+use zns_cache::SchemeCache;
+use zns_cache_server::wire::{Reply, Request};
+use zns_cache_server::{BindAddr, CacheServer, Client, ServerConfig};
+
+/// One open-loop measurement point.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Offered arrival rate, requests per wall-clock second.
+    pub offered_rate: f64,
+    /// Scheduled requests at this point (sets the measurement window:
+    /// `requests / offered_rate` seconds).
+    pub requests: u64,
+    /// Closed-loop warmup sets issued directly against the engine before
+    /// the server starts (fills the cache to steady state).
+    pub warmup_sets: u64,
+    /// Distinct keys.
+    pub keys: u64,
+    /// Zipfian skew.
+    pub zipf: f64,
+    /// Value size in bytes.
+    pub value_len: usize,
+    /// Fraction of requests that are GETs; the rest are SETs.
+    pub get_ratio: f64,
+    /// RNG seed (schedule and key sequence).
+    pub seed: u64,
+    /// Server shard loops.
+    pub shards: usize,
+    /// Bounded depth of each shard queue.
+    pub queue_capacity: usize,
+}
+
+impl OpenLoopConfig {
+    /// The standard sweep workload at `offered_rate` for roughly
+    /// `secs` seconds.
+    pub fn sweep_point(offered_rate: f64, secs: f64) -> Self {
+        OpenLoopConfig {
+            offered_rate,
+            requests: (offered_rate * secs).max(1.0) as u64,
+            warmup_sets: 6_000,
+            keys: 12_000,
+            zipf: 0.9,
+            value_len: 4096,
+            get_ratio: 0.9,
+            seed: 11,
+            shards: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Merged result of one open-loop point.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Scheme label.
+    pub scheme: String,
+    /// Offered rate (requests per second).
+    pub offered_rate: f64,
+    /// Requests scheduled (== sent).
+    pub scheduled: u64,
+    /// Requests served (any non-BUSY, non-error reply).
+    pub served: u64,
+    /// Requests shed with a typed BUSY.
+    pub busy: u64,
+    /// Typed error replies.
+    pub errors: u64,
+    /// GETs answered with a value.
+    pub hits: u64,
+    /// Wall time from the first scheduled arrival to the last reply.
+    pub wall: Duration,
+    /// Latency of *served* requests, measured from scheduled arrival to
+    /// reply receipt (wall nanoseconds).
+    pub latency: LatencyHistogram,
+}
+
+impl OpenLoopReport {
+    /// Served requests per wall second — the achieved (goodput) side of
+    /// the knee curve.
+    pub fn achieved_rate(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.served as f64 / secs
+        }
+    }
+
+    /// Fraction of scheduled requests shed with BUSY.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.scheduled == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.scheduled as f64
+        }
+    }
+}
+
+fn key_bytes(id: u64) -> [u8; 12] {
+    let mut k = *b"obj-00000000";
+    let mut v = id;
+    for slot in (4..12).rev() {
+        k[slot] = b'0' + (v % 10) as u8;
+        v /= 10;
+    }
+    k
+}
+
+/// Runs one open-loop point against `sc` through a loopback TCP server.
+///
+/// # Panics
+///
+/// Panics on warmup cache errors, server bind/connect failures, or a
+/// reply stream that ends before every scheduled request is answered —
+/// an open-loop point with missing replies is not a measurement.
+pub fn run_open_loop(sc: &SchemeCache, cfg: &OpenLoopConfig) -> OpenLoopReport {
+    // Closed-loop warm directly on the engine: steady state before the
+    // first scheduled arrival.
+    let zipf = Zipf::new(cfg.keys.max(1), cfg.zipf);
+    let value = vec![0xC3u8; cfg.value_len];
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut t = sim::Nanos::ZERO;
+    for _ in 0..cfg.warmup_sets {
+        let key = key_bytes(zipf.sample(&mut rng));
+        t = sc.cache.set(&key, &value, t).expect("warmup set");
+    }
+    sc.cache.drain_flushes(t);
+
+    // The arrival schedule: exponential inter-arrival gaps (Poisson
+    // process) at the offered rate, plus each request's key and kind.
+    // Generated up front so the sender's inner loop is pacing + I/O only.
+    let mut sched_rng = StdRng::seed_from_u64(cfg.seed ^ 0x09E4_100F);
+    let rate_per_ns = cfg.offered_rate / 1e9;
+    let mut arrival_ns = 0.0f64;
+    let schedule: Vec<(u64, u64, bool)> = (0..cfg.requests)
+        .map(|_| {
+            let u: f64 = sched_rng.gen::<f64>();
+            // Inverse-CDF exponential gap; clamp u away from 1.0 so the
+            // log argument stays positive.
+            arrival_ns += -(1.0 - u).max(1e-12).ln() / rate_per_ns;
+            (
+                arrival_ns as u64,
+                zipf.sample(&mut sched_rng),
+                sched_rng.gen_bool(cfg.get_ratio),
+            )
+        })
+        .collect();
+
+    let server = CacheServer::start(
+        std::sync::Arc::clone(&sc.cache),
+        ServerConfig {
+            shards: cfg.shards,
+            queue_capacity: cfg.queue_capacity,
+            ..ServerConfig::default()
+        },
+        BindAddr::Tcp("127.0.0.1:0".into()),
+    )
+    .expect("bind loopback server");
+    let client = Client::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("connect");
+    let (mut tx, mut rx) = client.try_split().expect("split client");
+
+    let start = Instant::now();
+    let schedule_ref = &schedule;
+    let value_ref = &value;
+    let latency = LatencyHistogram::new();
+    let (mut served, mut busy, mut errors, mut hits) = (0u64, 0u64, 0u64, 0u64);
+    std::thread::scope(|s| {
+        // Sender: pace the schedule. Oversleep never fakes good latency —
+        // each request's latency is charged from its *scheduled* arrival,
+        // so a late send surfaces as added latency, exactly as a stalled
+        // load generator would in a real open-loop harness.
+        s.spawn(move || {
+            for (i, &(at_ns, key_id, is_get)) in schedule_ref.iter().enumerate() {
+                let due = Duration::from_nanos(at_ns);
+                // Coarse sleep to well short of the deadline, then a
+                // yield loop for the remainder: plain `sleep(due - now)`
+                // oversleeps by the host timer quantum (measured ~1-2 ms
+                // here), which at low offered rates dominated every
+                // request's open-loop latency. The margin is deliberately
+                // wider than the quantum; sub-margin gaps pace purely by
+                // yielding. Yielding (not spinning) keeps the core
+                // available to the server threads on a single-core host.
+                const SLEEP_MARGIN: Duration = Duration::from_millis(5);
+                let now = start.elapsed();
+                if due > now + SLEEP_MARGIN {
+                    std::thread::sleep(due - now - SLEEP_MARGIN);
+                }
+                while start.elapsed() < due {
+                    std::thread::yield_now();
+                }
+                let id = i as u64;
+                let key = key_bytes(key_id).to_vec();
+                let req = if is_get {
+                    Request::Get { id, key }
+                } else {
+                    Request::Set { id, key, value: value_ref.clone() }
+                };
+                if tx.send(&req).is_err() {
+                    return; // server gone; the receiver will notice
+                }
+            }
+        });
+        // Receiver: every request gets exactly one reply; latency from
+        // scheduled arrival to receipt.
+        for _ in 0..schedule_ref.len() {
+            let reply = rx.recv().expect("reply stream ended early");
+            let now_ns = start.elapsed().as_nanos() as u64;
+            let id = reply.id() as usize;
+            let at_ns = schedule_ref[id].0;
+            match reply {
+                Reply::Busy { .. } => busy += 1,
+                Reply::Error { .. } => errors += 1,
+                other => {
+                    if matches!(other, Reply::Value { .. }) {
+                        hits += 1;
+                    }
+                    served += 1;
+                    latency.record(sim::Nanos::from_nanos(now_ns.saturating_sub(at_ns)));
+                }
+            }
+        }
+    });
+    let wall = start.elapsed();
+    drop(server);
+
+    OpenLoopReport {
+        scheme: sc.scheme.label().to_string(),
+        offered_rate: cfg.offered_rate,
+        scheduled: cfg.requests,
+        served,
+        busy,
+        errors,
+        hits,
+        wall,
+        latency,
+    }
+}
+
+/// Renders a rate sweep as the `BENCH_latency.json` artifact
+/// (hand-written JSON, like [`crate::throughput_json`]).
+///
+/// `runs` holds one entry per (scheme, offered-rate) point, in sweep
+/// order; points of one scheme are grouped into its knee curve.
+pub fn latency_json(cfg: &OpenLoopConfig, runs: &[OpenLoopReport]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"zipf\": {}, \"value_len\": {}, \"get_ratio\": {}, \"keys\": {}, \"arrivals\": \"poisson\"}},\n",
+        cfg.zipf, cfg.value_len, cfg.get_ratio, cfg.keys
+    ));
+    out.push_str(&format!(
+        "  \"server\": {{\"shards\": {}, \"queue_capacity\": {}}},\n",
+        cfg.shards, cfg.queue_capacity
+    ));
+    out.push_str("  \"schemes\": {\n");
+    let mut schemes: Vec<&str> = Vec::new();
+    for r in runs {
+        if !schemes.contains(&r.scheme.as_str()) {
+            schemes.push(&r.scheme);
+        }
+    }
+    for (si, scheme) in schemes.iter().enumerate() {
+        let of_scheme: Vec<&OpenLoopReport> = runs.iter().filter(|r| r.scheme == *scheme).collect();
+        out.push_str(&format!("    \"{scheme}\": [\n"));
+        for (ri, r) in of_scheme.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"offered_per_sec\": {:.0}, \"achieved_per_sec\": {:.1}, \"served\": {}, \"busy\": {}, \"errors\": {}, \"shed_fraction\": {:.4}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+                r.offered_rate,
+                r.achieved_rate(),
+                r.served,
+                r.busy,
+                r.errors,
+                r.shed_fraction(),
+                r.latency.percentile(50.0).as_nanos() as f64 / 1e3,
+                r.latency.percentile(95.0).as_nanos() as f64 / 1e3,
+                r.latency.percentile(99.0).as_nanos() as f64 / 1e3,
+                if ri + 1 == of_scheme.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]{}\n",
+            if si + 1 == schemes.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::build_scheme;
+    use nand::StoreKind;
+    use zns_cache::backend::GcMode;
+    use zns_cache::Scheme;
+
+    fn tiny_point(rate: f64) -> OpenLoopConfig {
+        OpenLoopConfig {
+            offered_rate: rate,
+            requests: 300,
+            warmup_sets: 300,
+            keys: 500,
+            zipf: 0.9,
+            value_len: 512,
+            get_ratio: 0.9,
+            seed: 11,
+            shards: 2,
+            queue_capacity: 32,
+        }
+    }
+
+    #[test]
+    fn open_loop_point_accounts_for_every_request() {
+        let sc = build_scheme(Scheme::Region, 8, 6, StoreKind::Sparse, GcMode::Migrate);
+        let r = run_open_loop(&sc, &tiny_point(2_000.0));
+        assert_eq!(r.scheduled, 300);
+        assert_eq!(r.served + r.busy + r.errors, r.scheduled);
+        assert_eq!(r.errors, 0, "typed errors in a healthy run");
+        assert_eq!(r.latency.count(), r.served);
+        assert!(r.served > 0 && r.achieved_rate() > 0.0);
+        assert!(r.hits > 0, "a warmed cache must serve hits");
+    }
+
+    #[test]
+    fn latency_json_shape() {
+        let sc = build_scheme(Scheme::Zone, 8, 8, StoreKind::Sparse, GcMode::Migrate);
+        let cfg = tiny_point(2_000.0);
+        let r = run_open_loop(&sc, &cfg);
+        let json = latency_json(&cfg, std::slice::from_ref(&r));
+        assert!(json.contains("\"Zone-Cache\""));
+        assert!(json.contains("\"offered_per_sec\""));
+        assert!(json.contains("\"poisson\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn schedule_is_open_loop_not_closed_loop() {
+        // At an offered rate far beyond a tiny queue's capacity the
+        // driver must keep sending (and the server must shed) rather than
+        // throttle to the service rate: scheduled == served + busy with
+        // busy > 0 is the open-loop signature.
+        let sc = build_scheme(Scheme::Region, 8, 6, StoreKind::Sparse, GcMode::Migrate);
+        let mut cfg = tiny_point(200_000.0);
+        cfg.shards = 1;
+        cfg.queue_capacity = 2;
+        cfg.requests = 2_000;
+        let r = run_open_loop(&sc, &cfg);
+        assert_eq!(r.served + r.busy, r.scheduled);
+        assert!(
+            r.busy > 0,
+            "2-deep queue at 200k/s offered must shed (served {}, busy {})",
+            r.served,
+            r.busy
+        );
+    }
+}

@@ -45,6 +45,13 @@ pub struct DeviceProfile {
     pub stripe_dies: u32,
     /// Zone-append commands kept in flight during a region flush.
     pub append_depth: usize,
+    /// Overrides the per-scheme DRAM budget ([`DRAM_BUDGET`] when
+    /// `None`). The default 48 MiB budget swallows the standard 12k-key ×
+    /// 4 KiB working set whole, which makes every scheme serve ~97% of
+    /// gets from DRAM and report byte-identical throughput — a pressured
+    /// budget (see [`DeviceProfile::with_dram_budget`]) is what forces
+    /// traffic to the device where the schemes actually differ.
+    pub dram_budget: Option<usize>,
 }
 
 impl DeviceProfile {
@@ -56,6 +63,7 @@ impl DeviceProfile {
             timing: NandTiming::default(),
             stripe_dies: 8,
             append_depth: zns_cache::backend::DEFAULT_APPEND_DEPTH,
+            dram_budget: None,
         }
     }
 
@@ -67,6 +75,7 @@ impl DeviceProfile {
             timing: NandTiming::default(),
             stripe_dies: 8,
             append_depth: zns_cache::backend::DEFAULT_APPEND_DEPTH,
+            dram_budget: None,
         }
     }
 
@@ -99,6 +108,16 @@ impl DeviceProfile {
     pub fn with_append_depth(mut self, depth: usize) -> Self {
         assert!(depth >= 1, "append depth must be at least 1");
         self.append_depth = depth;
+        self
+    }
+
+    /// Caps the per-scheme DRAM budget at `bytes` (region buffers are
+    /// still paid out of it first; what remains — possibly nothing — is
+    /// the hot-object pool). Use this to pressure the DRAM tier so the
+    /// working set spills to the device and per-scheme differences become
+    /// visible; 0 disables the DRAM tier outright.
+    pub fn with_dram_budget(mut self, bytes: usize) -> Self {
+        self.dram_budget = Some(bytes);
         self
     }
 
@@ -232,6 +251,13 @@ pub const DRAM_BUDGET: usize = 48 * 1024 * 1024;
 pub fn experiment_cache_config(region_size: usize) -> CacheConfig {
     let buffers = 2 * region_size;
     let dram_bytes = DRAM_BUDGET.saturating_sub(buffers).max(1024 * 1024);
+    experiment_cache_config_with_dram(region_size, dram_bytes)
+}
+
+/// [`experiment_cache_config`] with an explicit DRAM *pool* size (bytes
+/// actually given to the hot-object tier, after any buffer accounting
+/// the caller chooses to do). 0 disables the DRAM tier.
+pub fn experiment_cache_config_with_dram(_region_size: usize, dram_bytes: usize) -> CacheConfig {
     CacheConfig {
         eviction: EvictionPolicy::Lru,
         admission: Admission::Always,

@@ -8,7 +8,10 @@ use sim::Nanos;
 use zns_cache::backend::GcMode;
 use zns_cache::{Scheme, SchemeCache};
 
-use crate::profile::{experiment_cache_config, middle_config, DeviceProfile, REGION_BYTES, ZONE_MIB};
+use crate::profile::{
+    experiment_cache_config, experiment_cache_config_with_dram, middle_config, DeviceProfile,
+    REGION_BYTES, ZONE_MIB,
+};
 
 /// Builds one scheme on a `device_zones`-zone budget with `cache_zones`
 /// zone-equivalents of cache (Zone-Cache conventionally gets
@@ -54,7 +57,16 @@ pub fn build_scheme_on(
         Scheme::Zone => zone_bytes as usize,
         _ => REGION_BYTES,
     };
-    let mut config = experiment_cache_config(region_size);
+    let mut config = match profile.dram_budget {
+        // An explicit (pressured) budget still pays the scheme's two
+        // region buffers first but takes no 1 MiB pool floor: squeezing
+        // the pool to nothing is exactly what the override is for.
+        Some(budget) => experiment_cache_config_with_dram(
+            region_size,
+            budget.saturating_sub(2 * region_size),
+        ),
+        None => experiment_cache_config(region_size),
+    };
     config.verify_keys = store == StoreKind::Ram;
     match scheme {
         Scheme::Zone => {

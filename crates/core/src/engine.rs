@@ -241,6 +241,18 @@ struct RegionMeta {
     /// Monotone seal order, preserved by recovery so FIFO eviction order
     /// survives a restart.
     seal_seq: u64,
+    /// Completion cell of the seal that produced this region's image,
+    /// set at seal time. The pipeline ticket holding the same cell can
+    /// be popped as overflow and resolved by *another* thread, making
+    /// the in-flight flush invisible to `w.in_flight` scans — so an
+    /// evictor must consult this handle too, wait it out, and recheck
+    /// the state: a failed flush's lock-free cleanup quarantines the
+    /// slot before completing the cell, and discarding or reusing the
+    /// slot before that cleanup finishes would let the quarantine
+    /// clobber the slot's next life (seen as an Active region turning
+    /// Quarantined mid-write under fault torture). Stale completed
+    /// cells are harmless: waiting on one returns immediately.
+    flush_cell: Option<Arc<InflightCell>>,
 }
 
 /// One region slot: a small mutex for structural metadata plus lock-free
@@ -270,6 +282,7 @@ impl RegionSlot {
                 state: RegionState::Free,
                 entries: Vec::new(),
                 seal_seq: 0,
+                flush_cell: None,
             }),
             generation: Generation::new(),
             last_access: AtomicU64::new(0),
@@ -887,6 +900,20 @@ impl LogCache {
                     now = now.max(ticket.cell.wait_done());
                 }
             }
+            // The ticket may already have been popped as pipeline
+            // overflow and be mid-resolve on another thread, so the scan
+            // above can miss a still-unresolved flush. The slot's own
+            // cell covers that window; after the wait, recheck the state:
+            // a *failed* flush's lock-free cleanup quarantines the slot
+            // (completing the cell only afterwards), and that victim must
+            // be skipped, not discarded and reused.
+            let flush_cell = self.slots[victim as usize].meta.lock().flush_cell.clone();
+            if let Some(cell) = flush_cell {
+                now = now.max(cell.wait_done());
+            }
+            if self.slots[victim as usize].meta.lock().state != RegionState::Sealed {
+                continue;
+            }
             self.drop_sealing(victim);
             let slot = &self.slots[victim as usize];
             // Invalidate *before* the index cleanup: an unlocked read that
@@ -1258,12 +1285,17 @@ impl LogCache {
         }
         let slot = &self.slots[buf.region.0 as usize];
         let live = entries.len() as u32;
+        let cell = Arc::new(InflightCell::new());
         {
             let mut meta = slot.meta.lock();
             debug_assert_eq!(meta.state, RegionState::Active);
             meta.state = RegionState::Sealed;
             meta.entries = entries;
             meta.seal_seq = w.next_seal_seq;
+            // Evictors wait on this before touching the slot, so a
+            // failed flush's cleanup can never race a reuse (see the
+            // field's doc).
+            meta.flush_cell = Some(Arc::clone(&cell));
         }
         w.next_seal_seq += 1;
         slot.live_objects.store(live, Ordering::Relaxed); // relaxed-ok: statistic
@@ -1271,7 +1303,6 @@ impl LogCache {
         slot.last_access
             .store(self.access_seq.load(Ordering::Relaxed), Ordering::Relaxed);
         w.fifo.push_back(buf.region.0);
-        let cell = Arc::new(InflightCell::new());
         w.in_flight.push_back(FlushTicket {
             region: buf.region.0,
             cell: Arc::clone(&cell),

@@ -1,0 +1,203 @@
+//! A small synchronous client: one-shot RPC calls plus raw pipelined
+//! send/receive for the open-loop bench driver.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::conn::Stream;
+use crate::wire::{
+    decode_reply, encode_request, read_frame, write_frame, Reply, Request, WireError,
+};
+
+/// A connected client over either transport.
+///
+/// The simple [`Client::get`]/[`Client::set`]/[`Client::del`] calls are
+/// strict request-reply. For pipelining, use [`Client::send`] /
+/// [`Client::recv`] directly (ids correlate replies), or
+/// [`Client::try_split`] to drive the two halves from separate threads —
+/// that is what the open-loop bench does, so send pacing never waits on
+/// reply draining.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: BufWriter<Stream>,
+    next_id: u64,
+    scratch: Vec<u8>,
+}
+
+/// The send half of a split [`Client`].
+pub struct ClientSender {
+    writer: BufWriter<Stream>,
+    scratch: Vec<u8>,
+}
+
+/// The receive half of a split [`Client`].
+pub struct ClientReceiver {
+    reader: BufReader<Stream>,
+}
+
+fn decode_io(payload: Result<Option<Vec<u8>>, io::Error>) -> io::Result<Reply> {
+    let payload = payload?.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+    })?;
+    decode_reply(&payload)
+        .map_err(|e: WireError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+impl Client {
+    /// Connects over TCP.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect_tcp(addr: SocketAddr) -> io::Result<Client> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?;
+        let r = Stream::Tcp(s.try_clone()?);
+        Ok(Client::new(r, Stream::Tcp(s)))
+    }
+
+    /// Connects over a Unix-domain socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/clone failures.
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        let s = UnixStream::connect(path)?;
+        let r = Stream::Unix(s.try_clone()?);
+        Ok(Client::new(r, Stream::Unix(s)))
+    }
+
+    fn new(reader: Stream, writer: Stream) -> Client {
+        Client {
+            reader: BufReader::new(reader),
+            writer: BufWriter::new(writer),
+            next_id: 1,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request without waiting for its reply (pipelining).
+    /// Flushes, so the request is on the wire when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        encode_request(req, &mut self.scratch);
+        write_frame(&mut self.writer, &self.scratch)?;
+        self.writer.flush()
+    }
+
+    /// Receives the next reply frame, in whatever order the shards
+    /// finished (match by [`Reply::id`]).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closed; `InvalidData` on an
+    /// undecodable reply; any transport error.
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        decode_io(read_frame(&mut self.reader))
+    }
+
+    fn rpc(&mut self, req: Request) -> io::Result<Reply> {
+        self.send(&req)?;
+        self.recv()
+    }
+
+    /// Looks up `key`. `Ok(Some(value))` on a hit, `Ok(None)` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` on a BUSY shed; `Other` on a typed server error; any
+    /// transport error.
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let id = self.fresh_id();
+        match self.rpc(Request::Get { id, key: key.to_vec() })? {
+            Reply::Value { value, .. } => Ok(Some(value)),
+            Reply::NotFound { .. } => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Inserts `key` → `value`.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` on a BUSY shed; `Other` on a typed server error; any
+    /// transport error.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        let id = self.fresh_id();
+        match self.rpc(Request::Set { id, key: key.to_vec(), value: value.to_vec() })? {
+            Reply::Stored { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Removes `key`; returns whether it existed.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` on a BUSY shed; `Other` on a typed server error; any
+    /// transport error.
+    pub fn del(&mut self, key: &[u8]) -> io::Result<bool> {
+        let id = self.fresh_id();
+        match self.rpc(Request::Del { id, key: key.to_vec() })? {
+            Reply::Deleted { existed, .. } => Ok(existed),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Splits into independent send/receive halves (separate stream
+    /// clones), for pipelining across threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `try_clone` failure.
+    pub fn try_split(self) -> io::Result<(ClientSender, ClientReceiver)> {
+        Ok((
+            ClientSender { writer: self.writer, scratch: self.scratch },
+            ClientReceiver { reader: self.reader },
+        ))
+    }
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    match reply {
+        Reply::Busy { .. } => {
+            io::Error::new(io::ErrorKind::WouldBlock, "server shed the request (BUSY)")
+        }
+        other => io::Error::other(format!("unexpected reply {other:?}")),
+    }
+}
+
+impl ClientSender {
+    /// Sends one request frame and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        encode_request(req, &mut self.scratch);
+        write_frame(&mut self.writer, &self.scratch)?;
+        self.writer.flush()
+    }
+}
+
+impl ClientReceiver {
+    /// Receives the next reply frame.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::recv`].
+    pub fn recv(&mut self) -> io::Result<Reply> {
+        decode_io(read_frame(&mut self.reader))
+    }
+}

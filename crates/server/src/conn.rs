@@ -1,0 +1,100 @@
+//! Connection transport: one abstraction over TCP and Unix-socket
+//! streams, plus the shared reply writer each connection hands to the
+//! shards.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stats::ServerStats;
+use crate::wire::{encode_reply, Reply};
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Half-closes both directions; readers blocked in `read` wake with
+    /// EOF. Errors are ignored — the peer may already be gone.
+    pub(crate) fn force_shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The write half of one connection, shared by every shard that owes it
+/// a reply. Replies from different shards interleave at frame
+/// granularity — the mutex serializes whole frames, and the correlation
+/// id tells the client which request each frame answers.
+pub(crate) struct ConnWriter {
+    /// Dense connection id (trace payload `b` of `RequestArrive`).
+    pub(crate) id: u64,
+    writer: Mutex<Stream>,
+    stats: Arc<ServerStats>,
+}
+
+impl ConnWriter {
+    pub(crate) fn new(id: u64, writer: Stream, stats: Arc<ServerStats>) -> ConnWriter {
+        ConnWriter { id, writer: Mutex::new(writer), stats }
+    }
+
+    /// Encodes and sends one reply frame. A write failure means the peer
+    /// disconnected with requests still in flight; the reply is dropped
+    /// and counted, never retried (the request id is meaningless to a
+    /// future connection).
+    pub(crate) fn send(&self, reply: &Reply) {
+        let mut payload = Vec::new();
+        encode_reply(reply, &mut payload);
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        // One write_all per frame: no interleaving with other shards'
+        // replies, one syscall per reply.
+        let mut w = self.writer.lock();
+        if w.write_all(&frame).and_then(|()| w.flush()).is_err() {
+            ServerStats::bump(&self.stats.dead_replies);
+        } else {
+            ServerStats::bump(&self.stats.replies);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The cache as a server.
+//!
+//! Everything below this crate — the four cache schemes, the simulated
+//! devices, the concurrent engine — runs in-process and is exercised by
+//! closed-loop drivers (`crates/bench`). This crate puts a network
+//! frontend on the engine so it can be measured the way a persistent
+//! cache is actually deployed: remote clients, an *open-loop* arrival
+//! process, and overload that must be shed rather than absorbed.
+//!
+//! Three layers:
+//!
+//! * [`wire`] — a length-prefixed binary protocol (GET/SET/DEL) with
+//!   client correlation ids, so any number of requests can be pipelined
+//!   on one connection. Frame lengths are validated before allocation.
+//! * [`CacheServer`] — TCP and/or Unix-socket listeners, one reader
+//!   thread per connection, and a pool of per-shard command loops over
+//!   the shared [`zns_cache::LogCache`]. Shard queues are *bounded*:
+//!   when one fills, the frontend answers with a typed
+//!   [`wire::Reply::Busy`] instead of queueing without bound, and above
+//!   a soft watermark SETs additionally pass the engine's admission
+//!   policy ([`zns_cache::Admission`]) — overload sheds writes first,
+//!   because under pressure serving hits is worth more than absorbing
+//!   writes the cache may evict unread.
+//! * [`Client`] — a small synchronous client with one-shot RPCs and a
+//!   split pipelined mode, used by the open-loop latency bench.
+//!
+//! Request-scoped trace spans: the frontend and shards emit
+//! `RequestArrive` → `RequestShardEnqueue` → `RequestEngineStart` →
+//! `RequestDone` (or `RequestShed`) through [`sim::trace`], keyed by the
+//! client correlation id, so one request's life can be stitched to the
+//! zone writes and GC events the engine emits underneath it.
+
+mod conn;
+mod shard;
+mod stats;
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientReceiver, ClientSender};
+pub use server::{BindAddr, CacheServer, ServerConfig};
+pub use stats::{ServerStats, ServerStatsSnapshot};

@@ -1,0 +1,73 @@
+//! Aggregate server counters.
+//!
+//! Wait-free (relaxed atomic) counters bumped from connection readers and
+//! shard loops; a [`ServerStatsSnapshot`] is the coherent-enough view a
+//! test or an operator reads after (or during) a run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// relaxed-ok(file): monotone statistics counters; nothing is published
+// through them and snapshots tolerate slight skew between fields.
+
+/// Shared mutable counters. One instance per [`crate::CacheServer`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub(crate) connections: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) replies: AtomicU64,
+    pub(crate) busy_replies: AtomicU64,
+    pub(crate) shed_sets: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+    pub(crate) engine_errors: AtomicU64,
+    pub(crate) dead_replies: AtomicU64,
+    pub(crate) max_queue_depth: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_depth(&self, depth: u64) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            replies: self.replies.load(Ordering::Relaxed),
+            busy_replies: self.busy_replies.load(Ordering::Relaxed),
+            shed_sets: self.shed_sets.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            engine_errors: self.engine_errors.load(Ordering::Relaxed),
+            dead_replies: self.dead_replies.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests decoded off connections (shed or served).
+    pub requests: u64,
+    /// Replies sent, of any status.
+    pub replies: u64,
+    /// Requests shed with a typed BUSY because a shard queue was full.
+    pub busy_replies: u64,
+    /// SETs shed by the soft-overload admission gate (subset of
+    /// `busy_replies`).
+    pub shed_sets: u64,
+    /// Connections dropped after a malformed frame or payload.
+    pub protocol_errors: u64,
+    /// Requests that failed inside the engine (typed ERROR reply).
+    pub engine_errors: u64,
+    /// Replies that could not be written because the peer disconnected.
+    pub dead_replies: u64,
+    /// High-water mark of any shard's command-queue depth.
+    pub max_queue_depth: u64,
+}

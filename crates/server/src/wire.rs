@@ -1,0 +1,557 @@
+//! The length-prefixed wire protocol.
+//!
+//! Every message is one *frame*: a 4-byte little-endian payload length
+//! followed by that many payload bytes. Lengths are validated before any
+//! allocation ([`MAX_FRAME_LEN`]), so a hostile or corrupt peer cannot
+//! make the server reserve gigabytes off one header.
+//!
+//! Request payload layout (all integers little-endian):
+//!
+//! ```text
+//! op: u8 | id: u64 | key_len: u16 | key bytes | value_len: u32 | value bytes
+//! ```
+//!
+//! `op` is 1 = GET, 2 = SET, 3 = DEL; `value_len` must be zero for GET
+//! and DEL. `id` is an opaque client-chosen correlation id: replies carry
+//! it back, which is what makes **pipelining** work — a client may keep
+//! any number of requests in flight on one connection and match replies
+//! by id, in whatever order the shards finish them.
+//!
+//! Reply payload layout:
+//!
+//! ```text
+//! status: u8 | id: u64 | body_len: u32 | body bytes
+//! ```
+//!
+//! | status | meaning | body |
+//! |--------|--------------------------------------|---------------------|
+//! | 1      | `Value` — GET hit                    | the object          |
+//! | 2      | `NotFound` — GET miss                | empty               |
+//! | 3      | `Stored` — SET accepted              | empty               |
+//! | 4      | `Deleted` — DEL processed            | 1 byte: 1 = existed |
+//! | 5      | `Busy` — request shed under overload | empty               |
+//! | 6      | `Error`                              | 1 byte error code   |
+//!
+//! `Busy` is a *typed* reply, not a closed connection: an overloaded
+//! server answers cheaply and stays up, and a well-behaved client backs
+//! off. Malformed frames (bad opcode, length lies, oversized values) get
+//! an `Error` reply with [`ErrorCode::Protocol`] and then the connection
+//! is closed — once framing is in doubt, resynchronization is hopeless.
+
+use std::io::{self, Read, Write};
+
+/// Longest accepted key (the engine's keys are small identifiers).
+pub const MAX_KEY_LEN: usize = 1024;
+/// Longest accepted value (1 MiB — the workload ceiling in ROADMAP's
+/// size-class plans).
+pub const MAX_VALUE_LEN: usize = 1 << 20;
+/// Longest legal frame payload: an encoded SET at the key/value ceilings.
+pub const MAX_FRAME_LEN: usize = 1 + 8 + 2 + MAX_KEY_LEN + 4 + MAX_VALUE_LEN;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended before the advertised field lengths were satisfied.
+    Truncated,
+    /// Unknown request opcode.
+    BadOpcode(u8),
+    /// Unknown reply status byte.
+    BadStatus(u8),
+    /// Key length over [`MAX_KEY_LEN`].
+    KeyTooLong(usize),
+    /// Value length over [`MAX_VALUE_LEN`].
+    ValueTooLong(usize),
+    /// A GET/DEL carried a value, or a reply body had the wrong length.
+    BadBody,
+    /// Payload had bytes left over after the last field.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            WireError::BadStatus(s) => write!(f, "unknown reply status {s}"),
+            WireError::KeyTooLong(n) => write!(f, "key of {n} bytes exceeds {MAX_KEY_LEN}"),
+            WireError::ValueTooLong(n) => write!(f, "value of {n} bytes exceeds {MAX_VALUE_LEN}"),
+            WireError::BadBody => write!(f, "body length inconsistent with message type"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed error codes carried by [`Reply::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame or payload violated the protocol; connection closes.
+    Protocol = 1,
+    /// The engine returned a [`zns_cache::CacheError`].
+    Engine = 2,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::Protocol),
+            2 => Some(ErrorCode::Engine),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up `key`.
+    Get {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Object key.
+        key: Vec<u8>,
+    },
+    /// Insert `key` → `value`.
+    Set {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Object key.
+        key: Vec<u8>,
+        /// Object value.
+        value: Vec<u8>,
+    },
+    /// Remove `key`.
+    Del {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Object key.
+        key: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// The client correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Get { id, .. } | Request::Set { id, .. } | Request::Del { id, .. } => *id,
+        }
+    }
+
+    /// The key this request addresses (shard routing input).
+    pub fn key(&self) -> &[u8] {
+        match self {
+            Request::Get { key, .. } | Request::Set { key, .. } | Request::Del { key, .. } => key,
+        }
+    }
+
+    /// Wire opcode (1 = GET, 2 = SET, 3 = DEL), also the trace payload.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Get { .. } => 1,
+            Request::Set { .. } => 2,
+            Request::Del { .. } => 3,
+        }
+    }
+}
+
+/// One server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// GET hit.
+    Value {
+        /// Echoed correlation id.
+        id: u64,
+        /// The cached object.
+        value: Vec<u8>,
+    },
+    /// GET miss.
+    NotFound {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// SET accepted (admission may still decline flash residency; the
+    /// cache contract is best-effort either way).
+    Stored {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// DEL processed.
+    Deleted {
+        /// Echoed correlation id.
+        id: u64,
+        /// Whether an entry existed and was removed.
+        existed: bool,
+    },
+    /// Shed under overload: the shard queue was full (or set-shedding
+    /// engaged). Retry with backoff.
+    Busy {
+        /// Echoed correlation id.
+        id: u64,
+    },
+    /// The request failed.
+    Error {
+        /// Echoed correlation id (0 when the request never decoded).
+        id: u64,
+        /// What went wrong.
+        code: ErrorCode,
+    },
+}
+
+impl Reply {
+    /// The echoed correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            Reply::Value { id, .. }
+            | Reply::NotFound { id }
+            | Reply::Stored { id }
+            | Reply::Deleted { id, .. }
+            | Reply::Busy { id }
+            | Reply::Error { id, .. } => *id,
+        }
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a payload with typed little-endian reads.
+struct Take<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Take<'a> {
+    fn u8(&mut self) -> Result<u8, WireError> {
+        let (&b, rest) = self.buf.split_first().ok_or(WireError::Truncated)?;
+        self.buf = rest;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2-byte slice")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8-byte slice")))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+/// Encodes a request payload (no frame length prefix) into `out`.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    out.clear();
+    let (key, value): (&[u8], &[u8]) = match req {
+        Request::Get { key, .. } | Request::Del { key, .. } => (key, &[]),
+        Request::Set { key, value, .. } => (key, value),
+    };
+    out.push(req.opcode());
+    put_u64(out, req.id());
+    put_u16(out, key.len() as u16);
+    out.extend_from_slice(key);
+    put_u32(out, value.len() as u32);
+    out.extend_from_slice(value);
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+///
+/// Any [`WireError`]: truncation, unknown opcode, oversized key/value, a
+/// value on a GET/DEL, or trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut t = Take { buf: payload };
+    let op = t.u8()?;
+    let id = t.u64()?;
+    let key_len = t.u16()? as usize;
+    if key_len > MAX_KEY_LEN {
+        return Err(WireError::KeyTooLong(key_len));
+    }
+    let key = t.bytes(key_len)?.to_vec();
+    let value_len = t.u32()? as usize;
+    if value_len > MAX_VALUE_LEN {
+        return Err(WireError::ValueTooLong(value_len));
+    }
+    let value = t.bytes(value_len)?.to_vec();
+    t.finish()?;
+    match op {
+        1 | 3 if !value.is_empty() => Err(WireError::BadBody),
+        1 => Ok(Request::Get { id, key }),
+        2 => Ok(Request::Set { id, key, value }),
+        3 => Ok(Request::Del { id, key }),
+        op => Err(WireError::BadOpcode(op)),
+    }
+}
+
+/// Encodes a reply payload (no frame length prefix) into `out`.
+pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
+    out.clear();
+    let (status, body): (u8, &[u8]) = match reply {
+        Reply::Value { value, .. } => (1, value),
+        Reply::NotFound { .. } => (2, &[]),
+        Reply::Stored { .. } => (3, &[]),
+        Reply::Deleted { existed, .. } => (4, if *existed { &[1] } else { &[0] }),
+        Reply::Busy { .. } => (5, &[]),
+        Reply::Error { code, .. } => (6, match code {
+            ErrorCode::Protocol => &[1],
+            ErrorCode::Engine => &[2],
+        }),
+    };
+    out.push(status);
+    put_u64(out, reply.id());
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(body);
+}
+
+/// Decodes a reply payload.
+///
+/// # Errors
+///
+/// Any [`WireError`]: truncation, unknown status, a body whose length
+/// does not fit the status, or trailing bytes.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
+    let mut t = Take { buf: payload };
+    let status = t.u8()?;
+    let id = t.u64()?;
+    let body_len = t.u32()? as usize;
+    if body_len > MAX_VALUE_LEN {
+        return Err(WireError::ValueTooLong(body_len));
+    }
+    let body = t.bytes(body_len)?;
+    let reply = match (status, body.len()) {
+        (1, _) => Reply::Value { id, value: body.to_vec() },
+        (2, 0) => Reply::NotFound { id },
+        (3, 0) => Reply::Stored { id },
+        (4, 1) => Reply::Deleted { id, existed: body[0] != 0 },
+        (5, 0) => Reply::Busy { id },
+        (6, 1) => Reply::Error {
+            id,
+            code: ErrorCode::from_u8(body[0]).ok_or(WireError::BadBody)?,
+        },
+        (1..=6, _) => return Err(WireError::BadBody),
+        (s, _) => return Err(WireError::BadStatus(s)),
+    };
+    t.finish()?;
+    Ok(reply)
+}
+
+/// Writes one frame (length prefix + payload).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed between requests).
+///
+/// # Errors
+///
+/// * [`io::ErrorKind::InvalidData`] when the advertised length exceeds
+///   [`MAX_FRAME_LEN`] — a protocol violation, checked before the
+///   allocation it would otherwise force.
+/// * [`io::ErrorKind::UnexpectedEof`] when the peer disconnected in the
+///   middle of a frame (mid-request disconnect).
+/// * Any underlying transport error.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte is a normal connection close;
+    // EOF after a partial length is a mid-frame disconnect.
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame length")),
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        assert_eq!(decode_request(&buf).expect("decode"), req);
+    }
+
+    fn round_trip_reply(reply: Reply) {
+        let mut buf = Vec::new();
+        encode_reply(&reply, &mut buf);
+        assert_eq!(decode_reply(&buf).expect("decode"), reply);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Get { id: 7, key: b"obj-1".to_vec() });
+        round_trip_request(Request::Set {
+            id: u64::MAX,
+            key: b"k".to_vec(),
+            value: vec![0xA5; 4096],
+        });
+        round_trip_request(Request::Del { id: 0, key: vec![0xFF; MAX_KEY_LEN] });
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        round_trip_reply(Reply::Value { id: 1, value: vec![9; 100] });
+        round_trip_reply(Reply::Value { id: 2, value: Vec::new() });
+        round_trip_reply(Reply::NotFound { id: 3 });
+        round_trip_reply(Reply::Stored { id: 4 });
+        round_trip_reply(Reply::Deleted { id: 5, existed: true });
+        round_trip_reply(Reply::Deleted { id: 6, existed: false });
+        round_trip_reply(Reply::Busy { id: 7 });
+        round_trip_reply(Reply::Error { id: 8, code: ErrorCode::Protocol });
+        round_trip_reply(Reply::Error { id: 9, code: ErrorCode::Engine });
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Get { id: 1, key: b"k".to_vec() }, &mut buf);
+        buf[0] = 99;
+        assert_eq!(decode_request(&buf), Err(WireError::BadOpcode(99)));
+    }
+
+    #[test]
+    fn value_on_get_rejected() {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Set { id: 1, key: b"k".to_vec(), value: b"v".to_vec() },
+            &mut buf,
+        );
+        buf[0] = 1; // rewrite opcode SET -> GET, leaving the value in place
+        assert_eq!(decode_request(&buf), Err(WireError::BadBody));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let mut buf = Vec::new();
+        encode_request(
+            &Request::Set { id: 1, key: b"key".to_vec(), value: vec![1; 64] },
+            &mut buf,
+        );
+        for cut in [0, 1, 5, 9, 12, buf.len() - 1] {
+            assert_eq!(
+                decode_request(&buf[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Get { id: 1, key: b"k".to_vec() }, &mut buf);
+        buf.push(0);
+        assert_eq!(decode_request(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_value_length_rejected_without_allocation() {
+        // A SET header whose value_len field lies about a huge body: the
+        // decoder must reject on the length field itself.
+        let mut buf = Vec::new();
+        buf.push(2);
+        put_u64(&mut buf, 1);
+        put_u16(&mut buf, 1);
+        buf.push(b'k');
+        put_u32(&mut buf, (MAX_VALUE_LEN + 1) as u32);
+        assert_eq!(
+            decode_request(&buf),
+            Err(WireError::ValueTooLong(MAX_VALUE_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn oversized_key_length_rejected() {
+        let mut buf = Vec::new();
+        buf.push(1);
+        put_u64(&mut buf, 1);
+        put_u16(&mut buf, (MAX_KEY_LEN + 1) as u16);
+        assert_eq!(
+            decode_request(&buf),
+            Err(WireError::KeyTooLong(MAX_KEY_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn frame_round_trip_and_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF between frames");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_invalid_data() {
+        let wire = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mid_frame_eof_is_unexpected_eof() {
+        // Length promises 10 bytes; only 3 arrive before the peer hangs up.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&10u32.to_le_bytes());
+        wire.extend_from_slice(b"abc");
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // EOF inside the length prefix itself is also mid-frame.
+        let wire = [1u8, 0];
+        let mut r = &wire[..];
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,336 @@
+//! End-to-end tests over a live loopback server: correct request
+//! service, pipelining, protocol abuse (malformed frames, truncated
+//! reads, oversized values, mid-request disconnects), and overload
+//! shedding (typed BUSY off a bounded queue).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use zns::{ZnsConfig, ZnsDevice};
+use zns_cache::backend::ZoneBackend;
+use zns_cache::{Admission, CacheConfig, LogCache};
+use zns_cache_server::wire::{
+    encode_request, write_frame, Reply, Request, MAX_FRAME_LEN, MAX_VALUE_LEN,
+};
+use zns_cache_server::{BindAddr, CacheServer, Client, ServerConfig};
+
+fn test_cache() -> Arc<LogCache> {
+    let backend = ZoneBackend::new(Arc::new(ZnsDevice::new(ZnsConfig::small_test())));
+    Arc::new(LogCache::new(Arc::new(backend), CacheConfig::small_test()).unwrap())
+}
+
+fn start_tcp(cfg: ServerConfig) -> CacheServer {
+    CacheServer::start(test_cache(), cfg, BindAddr::Tcp("127.0.0.1:0".into()))
+        .expect("bind loopback")
+}
+
+fn tcp_client(server: &CacheServer) -> Client {
+    Client::connect_tcp(server.tcp_addr().expect("tcp bound")).expect("connect")
+}
+
+/// Raw socket to the server, for speaking broken protocol on purpose.
+fn raw_socket(server: &CacheServer) -> TcpStream {
+    TcpStream::connect(server.tcp_addr().expect("tcp bound")).expect("connect")
+}
+
+/// Polls the server's counters until `done` holds (or ~1s passes);
+/// returns the last snapshot. Counter bumps trail the replies that
+/// triggered them by a few instructions, so exact-count assertions must
+/// wait the race out.
+fn wait_for(
+    server: &CacheServer,
+    done: impl Fn(&zns_cache_server::ServerStatsSnapshot) -> bool,
+) -> zns_cache_server::ServerStatsSnapshot {
+    for _ in 0..200 {
+        let s = server.stats();
+        if done(&s) {
+            return s;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.stats()
+}
+
+fn read_reply_frame(sock: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match sock.read(&mut len[filled..]) {
+            Ok(0) => return None,
+            Ok(n) => filled += n,
+            Err(_) => return None,
+        }
+    }
+    let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+    sock.read_exact(&mut payload).ok()?;
+    Some(payload)
+}
+
+#[test]
+fn get_set_del_over_tcp() {
+    let server = start_tcp(ServerConfig::default());
+    let mut client = tcp_client(&server);
+
+    assert_eq!(client.get(b"missing").unwrap(), None);
+    client.set(b"obj-1", &[0xAB; 4096]).unwrap();
+    assert_eq!(client.get(b"obj-1").unwrap().as_deref(), Some(&[0xAB; 4096][..]));
+    assert!(client.del(b"obj-1").unwrap(), "existed");
+    assert!(!client.del(b"obj-1").unwrap(), "already gone");
+    assert_eq!(client.get(b"obj-1").unwrap(), None);
+
+    // The reply-counter bump happens after the frame is written, so the
+    // client can observe the reply a moment before the counter; poll.
+    let stats = wait_for(&server, |s| s.replies == 6);
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.requests, 6);
+    assert_eq!(stats.replies, 6);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.engine_errors, 0);
+}
+
+#[test]
+fn get_set_over_unix_socket() {
+    let path = std::env::temp_dir().join(format!("zns-cache-test-{}.sock", std::process::id()));
+    let mut server = CacheServer::start(
+        test_cache(),
+        ServerConfig::default(),
+        BindAddr::Unix(path.clone()),
+    )
+    .expect("bind unix socket");
+    let mut client = Client::connect_unix(server.unix_path().unwrap()).expect("connect");
+    client.set(b"k", b"v").unwrap();
+    assert_eq!(client.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+    server.shutdown();
+    assert!(!path.exists(), "socket file must be removed on shutdown");
+}
+
+#[test]
+fn pipelined_requests_all_answered_and_correlated() {
+    let server = start_tcp(ServerConfig::default());
+    let mut client = tcp_client(&server);
+    const N: u64 = 64;
+    // Fire N sets without reading a single reply, then N gets.
+    for i in 0..N {
+        let key = format!("pipe-{i}").into_bytes();
+        client.send(&Request::Set { id: i, key, value: vec![i as u8; 128] }).unwrap();
+    }
+    for i in 0..N {
+        let key = format!("pipe-{i}").into_bytes();
+        client.send(&Request::Get { id: N + i, key }).unwrap();
+    }
+    // Collect all 2N replies, in whatever order shards finished.
+    let mut stored = 0u64;
+    let mut values = std::collections::HashMap::new();
+    for _ in 0..2 * N {
+        match client.recv().unwrap() {
+            Reply::Stored { id } => {
+                assert!(id < N);
+                stored += 1;
+            }
+            Reply::Value { id, value } => {
+                assert!((N..2 * N).contains(&id));
+                values.insert(id - N, value);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(stored, N);
+    assert_eq!(values.len() as u64, N, "every pipelined GET must hit");
+    for (i, v) in values {
+        assert_eq!(v, vec![i as u8; 128], "id {i} got the wrong object");
+    }
+}
+
+#[test]
+fn malformed_frame_gets_protocol_error_then_close() {
+    let server = start_tcp(ServerConfig::default());
+    let mut sock = raw_socket(&server);
+    // A framed payload that decodes to garbage (bad opcode).
+    write_frame(&mut sock, &[99u8; 16]).unwrap();
+    sock.flush().unwrap();
+    let payload = read_reply_frame(&mut sock).expect("typed error before close");
+    // status 6 = Error, id 0 (unrecoverable), body [1] = protocol.
+    assert_eq!(payload[0], 6);
+    assert_eq!(payload[13], 1);
+    assert!(read_reply_frame(&mut sock).is_none(), "connection must close");
+    assert_eq!(server.stats().protocol_errors, 1);
+}
+
+#[test]
+fn truncated_payload_is_a_protocol_error() {
+    let server = start_tcp(ServerConfig::default());
+    let mut sock = raw_socket(&server);
+    // A well-formed SET, then chop the payload but keep the frame length
+    // honest about the chop — the *payload* lies about its field lengths.
+    let mut payload = Vec::new();
+    encode_request(
+        &Request::Set { id: 1, key: b"key".to_vec(), value: vec![7; 64] },
+        &mut payload,
+    );
+    payload.truncate(payload.len() - 10);
+    write_frame(&mut sock, &payload).unwrap();
+    sock.flush().unwrap();
+    let reply = read_reply_frame(&mut sock).expect("typed error before close");
+    assert_eq!(reply[0], 6, "truncated payload must earn an Error reply");
+    assert!(read_reply_frame(&mut sock).is_none());
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let server = start_tcp(ServerConfig::default());
+    let mut sock = raw_socket(&server);
+    // Advertise a frame bigger than the protocol ceiling; send nothing
+    // else. The server must reject on the header alone.
+    sock.write_all(&((MAX_FRAME_LEN + 1) as u32).to_le_bytes()).unwrap();
+    sock.flush().unwrap();
+    let reply = read_reply_frame(&mut sock).expect("typed error before close");
+    assert_eq!(reply[0], 6);
+    assert!(read_reply_frame(&mut sock).is_none());
+    assert_eq!(server.stats().protocol_errors, 1);
+}
+
+#[test]
+fn oversized_value_in_a_legal_frame_is_rejected() {
+    let server = start_tcp(ServerConfig::default());
+    let mut sock = raw_socket(&server);
+    // Frame length is under the ceiling, but the value_len field inside
+    // claims more than MAX_VALUE_LEN.
+    let mut payload = Vec::new();
+    payload.push(2u8); // SET
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.extend_from_slice(&1u16.to_le_bytes());
+    payload.push(b'k');
+    payload.extend_from_slice(&((MAX_VALUE_LEN + 1) as u32).to_le_bytes());
+    write_frame(&mut sock, &payload).unwrap();
+    sock.flush().unwrap();
+    let reply = read_reply_frame(&mut sock).expect("typed error before close");
+    assert_eq!(reply[0], 6);
+}
+
+#[test]
+fn mid_request_disconnect_leaves_server_healthy() {
+    let server = start_tcp(ServerConfig::default());
+    {
+        let mut sock = raw_socket(&server);
+        // Send half a frame (length promises 32 bytes, deliver 5), then
+        // vanish.
+        sock.write_all(&32u32.to_le_bytes()).unwrap();
+        sock.write_all(b"abcde").unwrap();
+        sock.flush().unwrap();
+    } // drop closes the socket mid-frame
+    // The server must survive and keep serving new connections.
+    let mut client = tcp_client(&server);
+    client.set(b"after", b"disconnect").unwrap();
+    assert_eq!(client.get(b"after").unwrap().as_deref(), Some(&b"disconnect"[..]));
+    let stats = server.stats();
+    assert_eq!(stats.connections, 2);
+    // A mid-frame disconnect is not a protocol error — nothing decoded.
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn overload_sheds_with_typed_busy_and_bounded_queue() {
+    // One slow shard (5ms per op), tiny queue: pipelining far more
+    // requests than queue+in-flight can hold MUST produce BUSY replies,
+    // and every request must still be answered.
+    let cfg = ServerConfig {
+        shards: 1,
+        queue_capacity: 4,
+        soft_overload: 1.0, // disable set-gate shedding; test the hard bound
+        set_admission_under_pressure: Admission::Always,
+        op_wall_delay: Duration::from_millis(5),
+        maintainer: false,
+    };
+    let server = start_tcp(cfg);
+    let mut client = tcp_client(&server);
+    const N: u64 = 64;
+    for i in 0..N {
+        client.send(&Request::Set { id: i, key: format!("k{i}").into_bytes(), value: vec![1; 64] }).unwrap();
+    }
+    let mut busy = 0u64;
+    let mut stored = 0u64;
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..N {
+        match client.recv().unwrap() {
+            Reply::Busy { id } => {
+                busy += 1;
+                assert!(seen.insert(id));
+            }
+            Reply::Stored { id } => {
+                stored += 1;
+                assert!(seen.insert(id));
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(busy + stored, N, "every request must get exactly one reply");
+    assert!(busy > 0, "a 4-deep queue fed 64 pipelined 5ms ops must shed");
+    assert!(stored > 0, "shedding must not starve service entirely");
+    let stats = server.stats();
+    assert_eq!(stats.busy_replies, busy);
+    assert!(
+        stats.max_queue_depth <= server.queue_capacity() as u64,
+        "queue depth {} exceeded the bound {}",
+        stats.max_queue_depth,
+        server.queue_capacity()
+    );
+}
+
+#[test]
+fn soft_overload_sheds_sets_before_queue_is_full() {
+    // Watermark at depth 1 of 64 with Random{0.0} admission: once one
+    // request is queued, every further SET is shed, while GETs still go
+    // through. The never-admit policy makes the set-shedding path
+    // deterministic.
+    let cfg = ServerConfig {
+        shards: 1,
+        queue_capacity: 64,
+        soft_overload: 0.01, // ceil(64 * 0.01) = 1
+        set_admission_under_pressure: Admission::Random { probability: 0.0 },
+        op_wall_delay: Duration::from_millis(10),
+        maintainer: false,
+    };
+    let server = start_tcp(cfg);
+    let mut client = tcp_client(&server);
+    const N: u64 = 16;
+    for i in 0..N {
+        client.send(&Request::Set { id: i, key: format!("k{i}").into_bytes(), value: vec![1; 64] }).unwrap();
+    }
+    let mut busy = 0u64;
+    for _ in 0..N {
+        if matches!(client.recv().unwrap(), Reply::Busy { .. }) {
+            busy += 1;
+        }
+    }
+    assert!(busy > 0, "the soft watermark must shed some pipelined SETs");
+    let stats = server.stats();
+    assert_eq!(stats.shed_sets, busy, "all BUSYs here must come from the set gate");
+    assert!(
+        stats.max_queue_depth < server.queue_capacity() as u64,
+        "soft shedding must engage before the hard bound"
+    );
+}
+
+#[test]
+fn shutdown_drains_queued_requests() {
+    let cfg = ServerConfig {
+        shards: 2,
+        queue_capacity: 32,
+        op_wall_delay: Duration::from_millis(1),
+        maintainer: false,
+        ..ServerConfig::default()
+    };
+    let mut server = start_tcp(cfg);
+    let mut client = tcp_client(&server);
+    for i in 0..16u64 {
+        client.send(&Request::Set { id: i, key: format!("k{i}").into_bytes(), value: vec![2; 32] }).unwrap();
+    }
+    // Give the reader thread a moment to move frames into shard queues,
+    // then shut down underneath the in-flight pipeline.
+    std::thread::sleep(Duration::from_millis(20));
+    server.shutdown();
+    // No hang, no crash — and the server object is reusable as a husk.
+    assert!(server.tcp_addr().is_some());
+}

@@ -79,6 +79,11 @@ pub const RING_CAPACITY: usize = 16_384;
 /// | `ScrubStop`          | regions scanned        | corrupt objects found       |
 /// | `ScrubSalvage`       | region id              | bytes salvaged              |
 /// | `DieService`         | die index              | service end (nanos)         |
+/// | `RequestArrive`      | request id             | connection id               |
+/// | `RequestShardEnqueue`| request id             | shard id                    |
+/// | `RequestEngineStart` | request id             | opcode (1 get, 2 set, 3 del)|
+/// | `RequestDone`        | request id             | engine latency (nanos)      |
+/// | `RequestShed`        | request id             | shard id                    |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u64)]
 pub enum EventKind {
@@ -122,6 +127,20 @@ pub enum EventKind {
     /// region flush; overlapping windows are the direct evidence that the
     /// stripe's dies program concurrently.
     DieService = 18,
+    /// A server frontend decoded one request off a connection. Together
+    /// with the other `Request*` kinds this forms a request-scoped span:
+    /// filter a trace by `a == request id` and every hop — connection,
+    /// shard queue, engine op, plus any zone/GC events emitted in
+    /// between on the same shard timeline — lines up end to end.
+    RequestArrive = 19,
+    /// The request was admitted to a shard's bounded command queue.
+    RequestShardEnqueue = 20,
+    /// A shard command loop dequeued the request and entered the engine.
+    RequestEngineStart = 21,
+    /// The engine op completed; `b` is its simulated service latency.
+    RequestDone = 22,
+    /// The request was shed (typed BUSY reply) instead of queued.
+    RequestShed = 23,
 }
 
 impl EventKind {
@@ -146,6 +165,11 @@ impl EventKind {
             EventKind::ScrubStop => "scrub_stop",
             EventKind::ScrubSalvage => "scrub_salvage",
             EventKind::DieService => "die_service",
+            EventKind::RequestArrive => "request_arrive",
+            EventKind::RequestShardEnqueue => "request_shard_enqueue",
+            EventKind::RequestEngineStart => "request_engine_start",
+            EventKind::RequestDone => "request_done",
+            EventKind::RequestShed => "request_shed",
         }
     }
 
@@ -169,6 +193,11 @@ impl EventKind {
             16 => EventKind::ScrubStop,
             17 => EventKind::ScrubSalvage,
             18 => EventKind::DieService,
+            19 => EventKind::RequestArrive,
+            20 => EventKind::RequestShardEnqueue,
+            21 => EventKind::RequestEngineStart,
+            22 => EventKind::RequestDone,
+            23 => EventKind::RequestShed,
             _ => return None,
         })
     }
@@ -441,12 +470,12 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for v in 1..=18 {
+        for v in 1..=23 {
             let k = EventKind::from_u64(v).expect("dense ids");
             assert_eq!(k as u64, v);
             assert!(!k.name().is_empty());
         }
         assert_eq!(EventKind::from_u64(0), None);
-        assert_eq!(EventKind::from_u64(19), None);
+        assert_eq!(EventKind::from_u64(24), None);
     }
 }

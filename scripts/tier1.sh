@@ -49,6 +49,16 @@ echo "== tier1: multi-thread smoke (all schemes, 8 workers, shared engine) =="
 # `cargo run --release -p zns-cache-bench --bin bench_threads`.
 cargo run --release -p zns-cache-bench --bin bench_threads -- --smoke 1 --threads 8
 
+echo "== tier1: loopback server latency gate (open-loop, fixed rate) =="
+# One Zone-Cache point through the real server stack (TCP loopback,
+# sharded command loops, bounded queues): request accounting must close
+# (served + busy + errors == scheduled), no typed errors, near-zero shed
+# at a rate far under capacity, and p99 under a deliberately loose
+# wall-clock ceiling. Catches lost replies, unshed overload, and
+# order-of-magnitude latency regressions in the frontend. The full sweep
+# (writes BENCH_latency.json) is the bare bench_latency invocation.
+cargo run --release -p zns-cache-bench --bin bench_latency -- --gate 1
+
 echo "== tier1: perf floor (flash Zone-Cache, 8 threads) =="
 # The async I/O core's acceptance bar: flash-profile Zone-Cache at 8
 # threads must sustain >= 110k sim ops/s with a get p99 under 100us.

@@ -42,3 +42,4 @@ pub use sim;
 pub use workload;
 pub use zns;
 pub use zns_cache;
+pub use zns_cache_server;
