@@ -92,6 +92,56 @@ fn main() {
             p99.as_micros(),
             r.shed_fraction() * 100.0
         );
+
+        // Capacity floor: offer far past the knee and require the
+        // batched data path to sustain well above the pre-batching
+        // capacity. The unbatched frontend kneed at ~61k/s on this host;
+        // the floor is 1.5x that — loose against the ~3x the batched
+        // path measures, tight against any regression to per-request
+        // syscalls.
+        let floor = flags.f64("floor", 92_000.0);
+        let probe_rate = flags.f64("probe-rate", 400_000.0);
+        let r = run_point(
+            Scheme::Zone,
+            &OpenLoopConfig::sweep_point(probe_rate, 60_000.0 / probe_rate),
+        );
+        assert_eq!(
+            r.served + r.busy + r.errors,
+            r.scheduled,
+            "lost replies in the capacity probe"
+        );
+        assert!(
+            r.achieved_rate() >= floor,
+            "capacity regressed: {:.0}/s achieved under overload (floor {floor:.0}/s)",
+            r.achieved_rate()
+        );
+        // Amortization must be real at load: more than one frame per
+        // read syscall and more than one reply per locked write, and the
+        // steady-state reply path must not allocate per request (growth
+        // events stay a vanishing fraction of replies written).
+        assert!(
+            r.stats.frames_per_read.mean() > 1.0,
+            "no read batching under overload (mean {:.2})",
+            r.stats.frames_per_read.mean()
+        );
+        assert!(
+            r.stats.replies_per_flush.mean() > 1.0,
+            "no reply coalescing under overload (mean {:.2})",
+            r.stats.replies_per_flush.mean()
+        );
+        assert!(
+            r.stats.reply_allocs <= 64 + r.stats.replies / 100,
+            "reply path allocates per request: {} growth events over {} replies",
+            r.stats.reply_allocs,
+            r.stats.replies
+        );
+        println!(
+            "capacity gate OK: {:.0}/s achieved (floor {floor:.0}/s), frames/read {:.1}, replies/flush {:.1}, reply_allocs {}",
+            r.achieved_rate(),
+            r.stats.frames_per_read.mean(),
+            r.stats.replies_per_flush.mean(),
+            r.stats.reply_allocs
+        );
         return;
     }
 
@@ -99,9 +149,9 @@ fn main() {
     let out = flags.str("out", "BENCH_latency.json");
     let rates: Vec<f64> = flags
         // The top rate sits past the loopback stack's capacity on the CI
-        // host (~30k/s) on purpose: the knee and the shed fraction past
-        // it are the artifact's whole story.
-        .str("rates", "1000,2000,4000,8000,16000,32000,64000")
+        // host (~300k/s with the batched data path) on purpose: the knee
+        // and the shed fraction past it are the artifact's whole story.
+        .str("rates", "1000,2000,4000,8000,16000,32000,64000,128000,256000,400000")
         .split(',')
         .map(|s| s.trim().parse().expect("--rates takes comma-separated numbers"))
         .collect();

@@ -29,7 +29,7 @@ use sim::LatencyHistogram;
 use workload::Zipf;
 use zns_cache::SchemeCache;
 use zns_cache_server::wire::{Reply, Request};
-use zns_cache_server::{BindAddr, CacheServer, Client, ServerConfig};
+use zns_cache_server::{BindAddr, CacheServer, Client, ServerConfig, ServerStatsSnapshot};
 
 /// One open-loop measurement point.
 #[derive(Clone, Debug)]
@@ -99,6 +99,10 @@ pub struct OpenLoopReport {
     /// Latency of *served* requests, measured from scheduled arrival to
     /// reply receipt (wall nanoseconds).
     pub latency: LatencyHistogram,
+    /// The server's own counters at the end of the point — the batching
+    /// amortization (frames/read, jobs/dispatch, replies/flush) and
+    /// copy/alloc gauges behind the knee curve.
+    pub stats: ServerStatsSnapshot,
 }
 
 impl OpenLoopReport {
@@ -197,6 +201,14 @@ pub fn run_open_loop(sc: &SchemeCache, cfg: &OpenLoopConfig) -> OpenLoopReport {
         // so a late send surfaces as added latency, exactly as a stalled
         // load generator would in a real open-loop harness.
         s.spawn(move || {
+            // Requests are appended to the client's send buffer and put
+            // on the wire adaptively: whenever the sender is *ahead* of
+            // schedule it flushes before pacing (no request is ever held
+            // past its arrival time), and whenever it falls behind, the
+            // backlog rides out in one write syscall — at load, that
+            // batching is what keeps the arrival process honest instead
+            // of throttling on per-request syscalls.
+            const FLUSH_BYTES: usize = 32 * 1024;
             for (i, &(at_ns, key_id, is_get)) in schedule_ref.iter().enumerate() {
                 let due = Duration::from_nanos(at_ns);
                 // Coarse sleep to well short of the deadline, then a
@@ -209,6 +221,9 @@ pub fn run_open_loop(sc: &SchemeCache, cfg: &OpenLoopConfig) -> OpenLoopReport {
                 // available to the server threads on a single-core host.
                 const SLEEP_MARGIN: Duration = Duration::from_millis(5);
                 let now = start.elapsed();
+                if due > now && tx.buffered() > 0 && tx.flush().is_err() {
+                    return; // server gone; the receiver will notice
+                }
                 if due > now + SLEEP_MARGIN {
                     std::thread::sleep(due - now - SLEEP_MARGIN);
                 }
@@ -222,10 +237,12 @@ pub fn run_open_loop(sc: &SchemeCache, cfg: &OpenLoopConfig) -> OpenLoopReport {
                 } else {
                     Request::Set { id, key, value: value_ref.clone() }
                 };
-                if tx.send(&req).is_err() {
-                    return; // server gone; the receiver will notice
+                tx.send_buffered(&req);
+                if tx.buffered() >= FLUSH_BYTES && tx.flush().is_err() {
+                    return;
                 }
             }
+            let _ = tx.flush();
         });
         // Receiver: every request gets exactly one reply; latency from
         // scheduled arrival to receipt.
@@ -248,6 +265,7 @@ pub fn run_open_loop(sc: &SchemeCache, cfg: &OpenLoopConfig) -> OpenLoopReport {
         }
     });
     let wall = start.elapsed();
+    let stats = server.stats();
     drop(server);
 
     OpenLoopReport {
@@ -260,6 +278,7 @@ pub fn run_open_loop(sc: &SchemeCache, cfg: &OpenLoopConfig) -> OpenLoopReport {
         hits,
         wall,
         latency,
+        stats,
     }
 }
 
@@ -289,8 +308,11 @@ pub fn latency_json(cfg: &OpenLoopConfig, runs: &[OpenLoopReport]) -> String {
         let of_scheme: Vec<&OpenLoopReport> = runs.iter().filter(|r| r.scheme == *scheme).collect();
         out.push_str(&format!("    \"{scheme}\": [\n"));
         for (ri, r) in of_scheme.iter().enumerate() {
+            let buckets = |b: &[u64]| {
+                b.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+            };
             out.push_str(&format!(
-                "      {{\"offered_per_sec\": {:.0}, \"achieved_per_sec\": {:.1}, \"served\": {}, \"busy\": {}, \"errors\": {}, \"shed_fraction\": {:.4}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}{}\n",
+                "      {{\"offered_per_sec\": {:.0}, \"achieved_per_sec\": {:.1}, \"served\": {}, \"busy\": {}, \"errors\": {}, \"shed_fraction\": {:.4}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"frames_per_read\": {:.2}, \"jobs_per_dispatch\": {:.2}, \"replies_per_flush\": {:.2}, \"reply_allocs\": {}, \"read_batch_hist\": [{}], \"flush_batch_hist\": [{}]}}{}\n",
                 r.offered_rate,
                 r.achieved_rate(),
                 r.served,
@@ -300,6 +322,12 @@ pub fn latency_json(cfg: &OpenLoopConfig, runs: &[OpenLoopReport]) -> String {
                 r.latency.percentile(50.0).as_nanos() as f64 / 1e3,
                 r.latency.percentile(95.0).as_nanos() as f64 / 1e3,
                 r.latency.percentile(99.0).as_nanos() as f64 / 1e3,
+                r.stats.frames_per_read.mean(),
+                r.stats.jobs_per_dispatch.mean(),
+                r.stats.replies_per_flush.mean(),
+                r.stats.reply_allocs,
+                buckets(&r.stats.frames_per_read.buckets),
+                buckets(&r.stats.replies_per_flush.buckets),
                 if ri + 1 == of_scheme.len() { "" } else { "," }
             ));
         }
@@ -345,6 +373,11 @@ mod tests {
         assert_eq!(r.latency.count(), r.served);
         assert!(r.served > 0 && r.achieved_rate() > 0.0);
         assert!(r.hits > 0, "a warmed cache must serve hits");
+        // The server's batch accounting must close against the driver's.
+        assert_eq!(r.stats.requests, r.scheduled);
+        assert_eq!(r.stats.frames_per_read.items, r.scheduled);
+        assert_eq!(r.stats.replies_per_flush.items, r.stats.replies);
+        assert!(r.stats.frames_per_read.mean() >= 1.0);
     }
 
     #[test]
@@ -356,6 +389,8 @@ mod tests {
         assert!(json.contains("\"Zone-Cache\""));
         assert!(json.contains("\"offered_per_sec\""));
         assert!(json.contains("\"poisson\""));
+        assert!(json.contains("\"frames_per_read\""));
+        assert!(json.contains("\"read_batch_hist\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

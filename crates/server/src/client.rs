@@ -1,35 +1,42 @@
 //! A small synchronous client: one-shot RPC calls plus raw pipelined
 //! send/receive for the open-loop bench driver.
 
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
+use bytes::Bytes;
+
 use crate::conn::Stream;
 use crate::wire::{
-    decode_reply, encode_request, read_frame, write_frame, Reply, Request, WireError,
+    append_request_frame, decode_reply, read_frame, Reply, Request, WireError,
 };
+
+/// Read-side buffer: large enough that a server's coalesced reply batch
+/// usually drains in one syscall.
+const READ_BUF: usize = 64 * 1024;
 
 /// A connected client over either transport.
 ///
 /// The simple [`Client::get`]/[`Client::set`]/[`Client::del`] calls are
 /// strict request-reply. For pipelining, use [`Client::send`] /
-/// [`Client::recv`] directly (ids correlate replies), or
-/// [`Client::try_split`] to drive the two halves from separate threads —
-/// that is what the open-loop bench does, so send pacing never waits on
-/// reply draining.
+/// [`Client::recv`] directly (ids correlate replies), or — to batch
+/// several requests into one write syscall — [`Client::send_buffered`]
+/// followed by one [`Client::flush`]. [`Client::try_split`] separates
+/// the two halves for driving from different threads; that is what the
+/// open-loop bench does, so send pacing never waits on reply draining.
 pub struct Client {
     reader: BufReader<Stream>,
-    writer: BufWriter<Stream>,
+    writer: Stream,
     next_id: u64,
-    scratch: Vec<u8>,
+    wbuf: Vec<u8>,
 }
 
 /// The send half of a split [`Client`].
 pub struct ClientSender {
-    writer: BufWriter<Stream>,
-    scratch: Vec<u8>,
+    writer: Stream,
+    wbuf: Vec<u8>,
 }
 
 /// The receive half of a split [`Client`].
@@ -71,10 +78,10 @@ impl Client {
 
     fn new(reader: Stream, writer: Stream) -> Client {
         Client {
-            reader: BufReader::new(reader),
-            writer: BufWriter::new(writer),
+            reader: BufReader::with_capacity(READ_BUF, reader),
+            writer,
             next_id: 1,
-            scratch: Vec::new(),
+            wbuf: Vec::new(),
         }
     }
 
@@ -91,8 +98,28 @@ impl Client {
     ///
     /// Propagates transport errors.
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        encode_request(req, &mut self.scratch);
-        write_frame(&mut self.writer, &self.scratch)?;
+        self.send_buffered(req);
+        self.flush()
+    }
+
+    /// Appends one request frame to the send buffer without writing.
+    /// Pair with [`Client::flush`] to put a whole batch on the wire in
+    /// one syscall.
+    pub fn send_buffered(&mut self, req: &Request) {
+        append_request_frame(req, &mut self.wbuf);
+    }
+
+    /// Writes every buffered frame with one syscall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.writer.write_all(&self.wbuf)?;
+        self.wbuf.clear();
         self.writer.flush()
     }
 
@@ -118,7 +145,7 @@ impl Client {
     ///
     /// `WouldBlock` on a BUSY shed; `Other` on a typed server error; any
     /// transport error.
-    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Bytes>> {
         let id = self.fresh_id();
         match self.rpc(Request::Get { id, key: key.to_vec() })? {
             Reply::Value { value, .. } => Ok(Some(value)),
@@ -163,7 +190,7 @@ impl Client {
     /// Propagates the underlying `try_clone` failure.
     pub fn try_split(self) -> io::Result<(ClientSender, ClientReceiver)> {
         Ok((
-            ClientSender { writer: self.writer, scratch: self.scratch },
+            ClientSender { writer: self.writer, wbuf: self.wbuf },
             ClientReceiver { reader: self.reader },
         ))
     }
@@ -185,8 +212,32 @@ impl ClientSender {
     ///
     /// Propagates transport errors.
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        encode_request(req, &mut self.scratch);
-        write_frame(&mut self.writer, &self.scratch)?;
+        self.send_buffered(req);
+        self.flush()
+    }
+
+    /// Appends one request frame to the send buffer without writing;
+    /// pair with [`ClientSender::flush`].
+    pub fn send_buffered(&mut self, req: &Request) {
+        append_request_frame(req, &mut self.wbuf);
+    }
+
+    /// Bytes currently buffered and not yet written.
+    pub fn buffered(&self) -> usize {
+        self.wbuf.len()
+    }
+
+    /// Writes every buffered frame with one syscall.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.writer.write_all(&self.wbuf)?;
+        self.wbuf.clear();
         self.writer.flush()
     }
 }

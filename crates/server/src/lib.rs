@@ -24,6 +24,18 @@
 //! * [`Client`] — a small synchronous client with one-shot RPCs and a
 //!   split pipelined mode, used by the open-loop latency bench.
 //!
+//! The data path is *batched end to end*: each connection reader drains
+//! its socket once per cycle and decodes every complete frame that
+//! arrived (borrowed, zero-copy, via [`wire::RequestRef`]), bins the
+//! decoded jobs per shard, and hands each bin to its shard as one
+//! channel operation. Each shard drains whole batches, executes them,
+//! and coalesces the replies it owes each connection into one
+//! pre-encoded buffer flushed with one locked write. GET hits carry the
+//! engine's refcounted value straight into the encoder. The per-stage
+//! amortization (frames per read, jobs per dispatch, replies per flush)
+//! and the copy/alloc discipline are all measured in
+//! [`ServerStatsSnapshot`].
+//!
 //! Request-scoped trace spans: the frontend and shards emit
 //! `RequestArrive` → `RequestShardEnqueue` → `RequestEngineStart` →
 //! `RequestDone` (or `RequestShed`) through [`sim::trace`], keyed by the
@@ -40,4 +52,4 @@ pub mod wire;
 
 pub use client::{Client, ClientReceiver, ClientSender};
 pub use server::{BindAddr, CacheServer, ServerConfig};
-pub use stats::{ServerStats, ServerStatsSnapshot};
+pub use stats::{BatchStat, BatchStatSnapshot, ServerStats, ServerStatsSnapshot, BATCH_BUCKETS};

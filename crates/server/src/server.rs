@@ -1,7 +1,7 @@
 //! The network frontend: listeners, connection readers, routing,
 //! overload shedding, shutdown.
 
-use std::io::{self, BufReader};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -15,10 +15,12 @@ use zns_cache::policy::AdmissionGate;
 use zns_cache::trace::{emit, EventKind};
 use zns_cache::{Admission, LogCache, Maintainer, MaintainerHandle};
 
-use crate::conn::{ConnWriter, Stream};
+use crate::conn::{ConnWriter, ReplyBuf, Stream};
 use crate::shard::{Job, ShardPool};
 use crate::stats::{ServerStats, ServerStatsSnapshot};
-use crate::wire::{decode_request, read_frame, ErrorCode, Reply, Request};
+use crate::wire::{
+    decode_request_ref, split_frame, ErrorCode, FrameSplit, Reply, RequestRef,
+};
 
 /// Frontend and executor tuning.
 #[derive(Clone, Debug)]
@@ -292,73 +294,189 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) {
     }
 }
 
-/// Reads frames off one connection until EOF, protocol violation, or
-/// shutdown; decodes and routes each request. On exit, shuts the socket
-/// down (so the peer sees FIN even while registry/writer clones linger)
-/// and removes the connection from the live registry.
-fn read_loop(stream: Stream, conn_id: u64, writer: Arc<ConnWriter>, shared: Arc<Shared>) {
-    let mut reader = BufReader::new(stream);
-    loop {
+/// Growable read buffer for the drain loop: one `read` syscall fills it,
+/// then every complete frame it holds is decoded before the next
+/// syscall. The unconsumed window is `buf[start..end]`; leftover partial
+/// frames are compacted to the front before refilling, and the buffer
+/// grows until the largest in-flight frame fits (bounded by the codec's
+/// `MAX_FRAME_LEN` check inside [`split_frame`]).
+struct ReadBuf {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+/// Spare room guaranteed before each read syscall — also the growth
+/// step, so an over-`READ_CHUNK` frame becomes readable within a few
+/// fills.
+const READ_CHUNK: usize = 64 * 1024;
+
+impl ReadBuf {
+    fn new() -> ReadBuf {
+        ReadBuf { buf: Vec::new(), start: 0, end: 0 }
+    }
+
+    /// One read syscall into the spare tail; returns the byte count (0 =
+    /// EOF).
+    fn fill(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start > 0 && self.buf.len() - self.end < READ_CHUNK {
+            // Compact the leftover partial frame to the front.
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() - self.end < READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Consumes and returns the bounds of the next complete frame's
+    /// payload, or `None` when only a partial frame remains.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` from [`split_frame`] on an over-ceiling length.
+    fn next_frame(&mut self) -> io::Result<Option<std::ops::Range<usize>>> {
+        match split_frame(&self.buf[self.start..self.end])? {
+            FrameSplit::Incomplete => Ok(None),
+            FrameSplit::Frame { payload, advance } => {
+                let at = self.start;
+                self.start += advance;
+                Ok(Some(at + payload.start..at + payload.end))
+            }
+        }
+    }
+
+    fn slice(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+}
+
+/// Reads and drains one connection until EOF, protocol violation, or
+/// shutdown. Each cycle is one `read` syscall, then *every* complete
+/// frame it delivered: decode borrowed ([`RequestRef`]), route, bin per
+/// shard, and finally dispatch each bin as one batch per channel — one
+/// depth-gauge update and one shard wake per bin instead of per
+/// request. Shed and error replies coalesce into a reader-local
+/// [`ReplyBuf`] flushed once per cycle. On exit, shuts the socket down
+/// (so the peer sees FIN even while registry/writer clones linger) and
+/// removes the connection from the live registry.
+fn read_loop(mut stream: Stream, conn_id: u64, writer: Arc<ConnWriter>, shared: Arc<Shared>) {
+    let mut rbuf = ReadBuf::new();
+    let mut bins: Vec<Vec<Job>> = (0..shared.pool.shards()).map(|_| Vec::new()).collect();
+    let mut shed = ReplyBuf::new();
+    'conn: loop {
         // ordering-ok: shutdown latch, pairs with the Release store in
         // `shutdown`.
         if shared.stopping.load(Ordering::Acquire) {
             break;
         }
-        match read_frame(&mut reader) {
-            Ok(None) => break, // clean close between requests
-            Ok(Some(payload)) => match decode_request(&payload) {
-                Ok(req) => route(req, &writer, &shared),
+        let got = match rbuf.fill(&mut stream) {
+            Ok(n) => n,
+            Err(_) => break, // transport error: nothing to answer
+        };
+        let now = shared.cache.observed_clock();
+        let mut frames = 0u64;
+        let mut fatal = false;
+        loop {
+            match rbuf.next_frame() {
+                Ok(Some(range)) => {
+                    frames += 1;
+                    match decode_request_ref(rbuf.slice(range)) {
+                        Ok(req) => route_ref(req, &writer, &shared, &mut bins, &mut shed, now),
+                        Err(_) => {
+                            // The payload decoded far enough to be framed
+                            // but is malformed; answer with a typed
+                            // protocol error and close (the id is
+                            // unrecoverable from garbage).
+                            ServerStats::bump(&shared.stats.protocol_errors);
+                            shed.push(&Reply::Error { id: 0, code: ErrorCode::Protocol });
+                            fatal = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(None) => break,
                 Err(_) => {
-                    // The payload decoded far enough to be framed but is
-                    // malformed; answer with a typed protocol error and
-                    // close (the id is unrecoverable from garbage).
+                    // Frame length over the protocol ceiling.
                     ServerStats::bump(&shared.stats.protocol_errors);
-                    writer.send(&Reply::Error { id: 0, code: ErrorCode::Protocol });
+                    shed.push(&Reply::Error { id: 0, code: ErrorCode::Protocol });
+                    fatal = true;
                     break;
                 }
-            },
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Frame length over the protocol ceiling.
-                ServerStats::bump(&shared.stats.protocol_errors);
-                writer.send(&Reply::Error { id: 0, code: ErrorCode::Protocol });
-                break;
             }
-            // Mid-frame disconnect or transport error: nothing to answer.
-            Err(_) => break,
+        }
+        if frames > 0 {
+            shared.stats.frames_per_read.observe(frames);
+            emit(EventKind::ConnReadBatch, now, frames, conn_id);
+        }
+        // Dispatch every non-empty bin as one batch; the rejected tail
+        // of a full queue sheds with BUSY.
+        for (shard, bin) in bins.iter_mut().enumerate() {
+            if bin.is_empty() {
+                continue;
+            }
+            for job in shared
+                .pool
+                .try_dispatch_batch(shard, std::mem::take(bin), &shared.stats)
+            {
+                ServerStats::bump(&shared.stats.busy_replies);
+                emit(EventKind::RequestShed, now, job.req.id(), shard as u64);
+                shed.push(&Reply::Busy { id: job.req.id() });
+            }
+        }
+        // One locked write for every shed/error reply this cycle.
+        let cap_before = shed.capacity();
+        shed.flush(&writer, now);
+        shed.charge_growth(cap_before, &shared.stats);
+        if fatal || got == 0 {
+            break 'conn;
         }
     }
     // A socket shutdown is socket-level, not fd-level: it reaches the
     // peer even though the registry and ConnWriter still hold clones.
-    reader.get_ref().force_shutdown();
+    stream.force_shutdown();
     shared.conns.lock().remove(&conn_id);
 }
 
-fn route(req: Request, writer: &Arc<ConnWriter>, shared: &Shared) {
+/// Routes one borrowed request: shed (zero-copy) or copy it into the
+/// owning shard's bin. The soft-overload check reads the shard's queue
+/// depth *plus* the jobs already binned for it this cycle, so the
+/// watermark engages at the same queued-job count as the unbatched
+/// path did.
+fn route_ref(
+    req: RequestRef<'_>,
+    writer: &Arc<ConnWriter>,
+    shared: &Shared,
+    bins: &mut [Vec<Job>],
+    shed: &mut ReplyBuf,
+    now: sim::Nanos,
+) {
     ServerStats::bump(&shared.stats.requests);
     let id = req.id();
-    let now = shared.cache.observed_clock();
     emit(EventKind::RequestArrive, now, id, writer.id);
     let shard = shared.pool.shard_of(req.key());
     // Soft overload: above the watermark, SETs pass the engine-style
     // admission gate before they may cost a queue slot; GETs always get
     // the chance to queue.
-    if matches!(req, Request::Set { .. })
-        && shared.pool.depth(shard) >= shared.soft_limit
+    if matches!(req, RequestRef::Set { .. })
+        && shared.pool.depth(shard) + bins[shard].len() >= shared.soft_limit
         && !shared.set_gate.lock().admit()
     {
         ServerStats::bump(&shared.stats.shed_sets);
         ServerStats::bump(&shared.stats.busy_replies);
         emit(EventKind::RequestShed, now, id, shard as u64);
-        writer.send(&Reply::Busy { id });
+        shed.push(&Reply::Busy { id });
         return;
     }
-    match shared.pool.try_dispatch(shard, Job { req, conn: Arc::clone(writer) }, &shared.stats) {
-        Ok(()) => emit(EventKind::RequestShardEnqueue, now, id, shard as u64),
-        Err(_job) => {
-            // Bounded queue full: shed, do not wait.
-            ServerStats::bump(&shared.stats.busy_replies);
-            emit(EventKind::RequestShed, now, id, shard as u64);
-            writer.send(&Reply::Busy { id });
-        }
-    }
+    // The dispatch boundary: the one copy out of the read buffer.
+    ServerStats::add(&shared.stats.bytes_copied, req.owned_len() as u64);
+    emit(EventKind::RequestShardEnqueue, now, id, shard as u64);
+    bins[shard].push(Job { req: req.to_owned(), conn: Arc::clone(writer) });
 }

@@ -15,6 +15,18 @@
 //! engine, and a slow request (zone collision, GC stall) delays only
 //! its own shard's queue.
 //!
+//! **Batched end to end.** The channel carries `Vec<Job>` batches, not
+//! single jobs: one reservation against the job-count bound, one
+//! `try_send`, one consumer wake per *batch* of decoded frames. The
+//! bound itself stays a bound on **queued jobs** — a CAS loop reserves
+//! up to `queue_capacity - depth` slots and the frontend sheds the
+//! remainder — so the soft-overload watermark and the hard BUSY bound
+//! engage at exactly the same queued-job counts as the unbatched path.
+//! On the way out, each loop drains every batch its channel holds,
+//! executes the jobs, and coalesces all replies owed to the same
+//! connection into one reusable buffer flushed with a single locked
+//! write syscall ([`ConnWriter::write_frames`]).
+//!
 //! Each shard carries its own simulated clock, seeded from the engine's
 //! observed clock and re-synchronized against it per request (the same
 //! loose coupling the closed-loop MT driver uses), so the trace spans a
@@ -30,7 +42,7 @@ use std::time::Duration;
 use zns_cache::trace::{emit, EventKind};
 use zns_cache::LogCache;
 
-use crate::conn::ConnWriter;
+use crate::conn::{ConnWriter, ReplyBuf};
 use crate::stats::ServerStats;
 use crate::wire::{ErrorCode, Reply, Request};
 
@@ -44,7 +56,7 @@ pub(crate) struct Job {
 /// The executor pool: senders into each shard's bounded queue plus the
 /// shard threads themselves.
 pub(crate) struct ShardPool {
-    senders: Vec<SyncSender<Job>>,
+    senders: Vec<SyncSender<Vec<Job>>>,
     depths: Vec<Arc<AtomicUsize>>,
     queue_capacity: usize,
     handles: Vec<JoinHandle<()>>,
@@ -60,11 +72,35 @@ fn shard_hash(key: &[u8]) -> u64 {
     h
 }
 
+/// Reserves up to `want` job slots against `depth`'s bound of `cap`
+/// queued jobs, returning how many were granted (possibly zero). One
+/// atomic update per *batch* — this is the satellite fix for the old
+/// per-job `fetch_add(1)`: the gauge moves by whole batches but still
+/// counts jobs, so the soft-shed watermark reads queued work, not
+/// channel operations.
+fn reserve_jobs(depth: &AtomicUsize, cap: usize, want: usize) -> usize {
+    // relaxed-ok: the depth gauge orders nothing; the channel's own
+    // synchronization publishes the jobs. The CAS only keeps the gauge's
+    // arithmetic exact so the bound cannot be overshot.
+    let mut cur = depth.load(Ordering::Relaxed);
+    loop {
+        let take = want.min(cap.saturating_sub(cur));
+        if take == 0 {
+            return 0;
+        }
+        // relaxed-ok: same gauge as above; only the count must be exact.
+        match depth.compare_exchange_weak(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return take,
+            Err(now) => cur = now,
+        }
+    }
+}
+
 impl ShardPool {
     /// Spawns `shards` command loops over `cache`, each with a bounded
-    /// queue of `queue_capacity`. `op_wall_delay` inserts an artificial
-    /// wall-clock delay per engine op — zero in production; tests use it
-    /// to make overload deterministic.
+    /// queue of `queue_capacity` *jobs*. `op_wall_delay` inserts an
+    /// artificial wall-clock delay per engine op — zero in production;
+    /// tests use it to make overload deterministic.
     pub(crate) fn start(
         cache: Arc<LogCache>,
         shards: usize,
@@ -73,21 +109,32 @@ impl ShardPool {
         stats: Arc<ServerStats>,
     ) -> ShardPool {
         let shards = shards.max(1);
+        let queue_capacity = queue_capacity.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut depths = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for _shard in 0..shards {
-            let (tx, rx) = sync_channel::<Job>(queue_capacity.max(1));
+            // Channel slots are *batches*; every batch holds >= 1 job and
+            // job reservations are capped at `queue_capacity`, so at most
+            // `queue_capacity` batches can be outstanding — the channel
+            // can never refuse a reserved batch.
+            let (tx, rx) = sync_channel::<Vec<Job>>(queue_capacity);
             let depth = Arc::new(AtomicUsize::new(0));
             senders.push(tx);
             depths.push(Arc::clone(&depth));
             let cache = Arc::clone(&cache);
             let stats = Arc::clone(&stats);
             handles.push(std::thread::spawn(move || {
-                run_shard(cache, rx, depth, op_wall_delay, stats)
+                run_shard(cache, rx, depth, queue_capacity, op_wall_delay, stats)
             }));
         }
-        ShardPool { senders, depths, queue_capacity: queue_capacity.max(1), handles }
+        ShardPool { senders, depths, queue_capacity, handles }
+    }
+
+    /// How many shard loops are running (the frontend sizes its dispatch
+    /// bins off this).
+    pub(crate) fn shards(&self) -> usize {
+        self.senders.len()
     }
 
     /// Which shard serves `key`.
@@ -95,37 +142,51 @@ impl ShardPool {
         (shard_hash(key) % self.senders.len() as u64) as usize
     }
 
-    /// Current queue depth of `shard` (approximate; used for the
-    /// soft-overload watermark).
+    /// Current queue depth of `shard` in *jobs* (approximate; used for
+    /// the soft-overload watermark).
     pub(crate) fn depth(&self, shard: usize) -> usize {
         // relaxed-ok: advisory load for the shedding watermark; an
         // off-by-a-few read only shifts when shedding engages.
         self.depths[shard].load(Ordering::Relaxed)
     }
 
-    /// The bound every shard queue enforces.
+    /// The job-count bound every shard queue enforces.
     pub(crate) fn queue_capacity(&self) -> usize {
         self.queue_capacity
     }
 
-    /// Enqueues `job` on `shard`, or returns it when the bounded queue
-    /// is full (the caller sheds with BUSY) or the pool is shutting down.
-    pub(crate) fn try_dispatch(&self, shard: usize, job: Job, stats: &ServerStats) -> Result<(), Job> {
-        // Increment BEFORE try_send: the consumer can only decrement after
-        // a successful send, so the gauge never dips below zero. (The other
-        // order races — a fast shard could dequeue and decrement before
-        // this thread's increment landed, wrapping the counter.)
+    /// Enqueues as much of `batch` as the bounded queue has room for —
+    /// one depth-gauge update, one channel send, one consumer wake for
+    /// the whole batch — and returns the rejected tail (empty when
+    /// everything was admitted; the caller sheds the rest with BUSY).
+    pub(crate) fn try_dispatch_batch(
+        &self,
+        shard: usize,
+        mut batch: Vec<Job>,
+        stats: &ServerStats,
+    ) -> Vec<Job> {
+        if batch.is_empty() {
+            return batch;
+        }
+        let depth = &self.depths[shard];
+        let take = reserve_jobs(depth, self.queue_capacity, batch.len());
+        if take == 0 {
+            return batch;
+        }
+        let rejected = batch.split_off(take);
         // relaxed-ok: advisory depth gauge, see `depth`.
-        let d = self.depths[shard].fetch_add(1, Ordering::Relaxed) + 1;
-        match self.senders[shard].try_send(job) {
-            Ok(()) => {
-                stats.observe_depth(d as u64);
-                Ok(())
-            }
-            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+        stats.observe_depth(depth.load(Ordering::Relaxed) as u64);
+        stats.jobs_per_dispatch.observe(take as u64);
+        match self.senders[shard].try_send(batch) {
+            Ok(()) => rejected,
+            Err(TrySendError::Full(mut batch)) | Err(TrySendError::Disconnected(mut batch)) => {
+                // Full is impossible by construction (see `start`); this
+                // arm is the shutdown race — undo the reservation and
+                // hand everything back.
                 // relaxed-ok: advisory depth gauge, see `depth`.
-                self.depths[shard].fetch_sub(1, Ordering::Relaxed);
-                Err(job)
+                depth.fetch_sub(take, Ordering::Relaxed);
+                batch.extend(rejected);
+                batch
             }
         }
     }
@@ -140,10 +201,65 @@ impl ShardPool {
     }
 }
 
+/// Reusable per-connection reply accumulators for one executed batch:
+/// replies owed to the same connection coalesce into one buffer, flushed
+/// with one locked write. Slots (and their buffers) persist across
+/// batches, so the steady state allocates nothing.
+struct ReplyGroups {
+    groups: Vec<(Option<Arc<ConnWriter>>, ReplyBuf, usize)>,
+}
+
+impl ReplyGroups {
+    fn new() -> ReplyGroups {
+        ReplyGroups { groups: Vec::new() }
+    }
+
+    fn buf_for(&mut self, conn: &Arc<ConnWriter>) -> &mut ReplyBuf {
+        // Linear scan: a batch rarely spans more than a handful of
+        // connections, and slots are reused in place.
+        let mut active = None;
+        let mut free = None;
+        for (i, (owner, _, _)) in self.groups.iter().enumerate() {
+            match owner {
+                Some(c) if Arc::ptr_eq(c, conn) => {
+                    active = Some(i);
+                    break;
+                }
+                None if free.is_none() => free = Some(i),
+                _ => {}
+            }
+        }
+        let i = match (active, free) {
+            (Some(i), _) => return &mut self.groups[i].1,
+            (None, Some(i)) => i,
+            (None, None) => {
+                self.groups.push((None, ReplyBuf::new(), 0));
+                self.groups.len() - 1
+            }
+        };
+        let (owner, buf, cap_before) = &mut self.groups[i];
+        *owner = Some(Arc::clone(conn));
+        *cap_before = buf.capacity();
+        buf
+    }
+
+    /// Flushes every active group — one locked write syscall per
+    /// connection — then releases the connections (keeping the buffers).
+    fn flush_all(&mut self, stats: &ServerStats, now: sim::Nanos) {
+        for (owner, buf, cap_before) in &mut self.groups {
+            if let Some(conn) = owner.take() {
+                buf.charge_growth(*cap_before, stats);
+                buf.flush(&conn, now);
+            }
+        }
+    }
+}
+
 fn run_shard(
     cache: Arc<LogCache>,
-    rx: Receiver<Job>,
+    rx: Receiver<Vec<Job>>,
     depth: Arc<AtomicUsize>,
+    queue_capacity: usize,
     op_wall_delay: Duration,
     stats: Arc<ServerStats>,
 ) {
@@ -151,54 +267,73 @@ fn run_shard(
     // observed clock per request so shard timelines stay loosely coupled
     // (a shard idle for a while does not replay the past).
     let mut clock = cache.observed_clock();
-    while let Ok(job) = rx.recv() {
+    let mut groups = ReplyGroups::new();
+    while let Ok(mut batch) = rx.recv() {
         // relaxed-ok: advisory depth gauge for the shedding watermark.
-        depth.fetch_sub(1, Ordering::Relaxed);
-        if !op_wall_delay.is_zero() {
-            std::thread::sleep(op_wall_delay);
+        depth.fetch_sub(batch.len(), Ordering::Relaxed);
+        // Drain everything else already queued (up to the job bound, so a
+        // continuously-refilled queue cannot defer replies forever): the
+        // deeper the backlog, the more replies one flush amortizes.
+        while batch.len() < queue_capacity {
+            match rx.try_recv() {
+                Ok(more) => {
+                    // relaxed-ok: advisory depth gauge, see above.
+                    depth.fetch_sub(more.len(), Ordering::Relaxed);
+                    batch.extend(more);
+                }
+                Err(_) => break,
+            }
         }
-        let Job { req, conn } = job;
-        let id = req.id();
-        let start = clock.max(cache.observed_clock());
-        emit(EventKind::RequestEngineStart, start, id, req.opcode() as u64);
-        let reply = match &req {
-            Request::Get { key, .. } => match cache.get(key, start) {
-                Ok((Some(value), done)) => {
-                    clock = done;
-                    Reply::Value { id, value: value.to_vec() }
-                }
-                Ok((None, done)) => {
-                    clock = done;
-                    Reply::NotFound { id }
-                }
-                Err(_) => {
-                    ServerStats::bump(&stats.engine_errors);
-                    Reply::Error { id, code: ErrorCode::Engine }
-                }
-            },
-            Request::Set { key, value, .. } => match cache.set(key, value, start) {
-                Ok(done) => {
-                    clock = done;
-                    Reply::Stored { id }
-                }
-                Err(_) => {
-                    ServerStats::bump(&stats.engine_errors);
-                    Reply::Error { id, code: ErrorCode::Engine }
-                }
-            },
-            Request::Del { key, .. } => match cache.delete(key, start) {
-                Ok((existed, done)) => {
-                    clock = done;
-                    Reply::Deleted { id, existed }
-                }
-                Err(_) => {
-                    ServerStats::bump(&stats.engine_errors);
-                    Reply::Error { id, code: ErrorCode::Engine }
-                }
-            },
-        };
-        emit(EventKind::RequestDone, clock, id, (clock - start).as_nanos());
-        conn.send(&reply);
+        for job in batch.drain(..) {
+            if !op_wall_delay.is_zero() {
+                std::thread::sleep(op_wall_delay);
+            }
+            let Job { req, conn } = job;
+            let id = req.id();
+            let start = clock.max(cache.observed_clock());
+            emit(EventKind::RequestEngineStart, start, id, req.opcode() as u64);
+            let reply = match &req {
+                Request::Get { key, .. } => match cache.get(key, start) {
+                    Ok((Some(value), done)) => {
+                        clock = done;
+                        // The engine's refcounted buffer rides into the
+                        // encoder as-is — no `to_vec` on the hit path.
+                        Reply::Value { id, value }
+                    }
+                    Ok((None, done)) => {
+                        clock = done;
+                        Reply::NotFound { id }
+                    }
+                    Err(_) => {
+                        ServerStats::bump(&stats.engine_errors);
+                        Reply::Error { id, code: ErrorCode::Engine }
+                    }
+                },
+                Request::Set { key, value, .. } => match cache.set(key, value, start) {
+                    Ok(done) => {
+                        clock = done;
+                        Reply::Stored { id }
+                    }
+                    Err(_) => {
+                        ServerStats::bump(&stats.engine_errors);
+                        Reply::Error { id, code: ErrorCode::Engine }
+                    }
+                },
+                Request::Del { key, .. } => match cache.delete(key, start) {
+                    Ok((existed, done)) => {
+                        clock = done;
+                        Reply::Deleted { id, existed }
+                    }
+                    Err(_) => {
+                        ServerStats::bump(&stats.engine_errors);
+                        Reply::Error { id, code: ErrorCode::Engine }
+                    }
+                },
+            };
+            emit(EventKind::RequestDone, clock, id, (clock - start).as_nanos());
+            groups.buf_for(&conn).push(&reply);
+        }
+        groups.flush_all(&stats, clock);
     }
 }
 
@@ -217,5 +352,23 @@ mod tests {
             counts[(shard_hash(key.as_bytes()) % 4) as usize] += 1;
         }
         assert!(counts.iter().all(|&c| c > 100), "skewed routing: {counts:?}");
+    }
+
+    #[test]
+    fn reserve_jobs_counts_jobs_not_batches() {
+        // The regression the depth-gauge satellite guards: the bound is
+        // queued *jobs*. Three batch reservations against a bound of 8
+        // must grant 5, then 3, then 0 — the same cutoffs the old
+        // per-job fetch_add produced, in one atomic update per batch.
+        let depth = AtomicUsize::new(0);
+        assert_eq!(reserve_jobs(&depth, 8, 5), 5);
+        assert_eq!(depth.load(Ordering::Relaxed), 5);
+        assert_eq!(reserve_jobs(&depth, 8, 5), 3, "partial grant at the bound");
+        assert_eq!(depth.load(Ordering::Relaxed), 8);
+        assert_eq!(reserve_jobs(&depth, 8, 1), 0, "full queue grants nothing");
+        assert_eq!(depth.load(Ordering::Relaxed), 8);
+        // Consumer drains a whole batch in one decrement; capacity frees.
+        depth.fetch_sub(8, Ordering::Relaxed);
+        assert_eq!(reserve_jobs(&depth, 8, 20), 8, "grants clamp to the bound");
     }
 }

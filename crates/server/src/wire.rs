@@ -39,6 +39,9 @@
 //! is closed — once framing is in doubt, resynchronization is hopeless.
 
 use std::io::{self, Read, Write};
+use std::ops::Range;
+
+use bytes::Bytes;
 
 /// Longest accepted key (the engine's keys are small identifiers).
 pub const MAX_KEY_LEN: usize = 1024;
@@ -103,6 +106,82 @@ impl ErrorCode {
     }
 }
 
+/// One decoded request whose key/value still *borrow* the buffer they
+/// were read from.
+///
+/// The server's read-drain loop decodes every complete frame in its read
+/// buffer into these before copying anything: routing, the soft-overload
+/// admission decision, and shedding all happen on borrowed slices, so a
+/// shed request costs zero copies. Only requests actually admitted to a
+/// shard queue pay [`RequestRef::to_owned`] (the one copy out of the
+/// reusable read buffer, counted in the `bytes_copied` stat).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestRef<'a> {
+    /// Look up `key`.
+    Get {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Object key, borrowed from the read buffer.
+        key: &'a [u8],
+    },
+    /// Insert `key` → `value`.
+    Set {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Object key, borrowed from the read buffer.
+        key: &'a [u8],
+        /// Object value, borrowed from the read buffer.
+        value: &'a [u8],
+    },
+    /// Remove `key`.
+    Del {
+        /// Client correlation id, echoed in the reply.
+        id: u64,
+        /// Object key, borrowed from the read buffer.
+        key: &'a [u8],
+    },
+}
+
+impl RequestRef<'_> {
+    /// The client correlation id.
+    pub fn id(&self) -> u64 {
+        match self {
+            RequestRef::Get { id, .. } | RequestRef::Set { id, .. } | RequestRef::Del { id, .. } => {
+                *id
+            }
+        }
+    }
+
+    /// The key this request addresses (shard routing input).
+    pub fn key(&self) -> &[u8] {
+        match self {
+            RequestRef::Get { key, .. }
+            | RequestRef::Set { key, .. }
+            | RequestRef::Del { key, .. } => key,
+        }
+    }
+
+    /// Bytes [`RequestRef::to_owned`] will copy out of the read buffer.
+    pub fn owned_len(&self) -> usize {
+        match self {
+            RequestRef::Get { key, .. } | RequestRef::Del { key, .. } => key.len(),
+            RequestRef::Set { key, value, .. } => key.len() + value.len(),
+        }
+    }
+
+    /// Copies the borrowed slices into an owned [`Request`] — the
+    /// dispatch boundary, where a request outlives the read buffer.
+    pub fn to_owned(&self) -> Request {
+        match *self {
+            RequestRef::Get { id, key } => Request::Get { id, key: key.to_vec() },
+            RequestRef::Set { id, key, value } => {
+                Request::Set { id, key: key.to_vec(), value: value.to_vec() }
+            }
+            RequestRef::Del { id, key } => Request::Del { id, key: key.to_vec() },
+        }
+    }
+}
+
 /// One decoded client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -163,8 +242,11 @@ pub enum Reply {
     Value {
         /// Echoed correlation id.
         id: u64,
-        /// The cached object.
-        value: Vec<u8>,
+        /// The cached object. A refcounted [`Bytes`]: on the server this
+        /// is the engine's own buffer carried into the encoder without an
+        /// intermediate `to_vec`, so a GET hit's value is copied exactly
+        /// once on the reply path (into the coalesced write buffer).
+        value: Bytes,
     },
     /// GET miss.
     NotFound {
@@ -270,6 +352,10 @@ impl<'a> Take<'a> {
 /// Encodes a request payload (no frame length prefix) into `out`.
 pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     out.clear();
+    append_request_payload(req, out);
+}
+
+fn append_request_payload(req: &Request, out: &mut Vec<u8>) {
     let (key, value): (&[u8], &[u8]) = match req {
         Request::Get { key, .. } | Request::Del { key, .. } => (key, &[]),
         Request::Set { key, value, .. } => (key, value),
@@ -282,13 +368,26 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     out.extend_from_slice(value);
 }
 
-/// Decodes a request payload.
+/// Appends one complete request *frame* (4-byte length prefix +
+/// payload) to `out`, encoding in place: the prefix slot is reserved up
+/// front and patched once the payload length is known — no intermediate
+/// payload buffer. The client's buffered/pipelined send path.
+pub fn append_request_frame(req: &Request, out: &mut Vec<u8>) {
+    let prefix = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    append_request_payload(req, out);
+    let len = (out.len() - prefix - 4) as u32;
+    out[prefix..prefix + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Decodes a request payload into borrowed slices — no allocation, no
+/// copy. The server's hot path; [`decode_request`] is the owned wrapper.
 ///
 /// # Errors
 ///
 /// Any [`WireError`]: truncation, unknown opcode, oversized key/value, a
 /// value on a GET/DEL, or trailing bytes.
-pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+pub fn decode_request_ref(payload: &[u8]) -> Result<RequestRef<'_>, WireError> {
     let mut t = Take { buf: payload };
     let op = t.u8()?;
     let id = t.u64()?;
@@ -296,25 +395,38 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     if key_len > MAX_KEY_LEN {
         return Err(WireError::KeyTooLong(key_len));
     }
-    let key = t.bytes(key_len)?.to_vec();
+    let key = t.bytes(key_len)?;
     let value_len = t.u32()? as usize;
     if value_len > MAX_VALUE_LEN {
         return Err(WireError::ValueTooLong(value_len));
     }
-    let value = t.bytes(value_len)?.to_vec();
+    let value = t.bytes(value_len)?;
     t.finish()?;
     match op {
         1 | 3 if !value.is_empty() => Err(WireError::BadBody),
-        1 => Ok(Request::Get { id, key }),
-        2 => Ok(Request::Set { id, key, value }),
-        3 => Ok(Request::Del { id, key }),
+        1 => Ok(RequestRef::Get { id, key }),
+        2 => Ok(RequestRef::Set { id, key, value }),
+        3 => Ok(RequestRef::Del { id, key }),
         op => Err(WireError::BadOpcode(op)),
     }
+}
+
+/// Decodes a request payload into owned buffers.
+///
+/// # Errors
+///
+/// As [`decode_request_ref`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    decode_request_ref(payload).map(|r| r.to_owned())
 }
 
 /// Encodes a reply payload (no frame length prefix) into `out`.
 pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
     out.clear();
+    append_reply_payload(reply, out);
+}
+
+fn append_reply_payload(reply: &Reply, out: &mut Vec<u8>) {
     let (status, body): (u8, &[u8]) = match reply {
         Reply::Value { value, .. } => (1, value),
         Reply::NotFound { .. } => (2, &[]),
@@ -330,6 +442,61 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
     put_u64(out, reply.id());
     put_u32(out, body.len() as u32);
     out.extend_from_slice(body);
+}
+
+/// Appends one complete reply *frame* (4-byte length prefix + payload)
+/// to `out`, encoding in place with the prefix patched afterwards. The
+/// server's coalescing path: shards append every reply owed to one
+/// connection into one reusable buffer and flush it with one locked
+/// write — no per-reply `payload` + `frame` Vec pair.
+pub fn append_reply_frame(reply: &Reply, out: &mut Vec<u8>) {
+    let prefix = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    append_reply_payload(reply, out);
+    let len = (out.len() - prefix - 4) as u32;
+    out[prefix..prefix + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Scan outcome of [`split_frame`] over a partially-filled read buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameSplit {
+    /// The buffer holds no complete frame yet — read more first.
+    Incomplete,
+    /// One complete frame: its payload occupies `payload` within the
+    /// scanned slice, and `advance` bytes (prefix + payload) are
+    /// consumed.
+    Frame {
+        /// Payload bounds within the scanned slice.
+        payload: Range<usize>,
+        /// Total bytes this frame occupies (4-byte prefix + payload).
+        advance: usize,
+    },
+}
+
+/// Finds the next complete frame in `buf` without copying. The
+/// read-drain loop calls this repeatedly after one `read` syscall to
+/// decode *every* complete frame the read delivered.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] when the advertised length exceeds
+/// [`MAX_FRAME_LEN`] — checked from the prefix alone, before any
+/// buffering decision it would otherwise distort.
+pub fn split_frame(buf: &[u8]) -> io::Result<FrameSplit> {
+    if buf.len() < 4 {
+        return Ok(FrameSplit::Incomplete);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4-byte slice")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds {MAX_FRAME_LEN}"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(FrameSplit::Incomplete);
+    }
+    Ok(FrameSplit::Frame { payload: 4..4 + len, advance: 4 + len })
 }
 
 /// Decodes a reply payload.
@@ -348,7 +515,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
     }
     let body = t.bytes(body_len)?;
     let reply = match (status, body.len()) {
-        (1, _) => Reply::Value { id, value: body.to_vec() },
+        (1, _) => Reply::Value { id, value: Bytes::copy_from_slice(body) },
         (2, 0) => Reply::NotFound { id },
         (3, 0) => Reply::Stored { id },
         (4, 1) => Reply::Deleted { id, existed: body[0] != 0 },
@@ -438,8 +605,8 @@ mod tests {
 
     #[test]
     fn replies_round_trip() {
-        round_trip_reply(Reply::Value { id: 1, value: vec![9; 100] });
-        round_trip_reply(Reply::Value { id: 2, value: Vec::new() });
+        round_trip_reply(Reply::Value { id: 1, value: Bytes::copy_from_slice(&[9; 100]) });
+        round_trip_reply(Reply::Value { id: 2, value: Bytes::new() });
         round_trip_reply(Reply::NotFound { id: 3 });
         round_trip_reply(Reply::Stored { id: 4 });
         round_trip_reply(Reply::Deleted { id: 5, existed: true });
@@ -447,6 +614,94 @@ mod tests {
         round_trip_reply(Reply::Busy { id: 7 });
         round_trip_reply(Reply::Error { id: 8, code: ErrorCode::Protocol });
         round_trip_reply(Reply::Error { id: 9, code: ErrorCode::Engine });
+    }
+
+    #[test]
+    fn value_replies_round_trip_at_the_size_extremes() {
+        // The refcounted-value plumbing must survive both degenerate
+        // sizes: a zero-length object and one at the protocol ceiling.
+        round_trip_reply(Reply::Value { id: 1, value: Bytes::new() });
+        round_trip_reply(Reply::Value {
+            id: 2,
+            value: Bytes::from(vec![0x5A; MAX_VALUE_LEN]),
+        });
+        round_trip_request(Request::Set { id: 3, key: b"k".to_vec(), value: Vec::new() });
+        round_trip_request(Request::Set {
+            id: 4,
+            key: b"k".to_vec(),
+            value: vec![0xA5; MAX_VALUE_LEN],
+        });
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_and_copies_nothing() {
+        let mut buf = Vec::new();
+        let req = Request::Set { id: 9, key: b"key".to_vec(), value: vec![7; 64] };
+        encode_request(&req, &mut buf);
+        let r = decode_request_ref(&buf).expect("decode");
+        // The borrowed slices must point back into the payload buffer.
+        let RequestRef::Set { id, key, value } = r else {
+            panic!("wrong variant {r:?}")
+        };
+        assert_eq!(id, 9);
+        assert!(buf.as_ptr_range().contains(&key.as_ptr()));
+        assert!(buf.as_ptr_range().contains(&value.as_ptr()));
+        assert_eq!(r.owned_len(), 3 + 64);
+        assert_eq!(r.to_owned(), req);
+    }
+
+    #[test]
+    fn append_frames_round_trip_through_split() {
+        // Three frames appended in place into one buffer must split back
+        // out one by one, each decodable, with nothing left over.
+        let mut out = Vec::new();
+        let reqs = [
+            Request::Get { id: 1, key: b"a".to_vec() },
+            Request::Set { id: 2, key: b"b".to_vec(), value: vec![3; 300] },
+            Request::Del { id: 3, key: b"c".to_vec() },
+        ];
+        for r in &reqs {
+            append_request_frame(r, &mut out);
+        }
+        let mut at = 0;
+        for want in &reqs {
+            let FrameSplit::Frame { payload, advance } = split_frame(&out[at..]).unwrap() else {
+                panic!("expected a complete frame")
+            };
+            let got = decode_request(&out[at..][payload]).expect("decode");
+            assert_eq!(&got, want);
+            at += advance;
+        }
+        assert_eq!(at, out.len());
+        assert_eq!(split_frame(&out[at..]).unwrap(), FrameSplit::Incomplete);
+
+        // Reply frames take the same in-place path.
+        let mut out = Vec::new();
+        let reply = Reply::Value { id: 5, value: Bytes::copy_from_slice(b"xyz") };
+        append_reply_frame(&reply, &mut out);
+        let FrameSplit::Frame { payload, advance } = split_frame(&out).unwrap() else {
+            panic!("expected a complete frame")
+        };
+        assert_eq!(advance, out.len());
+        assert_eq!(decode_reply(&out[payload]).unwrap(), reply);
+    }
+
+    #[test]
+    fn split_frame_is_incomplete_on_partial_and_rejects_oversize() {
+        let mut out = Vec::new();
+        append_request_frame(&Request::Get { id: 1, key: b"key".to_vec() }, &mut out);
+        for cut in 0..out.len() {
+            assert_eq!(
+                split_frame(&out[..cut]).unwrap(),
+                FrameSplit::Incomplete,
+                "cut at {cut}"
+            );
+        }
+        let huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        assert_eq!(
+            split_frame(&huge).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
     }
 
     #[test]

@@ -313,6 +313,198 @@ fn soft_overload_sheds_sets_before_queue_is_full() {
     );
 }
 
+/// Per-connection, per-request value pattern: distinct lengths and fill
+/// bytes, so a reply assembled from the wrong request's bytes — or a
+/// frame corrupted by two shards interleaving mid-frame — cannot pass.
+fn patterned_value(tag: u8, i: u64) -> Vec<u8> {
+    vec![tag ^ (i as u8); 32 + ((i as usize) * 37) % 200]
+}
+
+#[test]
+fn pipelined_connections_answer_every_id_once_without_interleaving() {
+    // Three connections, each pipelining batches that fan out over all
+    // four shards, so every connection's socket is written by several
+    // shard threads concurrently. The invariants under test: (a) every
+    // correlation id is answered exactly once, (b) reply frames from
+    // different shards never interleave mid-frame (a torn frame would
+    // fail to decode or carry a corrupt pattern).
+    let cfg = ServerConfig {
+        queue_capacity: 1024, // no shedding: every id must round-trip
+        maintainer: false,
+        ..ServerConfig::default()
+    };
+    let server = start_tcp(cfg);
+    let addr = server.tcp_addr().expect("tcp bound");
+    const N: u64 = 32;
+    const CONNS: u64 = 3;
+    let mut workers = Vec::new();
+    for c in 0..CONNS {
+        workers.push(std::thread::spawn(move || {
+            let tag = 0x40 + c as u8;
+            let mut client = Client::connect_tcp(addr).expect("connect");
+            // One write syscall for all N SETs, another for all N GETs
+            // (the GETs only go on the wire after every SET was stored).
+            for i in 0..N {
+                let key = format!("c{c}-k{i}").into_bytes();
+                client.send_buffered(&Request::Set { id: i, key, value: patterned_value(tag, i) });
+            }
+            client.flush().unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..N {
+                match client.recv().unwrap() {
+                    Reply::Stored { id } => assert!(seen.insert(id), "id {id} answered twice"),
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            for i in 0..N {
+                let key = format!("c{c}-k{i}").into_bytes();
+                client.send_buffered(&Request::Get { id: N + i, key });
+            }
+            client.flush().unwrap();
+            for _ in 0..N {
+                match client.recv().unwrap() {
+                    Reply::Value { id, value } => {
+                        assert!(seen.insert(id), "id {id} answered twice");
+                        let i = id - N;
+                        assert_eq!(
+                            value,
+                            patterned_value(tag, i),
+                            "conn {c} id {id}: torn or misrouted reply"
+                        );
+                    }
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            assert_eq!(seen.len() as u64, 2 * N);
+        }));
+    }
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let stats = wait_for(&server, |s| s.replies == CONNS * 2 * N);
+    assert_eq!(stats.requests, CONNS * 2 * N);
+    assert_eq!(stats.replies, CONNS * 2 * N);
+    assert_eq!(stats.busy_replies, 0);
+    assert_eq!(stats.dead_replies, 0);
+    // The batch accounting must close: every decoded frame was observed
+    // by the read histogram, every admitted job by the dispatch
+    // histogram, every reply by the flush histogram.
+    assert_eq!(stats.frames_per_read.items, stats.requests);
+    assert_eq!(stats.jobs_per_dispatch.items, stats.requests);
+    assert_eq!(stats.replies_per_flush.items, stats.replies);
+    assert!(stats.frames_per_read.mean() >= 1.0);
+}
+
+#[test]
+fn mid_batch_disconnect_drops_only_that_connections_replies() {
+    // Connection A pipelines a batch into a slow shard and vanishes
+    // before any reply is ready. Its replies must die cleanly — counted
+    // in `dead_replies`, never retried — and the shard must keep
+    // serving connection B behind it.
+    let cfg = ServerConfig {
+        shards: 1,
+        queue_capacity: 32,
+        soft_overload: 1.0,
+        set_admission_under_pressure: Admission::Always,
+        op_wall_delay: Duration::from_millis(5),
+        maintainer: false,
+    };
+    let server = start_tcp(cfg);
+    let addr = server.tcp_addr().expect("tcp bound");
+    const N: u64 = 16;
+    {
+        let mut a = Client::connect_tcp(addr).expect("connect");
+        for i in 0..N {
+            a.send_buffered(&Request::Set {
+                id: i,
+                key: format!("dead-{i}").into_bytes(),
+                value: vec![3; 64],
+            });
+        }
+        a.flush().unwrap();
+    } // drop: A disconnects with all N replies still owed
+    // B queues behind A's in-flight batch and must still be served.
+    let mut b = Client::connect_tcp(addr).expect("connect");
+    b.set(b"alive", b"yes").unwrap();
+    assert_eq!(b.get(b"alive").unwrap().as_deref(), Some(&b"yes"[..]));
+    let stats = wait_for(&server, |s| s.dead_replies == N && s.replies == 2);
+    assert_eq!(stats.dead_replies, N, "A's replies must be accounted dead");
+    assert_eq!(stats.requests, N + 2);
+    assert_eq!(stats.replies, 2, "only B's replies reached a live peer");
+    assert_eq!(stats.busy_replies, 0);
+    assert_eq!(stats.protocol_errors, 0, "a clean disconnect is not protocol abuse");
+}
+
+#[test]
+fn steady_state_reply_path_allocates_nothing_per_request() {
+    // `reply_allocs` counts reply-buffer growth. After a warmup that
+    // sizes every reusable buffer, a long window of further traffic must
+    // not grow anything: zero per-request allocations on the reply path.
+    let cfg = ServerConfig { shards: 1, maintainer: false, ..ServerConfig::default() };
+    let server = start_tcp(cfg);
+    let mut client = tcp_client(&server);
+    client.set(b"hot", &[0x5A; 1024]).unwrap();
+    assert!(client.get(b"hot").unwrap().is_some());
+    let warm = wait_for(&server, |s| s.replies == 2);
+    const WINDOW: u64 = 256;
+    for _ in 0..WINDOW {
+        assert_eq!(client.get(b"hot").unwrap().as_deref(), Some(&[0x5A; 1024][..]));
+    }
+    let stats = wait_for(&server, |s| s.replies == 2 + WINDOW);
+    assert_eq!(stats.replies, 2 + WINDOW, "the window must actually run");
+    assert_eq!(
+        stats.reply_allocs, warm.reply_allocs,
+        "steady-state replies must reuse warm buffers, not allocate"
+    );
+}
+
+#[test]
+fn soft_watermark_counts_jobs_binned_in_the_same_read_batch() {
+    // The depth-gauge satellite's end-to-end guard: with a watermark of
+    // one queued job and a never-admit gate, a read cycle that decodes
+    // many SETs may admit at most ONE of them — the watermark must see
+    // the job binned earlier in the same cycle, not just the (still
+    // empty) shard queue. A regression that consults only the dispatch
+    // gauge admits the whole batch.
+    let cfg = ServerConfig {
+        shards: 1,
+        queue_capacity: 64,
+        soft_overload: 0.01, // ceil(64 * 0.01) = 1
+        set_admission_under_pressure: Admission::Random { probability: 0.0 },
+        op_wall_delay: Duration::from_millis(10),
+        maintainer: false,
+    };
+    let server = start_tcp(cfg);
+    let mut client = tcp_client(&server);
+    const N: u64 = 16;
+    for i in 0..N {
+        client.send_buffered(&Request::Set {
+            id: i,
+            key: format!("w{i}").into_bytes(),
+            value: vec![1; 64],
+        });
+    }
+    client.flush().unwrap(); // one write syscall carries all N frames
+    let mut stored = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..N {
+        match client.recv().unwrap() {
+            Reply::Stored { .. } => stored += 1,
+            Reply::Busy { .. } => busy += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert_eq!(stored + busy, N);
+    assert!(busy > 0, "the watermark must shed most of a same-batch burst");
+    let stats = server.stats();
+    assert_eq!(stats.shed_sets, busy, "every BUSY here must come from the set gate");
+    assert!(
+        stored <= stats.frames_per_read.events,
+        "{stored} SETs admitted over {} read cycles: the watermark ignored same-cycle bins",
+        stats.frames_per_read.events
+    );
+}
+
 #[test]
 fn shutdown_drains_queued_requests() {
     let cfg = ServerConfig {

@@ -84,6 +84,8 @@ pub const RING_CAPACITY: usize = 16_384;
 /// | `RequestEngineStart` | request id             | opcode (1 get, 2 set, 3 del)|
 /// | `RequestDone`        | request id             | engine latency (nanos)      |
 /// | `RequestShed`        | request id             | shard id                    |
+/// | `ConnReadBatch`      | frames decoded         | connection id               |
+/// | `ReplyBatchFlush`    | reply frames written   | connection id               |
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[repr(u64)]
 pub enum EventKind {
@@ -141,6 +143,14 @@ pub enum EventKind {
     RequestDone = 22,
     /// The request was shed (typed BUSY reply) instead of queued.
     RequestShed = 23,
+    /// One server read syscall drained `a` complete frames off a
+    /// connection — the batched data path's read-side amortization
+    /// gauge. An `a` persistently at 1 means the frontend is paying one
+    /// syscall per request (no pipelining backlog to harvest).
+    ConnReadBatch = 24,
+    /// One locked write syscall flushed `a` coalesced reply frames to a
+    /// connection — the write-side twin of [`EventKind::ConnReadBatch`].
+    ReplyBatchFlush = 25,
 }
 
 impl EventKind {
@@ -170,6 +180,8 @@ impl EventKind {
             EventKind::RequestEngineStart => "request_engine_start",
             EventKind::RequestDone => "request_done",
             EventKind::RequestShed => "request_shed",
+            EventKind::ConnReadBatch => "conn_read_batch",
+            EventKind::ReplyBatchFlush => "reply_batch_flush",
         }
     }
 
@@ -198,6 +210,8 @@ impl EventKind {
             21 => EventKind::RequestEngineStart,
             22 => EventKind::RequestDone,
             23 => EventKind::RequestShed,
+            24 => EventKind::ConnReadBatch,
+            25 => EventKind::ReplyBatchFlush,
             _ => return None,
         })
     }
@@ -470,12 +484,12 @@ mod tests {
 
     #[test]
     fn kind_names_round_trip() {
-        for v in 1..=23 {
+        for v in 1..=25 {
             let k = EventKind::from_u64(v).expect("dense ids");
             assert_eq!(k as u64, v);
             assert!(!k.name().is_empty());
         }
         assert_eq!(EventKind::from_u64(0), None);
-        assert_eq!(EventKind::from_u64(24), None);
+        assert_eq!(EventKind::from_u64(26), None);
     }
 }

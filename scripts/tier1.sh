@@ -50,13 +50,17 @@ echo "== tier1: multi-thread smoke (all schemes, 8 workers, shared engine) =="
 cargo run --release -p zns-cache-bench --bin bench_threads -- --smoke 1 --threads 8
 
 echo "== tier1: loopback server latency gate (open-loop, fixed rate) =="
-# One Zone-Cache point through the real server stack (TCP loopback,
-# sharded command loops, bounded queues): request accounting must close
-# (served + busy + errors == scheduled), no typed errors, near-zero shed
-# at a rate far under capacity, and p99 under a deliberately loose
-# wall-clock ceiling. Catches lost replies, unshed overload, and
-# order-of-magnitude latency regressions in the frontend. The full sweep
-# (writes BENCH_latency.json) is the bare bench_latency invocation.
+# Two Zone-Cache points through the real server stack (TCP loopback,
+# sharded command loops, bounded queues). A mid-rate point: request
+# accounting must close (served + busy + errors == scheduled), no typed
+# errors, near-zero shed at a rate far under capacity, and p99 under a
+# deliberately loose wall-clock ceiling. Then a capacity probe offered
+# past the knee: achieved rate must hold >= 92k/s (1.5x the pre-batching
+# knee), with real read/flush batching (means > 1) and a bounded
+# reply_allocs count (no per-request allocation on the reply path).
+# Catches lost replies, unshed overload, order-of-magnitude latency
+# regressions, and any regression to per-request syscalls. The full
+# sweep (writes BENCH_latency.json) is the bare bench_latency invocation.
 cargo run --release -p zns-cache-bench --bin bench_latency -- --gate 1
 
 echo "== tier1: perf floor (flash Zone-Cache, 8 threads) =="
